@@ -1,0 +1,24 @@
+//! # bff-bcast
+//!
+//! The prepropagation baseline (§5.2): taktuk-like broadcast of a full VM
+//! image to all compute nodes before any VM starts.
+//!
+//! * [`postal`] — broadcast-time arithmetic in the postal model of
+//!   Bar-Noy & Kipnis (ref.\[8] of the paper), which taktuk's scheduling follows.
+//! * [`tree`] — k-ary broadcast trees and their execution on a
+//!   [`bff_net::Fabric`]: store-and-forward at file granularity (what a
+//!   taktuk file `put` effectively does: each relay writes the image to
+//!   its disk before forwarding) or pipelined at block granularity (a
+//!   Frisbee-style optimized broadcaster, used as an ablation).
+//! * [`signals`] — the ordering dependency ("parent holds block b")
+//!   expressed as an abstract signal table so the same broadcast code
+//!   runs timing-free in-process and with real dependencies on the
+//!   simulator.
+
+pub mod postal;
+pub mod signals;
+pub mod tree;
+
+pub use postal::{optimal_rounds, postal_broadcast_time};
+pub use signals::{NullSignals, SignalTable};
+pub use tree::{BroadcastMode, BroadcastOutcome, TreeBroadcast};

@@ -1,0 +1,105 @@
+//! Broadcast arithmetic in the postal model (Bar-Noy & Kipnis, SPAA'92),
+//! the model behind taktuk's adaptive trees.
+//!
+//! In the postal model with latency λ, a sender is busy for one unit per
+//! message but the message arrives λ units after sending. `P_λ(t)` — the
+//! number of nodes that can hold the message after `t` units — obeys the
+//! generalized-Fibonacci recurrence `P(t) = P(t-1) + P(t-λ)` with
+//! `P(t) = 1` for `0 ≤ t < λ`. Broadcasting to `n` nodes therefore takes
+//! the least `t` with `P_λ(t) ≥ n`.
+
+/// Number of informed nodes after `t` time units with integer latency
+/// `lambda ≥ 1` (the sender counts as informed at t = 0).
+pub fn informed_after(t: u64, lambda: u64) -> u128 {
+    assert!(lambda >= 1, "latency must be at least 1");
+    if t < lambda {
+        return 1;
+    }
+    // P(t) = P(t-1) + P(t-lambda), windowed iteration.
+    let mut window: Vec<u128> = vec![1; lambda as usize];
+    for _ in lambda..=t {
+        let next = window[window.len() - 1] + window[0];
+        window.remove(0);
+        window.push(next.min(u128::MAX / 2));
+    }
+    window[window.len() - 1]
+}
+
+/// The minimum number of time units to inform `n` nodes (including the
+/// source) at latency `lambda`.
+pub fn optimal_rounds(n: u64, lambda: u64) -> u64 {
+    assert!(n >= 1);
+    if n == 1 {
+        return 0;
+    }
+    let mut t = 0u64;
+    loop {
+        if informed_after(t, lambda) >= n as u128 {
+            return t;
+        }
+        t += 1;
+    }
+}
+
+/// Estimated wall-clock time to broadcast `bytes` to `n` receivers with
+/// link bandwidth `bw` (bytes/us), one-way latency `latency_us` and a
+/// pipelining block of `block` bytes: the postal-model round count at the
+/// block timescale times the per-block cycle, plus the pipeline drain.
+/// This is the *lower bound* an optimal taktuk-like tool approaches; the
+/// measured baseline is the executed tree in [`crate::tree`].
+pub fn postal_broadcast_time(
+    n: u64,
+    bytes: u64,
+    bw: f64,
+    latency_us: u64,
+    block: u64,
+) -> u64 {
+    assert!(bw > 0.0 && block > 0);
+    let send_time = (block as f64 / bw).ceil() as u64; // one "unit"
+    let lambda = (latency_us / send_time.max(1)).max(1);
+    let rounds = optimal_rounds(n.max(1), lambda);
+    let blocks = bytes.div_ceil(block);
+    // Pipeline: fill (rounds) + stream (blocks) per-unit cycles.
+    (rounds + blocks) * send_time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_latency_doubles_each_round() {
+        // lambda = 1 degenerates to binomial doubling: P(t) = 2^t.
+        for t in 0..10 {
+            assert_eq!(informed_after(t, 1), 1 << t);
+        }
+        assert_eq!(optimal_rounds(8, 1), 3);
+        assert_eq!(optimal_rounds(9, 1), 4);
+    }
+
+    #[test]
+    fn latency_slows_growth() {
+        // With lambda = 2: P = 1,1,2,3,5,8,... (Fibonacci).
+        let fib = [1u128, 1, 2, 3, 5, 8, 13, 21];
+        for (t, &f) in fib.iter().enumerate() {
+            assert_eq!(informed_after(t as u64, 2), f, "t={t}");
+        }
+        assert!(optimal_rounds(100, 2) > optimal_rounds(100, 1));
+    }
+
+    #[test]
+    fn single_node_needs_nothing() {
+        assert_eq!(optimal_rounds(1, 3), 0);
+    }
+
+    #[test]
+    fn broadcast_time_scales_sanely() {
+        let t1 = postal_broadcast_time(2, 1 << 30, 117.5, 100, 1 << 20);
+        let t110 = postal_broadcast_time(110, 1 << 30, 117.5, 100, 1 << 20);
+        // More receivers cost more, but only logarithmically.
+        assert!(t110 > t1);
+        assert!(t110 < t1 * 2, "pipelined broadcast is log-bounded");
+        // Must be at least the raw transfer time of the payload.
+        assert!(t1 >= ((1u64 << 30) as f64 / 117.5) as u64);
+    }
+}

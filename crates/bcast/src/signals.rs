@@ -1,0 +1,56 @@
+//! Ordering dependencies for broadcast execution.
+//!
+//! A broadcast relay may forward data only after it holds it. On the
+//! simulator this dependency must block virtual time; in-process (where
+//! the fabric is cost-free and `par_join` runs tasks sequentially) it must
+//! be a no-op, or the sequential execution would deadlock waiting for a
+//! sibling task that has not run yet. The [`SignalTable`] trait captures
+//! exactly this difference; `bff-cloud` provides the simulator-backed
+//! implementation.
+
+/// An append-only table of one-shot events keyed by `u64`.
+pub trait SignalTable: Send + Sync {
+    /// Fire the event `key` (idempotent).
+    fn signal(&self, key: u64);
+    /// Block until `key` has fired. Implementations for cost-free fabrics
+    /// may return immediately.
+    fn wait(&self, key: u64);
+}
+
+/// The no-op table for in-process execution.
+#[derive(Debug, Default)]
+pub struct NullSignals;
+
+impl SignalTable for NullSignals {
+    fn signal(&self, _key: u64) {}
+    fn wait(&self, _key: u64) {}
+}
+
+/// Compose a signal key from a node index and a block number.
+#[inline]
+pub fn key_of(node_idx: usize, block: u64, blocks_per_node: u64) -> u64 {
+    node_idx as u64 * blocks_per_node + block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_signals_never_block() {
+        let s = NullSignals;
+        s.wait(42); // must return immediately
+        s.signal(42);
+        s.signal(42); // idempotent
+    }
+
+    #[test]
+    fn keys_are_unique_per_node_block() {
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..10usize {
+            for block in 0..20u64 {
+                assert!(seen.insert(key_of(node, block, 20)));
+            }
+        }
+    }
+}

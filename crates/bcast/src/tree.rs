@@ -1,0 +1,264 @@
+//! Broadcast-tree construction and execution.
+//!
+//! The prepropagation baseline broadcasts the 2 GB image from the NFS
+//! server to every compute node along a k-ary tree. Two execution modes:
+//!
+//! * [`BroadcastMode::StoreAndForward`] — each relay receives the whole
+//!   file, writes it through to its local disk, and only then serves its
+//!   children. This is what a generic deployment tool achieves in
+//!   practice (every hop is disk-bound at the 55 MB/s measured in §5.1),
+//!   and it reproduces the baseline's large, slowly-growing completion
+//!   times in Fig. 4(b).
+//! * [`BroadcastMode::Pipelined`] — blocks stream down the tree with
+//!   per-block dependencies, the Frisbee-style optimum; used by the
+//!   ablation benches to show how much of the baseline's cost is the
+//!   tool rather than the pattern.
+
+use crate::signals::{key_of, SignalTable};
+use bff_net::{Fabric, NetError, NodeId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// How data moves down the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BroadcastMode {
+    /// Whole-file relay with write-through disk persistence per hop.
+    StoreAndForward,
+    /// Block-granular pipelining with the given block size.
+    Pipelined {
+        /// Pipeline block size in bytes.
+        block: u64,
+    },
+}
+
+/// A configured broadcast.
+pub struct TreeBroadcast {
+    /// Tree fan-out (taktuk defaults to small arities).
+    pub arity: usize,
+    /// Execution mode.
+    pub mode: BroadcastMode,
+    /// Whether relays persist the image to disk (the prepropagation
+    /// pattern requires it: VMs boot from the local copy afterwards).
+    pub write_to_disk: bool,
+}
+
+impl Default for TreeBroadcast {
+    fn default() -> Self {
+        Self { arity: 2, mode: BroadcastMode::StoreAndForward, write_to_disk: true }
+    }
+}
+
+/// Result of a broadcast run.
+#[derive(Debug, Clone)]
+pub struct BroadcastOutcome {
+    /// Per-target completion time (us, fabric clock) in input order.
+    pub completion_us: Vec<u64>,
+    /// Time the whole broadcast finished.
+    pub makespan_us: u64,
+}
+
+/// Children of node `i` in the implicit k-ary tree over
+/// `0..=n_targets` (0 is the source; targets are 1-based).
+pub fn children_of(i: usize, arity: usize, total: usize) -> Vec<usize> {
+    (1..=arity)
+        .map(|c| i * arity + c)
+        .filter(|&c| c < total)
+        .collect()
+}
+
+/// Parent of node `i > 0`.
+pub fn parent_of(i: usize, arity: usize) -> usize {
+    (i - 1) / arity
+}
+
+/// Depth of node `i` (root = 0).
+pub fn depth_of(mut i: usize, arity: usize) -> usize {
+    let mut d = 0;
+    while i > 0 {
+        i = parent_of(i, arity);
+        d += 1;
+    }
+    d
+}
+
+impl TreeBroadcast {
+    /// Broadcast `bytes` from `source` to `targets` over `fabric`,
+    /// synchronizing relay order through `signals`. Returns per-target
+    /// completion times.
+    pub fn run(
+        &self,
+        fabric: &Arc<dyn Fabric>,
+        signals: &Arc<dyn SignalTable>,
+        source: NodeId,
+        targets: &[NodeId],
+        bytes: u64,
+    ) -> Result<BroadcastOutcome, NetError> {
+        assert!(self.arity >= 1, "arity must be at least 1");
+        if targets.is_empty() {
+            return Ok(BroadcastOutcome { completion_us: vec![], makespan_us: fabric.now_us() });
+        }
+        // Node table: index 0 = source, 1.. = targets.
+        let nodes: Vec<NodeId> = std::iter::once(source).chain(targets.iter().copied()).collect();
+        let total = nodes.len();
+        let (block, blocks) = match self.mode {
+            BroadcastMode::StoreAndForward => (bytes, 1u64),
+            BroadcastMode::Pipelined { block } => {
+                assert!(block > 0);
+                (block, bytes.div_ceil(block))
+            }
+        };
+        let completions: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; total]));
+        let errors: Arc<Mutex<Vec<NetError>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::with_capacity(total);
+        // Source task: read the image off the source's disk, block by
+        // block, publishing availability.
+        {
+            let fabric = Arc::clone(fabric);
+            let signals = Arc::clone(signals);
+            let errors = Arc::clone(&errors);
+            tasks.push(Box::new(move || {
+                for b in 0..blocks {
+                    let this = block.min(bytes - b * block);
+                    if let Err(e) = fabric.disk_read(source, this) {
+                        errors.lock().push(e);
+                        return;
+                    }
+                    signals.signal(key_of(0, b, blocks));
+                }
+            }));
+        }
+        // One relay task per target.
+        let arity = self.arity;
+        let write_to_disk = self.write_to_disk;
+        for idx in 1..total {
+            let fabric = Arc::clone(fabric);
+            let signals = Arc::clone(signals);
+            let completions = Arc::clone(&completions);
+            let errors = Arc::clone(&errors);
+            let nodes = nodes.clone();
+            tasks.push(Box::new(move || {
+                let me = nodes[idx];
+                let parent = nodes[parent_of(idx, arity)];
+                let run = || -> Result<(), NetError> {
+                    for b in 0..blocks {
+                        let this = block.min(bytes - b * block);
+                        signals.wait(key_of(parent_of(idx, arity), b, blocks));
+                        fabric.transfer(parent, me, this)?;
+                        if write_to_disk {
+                            // Relays persist write-through: the VM boots
+                            // from this copy, it must be durable.
+                            fabric.disk_write(me, this)?;
+                        }
+                        signals.signal(key_of(idx, b, blocks));
+                    }
+                    Ok(())
+                };
+                if let Err(e) = run() {
+                    errors.lock().push(e);
+                    return;
+                }
+                completions.lock()[idx] = fabric.now_us();
+            }));
+        }
+        fabric.par_join(tasks);
+        if let Some(e) = errors.lock().first() {
+            return Err(e.clone());
+        }
+        let completion_us: Vec<u64> = completions.lock()[1..].to_vec();
+        let makespan_us = completion_us.iter().copied().max().unwrap_or(0);
+        Ok(BroadcastOutcome { completion_us, makespan_us })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::NullSignals;
+    use bff_net::LocalFabric;
+
+    #[test]
+    fn tree_shape_is_consistent() {
+        // 7 nodes, binary: 0 -> {1,2}, 1 -> {3,4}, 2 -> {5,6}.
+        assert_eq!(children_of(0, 2, 7), vec![1, 2]);
+        assert_eq!(children_of(1, 2, 7), vec![3, 4]);
+        assert_eq!(children_of(3, 2, 7), Vec::<usize>::new());
+        for i in 1..7 {
+            assert!(children_of(parent_of(i, 2), 2, 7).contains(&i));
+        }
+        assert_eq!(depth_of(0, 2), 0);
+        assert_eq!(depth_of(6, 2), 2);
+        // Higher arity is shallower.
+        assert!(depth_of(100, 4) < depth_of(100, 2));
+    }
+
+    #[test]
+    fn every_target_is_reachable() {
+        for arity in 1..=4 {
+            for total in 2..40 {
+                let mut seen = vec![false; total];
+                seen[0] = true;
+                let mut frontier = vec![0usize];
+                while let Some(i) = frontier.pop() {
+                    for c in children_of(i, arity, total) {
+                        assert!(!seen[c], "node visited twice");
+                        seen[c] = true;
+                        frontier.push(c);
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "arity {arity} total {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_moves_n_times_the_bytes() {
+        let fabric: Arc<dyn Fabric> = LocalFabric::new(9);
+        let signals: Arc<dyn SignalTable> = Arc::new(NullSignals);
+        let targets: Vec<NodeId> = (1..9).map(NodeId).collect();
+        let bc = TreeBroadcast::default();
+        let out = bc.run(&fabric, &signals, NodeId(0), &targets, 1000).unwrap();
+        assert_eq!(out.completion_us.len(), 8);
+        // Each of the 8 targets received the full payload exactly once.
+        assert_eq!(fabric.stats().total_network_bytes(), 8 * 1000);
+        // And persisted it.
+        for t in &targets {
+            assert_eq!(fabric.stats().node(*t).disk_written, 1000);
+        }
+    }
+
+    #[test]
+    fn pipelined_mode_transfers_same_volume() {
+        let fabric: Arc<dyn Fabric> = LocalFabric::new(5);
+        let signals: Arc<dyn SignalTable> = Arc::new(NullSignals);
+        let targets: Vec<NodeId> = (1..5).map(NodeId).collect();
+        let bc = TreeBroadcast {
+            mode: BroadcastMode::Pipelined { block: 300 },
+            ..Default::default()
+        };
+        bc.run(&fabric, &signals, NodeId(0), &targets, 1000).unwrap();
+        assert_eq!(fabric.stats().total_network_bytes(), 4 * 1000);
+    }
+
+    #[test]
+    fn failed_relay_surfaces_error() {
+        let local = LocalFabric::new(4);
+        local.fail_node(NodeId(2));
+        let fabric: Arc<dyn Fabric> = local;
+        let signals: Arc<dyn SignalTable> = Arc::new(NullSignals);
+        let targets: Vec<NodeId> = (1..4).map(NodeId).collect();
+        let bc = TreeBroadcast::default();
+        let err = bc.run(&fabric, &signals, NodeId(0), &targets, 100).unwrap_err();
+        assert_eq!(err, NetError::NodeDown(NodeId(2)));
+    }
+
+    #[test]
+    fn empty_target_list_is_noop() {
+        let fabric: Arc<dyn Fabric> = LocalFabric::new(1);
+        let signals: Arc<dyn SignalTable> = Arc::new(NullSignals);
+        let out = TreeBroadcast::default()
+            .run(&fabric, &signals, NodeId(0), &[], 100)
+            .unwrap();
+        assert!(out.completion_us.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Ablation benches for the design choices called out in DESIGN.md §3:
+//! chunk size (A1), the two §3.3 access strategies (A2, A3), replication
+//! (A4), asynchronous commit (A5) and the broadcast execution mode (A6).
+//! Pass `--mini` for a CI-sized run (also the default here: ablations are
+//! about relative effects, which the mini scale already shows; pass
+//! `--paper` to sweep at full scale).
+
+use bff_bench::{f3, Table};
+use bff_blobseer::{BlobConfig, BlobStore, BlobTopology, Client as BlobClient};
+use bff_cloud::experiments::{fig5, run_deployment, ExpScale, Strategy, IMAGE_SEED};
+use bff_cloud::params::Calibration;
+use bff_core::{MemStore, MirrorConfig, MirroredImage};
+use bff_data::Payload;
+use bff_net::{Fabric, LocalFabric, NodeId};
+use bff_sim::SimCluster;
+use bff_workloads::boottrace::BootProfile;
+use std::sync::Arc;
+
+fn paper_scale() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// A1: chunk-size trade-off (false sharing vs per-chunk overhead) on a
+/// multideployment.
+fn ablation_chunk_size() {
+    let mut t = Table::new(
+        "ablation_chunk_size",
+        &["chunk_kb", "avg_boot_s", "total_s", "traffic_gb"],
+    );
+    let (n, image_len) = if paper_scale() { (40, 2u64 << 30) } else { (6, 8u64 << 20) };
+    let kbs: &[u64] = if paper_scale() { &[64, 256, 1024, 4096] } else { &[16, 64, 256] };
+    for &kb in kbs {
+        let scale = ExpScale { image_len, chunk_size: kb << 10 };
+        let out = run_deployment(Strategy::Mirror, n, scale, Calibration::default(), None, 0xAB1);
+        t.row(&[&kb, &f3(out.avg_boot_s()), &f3(out.total_s), &f3(out.traffic_gb)]);
+    }
+    t.emit();
+}
+
+/// A2/A3: the §3.3 strategies — whole-chunk prefetch and gap-filling —
+/// measured on remote-fetch volume, fetch-op count and fragmentation.
+/// The workload is a boot trace followed by a burst of scattered small
+/// writes (log appends, config touch-ups: the §2.3 "random small reads
+/// and writes"), which is what makes the fragmentation bound matter.
+fn ablation_strategies() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut t = Table::new(
+        "ablation_access_strategies",
+        &["prefetch", "gap_fill", "remote_fetch_ops", "remote_mb", "fragments"],
+    );
+    for (prefetch, gap_fill) in [(true, true), (true, false), (false, true), (false, false)] {
+        let fabric = LocalFabric::new(5);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&nodes, NodeId(4));
+        let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+        let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+        let client = BlobClient::new(store, NodeId(0));
+        let image_len = 8u64 << 20;
+        let (blob, v) = client.upload(Payload::synth(IMAGE_SEED, 0, image_len)).unwrap();
+        let mcfg = MirrorConfig {
+            prefetch_whole_chunks: prefetch,
+            gap_fill,
+            ..MirrorConfig::default()
+        };
+        let mut img = MirroredImage::open(
+            client.clone(),
+            blob,
+            v,
+            Box::new(MemStore::new(image_len)),
+            mcfg,
+        )
+        .unwrap();
+        for op in BootProfile::scaled(image_len).generate(7) {
+            match op {
+                bff_workloads::VmOp::Read { offset, len } => {
+                    img.read(offset..offset + len).unwrap();
+                }
+                bff_workloads::VmOp::Write { offset, len } => {
+                    img.write(offset, Payload::synth(9, offset, len)).unwrap();
+                }
+                bff_workloads::VmOp::Cpu { .. } => {}
+            }
+        }
+        // Application phase: 2000 scattered 64-512 B writes.
+        let mut rng = SmallRng::seed_from_u64(0xAB3);
+        for _ in 0..2000 {
+            let len = rng.gen_range(64..512u64);
+            let offset = rng.gen_range(0..image_len - len);
+            img.write(offset, Payload::synth(10, offset, len)).unwrap();
+        }
+        let s = img.stats();
+        t.row(&[
+            &prefetch,
+            &gap_fill,
+            &s.remote_fetches,
+            &f3(s.remote_bytes as f64 / 1e6),
+            &img.chunk_map().fragmentation(),
+        ]);
+    }
+    t.emit();
+}
+
+/// A4: replication degree vs storage cost and surviving provider loss.
+fn ablation_replication() {
+    let mut t = Table::new(
+        "ablation_replication",
+        &["replicas", "stored_mb", "reads_ok_after_one_failure"],
+    );
+    for replication in 1..=3usize {
+        let fabric = LocalFabric::new(5);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&nodes, NodeId(4));
+        let cfg = BlobConfig { chunk_size: 64 << 10, replication, ..Default::default() };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        let client = BlobClient::new(store, NodeId(0));
+        let image_len = 4u64 << 20;
+        let (blob, v) = client.upload(Payload::synth(IMAGE_SEED, 0, image_len)).unwrap();
+        let stored = client.store().total_stored_bytes();
+        fabric.fail_node(NodeId(2));
+        let ok = client.read(blob, v, 0..image_len).is_ok();
+        t.row(&[&replication, &f3(stored as f64 / 1e6), &ok]);
+    }
+    t.emit();
+}
+
+/// A5: asynchronous vs synchronous provider writes on snapshot latency.
+fn ablation_async_commit() {
+    let mut t = Table::new(
+        "ablation_async_commit",
+        &["async_writes", "avg_snapshot_s", "total_snapshot_s"],
+    );
+    let scale =
+        if paper_scale() { ExpScale::paper() } else { ExpScale::mini() };
+    let n = if paper_scale() { 40 } else { 6 };
+    let diff = if paper_scale() { 15u64 << 20 } else { 512 << 10 };
+    // The async flag lives in BlobConfig; fig5's driver uses the default
+    // (async). For the sync variant we emulate by doubling the provider
+    // write cost through a sync-flagged run below.
+    for async_writes in [true, false] {
+        let out = fig5::run_one_with_async(
+            Strategy::Mirror,
+            n,
+            scale,
+            Calibration::default(),
+            diff,
+            async_writes,
+        );
+        t.row(&[&async_writes, &f3(out.avg_s()), &f3(out.total_s)]);
+    }
+    t.emit();
+}
+
+/// A6: store-and-forward (what deployment tools do) vs block-pipelined
+/// broadcast (a Frisbee-style optimum) for the prepropagation baseline.
+fn ablation_broadcast() {
+    use bff_bcast::{BroadcastMode, SignalTable, TreeBroadcast};
+    use bff_cloud::simsignals::SimSignals;
+    let mut t = Table::new(
+        "ablation_broadcast_mode",
+        &["mode", "arity", "makespan_s"],
+    );
+    let (n, bytes) = if paper_scale() { (110, 2u64 << 30) } else { (8, 64u64 << 20) };
+    for (label, mode) in [
+        ("store-and-forward", BroadcastMode::StoreAndForward),
+        ("pipelined-1MB", BroadcastMode::Pipelined { block: 1 << 20 }),
+    ] {
+        for arity in [2usize, 4] {
+            let cal = Calibration::default();
+            let cluster = SimCluster::new(cal.cluster(n));
+            let fabric: Arc<dyn Fabric> = cluster.fabric();
+            let targets: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+            let source = NodeId(n as u32);
+            let state = Arc::clone(cluster.sim().state());
+            let fabric2 = Arc::clone(&fabric);
+            let makespan: Arc<parking_lot::Mutex<u64>> = Arc::new(parking_lot::Mutex::new(0));
+            let mk = Arc::clone(&makespan);
+            cluster.sim().spawn("bcast", move |_env| {
+                let signals: Arc<dyn SignalTable> = SimSignals::new(state);
+                let bc = TreeBroadcast { arity, mode, write_to_disk: true };
+                let out = bc.run(&fabric2, &signals, source, &targets, bytes).unwrap();
+                *mk.lock() = out.makespan_us;
+            });
+            cluster.run();
+            let s = *makespan.lock() as f64 / 1e6;
+            t.row(&[&label, &arity, &f3(s)]);
+        }
+    }
+    t.emit();
+}
+
+fn main() {
+    ablation_chunk_size();
+    ablation_strategies();
+    ablation_replication();
+    ablation_async_commit();
+    ablation_broadcast();
+}

@@ -1,0 +1,46 @@
+//! Fig. 4: multideployment. Regenerates the four panels as tables:
+//! average boot time per instance (a), completion time (b), speedup (c)
+//! and total network traffic (d). Pass `--mini` for a CI-sized run.
+
+use bff_bench::{f1, f3, RunScale, Table};
+use bff_cloud::experiments::fig4;
+use bff_cloud::params::Calibration;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let cal = Calibration::default();
+    let rows = fig4::run(&scale.sweep(), scale.exp_scale(), cal, 0xF1604);
+
+    let mut a = Table::new(
+        "fig4a_avg_boot_time",
+        &["instances", "taktuk_prepropagation_s", "qcow2_over_pvfs_s", "our_approach_s"],
+    );
+    let mut b = Table::new(
+        "fig4b_total_boot_time",
+        &["instances", "taktuk_prepropagation_s", "qcow2_over_pvfs_s", "our_approach_s"],
+    );
+    let mut c = Table::new(
+        "fig4c_speedup",
+        &["instances", "speedup_vs_taktuk", "speedup_vs_qcow2"],
+    );
+    let mut d = Table::new(
+        "fig4d_network_traffic",
+        &["instances", "taktuk_prepropagation_gb", "qcow2_over_pvfs_gb", "our_approach_gb"],
+    );
+    for row in &rows {
+        let [pre, qcow, ours] = &row.outcomes;
+        a.row(&[
+            &row.n,
+            &f3(pre.avg_boot_s()),
+            &f3(qcow.avg_boot_s()),
+            &f3(ours.avg_boot_s()),
+        ]);
+        b.row(&[&row.n, &f1(pre.total_s), &f1(qcow.total_s), &f1(ours.total_s)]);
+        c.row(&[&row.n, &f1(row.speedup_vs_taktuk()), &f3(row.speedup_vs_qcow())]);
+        d.row(&[&row.n, &f3(pre.traffic_gb), &f3(qcow.traffic_gb), &f3(ours.traffic_gb)]);
+    }
+    a.emit();
+    b.emit();
+    c.emit();
+    d.emit();
+}

@@ -1,0 +1,25 @@
+//! Fig. 7: Bonnie++ operations per second (RndSeek / CreatF / DelF) on a
+//! local raw image vs the mirroring module. Pass `--mini` for a CI-sized
+//! run.
+
+use bff_bench::{f1, RunScale, Table};
+use bff_cloud::experiments::fig67;
+use bff_cloud::params::Calibration;
+use bff_workloads::bonnie::BonnieConfig;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let cfg = match scale {
+        RunScale::Paper => BonnieConfig::paper(),
+        RunScale::Mini => BonnieConfig::scaled(scale.exp_scale().image_len),
+    };
+    let results = fig67::run(scale.exp_scale(), Calibration::default(), cfg);
+    let mut t = Table::new(
+        "fig7_bonnie_ops",
+        &["operation_type", "local_ops_per_s", "our_approach_ops_per_s"],
+    );
+    for r in results.iter().filter(|r| !r.is_throughput) {
+        t.row(&[&r.phase.label(), &f1(r.local), &f1(r.mirror)]);
+    }
+    t.emit();
+}

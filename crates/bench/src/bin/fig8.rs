@@ -1,0 +1,45 @@
+//! Fig. 8: Monte Carlo π on 100 VM instances — completion time,
+//! uninterrupted (all three strategies) and with a suspend/resume cycle
+//! (our approach vs qcow2-over-PVFS). Pass `--mini` for a CI-sized run.
+
+use bff_bench::{f1, RunScale, Table};
+use bff_cloud::experiments::fig8::{run_one, Setting};
+use bff_cloud::experiments::Strategy;
+use bff_cloud::params::Calibration;
+use bff_workloads::montecarlo::WorkerPlan;
+
+fn main() {
+    let scale = RunScale::from_args();
+    let cal = Calibration::default();
+    let (n, plan) = match scale {
+        RunScale::Paper => (100, WorkerPlan::paper()),
+        RunScale::Mini => (
+            4,
+            WorkerPlan {
+                compute_us: 2_000_000,
+                checkpoint_every_us: 500_000,
+                state_bytes: 256 << 10,
+                state_offset: 1 << 20,
+            },
+        ),
+    };
+    let exp = scale.exp_scale();
+    let seed = 0xF168;
+
+    let mut t = Table::new(
+        "fig8_montecarlo",
+        &["setting", "pre_propagation_s", "qcow2_over_pvfs_s", "our_approach_s"],
+    );
+    let pre = run_one(Strategy::Prepropagation, Setting::Uninterrupted, n, exp, cal, plan, seed);
+    let qcow = run_one(Strategy::QcowOverPvfs, Setting::Uninterrupted, n, exp, cal, plan, seed);
+    let ours = run_one(Strategy::Mirror, Setting::Uninterrupted, n, exp, cal, plan, seed);
+    t.row(&[&"Uninterrupted", &f1(pre), &f1(qcow), &f1(ours)]);
+
+    let qcow_sr = run_one(Strategy::QcowOverPvfs, Setting::SuspendResume, n, exp, cal, plan, seed);
+    let ours_sr = run_one(Strategy::Mirror, Setting::SuspendResume, n, exp, cal, plan, seed);
+    t.row(&[&"Suspend/Resume", &"n/a", &f1(qcow_sr), &f1(ours_sr)]);
+    t.emit();
+
+    let gain = 100.0 * (qcow_sr - ours_sr) / qcow_sr;
+    println!("suspend/resume advantage of our approach vs qcow2: {gain:.1}%");
+}

@@ -1,0 +1,23 @@
+//! Regenerate every figure of the paper in one run (CSV + tables under
+//! `target/paper/`). Pass `--mini` for a CI-sized run.
+
+use std::process::Command;
+
+fn main() {
+    let mini = std::env::args().any(|a| a == "--mini");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for fig in ["fig4", "fig5", "fig6", "fig7", "fig8", "ablations"] {
+        println!("\n########## {fig} ##########");
+        let mut cmd = Command::new(exe_dir.join(fig));
+        if mini {
+            cmd.arg("--mini");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(status.success(), "{fig} failed");
+    }
+    println!("\nAll figures regenerated; CSVs in target/paper/.");
+}

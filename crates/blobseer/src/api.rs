@@ -1,0 +1,236 @@
+//! Public identifiers, configuration and errors of the BlobSeer-like
+//! versioning storage service.
+
+use bff_net::{NetError, NodeId};
+use std::fmt;
+
+/// Identifier of a BLOB (one VM image lineage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlobId(pub u64);
+
+/// Snapshot version of a BLOB. `Version(0)` is the empty blob created by
+/// `create_blob`; every successful write publishes the next version.
+/// Versions form a totally ordered sequence per blob (§4.2: "consecutive
+/// COMMIT calls ... generate a totally ordered set of snapshots").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Version(pub u64);
+
+/// Identifier of a stored chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkId(pub u64);
+
+/// Identifier of a metadata tree node. `NodeKey::NULL` denotes an entirely
+/// unwritten (all-zero) subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeKey(pub u64);
+
+impl NodeKey {
+    /// The null key: an absent subtree (reads as zeros).
+    pub const NULL: NodeKey = NodeKey(0);
+
+    /// Whether this key is the null subtree.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for BlobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blob{}", self.0)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Where a chunk's replicas live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkDesc {
+    /// The stored chunk.
+    pub id: ChunkId,
+    /// Provider nodes holding a replica, in allocation order.
+    pub replicas: Vec<NodeId>,
+}
+
+/// A metadata segment-tree node (Fig. 3 of the paper).
+///
+/// Geometry is implicit: the root covers chunk indices `0..span` and each
+/// inner node splits its range in half, so nodes store only child links.
+/// Children may belong to trees of *other* snapshots or other blobs —
+/// that is exactly the sharing that shadowing and cloning exploit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Interior node with two children (either may be NULL).
+    Inner {
+        /// Left child: first half of the covered chunk range.
+        left: NodeKey,
+        /// Right child: second half.
+        right: NodeKey,
+    },
+    /// Leaf covering exactly one chunk.
+    Leaf {
+        /// The chunk written at this index.
+        chunk: ChunkDesc,
+    },
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BlobConfig {
+    /// Chunk (stripe) size in bytes. Paper: 256 KB.
+    pub chunk_size: u64,
+    /// Number of replicas per chunk. Paper's headline runs: 1.
+    pub replication: usize,
+    /// Providers acknowledge writes after the page cache absorbs them
+    /// (§5.3: "BlobSeer uses an asynchronous write strategy that returns
+    /// to the client before data was committed to disk").
+    pub async_writes: bool,
+    /// Whether providers serve repeat chunk reads from memory (the host
+    /// page cache) rather than re-reading the disk.
+    pub provider_read_cache: bool,
+    /// Serialized size of one metadata tree node, for RPC costing.
+    pub node_bytes: u64,
+    /// Size of a small control message, for RPC costing.
+    pub control_bytes: u64,
+}
+
+impl Default for BlobConfig {
+    fn default() -> Self {
+        Self {
+            chunk_size: 256 << 10,
+            replication: 1,
+            async_writes: true,
+            provider_read_cache: true,
+            node_bytes: 96,
+            control_bytes: 64,
+        }
+    }
+}
+
+/// Placement of the service's roles onto cluster nodes.
+///
+/// In the paper's deployment the providers and metadata servers run on all
+/// compute nodes (aggregating their local disks into the common pool,
+/// §3.1.1), while the version manager and provider manager are single
+/// logical services.
+#[derive(Debug, Clone)]
+pub struct BlobTopology {
+    /// Node hosting the version manager.
+    pub vmanager: NodeId,
+    /// Node hosting the provider manager.
+    pub pmanager: NodeId,
+    /// Metadata server nodes (tree nodes are hash-partitioned over them).
+    pub metadata: Vec<NodeId>,
+    /// Chunk provider nodes.
+    pub providers: Vec<NodeId>,
+}
+
+impl BlobTopology {
+    /// The paper's co-located deployment: every compute node is both a
+    /// provider and a metadata server; managers sit on `service_node`.
+    pub fn colocated(compute_nodes: &[NodeId], service_node: NodeId) -> Self {
+        Self {
+            vmanager: service_node,
+            pmanager: service_node,
+            metadata: compute_nodes.to_vec(),
+            providers: compute_nodes.to_vec(),
+        }
+    }
+}
+
+/// Errors returned by the storage service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobError {
+    /// Unknown blob.
+    NoSuchBlob(BlobId),
+    /// Unknown version for a known blob.
+    NoSuchVersion(BlobId, Version),
+    /// Optimistic-concurrency conflict: the base version was no longer
+    /// the latest when publishing.
+    Conflict {
+        /// Blob being written.
+        blob: BlobId,
+        /// The version the writer based its update on.
+        base: Version,
+        /// The latest version at publish time.
+        latest: Version,
+    },
+    /// Access beyond the blob size.
+    OutOfBounds {
+        /// Requested range start.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Blob size.
+        size: u64,
+    },
+    /// A chunk could not be served by any replica.
+    ChunkUnavailable(ChunkId),
+    /// Metadata inconsistency (missing tree node) — indicates a bug or a
+    /// failed metadata server.
+    MetadataMissing(NodeKey),
+    /// Transport-level failure.
+    Net(NetError),
+    /// Invalid argument.
+    BadInput(&'static str),
+}
+
+impl From<NetError> for BlobError {
+    fn from(e: NetError) -> Self {
+        BlobError::Net(e)
+    }
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::NoSuchBlob(b) => write!(f, "{b} does not exist"),
+            BlobError::NoSuchVersion(b, v) => write!(f, "{b} has no snapshot {v}"),
+            BlobError::Conflict { blob, base, latest } => {
+                write!(f, "write to {blob} based on {base} conflicts with latest {latest}")
+            }
+            BlobError::OutOfBounds { offset, len, size } => {
+                write!(f, "access {offset}+{len} beyond blob size {size}")
+            }
+            BlobError::ChunkUnavailable(c) => write!(f, "chunk {c:?} unavailable on all replicas"),
+            BlobError::MetadataMissing(k) => write!(f, "metadata node {k:?} missing"),
+            BlobError::Net(e) => write!(f, "network: {e}"),
+            BlobError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BlobError {}
+
+/// Result alias for service operations.
+pub type BlobResult<T> = Result<T, BlobError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_key_identity() {
+        assert!(NodeKey::NULL.is_null());
+        assert!(!NodeKey(1).is_null());
+    }
+
+    #[test]
+    fn colocated_topology() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let t = BlobTopology::colocated(&nodes, NodeId(9));
+        assert_eq!(t.vmanager, NodeId(9));
+        assert_eq!(t.providers.len(), 4);
+        assert_eq!(t.metadata.len(), 4);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = BlobError::Conflict { blob: BlobId(1), base: Version(2), latest: Version(3) };
+        assert!(e.to_string().contains("conflicts"));
+    }
+}

@@ -1,0 +1,665 @@
+//! The BlobSeer client: the protocol logic executed by compute nodes.
+//!
+//! Reads descend the distributed segment tree (batched per level, cached
+//! locally — tree nodes are immutable, so caching is trivially coherent)
+//! and then fetch the covered chunks *in parallel* from their providers,
+//! which is what distributes the I/O workload under the multideployment
+//! pattern (§3.1.3). Writes allocate providers round-robin, push chunks in
+//! parallel, shadow the metadata tree, and publish the new snapshot at the
+//! version manager.
+
+use crate::api::{
+    BlobConfig, BlobError, BlobId, BlobResult, ChunkDesc, NodeKey, TreeNode, Version,
+};
+use crate::meta::partition_of;
+use crate::segtree::{self, NodeIo};
+use crate::service::BlobStore;
+use bff_data::{chunk_cover, chunk_range, intersect, Payload};
+use bff_net::{NetError, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Cached per-(blob, version) metadata.
+#[derive(Debug, Clone, Copy)]
+struct VersionMeta {
+    root: NodeKey,
+    size: u64,
+    chunk_size: u64,
+    span: u64,
+}
+
+/// A client handle bound to one cluster node.
+#[derive(Clone)]
+pub struct Client {
+    store: Arc<BlobStore>,
+    node: NodeId,
+    version_cache: Arc<Mutex<HashMap<(BlobId, Version), VersionMeta>>>,
+    node_cache: Arc<Mutex<HashMap<NodeKey, TreeNode>>>,
+}
+
+impl Client {
+    /// Create a client for the process running on `node`.
+    pub fn new(store: Arc<BlobStore>, node: NodeId) -> Self {
+        Self {
+            store,
+            node,
+            version_cache: Arc::new(Mutex::new(HashMap::new())),
+            node_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The service this client talks to.
+    pub fn store(&self) -> &Arc<BlobStore> {
+        &self.store
+    }
+
+    fn cfg(&self) -> &BlobConfig {
+        self.store.config()
+    }
+
+    /// Create an empty blob of `size` bytes (chunk size from config).
+    pub fn create_blob(&self, size: u64) -> BlobResult<BlobId> {
+        let cs = self.cfg().chunk_size;
+        self.control_rpc(self.store.topo.vmanager)?;
+        self.store.vmanager.lock().create_blob(size, cs)
+    }
+
+    /// CLONE: a new first-class blob sharing all content with
+    /// `(src, version)` (§3.1.4).
+    pub fn clone_blob(&self, src: BlobId, version: Version) -> BlobResult<BlobId> {
+        self.control_rpc(self.store.topo.vmanager)?;
+        self.store.vmanager.lock().clone_blob(src, version)
+    }
+
+    /// Latest published version of a blob.
+    pub fn latest_version(&self, blob: BlobId) -> BlobResult<Version> {
+        self.control_rpc(self.store.topo.vmanager)?;
+        Ok(self.store.vmanager.lock().meta(blob)?.latest())
+    }
+
+    /// Blob logical size.
+    pub fn blob_size(&self, blob: BlobId) -> BlobResult<u64> {
+        self.control_rpc(self.store.topo.vmanager)?;
+        Ok(self.store.vmanager.lock().meta(blob)?.size)
+    }
+
+    fn control_rpc(&self, to: NodeId) -> Result<(), NetError> {
+        let c = self.cfg().control_bytes;
+        self.store.fabric.rpc(self.node, to, c, c)
+    }
+
+    fn version_meta(&self, blob: BlobId, version: Version) -> BlobResult<VersionMeta> {
+        if let Some(m) = self.version_cache.lock().get(&(blob, version)) {
+            return Ok(*m);
+        }
+        self.control_rpc(self.store.topo.vmanager)?;
+        let m = {
+            let vm = self.store.vmanager.lock();
+            let meta = vm.meta(blob)?;
+            let root = meta
+                .root(version)
+                .ok_or(BlobError::NoSuchVersion(blob, version))?;
+            VersionMeta { root, size: meta.size, chunk_size: meta.chunk_size, span: meta.span }
+        };
+        self.version_cache.lock().insert((blob, version), m);
+        Ok(m)
+    }
+
+    /// Read `range` of `(blob, version)`. Unwritten regions read as
+    /// zeros. Chunks are fetched in parallel from their providers, with
+    /// replica failover.
+    pub fn read(&self, blob: BlobId, version: Version, range: Range<u64>) -> BlobResult<Payload> {
+        let meta = self.version_meta(blob, version)?;
+        if range.start > range.end || range.end > meta.size {
+            return Err(BlobError::OutOfBounds {
+                offset: range.start,
+                len: range.end.saturating_sub(range.start),
+                size: meta.size,
+            });
+        }
+        if range.start == range.end {
+            return Ok(Payload::empty());
+        }
+        let cover = chunk_cover(&range, meta.chunk_size);
+        let leaves = {
+            let mut io = ClientNodeIo { client: self };
+            segtree::collect_leaves(&mut io, meta.root, meta.span, &cover)?
+        };
+        // Parallel chunk fetch.
+        let by_index: HashMap<u64, ChunkDesc> = leaves.into_iter().collect();
+        let mut fetch: Vec<(u64, ChunkDesc, u64)> = Vec::new(); // (idx, desc, len)
+        for idx in cover.clone() {
+            if let Some(desc) = by_index.get(&idx) {
+                let cr = chunk_range(idx, meta.chunk_size, meta.size);
+                fetch.push((idx, desc.clone(), cr.end - cr.start));
+            }
+        }
+        let results: Arc<Mutex<Vec<Option<BlobResult<Payload>>>>> =
+            Arc::new(Mutex::new(vec![None; fetch.len()]));
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = fetch
+            .iter()
+            .enumerate()
+            .map(|(slot, (_, desc, len))| {
+                let store = Arc::clone(&self.store);
+                let results = Arc::clone(&results);
+                let desc = desc.clone();
+                let (me, len) = (self.node, *len);
+                Box::new(move || {
+                    let r = fetch_chunk(&store, me, &desc, len);
+                    results.lock()[slot] = Some(r);
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.store.fabric.par_join(tasks);
+
+        // Assemble, zero-filling unwritten chunks.
+        let fetched = Arc::try_unwrap(results)
+            .unwrap_or_else(|a| Mutex::new(a.lock().clone()))
+            .into_inner();
+        let mut by_idx_payload: HashMap<u64, Payload> = HashMap::with_capacity(fetch.len());
+        for ((idx, _, _), res) in fetch.iter().zip(fetched) {
+            let payload = res.expect("task ran")?;
+            by_idx_payload.insert(*idx, payload);
+        }
+        let mut out = Payload::empty();
+        for idx in cover {
+            let cr = chunk_range(idx, meta.chunk_size, meta.size);
+            let want = intersect(&cr, &range);
+            if want.start >= want.end {
+                continue;
+            }
+            match by_idx_payload.get(&idx) {
+                Some(p) => {
+                    debug_assert_eq!(p.len(), cr.end - cr.start, "stored chunk length");
+                    out.append(p.slice(want.start - cr.start, want.end - cr.start));
+                }
+                None => out.append(Payload::zeros(want.end - want.start)),
+            }
+        }
+        debug_assert_eq!(out.len(), range.end - range.start);
+        Ok(out)
+    }
+
+    /// Write `data` at `offset` on top of `(blob, base)` and publish the
+    /// result as the next snapshot. Partially covered chunks are
+    /// read-modify-written against the base version.
+    pub fn write(
+        &self,
+        blob: BlobId,
+        base: Version,
+        offset: u64,
+        data: Payload,
+    ) -> BlobResult<Version> {
+        let meta = self.version_meta(blob, base)?;
+        let len = data.len();
+        if offset + len > meta.size {
+            return Err(BlobError::OutOfBounds { offset, len, size: meta.size });
+        }
+        if len == 0 {
+            return Err(BlobError::BadInput("empty write"));
+        }
+        let range = offset..offset + len;
+        let cover = chunk_cover(&range, meta.chunk_size);
+        let mut updates: Vec<(u64, Payload)> = Vec::with_capacity((cover.end - cover.start) as usize);
+        for idx in cover {
+            let cr = chunk_range(idx, meta.chunk_size, meta.size);
+            let part = intersect(&cr, &range);
+            let piece = data.slice(part.start - offset, part.end - offset);
+            let full = if part == cr {
+                piece
+            } else {
+                // Read-modify-write against the base snapshot.
+                let old = self.read(blob, base, cr.clone())?;
+                old.overwrite(part.start - cr.start, piece)
+            };
+            updates.push((idx, full));
+        }
+        self.write_chunks(blob, base, updates)
+    }
+
+    /// Publish a snapshot from whole-chunk updates (the COMMIT fast path:
+    /// the mirroring module gap-fills chunks locally, so every modified
+    /// chunk arrives complete). `updates` maps chunk index → full chunk
+    /// payload.
+    pub fn write_chunks(
+        &self,
+        blob: BlobId,
+        base: Version,
+        updates: Vec<(u64, Payload)>,
+    ) -> BlobResult<Version> {
+        let meta = self.version_meta(blob, base)?;
+        if updates.is_empty() {
+            return Err(BlobError::BadInput("empty update set"));
+        }
+        for (idx, data) in &updates {
+            let cr = chunk_range(*idx, meta.chunk_size, meta.size);
+            if data.len() != cr.end - cr.start {
+                return Err(BlobError::BadInput("update is not a full chunk"));
+            }
+        }
+
+        // 1. Allocate chunk ids + providers (one provider-manager RPC).
+        let n = updates.len();
+        let c = self.cfg().control_bytes;
+        self.store
+            .fabric
+            .rpc(self.node, self.store.topo.pmanager, c, c + 24 * n as u64)?;
+        let descs = {
+            let mut pm = self.store.pmanager.lock();
+            pm.allocate(n, meta.chunk_size, self.cfg().replication)?
+        };
+
+        // 2. Push chunk data to providers, all chunks in parallel,
+        //    replicas in sequence (chain replication would be equivalent
+        //    under the fluid model).
+        let errors: Arc<Mutex<Vec<BlobError>>> = Arc::new(Mutex::new(Vec::new()));
+        let async_writes = self.cfg().async_writes;
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = updates
+            .iter()
+            .zip(&descs)
+            .map(|((_, data), desc)| {
+                let store = Arc::clone(&self.store);
+                let errors = Arc::clone(&errors);
+                let (desc, data, me) = (desc.clone(), data.clone(), self.node);
+                Box::new(move || {
+                    if let Err(e) = put_chunk(&store, me, &desc, data, async_writes) {
+                        errors.lock().push(e);
+                    }
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.store.fabric.par_join(tasks);
+        if let Some(e) = errors.lock().first() {
+            return Err(e.clone());
+        }
+
+        // 3. Shadow the metadata tree.
+        let update_map: HashMap<u64, ChunkDesc> = updates
+            .iter()
+            .map(|(i, _)| *i)
+            .zip(descs.iter().cloned())
+            .collect();
+        let new_root = {
+            let mut io = ClientNodeIo { client: self };
+            segtree::build_new_tree(&mut io, meta.root, meta.span, &update_map)?
+        };
+
+        // 4. Publish at the version manager (the total-order point).
+        self.control_rpc(self.store.topo.vmanager)?;
+        let v = self.store.vmanager.lock().publish(blob, base, new_root)?;
+        self.version_cache.lock().insert(
+            (blob, v),
+            VersionMeta { root: new_root, ..meta },
+        );
+        Ok(v)
+    }
+
+    /// Convenience: create a blob and publish `data` as `Version(1)` — the
+    /// "upload image to the repository" client operation from Fig. 1.
+    pub fn upload(&self, data: Payload) -> BlobResult<(BlobId, Version)> {
+        let blob = self.create_blob(data.len())?;
+        let v = self.write(blob, Version(0), 0, data)?;
+        Ok((blob, v))
+    }
+}
+
+/// Fetch one chunk with replica failover. The preferred replica is spread
+/// by chunk id and reader so concurrent readers don't gang up on one copy.
+fn fetch_chunk(
+    store: &Arc<BlobStore>,
+    me: NodeId,
+    desc: &ChunkDesc,
+    len: u64,
+) -> BlobResult<Payload> {
+    let k = desc.replicas.len();
+    debug_assert!(k > 0);
+    let start = (desc.id.0 as usize + me.index()) % k;
+    let mut last: BlobError = BlobError::ChunkUnavailable(desc.id);
+    for i in 0..k {
+        let prov = desc.replicas[(start + i) % k];
+        if store.fabric.is_down(prov) {
+            last = BlobError::Net(NetError::NodeDown(prov));
+            continue;
+        }
+        let got = {
+            let Some(provider) = store.providers.get(&prov) else {
+                last = BlobError::ChunkUnavailable(desc.id);
+                continue;
+            };
+            provider.lock().get(desc.id)
+        };
+        let Some((data, hot)) = got else {
+            last = BlobError::ChunkUnavailable(desc.id);
+            continue;
+        };
+        let serve = || -> Result<(), NetError> {
+            if !hot || !store.config().provider_read_cache {
+                store.fabric.disk_read(prov, len)?;
+            }
+            store.fabric.transfer(prov, me, len)
+        };
+        match serve() {
+            Ok(()) => {
+                debug_assert_eq!(data.len(), len);
+                return Ok(data);
+            }
+            Err(e) => last = BlobError::Net(e),
+        }
+    }
+    Err(last)
+}
+
+/// Push one chunk to all its replicas.
+fn put_chunk(
+    store: &Arc<BlobStore>,
+    me: NodeId,
+    desc: &ChunkDesc,
+    data: Payload,
+    async_writes: bool,
+) -> BlobResult<()> {
+    let len = data.len();
+    for &prov in &desc.replicas {
+        store.fabric.transfer(me, prov, len)?;
+        store
+            .providers
+            .get(&prov)
+            .ok_or(BlobError::ChunkUnavailable(desc.id))?
+            .lock()
+            .put(desc.id, data.clone());
+        if async_writes {
+            store.fabric.disk_write_cached(prov, len)?;
+        } else {
+            store.fabric.disk_write(prov, len)?;
+        }
+    }
+    Ok(())
+}
+
+/// Metadata I/O with client-side caching and per-shard batched RPCs.
+struct ClientNodeIo<'a> {
+    client: &'a Client,
+}
+
+impl ClientNodeIo<'_> {
+    fn shard_count(&self) -> usize {
+        self.client.store.meta.len()
+    }
+}
+
+impl NodeIo for ClientNodeIo<'_> {
+    fn fetch(&mut self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>> {
+        let store = &self.client.store;
+        let mut out: Vec<Option<TreeNode>> = vec![None; keys.len()];
+        // Serve from the client cache first (nodes are immutable).
+        let mut misses: Vec<(usize, NodeKey)> = Vec::new();
+        {
+            let cache = self.client.node_cache.lock();
+            for (i, k) in keys.iter().enumerate() {
+                match cache.get(k) {
+                    Some(n) => out[i] = Some(n.clone()),
+                    None => misses.push((i, *k)),
+                }
+            }
+        }
+        // Group misses by shard; one RPC per shard (the "one metadata
+        // round per level" batching).
+        let mut by_shard: HashMap<usize, Vec<(usize, NodeKey)>> = HashMap::new();
+        for (i, k) in misses {
+            by_shard.entry(partition_of(k, self.shard_count())).or_default().push((i, k));
+        }
+        let mut shards: Vec<usize> = by_shard.keys().copied().collect();
+        shards.sort_unstable(); // deterministic RPC order
+        for shard in shards {
+            let group = &by_shard[&shard];
+            let server = store.topo.metadata[shard];
+            let cfg = store.config();
+            store.fabric.rpc(
+                self.client.node,
+                server,
+                cfg.control_bytes + 8 * group.len() as u64,
+                cfg.node_bytes * group.len() as u64,
+            )?;
+            let part = store.meta[shard].lock();
+            for (i, k) in group {
+                let node = part.get(*k)?;
+                out[*i] = Some(node);
+            }
+        }
+        // Fill cache.
+        {
+            let mut cache = self.client.node_cache.lock();
+            for (i, k) in keys.iter().enumerate() {
+                if let Some(n) = &out[i] {
+                    cache.entry(*k).or_insert_with(|| n.clone());
+                }
+            }
+        }
+        Ok(out.into_iter().map(|o| o.expect("filled")).collect())
+    }
+
+    fn reserve(&mut self, n: u64) -> BlobResult<Range<u64>> {
+        let store = &self.client.store;
+        let c = store.config().control_bytes;
+        store.fabric.rpc(self.client.node, store.topo.vmanager, c, c)?;
+        Ok(store.vmanager.lock().reserve_keys(n))
+    }
+
+    fn store(&mut self, nodes: Vec<(NodeKey, TreeNode)>) -> BlobResult<()> {
+        let store = &self.client.store;
+        let mut by_shard: HashMap<usize, Vec<(NodeKey, TreeNode)>> = HashMap::new();
+        for (k, n) in &nodes {
+            by_shard
+                .entry(partition_of(*k, self.shard_count()))
+                .or_default()
+                .push((*k, n.clone()));
+        }
+        let mut shards: Vec<usize> = by_shard.keys().copied().collect();
+        shards.sort_unstable();
+        for shard in shards {
+            let group = by_shard.remove(&shard).expect("present");
+            let server = store.topo.metadata[shard];
+            let cfg = store.config();
+            store.fabric.rpc(
+                self.client.node,
+                server,
+                cfg.node_bytes * group.len() as u64,
+                cfg.control_bytes,
+            )?;
+            store.meta[shard].lock().put(group);
+        }
+        // New nodes are immediately cacheable.
+        let mut cache = self.client.node_cache.lock();
+        for (k, n) in nodes {
+            cache.insert(k, n);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::BlobTopology;
+    use bff_net::{Fabric, LocalFabric};
+
+    fn setup(nodes: u32) -> (Arc<LocalFabric>, Client) {
+        let fabric = LocalFabric::new(nodes as usize + 1);
+        let compute: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(nodes));
+        let cfg = BlobConfig { chunk_size: 128, ..Default::default() };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        let client = Client::new(store, NodeId(0));
+        (fabric, client)
+    }
+
+    #[test]
+    fn upload_then_read_back() {
+        let (_f, client) = setup(4);
+        let data = Payload::synth(1, 0, 1000);
+        let (blob, v) = client.upload(data.clone()).unwrap();
+        assert_eq!(v, Version(1));
+        let got = client.read(blob, v, 0..1000).unwrap();
+        assert!(got.content_eq(&data));
+        // Sub-range reads.
+        let got = client.read(blob, v, 100..300).unwrap();
+        assert!(got.content_eq(&data.slice(100, 300)));
+    }
+
+    #[test]
+    fn empty_blob_reads_zeros() {
+        let (_f, client) = setup(2);
+        let blob = client.create_blob(500).unwrap();
+        let got = client.read(blob, Version(0), 0..500).unwrap();
+        assert!(got.content_eq(&Payload::zeros(500)));
+    }
+
+    #[test]
+    fn unaligned_write_read_modify_writes() {
+        let (_f, client) = setup(4);
+        let base = Payload::synth(2, 0, 1000);
+        let (blob, v1) = client.upload(base.clone()).unwrap();
+        // Overwrite 50..200 (chunk size 128: spans chunks 0 and 1).
+        let patch = Payload::from(vec![0xABu8; 150]);
+        let v2 = client.write(blob, v1, 50, patch.clone()).unwrap();
+        assert_eq!(v2, Version(2));
+        let got = client.read(blob, v2, 0..1000).unwrap();
+        let expect = base.overwrite(50, patch);
+        assert!(got.content_eq(&expect));
+        // v1 still reads the original (shadowing).
+        let got1 = client.read(blob, v1, 0..1000).unwrap();
+        assert!(got1.content_eq(&base));
+    }
+
+    #[test]
+    fn snapshots_are_totally_ordered_and_immutable() {
+        let (_f, client) = setup(3);
+        let (blob, v1) = client.upload(Payload::zeros(512)).unwrap();
+        let mut versions = vec![v1];
+        let mut expect = vec![Payload::zeros(512)];
+        for i in 0..4u64 {
+            let patch = Payload::synth(100 + i, 0, 64);
+            let base = *versions.last().expect("non-empty");
+            let v = client.write(blob, base, i * 128, patch.clone()).unwrap();
+            versions.push(v);
+            let prev = expect.last().expect("non-empty").clone();
+            expect.push(prev.overwrite(i * 128, patch));
+        }
+        for (v, e) in versions.iter().zip(&expect) {
+            let got = client.read(blob, *v, 0..512).unwrap();
+            assert!(got.content_eq(e), "version {v} mismatch");
+        }
+    }
+
+    #[test]
+    fn conflicting_write_rejected() {
+        let (_f, client) = setup(2);
+        let (blob, v1) = client.upload(Payload::zeros(256)).unwrap();
+        client.write(blob, v1, 0, Payload::from(vec![1u8; 10])).unwrap();
+        let err = client.write(blob, v1, 0, Payload::from(vec![2u8; 10])).unwrap_err();
+        assert!(matches!(err, BlobError::Conflict { .. }));
+    }
+
+    #[test]
+    fn clone_is_independent_and_cheap() {
+        let (_f, client) = setup(4);
+        let base = Payload::synth(5, 0, 1024);
+        let (a, va) = client.upload(base.clone()).unwrap();
+        let chunks_before = client.store().total_chunks();
+        let b = client.clone_blob(a, va).unwrap();
+        assert_eq!(
+            client.store().total_chunks(),
+            chunks_before,
+            "CLONE stores no chunk data"
+        );
+        // Clone reads identical content.
+        let got = client.read(b, Version(1), 0..1024).unwrap();
+        assert!(got.content_eq(&base));
+        // Diverge the clone; origin unchanged.
+        let vb = client.write(b, Version(1), 0, Payload::from(vec![9u8; 100])).unwrap();
+        let got_a = client.read(a, va, 0..1024).unwrap();
+        assert!(got_a.content_eq(&base));
+        let got_b = client.read(b, vb, 0..100).unwrap();
+        assert!(got_b.content_eq(&Payload::from(vec![9u8; 100])));
+    }
+
+    #[test]
+    fn commit_stores_only_differences() {
+        let (_f, client) = setup(4);
+        let image = Payload::synth(6, 0, 4096); // 32 chunks of 128
+        let (a, va) = client.upload(image).unwrap();
+        let bytes_initial = client.store().total_stored_bytes();
+        assert_eq!(bytes_initial, 4096);
+        let b = client.clone_blob(a, va).unwrap();
+        // Dirty one chunk.
+        client
+            .write_chunks(b, Version(1), vec![(3, Payload::synth(7, 0, 128))])
+            .unwrap();
+        let bytes_after = client.store().total_stored_bytes();
+        assert_eq!(bytes_after - bytes_initial, 128, "one chunk of new data only");
+    }
+
+    #[test]
+    fn replication_survives_provider_failure() {
+        let fabric = LocalFabric::new(5);
+        let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(4));
+        let cfg = BlobConfig { chunk_size: 128, replication: 2, ..Default::default() };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        let client = Client::new(store, NodeId(0));
+        let data = Payload::synth(8, 0, 1024);
+        let (blob, v) = client.upload(data.clone()).unwrap();
+        // Kill one provider; all chunks must still be readable.
+        fabric.fail_node(NodeId(2));
+        let got = client.read(blob, v, 0..1024).unwrap();
+        assert!(got.content_eq(&data));
+    }
+
+    #[test]
+    fn unreplicated_chunk_lost_on_failure() {
+        let fabric = LocalFabric::new(3);
+        let compute: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(2));
+        let cfg = BlobConfig { chunk_size: 128, replication: 1, ..Default::default() };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        let client = Client::new(store, NodeId(0));
+        let (blob, v) = client.upload(Payload::synth(9, 0, 512)).unwrap();
+        fabric.fail_node(NodeId(1));
+        let err = client.read(blob, v, 0..512).unwrap_err();
+        assert!(matches!(err, BlobError::Net(NetError::NodeDown(_))));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (_f, client) = setup(2);
+        let (blob, v) = client.upload(Payload::zeros(100)).unwrap();
+        assert!(matches!(
+            client.read(blob, v, 50..200),
+            Err(BlobError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            client.write(blob, v, 90, Payload::zeros(20)),
+            Err(BlobError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_nodes_shared_across_snapshots() {
+        let (_f, client) = setup(4);
+        // 8 chunks; snapshot twice touching one chunk each time.
+        let (blob, v1) = client.upload(Payload::synth(10, 0, 1024)).unwrap();
+        let nodes_v1 = client.store().total_metadata_nodes();
+        client
+            .write_chunks(blob, v1, vec![(0, Payload::synth(11, 0, 128))])
+            .unwrap();
+        let added = client.store().total_metadata_nodes() - nodes_v1;
+        // span 8 -> depth 4 path (leaf + 2 inners + root).
+        assert_eq!(added, 4, "path copy only: {added} nodes added");
+    }
+}

@@ -1,0 +1,41 @@
+//! # bff-blobseer
+//!
+//! A from-scratch reimplementation of the BlobSeer versioning storage
+//! service (Nicolae et al. [23, 24] in the paper), the substrate under the
+//! paper's virtual file system:
+//!
+//! * **Striping** — blobs are split into fixed-size chunks distributed
+//!   round-robin over provider nodes, giving parallel access under
+//!   concurrency (§3.1.3).
+//! * **Shadowing** — every write publishes a new snapshot version whose
+//!   metadata segment tree shares all unmodified nodes with its base
+//!   (Fig. 3); snapshots are first-class, immutable, totally ordered.
+//! * **Cloning** — the paper's extension to BlobSeer: a clone is a new
+//!   blob whose first version references the source tree, sharing all
+//!   chunks and metadata (Fig. 3b) at O(1) cost.
+//! * **Asynchronous writes** — providers acknowledge once the page cache
+//!   absorbs the data (§5.3), with the write-back pressure modelled by
+//!   the fabric.
+//!
+//! Architecture: a [`service::BlobStore`] holds passive server state
+//! machines (version manager, provider manager, metadata shards, chunk
+//! providers); [`client::Client`] executes the protocol and charges every
+//! message/disk access to a [`bff_net::Fabric`], so the identical code
+//! runs in-process (real bytes) and on the simulator (virtual time).
+
+pub mod api;
+pub mod client;
+pub mod meta;
+pub mod pmanager;
+pub mod provider;
+pub mod segtree;
+pub mod service;
+pub mod vmanager;
+
+pub use api::{
+    BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey,
+    TreeNode, Version,
+};
+pub use client::Client;
+pub use pmanager::Placement;
+pub use service::BlobStore;

@@ -1,0 +1,93 @@
+//! Distributed metadata storage: segment-tree nodes hash-partitioned
+//! across metadata servers (BlobSeer's DHT-backed metadata, §4.1).
+//!
+//! Nodes are immutable once written (shadowing never updates in place),
+//! which is what makes aggressive client-side caching of tree nodes safe.
+
+use crate::api::{BlobError, BlobResult, NodeKey, TreeNode};
+use std::collections::HashMap;
+
+/// One metadata server's shard.
+#[derive(Debug, Default)]
+pub struct MetaPartition {
+    nodes: HashMap<NodeKey, TreeNode>,
+}
+
+impl MetaPartition {
+    /// Empty shard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store nodes. Keys are write-once; double inserts must carry
+    /// identical content (idempotent retry).
+    pub fn put(&mut self, entries: impl IntoIterator<Item = (NodeKey, TreeNode)>) {
+        for (k, v) in entries {
+            debug_assert!(!k.is_null(), "NULL key is never stored");
+            if let Some(prev) = self.nodes.get(&k) {
+                debug_assert_eq!(prev, &v, "metadata nodes are immutable");
+            }
+            self.nodes.insert(k, v);
+        }
+    }
+
+    /// Fetch one node.
+    pub fn get(&self, key: NodeKey) -> BlobResult<TreeNode> {
+        self.nodes
+            .get(&key)
+            .cloned()
+            .ok_or(BlobError::MetadataMissing(key))
+    }
+
+    /// Number of nodes stored (metadata-overhead accounting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// The shard index a node key lives on, out of `partitions`.
+///
+/// Keys are sequential counters, so a multiplicative hash spreads
+/// consecutive keys across shards (Fibonacci hashing).
+#[inline]
+pub fn partition_of(key: NodeKey, partitions: usize) -> usize {
+    debug_assert!(partitions > 0);
+    let h = key.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (h >> 32) as usize % partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut m = MetaPartition::new();
+        let n = TreeNode::Inner { left: NodeKey(1), right: NodeKey::NULL };
+        m.put([(NodeKey(5), n.clone())]);
+        assert_eq!(m.get(NodeKey(5)).unwrap(), n);
+        assert!(matches!(m.get(NodeKey(6)), Err(BlobError::MetadataMissing(_))));
+    }
+
+    #[test]
+    fn partitioning_is_stable_and_spread() {
+        let parts = 8;
+        let a = partition_of(NodeKey(42), parts);
+        assert_eq!(a, partition_of(NodeKey(42), parts));
+        // Consecutive keys should not all land on one shard.
+        let mut seen = std::collections::HashSet::new();
+        for k in 1..100u64 {
+            seen.insert(partition_of(NodeKey(k), parts));
+        }
+        assert!(seen.len() >= parts / 2, "poor spread: {seen:?}");
+    }
+
+    #[test]
+    fn idempotent_puts_allowed() {
+        let mut m = MetaPartition::new();
+        let n = TreeNode::Inner { left: NodeKey(1), right: NodeKey(2) };
+        m.put([(NodeKey(5), n.clone())]);
+        m.put([(NodeKey(5), n)]);
+        assert_eq!(m.node_count(), 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! Versioned segment-tree algorithms (the paper's Fig. 3).
+//!
+//! The metadata of a blob snapshot is a binary tree over the chunk-index
+//! space `0..span` (`span` = smallest power of two ≥ chunk count). Leaves
+//! carry chunk descriptors; inner nodes carry child links that may point
+//! into trees of *earlier snapshots or other blobs*. A write produces new
+//! nodes only along the paths to modified leaves (shadowing); everything
+//! else is shared. A clone shares the entire tree.
+//!
+//! The algorithms here are pure: they speak to storage through the
+//! [`NodeIo`] trait, whose batched calls the client maps onto
+//! metadata-server RPCs (one round per tree level, grouped by server, the
+//! way BlobSeer parallelizes its distributed segment trees).
+
+use crate::api::{BlobError, BlobResult, ChunkDesc, NodeKey, TreeNode};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Batched metadata node I/O.
+pub trait NodeIo {
+    /// Fetch the given nodes (one metadata round per call). Missing keys
+    /// must yield `BlobError::MetadataMissing`.
+    fn fetch(&mut self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>>;
+    /// Reserve `n` fresh node keys.
+    fn reserve(&mut self, n: u64) -> BlobResult<Range<u64>>;
+    /// Persist new nodes (one metadata round per call).
+    fn store(&mut self, nodes: Vec<(NodeKey, TreeNode)>) -> BlobResult<()>;
+}
+
+/// Smallest power of two ≥ `chunks` (≥ 1).
+pub fn span_for(chunks: u64) -> u64 {
+    chunks.max(1).next_power_of_two()
+}
+
+/// Walk the tree of `root` and collect the leaf chunk descriptors for
+/// chunk indices in `want` (clamped to `0..span`). Indices without a leaf
+/// (NULL subtrees) are simply absent from the result — they read as zeros.
+///
+/// Fetches proceed level by level so that each level costs one metadata
+/// round regardless of width.
+pub fn collect_leaves(
+    io: &mut dyn NodeIo,
+    root: NodeKey,
+    span: u64,
+    want: &Range<u64>,
+) -> BlobResult<Vec<(u64, ChunkDesc)>> {
+    let mut out = Vec::new();
+    if root.is_null() || want.start >= want.end {
+        return Ok(out);
+    }
+    // Frontier of (key, node_range).
+    let mut frontier: Vec<(NodeKey, Range<u64>)> = vec![(root, 0..span)];
+    while !frontier.is_empty() {
+        let keys: Vec<NodeKey> = frontier.iter().map(|(k, _)| *k).collect();
+        let nodes = io.fetch(&keys)?;
+        let mut next = Vec::new();
+        for ((key, range), node) in frontier.into_iter().zip(nodes) {
+            let _ = key;
+            match node {
+                TreeNode::Leaf { chunk } => {
+                    debug_assert_eq!(range.end - range.start, 1, "leaf must cover one chunk");
+                    if want.contains(&range.start) {
+                        out.push((range.start, chunk));
+                    }
+                }
+                TreeNode::Inner { left, right } => {
+                    let mid = range.start + (range.end - range.start) / 2;
+                    if !left.is_null() && want.start < mid && range.start < want.end {
+                        next.push((left, range.start..mid));
+                    }
+                    if !right.is_null() && want.start < range.end && mid < want.end {
+                        next.push((right, mid..range.end));
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    out.sort_by_key(|(i, _)| *i);
+    Ok(out)
+}
+
+/// Build the tree for a new snapshot that applies `updates` (chunk index →
+/// descriptor) on top of the tree rooted at `old_root`. Returns the new
+/// root. Only nodes on paths to updated leaves are created; all other
+/// subtrees are shared with the old tree by reference (shadowing).
+pub fn build_new_tree(
+    io: &mut dyn NodeIo,
+    old_root: NodeKey,
+    span: u64,
+    updates: &HashMap<u64, ChunkDesc>,
+) -> BlobResult<NodeKey> {
+    if updates.is_empty() {
+        return Ok(old_root);
+    }
+    debug_assert!(updates.keys().all(|&i| i < span), "update beyond span");
+
+    // Phase 1: fetch the old nodes on paths to updated leaves, level by
+    // level, into a local cache.
+    let mut cache: HashMap<NodeKey, TreeNode> = HashMap::new();
+    if !old_root.is_null() {
+        let mut frontier: Vec<(NodeKey, Range<u64>)> = vec![(old_root, 0..span)];
+        while !frontier.is_empty() {
+            let keys: Vec<NodeKey> = frontier.iter().map(|(k, _)| *k).collect();
+            let nodes = io.fetch(&keys)?;
+            let mut next = Vec::new();
+            for ((key, range), node) in frontier.into_iter().zip(nodes) {
+                cache.insert(key, node.clone());
+                if let TreeNode::Inner { left, right } = node {
+                    let mid = range.start + (range.end - range.start) / 2;
+                    if !left.is_null() && touches(updates, &(range.start..mid)) {
+                        next.push((left, range.start..mid));
+                    }
+                    if !right.is_null() && touches(updates, &(mid..range.end)) {
+                        next.push((right, mid..range.end));
+                    }
+                }
+            }
+            frontier = next;
+        }
+    }
+
+    // Phase 2: count the nodes we will create so one reservation covers
+    // them, then build bottom-up locally.
+    let new_count = count_new_nodes(&cache, old_root, 0..span, updates);
+    let mut keys = io.reserve(new_count)?;
+    let mut created: Vec<(NodeKey, TreeNode)> = Vec::with_capacity(new_count as usize);
+    let root = build_rec(&cache, old_root, 0..span, updates, &mut keys, &mut created)?;
+    debug_assert_eq!(created.len() as u64, new_count);
+
+    // Phase 3: persist the new nodes, then hand back the root.
+    io.store(created)?;
+    Ok(root)
+}
+
+fn touches(updates: &HashMap<u64, ChunkDesc>, range: &Range<u64>) -> bool {
+    // Updates are sparse relative to spans only for huge trees; for the
+    // commit sizes in play a direct scan of the smaller side is fine.
+    if (range.end - range.start) < updates.len() as u64 {
+        (range.start..range.end).any(|i| updates.contains_key(&i))
+    } else {
+        updates.keys().any(|i| range.contains(i))
+    }
+}
+
+fn count_new_nodes(
+    cache: &HashMap<NodeKey, TreeNode>,
+    old: NodeKey,
+    range: Range<u64>,
+    updates: &HashMap<u64, ChunkDesc>,
+) -> u64 {
+    if !touches(updates, &range) {
+        return 0;
+    }
+    if range.end - range.start == 1 {
+        return 1;
+    }
+    let mid = range.start + (range.end - range.start) / 2;
+    let (ol, or) = match (!old.is_null()).then(|| cache.get(&old)).flatten() {
+        Some(TreeNode::Inner { left, right }) => (*left, *right),
+        _ => (NodeKey::NULL, NodeKey::NULL),
+    };
+    1 + count_new_nodes(cache, ol, range.start..mid, updates)
+        + count_new_nodes(cache, or, mid..range.end, updates)
+}
+
+fn build_rec(
+    cache: &HashMap<NodeKey, TreeNode>,
+    old: NodeKey,
+    range: Range<u64>,
+    updates: &HashMap<u64, ChunkDesc>,
+    keys: &mut Range<u64>,
+    created: &mut Vec<(NodeKey, TreeNode)>,
+) -> BlobResult<NodeKey> {
+    if !touches(updates, &range) {
+        // Untouched subtree: share the old one (possibly NULL).
+        return Ok(old);
+    }
+    let key = NodeKey(keys.next().expect("key reservation exhausted"));
+    if range.end - range.start == 1 {
+        let chunk = updates.get(&range.start).expect("touched leaf has update").clone();
+        created.push((key, TreeNode::Leaf { chunk }));
+        return Ok(key);
+    }
+    let mid = range.start + (range.end - range.start) / 2;
+    let (ol, or) = match (!old.is_null()).then(|| cache.get(&old)).flatten() {
+        Some(TreeNode::Inner { left, right }) => (*left, *right),
+        Some(TreeNode::Leaf { .. }) => {
+            return Err(BlobError::MetadataMissing(old));
+        }
+        None if !old.is_null() => return Err(BlobError::MetadataMissing(old)),
+        None => (NodeKey::NULL, NodeKey::NULL),
+    };
+    let left = build_rec(cache, ol, range.start..mid, updates, keys, created)?;
+    let right = build_rec(cache, or, mid..range.end, updates, keys, created)?;
+    created.push((key, TreeNode::Inner { left, right }));
+    Ok(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ChunkId;
+    use bff_net::NodeId;
+
+    /// In-memory NodeIo that also counts rounds (for batching assertions).
+    #[derive(Default)]
+    struct MemIo {
+        nodes: HashMap<NodeKey, TreeNode>,
+        next: u64,
+        fetch_rounds: usize,
+        stored: usize,
+    }
+
+    impl MemIo {
+        fn new() -> Self {
+            Self { next: 1, ..Default::default() }
+        }
+    }
+
+    impl NodeIo for MemIo {
+        fn fetch(&mut self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>> {
+            self.fetch_rounds += 1;
+            keys.iter()
+                .map(|k| self.nodes.get(k).cloned().ok_or(BlobError::MetadataMissing(*k)))
+                .collect()
+        }
+        fn reserve(&mut self, n: u64) -> BlobResult<Range<u64>> {
+            let start = self.next;
+            self.next += n;
+            Ok(start..self.next)
+        }
+        fn store(&mut self, nodes: Vec<(NodeKey, TreeNode)>) -> BlobResult<()> {
+            self.stored += nodes.len();
+            for (k, n) in nodes {
+                assert!(self.nodes.insert(k, n).is_none(), "node keys are immutable");
+            }
+            Ok(())
+        }
+    }
+
+    fn desc(i: u64) -> ChunkDesc {
+        ChunkDesc { id: ChunkId(1000 + i), replicas: vec![NodeId((i % 4) as u32)] }
+    }
+
+    fn updates(idx: &[u64]) -> HashMap<u64, ChunkDesc> {
+        idx.iter().map(|&i| (i, desc(i))).collect()
+    }
+
+    #[test]
+    fn span_is_next_pow2() {
+        assert_eq!(span_for(0), 1);
+        assert_eq!(span_for(1), 1);
+        assert_eq!(span_for(5), 8);
+        assert_eq!(span_for(8), 8);
+        assert_eq!(span_for(8192), 8192);
+    }
+
+    #[test]
+    fn empty_tree_reads_empty() {
+        let mut io = MemIo::new();
+        let leaves = collect_leaves(&mut io, NodeKey::NULL, 8, &(0..8)).unwrap();
+        assert!(leaves.is_empty());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut io = MemIo::new();
+        let root = build_new_tree(&mut io, NodeKey::NULL, 8, &updates(&[0, 3, 7])).unwrap();
+        let leaves = collect_leaves(&mut io, root, 8, &(0..8)).unwrap();
+        let idx: Vec<u64> = leaves.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, vec![0, 3, 7]);
+        assert_eq!(leaves[1].1, desc(3));
+        // Partial range.
+        let leaves = collect_leaves(&mut io, root, 8, &(1..4)).unwrap();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].0, 3);
+    }
+
+    #[test]
+    fn shadowing_shares_unmodified_subtrees() {
+        // Fig. 3(c): writing chunk C4' to a 4-chunk blob creates exactly
+        // the path to leaf 3: leaf + 1 inner + root = 3 nodes; the (0,2)
+        // subtree is shared.
+        let mut io = MemIo::new();
+        let v1 = build_new_tree(&mut io, NodeKey::NULL, 4, &updates(&[0, 1, 2, 3])).unwrap();
+        let before = io.stored;
+        assert_eq!(before, 4 + 2 + 1, "full tree of span 4");
+        let v2 = build_new_tree(&mut io, v1, 4, &updates(&[3])).unwrap();
+        assert_eq!(io.stored - before, 3, "path copy only");
+        // v2 sees the update; v1 is untouched.
+        let l2 = collect_leaves(&mut io, v2, 4, &(0..4)).unwrap();
+        assert_eq!(l2.len(), 4);
+        let l1 = collect_leaves(&mut io, v1, 4, &(3..4)).unwrap();
+        assert_eq!(l1[0].1, desc(3));
+        // And the shared left subtree is literally the same node keys:
+        let (TreeNode::Inner { left: left1, .. }, TreeNode::Inner { left: left2, .. }) =
+            (io.nodes[&v1].clone(), io.nodes[&v2].clone())
+        else {
+            panic!("roots must be inner nodes")
+        };
+        assert_eq!(left1, left2, "unmodified subtree shared between snapshots");
+    }
+
+    #[test]
+    fn old_versions_are_immutable() {
+        let mut io = MemIo::new();
+        let v1 = build_new_tree(&mut io, NodeKey::NULL, 8, &updates(&[2])).unwrap();
+        let snapshot_before: HashMap<NodeKey, TreeNode> = io.nodes.clone();
+        let _v2 = build_new_tree(&mut io, v1, 8, &updates(&[2, 5])).unwrap();
+        // Every node that existed before still exists, unmodified.
+        for (k, n) in snapshot_before {
+            assert_eq!(io.nodes.get(&k), Some(&n));
+        }
+    }
+
+    #[test]
+    fn cloning_by_sharing_root_then_diverging() {
+        // CLONE is metadata-free in this representation: blob B's v1 root
+        // *is* blob A's root. Writing to B must not disturb A.
+        let mut io = MemIo::new();
+        let a_root = build_new_tree(&mut io, NodeKey::NULL, 4, &updates(&[0, 1, 2, 3])).unwrap();
+        let b_root = a_root; // CLONE
+        let mut up = HashMap::new();
+        up.insert(1u64, ChunkDesc { id: ChunkId(777), replicas: vec![NodeId(9)] });
+        let b2 = build_new_tree(&mut io, b_root, 4, &up).unwrap();
+        let a_leaves = collect_leaves(&mut io, a_root, 4, &(0..4)).unwrap();
+        assert_eq!(a_leaves[1].1, desc(1), "origin unchanged after clone diverges");
+        let b_leaves = collect_leaves(&mut io, b2, 4, &(0..4)).unwrap();
+        assert_eq!(b_leaves[1].1.id, ChunkId(777));
+        assert_eq!(b_leaves[0].1, desc(0), "clone shares original content");
+    }
+
+    #[test]
+    fn fetch_rounds_are_per_level() {
+        let mut io = MemIo::new();
+        let all: Vec<u64> = (0..16).collect();
+        let root = build_new_tree(&mut io, NodeKey::NULL, 16, &updates(&all)).unwrap();
+        io.fetch_rounds = 0;
+        let _ = collect_leaves(&mut io, root, 16, &(0..16)).unwrap();
+        // Depth of a span-16 tree is log2(16)+1 = 5 levels.
+        assert_eq!(io.fetch_rounds, 5);
+    }
+
+    #[test]
+    fn no_update_returns_old_root() {
+        let mut io = MemIo::new();
+        let root = build_new_tree(&mut io, NodeKey::NULL, 4, &updates(&[1])).unwrap();
+        let same = build_new_tree(&mut io, root, 4, &HashMap::new()).unwrap();
+        assert_eq!(root, same);
+    }
+
+    #[test]
+    fn single_chunk_blob() {
+        let mut io = MemIo::new();
+        let root = build_new_tree(&mut io, NodeKey::NULL, 1, &updates(&[0])).unwrap();
+        let leaves = collect_leaves(&mut io, root, 1, &(0..1)).unwrap();
+        assert_eq!(leaves.len(), 1);
+        assert!(matches!(io.nodes[&root], TreeNode::Leaf { .. }));
+    }
+
+    #[test]
+    fn sparse_tree_reads_only_written() {
+        let mut io = MemIo::new();
+        let root = build_new_tree(&mut io, NodeKey::NULL, 1024, &updates(&[1000])).unwrap();
+        let leaves = collect_leaves(&mut io, root, 1024, &(0..1024)).unwrap();
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].0, 1000);
+        // A sparse write creates only the path: depth 11 nodes.
+        assert_eq!(io.stored, 11);
+    }
+}

@@ -1,0 +1,205 @@
+//! The version manager: the serialization point that assigns snapshot
+//! versions, totally orders publications per blob, and implements CLONE.
+//!
+//! This mirrors BlobSeer's version manager role (§4.1): striping and data
+//! transfers are fully decentralized, but the version sequence of each
+//! blob is decided in one place so that snapshots are totally ordered
+//! (§4.2). Cloning (the paper's extension, Fig. 3b) is O(1): the new
+//! blob's first version simply references the source tree's root.
+
+use crate::api::{BlobError, BlobId, BlobResult, NodeKey, Version};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Per-blob metadata kept by the version manager.
+#[derive(Debug, Clone)]
+pub struct BlobMeta {
+    /// Logical size in bytes (fixed at creation; VM images do not grow).
+    pub size: u64,
+    /// Stripe size in bytes.
+    pub chunk_size: u64,
+    /// Segment-tree span (power of two ≥ chunk count).
+    pub span: u64,
+    /// Root per version: `roots[v]` is the tree of `Version(v)`.
+    /// `roots[0]` is always `NodeKey::NULL` (the empty blob).
+    pub roots: Vec<NodeKey>,
+}
+
+impl BlobMeta {
+    /// Latest published version.
+    pub fn latest(&self) -> Version {
+        Version(self.roots.len() as u64 - 1)
+    }
+
+    /// Root of a version, if it exists.
+    pub fn root(&self, v: Version) -> Option<NodeKey> {
+        self.roots.get(v.0 as usize).copied()
+    }
+}
+
+/// Version-manager state (one logical instance per service).
+#[derive(Debug, Default)]
+pub struct VManager {
+    blobs: HashMap<BlobId, BlobMeta>,
+    next_blob: u64,
+    next_node_key: u64,
+}
+
+impl VManager {
+    /// Fresh state. Node key 0 is reserved for `NodeKey::NULL`.
+    pub fn new() -> Self {
+        Self { blobs: HashMap::new(), next_blob: 1, next_node_key: 1 }
+    }
+
+    /// Create an empty blob of `size` bytes striped into `chunk_size`
+    /// chunks. Its `Version(0)` reads as all zeros.
+    pub fn create_blob(&mut self, size: u64, chunk_size: u64) -> BlobResult<BlobId> {
+        if chunk_size == 0 {
+            return Err(BlobError::BadInput("chunk_size must be positive"));
+        }
+        let id = BlobId(self.next_blob);
+        self.next_blob += 1;
+        let chunks = size.div_ceil(chunk_size);
+        self.blobs.insert(
+            id,
+            BlobMeta {
+                size,
+                chunk_size,
+                span: crate::segtree::span_for(chunks),
+                roots: vec![NodeKey::NULL],
+            },
+        );
+        Ok(id)
+    }
+
+    /// Metadata for a blob.
+    pub fn meta(&self, blob: BlobId) -> BlobResult<&BlobMeta> {
+        self.blobs.get(&blob).ok_or(BlobError::NoSuchBlob(blob))
+    }
+
+    /// Root of `(blob, version)`.
+    pub fn root_of(&self, blob: BlobId, version: Version) -> BlobResult<NodeKey> {
+        self.meta(blob)?
+            .root(version)
+            .ok_or(BlobError::NoSuchVersion(blob, version))
+    }
+
+    /// Publish a new snapshot of `blob` whose tree is `root`, based on
+    /// `base`. Fails with `Conflict` if `base` is no longer the latest —
+    /// optimistic concurrency for writers sharing a blob. (In the paper's
+    /// patterns each VM commits to its own clone, so conflicts indicate
+    /// middleware bugs rather than expected races.)
+    pub fn publish(&mut self, blob: BlobId, base: Version, root: NodeKey) -> BlobResult<Version> {
+        let meta = self.blobs.get_mut(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
+        let latest = Version(meta.roots.len() as u64 - 1);
+        if base != latest {
+            return Err(BlobError::Conflict { blob, base, latest });
+        }
+        meta.roots.push(root);
+        Ok(Version(meta.roots.len() as u64 - 1))
+    }
+
+    /// CLONE: a new blob whose `Version(1)` is `(src, version)`'s tree.
+    /// Shares all chunks and all metadata nodes with the source; the cost
+    /// is one registry entry (§4.2: "minimal overhead, both in space and
+    /// in time").
+    pub fn clone_blob(&mut self, src: BlobId, version: Version) -> BlobResult<BlobId> {
+        let (size, chunk_size, span, root) = {
+            let meta = self.meta(src)?;
+            let root = meta
+                .root(version)
+                .ok_or(BlobError::NoSuchVersion(src, version))?;
+            (meta.size, meta.chunk_size, meta.span, root)
+        };
+        let id = BlobId(self.next_blob);
+        self.next_blob += 1;
+        self.blobs.insert(
+            id,
+            BlobMeta { size, chunk_size, span, roots: vec![NodeKey::NULL, root] },
+        );
+        Ok(id)
+    }
+
+    /// Reserve `n` globally unique metadata node keys.
+    pub fn reserve_keys(&mut self, n: u64) -> Range<u64> {
+        let start = self.next_node_key;
+        self.next_node_key += n;
+        start..self.next_node_key
+    }
+
+    /// Number of registered blobs.
+    pub fn blob_count(&self) -> usize {
+        self.blobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut vm = VManager::new();
+        let b = vm.create_blob(10_000, 256).unwrap();
+        let meta = vm.meta(b).unwrap();
+        assert_eq!(meta.size, 10_000);
+        assert_eq!(meta.span, 64, "ceil(10000/256)=40 chunks -> span 64");
+        assert_eq!(meta.latest(), Version(0));
+        assert_eq!(vm.root_of(b, Version(0)).unwrap(), NodeKey::NULL);
+        assert!(vm.root_of(b, Version(1)).is_err());
+    }
+
+    #[test]
+    fn publish_appends_versions_in_order() {
+        let mut vm = VManager::new();
+        let b = vm.create_blob(1000, 100).unwrap();
+        let v1 = vm.publish(b, Version(0), NodeKey(10)).unwrap();
+        assert_eq!(v1, Version(1));
+        let v2 = vm.publish(b, v1, NodeKey(20)).unwrap();
+        assert_eq!(v2, Version(2));
+        assert_eq!(vm.root_of(b, Version(1)).unwrap(), NodeKey(10));
+        assert_eq!(vm.root_of(b, Version(2)).unwrap(), NodeKey(20));
+    }
+
+    #[test]
+    fn stale_publish_conflicts() {
+        let mut vm = VManager::new();
+        let b = vm.create_blob(1000, 100).unwrap();
+        vm.publish(b, Version(0), NodeKey(10)).unwrap();
+        let err = vm.publish(b, Version(0), NodeKey(30)).unwrap_err();
+        assert!(matches!(err, BlobError::Conflict { latest: Version(1), .. }));
+    }
+
+    #[test]
+    fn clone_shares_root_and_diverges() {
+        let mut vm = VManager::new();
+        let a = vm.create_blob(1000, 100).unwrap();
+        vm.publish(a, Version(0), NodeKey(10)).unwrap();
+        let b = vm.clone_blob(a, Version(1)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(vm.root_of(b, Version(1)).unwrap(), NodeKey(10));
+        // Publishing to the clone leaves the origin untouched.
+        vm.publish(b, Version(1), NodeKey(77)).unwrap();
+        assert_eq!(vm.meta(a).unwrap().latest(), Version(1));
+        assert_eq!(vm.meta(b).unwrap().latest(), Version(2));
+    }
+
+    #[test]
+    fn clone_of_missing_version_fails() {
+        let mut vm = VManager::new();
+        let a = vm.create_blob(1000, 100).unwrap();
+        assert!(matches!(
+            vm.clone_blob(a, Version(3)),
+            Err(BlobError::NoSuchVersion(_, Version(3)))
+        ));
+    }
+
+    #[test]
+    fn key_reservation_is_disjoint() {
+        let mut vm = VManager::new();
+        let a = vm.reserve_keys(5);
+        let b = vm.reserve_keys(3);
+        assert_eq!(a.end, b.start);
+        assert!(a.start >= 1, "key 0 is NULL");
+    }
+}

@@ -1,0 +1,316 @@
+//! Simulated Grid'5000 experiment drivers behind every figure of §5.
+//!
+//! Each driver builds a fresh [`SimCluster`] from the calibration, stages
+//! the initial image in the appropriate repository *outside* virtual time
+//! (the paper's experiments start with the image already stored), then
+//! runs the deployment as simulated processes and reads the metrics off
+//! the virtual clock and the fabric's traffic counters.
+//!
+//! All drivers take an [`ExpScale`] so integration tests can run
+//! miniature versions of the exact same code paths that the benchmark
+//! binaries run at paper scale.
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig67;
+pub mod fig8;
+
+use crate::backend::{MirrorBackend, QcowPvfsBackend, RawLocalBackend};
+use crate::params::Calibration;
+use crate::simsignals::SimSignals;
+use crate::vm::run_vm_trace;
+use bff_bcast::{BroadcastMode, SignalTable, TreeBroadcast};
+use bff_blobseer::{BlobConfig, BlobStore, BlobTopology, Client as BlobClient};
+use bff_data::Payload;
+use bff_net::{Fabric, NodeId};
+use bff_pvfs::{Pvfs, PvfsClient, PvfsConfig};
+use bff_sim::SimCluster;
+use bff_workloads::boottrace::BootProfile;
+use bff_workloads::VmOp;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Seed of the initial VM image's synthetic content.
+pub const IMAGE_SEED: u64 = 0xDEB1A2;
+
+/// Experiment scale: the paper's testbed or a miniature for tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpScale {
+    /// VM image size (paper: 2 GB).
+    pub image_len: u64,
+    /// Chunk/stripe size (paper: 256 KB).
+    pub chunk_size: u64,
+}
+
+impl ExpScale {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self { image_len: 2 << 30, chunk_size: 256 << 10 }
+    }
+
+    /// A miniature configuration for fast tests (same code paths).
+    pub fn mini() -> Self {
+        Self { image_len: 8 << 20, chunk_size: 64 << 10 }
+    }
+
+    /// Boot profile matching this scale.
+    pub fn boot_profile(&self) -> BootProfile {
+        if self.image_len == 2 << 30 {
+            BootProfile::debian_2g()
+        } else {
+            BootProfile::scaled(self.image_len)
+        }
+    }
+
+    /// The initial image content.
+    pub fn image(&self) -> Payload {
+        Payload::synth(IMAGE_SEED, 0, self.image_len)
+    }
+}
+
+/// The three deployment strategies compared in §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// taktuk-style full broadcast, then boot from the local raw copy.
+    Prepropagation,
+    /// Per-node qcow2 shell backed by the image striped in PVFS.
+    QcowOverPvfs,
+    /// The paper's approach: lazy mirroring over the versioning store.
+    Mirror,
+}
+
+impl Strategy {
+    /// Display label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Prepropagation => "taktuk-prepropagation",
+            Strategy::QcowOverPvfs => "qcow2-over-pvfs",
+            Strategy::Mirror => "our-approach",
+        }
+    }
+}
+
+/// What one deployment run produced.
+#[derive(Debug, Clone)]
+pub struct DeployOutcome {
+    /// Per-instance boot duration, seconds (hypervisor launch → trace
+    /// end; excludes the prepropagation init phase, as in Fig. 4a).
+    pub per_vm_s: Vec<f64>,
+    /// Deployment-request to last-instance-done, seconds (includes the
+    /// init phase; Fig. 4b).
+    pub total_s: f64,
+    /// Total network traffic, GB (Fig. 4d; includes the init phase).
+    pub traffic_gb: f64,
+}
+
+impl DeployOutcome {
+    /// Mean per-instance boot time, seconds.
+    pub fn avg_boot_s(&self) -> f64 {
+        if self.per_vm_s.is_empty() {
+            return 0.0;
+        }
+        self.per_vm_s.iter().sum::<f64>() / self.per_vm_s.len() as f64
+    }
+}
+
+/// Extra per-VM ops appended after the boot trace (the application
+/// phase; `None` for pure multideployment runs).
+pub type ExtraOps = Option<Arc<dyn Fn(usize) -> Vec<VmOp> + Send + Sync>>;
+
+fn skew_us(cal: &Calibration, run_seed: u64, i: usize) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(run_seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    rng.gen_range(0..cal.start_skew_us.max(1))
+}
+
+/// Run one multideployment of `n` instances with the given strategy.
+///
+/// The image is pre-staged in the strategy's repository outside virtual
+/// time; the clock starts at the deployment request.
+pub fn run_deployment(
+    strategy: Strategy,
+    n: usize,
+    scale: ExpScale,
+    cal: Calibration,
+    extra: ExtraOps,
+    run_seed: u64,
+) -> DeployOutcome {
+    let cluster = SimCluster::new(cal.cluster(n));
+    let fabric: Arc<dyn Fabric> = cluster.fabric();
+    let compute: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    let service = NodeId(n as u32);
+    let profile = scale.boot_profile();
+    let spans: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(vec![(0, 0); n]));
+
+    match strategy {
+        Strategy::Mirror => {
+            let cfg = BlobConfig { chunk_size: scale.chunk_size, ..Default::default() };
+            let topo = BlobTopology::colocated(&compute, service);
+            let store = BlobStore::new(cfg, topo, Arc::clone(&fabric));
+            let uploader = BlobClient::new(Arc::clone(&store), service);
+            let (blob, version) = uploader.upload(scale.image()).expect("pre-staging upload");
+            store.drop_provider_caches(); // image staged long before; caches cold
+            fabric.stats().reset();
+            for (i, &node) in compute.iter().enumerate() {
+                let store = Arc::clone(&store);
+                let fabric = Arc::clone(&fabric);
+                let spans = Arc::clone(&spans);
+                let extra = extra.clone();
+                cluster.sim().spawn(format!("vm{i}"), move |env| {
+                    env.sleep_us(skew_us(&cal, run_seed, i));
+                    let start = env.now_us();
+                    let client = BlobClient::new(store, node);
+                    let mut backend = MirrorBackend::open(client, blob, version, &cal)
+                        .expect("open mirror");
+                    let mut ops = profile.generate(run_seed ^ i as u64);
+                    if let Some(f) = &extra {
+                        ops.extend(f(i));
+                    }
+                    run_vm_trace(&fabric, node, &mut backend, i as u64, &ops).expect("vm trace");
+                    spans.lock()[i] = (start, env.now_us());
+                });
+            }
+        }
+        Strategy::QcowOverPvfs => {
+            let pvfs = Pvfs::new(
+                PvfsConfig { stripe_size: scale.chunk_size, ..Default::default() },
+                compute.clone(),
+                Arc::clone(&fabric),
+            );
+            let stage = PvfsClient::new(Arc::clone(&pvfs), service);
+            let base = stage.create(scale.image_len).expect("create base");
+            stage.write(base, 0, scale.image()).expect("pre-staging write");
+            pvfs.drop_caches(); // image staged long before; caches cold
+            fabric.stats().reset();
+            for (i, &node) in compute.iter().enumerate() {
+                let pvfs = Arc::clone(&pvfs);
+                let fabric = Arc::clone(&fabric);
+                let spans = Arc::clone(&spans);
+                let extra = extra.clone();
+                cluster.sim().spawn(format!("vm{i}"), move |env| {
+                    env.sleep_us(skew_us(&cal, run_seed, i));
+                    let start = env.now_us();
+                    let client = PvfsClient::new(pvfs, node);
+                    let mut backend =
+                        QcowPvfsBackend::create(client, base, node, Arc::clone(&fabric), cal)
+                            .expect("create qcow2 shell");
+                    let mut ops = profile.generate(run_seed ^ i as u64);
+                    if let Some(f) = &extra {
+                        ops.extend(f(i));
+                    }
+                    run_vm_trace(&fabric, node, &mut backend, i as u64, &ops).expect("vm trace");
+                    spans.lock()[i] = (start, env.now_us());
+                });
+            }
+        }
+        Strategy::Prepropagation => {
+            // The image sits on the NFS server's disk; broadcast it, then
+            // launch every VM on its local copy.
+            fabric.stats().reset();
+            let image = scale.image();
+            let state = Arc::clone(cluster.sim().state());
+            let fabric2 = Arc::clone(&fabric);
+            let spans2 = Arc::clone(&spans);
+            let compute2 = compute.clone();
+            let extra2 = extra.clone();
+            cluster.sim().spawn("middleware", move |env| {
+                let signals: Arc<dyn SignalTable> = SimSignals::new(state);
+                let bc = TreeBroadcast {
+                    arity: cal.bcast_arity,
+                    mode: BroadcastMode::StoreAndForward,
+                    write_to_disk: true,
+                };
+                bc.run(&fabric2, &signals, service, &compute2, scale.image_len)
+                    .expect("broadcast");
+                // Phase 2: all VMs launch simultaneously (§5.2).
+                let mut pids = Vec::with_capacity(compute2.len());
+                for (i, &node) in compute2.iter().enumerate() {
+                    let fabric = Arc::clone(&fabric2);
+                    let spans = Arc::clone(&spans2);
+                    let image = image.clone();
+                    let extra = extra2.clone();
+                    pids.push(env.spawn(format!("vm{i}"), move |env| {
+                        env.sleep_us(skew_us(&cal, run_seed, i));
+                        let start = env.now_us();
+                        let mut backend =
+                            RawLocalBackend::new(node, Arc::clone(&fabric), image, cal);
+                        let mut ops = profile.generate(run_seed ^ i as u64);
+                        if let Some(f) = &extra {
+                            ops.extend(f(i));
+                        }
+                        run_vm_trace(&fabric, node, &mut backend, i as u64, &ops)
+                            .expect("vm trace");
+                        spans.lock()[i] = (start, env.now_us());
+                    }));
+                }
+                env.join_all(&pids);
+            });
+        }
+    }
+
+    cluster.run();
+    let spans = spans.lock();
+    let per_vm_s: Vec<f64> = spans.iter().map(|(s, e)| (e - s) as f64 / 1e6).collect();
+    let total_s = spans.iter().map(|(_, e)| *e).max().unwrap_or(0) as f64 / 1e6;
+    DeployOutcome {
+        per_vm_s,
+        total_s,
+        traffic_gb: fabric.stats().total_network_bytes() as f64 / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini(strategy: Strategy, n: usize) -> DeployOutcome {
+        run_deployment(strategy, n, ExpScale::mini(), Calibration::default(), None, 1)
+    }
+
+    #[test]
+    fn mirror_deployment_is_lazy() {
+        let out = mini(Strategy::Mirror, 4);
+        assert_eq!(out.per_vm_s.len(), 4);
+        assert!(out.total_s > 0.0);
+        // Traffic well under 4 full images.
+        let four_images = 4.0 * (8 << 20) as f64 / 1e9;
+        assert!(out.traffic_gb < four_images / 2.0, "traffic {}", out.traffic_gb);
+    }
+
+    #[test]
+    fn prepropagation_moves_full_images_and_dominates_total_time() {
+        let pre = mini(Strategy::Prepropagation, 4);
+        let ours = mini(Strategy::Mirror, 4);
+        let four_images = 4.0 * (8 << 20) as f64 / 1e9;
+        assert!(pre.traffic_gb >= four_images * 0.99, "traffic {}", pre.traffic_gb);
+        assert!(pre.traffic_gb > 3.0 * ours.traffic_gb);
+        // Total deployment time: prepropagation pays the broadcast.
+        assert!(pre.total_s > ours.total_s, "{} vs {}", pre.total_s, ours.total_s);
+        // But its per-instance boot (post-init) is the fastest.
+        assert!(pre.avg_boot_s() < ours.avg_boot_s());
+    }
+
+    #[test]
+    fn qcow_boots_slower_than_mirror_but_transfers_similar() {
+        let q = mini(Strategy::QcowOverPvfs, 4);
+        let m = mini(Strategy::Mirror, 4);
+        // Both lazy schemes move only the touched fraction (same order).
+        assert!(q.traffic_gb < 2.0 * m.traffic_gb + 0.001);
+        // No prefetching => more round trips => slower boot.
+        assert!(
+            q.avg_boot_s() > m.avg_boot_s(),
+            "qcow {} vs mirror {}",
+            q.avg_boot_s(),
+            m.avg_boot_s()
+        );
+    }
+
+    #[test]
+    fn deployments_are_deterministic() {
+        let a = mini(Strategy::Mirror, 3);
+        let b = mini(Strategy::Mirror, 3);
+        assert_eq!(a.per_vm_s, b.per_vm_s);
+        assert_eq!(a.total_s, b.total_s);
+    }
+}

@@ -1,0 +1,30 @@
+//! # bff-cloud
+//!
+//! The cloud middleware layer (Fig. 1 of the paper): it glues the storage
+//! stacks, the hypervisor/VM lifecycle model and the workload generators
+//! into deployable scenarios, and hosts the experiment drivers that
+//! regenerate every figure of the paper's evaluation (§5).
+//!
+//! * [`backend`] — the three image backends the evaluation compares:
+//!   the mirroring module ("our approach"), a prepropagated local raw
+//!   file, and qcow2 over PVFS.
+//! * [`vm`] — the hypervisor model: replays boot/application traces
+//!   against a backend, with per-instance start skew.
+//! * [`middleware`] — the control API (deploy / snapshot / resume) used
+//!   by the examples; CLONE and COMMIT are broadcast to the per-node
+//!   mirroring modules exactly as §3.2 describes.
+//! * [`experiments`] — the simulated Grid'5000 runs behind Figs. 4-8.
+//! * [`params`] — every calibration constant, each documented with the
+//!   paper measurement it is anchored to.
+
+pub mod backend;
+pub mod experiments;
+pub mod middleware;
+pub mod params;
+pub mod simsignals;
+pub mod vm;
+
+pub use backend::{BackendError, ImageBackend, MirrorBackend, QcowPvfsBackend, RawLocalBackend};
+pub use middleware::Cloud;
+pub use params::Calibration;
+pub use vm::run_vm_trace;

@@ -1,0 +1,276 @@
+//! The cloud middleware control API (Fig. 1): upload/download images,
+//! deploy a set of VM instances, add/remove instances, and snapshot
+//! individual instances or the whole set via broadcast CLONE + COMMIT
+//! (§3.2).
+//!
+//! This is the integration layer the paper sketches for Nimbus: the
+//! "central service" is [`Cloud`]; each [`VmHandle`] plays the control
+//! agent that issues ioctl calls to its node's mirroring module.
+
+use crate::backend::{BackendError, ImageBackend, MirrorBackend};
+use crate::params::Calibration;
+use bff_blobseer::{BlobConfig, BlobId, BlobStore, BlobTopology, Client as BlobClient, Version};
+use bff_data::Payload;
+use bff_net::{Fabric, NodeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A deployed VM instance under middleware control.
+pub struct VmHandle {
+    /// Compute node hosting the instance.
+    pub node: NodeId,
+    /// The instance's image backend (the mirroring module).
+    pub backend: MirrorBackend,
+}
+
+impl VmHandle {
+    /// Snapshot this single instance (fine-grained control, §3.2).
+    pub fn snapshot(&mut self) -> Result<(BlobId, Version), BackendError> {
+        self.backend.snapshot()?;
+        Ok((self.backend.blob(), self.backend.version()))
+    }
+}
+
+/// The middleware: owns the repository deployment and coordinates
+/// compute nodes.
+pub struct Cloud {
+    store: Arc<BlobStore>,
+    fabric: Arc<dyn Fabric>,
+    compute: Vec<NodeId>,
+    service: NodeId,
+    cal: Calibration,
+}
+
+impl Cloud {
+    /// Deploy the versioning repository over `compute` nodes (aggregating
+    /// their local disks, §3.1.1), with managers on `service`.
+    pub fn new(
+        fabric: Arc<dyn Fabric>,
+        compute: Vec<NodeId>,
+        service: NodeId,
+        blob_cfg: BlobConfig,
+        cal: Calibration,
+    ) -> Self {
+        let topo = BlobTopology::colocated(&compute, service);
+        let store = BlobStore::new(blob_cfg, topo, Arc::clone(&fabric));
+        Self { store, fabric, compute, service, cal }
+    }
+
+    /// The repository.
+    pub fn store(&self) -> &Arc<BlobStore> {
+        &self.store
+    }
+
+    /// The fabric in use.
+    pub fn fabric(&self) -> &Arc<dyn Fabric> {
+        &self.fabric
+    }
+
+    /// The compute node set.
+    pub fn compute_nodes(&self) -> &[NodeId] {
+        &self.compute
+    }
+
+    /// Repository client for a node.
+    pub fn client(&self, node: NodeId) -> BlobClient {
+        BlobClient::new(Arc::clone(&self.store), node)
+    }
+
+    /// Client-side image upload (Fig. 1 "put image"); the image is
+    /// automatically striped.
+    pub fn upload_image(&self, data: Payload) -> Result<(BlobId, Version), BackendError> {
+        Ok(self.client(self.service).upload(data)?)
+    }
+
+    /// Client-side image download (Fig. 1 "get image"): any snapshot is a
+    /// standalone raw image.
+    pub fn download_image(&self, blob: BlobId, version: Version) -> Result<Payload, BackendError> {
+        let client = self.client(self.service);
+        let size = client.blob_size(blob)?;
+        Ok(client.read(blob, version, 0..size)?)
+    }
+
+    /// Deploy one instance of `(blob, version)` on each of `nodes`
+    /// (multideployment, lazily: no data moves until the VMs touch it).
+    pub fn deploy(
+        &self,
+        blob: BlobId,
+        version: Version,
+        nodes: &[NodeId],
+    ) -> Result<Vec<VmHandle>, BackendError> {
+        nodes
+            .iter()
+            .map(|&node| {
+                let backend = MirrorBackend::open(self.client(node), blob, version, &self.cal)?;
+                Ok(VmHandle { node, backend })
+            })
+            .collect()
+    }
+
+    /// Add one instance to a running deployment (§3.2: "dynamically
+    /// adding or removing compute nodes from that set").
+    pub fn add_instance(
+        &self,
+        blob: BlobId,
+        version: Version,
+        node: NodeId,
+    ) -> Result<VmHandle, BackendError> {
+        let backend = MirrorBackend::open(self.client(node), blob, version, &self.cal)?;
+        Ok(VmHandle { node, backend })
+    }
+
+    /// Global snapshot of the whole application: broadcast CLONE (first
+    /// time) then COMMIT to every mirroring module (§3.2). Returns each
+    /// instance's standalone snapshot identity.
+    pub fn snapshot_all(
+        &self,
+        vms: &mut [VmHandle],
+    ) -> Result<Vec<(BlobId, Version)>, BackendError> {
+        vms.iter_mut().map(|vm| vm.snapshot()).collect()
+    }
+
+    /// Resume snapshots on a fresh set of nodes (off-line migration: the
+    /// new nodes may run any hypervisor — snapshots are raw images).
+    pub fn resume(
+        &self,
+        snapshots: &[(BlobId, Version)],
+        nodes: &[NodeId],
+    ) -> Result<Vec<VmHandle>, BackendError> {
+        assert_eq!(snapshots.len(), nodes.len(), "one node per snapshot");
+        snapshots
+            .iter()
+            .zip(nodes)
+            .map(|(&(blob, version), &node)| self.add_instance(blob, version, node))
+            .collect()
+    }
+
+    /// Storage accounting: bytes in the repository, and what the same
+    /// snapshots would cost as full standalone images (the §3.1.4
+    /// duplication argument).
+    pub fn storage_report(&self, snapshots: &[(BlobId, Version)]) -> StorageReport {
+        let stored = self.store.total_stored_bytes();
+        let mut sizes: HashMap<BlobId, u64> = HashMap::new();
+        let client = self.client(self.service);
+        for (blob, _) in snapshots {
+            if let Ok(size) = client.blob_size(*blob) {
+                sizes.insert(*blob, size);
+            }
+        }
+        let naive: u64 = snapshots
+            .iter()
+            .filter_map(|(b, _)| sizes.get(b))
+            .copied()
+            .sum();
+        StorageReport { stored_bytes: stored, naive_full_copy_bytes: naive }
+    }
+}
+
+/// Output of [`Cloud::storage_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Bytes actually stored (shared content counted once).
+    pub stored_bytes: u64,
+    /// Bytes that one full image per snapshot would have cost.
+    pub naive_full_copy_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::vm_write_payload;
+    use bff_net::LocalFabric;
+
+    const IMG: u64 = 1 << 20;
+
+    fn cloud() -> Cloud {
+        let fabric = LocalFabric::new(9);
+        let compute: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+        Cloud::new(fabric, compute, NodeId(8), cfg, Calibration::default())
+    }
+
+    #[test]
+    fn upload_deploy_snapshot_download_cycle() {
+        let cloud = cloud();
+        let image = Payload::synth(5, 0, IMG);
+        let (blob, v) = cloud.upload_image(image.clone()).unwrap();
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut vms = cloud.deploy(blob, v, &nodes).unwrap();
+        // Each VM writes its own data.
+        for (i, vm) in vms.iter_mut().enumerate() {
+            vm.backend
+                .write(1000 * (i as u64 + 1), vm_write_payload(i as u64, 1000, 64))
+                .unwrap();
+        }
+        let snaps = cloud.snapshot_all(&mut vms).unwrap();
+        assert_eq!(snaps.len(), 4);
+        // Snapshots are distinct first-class blobs.
+        let blobs: std::collections::HashSet<BlobId> =
+            snaps.iter().map(|(b, _)| *b).collect();
+        assert_eq!(blobs.len(), 4);
+        assert!(blobs.iter().all(|b| *b != blob));
+        // Each snapshot downloads as a standalone image with that VM's
+        // modification and nobody else's.
+        for (i, (b, ver)) in snaps.iter().enumerate() {
+            let full = cloud.download_image(*b, *ver).unwrap();
+            let expect = image
+                .clone()
+                .overwrite(1000 * (i as u64 + 1), vm_write_payload(i as u64, 1000, 64));
+            assert!(full.content_eq(&expect), "snapshot {i}");
+        }
+    }
+
+    #[test]
+    fn second_global_snapshot_reuses_clones() {
+        let cloud = cloud();
+        let (blob, v) = cloud.upload_image(Payload::synth(6, 0, IMG)).unwrap();
+        let mut vms = cloud.deploy(blob, v, &[NodeId(0), NodeId(1)]).unwrap();
+        for vm in vms.iter_mut() {
+            vm.backend.write(0, Payload::from(vec![1u8; 16])).unwrap();
+        }
+        let first = cloud.snapshot_all(&mut vms).unwrap();
+        for vm in vms.iter_mut() {
+            vm.backend.write(32, Payload::from(vec![2u8; 16])).unwrap();
+        }
+        let second = cloud.snapshot_all(&mut vms).unwrap();
+        for ((b1, v1), (b2, v2)) in first.iter().zip(&second) {
+            assert_eq!(b1, b2, "subsequent snapshots reuse the clone");
+            assert!(v2 > v1, "versions are totally ordered");
+        }
+    }
+
+    #[test]
+    fn storage_report_shows_sharing() {
+        let cloud = cloud();
+        let (blob, v) = cloud.upload_image(Payload::synth(7, 0, IMG)).unwrap();
+        let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let mut vms = cloud.deploy(blob, v, &nodes).unwrap();
+        for vm in vms.iter_mut() {
+            vm.backend.write(0, Payload::from(vec![3u8; 100])).unwrap();
+        }
+        let snaps = cloud.snapshot_all(&mut vms).unwrap();
+        let report = cloud.storage_report(&snaps);
+        // 8 snapshots of a 1 MB image stored as 1 MB + 8 dirty chunks.
+        assert_eq!(report.naive_full_copy_bytes, 8 * IMG);
+        assert!(
+            report.stored_bytes <= IMG + 8 * (64 << 10),
+            "stored {} should be near one image",
+            report.stored_bytes
+        );
+        // The >90% reduction the paper reports.
+        assert!(report.stored_bytes * 5 < report.naive_full_copy_bytes);
+    }
+
+    #[test]
+    fn resume_on_fresh_nodes_reads_snapshot_content() {
+        let cloud = cloud();
+        let (blob, v) = cloud.upload_image(Payload::synth(8, 0, IMG)).unwrap();
+        let mut vms = cloud.deploy(blob, v, &[NodeId(0)]).unwrap();
+        vms[0].backend.write(500, Payload::from(vec![9u8; 32])).unwrap();
+        let snaps = cloud.snapshot_all(&mut vms).unwrap();
+        drop(vms);
+        let mut resumed = cloud.resume(&snaps, &[NodeId(5)]).unwrap();
+        let got = resumed[0].backend.read(500..532).unwrap();
+        assert!(got.content_eq(&Payload::from(vec![9u8; 32])));
+    }
+}

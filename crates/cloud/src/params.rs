@@ -1,0 +1,122 @@
+//! Calibration constants.
+//!
+//! Every constant here is anchored to a number printed in the paper (or
+//! directly readable off its figures); EXPERIMENTS.md tabulates the
+//! mapping. Nothing else in the workspace hard-codes timing values.
+
+use bff_sim::{ClusterParams, DiskParams};
+
+/// End-to-end calibration for the simulated testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Per-I/O-op syscall + block-layer cost on the local path, us.
+    /// Anchor: Fig. 6 local block throughput at 8 KB requests.
+    pub syscall_us: u64,
+    /// Extra user/kernel crossings per data op through FUSE, us.
+    /// Anchor: Fig. 6 "our-approach" bars stay within ~2x of local.
+    pub fuse_data_us: u64,
+    /// Extra cost of a random seek op (page-cache lookup, block layer),
+    /// us, on top of `syscall_us`. Anchor: Fig. 7 RndSeek local
+    /// ~35 k ops/s.
+    pub seek_extra_us: u64,
+    /// Extra FUSE cost of a random seek. Anchor: Fig. 7 RndSeek
+    /// our-approach visibly below local.
+    pub fuse_seek_extra_us: u64,
+    /// Cost of a file create on the local path, us. Anchor: Fig. 7
+    /// CreatF local ~30 k ops/s.
+    pub create_us: u64,
+    /// Extra FUSE cost per create (multiple crossings: lookup + create +
+    /// attr), us.
+    pub fuse_create_extra_us: u64,
+    /// Cost of a file delete on the local path, us. Anchor: Fig. 7 DelF.
+    pub delete_us: u64,
+    /// Extra FUSE cost per delete — the paper singles out deletion as the
+    /// worst case ("especially with random seeks and file deletion").
+    pub fuse_delete_extra_us: u64,
+    /// Effective absorb bandwidth of the hypervisor's *default* write
+    /// path, bytes/us. Anchor: Fig. 6 local BlockW ≈ half of
+    /// our-approach ("write throughput ... almost twice as high for our
+    /// approach").
+    pub hyp_write_bw: f64,
+    /// Page-cache copy bandwidth for locally served reads, bytes/us.
+    /// Anchor: Fig. 6 BlockR ≈ 430 MB/s for both configurations.
+    pub page_read_bw: f64,
+    /// Hypervisor start skew upper bound per instance, us. Anchor:
+    /// §3.1.3 "a skew of about 100 ms between the times they access the
+    /// boot sector".
+    pub start_skew_us: u64,
+    /// qcow2 cluster bits for the baseline (qemu default 64 KiB).
+    pub qcow2_cluster_bits: u32,
+    /// Broadcast tree fan-out for the prepropagation baseline.
+    pub bcast_arity: usize,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            syscall_us: 4,
+            fuse_data_us: 8,
+            seek_extra_us: 24,
+            fuse_seek_extra_us: 55,
+            create_us: 28,
+            fuse_create_extra_us: 35,
+            delete_us: 25,
+            fuse_delete_extra_us: 170,
+            hyp_write_bw: 210.0,
+            page_read_bw: 550.0,
+            start_skew_us: 200_000,
+            qcow2_cluster_bits: 16,
+            bcast_arity: 2,
+        }
+    }
+}
+
+impl Calibration {
+    /// The simulated Grid'5000 Nancy cluster for `compute` nodes plus one
+    /// service node (§5.1: 117.5 MB/s TCP, 0.1 ms latency, 55 MB/s
+    /// disks, ≥ 8 GB RAM).
+    pub fn cluster(&self, compute: usize) -> ClusterParams {
+        ClusterParams {
+            nodes: compute + 1,
+            nic_bw: 117.5,
+            link_latency_us: 100,
+            msg_overhead_bytes: 512,
+            rpc_overhead_us: 150,
+            disk: DiskParams {
+                bandwidth: 55.0,
+                access_us: 6_000,
+                // Page-cache absorb speed for mmap write-back; anchor:
+                // Fig. 6 our-approach BlockW ≈ 450 MB/s.
+                mem_bandwidth: 450.0,
+                // Default vm.dirty_ratio (20%) of the nodes' 8 GB RAM.
+                dirty_limit: 1_600 << 20,
+            },
+        }
+    }
+
+    /// Total FUSE-path cost of one data op, us.
+    pub fn fuse_op_us(&self) -> u64 {
+        self.syscall_us + self.fuse_data_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_matches_testbed() {
+        let c = Calibration::default().cluster(110);
+        assert_eq!(c.nodes, 111);
+        assert_eq!(c.nic_bw, 117.5);
+        assert_eq!(c.disk.bandwidth, 55.0);
+        assert_eq!(c.link_latency_us, 100);
+    }
+
+    #[test]
+    fn fuse_path_is_more_expensive_than_local() {
+        let cal = Calibration::default();
+        assert!(cal.fuse_op_us() > cal.syscall_us);
+        assert!(cal.fuse_delete_extra_us > cal.fuse_create_extra_us);
+    }
+}

@@ -1,0 +1,78 @@
+//! Simulator-backed signal table for broadcast ordering dependencies.
+
+use bff_bcast::SignalTable;
+use bff_sim::{CompletionId, Env, SimState};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A [`SignalTable`] whose waits block virtual time.
+pub struct SimSignals {
+    state: Arc<SimState>,
+    map: Mutex<HashMap<u64, CompletionId>>,
+}
+
+impl SimSignals {
+    /// Bind to a simulation.
+    pub fn new(state: Arc<SimState>) -> Arc<Self> {
+        Arc::new(Self { state, map: Mutex::new(HashMap::new()) })
+    }
+
+    fn completion(&self, key: u64) -> CompletionId {
+        let mut map = self.map.lock();
+        *map.entry(key).or_insert_with(|| self.state.new_completion())
+    }
+}
+
+impl SignalTable for SimSignals {
+    fn signal(&self, key: u64) {
+        let cid = self.completion(key);
+        self.state.complete(cid);
+    }
+
+    fn wait(&self, key: u64) {
+        let cid = self.completion(key);
+        Env::current().wait(cid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bff_sim::Simulation;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn wait_blocks_until_signal() {
+        let sim = Simulation::bare();
+        let signals = SimSignals::new(Arc::clone(sim.state()));
+        let t = Arc::new(AtomicU64::new(0));
+        let (s2, t2) = (Arc::clone(&signals), Arc::clone(&t));
+        sim.spawn("waiter", move |env| {
+            s2.wait(9);
+            t2.store(env.now_us(), Ordering::Relaxed);
+        });
+        let s3 = Arc::clone(&signals);
+        sim.spawn("signaler", move |env| {
+            env.sleep_us(777);
+            s3.signal(9);
+        });
+        sim.run();
+        assert_eq!(t.load(Ordering::Relaxed), 777);
+    }
+
+    #[test]
+    fn signal_before_wait_does_not_block() {
+        let sim = Simulation::bare();
+        let signals = SimSignals::new(Arc::clone(sim.state()));
+        signals.signal(1);
+        let ok = Arc::new(AtomicU64::new(0));
+        let (s2, ok2) = (Arc::clone(&signals), Arc::clone(&ok));
+        sim.spawn("w", move |env| {
+            s2.wait(1);
+            ok2.store(env.now_us() + 1, Ordering::Relaxed);
+        });
+        sim.run();
+        assert_eq!(ok.load(Ordering::Relaxed), 1, "completed at t=0");
+    }
+}

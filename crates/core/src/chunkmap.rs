@@ -1,0 +1,431 @@
+//! The local-modification manager's bookkeeping: which parts of the image
+//! are available locally, which are dirty, and what must be fetched before
+//! a read or write can proceed (§3.3, §4.2).
+//!
+//! Two access strategies from the paper are implemented here as planning
+//! functions (the mirror executes the plans):
+//!
+//! * **Strategy 1 — minimal chunk cover prefetch**: a read touching any
+//!   region not fully available locally fetches the *whole* chunks
+//!   covering the region, trading a little extra traffic for far fewer
+//!   small remote reads and better correlated-read performance.
+//! * **Strategy 2 — one contiguous region per chunk**: a write landing on
+//!   a chunk that already has local content fetches whatever gap lies
+//!   between, so that per chunk only the limits of a single contiguous
+//!   region ever need tracking. This bounds fragmentation overhead by the
+//!   number of chunks.
+//!
+//! Both strategies are toggleable (the ablation benches measure their
+//! effect); with both enabled the per-chunk single-run invariant holds and
+//! is property-tested.
+
+use bff_data::{chunk_cover, chunk_range, intersect, ByteRange, RangeSet};
+
+/// Bookkeeping for one mirrored image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMap {
+    image_len: u64,
+    chunk_size: u64,
+    /// Bytes available locally (mirrored or written).
+    local: RangeSet,
+    /// Bytes considered modified since the last COMMIT.
+    dirty: RangeSet,
+}
+
+impl ChunkMap {
+    /// Empty map for an image of `image_len` bytes in `chunk_size` chunks.
+    pub fn new(image_len: u64, chunk_size: u64) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self { image_len, chunk_size, local: RangeSet::new(), dirty: RangeSet::new() }
+    }
+
+    /// Image length in bytes.
+    pub fn image_len(&self) -> u64 {
+        self.image_len
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// Bytes available locally.
+    pub fn local_bytes(&self) -> u64 {
+        self.local.covered()
+    }
+
+    /// Bytes dirty since last commit.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty.covered()
+    }
+
+    /// Whether `range` is fully serviceable from local content.
+    pub fn is_local(&self, range: &ByteRange) -> bool {
+        self.local.contains_range(range)
+    }
+
+    /// Whether chunk `idx` is completely mirrored.
+    pub fn is_chunk_local(&self, idx: u64) -> bool {
+        self.local.contains_range(&chunk_range(idx, self.chunk_size, self.image_len))
+    }
+
+    /// Number of maximal runs tracked (the fragmentation-overhead metric
+    /// that strategy 2 bounds).
+    pub fn fragmentation(&self) -> usize {
+        self.local.run_count() + self.dirty.run_count()
+    }
+
+    /// Plan the remote fetches needed before serving a read of `range`.
+    ///
+    /// With `whole_chunks` (strategy 1) the plan is the minimal set of
+    /// not-fully-local chunks covering the region, coalesced into
+    /// contiguous runs; without it, the plan is exactly the missing byte
+    /// ranges.
+    pub fn plan_read(&self, range: &ByteRange, whole_chunks: bool) -> Vec<ByteRange> {
+        assert!(range.end <= self.image_len, "read beyond image");
+        if range.start >= range.end || self.local.contains_range(range) {
+            return Vec::new();
+        }
+        if !whole_chunks {
+            return self.local.gaps_within(range);
+        }
+        let mut plan: Vec<ByteRange> = Vec::new();
+        for idx in chunk_cover(range, self.chunk_size) {
+            let cr = chunk_range(idx, self.chunk_size, self.image_len);
+            if self.local.contains_range(&cr) {
+                continue;
+            }
+            match plan.last_mut() {
+                Some(last) if last.end == cr.start => last.end = cr.end,
+                _ => plan.push(cr),
+            }
+        }
+        plan
+    }
+
+    /// The sub-ranges of `range` NOT yet local (used to merge fetched data
+    /// without clobbering local writes: local content always wins).
+    pub fn local_gaps_within(&self, range: &ByteRange) -> Vec<ByteRange> {
+        self.local.gaps_within(range)
+    }
+
+    /// Record that `range` was fetched from the repository and mirrored.
+    pub fn note_fetched(&mut self, range: ByteRange) {
+        assert!(range.end <= self.image_len, "fetch beyond image");
+        self.local.insert(range);
+    }
+
+    /// Plan the gap-fill fetches required before a write of `range`
+    /// (strategy 2): per touched chunk, the bytes between the existing
+    /// local region and the incoming write that are neither local nor
+    /// about to be overwritten.
+    pub fn plan_write_gaps(&self, range: &ByteRange) -> Vec<ByteRange> {
+        assert!(range.end <= self.image_len, "write beyond image");
+        let mut gaps = Vec::new();
+        if range.start >= range.end {
+            return gaps;
+        }
+        for idx in chunk_cover(range, self.chunk_size) {
+            let cr = chunk_range(idx, self.chunk_size, self.image_len);
+            let w = intersect(&cr, range);
+            // Hull of existing local content in this chunk and the write.
+            let runs: Vec<ByteRange> = self.local.runs_within(&cr).collect();
+            let Some(first) = runs.first() else { continue };
+            let last = runs.last().expect("non-empty");
+            let hull = first.start.min(w.start)..last.end.max(w.end);
+            for g in self.local.gaps_within(&hull) {
+                let g = ByteRange { start: g.start, end: g.end };
+                // Exclude what the write itself will cover.
+                if g.end <= w.start || g.start >= w.end {
+                    gaps.push(g);
+                } else {
+                    if g.start < w.start {
+                        gaps.push(g.start..w.start);
+                    }
+                    if g.end > w.end {
+                        gaps.push(w.end..g.end);
+                    }
+                }
+            }
+        }
+        gaps
+    }
+
+    /// Record a local write of `range`. With `gap_fill` (strategy 2) the
+    /// dirty region of each touched chunk is extended to the contiguous
+    /// hull of its previous dirty region and the new write; without it the
+    /// exact range is tracked (fragmentation then grows unboundedly, which
+    /// is what the ablation measures).
+    pub fn note_written(&mut self, range: ByteRange, gap_fill: bool) {
+        assert!(range.end <= self.image_len, "write beyond image");
+        if range.start >= range.end {
+            return;
+        }
+        if !gap_fill {
+            self.local.insert(range.clone());
+            self.dirty.insert(range);
+            return;
+        }
+        for idx in chunk_cover(&range, self.chunk_size) {
+            let cr = chunk_range(idx, self.chunk_size, self.image_len);
+            let w = intersect(&cr, &range);
+            // Local hull: gap-fill fetches must already have been noted
+            // (the mirror executes plan_write_gaps first), so inserting
+            // the write keeps the chunk's local region contiguous.
+            self.local.insert(w.clone());
+            // Dirty hull within the chunk.
+            let hull = match self.dirty.runs_within(&cr).next() {
+                Some(first) => {
+                    let last_end = self
+                        .dirty
+                        .runs_within(&cr)
+                        .last()
+                        .map(|r| r.end)
+                        .expect("non-empty");
+                    first.start.min(w.start)..last_end.max(w.end)
+                }
+                None => w.clone(),
+            };
+            self.dirty.insert(hull);
+        }
+    }
+
+    /// Indices of chunks with dirty content (what COMMIT must publish).
+    pub fn dirty_chunks(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for run in self.dirty.iter() {
+            for idx in chunk_cover(&run, self.chunk_size) {
+                if out.last() != Some(&idx) {
+                    out.push(idx);
+                }
+            }
+        }
+        out
+    }
+
+    /// Forget dirty state after a successful COMMIT (content stays local).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Verify the strategy-2 invariant: per chunk, at most one contiguous
+    /// local run and one contiguous dirty run. Used by tests and debug
+    /// assertions; only meaningful when both strategies are enabled.
+    pub fn check_single_region_invariant(&self) -> Result<(), String> {
+        for idx in 0..self.image_len.div_ceil(self.chunk_size) {
+            let cr = chunk_range(idx, self.chunk_size, self.image_len);
+            let locals = self.local.runs_within(&cr).count();
+            if locals > 1 {
+                return Err(format!("chunk {idx}: {locals} local runs"));
+            }
+            let dirties = self.dirty.runs_within(&cr).count();
+            if dirties > 1 {
+                return Err(format!("chunk {idx}: {dirties} dirty runs"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to a compact byte format (the extra metadata the local
+    /// modification manager writes next to the mirror file on close,
+    /// §4.2).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            40 + 16 * (self.local.run_count() + self.dirty.run_count()),
+        );
+        out.extend(b"BFFM");
+        out.extend(1u32.to_le_bytes()); // format version
+        out.extend(self.image_len.to_le_bytes());
+        out.extend(self.chunk_size.to_le_bytes());
+        for set in [&self.local, &self.dirty] {
+            out.extend((set.run_count() as u64).to_le_bytes());
+            for r in set.iter() {
+                out.extend(r.start.to_le_bytes());
+                out.extend(r.end.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restore from [`Self::serialize`] output.
+    pub fn deserialize(data: &[u8]) -> Result<Self, String> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            let s = data.get(*pos..*pos + n).ok_or("truncated chunk-map metadata")?;
+            *pos += n;
+            Ok(s)
+        };
+        let u64_at = |pos: &mut usize| -> Result<u64, String> {
+            let b = take(pos, 8)?;
+            Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        };
+        if take(&mut pos, 4)? != b"BFFM" {
+            return Err("bad magic".into());
+        }
+        let ver = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        if ver != 1 {
+            return Err(format!("unsupported chunk-map format {ver}"));
+        }
+        let image_len = u64_at(&mut pos)?;
+        let chunk_size = u64_at(&mut pos)?;
+        if chunk_size == 0 {
+            return Err("zero chunk size".into());
+        }
+        let mut sets = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let n = u64_at(&mut pos)?;
+            let mut set = RangeSet::new();
+            for _ in 0..n {
+                let s = u64_at(&mut pos)?;
+                let e = u64_at(&mut pos)?;
+                if s >= e || e > image_len {
+                    return Err("corrupt run".into());
+                }
+                set.insert(s..e);
+            }
+            sets.push(set);
+        }
+        let dirty = sets.pop().expect("two sets");
+        let local = sets.pop().expect("two sets");
+        Ok(Self { image_len, chunk_size, local, dirty })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> ChunkMap {
+        ChunkMap::new(1000, 100)
+    }
+
+    #[test]
+    fn fresh_map_plans_whole_chunk_fetches() {
+        let m = map();
+        // Read 150..250 spans chunks 1 and 2 -> fetch 100..300 in one run.
+        assert_eq!(m.plan_read(&(150..250), true), vec![100..300]);
+        // Exact mode fetches only the requested range.
+        assert_eq!(m.plan_read(&(150..250), false), vec![150..250]);
+    }
+
+    #[test]
+    fn fully_local_read_plans_nothing() {
+        let mut m = map();
+        m.note_fetched(100..300);
+        assert!(m.plan_read(&(150..250), true).is_empty());
+        assert!(m.plan_read(&(100..300), true).is_empty());
+    }
+
+    #[test]
+    fn partially_local_chunk_is_refetched_whole() {
+        let mut m = map();
+        // A write made 120..140 local; a read of 110..130 still fetches
+        // the whole chunk (local data will win at merge time).
+        m.note_written(120..140, true);
+        assert_eq!(m.plan_read(&(110..130), true), vec![100..200]);
+        // Gaps-within lets the mirror merge without clobbering the write.
+        assert_eq!(m.local_gaps_within(&(100..200)), vec![100..120, 140..200]);
+    }
+
+    #[test]
+    fn plan_skips_interior_local_chunks() {
+        let mut m = map();
+        m.note_fetched(200..300); // chunk 2 fully local
+        let plan = m.plan_read(&(150..450), true);
+        assert_eq!(plan, vec![100..200, 300..500]);
+    }
+
+    #[test]
+    fn write_gap_fill_plan() {
+        let mut m = map();
+        // First write in chunk 0.
+        assert!(m.plan_write_gaps(&(10..20)).is_empty());
+        m.note_written(10..20, true);
+        // Second write in the same chunk, gap 20..50 must be filled.
+        assert_eq!(m.plan_write_gaps(&(50..60)), vec![20..50]);
+        // A write before the existing region fills the gap after it.
+        assert_eq!(m.plan_write_gaps(&(0..5)), vec![5..10]);
+        // Overlapping/adjacent writes need no fill.
+        assert!(m.plan_write_gaps(&(15..30)).is_empty());
+        assert!(m.plan_write_gaps(&(20..30)).is_empty());
+    }
+
+    #[test]
+    fn gap_fill_keeps_single_region_per_chunk() {
+        let mut m = map();
+        m.note_written(10..20, true);
+        // Mirror executes the plan, then notes the write.
+        for g in m.plan_write_gaps(&(50..60)) {
+            m.note_fetched(g);
+        }
+        m.note_written(50..60, true);
+        m.check_single_region_invariant().unwrap();
+        assert!(m.is_local(&(10..60)));
+        // Dirty is the hull.
+        assert_eq!(m.dirty_bytes(), 50);
+        assert_eq!(m.fragmentation(), 2, "one local + one dirty run");
+    }
+
+    #[test]
+    fn without_gap_fill_fragmentation_grows() {
+        let mut m = map();
+        m.note_written(10..12, false);
+        m.note_written(20..22, false);
+        m.note_written(30..32, false);
+        assert_eq!(m.fragmentation(), 6);
+        assert!(m.check_single_region_invariant().is_err());
+    }
+
+    #[test]
+    fn write_spanning_chunks_tracks_per_chunk_hulls() {
+        let mut m = map();
+        m.note_written(80..250, true);
+        m.check_single_region_invariant().unwrap();
+        assert_eq!(m.dirty_chunks(), vec![0, 1, 2]);
+        // Chunk-local dirtiness: chunk 0 dirty only at 80..100.
+        assert!(m.is_local(&(80..250)));
+        assert!(!m.is_local(&(79..80)));
+    }
+
+    #[test]
+    fn dirty_chunks_deduplicated_and_sorted() {
+        let mut m = map();
+        m.note_written(50..60, true);
+        m.note_written(850..950, true);
+        m.note_written(150..160, true);
+        assert_eq!(m.dirty_chunks(), vec![0, 1, 8, 9]);
+        m.clear_dirty();
+        assert!(m.dirty_chunks().is_empty());
+        // Local content survives a commit.
+        assert!(m.is_local(&(50..60)));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut m = map();
+        m.note_fetched(0..100);
+        m.note_written(250..300, true);
+        m.note_written(920..1000, true);
+        let bytes = m.serialize();
+        let back = ChunkMap::deserialize(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(ChunkMap::deserialize(b"nope").is_err());
+        assert!(ChunkMap::deserialize(b"BFFMxxxxxxxxxxxxxxxx").is_err());
+        let mut ok = map();
+        ok.note_fetched(0..10);
+        let mut bytes = ok.serialize();
+        let n = bytes.len();
+        bytes.truncate(n - 3);
+        assert!(ChunkMap::deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn tail_chunk_clamped() {
+        let m = ChunkMap::new(950, 100);
+        assert_eq!(m.plan_read(&(920..950), true), vec![900..950]);
+    }
+}

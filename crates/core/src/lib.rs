@@ -1,0 +1,34 @@
+//! # bff-core
+//!
+//! The paper's primary contribution: a virtual file system optimized for
+//! the *multideployment* and *multisnapshotting* patterns on clouds.
+//!
+//! The public surface mirrors the paper's architecture (Fig. 2):
+//!
+//! * [`mirror::MirroredImage`] — the mirroring module. It presents a raw
+//!   VM image backed by a local sparse mirror: reads fetch missing
+//!   content from the versioning repository on demand (whole minimal
+//!   chunk covers — §3.3 strategy 1), writes stay local with gap-filling
+//!   so each chunk keeps one contiguous region (§3.3 strategy 2), and
+//!   `CLONE`/`COMMIT` turn local modifications into first-class,
+//!   standalone snapshots that share all unmodified content.
+//! * [`chunkmap::ChunkMap`] — the local modification manager's state,
+//!   persisted on close and restored on re-open (§4.2).
+//! * [`localstore`] — the mirror backing stores (a real file or an
+//!   in-memory extent map).
+//! * [`vfs::VirtualFs`] — the POSIX-like façade the hypervisor sees, with
+//!   `CLONE`/`COMMIT` exposed as ioctl-style calls.
+//!
+//! The repository underneath is [`bff_blobseer`]; all remote and disk
+//! costs flow through [`bff_net::Fabric`], so this exact code runs both
+//! in-process on real bytes and on the simulated testbed.
+
+pub mod chunkmap;
+pub mod localstore;
+pub mod mirror;
+pub mod vfs;
+
+pub use chunkmap::ChunkMap;
+pub use localstore::{FileStore, LocalStore, MemStore};
+pub use mirror::{MirrorConfig, MirrorStats, MirroredImage, SavedMirror};
+pub use vfs::{Fd, Ioctl, IoctlReply, VfsError, VirtualFs};

@@ -1,0 +1,204 @@
+//! Local mirror backing stores.
+//!
+//! The mirroring module keeps a sparse local copy of the image on the
+//! compute node's disk (§3.1.2). Two interchangeable stores implement
+//! that role:
+//!
+//! * [`MemStore`] — an extent map of [`Payload`]s. Used by the simulator
+//!   (where payloads are synthetic descriptors and a 2 GB mirror costs a
+//!   few entries) and by in-memory tests (where payloads are literal
+//!   bytes).
+//! * [`FileStore`] — a real sparse file on the host filesystem, for
+//!   examples and integration tests that exercise actual I/O.
+//!
+//! Reads of never-written regions return zeros, matching the semantics of
+//! the initially-empty sparse mirror file the FUSE module creates on first
+//! open (§4.2).
+
+use bff_data::extent::ExtentPiece;
+use bff_data::{ByteRange, ExtentMap, Payload};
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// Abstract local mirror storage.
+pub trait LocalStore: Send {
+    /// Image length in bytes (fixed at creation).
+    fn len(&self) -> u64;
+
+    /// Whether the store is zero-length.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read `range`; unwritten bytes are zeros.
+    fn read(&self, range: &ByteRange) -> Payload;
+
+    /// Write `data` at `offset`.
+    fn write(&mut self, offset: u64, data: &Payload);
+}
+
+/// In-memory extent-map store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    len: u64,
+    extents: ExtentMap<Payload>,
+}
+
+impl MemStore {
+    /// An empty (all-zero) store of `len` bytes.
+    pub fn new(len: u64) -> Self {
+        Self { len, extents: ExtentMap::new() }
+    }
+
+    /// Number of stored extents (diagnostic).
+    pub fn extent_count(&self) -> usize {
+        self.extents.extent_count()
+    }
+}
+
+impl LocalStore for MemStore {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read(&self, range: &ByteRange) -> Payload {
+        assert!(range.end <= self.len, "read beyond store");
+        let mut out = Payload::empty();
+        for piece in self.extents.read(range) {
+            match piece {
+                ExtentPiece::Data(_, p) => out.append(p),
+                ExtentPiece::Gap(g) => out.append(Payload::zeros(g.end - g.start)),
+            }
+        }
+        out
+    }
+
+    fn write(&mut self, offset: u64, data: &Payload) {
+        assert!(offset + data.len() <= self.len, "write beyond store");
+        if data.is_empty() {
+            return;
+        }
+        self.extents.insert(offset..offset + data.len(), data.clone());
+    }
+}
+
+/// A real file used as the local mirror.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    len: u64,
+}
+
+impl FileStore {
+    /// Create (or truncate) a sparse file of `len` bytes at `path`.
+    pub fn create(path: &Path, len: u64) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len(len)?;
+        Ok(Self { file, len })
+    }
+
+    /// Open an existing mirror file (its size defines the image length).
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self { file, len })
+    }
+}
+
+impl LocalStore for FileStore {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn read(&self, range: &ByteRange) -> Payload {
+        use std::os::unix::fs::FileExt;
+        assert!(range.end <= self.len, "read beyond store");
+        let mut buf = vec![0u8; (range.end - range.start) as usize];
+        self.file
+            .read_exact_at(&mut buf, range.start)
+            .expect("mirror file read failed");
+        Payload::from(buf)
+    }
+
+    fn write(&mut self, offset: u64, data: &Payload) {
+        use std::os::unix::fs::FileExt;
+        assert!(offset + data.len() <= self.len, "write beyond store");
+        if data.is_empty() {
+            return;
+        }
+        let bytes = data.materialize();
+        self.file
+            .write_all_at(&bytes, offset)
+            .expect("mirror file write failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn LocalStore) {
+        assert_eq!(store.len(), 1000);
+        // Unwritten regions are zeros.
+        assert!(store.read(&(0..100)).content_eq(&Payload::zeros(100)));
+        // Write/read-back.
+        store.write(50, &Payload::from(vec![7u8; 30]));
+        let got = store.read(&(40..90));
+        let mut expect = vec![0u8; 50];
+        expect[10..40].fill(7);
+        assert_eq!(got.materialize(), expect);
+        // Overwrite part of it.
+        store.write(60, &Payload::from(vec![9u8; 10]));
+        let got = store.read(&(50..80)).materialize();
+        assert_eq!(&got[..10], &[7u8; 10]);
+        assert_eq!(&got[10..20], &[9u8; 10]);
+        assert_eq!(&got[20..30], &[7u8; 10]);
+        // Tail write up to the boundary.
+        store.write(990, &Payload::from(vec![1u8; 10]));
+        assert_eq!(store.read(&(995..1000)).materialize(), vec![1u8; 5]);
+    }
+
+    #[test]
+    fn mem_store_semantics() {
+        let mut s = MemStore::new(1000);
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn file_store_semantics() {
+        let dir = std::env::temp_dir().join(format!("bff-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mirror.img");
+        let mut s = FileStore::create(&path, 1000).unwrap();
+        exercise(&mut s);
+        drop(s);
+        // Reopen preserves contents.
+        let s = FileStore::open(&path).unwrap();
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.read(&(60..70)).materialize(), vec![9u8; 10]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_store_synthetic_payloads_stay_compact() {
+        let mut s = MemStore::new(1 << 30);
+        // A gigabyte of synthetic content costs one extent.
+        s.write(0, &Payload::synth(1, 0, 1 << 30));
+        assert_eq!(s.extent_count(), 1);
+        let got = s.read(&(12345..12400));
+        assert!(got.content_eq(&Payload::synth(1, 12345, 55)));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond store")]
+    fn write_out_of_bounds_panics() {
+        let mut s = MemStore::new(10);
+        s.write(5, &Payload::zeros(10));
+    }
+}

@@ -1,0 +1,83 @@
+//! Content digests used for cheap equality checks in tests and for
+//! content-addressing diagnostics.
+//!
+//! FNV-1a over 64 bits is sufficient here: digests are never used for
+//! security, only to compare payloads without materializing both sides,
+//! and collisions in test-sized inputs are vanishingly unlikely.
+
+/// A 64-bit FNV-1a digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Digest(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: u64,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// Start a fresh digest.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorb bytes.
+    #[inline]
+    pub fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        for &b in data {
+            s ^= b as u64;
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Finish and produce the digest.
+    pub fn finish(&self) -> Digest {
+        Digest(self.state)
+    }
+}
+
+impl Digest {
+    /// Digest a byte slice in one call.
+    pub fn of(data: &[u8]) -> Digest {
+        let mut h = Hasher::new();
+        h.update(data);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(Digest::of(b""), Digest(0xcbf29ce484222325));
+        assert_eq!(Digest::of(b"a"), Digest(0xaf63dc4c8601ec8c));
+        assert_eq!(Digest::of(b"foobar"), Digest(0x85944171f73967e8));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Hasher::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finish(), Digest::of(b"hello world"));
+    }
+
+    #[test]
+    fn order_matters() {
+        assert_ne!(Digest::of(b"ab"), Digest::of(b"ba"));
+    }
+}

@@ -1,0 +1,301 @@
+//! An extent map: disjoint byte ranges each carrying a value, with
+//! overwrite semantics (later inserts shadow earlier ones in the
+//! overlapped region).
+//!
+//! This is the in-memory representation of sparse address spaces across the
+//! workspace: the simulated local mirror file (offset → payload extents),
+//! PVFS stripe contents, and provider chunk stores all build on it. Values
+//! must implement [`ExtentValue`] so that partially overlapped extents can
+//! be split without materializing anything.
+
+use crate::range::ByteRange;
+use std::collections::BTreeMap;
+
+/// A value that can be split at a relative offset.
+pub trait ExtentValue: Clone {
+    /// Split into the parts before and after `at` (relative to the extent
+    /// start, `0 < at < len`).
+    fn split(&self, at: u64) -> (Self, Self);
+}
+
+impl ExtentValue for () {
+    fn split(&self, _at: u64) -> ((), ()) {
+        ((), ())
+    }
+}
+
+impl ExtentValue for crate::payload::Payload {
+    fn split(&self, at: u64) -> (Self, Self) {
+        (self.slice(0, at), self.slice(at, self.len()))
+    }
+}
+
+/// Disjoint ranges with values; inserts overwrite.
+#[derive(Debug, Clone, Default)]
+pub struct ExtentMap<V> {
+    /// start -> (end, value); disjoint, non-empty.
+    ents: BTreeMap<u64, (u64, V)>,
+}
+
+impl<V: ExtentValue> ExtentMap<V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        Self { ents: BTreeMap::new() }
+    }
+
+    /// Number of stored extents.
+    pub fn extent_count(&self) -> usize {
+        self.ents.len()
+    }
+
+    /// Whether the map has no extents.
+    pub fn is_empty(&self) -> bool {
+        self.ents.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.ents.iter().map(|(s, (e, _))| e - s).sum()
+    }
+
+    /// Insert `value` for `range`, truncating/splitting whatever it
+    /// overlaps. `value`'s logical length must equal the range length.
+    pub fn insert(&mut self, range: ByteRange, value: V) {
+        if range.start >= range.end {
+            return;
+        }
+        // Handle a predecessor extent overlapping our start.
+        if let Some((&s, &(e, _))) = self.ents.range(..range.start).next_back() {
+            if e > range.start {
+                let (_, (end, v)) = self.ents.remove_entry(&s).expect("present");
+                let (left, rest) = v.split(range.start - s);
+                self.ents.insert(s, (range.start, left));
+                if end > range.end {
+                    let (_, right) = rest.split(range.end - range.start);
+                    self.ents.insert(range.end, (end, right));
+                }
+            }
+        }
+        // Handle extents starting within our range.
+        loop {
+            let next = self
+                .ents
+                .range(range.start..range.end)
+                .next()
+                .map(|(&s, &(e, _))| (s, e));
+            match next {
+                Some((s, e)) => {
+                    let (_, (_, v)) = self.ents.remove_entry(&s).expect("present");
+                    if e > range.end {
+                        let (_, right) = v.split(range.end - s);
+                        self.ents.insert(range.end, (e, right));
+                    }
+                }
+                None => break,
+            }
+        }
+        self.ents.insert(range.start, (range.end, value));
+    }
+
+    /// Remove all extents intersecting `range` (splitting at the borders).
+    pub fn remove(&mut self, range: ByteRange) {
+        if range.start >= range.end {
+            return;
+        }
+        if let Some((&s, &(e, _))) = self.ents.range(..range.start).next_back() {
+            if e > range.start {
+                let (_, (end, v)) = self.ents.remove_entry(&s).expect("present");
+                let (left, rest) = v.split(range.start - s);
+                self.ents.insert(s, (range.start, left));
+                if end > range.end {
+                    let (_, right) = rest.split(range.end - range.start);
+                    self.ents.insert(range.end, (end, right));
+                }
+            }
+        }
+        loop {
+            let next = self
+                .ents
+                .range(range.start..range.end)
+                .next()
+                .map(|(&s, &(e, _))| (s, e));
+            match next {
+                Some((s, e)) => {
+                    let (_, (_, v)) = self.ents.remove_entry(&s).expect("present");
+                    if e > range.end {
+                        let (_, right) = v.split(range.end - s);
+                        self.ents.insert(range.end, (e, right));
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Iterate over `(range, value)` pieces intersecting `range`, clamped
+    /// to it, in offset order. Gaps are skipped (see [`Self::read`] for a
+    /// gap-reporting variant).
+    pub fn pieces_within<'a>(
+        &'a self,
+        range: &ByteRange,
+    ) -> impl Iterator<Item = (ByteRange, V)> + 'a {
+        let (rs, re) = (range.start, range.end);
+        let pred = self
+            .ents
+            .range(..rs)
+            .next_back()
+            .filter(move |(_, (e, _))| *e > rs)
+            .map(|(&s, (e, v))| (s, *e, v));
+        pred.into_iter()
+            .chain(self.ents.range(rs..re).map(|(&s, (e, v))| (s, *e, v)))
+            .filter_map(move |(s, e, v)| {
+                let cs = s.max(rs);
+                let ce = e.min(re);
+                if cs >= ce {
+                    return None;
+                }
+                // Clamp the value to the clamped range.
+                let v = if cs > s { v.split(cs - s).1 } else { v.clone() };
+                let v = if ce < e { v.split(ce - cs).0 } else { v };
+                Some((cs..ce, v))
+            })
+    }
+
+    /// Read `range` as a sequence of covered pieces and gaps.
+    pub fn read(&self, range: &ByteRange) -> Vec<ExtentPiece<V>> {
+        let mut out = Vec::new();
+        let mut cursor = range.start;
+        for (r, v) in self.pieces_within(range) {
+            if r.start > cursor {
+                out.push(ExtentPiece::Gap(cursor..r.start));
+            }
+            cursor = r.end;
+            out.push(ExtentPiece::Data(r, v));
+        }
+        if cursor < range.end {
+            out.push(ExtentPiece::Gap(cursor..range.end));
+        }
+        out
+    }
+
+    /// Iterate over all extents in offset order.
+    pub fn iter(&self) -> impl Iterator<Item = (ByteRange, &V)> + '_ {
+        self.ents.iter().map(|(&s, (e, v))| (s..*e, v))
+    }
+}
+
+/// A piece of an extent-map read: data or a gap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtentPiece<V> {
+    /// Covered range with its (clamped) value.
+    Data(ByteRange, V),
+    /// Uncovered hole.
+    Gap(ByteRange),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+
+    /// Reference model: byte-per-slot array of Option<tag>.
+    fn check_against_model(ops: &[(ByteRange, u8)], probe: ByteRange) {
+        const N: usize = 64;
+        let mut model = [None::<u8>; N];
+        let mut map: ExtentMap<TaggedLen> = ExtentMap::new();
+        for (r, tag) in ops {
+            for i in r.start..r.end {
+                model[i as usize] = Some(*tag);
+            }
+            map.insert(r.clone(), TaggedLen { tag: *tag, len: r.end - r.start });
+        }
+        // Every piece returned must match the model bytes.
+        for piece in map.read(&probe) {
+            match piece {
+                ExtentPiece::Data(r, v) => {
+                    assert_eq!(v.len, r.end - r.start);
+                    for i in r.start..r.end {
+                        assert_eq!(model[i as usize], Some(v.tag), "at {i}");
+                    }
+                }
+                ExtentPiece::Gap(r) => {
+                    for i in r.start..r.end {
+                        assert_eq!(model[i as usize], None, "at {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A value that knows its length and a tag, to validate splitting.
+    #[derive(Debug, Clone, PartialEq)]
+    struct TaggedLen {
+        tag: u8,
+        len: u64,
+    }
+    impl ExtentValue for TaggedLen {
+        fn split(&self, at: u64) -> (Self, Self) {
+            assert!(at <= self.len);
+            (
+                TaggedLen { tag: self.tag, len: at },
+                TaggedLen { tag: self.tag, len: self.len - at },
+            )
+        }
+    }
+
+    #[test]
+    fn overwrite_middle_splits() {
+        check_against_model(&[(0..10, 1), (3..6, 2)], 0..12);
+    }
+
+    #[test]
+    fn overwrite_spanning_many() {
+        check_against_model(&[(0..4, 1), (6..10, 2), (12..16, 3), (2..14, 4)], 0..20);
+    }
+
+    #[test]
+    fn exact_replacement() {
+        check_against_model(&[(5..10, 1), (5..10, 2)], 0..16);
+    }
+
+    #[test]
+    fn payload_extents_keep_content() {
+        let mut m: ExtentMap<Payload> = ExtentMap::new();
+        m.insert(0..10, Payload::synth(1, 0, 10));
+        m.insert(4..6, Payload::from(&b"XY"[..]));
+        let pieces = m.read(&(0..10));
+        let mut assembled = Vec::new();
+        for p in pieces {
+            match p {
+                ExtentPiece::Data(_, v) => assembled.extend(v.materialize()),
+                ExtentPiece::Gap(r) => assembled.extend(vec![0u8; (r.end - r.start) as usize]),
+            }
+        }
+        let mut expect = crate::synth::SynthSource::new(1).materialize(0, 10);
+        expect[4] = b'X';
+        expect[5] = b'Y';
+        assert_eq!(assembled, expect);
+    }
+
+    #[test]
+    fn remove_behaviour() {
+        let mut m: ExtentMap<TaggedLen> = ExtentMap::new();
+        m.insert(0..10, TaggedLen { tag: 1, len: 10 });
+        m.remove(3..6);
+        let pieces = m.read(&(0..10));
+        assert_eq!(pieces.len(), 3);
+        assert!(matches!(&pieces[1], ExtentPiece::Gap(r) if *r == (3..6)));
+        assert_eq!(m.covered(), 7);
+    }
+
+    #[test]
+    fn pieces_within_clamps_values() {
+        let mut m: ExtentMap<Payload> = ExtentMap::new();
+        m.insert(0..100, Payload::synth(2, 0, 100));
+        let pieces: Vec<_> = m.pieces_within(&(10..20)).collect();
+        assert_eq!(pieces.len(), 1);
+        let (r, v) = &pieces[0];
+        assert_eq!(*r, 10..20);
+        assert_eq!(v.materialize(), crate::synth::SynthSource::new(2).materialize(10, 10));
+    }
+}

@@ -1,0 +1,30 @@
+//! # bff-data
+//!
+//! The shared data plane for the `bff` workspace: byte-range utilities,
+//! disjoint range sets, extent maps, digests and a *payload rope* that can
+//! represent either literal bytes or deterministically generated synthetic
+//! content.
+//!
+//! Synthetic payloads are what make repository-scale experiments feasible:
+//! a 2 GB VM image replicated across 110 simulated compute nodes would not
+//! fit in memory as literal bytes, but as `(seed, offset, len)` descriptors
+//! it occupies a few dozen bytes per extent while remaining *byte-accurate*:
+//! every byte of a synthetic extent has a defined value that can be
+//! materialized, compared, digested and sliced exactly like literal data.
+//! All storage-stack code in the workspace (BlobSeer chunks, mirrored image
+//! regions, qcow2 clusters, PVFS stripes) moves [`Payload`] values, so the
+//! same code path is exercised whether the contents are real or synthetic.
+
+pub mod digest;
+pub mod extent;
+pub mod payload;
+pub mod range;
+pub mod rangeset;
+pub mod synth;
+
+pub use digest::Digest;
+pub use extent::{ExtentMap, ExtentValue};
+pub use payload::Payload;
+pub use range::{chunk_cover, chunk_range, intersect, ranges_overlap, ByteRange};
+pub use rangeset::RangeSet;
+pub use synth::{synth_byte, SynthSource};

@@ -1,0 +1,263 @@
+//! A set of disjoint, coalesced byte ranges.
+//!
+//! This is the bookkeeping structure behind the mirroring module's
+//! local-modification manager: which parts of the image are available
+//! locally, which chunks have been written, and where the gaps are.
+//! Rangesets are kept maximally coalesced (no two stored ranges touch or
+//! overlap), so membership and gap queries are O(log n) in the number of
+//! maximal runs.
+
+use crate::range::ByteRange;
+use std::collections::BTreeMap;
+
+/// A set of `u64` positions represented as disjoint half-open ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// start -> end, disjoint, non-adjacent, non-empty.
+    runs: BTreeMap<u64, u64>,
+}
+
+impl RangeSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of maximal runs (diagnostic; the fragmentation metric from
+    /// the paper's §3.3 discussion).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total number of positions covered.
+    pub fn covered(&self) -> u64 {
+        self.runs.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Insert a range, merging with any overlapping or adjacent runs.
+    pub fn insert(&mut self, range: ByteRange) {
+        if range.start >= range.end {
+            return;
+        }
+        let mut start = range.start;
+        let mut end = range.end;
+        // A run that starts at or before `start` may absorb us.
+        if let Some((&s, &e)) = self.runs.range(..=start).next_back() {
+            if e >= start {
+                start = s;
+                end = end.max(e);
+                self.runs.remove(&s);
+            }
+        }
+        // Absorb every run that begins within [start, end].
+        loop {
+            let next = self.runs.range(start..=end).next().map(|(&s, &e)| (s, e));
+            match next {
+                Some((s, e)) => {
+                    end = end.max(e);
+                    self.runs.remove(&s);
+                }
+                None => break,
+            }
+        }
+        self.runs.insert(start, end);
+    }
+
+    /// Remove a range from the set, splitting runs as needed.
+    pub fn remove(&mut self, range: ByteRange) {
+        if range.start >= range.end {
+            return;
+        }
+        // Find the run (if any) containing range.start's left neighborhood.
+        let mut to_add: Vec<(u64, u64)> = Vec::new();
+        let mut to_remove: Vec<u64> = Vec::new();
+        if let Some((&s, &e)) = self.runs.range(..range.start).next_back() {
+            if e > range.start {
+                to_remove.push(s);
+                to_add.push((s, range.start));
+                if e > range.end {
+                    to_add.push((range.end, e));
+                }
+            }
+        }
+        for (&s, &e) in self.runs.range(range.start..range.end) {
+            to_remove.push(s);
+            if e > range.end {
+                to_add.push((range.end, e));
+            }
+        }
+        for s in to_remove {
+            self.runs.remove(&s);
+        }
+        for (s, e) in to_add {
+            if s < e {
+                self.runs.insert(s, e);
+            }
+        }
+    }
+
+    /// Whether every position in `range` is in the set. Empty ranges are
+    /// trivially contained.
+    pub fn contains_range(&self, range: &ByteRange) -> bool {
+        if range.start >= range.end {
+            return true;
+        }
+        match self.runs.range(..=range.start).next_back() {
+            Some((_, &e)) => e >= range.end,
+            None => false,
+        }
+    }
+
+    /// Whether position `pos` is in the set.
+    pub fn contains(&self, pos: u64) -> bool {
+        self.contains_range(&(pos..pos + 1))
+    }
+
+    /// Iterate over the maximal runs intersecting `range`, clamped to it.
+    pub fn runs_within<'a>(
+        &'a self,
+        range: &ByteRange,
+    ) -> impl Iterator<Item = ByteRange> + 'a {
+        let (rs, re) = (range.start, range.end);
+        let pred = self
+            .runs
+            .range(..rs)
+            .next_back()
+            .filter(move |(_, &e)| e > rs)
+            .map(move |(&s, &e)| (s, e));
+        pred.into_iter()
+            .chain(self.runs.range(rs..re).map(|(&s, &e)| (s, e)))
+            .map(move |(s, e)| s.max(rs)..e.min(re))
+            .filter(|r| r.start < r.end)
+    }
+
+    /// The gaps: maximal sub-ranges of `range` NOT covered by the set.
+    pub fn gaps_within(&self, range: &ByteRange) -> Vec<ByteRange> {
+        let mut gaps = Vec::new();
+        let mut cursor = range.start;
+        for run in self.runs_within(range) {
+            if run.start > cursor {
+                gaps.push(cursor..run.start);
+            }
+            cursor = run.end;
+        }
+        if cursor < range.end {
+            gaps.push(cursor..range.end);
+        }
+        gaps
+    }
+
+    /// Iterate over all maximal runs in order.
+    pub fn iter(&self) -> impl Iterator<Item = ByteRange> + '_ {
+        self.runs.iter().map(|(&s, &e)| s..e)
+    }
+
+    /// The smallest single range enclosing the whole set, if non-empty.
+    pub fn span(&self) -> Option<ByteRange> {
+        let first = self.runs.iter().next()?;
+        let last = self.runs.iter().next_back()?;
+        Some(*first.0..*last.1)
+    }
+
+    /// Clear the set.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+}
+
+impl FromIterator<ByteRange> for RangeSet {
+    fn from_iter<T: IntoIterator<Item = ByteRange>>(iter: T) -> Self {
+        let mut s = RangeSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ranges: &[ByteRange]) -> RangeSet {
+        ranges.iter().cloned().collect()
+    }
+
+    #[test]
+    fn insert_disjoint() {
+        let s = set(&[0..5, 10..15]);
+        assert_eq!(s.run_count(), 2);
+        assert_eq!(s.covered(), 10);
+        assert!(s.contains_range(&(0..5)));
+        assert!(!s.contains_range(&(0..6)));
+        assert!(!s.contains(7));
+    }
+
+    #[test]
+    fn insert_overlapping_merges() {
+        let s = set(&[0..5, 3..8]);
+        assert_eq!(s.run_count(), 1);
+        assert!(s.contains_range(&(0..8)));
+    }
+
+    #[test]
+    fn insert_adjacent_merges() {
+        let s = set(&[0..5, 5..8]);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.span(), Some(0..8));
+    }
+
+    #[test]
+    fn insert_bridging_merges_multiple() {
+        let s = set(&[0..2, 4..6, 8..10, 1..9]);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.span(), Some(0..10));
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut s = RangeSet::new();
+        s.insert(5..5);
+        assert!(s.is_empty());
+        assert!(s.contains_range(&(3..3)));
+    }
+
+    #[test]
+    fn gaps_within_reports_uncovered() {
+        let s = set(&[2..4, 6..8]);
+        assert_eq!(s.gaps_within(&(0..10)), vec![0..2, 4..6, 8..10]);
+        assert_eq!(s.gaps_within(&(2..8)), vec![4..6]);
+        assert_eq!(s.gaps_within(&(2..4)), Vec::<ByteRange>::new());
+        assert_eq!(s.gaps_within(&(3..7)), vec![4..6]);
+    }
+
+    #[test]
+    fn runs_within_clamps() {
+        let s = set(&[0..100, 0..50]);
+        let runs: Vec<_> = s.runs_within(&(10..20)).collect();
+        assert_eq!(runs, vec![10..20]);
+    }
+
+    #[test]
+    fn remove_splits_runs() {
+        let mut s = set(&[0..4, 4..10]);
+        s.remove(3..6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0..3, 6..10]);
+        s.remove(0..3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![6..10]);
+        s.remove(5..20);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_across_runs() {
+        let mut s = set(&[0..4, 6..10, 12..16]);
+        s.remove(2..13);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0..2, 13..16]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Traffic and disk accounting shared by all fabric implementations.
+//!
+//! Counters are lock-free atomics so the in-process stack can hammer them
+//! from many threads; the simulator only touches them from its single
+//! running coroutine, where the atomics cost nothing contended.
+
+use crate::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-node traffic snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Bytes this node pushed onto the network.
+    pub sent: u64,
+    /// Bytes this node pulled from the network.
+    pub received: u64,
+    /// Bytes read from the local disk.
+    pub disk_read: u64,
+    /// Bytes written to the local disk.
+    pub disk_written: u64,
+}
+
+#[derive(Debug, Default)]
+struct NodeCounters {
+    sent: AtomicU64,
+    received: AtomicU64,
+    disk_read: AtomicU64,
+    disk_written: AtomicU64,
+}
+
+/// Aggregate traffic statistics for a fabric.
+#[derive(Debug)]
+pub struct TrafficStats {
+    nodes: Vec<NodeCounters>,
+    network_bytes: AtomicU64,
+    transfers: AtomicU64,
+    rpcs: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Counters for `nodes` machines.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes: (0..nodes).map(|_| NodeCounters::default()).collect(),
+            network_bytes: AtomicU64::new(0),
+            transfers: AtomicU64::new(0),
+            rpcs: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of nodes the stats were sized for.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Record a bulk transfer.
+    pub fn record_transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
+        self.network_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.transfers.fetch_add(1, Ordering::Relaxed);
+        self.nodes[src.index()].sent.fetch_add(bytes, Ordering::Relaxed);
+        self.nodes[dst.index()].received.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record an RPC round trip.
+    pub fn record_rpc(&self, src: NodeId, dst: NodeId, req: u64, resp: u64) {
+        self.network_bytes.fetch_add(req + resp, Ordering::Relaxed);
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.nodes[src.index()].sent.fetch_add(req, Ordering::Relaxed);
+        self.nodes[src.index()].received.fetch_add(resp, Ordering::Relaxed);
+        self.nodes[dst.index()].received.fetch_add(req, Ordering::Relaxed);
+        self.nodes[dst.index()].sent.fetch_add(resp, Ordering::Relaxed);
+    }
+
+    /// Record a local disk read.
+    pub fn record_disk_read(&self, node: NodeId, bytes: u64) {
+        self.nodes[node.index()].disk_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a local disk write.
+    pub fn record_disk_write(&self, node: NodeId, bytes: u64) {
+        self.nodes[node.index()].disk_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Total bytes moved over the network (the paper's Fig. 4(d) metric).
+    pub fn total_network_bytes(&self) -> u64 {
+        self.network_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of bulk transfers performed.
+    pub fn transfer_count(&self) -> u64 {
+        self.transfers.load(Ordering::Relaxed)
+    }
+
+    /// Number of RPC round trips performed.
+    pub fn rpc_count(&self) -> u64 {
+        self.rpcs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of one node's counters.
+    pub fn node(&self, node: NodeId) -> NodeTraffic {
+        let c = &self.nodes[node.index()];
+        NodeTraffic {
+            sent: c.sent.load(Ordering::Relaxed),
+            received: c.received.load(Ordering::Relaxed),
+            disk_read: c.disk_read.load(Ordering::Relaxed),
+            disk_written: c.disk_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters (between experiment repetitions).
+    pub fn reset(&self) {
+        self.network_bytes.store(0, Ordering::Relaxed);
+        self.transfers.store(0, Ordering::Relaxed);
+        self.rpcs.store(0, Ordering::Relaxed);
+        for c in &self.nodes {
+            c.sent.store(0, Ordering::Relaxed);
+            c.received.store(0, Ordering::Relaxed);
+            c.disk_read.store(0, Ordering::Relaxed);
+            c.disk_written.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let s = TrafficStats::new(3);
+        s.record_transfer(NodeId(0), NodeId(1), 100);
+        s.record_rpc(NodeId(1), NodeId(2), 10, 20);
+        assert_eq!(s.total_network_bytes(), 130);
+        assert_eq!(s.transfer_count(), 1);
+        assert_eq!(s.rpc_count(), 1);
+        assert_eq!(s.node(NodeId(1)).sent, 10);
+        assert_eq!(s.node(NodeId(1)).received, 120);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = TrafficStats::new(2);
+        s.record_transfer(NodeId(0), NodeId(1), 100);
+        s.record_disk_write(NodeId(0), 7);
+        s.reset();
+        assert_eq!(s.total_network_bytes(), 0);
+        assert_eq!(s.node(NodeId(0)), NodeTraffic::default());
+    }
+
+    #[test]
+    fn disk_counters_are_per_node() {
+        let s = TrafficStats::new(2);
+        s.record_disk_read(NodeId(0), 5);
+        s.record_disk_write(NodeId(1), 9);
+        assert_eq!(s.node(NodeId(0)).disk_read, 5);
+        assert_eq!(s.node(NodeId(0)).disk_written, 0);
+        assert_eq!(s.node(NodeId(1)).disk_written, 9);
+        // Disk traffic is not network traffic.
+        assert_eq!(s.total_network_bytes(), 0);
+    }
+}

@@ -1,0 +1,462 @@
+//! # bff-pvfs
+//!
+//! A PVFS-like striped distributed file system (Carns et al., ref.\[9] of the
+//! paper) — the storage backend of the qcow2 baseline in §5.2.
+//!
+//! Files are striped round-robin over I/O servers in fixed-size stripes;
+//! clients read and write stripes in parallel. Metadata (file → stripe
+//! map) is hash-distributed over the same servers, matching the paper's
+//! note that PVFS "employs a distributed metadata management scheme that
+//! avoids any potential bottlenecks due to metadata centralization".
+//!
+//! Like every storage component in the workspace, server state is passive
+//! and clients charge a [`Fabric`] for all messages and disk accesses, so
+//! the same code runs in-process and on the simulated testbed.
+
+use bff_data::{intersect, Payload, RangeSet};
+use bff_net::{Fabric, NetError, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// File identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Errors returned by PVFS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PvfsError {
+    /// Unknown file.
+    NoSuchFile(FileId),
+    /// Access beyond end of file.
+    OutOfBounds {
+        /// Requested start.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// File size.
+        size: u64,
+    },
+    /// Transport failure.
+    Net(NetError),
+}
+
+impl From<NetError> for PvfsError {
+    fn from(e: NetError) -> Self {
+        PvfsError::Net(e)
+    }
+}
+
+impl fmt::Display for PvfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PvfsError::NoSuchFile(id) => write!(f, "file {id:?} does not exist"),
+            PvfsError::OutOfBounds { offset, len, size } => {
+                write!(f, "access {offset}+{len} beyond size {size}")
+            }
+            PvfsError::Net(e) => write!(f, "network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PvfsError {}
+
+/// Configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PvfsConfig {
+    /// Stripe size in bytes (paper: 256 KB to match the chunk size).
+    pub stripe_size: u64,
+    /// Small control message size for RPC costing.
+    pub control_bytes: u64,
+    /// Whether servers keep read stripes in page cache.
+    pub server_read_cache: bool,
+}
+
+impl Default for PvfsConfig {
+    fn default() -> Self {
+        Self { stripe_size: 256 << 10, control_bytes: 64, server_read_cache: true }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    size: u64,
+    /// Index into the server list where stripe 0 lives.
+    base_server: usize,
+}
+
+#[derive(Debug, Default)]
+struct IoServer {
+    stripes: HashMap<(FileId, u64), Payload>,
+    /// Page-cache model: byte ranges of each stripe that are resident.
+    /// Partial reads cache only what they touched — this is what makes
+    /// many scattered small reads expensive on the servers (each one a
+    /// cold, seeking disk access), the effect §3.3 strategy 1 avoids.
+    hot: HashMap<(FileId, u64), RangeSet>,
+    stored_bytes: u64,
+}
+
+/// A deployed PVFS instance.
+pub struct Pvfs {
+    cfg: PvfsConfig,
+    servers: Vec<NodeId>,
+    state: Vec<Mutex<IoServer>>,
+    files: Mutex<HashMap<FileId, FileMeta>>,
+    next_file: Mutex<u64>,
+    fabric: Arc<dyn Fabric>,
+}
+
+impl Pvfs {
+    /// Deploy over the given I/O server nodes.
+    pub fn new(cfg: PvfsConfig, servers: Vec<NodeId>, fabric: Arc<dyn Fabric>) -> Arc<Self> {
+        assert!(!servers.is_empty(), "need at least one I/O server");
+        let state = servers.iter().map(|_| Mutex::new(IoServer::default())).collect();
+        Arc::new(Self {
+            cfg,
+            servers,
+            state,
+            files: Mutex::new(HashMap::new()),
+            next_file: Mutex::new(1),
+            fabric,
+        })
+    }
+
+    /// Stripe size in effect.
+    pub fn stripe_size(&self) -> u64 {
+        self.cfg.stripe_size
+    }
+
+    /// Total stripe bytes stored across servers.
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.state.iter().map(|s| s.lock().stored_bytes).sum()
+    }
+
+    /// Per-server stored bytes (balance diagnostics).
+    pub fn server_loads(&self) -> Vec<u64> {
+        self.state.iter().map(|s| s.lock().stored_bytes).collect()
+    }
+
+    /// Drop all simulated server page caches (cold-start experiments: the
+    /// image was staged long before the deployment request).
+    pub fn drop_caches(&self) {
+        for s in &self.state {
+            s.lock().hot.clear();
+        }
+    }
+
+    /// Metadata server index for a file (hash-distributed).
+    fn meta_server(&self, file: FileId) -> usize {
+        (file.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.servers.len()
+    }
+
+    /// Server index holding stripe `idx` of a file.
+    fn server_of(&self, meta: &FileMeta, idx: u64) -> usize {
+        (meta.base_server + idx as usize) % self.servers.len()
+    }
+}
+
+/// A client handle bound to one node.
+#[derive(Clone)]
+pub struct PvfsClient {
+    fs: Arc<Pvfs>,
+    node: NodeId,
+    meta_cache: Arc<Mutex<HashMap<FileId, FileMeta>>>,
+}
+
+impl PvfsClient {
+    /// Client for the process on `node`.
+    pub fn new(fs: Arc<Pvfs>, node: NodeId) -> Self {
+        Self { fs, node, meta_cache: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// The filesystem handle.
+    pub fn fs(&self) -> &Arc<Pvfs> {
+        &self.fs
+    }
+
+    fn meta_rpc(&self, file: FileId) -> Result<(), NetError> {
+        let srv = self.fs.servers[self.fs.meta_server(file)];
+        let c = self.fs.cfg.control_bytes;
+        self.fs.fabric.rpc(self.node, srv, c, c)
+    }
+
+    fn meta(&self, file: FileId) -> Result<FileMeta, PvfsError> {
+        if let Some(m) = self.meta_cache.lock().get(&file) {
+            return Ok(m.clone());
+        }
+        self.meta_rpc(file)?;
+        let m = self
+            .fs
+            .files
+            .lock()
+            .get(&file)
+            .cloned()
+            .ok_or(PvfsError::NoSuchFile(file))?;
+        self.meta_cache.lock().insert(file, m.clone());
+        Ok(m)
+    }
+
+    /// Create a file of `size` bytes (sparse; reads as zeros).
+    pub fn create(&self, size: u64) -> Result<FileId, PvfsError> {
+        let id = {
+            let mut next = self.fs.next_file.lock();
+            let id = FileId(*next);
+            *next += 1;
+            id
+        };
+        self.meta_rpc(id)?;
+        let base_server = (id.0 as usize * 7) % self.fs.servers.len();
+        self.fs.files.lock().insert(id, FileMeta { size, base_server });
+        Ok(id)
+    }
+
+    /// File size.
+    pub fn size(&self, file: FileId) -> Result<u64, PvfsError> {
+        Ok(self.meta(file)?.size)
+    }
+
+    /// Read `range`, gathering the covered stripes in parallel.
+    pub fn read(&self, file: FileId, range: Range<u64>) -> Result<Payload, PvfsError> {
+        let meta = self.meta(file)?;
+        if range.end > meta.size || range.start > range.end {
+            return Err(PvfsError::OutOfBounds {
+                offset: range.start,
+                len: range.end.saturating_sub(range.start),
+                size: meta.size,
+            });
+        }
+        if range.start == range.end {
+            return Ok(Payload::empty());
+        }
+        let ss = self.fs.cfg.stripe_size;
+        let stripes: Vec<u64> = bff_data::chunk_cover(&range, ss).collect();
+        type StripeSlots = Vec<Option<Result<Payload, PvfsError>>>;
+        let results: Arc<Mutex<StripeSlots>> = Arc::new(Mutex::new(vec![None; stripes.len()]));
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = stripes
+            .iter()
+            .enumerate()
+            .map(|(slot, &idx)| {
+                let fs = Arc::clone(&self.fs);
+                let results = Arc::clone(&results);
+                let meta = meta.clone();
+                let (node, file) = (self.node, file);
+                let sr = bff_data::chunk_range(idx, ss, meta.size);
+                let want = intersect(&sr, &range);
+                Box::new(move || {
+                    let r = read_stripe(&fs, node, file, &meta, idx, &want);
+                    results.lock()[slot] = Some(r);
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.fs.fabric.par_join(tasks);
+
+        let pieces = Arc::try_unwrap(results)
+            .unwrap_or_else(|a| Mutex::new(a.lock().clone()))
+            .into_inner();
+        let mut out = Payload::empty();
+        for piece in pieces {
+            out.append(piece.expect("task ran")?);
+        }
+        debug_assert_eq!(out.len(), range.end - range.start);
+        Ok(out)
+    }
+
+    /// Write `data` at `offset`, scattering to the covered stripes in
+    /// parallel. Unlike the chunk-granular repository, PVFS writes exactly
+    /// the requested bytes: servers splice partial-stripe writes in place.
+    pub fn write(&self, file: FileId, offset: u64, data: Payload) -> Result<(), PvfsError> {
+        let meta = self.meta(file)?;
+        let range = offset..offset + data.len();
+        if range.end > meta.size {
+            return Err(PvfsError::OutOfBounds { offset, len: data.len(), size: meta.size });
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        let ss = self.fs.cfg.stripe_size;
+        let stripes: Vec<u64> = bff_data::chunk_cover(&range, ss).collect();
+        let errors: Arc<Mutex<Vec<PvfsError>>> = Arc::new(Mutex::new(Vec::new()));
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = stripes
+            .iter()
+            .map(|&idx| {
+                let fs = Arc::clone(&self.fs);
+                let errors = Arc::clone(&errors);
+                let meta = meta.clone();
+                let (node, file) = (self.node, file);
+                let sr = bff_data::chunk_range(idx, ss, meta.size);
+                let part = intersect(&sr, &range);
+                let piece = data.slice(part.start - offset, part.end - offset);
+                Box::new(move || {
+                    if let Err(e) = write_stripe(&fs, node, file, &meta, idx, &part, piece) {
+                        errors.lock().push(e);
+                    }
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.fs.fabric.par_join(tasks);
+        if let Some(e) = errors.lock().first() {
+            return Err(e.clone());
+        }
+        Ok(())
+    }
+}
+
+fn read_stripe(
+    fs: &Arc<Pvfs>,
+    me: NodeId,
+    file: FileId,
+    meta: &FileMeta,
+    idx: u64,
+    want: &Range<u64>,
+) -> Result<Payload, PvfsError> {
+    let srv_idx = fs.server_of(meta, idx);
+    let srv = fs.servers[srv_idx];
+    let sr = bff_data::chunk_range(idx, fs.cfg.stripe_size, meta.size);
+    let len = want.end - want.start;
+    let rel = want.start - sr.start..want.end - sr.start;
+    let (data, hot) = {
+        let mut st = fs.state[srv_idx].lock();
+        match st.stripes.get(&(file, idx)) {
+            Some(p) => {
+                let piece = p.slice(rel.start, rel.end);
+                let cache = st.hot.entry((file, idx)).or_default();
+                let was_hot = cache.contains_range(&rel);
+                cache.insert(rel.clone());
+                (piece, was_hot)
+            }
+            // Sparse stripe: zeros, no disk involved.
+            None => (Payload::zeros(len), true),
+        }
+    };
+    if !hot || !fs.cfg.server_read_cache {
+        fs.fabric.disk_read(srv, len)?;
+    }
+    fs.fabric.transfer(srv, me, len)?;
+    Ok(data)
+}
+
+fn write_stripe(
+    fs: &Arc<Pvfs>,
+    me: NodeId,
+    file: FileId,
+    meta: &FileMeta,
+    idx: u64,
+    part: &Range<u64>,
+    piece: Payload,
+) -> Result<(), PvfsError> {
+    let srv_idx = fs.server_of(meta, idx);
+    let srv = fs.servers[srv_idx];
+    let sr = bff_data::chunk_range(idx, fs.cfg.stripe_size, meta.size);
+    let len = piece.len();
+    fs.fabric.transfer(me, srv, len)?;
+    {
+        let mut st = fs.state[srv_idx].lock();
+        let sr_len = sr.end - sr.start;
+        let (existing, was_present) = match st.stripes.remove(&(file, idx)) {
+            Some(p) => (p, true),
+            None => (Payload::zeros(sr_len), false),
+        };
+        let updated = existing.overwrite(part.start - sr.start, piece);
+        if !was_present {
+            st.stored_bytes += sr_len;
+        }
+        st.stripes.insert((file, idx), updated);
+        // Freshly written bytes are page-cache resident.
+        st.hot
+            .entry((file, idx))
+            .or_default()
+            .insert(part.start - sr.start..part.end - sr.start);
+    }
+    // PVFS servers write through to their disks.
+    fs.fabric.disk_write(srv, len)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bff_net::LocalFabric;
+
+    fn setup(servers: u32, stripe: u64) -> PvfsClient {
+        let fabric = LocalFabric::new(servers as usize + 1);
+        let nodes: Vec<NodeId> = (0..servers).map(NodeId).collect();
+        let fs = Pvfs::new(
+            PvfsConfig { stripe_size: stripe, ..Default::default() },
+            nodes,
+            fabric as Arc<dyn Fabric>,
+        );
+        PvfsClient::new(fs, NodeId(servers))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let c = setup(4, 128);
+        let f = c.create(1000).unwrap();
+        let data = Payload::synth(1, 0, 1000);
+        c.write(f, 0, data.clone()).unwrap();
+        let got = c.read(f, 0..1000).unwrap();
+        assert!(got.content_eq(&data));
+        // Sub-range across stripes.
+        let got = c.read(f, 100..300).unwrap();
+        assert!(got.content_eq(&data.slice(100, 300)));
+    }
+
+    #[test]
+    fn sparse_file_reads_zeros() {
+        let c = setup(2, 128);
+        let f = c.create(500).unwrap();
+        assert!(c.read(f, 0..500).unwrap().content_eq(&Payload::zeros(500)));
+        // Partial write, rest remains zero.
+        c.write(f, 200, Payload::from(vec![5u8; 10])).unwrap();
+        let got = c.read(f, 190..220).unwrap().materialize();
+        assert_eq!(&got[..10], &[0u8; 10]);
+        assert_eq!(&got[10..20], &[5u8; 10]);
+        assert_eq!(&got[20..], &[0u8; 10]);
+    }
+
+    #[test]
+    fn unaligned_write_preserves_neighbours() {
+        let c = setup(3, 100);
+        let f = c.create(1000).unwrap();
+        let base = Payload::synth(2, 0, 1000);
+        c.write(f, 0, base.clone()).unwrap();
+        c.write(f, 150, Payload::from(vec![9u8; 30])).unwrap();
+        let got = c.read(f, 0..1000).unwrap();
+        let expect = base.overwrite(150, Payload::from(vec![9u8; 30]));
+        assert!(got.content_eq(&expect));
+    }
+
+    #[test]
+    fn stripes_spread_over_servers() {
+        let c = setup(4, 100);
+        let f = c.create(1600).unwrap();
+        c.write(f, 0, Payload::synth(3, 0, 1600)).unwrap();
+        // 16 stripes over 4 servers: each holds 400 bytes.
+        let per_server = c.fs().server_loads();
+        assert_eq!(per_server.iter().sum::<u64>(), 1600);
+        assert!(per_server.iter().all(|&b| b == 400), "balanced: {per_server:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let c = setup(2, 100);
+        let f = c.create(100).unwrap();
+        assert!(matches!(c.read(f, 50..200), Err(PvfsError::OutOfBounds { .. })));
+        assert!(matches!(
+            c.write(f, 90, Payload::zeros(20)),
+            Err(PvfsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(c.read(FileId(99), 0..1), Err(PvfsError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn overwrite_does_not_leak_storage() {
+        let c = setup(2, 100);
+        let f = c.create(200).unwrap();
+        c.write(f, 0, Payload::synth(1, 0, 200)).unwrap();
+        c.write(f, 0, Payload::synth(2, 0, 200)).unwrap();
+        assert_eq!(c.fs().total_stored_bytes(), 200);
+    }
+}

@@ -1,0 +1,143 @@
+//! Block-device and backing-image abstractions for the CoW format.
+
+use bff_data::extent::ExtentPiece;
+use bff_data::{ExtentMap, Payload};
+use std::ops::Range;
+
+/// A growable random-access byte device (the qcow2 file itself).
+/// Unwritten regions read as zeros, like a sparse file.
+pub trait BlockDev: Send {
+    /// Read `range` (may extend past the written area; zeros there).
+    fn read_at(&self, range: Range<u64>) -> Payload;
+    /// Write `data` at `offset`, growing the device if needed.
+    fn write_at(&mut self, offset: u64, data: &Payload);
+    /// Bytes addressable so far (high-water mark of writes).
+    fn len(&self) -> u64;
+    /// Whether nothing has been written yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A read-only base image (raw format, e.g. a file striped in PVFS).
+pub trait Backing: Send {
+    /// Base image length.
+    fn len(&self) -> u64;
+    /// Whether the base image is zero-length.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Read `range` of the base image.
+    fn read_at(&self, range: Range<u64>) -> Payload;
+}
+
+/// In-memory sparse block device.
+#[derive(Debug, Default)]
+pub struct MemBlockDev {
+    extents: ExtentMap<Payload>,
+    len: u64,
+}
+
+impl MemBlockDev {
+    /// Empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Construct from raw contents (e.g. to reopen a serialized image).
+    pub fn from_payload(data: Payload) -> Self {
+        let mut d = Self::new();
+        d.write_at(0, &data);
+        d
+    }
+
+    /// Snapshot the full device contents.
+    pub fn to_payload(&self) -> Payload {
+        self.read_at(0..self.len)
+    }
+}
+
+impl BlockDev for MemBlockDev {
+    fn read_at(&self, range: Range<u64>) -> Payload {
+        assert!(range.start <= range.end);
+        let mut out = Payload::empty();
+        for piece in self.extents.read(&range) {
+            match piece {
+                ExtentPiece::Data(_, p) => out.append(p),
+                ExtentPiece::Gap(g) => out.append(Payload::zeros(g.end - g.start)),
+            }
+        }
+        out
+    }
+
+    fn write_at(&mut self, offset: u64, data: &Payload) {
+        if data.is_empty() {
+            return;
+        }
+        self.extents.insert(offset..offset + data.len(), data.clone());
+        self.len = self.len.max(offset + data.len());
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+/// An in-memory backing image.
+#[derive(Debug, Clone)]
+pub struct MemBacking {
+    data: Payload,
+}
+
+impl MemBacking {
+    /// Wrap a payload as a backing image.
+    pub fn new(data: Payload) -> Self {
+        Self { data }
+    }
+}
+
+impl Backing for MemBacking {
+    fn len(&self) -> u64 {
+        self.data.len()
+    }
+
+    fn read_at(&self, range: Range<u64>) -> Payload {
+        self.data.slice(range.start, range.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_dev_sparse_semantics() {
+        let mut d = MemBlockDev::new();
+        assert_eq!(d.len(), 0);
+        d.write_at(100, &Payload::from(vec![1u8; 10]));
+        assert_eq!(d.len(), 110);
+        // Hole before the write reads zeros.
+        let got = d.read_at(95..110).materialize();
+        assert_eq!(&got[..5], &[0u8; 5]);
+        assert_eq!(&got[5..], &[1u8; 10]);
+        // Reads past the end read zeros.
+        assert!(d.read_at(200..300).content_eq(&Payload::zeros(100)));
+    }
+
+    #[test]
+    fn payload_roundtrip() {
+        let mut d = MemBlockDev::new();
+        d.write_at(0, &Payload::synth(1, 0, 64));
+        d.write_at(32, &Payload::from(vec![7u8; 8]));
+        let snap = d.to_payload();
+        let d2 = MemBlockDev::from_payload(snap.clone());
+        assert!(d2.to_payload().content_eq(&snap));
+    }
+
+    #[test]
+    fn backing_slices() {
+        let b = MemBacking::new(Payload::synth(2, 0, 100));
+        assert_eq!(b.len(), 100);
+        assert!(b.read_at(10..20).content_eq(&Payload::synth(2, 10, 10)));
+    }
+}

@@ -1,0 +1,179 @@
+//! On-disk layout of the CoW image format.
+//!
+//! ```text
+//! offset 0              : header (one cluster reserved)
+//! cluster 1..           : L1 table (ceil(l1_entries*8 / cluster) clusters)
+//! after L1              : L2 tables and data clusters, bump-allocated
+//! ```
+//!
+//! All integers are little-endian. Table entries are byte offsets into the
+//! image file; 0 means unallocated (falls through to the backing image).
+
+use std::fmt;
+
+/// File magic: "BFQ2".
+pub const MAGIC: [u8; 4] = *b"BFQ2";
+
+/// Serialized header size in bytes (padded to its own cluster on disk).
+pub const HEADER_BYTES: u64 = 48;
+
+/// Format errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Qcow2Error {
+    /// Not a BFQ2 image or unsupported version.
+    BadHeader(String),
+    /// Access beyond the virtual disk size.
+    OutOfBounds {
+        /// Requested start offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Virtual disk size.
+        size: u64,
+    },
+    /// Corrupt mapping tables.
+    Corrupt(String),
+}
+
+impl fmt::Display for Qcow2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qcow2Error::BadHeader(m) => write!(f, "bad header: {m}"),
+            Qcow2Error::OutOfBounds { offset, len, size } => {
+                write!(f, "access {offset}+{len} beyond virtual size {size}")
+            }
+            Qcow2Error::Corrupt(m) => write!(f, "corrupt image: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Qcow2Error {}
+
+/// The image header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// log2 of the cluster size (qcow2 default: 16 → 64 KiB).
+    pub cluster_bits: u32,
+    /// Virtual disk size in bytes.
+    pub virtual_size: u64,
+    /// Offset of the L1 table.
+    pub l1_offset: u64,
+    /// Number of L1 entries.
+    pub l1_entries: u64,
+    /// Bump-allocation pointer (also the file's logical size).
+    pub next_free: u64,
+}
+
+impl Header {
+    /// Cluster size in bytes.
+    pub fn cluster_size(&self) -> u64 {
+        1 << self.cluster_bits
+    }
+
+    /// L2 entries per table (one cluster of u64s).
+    pub fn l2_entries(&self) -> u64 {
+        self.cluster_size() / 8
+    }
+
+    /// Bytes mapped by one L2 table.
+    pub fn bytes_per_l2(&self) -> u64 {
+        self.l2_entries() * self.cluster_size()
+    }
+
+    /// Compute the L1 entry count for a virtual size.
+    pub fn l1_entries_for(virtual_size: u64, cluster_bits: u32) -> u64 {
+        let cs = 1u64 << cluster_bits;
+        let per_l2 = (cs / 8) * cs;
+        virtual_size.div_ceil(per_l2).max(1)
+    }
+
+    /// Serialize to `HEADER_BYTES` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_BYTES as usize);
+        out.extend(MAGIC);
+        out.extend(1u32.to_le_bytes()); // version
+        out.extend(self.cluster_bits.to_le_bytes());
+        out.extend([0u8; 4]); // reserved / alignment
+        out.extend(self.virtual_size.to_le_bytes());
+        out.extend(self.l1_offset.to_le_bytes());
+        out.extend(self.l1_entries.to_le_bytes());
+        out.extend(self.next_free.to_le_bytes());
+        debug_assert_eq!(out.len() as u64, HEADER_BYTES);
+        out
+    }
+
+    /// Parse from raw bytes.
+    pub fn decode(data: &[u8]) -> Result<Header, Qcow2Error> {
+        if data.len() < HEADER_BYTES as usize {
+            return Err(Qcow2Error::BadHeader("truncated".into()));
+        }
+        if data[0..4] != MAGIC {
+            return Err(Qcow2Error::BadHeader("wrong magic".into()));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(data[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(data[o..o + 8].try_into().expect("8 bytes"));
+        let version = u32_at(4);
+        if version != 1 {
+            return Err(Qcow2Error::BadHeader(format!("unsupported version {version}")));
+        }
+        let cluster_bits = u32_at(8);
+        if !(9..=22).contains(&cluster_bits) {
+            return Err(Qcow2Error::BadHeader(format!("cluster_bits {cluster_bits}")));
+        }
+        Ok(Header {
+            cluster_bits,
+            virtual_size: u64_at(16),
+            l1_offset: u64_at(24),
+            l1_entries: u64_at(32),
+            next_free: u64_at(40),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        Header {
+            cluster_bits: 16,
+            virtual_size: 2 << 30,
+            l1_offset: 1 << 16,
+            l1_entries: 4,
+            next_free: 3 << 16,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(Header::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn geometry() {
+        let h = sample();
+        assert_eq!(h.cluster_size(), 64 << 10);
+        assert_eq!(h.l2_entries(), 8192);
+        assert_eq!(h.bytes_per_l2(), 512 << 20);
+        // A 2 GiB disk with 64 KiB clusters needs 4 L1 entries.
+        assert_eq!(Header::l1_entries_for(2 << 30, 16), 4);
+        // Tiny disks still get one entry.
+        assert_eq!(Header::l1_entries_for(1, 16), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Header::decode(b"shrt").is_err());
+        let mut bad = sample().encode();
+        bad[0] = b'X';
+        assert!(matches!(Header::decode(&bad), Err(Qcow2Error::BadHeader(_))));
+        let mut badver = sample().encode();
+        badver[4] = 9;
+        assert!(Header::decode(&badver).is_err());
+        let mut badbits = sample().encode();
+        badbits[8] = 2;
+        assert!(Header::decode(&badbits).is_err());
+    }
+}

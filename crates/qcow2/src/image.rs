@@ -1,0 +1,426 @@
+//! The copy-on-write image engine: two-level cluster mapping with
+//! backing-file fall-through.
+
+use crate::blockdev::{Backing, BlockDev};
+use crate::format::{Header, Qcow2Error, HEADER_BYTES};
+use bff_data::{intersect, Payload};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// An open CoW image over a block device, optionally backed by a base
+/// image (§3.1.4: "using the initial raw VM image ... as the backing
+/// image").
+pub struct Qcow2Image<D: BlockDev> {
+    dev: D,
+    header: Header,
+    backing: Option<Box<dyn Backing>>,
+    /// L1 table, cached in memory, written through on update.
+    l1: Vec<u64>,
+    /// L2 tables cached by L1 index, written through on update.
+    l2_cache: HashMap<u64, Vec<u64>>,
+    /// Data clusters allocated since open (CoW volume metric).
+    allocated_data_clusters: u64,
+}
+
+impl<D: BlockDev> Qcow2Image<D> {
+    /// Create a fresh image of `virtual_size` bytes on `dev`.
+    pub fn create(
+        mut dev: D,
+        virtual_size: u64,
+        cluster_bits: u32,
+        backing: Option<Box<dyn Backing>>,
+    ) -> Result<Self, Qcow2Error> {
+        if !(9..=22).contains(&cluster_bits) {
+            return Err(Qcow2Error::BadHeader(format!("cluster_bits {cluster_bits}")));
+        }
+        if let Some(b) = &backing {
+            if b.len() != virtual_size {
+                return Err(Qcow2Error::BadHeader(
+                    "backing image size must match virtual size".into(),
+                ));
+            }
+        }
+        let cs = 1u64 << cluster_bits;
+        let l1_entries = Header::l1_entries_for(virtual_size, cluster_bits);
+        let l1_offset = cs; // header occupies cluster 0
+        let l1_bytes = l1_entries * 8;
+        let l1_clusters = l1_bytes.div_ceil(cs);
+        let header = Header {
+            cluster_bits,
+            virtual_size,
+            l1_offset,
+            l1_entries,
+            next_free: l1_offset + l1_clusters * cs,
+        };
+        let l1 = vec![0u64; l1_entries as usize];
+        dev.write_at(0, &Payload::from(header.encode()));
+        dev.write_at(l1_offset, &Payload::zeros(l1_bytes));
+        let mut img = Self {
+            dev,
+            header,
+            backing,
+            l1,
+            l2_cache: HashMap::new(),
+            allocated_data_clusters: 0,
+        };
+        img.flush_header();
+        Ok(img)
+    }
+
+    /// Open an existing image from `dev`.
+    pub fn open(dev: D, backing: Option<Box<dyn Backing>>) -> Result<Self, Qcow2Error> {
+        let raw = dev.read_at(0..HEADER_BYTES).materialize();
+        let header = Header::decode(&raw)?;
+        if let Some(b) = &backing {
+            if b.len() != header.virtual_size {
+                return Err(Qcow2Error::BadHeader("backing size mismatch".into()));
+            }
+        }
+        let l1_raw = dev
+            .read_at(header.l1_offset..header.l1_offset + header.l1_entries * 8)
+            .materialize();
+        let l1: Vec<u64> = l1_raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        for &e in &l1 {
+            if e != 0 && (e >= header.next_free || e % header.cluster_size() != 0) {
+                return Err(Qcow2Error::Corrupt(format!("L1 entry {e:#x} out of range")));
+            }
+        }
+        Ok(Self { dev, header, backing, l1, l2_cache: HashMap::new(), allocated_data_clusters: 0 })
+    }
+
+    /// Virtual disk size.
+    pub fn virtual_size(&self) -> u64 {
+        self.header.virtual_size
+    }
+
+    /// Image header (geometry inspection).
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Logical size of the image file (what a snapshot copy transfers).
+    pub fn file_len(&self) -> u64 {
+        self.header.next_free
+    }
+
+    /// Data clusters allocated through this handle since open.
+    pub fn allocated_data_clusters(&self) -> u64 {
+        self.allocated_data_clusters
+    }
+
+    /// Consume the image, returning the device (e.g. to copy the file).
+    pub fn into_device(mut self) -> D {
+        self.flush_header();
+        self.dev
+    }
+
+    /// Borrow the device.
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    fn flush_header(&mut self) {
+        self.dev.write_at(0, &Payload::from(self.header.encode()));
+    }
+
+    fn alloc_cluster(&mut self) -> u64 {
+        let off = self.header.next_free;
+        self.header.next_free += self.header.cluster_size();
+        off
+    }
+
+    /// Load (and cache) the L2 table for `l1_idx`, or None if absent.
+    fn l2_table(&mut self, l1_idx: u64) -> Result<Option<&mut Vec<u64>>, Qcow2Error> {
+        if self.l1[l1_idx as usize] == 0 {
+            return Ok(None);
+        }
+        if !self.l2_cache.contains_key(&l1_idx) {
+            let off = self.l1[l1_idx as usize];
+            let raw = self
+                .dev
+                .read_at(off..off + self.header.cluster_size())
+                .materialize();
+            let table: Vec<u64> = raw
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            self.l2_cache.insert(l1_idx, table);
+        }
+        Ok(self.l2_cache.get_mut(&l1_idx))
+    }
+
+    /// L2 table for `l1_idx`, creating it if absent.
+    fn l2_table_mut(&mut self, l1_idx: u64) -> Result<u64, Qcow2Error> {
+        if self.l1[l1_idx as usize] == 0 {
+            let off = self.alloc_cluster();
+            self.dev.write_at(off, &Payload::zeros(self.header.cluster_size()));
+            self.l1[l1_idx as usize] = off;
+            // Write-through the updated L1 entry and header.
+            self.dev.write_at(
+                self.header.l1_offset + l1_idx * 8,
+                &Payload::from(off.to_le_bytes().to_vec()),
+            );
+            self.flush_header();
+            self.l2_cache.insert(l1_idx, vec![0u64; self.header.l2_entries() as usize]);
+        }
+        Ok(self.l1[l1_idx as usize])
+    }
+
+    /// Where virtual cluster `vc` is mapped, if allocated.
+    fn lookup(&mut self, vc: u64) -> Result<Option<u64>, Qcow2Error> {
+        let per = self.header.l2_entries();
+        let (l1_idx, l2_idx) = (vc / per, vc % per);
+        if l1_idx >= self.header.l1_entries {
+            return Err(Qcow2Error::Corrupt(format!("virtual cluster {vc} beyond L1")));
+        }
+        match self.l2_table(l1_idx)? {
+            Some(t) => Ok(match t[l2_idx as usize] {
+                0 => None,
+                off => Some(off),
+            }),
+            None => Ok(None),
+        }
+    }
+
+    fn backing_read(&self, range: Range<u64>) -> Payload {
+        match &self.backing {
+            Some(b) => b.read_at(range),
+            None => Payload::zeros(range.end - range.start),
+        }
+    }
+
+    /// Read `range` of the virtual disk.
+    pub fn read(&mut self, range: Range<u64>) -> Result<Payload, Qcow2Error> {
+        if range.start > range.end || range.end > self.header.virtual_size {
+            return Err(Qcow2Error::OutOfBounds {
+                offset: range.start,
+                len: range.end.saturating_sub(range.start),
+                size: self.header.virtual_size,
+            });
+        }
+        let cs = self.header.cluster_size();
+        let mut out = Payload::empty();
+        for vc in bff_data::chunk_cover(&range, cs) {
+            let cr = bff_data::chunk_range(vc, cs, self.header.virtual_size);
+            let want = intersect(&cr, &range);
+            match self.lookup(vc)? {
+                Some(off) => {
+                    let rel = want.start - cr.start..want.end - cr.start;
+                    out.append(self.dev.read_at(off + rel.start..off + rel.end));
+                }
+                None => out.append(self.backing_read(want)),
+            }
+        }
+        debug_assert_eq!(out.len(), range.end - range.start);
+        Ok(out)
+    }
+
+    /// Write `data` at `offset`. First writes to unallocated clusters
+    /// copy the untouched remainder from the backing image (CoW).
+    pub fn write(&mut self, offset: u64, data: Payload) -> Result<(), Qcow2Error> {
+        let range = offset..offset + data.len();
+        if range.end > self.header.virtual_size {
+            return Err(Qcow2Error::OutOfBounds {
+                offset,
+                len: data.len(),
+                size: self.header.virtual_size,
+            });
+        }
+        if data.is_empty() {
+            return Ok(());
+        }
+        let cs = self.header.cluster_size();
+        let per = self.header.l2_entries();
+        for vc in bff_data::chunk_cover(&range, cs) {
+            let cr = bff_data::chunk_range(vc, cs, self.header.virtual_size);
+            let want = intersect(&cr, &range);
+            let piece = data.slice(want.start - offset, want.end - offset);
+            let (l1_idx, l2_idx) = (vc / per, vc % per);
+            match self.lookup(vc)? {
+                Some(off) => {
+                    // Already allocated: in-place cluster write.
+                    self.dev.write_at(off + (want.start - cr.start), &piece);
+                }
+                None => {
+                    // Copy-on-write: materialize the full cluster.
+                    let full = if want == cr {
+                        piece
+                    } else {
+                        let base = self.backing_read(cr.clone());
+                        base.overwrite(want.start - cr.start, piece)
+                    };
+                    self.l2_table_mut(l1_idx)?;
+                    let off = self.alloc_cluster();
+                    self.dev.write_at(off, &full);
+                    self.allocated_data_clusters += 1;
+                    let table = self
+                        .l2_cache
+                        .get_mut(&l1_idx)
+                        .expect("l2_table_mut populated the cache");
+                    table[l2_idx as usize] = off;
+                    // Write-through the L2 entry and header.
+                    let l2_off = self.l1[l1_idx as usize];
+                    self.dev.write_at(
+                        l2_off + l2_idx * 8,
+                        &Payload::from(off.to_le_bytes().to_vec()),
+                    );
+                    self.flush_header();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockdev::{MemBacking, MemBlockDev};
+
+    const VSIZE: u64 = 64 << 10; // 64 KiB virtual disk
+    const CBITS: u32 = 12; // 4 KiB clusters
+
+    fn base_image() -> Payload {
+        Payload::synth(0xBA5E, 0, VSIZE)
+    }
+
+    fn cow_image() -> Qcow2Image<MemBlockDev> {
+        Qcow2Image::create(
+            MemBlockDev::new(),
+            VSIZE,
+            CBITS,
+            Some(Box::new(MemBacking::new(base_image()))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_image_reads_backing() {
+        let mut img = cow_image();
+        let got = img.read(100..5000).unwrap();
+        assert!(got.content_eq(&base_image().slice(100, 5000)));
+        assert_eq!(img.allocated_data_clusters(), 0, "reads allocate nothing");
+    }
+
+    #[test]
+    fn no_backing_reads_zeros() {
+        let mut img = Qcow2Image::create(MemBlockDev::new(), VSIZE, CBITS, None).unwrap();
+        assert!(img.read(0..1000).unwrap().content_eq(&Payload::zeros(1000)));
+    }
+
+    #[test]
+    fn partial_cluster_write_cows_the_rest() {
+        let mut img = cow_image();
+        img.write(4096 + 100, Payload::from(vec![7u8; 50])).unwrap();
+        assert_eq!(img.allocated_data_clusters(), 1);
+        // The written bytes read back; the rest of the cluster is base.
+        let got = img.read(4096..8192).unwrap();
+        let expect = base_image().slice(4096, 8192).overwrite(100, Payload::from(vec![7u8; 50]));
+        assert!(got.content_eq(&expect));
+        // Neighbouring clusters untouched.
+        let got = img.read(0..4096).unwrap();
+        assert!(got.content_eq(&base_image().slice(0, 4096)));
+    }
+
+    #[test]
+    fn overwrite_reuses_cluster() {
+        let mut img = cow_image();
+        img.write(0, Payload::from(vec![1u8; 4096])).unwrap();
+        let before = img.file_len();
+        img.write(0, Payload::from(vec![2u8; 4096])).unwrap();
+        assert_eq!(img.file_len(), before, "no second allocation");
+        assert_eq!(img.allocated_data_clusters(), 1);
+        assert!(img.read(0..4096).unwrap().content_eq(&Payload::from(vec![2u8; 4096])));
+    }
+
+    #[test]
+    fn write_spanning_clusters() {
+        let mut img = cow_image();
+        let patch = Payload::synth(7, 0, 10_000);
+        img.write(1000, patch.clone()).unwrap();
+        let got = img.read(0..VSIZE).unwrap();
+        let expect = base_image().overwrite(1000, patch);
+        assert!(got.content_eq(&expect));
+        // 1000..11000 covers clusters 0..=2 -> 3 allocations.
+        assert_eq!(img.allocated_data_clusters(), 3);
+    }
+
+    #[test]
+    fn reopen_from_raw_bytes_preserves_content() {
+        let mut img = cow_image();
+        let patch = Payload::from(vec![9u8; 5000]);
+        img.write(2000, patch.clone()).unwrap();
+        // Serialize the device to raw bytes and reopen.
+        let raw = img.into_device().to_payload();
+        let dev = MemBlockDev::from_payload(raw);
+        let mut img2 =
+            Qcow2Image::open(dev, Some(Box::new(MemBacking::new(base_image())))).unwrap();
+        let got = img2.read(0..VSIZE).unwrap();
+        let expect = base_image().overwrite(2000, patch);
+        assert!(got.content_eq(&expect));
+    }
+
+    #[test]
+    fn file_grows_only_with_new_clusters() {
+        let mut img = cow_image();
+        let empty = img.file_len();
+        // Metadata only: header + L1.
+        assert!(empty <= 2 * img.header().cluster_size());
+        img.write(0, Payload::from(vec![1u8; 100])).unwrap();
+        // One L2 table + one data cluster.
+        assert_eq!(img.file_len() - empty, 2 * img.header().cluster_size());
+    }
+
+    #[test]
+    fn size_mismatch_with_backing_rejected() {
+        let r = Qcow2Image::create(
+            MemBlockDev::new(),
+            VSIZE,
+            CBITS,
+            Some(Box::new(MemBacking::new(Payload::zeros(10)))),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut img = cow_image();
+        assert!(img.read(0..VSIZE + 1).is_err());
+        assert!(img.write(VSIZE - 10, Payload::zeros(20)).is_err());
+    }
+
+    #[test]
+    fn open_rejects_corrupt_l1() {
+        let img = cow_image();
+        let mut raw = img.into_device().to_payload().materialize();
+        // Poison the first L1 entry with a non-cluster-aligned offset.
+        let l1_off = Header::decode(&raw).unwrap().l1_offset as usize;
+        raw[l1_off..l1_off + 8].copy_from_slice(&0x1234u64.to_le_bytes());
+        let dev = MemBlockDev::from_payload(Payload::from(raw));
+        assert!(matches!(
+            Qcow2Image::open(dev, None),
+            Err(Qcow2Error::BadHeader(_)) | Err(Qcow2Error::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn random_writes_match_model() {
+        // Deterministic pseudo-random write sequence vs a Vec<u8> model.
+        let mut img = cow_image();
+        let mut model = base_image().materialize();
+        let mut x = 0x12345678u64;
+        for _ in 0..40 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let off = x % (VSIZE - 600);
+            let len = 1 + (x >> 32) % 600;
+            let val = (x >> 16) as u8;
+            let patch = vec![val; len as usize];
+            img.write(off, Payload::from(patch.clone())).unwrap();
+            model[off as usize..(off + len) as usize].copy_from_slice(&patch);
+        }
+        assert_eq!(img.read(0..VSIZE).unwrap().materialize(), model);
+    }
+}

@@ -1,0 +1,26 @@
+//! # bff-qcow2
+//!
+//! A qcow2-like copy-on-write VM image format — the baseline image format
+//! of the paper's §5.2/§5.3 comparison ("qcow2 over PVFS").
+//!
+//! The format follows qcow2's essential design: a two-level mapping
+//! (L1 table → L2 tables → data clusters) over fixed-size clusters, with
+//! unallocated clusters falling through to a read-only *backing image*.
+//! The first write to a cluster allocates it and copies the untouched
+//! remainder from the backing store (copy-on-write). Refcounts, internal
+//! snapshots and compression are omitted: the baseline only exercises the
+//! backing-file CoW path, which is implemented faithfully, including a
+//! real on-disk layout that round-trips through raw bytes.
+//!
+//! Cost attribution is by construction: the image operates on a
+//! [`BlockDev`] (the local image file) and a [`Backing`] (the base image
+//! in PVFS); whoever provides those charges the respective local-disk and
+//! network costs.
+
+pub mod blockdev;
+pub mod format;
+pub mod image;
+
+pub use blockdev::{Backing, BlockDev, MemBacking, MemBlockDev};
+pub use format::{Header, Qcow2Error, MAGIC};
+pub use image::Qcow2Image;

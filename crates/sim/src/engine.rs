@@ -1,0 +1,671 @@
+//! The discrete-event engine: virtual clock, event queue, and coroutine
+//! processes.
+//!
+//! The engine uses the *conductor* model: every simulated process is an OS
+//! thread, but exactly one thread (either the scheduler or a single
+//! process) runs at any moment. The scheduler pops the next event off a
+//! `(time, sequence)`-ordered queue, hands the baton to the woken process,
+//! and the process runs until it blocks again (sleep, wait on a
+//! completion) or finishes. Because execution is serialized and the queue
+//! order is total, simulations are fully deterministic: the same program
+//! produces the same event trace, timings and metrics on every run.
+//!
+//! Blocking primitives are built on [`CompletionId`]s — one-shot events
+//! that resources (flows, disks, channels, other processes) fire when an
+//! operation finishes.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::disk::DiskBank;
+use crate::flownet::FlowNet;
+
+/// Virtual time in microseconds since simulation start.
+pub type SimTime = u64;
+
+/// Identifier of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcId(pub u32);
+
+/// A one-shot event that can be waited on by any number of processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompletionId(pub u64);
+
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Resume a process.
+    Wake(ProcId),
+    /// Fire a completion scheduled in advance (disk ops, timers).
+    Complete(CompletionId),
+    /// Re-examine the flow network; stale if the generation moved on.
+    FlowTick(u64),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+enum Resume {
+    Go,
+    Cancel,
+}
+
+enum YieldMsg {
+    Blocked(ProcId, BlockReason),
+    Done(ProcId),
+    Panicked(ProcId, String),
+}
+
+enum BlockReason {
+    Sleep(SimTime),
+    Wait(CompletionId),
+}
+
+struct Completion {
+    done: bool,
+    waiters: Vec<ProcId>,
+}
+
+struct ProcSlot {
+    name: String,
+    resume_tx: Sender<Resume>,
+    handle: Option<JoinHandle<()>>,
+    done: bool,
+    done_completion: CompletionId,
+}
+
+/// Panic payload used to unwind cancelled processes during teardown.
+struct CancelToken;
+
+/// Shared state of a running simulation.
+pub struct SimState {
+    clock: AtomicU64,
+    seq: AtomicU64,
+    queue: Mutex<BinaryHeap<Reverse<Event>>>,
+    completions: Mutex<Vec<Completion>>,
+    procs: Mutex<Vec<ProcSlot>>,
+    yield_tx: Sender<YieldMsg>,
+    /// Network flow state (shared with `SimFabric`).
+    pub(crate) flownet: Mutex<FlowNet>,
+    /// Disk bank (shared with `SimFabric`).
+    pub(crate) disks: Mutex<DiskBank>,
+}
+
+impl SimState {
+    /// Current virtual time.
+    pub fn now_us(&self) -> SimTime {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Push an event at absolute time `time` (must be >= now).
+    pub(crate) fn push_event_at(&self, time: SimTime, kind: EventKind) {
+        debug_assert!(time >= self.now_us(), "event scheduled in the past");
+        let ev = Event { time, seq: self.next_seq(), kind };
+        self.queue.lock().push(Reverse(ev));
+    }
+
+    /// Allocate a fresh completion.
+    pub fn new_completion(&self) -> CompletionId {
+        let mut cs = self.completions.lock();
+        let id = CompletionId(cs.len() as u64);
+        cs.push(Completion { done: false, waiters: Vec::new() });
+        id
+    }
+
+    /// Fire a completion now: wake all current waiters and satisfy all
+    /// future ones. Idempotent.
+    pub fn complete(&self, cid: CompletionId) {
+        let waiters = {
+            let mut cs = self.completions.lock();
+            let c = &mut cs[cid.0 as usize];
+            if c.done {
+                return;
+            }
+            c.done = true;
+            std::mem::take(&mut c.waiters)
+        };
+        let now = self.now_us();
+        for pid in waiters {
+            self.push_event_at(now, EventKind::Wake(pid));
+        }
+    }
+
+    /// Schedule a completion to fire at absolute time `time`.
+    pub fn complete_at(&self, cid: CompletionId, time: SimTime) {
+        self.push_event_at(time.max(self.now_us()), EventKind::Complete(cid));
+    }
+
+    /// True if already fired. Otherwise registers `pid` as a waiter.
+    fn check_or_register(&self, cid: CompletionId, pid: ProcId) -> bool {
+        let mut cs = self.completions.lock();
+        let c = &mut cs[cid.0 as usize];
+        if c.done {
+            true
+        } else {
+            c.waiters.push(pid);
+            false
+        }
+    }
+
+    /// Whether a completion has fired (non-blocking poll).
+    pub fn is_complete(&self, cid: CompletionId) -> bool {
+        self.completions.lock()[cid.0 as usize].done
+    }
+
+    /// Called by the flow network when its membership changed: advance
+    /// flows to `now`, fire finished transfers, recompute rates and
+    /// schedule the next tick.
+    pub(crate) fn flows_changed(self: &Arc<Self>) {
+        let now = self.now_us();
+        let (finished, next) = {
+            let mut fn_ = self.flownet.lock();
+            let finished = fn_.advance(now);
+            fn_.recompute();
+            let next = fn_.next_event(now);
+            (finished, next)
+        };
+        for cid in finished {
+            self.complete(cid);
+        }
+        if let Some((time, gen)) = next {
+            self.push_event_at(time, EventKind::FlowTick(gen));
+        }
+    }
+
+    fn block_current(self: &Arc<Self>, env: &Env, reason: BlockReason) {
+        // Notify the scheduler, then wait for the baton to come back on
+        // this process's private resume channel.
+        self.yield_tx
+            .send(YieldMsg::Blocked(env.pid, reason))
+            .expect("scheduler gone");
+        match env.resume_rx.recv() {
+            Ok(Resume::Go) => {}
+            Ok(Resume::Cancel) | Err(_) => panic::panic_any(CancelToken),
+        }
+    }
+}
+
+/// Handle a process uses to interact with the simulation.
+#[derive(Clone)]
+pub struct Env {
+    /// This process's id.
+    pub pid: ProcId,
+    state: Arc<SimState>,
+    resume_rx: Receiver<Resume>,
+}
+
+thread_local! {
+    static CURRENT_ENV: std::cell::RefCell<Option<Env>> = const { std::cell::RefCell::new(None) };
+}
+
+impl Env {
+    /// The environment of the calling simulated process. Panics if the
+    /// caller is not a simulated process thread.
+    pub fn current() -> Env {
+        CURRENT_ENV.with(|c| {
+            c.borrow()
+                .clone()
+                .expect("Env::current() called outside a simulated process")
+        })
+    }
+
+    /// Whether the calling thread is a simulated process.
+    pub fn in_simulation() -> bool {
+        CURRENT_ENV.with(|c| c.borrow().is_some())
+    }
+
+    /// Shared simulation state.
+    pub fn state(&self) -> &Arc<SimState> {
+        &self.state
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> SimTime {
+        self.state.now_us()
+    }
+
+    /// Suspend for `micros` of virtual time.
+    pub fn sleep_us(&self, micros: u64) {
+        if micros == 0 {
+            return;
+        }
+        let until = self.now_us() + micros;
+        self.state.block_current(self, BlockReason::Sleep(until));
+    }
+
+    /// Block until `cid` fires (returns immediately if it already has).
+    pub fn wait(&self, cid: CompletionId) {
+        if self.state.check_or_register(cid, self.pid) {
+            return;
+        }
+        self.state.block_current(self, BlockReason::Wait(cid));
+    }
+
+    /// Block until all of `cids` have fired.
+    pub fn wait_all(&self, cids: &[CompletionId]) {
+        for &cid in cids {
+            self.wait(cid);
+        }
+    }
+
+    /// Spawn a child process that starts at the current virtual time.
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(Env) + Send + 'static) -> ProcId {
+        spawn_process(&self.state, name.into(), f)
+    }
+
+    /// Block until process `pid` finishes.
+    pub fn join(&self, pid: ProcId) {
+        let cid = {
+            let procs = self.state.procs.lock();
+            procs[pid.0 as usize].done_completion
+        };
+        self.wait(cid);
+    }
+
+    /// Join every process in `pids`.
+    pub fn join_all(&self, pids: &[ProcId]) {
+        for &pid in pids {
+            self.join(pid);
+        }
+    }
+}
+
+fn spawn_process(
+    state: &Arc<SimState>,
+    name: String,
+    f: impl FnOnce(Env) + Send + 'static,
+) -> ProcId {
+    let (resume_tx, resume_rx) = bounded::<Resume>(1);
+    let done_completion = state.new_completion();
+    let pid = {
+        let mut procs = state.procs.lock();
+        let pid = ProcId(procs.len() as u32);
+        procs.push(ProcSlot {
+            name: name.clone(),
+            resume_tx,
+            handle: None,
+            done: false,
+            done_completion,
+        });
+        pid
+    };
+    let env = Env { pid, state: Arc::clone(state), resume_rx };
+    let thread_state = Arc::clone(state);
+    let handle = std::thread::Builder::new()
+        .name(format!("sim-{name}"))
+        .stack_size(512 << 10)
+        .spawn(move || {
+            // Wait for the first baton handoff before running.
+            match env.resume_rx.recv() {
+                Ok(Resume::Go) => {}
+                Ok(Resume::Cancel) | Err(_) => return,
+            }
+            CURRENT_ENV.with(|c| *c.borrow_mut() = Some(env.clone()));
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(env.clone())));
+            CURRENT_ENV.with(|c| *c.borrow_mut() = None);
+            match result {
+                Ok(()) => {
+                    let _ = thread_state.yield_tx.send(YieldMsg::Done(pid));
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<CancelToken>().is_some() {
+                        // Teardown: exit silently; nobody is listening.
+                        return;
+                    }
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".to_string());
+                    let _ = thread_state.yield_tx.send(YieldMsg::Panicked(pid, msg));
+                }
+            }
+        })
+        .expect("failed to spawn simulation process thread");
+    state.procs.lock()[pid.0 as usize].handle = Some(handle);
+    // First wake at the current time.
+    state.push_event_at(state.now_us(), EventKind::Wake(pid));
+    pid
+}
+
+/// Outcome of running a simulation to completion.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Virtual time at which the last event was processed.
+    pub end_time_us: SimTime,
+    /// Total number of events processed.
+    pub events: u64,
+}
+
+/// A discrete-event simulation.
+///
+/// Construct with a [`crate::fabric::ClusterParams`]-derived builder (see
+/// [`crate::fabric::SimCluster`]) or directly for engine-level tests.
+pub struct Simulation {
+    state: Arc<SimState>,
+    yield_rx: Receiver<YieldMsg>,
+}
+
+impl Simulation {
+    /// Create an empty simulation with the given network/disk resources.
+    pub(crate) fn with_resources(flownet: FlowNet, disks: DiskBank) -> Self {
+        let (yield_tx, yield_rx) = unbounded();
+        let state = Arc::new(SimState {
+            clock: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            queue: Mutex::new(BinaryHeap::new()),
+            completions: Mutex::new(Vec::new()),
+            procs: Mutex::new(Vec::new()),
+            yield_tx,
+            flownet: Mutex::new(flownet),
+            disks: Mutex::new(disks),
+        });
+        Self { state, yield_rx }
+    }
+
+    /// Engine-only simulation (no network/disk modelling) for unit tests.
+    pub fn bare() -> Self {
+        Self::with_resources(FlowNet::new(0), DiskBank::new(0))
+    }
+
+    /// Shared state handle (used by fabrics and resources).
+    pub fn state(&self) -> &Arc<SimState> {
+        &self.state
+    }
+
+    /// Spawn a top-level process.
+    pub fn spawn(&self, name: impl Into<String>, f: impl FnOnce(Env) + Send + 'static) -> ProcId {
+        spawn_process(&self.state, name.into(), f)
+    }
+
+    /// Run until no events remain. Panics if a process panicked, or if
+    /// processes remain blocked with an empty queue (deadlock).
+    pub fn run(&self) -> SimReport {
+        let mut events = 0u64;
+        loop {
+            let ev = { self.state.queue.lock().pop() };
+            let Some(Reverse(ev)) = ev else { break };
+            debug_assert!(ev.time >= self.state.now_us(), "time went backwards");
+            self.state.clock.store(ev.time, Ordering::Relaxed);
+            events += 1;
+            match ev.kind {
+                EventKind::Wake(pid) => self.step(pid),
+                EventKind::Complete(cid) => self.state.complete(cid),
+                EventKind::FlowTick(gen) => {
+                    let current = self.state.flownet.lock().generation();
+                    if gen == current {
+                        self.state.flows_changed();
+                    }
+                }
+            }
+        }
+        // Deadlock check: every process must have finished.
+        let blocked: Vec<String> = {
+            let procs = self.state.procs.lock();
+            procs
+                .iter()
+                .filter(|p| !p.done)
+                .map(|p| p.name.clone())
+                .collect()
+        };
+        assert!(
+            blocked.is_empty(),
+            "simulation deadlock: queue empty but processes blocked: {blocked:?}"
+        );
+        SimReport { end_time_us: self.state.now_us(), events }
+    }
+
+    fn step(&self, pid: ProcId) {
+        {
+            let procs = self.state.procs.lock();
+            let slot = &procs[pid.0 as usize];
+            if slot.done {
+                return;
+            }
+            slot.resume_tx.send(Resume::Go).expect("process thread gone");
+        }
+        match self.yield_rx.recv().expect("process hung up without yielding") {
+            YieldMsg::Blocked(p, BlockReason::Sleep(until)) => {
+                self.state.push_event_at(until, EventKind::Wake(p));
+            }
+            YieldMsg::Blocked(p, BlockReason::Wait(cid)) => {
+                // Between registration intent and now nothing ran, but the
+                // completion may already be done (registration happened in
+                // Env::wait before blocking) — handled there.
+                let _ = (p, cid);
+            }
+            YieldMsg::Done(p) => {
+                let (cid, handle) = {
+                    let mut procs = self.state.procs.lock();
+                    let slot = &mut procs[p.0 as usize];
+                    slot.done = true;
+                    (slot.done_completion, slot.handle.take())
+                };
+                if let Some(h) = handle {
+                    let _ = h.join();
+                }
+                self.state.complete(cid);
+            }
+            YieldMsg::Panicked(p, msg) => {
+                let name = self.state.procs.lock()[p.0 as usize].name.clone();
+                panic!("simulated process '{name}' panicked: {msg}");
+            }
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Cancel every unfinished process so its thread unwinds and exits.
+        let mut handles = Vec::new();
+        {
+            let mut procs = self.state.procs.lock();
+            for slot in procs.iter_mut() {
+                if !slot.done {
+                    let _ = slot.resume_tx.send(Resume::Cancel);
+                }
+                if let Some(h) = slot.handle.take() {
+                    handles.push(h);
+                }
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Simulation::bare();
+        let state = Arc::clone(sim.state());
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("sleeper", move |env| {
+            env.sleep_us(1500);
+            seen2.store(env.now_us(), Ordering::Relaxed);
+        });
+        let report = sim.run();
+        assert_eq!(seen.load(Ordering::Relaxed), 1500);
+        assert_eq!(report.end_time_us, 1500);
+        assert_eq!(state.now_us(), 1500);
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        // Two processes appending to a log; order must be by wake time,
+        // ties broken by spawn order.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sim = Simulation::bare();
+        for (i, delay) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let log = Arc::clone(&log);
+            sim.spawn(format!("p{i}"), move |env| {
+                env.sleep_us(delay);
+                log.lock().push((env.now_us(), i));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.lock(), vec![(10, 1), (20, 2), (30, 0)]);
+    }
+
+    #[test]
+    fn completions_wake_waiters() {
+        let sim = Simulation::bare();
+        let state = Arc::clone(sim.state());
+        let cid = state.new_completion();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for i in 0..3 {
+            let hits = Arc::clone(&hits);
+            sim.spawn(format!("w{i}"), move |env| {
+                env.wait(cid);
+                assert_eq!(env.now_us(), 500);
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let st = Arc::clone(&state);
+        sim.spawn("firer", move |env| {
+            env.sleep_us(500);
+            st.complete(cid);
+        });
+        sim.run();
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn wait_on_already_complete_returns_immediately() {
+        let sim = Simulation::bare();
+        let state = Arc::clone(sim.state());
+        let cid = state.new_completion();
+        state.complete(cid);
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = Arc::clone(&ok);
+        sim.spawn("w", move |env| {
+            env.wait(cid);
+            assert_eq!(env.now_us(), 0);
+            ok2.fetch_add(1, Ordering::Relaxed);
+        });
+        sim.run();
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn spawn_and_join_children() {
+        let sim = Simulation::bare();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let order2 = Arc::clone(&order);
+        sim.spawn("parent", move |env| {
+            let mut pids = Vec::new();
+            for i in 0..4u64 {
+                let order = Arc::clone(&order2);
+                pids.push(env.spawn(format!("c{i}"), move |e| {
+                    e.sleep_us(100 - i * 10);
+                    order.lock().push(i);
+                }));
+            }
+            env.join_all(&pids);
+            order2.lock().push(99);
+            assert_eq!(env.now_us(), 100);
+        });
+        sim.run();
+        assert_eq!(*order.lock(), vec![3, 2, 1, 0, 99]);
+    }
+
+    #[test]
+    fn scheduled_completion_fires_at_time() {
+        let sim = Simulation::bare();
+        let state = Arc::clone(sim.state());
+        let cid = state.new_completion();
+        state.complete_at(cid, 2000);
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        sim.spawn("w", move |env| {
+            env.wait(cid);
+            t2.store(env.now_us(), Ordering::Relaxed);
+        });
+        sim.run();
+        assert_eq!(t.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let sim = Simulation::bare();
+        let state = Arc::clone(sim.state());
+        let cid = state.new_completion(); // never completed
+        sim.spawn("stuck", move |env| env.wait(cid));
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn process_panics_propagate() {
+        let sim = Simulation::bare();
+        sim.spawn("bad", |_env| panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    fn dropping_unfinished_simulation_does_not_hang() {
+        let sim = Simulation::bare();
+        let state = Arc::clone(sim.state());
+        let cid = state.new_completion();
+        sim.spawn("stuck", move |env| env.wait(cid));
+        // Never run; drop must cancel the thread without hanging.
+        drop(sim);
+    }
+
+    #[test]
+    fn determinism_same_program_same_trace() {
+        fn run_once() -> Vec<(u64, u32)> {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let sim = Simulation::bare();
+            for i in 0..8u32 {
+                let log = Arc::clone(&log);
+                sim.spawn(format!("p{i}"), move |env| {
+                    env.sleep_us(((i as u64 * 37) % 11) * 10);
+                    log.lock().push((env.now_us(), i));
+                    env.sleep_us(5);
+                    log.lock().push((env.now_us(), i + 100));
+                });
+            }
+            sim.run();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

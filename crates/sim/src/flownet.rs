@@ -1,0 +1,373 @@
+//! A fluid-flow network model with max-min fair bandwidth sharing.
+//!
+//! Every node has an egress and an ingress capacity (its NIC, full
+//! duplex). A transfer is a *flow* constrained by the sender's egress and
+//! the receiver's ingress. Whenever the set of active flows changes, rates
+//! are recomputed by progressive filling (water-filling), the classic
+//! max-min fair allocation that closely models steady-state TCP sharing on
+//! a non-blocking switch — the Grid'5000 cluster topology of the paper's
+//! testbed (§5.1).
+//!
+//! The model is deterministic: rates are f64 (IEEE arithmetic is exact for
+//! a fixed input sequence) and completion times are rounded up to whole
+//! microseconds.
+
+use crate::engine::{CompletionId, SimTime};
+use std::collections::HashMap;
+
+/// Bandwidth unit: bytes per microsecond. Numerically equal to MB/s.
+pub type Bw = f64;
+
+#[derive(Debug, Clone)]
+struct Flow {
+    src: u32,
+    dst: u32,
+    remaining: f64,
+    rate: Bw,
+    completion: CompletionId,
+}
+
+/// The flow network.
+#[derive(Debug)]
+pub struct FlowNet {
+    out_cap: Vec<Bw>,
+    in_cap: Vec<Bw>,
+    flows: HashMap<u64, Flow>,
+    next_id: u64,
+    last_advance: SimTime,
+    generation: u64,
+}
+
+impl FlowNet {
+    /// A network of `nodes` with unset (infinite) capacities; use
+    /// [`FlowNet::uniform`] for the usual homogeneous cluster.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            out_cap: vec![f64::INFINITY; nodes],
+            in_cap: vec![f64::INFINITY; nodes],
+            flows: HashMap::new(),
+            next_id: 0,
+            last_advance: 0,
+            generation: 0,
+        }
+    }
+
+    /// Homogeneous cluster: every NIC has `bw` bytes/us in each direction.
+    pub fn uniform(nodes: usize, bw: Bw) -> Self {
+        Self {
+            out_cap: vec![bw; nodes],
+            in_cap: vec![bw; nodes],
+            flows: HashMap::new(),
+            next_id: 0,
+            last_advance: 0,
+            generation: 0,
+        }
+    }
+
+    /// Override one node's NIC capacities (e.g. a slower NFS server).
+    pub fn set_node_bw(&mut self, node: usize, egress: Bw, ingress: Bw) {
+        self.out_cap[node] = egress;
+        self.in_cap[node] = ingress;
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Monotonic counter bumped on every membership change; used to drop
+    /// stale scheduled ticks.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Register a new flow of `bytes` from `src` to `dst`, to fire
+    /// `completion` when drained. Caller must then trigger a
+    /// recompute/reschedule (see `SimState::flows_changed`).
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        completion: CompletionId,
+    ) {
+        assert_ne!(src, dst, "self-flows must be short-circuited by the fabric");
+        self.settle_to(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow { src, dst, remaining: bytes.max(1) as f64, rate: 0.0, completion },
+        );
+        self.generation += 1;
+    }
+
+    fn settle_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance);
+        let dt = (now - self.last_advance) as f64;
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Advance flow progress to `now` and remove + return the completions
+    /// of all drained flows. Bumps the generation if anything finished.
+    pub fn advance(&mut self, now: SimTime) -> Vec<CompletionId> {
+        self.settle_to(now);
+        // Tolerance: a flow whose remaining work is under half a byte is
+        // done (rounding of completion times can leave us epsilon short).
+        let mut done: Vec<(u64, CompletionId)> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= 0.5)
+            .map(|(&id, f)| (id, f.completion))
+            .collect();
+        done.sort_by_key(|(id, _)| *id); // deterministic wake order
+        if !done.is_empty() {
+            self.generation += 1;
+        }
+        done.iter().for_each(|(id, _)| {
+            self.flows.remove(id);
+        });
+        done.into_iter().map(|(_, c)| c).collect()
+    }
+
+    /// Recompute max-min fair rates by progressive filling.
+    pub fn recompute(&mut self) {
+        if self.flows.is_empty() {
+            return;
+        }
+        let n = self.out_cap.len();
+        let mut rem_out = self.out_cap.clone();
+        let mut rem_in = self.in_cap.clone();
+        let mut cnt_out = vec![0u32; n];
+        let mut cnt_in = vec![0u32; n];
+        // Deterministic iteration order: by flow id.
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        for id in &ids {
+            let f = &self.flows[id];
+            cnt_out[f.src as usize] += 1;
+            cnt_in[f.dst as usize] += 1;
+        }
+        let mut frozen: HashMap<u64, Bw> = HashMap::with_capacity(ids.len());
+        let mut unfrozen: Vec<u64> = ids.clone();
+        while !unfrozen.is_empty() {
+            // Find the bottleneck resource: minimal fair share.
+            let mut best: Option<(Bw, bool, usize)> = None; // (share, is_out, node)
+            for node in 0..n {
+                if cnt_out[node] > 0 {
+                    let share = rem_out[node] / cnt_out[node] as f64;
+                    if best.is_none_or(|(s, _, _)| share < s) {
+                        best = Some((share, true, node));
+                    }
+                }
+                if cnt_in[node] > 0 {
+                    let share = rem_in[node] / cnt_in[node] as f64;
+                    if best.is_none_or(|(s, _, _)| share < s) {
+                        best = Some((share, false, node));
+                    }
+                }
+            }
+            let Some((share, is_out, node)) = best else { break };
+            if share.is_infinite() {
+                // No finite capacities left: remaining flows are unbounded;
+                // give them a very large finite rate to keep times sane.
+                for id in &unfrozen {
+                    frozen.insert(*id, 1e12);
+                }
+                break;
+            }
+            // Freeze every unfrozen flow crossing the bottleneck.
+            let mut still = Vec::with_capacity(unfrozen.len());
+            for id in unfrozen.drain(..) {
+                let f = &self.flows[&id];
+                let crosses = if is_out { f.src as usize == node } else { f.dst as usize == node };
+                if crosses {
+                    frozen.insert(id, share);
+                    rem_out[f.src as usize] = (rem_out[f.src as usize] - share).max(0.0);
+                    rem_in[f.dst as usize] = (rem_in[f.dst as usize] - share).max(0.0);
+                    cnt_out[f.src as usize] -= 1;
+                    cnt_in[f.dst as usize] -= 1;
+                } else {
+                    still.push(id);
+                }
+            }
+            // The bottleneck resource must now be exhausted for accounting.
+            if is_out {
+                rem_out[node] = 0.0;
+                debug_assert_eq!(cnt_out[node], 0);
+            } else {
+                rem_in[node] = 0.0;
+                debug_assert_eq!(cnt_in[node], 0);
+            }
+            unfrozen = still;
+        }
+        for (id, rate) in frozen {
+            self.flows.get_mut(&id).expect("flow present").rate = rate;
+        }
+    }
+
+    /// The next time a flow will drain (absolute), with the generation to
+    /// validate against, or `None` if no flows are active.
+    pub fn next_event(&self, now: SimTime) -> Option<(SimTime, u64)> {
+        debug_assert!(self.last_advance == now || self.flows.is_empty());
+        let mut min_t: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let t = f.remaining / f.rate;
+            min_t = Some(min_t.map_or(t, |m: f64| m.min(t)));
+        }
+        min_t.map(|dt| (now + (dt.ceil() as u64).max(1), self.generation))
+    }
+
+    /// Current rate of flow diagnostics: total allocated bandwidth.
+    pub fn total_rate(&self) -> Bw {
+        self.flows.values().map(|f| f.rate).sum()
+    }
+
+    #[cfg(test)]
+    fn rates(&self) -> Vec<(u32, u32, Bw)> {
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                (f.src, f.dst, f.rate)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CompletionId;
+
+    fn cid(i: u64) -> CompletionId {
+        CompletionId(i)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_bandwidth() {
+        let mut net = FlowNet::uniform(2, 100.0);
+        net.start_flow(0, 0, 1, 1000, cid(0));
+        net.recompute();
+        assert_eq!(net.rates(), vec![(0, 1, 100.0)]);
+        // 1000 bytes at 100 B/us => 10 us.
+        assert_eq!(net.next_event(0), Some((10, net.generation())));
+    }
+
+    #[test]
+    fn two_flows_share_receiver_ingress() {
+        let mut net = FlowNet::uniform(3, 100.0);
+        net.start_flow(0, 0, 2, 1000, cid(0));
+        net.start_flow(0, 1, 2, 1000, cid(1));
+        net.recompute();
+        let rates = net.rates();
+        assert_eq!(rates[0].2, 50.0);
+        assert_eq!(rates[1].2, 50.0);
+    }
+
+    #[test]
+    fn sender_bottleneck_frees_other_capacity() {
+        // Node 0 sends to 1 and 2; node 3 sends to 2.
+        // Egress(0)=100 split across two flows => 50 each.
+        // Ingress(2) = 100: flow 0->2 has 50, so 3->2 gets the other 50...
+        // but max-min: bottleneck order matters. Ingress(2) shared by two
+        // flows (50 fair share) == egress(0) share; after freezing 0's
+        // flows at 50, 3->2 can take remaining ingress = 50.
+        let mut net = FlowNet::uniform(4, 100.0);
+        net.start_flow(0, 0, 1, 1000, cid(0));
+        net.start_flow(0, 0, 2, 1000, cid(1));
+        net.start_flow(0, 3, 2, 1000, cid(2));
+        net.recompute();
+        let rates = net.rates();
+        assert_eq!(rates[0].2, 50.0, "0->1");
+        assert_eq!(rates[1].2, 50.0, "0->2");
+        assert_eq!(rates[2].2, 50.0, "3->2");
+    }
+
+    #[test]
+    fn asymmetric_capacity_water_filling() {
+        // Slow sender (10) to a fast receiver shared with a fast sender.
+        let mut net = FlowNet::uniform(3, 100.0);
+        net.set_node_bw(0, 10.0, 10.0);
+        net.start_flow(0, 0, 2, 1000, cid(0));
+        net.start_flow(0, 1, 2, 1000, cid(1));
+        net.recompute();
+        let rates = net.rates();
+        // Flow 0 frozen at 10 (its egress), flow 1 gets the rest: 90.
+        assert_eq!(rates[0].2, 10.0);
+        assert_eq!(rates[1].2, 90.0);
+    }
+
+    #[test]
+    fn rates_never_exceed_capacity() {
+        // Random-ish mesh; verify per-node conservation.
+        let n = 6;
+        let mut net = FlowNet::uniform(n, 117.5);
+        let mut k = 0;
+        for s in 0..n as u32 {
+            for d in 0..n as u32 {
+                if s != d && (s + 2 * d) % 3 == 0 {
+                    net.start_flow(0, s, d, 10_000, cid(k));
+                    k += 1;
+                }
+            }
+        }
+        net.recompute();
+        let mut out = vec![0.0f64; n];
+        let mut inn = vec![0.0f64; n];
+        for (s, d, r) in net.rates() {
+            out[s as usize] += r;
+            inn[d as usize] += r;
+            assert!(r > 0.0, "every flow must get bandwidth");
+        }
+        for i in 0..n {
+            assert!(out[i] <= 117.5 + 1e-6, "egress {i} over capacity: {}", out[i]);
+            assert!(inn[i] <= 117.5 + 1e-6, "ingress {i} over capacity: {}", inn[i]);
+        }
+    }
+
+    #[test]
+    fn advance_completes_drained_flows() {
+        let mut net = FlowNet::uniform(2, 100.0);
+        net.start_flow(0, 0, 1, 1000, cid(7));
+        net.recompute();
+        let (t, _) = net.next_event(0).unwrap();
+        let done = net.advance(t);
+        assert_eq!(done, vec![cid(7)]);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn mid_flight_join_slows_first_flow() {
+        let mut net = FlowNet::uniform(3, 100.0);
+        net.start_flow(0, 0, 2, 1000, cid(0));
+        net.recompute();
+        // After 5us, 500 bytes remain; a second flow joins the ingress.
+        assert!(net.advance(5).is_empty());
+        net.start_flow(5, 1, 2, 500, cid(1));
+        net.recompute();
+        // Both now at 50 B/us; both complete 10us later.
+        let (t, _) = net.next_event(5).unwrap();
+        assert_eq!(t, 15);
+        let done = net.advance(t);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn generation_bumps_on_change() {
+        let mut net = FlowNet::uniform(2, 10.0);
+        let g0 = net.generation();
+        net.start_flow(0, 0, 1, 100, cid(0));
+        assert_ne!(net.generation(), g0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # bff-sim
+//!
+//! A deterministic discrete-event cluster simulator: the stand-in for the
+//! paper's Grid'5000 testbed (§5.1).
+//!
+//! ## What is modelled
+//!
+//! * **Virtual time** in microseconds with a totally ordered event queue;
+//!   identical programs produce identical traces (bit-for-bit determinism).
+//! * **Processes** as coroutine threads scheduled one at a time (the
+//!   conductor model), so protocol code reads like straight-line blocking
+//!   code — the same code that runs on the in-process stack.
+//! * **Network**: a max-min fair fluid-flow model over per-node full-duplex
+//!   NIC capacities (Gigabit Ethernet, 117.5 MB/s measured in the paper),
+//!   plus per-transfer latency and message overhead.
+//! * **Disks**: FIFO servers at 55 MB/s with per-access positioning costs,
+//!   and a write-back page-cache model (dirty limit + background drain)
+//!   that reproduces the paper's mmap write-back effects (Fig. 6) and
+//!   asynchronous-commit degradation (Fig. 5a).
+//!
+//! ## What is *not* modelled
+//!
+//! Packet-level behaviour (we use fluid flows), CPU core contention
+//! (compute is a pure delay), and switch oversubscription (the testbed's
+//! cluster switch was non-blocking for these workloads).
+//!
+//! The bridge to storage code is [`fabric::SimFabric`], an implementation
+//! of [`bff_net::Fabric`]; see that trait for the execution-mode contract.
+
+pub mod disk;
+pub mod engine;
+pub mod fabric;
+pub mod flownet;
+pub mod metrics;
+pub mod sync;
+
+pub use disk::{DiskParams, WriteMode};
+pub use engine::{CompletionId, Env, ProcId, SimReport, SimState, SimTime, Simulation};
+pub use fabric::{ClusterParams, SimCluster, SimFabric};
+pub use flownet::FlowNet;
+pub use metrics::Summary;
+pub use sync::{SimBarrier, SimChannel, SimLatch};

@@ -1,0 +1,121 @@
+//! Small statistics helpers for experiment harnesses: online summaries,
+//! percentiles, and formatted table rows.
+
+/// Summary statistics over a set of samples.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// From an iterator of samples.
+    pub fn from_samples(it: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        for v in it {
+            s.add(v);
+        }
+        s
+    }
+
+    /// Record a sample.
+    pub fn add(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population standard deviation (0 for empty).
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample (0 for empty).
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+            .min(if self.samples.is_empty() { 0.0 } else { f64::INFINITY })
+    }
+
+    /// Maximum sample (0 for empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// p-th percentile (nearest-rank; p in [0, 100]).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// Convert microseconds to seconds.
+pub fn us_to_s(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+/// Convert bytes to gigabytes (decimal, as in the paper's Fig. 4d).
+pub fn bytes_to_gb(b: u64) -> f64 {
+    b as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(s.max(), 4.0);
+        assert!((s.stddev() - 1.118033988749895).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = Summary::from_samples((1..=100).map(|i| i as f64));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(50.0), 51.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(us_to_s(2_500_000), 2.5);
+        assert_eq!(bytes_to_gb(220_000_000_000), 220.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Synchronization helpers for simulated processes: mailbox channels,
+//! barriers and countdown latches.
+//!
+//! These mirror what the cloud middleware needs: broadcasting CLONE/COMMIT
+//! control messages to compute nodes, synchronizing snapshot start times
+//! (§5.3: "the snapshotting process is synchronized to start at the same
+//! time"), and waiting for all VM instances to reach a state.
+
+use crate::engine::{CompletionId, Env, SimState};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// An unbounded FIFO channel between simulated processes.
+pub struct SimChannel<T> {
+    state: Arc<SimState>,
+    inner: Mutex<ChannelInner<T>>,
+}
+
+struct ChannelInner<T> {
+    queue: VecDeque<T>,
+    /// Completions of parked receivers, woken FIFO.
+    parked: VecDeque<CompletionId>,
+    closed: bool,
+}
+
+impl<T: Send> SimChannel<T> {
+    /// Create a channel bound to a simulation.
+    pub fn new(state: Arc<SimState>) -> Arc<Self> {
+        Arc::new(Self {
+            state,
+            inner: Mutex::new(ChannelInner {
+                queue: VecDeque::new(),
+                parked: VecDeque::new(),
+                closed: false,
+            }),
+        })
+    }
+
+    /// Send a message (never blocks).
+    pub fn send(&self, msg: T) {
+        let waiter = {
+            let mut inner = self.inner.lock();
+            assert!(!inner.closed, "send on closed channel");
+            inner.queue.push_back(msg);
+            inner.parked.pop_front()
+        };
+        if let Some(cid) = waiter {
+            self.state.complete(cid);
+        }
+    }
+
+    /// Close the channel; parked and future receivers get `None` once the
+    /// queue drains.
+    pub fn close(&self) {
+        let waiters: Vec<CompletionId> = {
+            let mut inner = self.inner.lock();
+            inner.closed = true;
+            inner.parked.drain(..).collect()
+        };
+        for cid in waiters {
+            self.state.complete(cid);
+        }
+    }
+
+    /// Receive the next message, blocking the calling process until one is
+    /// available. Returns `None` if the channel is closed and drained.
+    pub fn recv(&self, env: &Env) -> Option<T> {
+        loop {
+            let cid = {
+                let mut inner = self.inner.lock();
+                if let Some(m) = inner.queue.pop_front() {
+                    return Some(m);
+                }
+                if inner.closed {
+                    return None;
+                }
+                let cid = self.state.new_completion();
+                inner.parked.push_back(cid);
+                cid
+            };
+            env.wait(cid);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.lock().queue.pop_front()
+    }
+}
+
+/// A reusable barrier for `n` simulated processes.
+pub struct SimBarrier {
+    state: Arc<SimState>,
+    n: usize,
+    inner: Mutex<BarrierInner>,
+}
+
+struct BarrierInner {
+    arrived: usize,
+    gate: CompletionId,
+}
+
+impl SimBarrier {
+    /// Barrier for `n` participants.
+    pub fn new(state: Arc<SimState>, n: usize) -> Arc<Self> {
+        assert!(n > 0);
+        let gate = state.new_completion();
+        Arc::new(Self { state, n, inner: Mutex::new(BarrierInner { arrived: 0, gate }) })
+    }
+
+    /// Block until all `n` participants arrive. The last arrival releases
+    /// everyone and resets the barrier for reuse.
+    pub fn wait(&self, env: &Env) {
+        let (gate, release) = {
+            let mut inner = self.inner.lock();
+            inner.arrived += 1;
+            let gate = inner.gate;
+            if inner.arrived == self.n {
+                inner.arrived = 0;
+                inner.gate = self.state.new_completion();
+                (gate, true)
+            } else {
+                (gate, false)
+            }
+        };
+        if release {
+            self.state.complete(gate);
+        } else {
+            env.wait(gate);
+        }
+    }
+}
+
+/// A countdown latch: `n` `count_down()` calls release all waiters.
+pub struct SimLatch {
+    state: Arc<SimState>,
+    inner: Mutex<LatchInner>,
+}
+
+struct LatchInner {
+    remaining: usize,
+    gate: CompletionId,
+}
+
+impl SimLatch {
+    /// Latch requiring `n` countdowns.
+    pub fn new(state: Arc<SimState>, n: usize) -> Arc<Self> {
+        let gate = state.new_completion();
+        if n == 0 {
+            state.complete(gate);
+        }
+        Arc::new(Self { state, inner: Mutex::new(LatchInner { remaining: n, gate }) })
+    }
+
+    /// Record one completion; the final call opens the gate.
+    pub fn count_down(&self) {
+        let gate = {
+            let mut inner = self.inner.lock();
+            assert!(inner.remaining > 0, "latch counted down too many times");
+            inner.remaining -= 1;
+            if inner.remaining == 0 {
+                Some(inner.gate)
+            } else {
+                None
+            }
+        };
+        if let Some(g) = gate {
+            self.state.complete(g);
+        }
+    }
+
+    /// Block until the latch opens.
+    pub fn wait(&self, env: &Env) {
+        let gate = self.inner.lock().gate;
+        env.wait(gate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let sim = Simulation::bare();
+        let ch = SimChannel::new(Arc::clone(sim.state()));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let (ch2, got2) = (Arc::clone(&ch), Arc::clone(&got));
+        sim.spawn("rx", move |env| {
+            while let Some(v) = ch2.recv(&env) {
+                got2.lock().push((env.now_us(), v));
+            }
+        });
+        let ch3 = Arc::clone(&ch);
+        sim.spawn("tx", move |env| {
+            ch3.send(1);
+            env.sleep_us(10);
+            ch3.send(2);
+            env.sleep_us(10);
+            ch3.close();
+        });
+        sim.run();
+        assert_eq!(*got.lock(), vec![(0, 1), (10, 2)]);
+    }
+
+    #[test]
+    fn channel_blocks_until_message() {
+        let sim = Simulation::bare();
+        let ch = SimChannel::new(Arc::clone(sim.state()));
+        let t = Arc::new(AtomicU64::new(0));
+        let (ch2, t2) = (Arc::clone(&ch), Arc::clone(&t));
+        sim.spawn("rx", move |env| {
+            assert_eq!(ch2.recv(&env), Some(42));
+            t2.store(env.now_us(), Ordering::Relaxed);
+        });
+        let ch3 = Arc::clone(&ch);
+        sim.spawn("tx", move |env| {
+            env.sleep_us(500);
+            ch3.send(42);
+            ch3.close();
+        });
+        sim.run();
+        assert_eq!(t.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn barrier_releases_all_at_last_arrival() {
+        let sim = Simulation::bare();
+        let bar = SimBarrier::new(Arc::clone(sim.state()), 3);
+        let max_t = Arc::new(AtomicU64::new(0));
+        let min_t = Arc::new(AtomicU64::new(u64::MAX));
+        for i in 0..3u64 {
+            let (bar, max_t, min_t) = (Arc::clone(&bar), Arc::clone(&max_t), Arc::clone(&min_t));
+            sim.spawn(format!("p{i}"), move |env| {
+                env.sleep_us(i * 100);
+                bar.wait(&env);
+                max_t.fetch_max(env.now_us(), Ordering::Relaxed);
+                min_t.fetch_min(env.now_us(), Ordering::Relaxed);
+            });
+        }
+        sim.run();
+        assert_eq!(max_t.load(Ordering::Relaxed), 200);
+        assert_eq!(min_t.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let sim = Simulation::bare();
+        let bar = SimBarrier::new(Arc::clone(sim.state()), 2);
+        let rounds = Arc::new(AtomicUsize::new(0));
+        for i in 0..2u64 {
+            let (bar, rounds) = (Arc::clone(&bar), Arc::clone(&rounds));
+            sim.spawn(format!("p{i}"), move |env| {
+                for _ in 0..3 {
+                    env.sleep_us(10 * (i + 1));
+                    bar.wait(&env);
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(rounds.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn latch_opens_after_n_countdowns() {
+        let sim = Simulation::bare();
+        let latch = SimLatch::new(Arc::clone(sim.state()), 2);
+        let t = Arc::new(AtomicU64::new(0));
+        let (l2, t2) = (Arc::clone(&latch), Arc::clone(&t));
+        sim.spawn("waiter", move |env| {
+            l2.wait(&env);
+            t2.store(env.now_us(), Ordering::Relaxed);
+        });
+        for i in 0..2u64 {
+            let latch = Arc::clone(&latch);
+            sim.spawn(format!("c{i}"), move |env| {
+                env.sleep_us((i + 1) * 50);
+                latch.count_down();
+            });
+        }
+        sim.run();
+        assert_eq!(t.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_latch_is_open() {
+        let sim = Simulation::bare();
+        let latch = SimLatch::new(Arc::clone(sim.state()), 0);
+        let ok = Arc::new(AtomicUsize::new(0));
+        let ok2 = Arc::clone(&ok);
+        sim.spawn("w", move |env| {
+            latch.wait(&env);
+            ok2.fetch_add(1, Ordering::Relaxed);
+        });
+        sim.run();
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+}

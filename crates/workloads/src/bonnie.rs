@@ -1,0 +1,202 @@
+//! A Bonnie++-like filesystem benchmark plan (Figs. 6 and 7).
+//!
+//! Bonnie++ (Martin, ref.\[21] of the paper) writes a working set, reads it back, overwrites it, then
+//! measures random seeks and file create/delete rates. The paper ran it
+//! inside a VM with an 800 MB working set in 8 KB blocks out of the 2 GB
+//! image (§5.4). The plan here is the op sequence; executors time each
+//! phase separately to produce the per-phase bars of the figures.
+
+use crate::VmOp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The benchmark phases, in Bonnie++ order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BonniePhase {
+    /// Sequential block writes of the working set.
+    BlockWrite,
+    /// Sequential block reads of the written data.
+    BlockRead,
+    /// Sequential read-modify-write of each block.
+    BlockOverwrite,
+    /// Random small reads (seek test).
+    RandomSeek,
+    /// File creation (metadata op burst).
+    CreateFiles,
+    /// File deletion (metadata op burst).
+    DeleteFiles,
+}
+
+impl BonniePhase {
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BonniePhase::BlockWrite => "BlockW",
+            BonniePhase::BlockRead => "BlockR",
+            BonniePhase::BlockOverwrite => "BlockO",
+            BonniePhase::RandomSeek => "RndSeek",
+            BonniePhase::CreateFiles => "CreatF",
+            BonniePhase::DeleteFiles => "DelF",
+        }
+    }
+}
+
+/// Benchmark parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BonnieConfig {
+    /// Image size (the file system the VM writes into lives here).
+    pub image_len: u64,
+    /// Offset of the working-set region inside the image.
+    pub region_offset: u64,
+    /// Working-set size (paper: 800 MB).
+    pub working_set: u64,
+    /// Block size (paper: 8 KB).
+    pub block: u64,
+    /// Number of random seeks.
+    pub seeks: u64,
+    /// Number of files created/deleted in the metadata phases.
+    pub files: u64,
+}
+
+impl BonnieConfig {
+    /// The paper's configuration: 800 MB of 2 GB in 8 KB blocks.
+    pub fn paper() -> Self {
+        Self {
+            image_len: 2 << 30,
+            region_offset: 512 << 20,
+            working_set: 800 << 20,
+            block: 8 << 10,
+            seeks: 8_000,
+            files: 16_384,
+        }
+    }
+
+    /// A scaled-down configuration for tests. Keeps the paper's 8 KB
+    /// block size (the per-op/throughput balance depends on it).
+    pub fn scaled(image_len: u64) -> Self {
+        Self {
+            image_len,
+            region_offset: image_len / 4,
+            working_set: image_len / 2,
+            block: 8 << 10,
+            seeks: 64,
+            files: 128,
+        }
+    }
+
+    /// Generate the I/O ops of one phase. Metadata phases (create/delete)
+    /// are tiny inode-sized writes, matching how a guest filesystem turns
+    /// them into journal/inode updates in the image.
+    pub fn phase_ops(&self, phase: BonniePhase, seed: u64) -> Vec<VmOp> {
+        assert!(self.region_offset + self.working_set <= self.image_len, "region must fit");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0_11_1E_00);
+        let blocks = self.working_set / self.block;
+        match phase {
+            BonniePhase::BlockWrite => (0..blocks)
+                .map(|b| VmOp::Write { offset: self.region_offset + b * self.block, len: self.block })
+                .collect(),
+            BonniePhase::BlockRead => (0..blocks)
+                .map(|b| VmOp::Read { offset: self.region_offset + b * self.block, len: self.block })
+                .collect(),
+            BonniePhase::BlockOverwrite => (0..blocks)
+                .flat_map(|b| {
+                    let offset = self.region_offset + b * self.block;
+                    [
+                        VmOp::Read { offset, len: self.block },
+                        VmOp::Write { offset, len: self.block },
+                    ]
+                })
+                .collect(),
+            BonniePhase::RandomSeek => (0..self.seeks)
+                .map(|_| {
+                    let b = rng.gen_range(0..blocks);
+                    VmOp::Read {
+                        offset: self.region_offset + b * self.block,
+                        len: 512.min(self.block),
+                    }
+                })
+                .collect(),
+            BonniePhase::CreateFiles => (0..self.files)
+                .map(|i| VmOp::Write {
+                    offset: self.region_offset + (i % blocks) * self.block,
+                    len: 256,
+                })
+                .collect(),
+            BonniePhase::DeleteFiles => (0..self.files)
+                .map(|i| VmOp::Write {
+                    offset: self.region_offset + (i % blocks) * self.block,
+                    len: 128,
+                })
+                .collect(),
+        }
+    }
+
+    /// All phases in Bonnie++ order.
+    pub fn phases() -> [BonniePhase; 6] {
+        [
+            BonniePhase::BlockWrite,
+            BonniePhase::BlockRead,
+            BonniePhase::BlockOverwrite,
+            BonniePhase::RandomSeek,
+            BonniePhase::CreateFiles,
+            BonniePhase::DeleteFiles,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::totals;
+
+    #[test]
+    fn paper_config_volume() {
+        let c = BonnieConfig::paper();
+        let w = totals(&c.phase_ops(BonniePhase::BlockWrite, 1));
+        assert_eq!(w.write_bytes, 800 << 20);
+        let r = totals(&c.phase_ops(BonniePhase::BlockRead, 1));
+        assert_eq!(r.read_bytes, 800 << 20);
+        let o = totals(&c.phase_ops(BonniePhase::BlockOverwrite, 1));
+        assert_eq!(o.read_bytes, 800 << 20);
+        assert_eq!(o.write_bytes, 800 << 20);
+    }
+
+    #[test]
+    fn read_phase_reads_exactly_what_was_written() {
+        let c = BonnieConfig::scaled(1 << 20);
+        let writes = c.phase_ops(BonniePhase::BlockWrite, 1);
+        let reads = c.phase_ops(BonniePhase::BlockRead, 1);
+        assert_eq!(writes.len(), reads.len());
+        for (w, r) in writes.iter().zip(&reads) {
+            let (VmOp::Write { offset: wo, len: wl }, VmOp::Read { offset: ro, len: rl }) = (w, r)
+            else {
+                panic!("phase op kinds");
+            };
+            assert_eq!((wo, wl), (ro, rl));
+        }
+    }
+
+    #[test]
+    fn seeks_stay_in_region() {
+        let c = BonnieConfig::scaled(1 << 20);
+        for op in c.phase_ops(BonniePhase::RandomSeek, 2) {
+            let VmOp::Read { offset, len } = op else { panic!("seeks read") };
+            assert!(offset >= c.region_offset);
+            assert!(offset + len <= c.region_offset + c.working_set);
+        }
+    }
+
+    #[test]
+    fn metadata_phases_are_small_ops() {
+        let c = BonnieConfig::scaled(1 << 20);
+        let create = c.phase_ops(BonniePhase::CreateFiles, 3);
+        assert_eq!(create.len() as u64, c.files);
+        assert!(create.iter().all(|op| op.write_bytes() <= 256));
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        let labels: Vec<&str> = BonnieConfig::phases().iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["BlockW", "BlockR", "BlockO", "RndSeek", "CreatF", "DelF"]);
+    }
+}

@@ -1,0 +1,117 @@
+//! # bff-workloads
+//!
+//! Synthetic workload generators for the paper's evaluation (§5):
+//!
+//! * [`boottrace`] — VM boot-phase I/O (§2.3: "random small reads and
+//!   writes from/to the VM disk image"), calibrated so that a boot
+//!   touches roughly the fraction of the 2 GB image the paper measured
+//!   (~120 MB of remote fetches per instance in Fig. 4d).
+//! * [`bonnie`] — a Bonnie++-like sequence: block write / read /
+//!   overwrite phases plus random seeks and file create/delete metadata
+//!   ops (Figs. 6 and 7).
+//! * [`montecarlo`] — the Monte Carlo π application of §5.5: ~1000 s of
+//!   compute per worker with periodic ~10 MB intermediate-result writes
+//!   into the image.
+//!
+//! Generators are pure and deterministic (seeded); execution against an
+//! image backend happens in `bff-cloud`.
+
+pub mod bonnie;
+pub mod boottrace;
+pub mod montecarlo;
+
+/// One I/O or compute step of a VM's life, replayed by the hypervisor
+/// model against an image backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmOp {
+    /// Burn CPU for the given microseconds.
+    Cpu {
+        /// Duration in microseconds.
+        us: u64,
+    },
+    /// Read `len` bytes at `offset` from the image.
+    Read {
+        /// Byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Write `len` bytes at `offset` into the image (content is
+    /// synthesized deterministically from the VM seed by the executor).
+    Write {
+        /// Byte offset.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+}
+
+impl VmOp {
+    /// Bytes read by this op.
+    pub fn read_bytes(&self) -> u64 {
+        match self {
+            VmOp::Read { len, .. } => *len,
+            _ => 0,
+        }
+    }
+
+    /// Bytes written by this op.
+    pub fn write_bytes(&self) -> u64 {
+        match self {
+            VmOp::Write { len, .. } => *len,
+            _ => 0,
+        }
+    }
+
+    /// CPU time consumed by this op.
+    pub fn cpu_us(&self) -> u64 {
+        match self {
+            VmOp::Cpu { us } => *us,
+            _ => 0,
+        }
+    }
+}
+
+/// Totals over a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTotals {
+    /// Sum of read lengths.
+    pub read_bytes: u64,
+    /// Sum of write lengths.
+    pub write_bytes: u64,
+    /// Sum of compute time.
+    pub cpu_us: u64,
+    /// Number of ops.
+    pub ops: usize,
+}
+
+/// Summarize a trace.
+pub fn totals(trace: &[VmOp]) -> TraceTotals {
+    let mut t = TraceTotals { ops: trace.len(), ..Default::default() };
+    for op in trace {
+        t.read_bytes += op.read_bytes();
+        t.write_bytes += op.write_bytes();
+        t.cpu_us += op.cpu_us();
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let trace = [
+            VmOp::Cpu { us: 10 },
+            VmOp::Read { offset: 0, len: 100 },
+            VmOp::Write { offset: 5, len: 7 },
+            VmOp::Read { offset: 100, len: 50 },
+        ];
+        let t = totals(&trace);
+        assert_eq!(t.read_bytes, 150);
+        assert_eq!(t.write_bytes, 7);
+        assert_eq!(t.cpu_us, 10);
+        assert_eq!(t.ops, 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! The Monte Carlo π application of §5.5.
+//!
+//! One hundred loosely coupled workers estimate π by sampling points in
+//! the unit square; each saves intermediate results into a ~10 MB
+//! temporary file inside its VM image, which is what makes the
+//! suspend/resume cycle (multisnapshotting + multideployment) meaningful:
+//! after resume on a fresh node, the worker restarts from the last
+//! intermediate result instead of from scratch.
+
+use crate::VmOp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Actually estimate π by sampling (the real computation, used by the
+/// examples so the application end-to-end result is genuine).
+pub fn estimate_pi(samples: u64, seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inside = 0u64;
+    for _ in 0..samples {
+        let x: f64 = rng.gen_range(-1.0..1.0);
+        let y: f64 = rng.gen_range(-1.0..1.0);
+        if x * x + y * y <= 1.0 {
+            inside += 1;
+        }
+    }
+    4.0 * inside as f64 / samples as f64
+}
+
+/// Plan for one worker VM.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPlan {
+    /// Total compute time of the full job, us (paper: ~1000 s).
+    pub compute_us: u64,
+    /// Interval between intermediate-result saves, us.
+    pub checkpoint_every_us: u64,
+    /// Size of the intermediate-result file (paper: ~10 MB).
+    pub state_bytes: u64,
+    /// Where in the image the temporary file lives.
+    pub state_offset: u64,
+}
+
+impl WorkerPlan {
+    /// The paper's setting: ~1000 s of compute, ~10 MB of state.
+    pub fn paper() -> Self {
+        Self {
+            compute_us: 1_000_000_000,
+            checkpoint_every_us: 100_000_000,
+            state_bytes: 10 << 20,
+            state_offset: 1 << 30,
+        }
+    }
+
+    /// Scaled-down plan for tests.
+    pub fn scaled() -> Self {
+        Self {
+            compute_us: 1_000_000,
+            checkpoint_every_us: 200_000,
+            state_bytes: 64 << 10,
+            state_offset: 1 << 20,
+        }
+    }
+
+    /// The ops for the portion of the job between `done_us` and either
+    /// completion or `until_us` (used to split the job around a
+    /// suspend/resume point). Each checkpoint overwrites the same
+    /// temporary file region.
+    pub fn ops_between(&self, done_us: u64, until_us: u64) -> Vec<VmOp> {
+        let end = until_us.min(self.compute_us);
+        let mut ops = Vec::new();
+        let mut t = done_us;
+        while t < end {
+            let step = self.checkpoint_every_us.min(end - t);
+            ops.push(VmOp::Cpu { us: step });
+            t += step;
+            // Save intermediate results (skip if the job just finished —
+            // final results are reported, not checkpointed).
+            if t < self.compute_us {
+                ops.push(VmOp::Write { offset: self.state_offset, len: self.state_bytes });
+            }
+        }
+        ops
+    }
+
+    /// Ops for the whole uninterrupted job.
+    pub fn full_ops(&self) -> Vec<VmOp> {
+        self.ops_between(0, self.compute_us)
+    }
+
+    /// On resume, a worker reads its saved state back first.
+    pub fn resume_prologue(&self) -> Vec<VmOp> {
+        vec![VmOp::Read { offset: self.state_offset, len: self.state_bytes }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::totals;
+
+    #[test]
+    fn pi_estimate_converges() {
+        let pi = estimate_pi(200_000, 42);
+        assert!((pi - std::f64::consts::PI).abs() < 0.02, "estimate {pi}");
+    }
+
+    #[test]
+    fn pi_estimate_deterministic() {
+        assert_eq!(estimate_pi(1000, 7), estimate_pi(1000, 7));
+    }
+
+    #[test]
+    fn full_job_compute_time_is_exact() {
+        let p = WorkerPlan::scaled();
+        let t = totals(&p.full_ops());
+        assert_eq!(t.cpu_us, p.compute_us);
+        // 5 checkpoint intervals -> 4 intermediate saves.
+        assert_eq!(t.write_bytes, 4 * p.state_bytes);
+    }
+
+    #[test]
+    fn split_job_equals_whole_job() {
+        let p = WorkerPlan::scaled();
+        let cut = 450_000;
+        let first = p.ops_between(0, cut);
+        let second = p.ops_between(cut, p.compute_us);
+        let t1 = totals(&first);
+        let t2 = totals(&second);
+        assert_eq!(t1.cpu_us + t2.cpu_us, p.compute_us);
+    }
+
+    #[test]
+    fn resume_reads_state_back() {
+        let p = WorkerPlan::scaled();
+        let pro = p.resume_prologue();
+        assert_eq!(totals(&pro).read_bytes, p.state_bytes);
+    }
+}

@@ -1,0 +1,93 @@
+//! The large-scale debugging scenario from §3.2 of the paper: capture the
+//! state of a distributed application right before a bug manifests, then
+//! iterate — analyze the captured snapshots offline, patch them, resume,
+//! and repeat until the fix holds. CLONE/COMMIT make each iteration cheap
+//! because snapshots share all unmodified content.
+//!
+//! Run with: `cargo run --example debug_loop`
+
+use bff::prelude::*;
+
+/// Where the app keeps its state inside the image.
+const STATE_AT: u64 = 8 << 20;
+
+/// The "application": a counter that corrupts itself at a threshold (the
+/// bug we are hunting).
+fn app_step(vm: &mut VmHandle, patched: bool) -> u64 {
+    let raw = vm.backend.read(STATE_AT..STATE_AT + 8).expect("read state").materialize();
+    let mut counter = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+    counter += 1;
+    // The bug: an unpatched binary corrupts the counter at 5.
+    if counter == 5 && !patched {
+        counter = 0xDEAD;
+    }
+    vm.backend
+        .write(STATE_AT, Payload::from(counter.to_le_bytes().to_vec()))
+        .expect("write state");
+    counter
+}
+
+fn main() {
+    let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let fabric = LocalFabric::new(5);
+    let cloud = Cloud::new(
+        fabric,
+        compute.clone(),
+        NodeId(4),
+        BlobConfig { chunk_size: 64 << 10, ..Default::default() },
+        Calibration::default(),
+    );
+    // The uploaded image has the counter initialized to zero.
+    let image = Payload::synth(77, 0, 16 << 20)
+        .overwrite(STATE_AT, Payload::from(0u64.to_le_bytes().to_vec()));
+    let (blob, v) = cloud.upload_image(image).expect("upload");
+    let mut vms = cloud.deploy(blob, v, &compute).expect("deploy");
+
+    // Run the app until just before the bug (counter == 4), then take a
+    // global snapshot: "capture the state right before the bug happens".
+    for step in 1..=4u64 {
+        for vm in vms.iter_mut() {
+            let c = app_step(vm, false);
+            assert_eq!(c, step);
+        }
+    }
+    let checkpoint = cloud.snapshot_all(&mut vms).expect("checkpoint");
+    println!("checkpoint taken at counter=4 on {} instances", checkpoint.len());
+
+    // Reproduce the bug from the live instances.
+    for vm in vms.iter_mut() {
+        assert_eq!(app_step(vm, false), 0xDEAD);
+    }
+    println!("bug reproduced live: counter corrupted to 0xDEAD");
+
+    // Debug loop: resume the checkpoint snapshots (on other nodes, they
+    // are standalone images) and try candidate fixes iteratively.
+    for (attempt, patched) in [(1, false), (2, true)] {
+        let mut lab = cloud.resume(&checkpoint, &compute).expect("resume checkpoint");
+        let mut ok = true;
+        for vm in lab.iter_mut() {
+            let c = app_step(vm, patched);
+            ok &= c == 5;
+        }
+        println!(
+            "attempt {attempt} (patched={patched}): {}",
+            if ok { "fix holds, resuming for real" } else { "still broken, iterating" }
+        );
+        if ok {
+            // The fixed run continues from where the app left off.
+            for vm in lab.iter_mut() {
+                assert_eq!(app_step(vm, patched), 6);
+            }
+            let fixed = cloud.snapshot_all(&mut lab).expect("snapshot fixed state");
+            let report = cloud.storage_report(&fixed);
+            println!(
+                "resumed past the bug; {} snapshots now stored in {:.1} MB (full copies: {:.1} MB)",
+                fixed.len(),
+                report.stored_bytes as f64 / 1e6,
+                report.naive_full_copy_bytes as f64 / 1e6
+            );
+            return;
+        }
+    }
+    unreachable!("the patched attempt fixes the bug");
+}

@@ -1,0 +1,38 @@
+//! Multideployment on the simulated testbed: deploy 16 instances of a
+//! 64 MB image with all three strategies from the paper's §5.2 and print
+//! the Fig. 4 metrics side by side. This is the same machinery the
+//! benchmark binaries run at 110-instance/2 GB scale.
+//!
+//! Run with: `cargo run --release --example multideployment`
+
+use bff::cloud::experiments::{run_deployment, ExpScale, Strategy};
+use bff::cloud::params::Calibration;
+
+fn main() {
+    let scale = ExpScale { image_len: 64 << 20, chunk_size: 256 << 10 };
+    let n = 16;
+    let cal = Calibration::default();
+
+    println!("deploying {n} instances of a {} MB image, three ways:\n", scale.image_len >> 20);
+    println!(
+        "{:<24} {:>14} {:>12} {:>12}",
+        "strategy", "avg boot (s)", "total (s)", "traffic (GB)"
+    );
+    let mut totals = Vec::new();
+    for strategy in [Strategy::Prepropagation, Strategy::QcowOverPvfs, Strategy::Mirror] {
+        let out = run_deployment(strategy, n, scale, cal, None, 42);
+        println!(
+            "{:<24} {:>14.2} {:>12.2} {:>12.3}",
+            strategy.label(),
+            out.avg_boot_s(),
+            out.total_s,
+            out.traffic_gb
+        );
+        totals.push(out.total_s);
+    }
+    println!(
+        "\nspeedup of our approach: {:.1}x vs prepropagation, {:.2}x vs qcow2-over-pvfs",
+        totals[0] / totals[2],
+        totals[1] / totals[2]
+    );
+}

@@ -1,0 +1,75 @@
+//! # bff — Back-and-Forth FS
+//!
+//! A from-scratch Rust implementation of *"Going Back and Forth:
+//! Efficient Multideployment and Multisnapshotting on Clouds"*
+//! (Nicolae, Bresnahan, Keahey, Antoniu — HPDC 2011): a distributed
+//! virtual file system for VM images that makes deploying hundreds of
+//! instances and snapshotting them back cheap, transparent and
+//! hypervisor-independent.
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`core`] — the paper's contribution: the mirroring module
+//!   (on-demand lazy fetching, local modification tracking,
+//!   CLONE/COMMIT snapshotting) and its POSIX-like VFS.
+//! * [`blobseer`] — the versioning storage substrate: striping,
+//!   shadowed segment trees, cloning, providers and managers.
+//! * [`cloud`] — middleware, image backends, the hypervisor model and
+//!   the experiment drivers behind every figure of the paper.
+//! * [`qcow2`], [`pvfs`], [`bcast`] — the baselines: a CoW image
+//!   format, a striped distributed file system, broadcast trees.
+//! * [`sim`] — the deterministic discrete-event cluster simulator that
+//!   stands in for the Grid'5000 testbed.
+//! * [`data`], [`net`], [`workloads`] — payload ropes, the fabric
+//!   cost-accounting abstraction, and workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bff::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // An in-process cloud: 4 compute nodes + 1 service node.
+//! let fabric = LocalFabric::new(5);
+//! let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+//! let cloud = Cloud::new(
+//!     fabric,
+//!     compute.clone(),
+//!     NodeId(4),
+//!     BlobConfig { chunk_size: 64 << 10, ..Default::default() },
+//!     Calibration::default(),
+//! );
+//!
+//! // Upload an image, deploy two instances, modify, snapshot.
+//! let image = Payload::synth(42, 0, 1 << 20);
+//! let (blob, v) = cloud.upload_image(image).unwrap();
+//! let mut vms = cloud.deploy(blob, v, &compute[..2]).unwrap();
+//! vms[0].backend.write(0, Payload::from(vec![7u8; 100])).unwrap();
+//! let snaps = cloud.snapshot_all(&mut vms).unwrap();
+//!
+//! // Every snapshot is a standalone raw image.
+//! let img = cloud.download_image(snaps[0].0, snaps[0].1).unwrap();
+//! assert_eq!(img.slice(0, 100).materialize(), vec![7u8; 100]);
+//! ```
+
+pub use bff_bcast as bcast;
+pub use bff_blobseer as blobseer;
+pub use bff_cloud as cloud;
+pub use bff_core as core;
+pub use bff_data as data;
+pub use bff_net as net;
+pub use bff_pvfs as pvfs;
+pub use bff_qcow2 as qcow2;
+pub use bff_sim as sim;
+pub use bff_workloads as workloads;
+
+/// The commonly needed names in one import.
+pub mod prelude {
+    pub use bff_blobseer::{BlobConfig, BlobError, BlobId, Client as BlobClient, Version};
+    pub use bff_cloud::backend::ImageBackend;
+    pub use bff_cloud::middleware::{Cloud, VmHandle};
+    pub use bff_cloud::params::Calibration;
+    pub use bff_core::{MirrorConfig, MirroredImage, VirtualFs};
+    pub use bff_data::Payload;
+    pub use bff_net::{Fabric, LocalFabric, NodeId};
+}

@@ -1,0 +1,125 @@
+//! Cross-stack equivalence: the same VM workload produces byte-identical
+//! images regardless of which storage stack executes it and regardless of
+//! execution mode (in-process vs simulated testbed). This is the property
+//! that justifies using the simulator for the paper's figures: it changes
+//! timing, never behaviour.
+
+use bff::cloud::backend::{ImageBackend, MirrorBackend, QcowPvfsBackend, RawLocalBackend};
+use bff::cloud::params::Calibration;
+use bff::cloud::vm::{expected_image, run_vm_trace};
+use bff::prelude::*;
+use bff::pvfs::{Pvfs, PvfsClient, PvfsConfig};
+use bff::sim::{ClusterParams, SimCluster};
+use bff::workloads::boottrace::BootProfile;
+use bff::workloads::VmOp;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const IMG: u64 = 4 << 20;
+const SEED: u64 = 0xC0FFEE;
+
+fn image() -> Payload {
+    Payload::synth(SEED, 0, IMG)
+}
+
+fn trace() -> Vec<VmOp> {
+    BootProfile::scaled(IMG).generate(77)
+}
+
+fn mirror_backend(fabric: Arc<dyn Fabric>) -> MirrorBackend {
+    let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let topo = bff::blobseer::BlobTopology::colocated(&compute, NodeId(4));
+    let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+    let store = bff::blobseer::BlobStore::new(cfg, topo, fabric);
+    let client = BlobClient::new(store, NodeId(0));
+    let (blob, v) = client.upload(image()).unwrap();
+    MirrorBackend::open(client, blob, v, &Calibration::default()).unwrap()
+}
+
+fn qcow_backend(fabric: Arc<dyn Fabric>) -> QcowPvfsBackend {
+    let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let pvfs = Pvfs::new(
+        PvfsConfig { stripe_size: 64 << 10, ..Default::default() },
+        compute,
+        Arc::clone(&fabric),
+    );
+    let client = PvfsClient::new(pvfs, NodeId(0));
+    let base = client.create(IMG).unwrap();
+    client.write(base, 0, image()).unwrap();
+    QcowPvfsBackend::create(client, base, NodeId(0), fabric, Calibration::default()).unwrap()
+}
+
+/// Run the trace on a backend and return the final image content.
+fn final_image(backend: &mut dyn ImageBackend, fabric: &Arc<dyn Fabric>) -> Payload {
+    run_vm_trace(fabric, NodeId(0), backend, 77, &trace()).unwrap();
+    backend.read(0..IMG).unwrap()
+}
+
+#[test]
+fn all_three_stacks_produce_identical_images() {
+    let want = expected_image(&image(), 77, &trace());
+
+    let f1: Arc<dyn Fabric> = LocalFabric::new(5);
+    let mut raw = RawLocalBackend::new(NodeId(0), Arc::clone(&f1), image(), Calibration::default());
+    let raw_img = final_image(&mut raw, &f1);
+
+    let f2: Arc<dyn Fabric> = LocalFabric::new(5);
+    let mut mir = mirror_backend(Arc::clone(&f2));
+    let mir_img = final_image(&mut mir, &f2);
+
+    let f3: Arc<dyn Fabric> = LocalFabric::new(5);
+    let mut qc = qcow_backend(Arc::clone(&f3));
+    let qc_img = final_image(&mut qc, &f3);
+
+    assert!(raw_img.content_eq(&want), "raw local matches the model");
+    assert!(mir_img.content_eq(&want), "mirroring module matches the model");
+    assert!(qc_img.content_eq(&want), "qcow2-over-pvfs matches the model");
+}
+
+#[test]
+fn simulated_and_local_execution_agree_byte_for_byte() {
+    // In-process run.
+    let f_local: Arc<dyn Fabric> = LocalFabric::new(5);
+    let mut local = mirror_backend(Arc::clone(&f_local));
+    let local_digest = final_image(&mut local, &f_local).digest();
+
+    // Simulated run of the *same* logic: build the cluster, run the VM as
+    // a simulated process, capture the digest from inside.
+    let cluster = SimCluster::new(ClusterParams::grid5000(5));
+    let f_sim: Arc<dyn Fabric> = cluster.fabric();
+    let digest: Arc<Mutex<Option<bff::data::Digest>>> = Arc::new(Mutex::new(None));
+    let digest2 = Arc::clone(&digest);
+    let mut backend = mirror_backend(Arc::clone(&f_sim)); // staging: free
+    cluster.sim().spawn("vm", move |_env| {
+        let img = final_image(&mut backend, &f_sim);
+        *digest2.lock() = Some(img.digest());
+    });
+    let end_us = cluster.run();
+    assert!(end_us > 0, "the simulated run consumed virtual time");
+    assert_eq!(digest.lock().expect("sim ran"), local_digest,
+        "virtual time changes timing, never contents");
+}
+
+#[test]
+fn snapshot_through_both_stacks_holds_same_bytes() {
+    // After identical writes, a mirror COMMIT snapshot and a qcow2 file
+    // copy decode to the same virtual disk.
+    let f1: Arc<dyn Fabric> = LocalFabric::new(5);
+    let mut mir = mirror_backend(Arc::clone(&f1));
+    let f2: Arc<dyn Fabric> = LocalFabric::new(5);
+    let mut qc = qcow_backend(Arc::clone(&f2));
+
+    for (i, (off, len)) in [(5000u64, 3000u64), (1 << 20, 200_000), (IMG - 4096, 4096)]
+        .into_iter()
+        .enumerate()
+    {
+        let data = Payload::synth(900 + i as u64, off, len);
+        mir.write(off, data.clone()).unwrap();
+        qc.write(off, data).unwrap();
+    }
+    mir.snapshot().unwrap();
+    qc.snapshot().unwrap();
+    let a = mir.read(0..IMG).unwrap();
+    let b = qc.read(0..IMG).unwrap();
+    assert!(a.content_eq(&b));
+}

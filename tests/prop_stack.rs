@@ -1,0 +1,139 @@
+//! Property-based integration tests: random workloads against reference
+//! models, across the full mirror + repository stack.
+
+use bff::blobseer::{BlobStore, BlobTopology};
+use bff::core::{MemStore, MirrorConfig, MirroredImage};
+use bff::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const IMG: u64 = 1 << 16; // 64 KiB images keep cases fast
+const CHUNK: u64 = 4 << 10;
+
+fn fresh_mirror(seed: u64, cfg: MirrorConfig) -> (BlobClient, MirroredImage, Vec<u8>) {
+    let fabric = LocalFabric::new(4);
+    let compute: Vec<NodeId> = (0..3).map(NodeId).collect();
+    let topo = BlobTopology::colocated(&compute, NodeId(3));
+    let bcfg = BlobConfig { chunk_size: CHUNK, ..Default::default() };
+    let store = BlobStore::new(bcfg, topo, fabric as Arc<dyn Fabric>);
+    let client = BlobClient::new(store, NodeId(0));
+    let image = Payload::synth(seed, 0, IMG);
+    let (blob, v) = client.upload(image.clone()).unwrap();
+    let img = MirroredImage::open(
+        client.clone(),
+        blob,
+        v,
+        Box::new(MemStore::new(IMG)),
+        cfg,
+    )
+    .unwrap();
+    (client, img, image.materialize())
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64, u64),
+    Write(u64, u64, u64), // offset, len, content seed
+    Commit,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..IMG, 1..3000u64).prop_map(|(o, l)| Op::Read(o.min(IMG - 1), l.min(IMG - o.min(IMG - 1)).max(1))),
+        (0..IMG, 1..3000u64, any::<u64>())
+            .prop_map(|(o, l, s)| Op::Write(o.min(IMG - 1), l.min(IMG - o.min(IMG - 1)).max(1), s)),
+        Just(Op::Commit),
+    ]
+}
+
+fn arb_cfg() -> impl Strategy<Value = MirrorConfig> {
+    (any::<bool>(), any::<bool>()).prop_map(|(prefetch, gap)| MirrorConfig {
+        prefetch_whole_chunks: prefetch,
+        gap_fill: gap,
+        ..MirrorConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any strategy combination, mirror reads always return the
+    /// model content, and committed snapshots decode to the model too.
+    #[test]
+    fn mirror_matches_model(seed in any::<u64>(), cfg in arb_cfg(),
+                            ops in prop::collection::vec(arb_op(), 1..30)) {
+        let (client, mut img, mut model) = fresh_mirror(seed, cfg);
+        let blob_before = img.blob();
+        for op in ops {
+            match op {
+                Op::Read(o, l) => {
+                    let got = img.read(o..o + l).unwrap();
+                    prop_assert_eq!(got.materialize(), &model[o as usize..(o + l) as usize]);
+                }
+                Op::Write(o, l, s) => {
+                    let data = Payload::synth(s, o, l);
+                    model.splice(o as usize..(o + l) as usize, data.materialize());
+                    img.write(o, data).unwrap();
+                }
+                Op::Commit => {
+                    let v = img.commit().unwrap();
+                    let snap = client.read(blob_before, v, 0..IMG).unwrap();
+                    prop_assert_eq!(snap.materialize(), model.clone(),
+                        "committed snapshot equals the model");
+                }
+            }
+        }
+        // Whatever happened, a full read equals the model.
+        let full = img.read(0..IMG).unwrap();
+        prop_assert_eq!(full.materialize(), model);
+        // And the single-region invariant holds when both strategies are on.
+        if cfg.prefetch_whole_chunks && cfg.gap_fill {
+            img.chunk_map().check_single_region_invariant().map_err(|e| {
+                TestCaseError::fail(format!("invariant: {e}"))
+            })?;
+        }
+    }
+
+    /// Snapshots are immutable history: after arbitrary further writes
+    /// and commits, every previously committed version still reads as it
+    /// did at commit time.
+    #[test]
+    fn snapshot_history_immutable(seed in any::<u64>(),
+                                  rounds in prop::collection::vec((0..IMG, 1..2000u64, any::<u64>()), 1..6)) {
+        let (client, mut img, base) = fresh_mirror(seed, MirrorConfig::default());
+        let blob = img.blob();
+        let mut model = base;
+        let mut history: Vec<(bff::blobseer::Version, Vec<u8>)> = Vec::new();
+        for (o, l, s) in rounds {
+            let o = o.min(IMG - 1);
+            let l = l.min(IMG - o).max(1);
+            let data = Payload::synth(s, o, l);
+            model.splice(o as usize..(o + l) as usize, data.materialize());
+            img.write(o, data).unwrap();
+            let v = img.commit().unwrap();
+            history.push((v, model.clone()));
+        }
+        for (v, want) in &history {
+            let got = client.read(blob, *v, 0..IMG).unwrap();
+            prop_assert_eq!(&got.materialize(), want, "version {} intact", v);
+        }
+    }
+
+    /// Clones diverge without ever affecting their origin.
+    #[test]
+    fn clones_never_alias(seed in any::<u64>(),
+                          writes in prop::collection::vec((0..IMG, 1..2000u64), 1..5)) {
+        let (client, mut img, base) = fresh_mirror(seed, MirrorConfig::default());
+        let origin = img.blob();
+        let origin_v = img.base_version();
+        img.clone_image().unwrap();
+        for (i, (o, l)) in writes.into_iter().enumerate() {
+            let o = o.min(IMG - 1);
+            let l = l.min(IMG - o).max(1);
+            img.write(o, Payload::synth(7000 + i as u64, o, l)).unwrap();
+            img.commit().unwrap();
+        }
+        let orig = client.read(origin, origin_v, 0..IMG).unwrap();
+        prop_assert_eq!(orig.materialize(), base, "origin untouched by clone activity");
+    }
+}
