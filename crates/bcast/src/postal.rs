@@ -47,13 +47,7 @@ pub fn optimal_rounds(n: u64, lambda: u64) -> u64 {
 /// block timescale times the per-block cycle, plus the pipeline drain.
 /// This is the *lower bound* an optimal taktuk-like tool approaches; the
 /// measured baseline is the executed tree in [`crate::tree`].
-pub fn postal_broadcast_time(
-    n: u64,
-    bytes: u64,
-    bw: f64,
-    latency_us: u64,
-    block: u64,
-) -> u64 {
+pub fn postal_broadcast_time(n: u64, bytes: u64, bw: f64, latency_us: u64, block: u64) -> u64 {
     assert!(bw > 0.0 && block > 0);
     let send_time = (block as f64 / bw).ceil() as u64; // one "unit"
     let lambda = (latency_us / send_time.max(1)).max(1);

@@ -44,7 +44,11 @@ pub struct TreeBroadcast {
 
 impl Default for TreeBroadcast {
     fn default() -> Self {
-        Self { arity: 2, mode: BroadcastMode::StoreAndForward, write_to_disk: true }
+        Self {
+            arity: 2,
+            mode: BroadcastMode::StoreAndForward,
+            write_to_disk: true,
+        }
     }
 }
 
@@ -95,10 +99,15 @@ impl TreeBroadcast {
     ) -> Result<BroadcastOutcome, NetError> {
         assert!(self.arity >= 1, "arity must be at least 1");
         if targets.is_empty() {
-            return Ok(BroadcastOutcome { completion_us: vec![], makespan_us: fabric.now_us() });
+            return Ok(BroadcastOutcome {
+                completion_us: vec![],
+                makespan_us: fabric.now_us(),
+            });
         }
         // Node table: index 0 = source, 1.. = targets.
-        let nodes: Vec<NodeId> = std::iter::once(source).chain(targets.iter().copied()).collect();
+        let nodes: Vec<NodeId> = std::iter::once(source)
+            .chain(targets.iter().copied())
+            .collect();
         let total = nodes.len();
         let (block, blocks) = match self.mode {
             BroadcastMode::StoreAndForward => (bytes, 1u64),
@@ -167,7 +176,10 @@ impl TreeBroadcast {
         }
         let completion_us: Vec<u64> = completions.lock()[1..].to_vec();
         let makespan_us = completion_us.iter().copied().max().unwrap_or(0);
-        Ok(BroadcastOutcome { completion_us, makespan_us })
+        Ok(BroadcastOutcome {
+            completion_us,
+            makespan_us,
+        })
     }
 }
 
@@ -217,7 +229,9 @@ mod tests {
         let signals: Arc<dyn SignalTable> = Arc::new(NullSignals);
         let targets: Vec<NodeId> = (1..9).map(NodeId).collect();
         let bc = TreeBroadcast::default();
-        let out = bc.run(&fabric, &signals, NodeId(0), &targets, 1000).unwrap();
+        let out = bc
+            .run(&fabric, &signals, NodeId(0), &targets, 1000)
+            .unwrap();
         assert_eq!(out.completion_us.len(), 8);
         // Each of the 8 targets received the full payload exactly once.
         assert_eq!(fabric.stats().total_network_bytes(), 8 * 1000);
@@ -236,7 +250,8 @@ mod tests {
             mode: BroadcastMode::Pipelined { block: 300 },
             ..Default::default()
         };
-        bc.run(&fabric, &signals, NodeId(0), &targets, 1000).unwrap();
+        bc.run(&fabric, &signals, NodeId(0), &targets, 1000)
+            .unwrap();
         assert_eq!(fabric.stats().total_network_bytes(), 4 * 1000);
     }
 
@@ -248,7 +263,9 @@ mod tests {
         let signals: Arc<dyn SignalTable> = Arc::new(NullSignals);
         let targets: Vec<NodeId> = (1..4).map(NodeId).collect();
         let bc = TreeBroadcast::default();
-        let err = bc.run(&fabric, &signals, NodeId(0), &targets, 100).unwrap_err();
+        let err = bc
+            .run(&fabric, &signals, NodeId(0), &targets, 100)
+            .unwrap_err();
         assert_eq!(err, NetError::NodeDown(NodeId(2)));
     }
 

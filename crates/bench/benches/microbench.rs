@@ -23,7 +23,12 @@ struct MemIo {
 impl NodeIo for MemIo {
     fn fetch(&mut self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>> {
         keys.iter()
-            .map(|k| self.nodes.get(k).cloned().ok_or(BlobError::MetadataMissing(*k)))
+            .map(|k| {
+                self.nodes
+                    .get(k)
+                    .cloned()
+                    .ok_or(BlobError::MetadataMissing(*k))
+            })
             .collect()
     }
     fn reserve(&mut self, n: u64) -> BlobResult<Range<u64>> {
@@ -39,7 +44,15 @@ impl NodeIo for MemIo {
 
 fn full_tree(io: &mut MemIo, span: u64) -> NodeKey {
     let updates: HashMap<u64, ChunkDesc> = (0..span)
-        .map(|i| (i, ChunkDesc { id: ChunkId(i + 1), replicas: vec![NodeId((i % 8) as u32)] }))
+        .map(|i| {
+            (
+                i,
+                ChunkDesc {
+                    id: ChunkId(i + 1),
+                    replicas: vec![NodeId((i % 8) as u32)],
+                },
+            )
+        })
         .collect();
     build_new_tree(io, NodeKey::NULL, span, &updates).expect("build")
 }
@@ -53,7 +66,13 @@ fn bench_segtree(c: &mut Criterion) {
         let root = full_tree(&mut io, span);
         let updates: HashMap<u64, ChunkDesc> = (0..60u64)
             .map(|i| {
-                (i * 136, ChunkDesc { id: ChunkId(100_000 + i), replicas: vec![NodeId(0)] })
+                (
+                    i * 136,
+                    ChunkDesc {
+                        id: ChunkId(100_000 + i),
+                        replicas: vec![NodeId(0)],
+                    },
+                )
             })
             .collect();
         b.iter(|| build_new_tree(&mut io, root, span, &updates).expect("commit"));
@@ -137,7 +156,13 @@ fn bench_flownet(c: &mut Criterion) {
     group.bench_function("recompute_110_flows", |b| {
         let mut net = FlowNet::uniform(111, 117.5);
         for i in 0..110u32 {
-            net.start_flow(0, i, (i + 37) % 111, 1 << 20, bff_sim::CompletionId(i as u64));
+            net.start_flow(
+                0,
+                i,
+                (i + 37) % 111,
+                1 << 20,
+                bff_sim::CompletionId(i as u64),
+            );
         }
         b.iter(|| net.recompute());
     });
@@ -159,7 +184,8 @@ fn bench_qcow2(c: &mut Criterion) {
                 .expect("create")
             },
             |mut img| {
-                img.write(1 << 20, Payload::synth(2, 0, 64 << 10)).expect("write");
+                img.write(1 << 20, Payload::synth(2, 0, 64 << 10))
+                    .expect("write");
                 img
             },
             BatchSize::SmallInput,

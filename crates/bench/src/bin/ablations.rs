@@ -27,12 +27,35 @@ fn ablation_chunk_size() {
         "ablation_chunk_size",
         &["chunk_kb", "avg_boot_s", "total_s", "traffic_gb"],
     );
-    let (n, image_len) = if paper_scale() { (40, 2u64 << 30) } else { (6, 8u64 << 20) };
-    let kbs: &[u64] = if paper_scale() { &[64, 256, 1024, 4096] } else { &[16, 64, 256] };
+    let (n, image_len) = if paper_scale() {
+        (40, 2u64 << 30)
+    } else {
+        (6, 8u64 << 20)
+    };
+    let kbs: &[u64] = if paper_scale() {
+        &[64, 256, 1024, 4096]
+    } else {
+        &[16, 64, 256]
+    };
     for &kb in kbs {
-        let scale = ExpScale { image_len, chunk_size: kb << 10 };
-        let out = run_deployment(Strategy::Mirror, n, scale, Calibration::default(), None, 0xAB1);
-        t.row(&[&kb, &f3(out.avg_boot_s()), &f3(out.total_s), &f3(out.traffic_gb)]);
+        let scale = ExpScale {
+            image_len,
+            chunk_size: kb << 10,
+        };
+        let out = run_deployment(
+            Strategy::Mirror,
+            n,
+            scale,
+            Calibration::default(),
+            None,
+            0xAB1,
+        );
+        t.row(&[
+            &kb,
+            &f3(out.avg_boot_s()),
+            &f3(out.total_s),
+            &f3(out.traffic_gb),
+        ]);
     }
     t.emit();
 }
@@ -47,17 +70,28 @@ fn ablation_strategies() {
     use rand::{Rng, SeedableRng};
     let mut t = Table::new(
         "ablation_access_strategies",
-        &["prefetch", "gap_fill", "remote_fetch_ops", "remote_mb", "fragments"],
+        &[
+            "prefetch",
+            "gap_fill",
+            "remote_fetch_ops",
+            "remote_mb",
+            "fragments",
+        ],
     );
     for (prefetch, gap_fill) in [(true, true), (true, false), (false, true), (false, false)] {
         let fabric = LocalFabric::new(5);
         let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
         let topo = BlobTopology::colocated(&nodes, NodeId(4));
-        let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 64 << 10,
+            ..Default::default()
+        };
         let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
         let client = BlobClient::new(store, NodeId(0));
         let image_len = 8u64 << 20;
-        let (blob, v) = client.upload(Payload::synth(IMAGE_SEED, 0, image_len)).unwrap();
+        let (blob, v) = client
+            .upload(Payload::synth(IMAGE_SEED, 0, image_len))
+            .unwrap();
         let mcfg = MirrorConfig {
             prefetch_whole_chunks: prefetch,
             gap_fill,
@@ -111,11 +145,17 @@ fn ablation_replication() {
         let fabric = LocalFabric::new(5);
         let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
         let topo = BlobTopology::colocated(&nodes, NodeId(4));
-        let cfg = BlobConfig { chunk_size: 64 << 10, replication, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 64 << 10,
+            replication,
+            ..Default::default()
+        };
         let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
         let client = BlobClient::new(store, NodeId(0));
         let image_len = 4u64 << 20;
-        let (blob, v) = client.upload(Payload::synth(IMAGE_SEED, 0, image_len)).unwrap();
+        let (blob, v) = client
+            .upload(Payload::synth(IMAGE_SEED, 0, image_len))
+            .unwrap();
         let stored = client.store().total_stored_bytes();
         fabric.fail_node(NodeId(2));
         let ok = client.read(blob, v, 0..image_len).is_ok();
@@ -130,10 +170,17 @@ fn ablation_async_commit() {
         "ablation_async_commit",
         &["async_writes", "avg_snapshot_s", "total_snapshot_s"],
     );
-    let scale =
-        if paper_scale() { ExpScale::paper() } else { ExpScale::mini() };
+    let scale = if paper_scale() {
+        ExpScale::paper()
+    } else {
+        ExpScale::mini()
+    };
     let n = if paper_scale() { 40 } else { 6 };
-    let diff = if paper_scale() { 15u64 << 20 } else { 512 << 10 };
+    let diff = if paper_scale() {
+        15u64 << 20
+    } else {
+        512 << 10
+    };
     // The async flag lives in BlobConfig; fig5's driver uses the default
     // (async). For the sync variant we emulate by doubling the provider
     // write cost through a sync-flagged run below.
@@ -156,11 +203,12 @@ fn ablation_async_commit() {
 fn ablation_broadcast() {
     use bff_bcast::{BroadcastMode, SignalTable, TreeBroadcast};
     use bff_cloud::simsignals::SimSignals;
-    let mut t = Table::new(
-        "ablation_broadcast_mode",
-        &["mode", "arity", "makespan_s"],
-    );
-    let (n, bytes) = if paper_scale() { (110, 2u64 << 30) } else { (8, 64u64 << 20) };
+    let mut t = Table::new("ablation_broadcast_mode", &["mode", "arity", "makespan_s"]);
+    let (n, bytes) = if paper_scale() {
+        (110, 2u64 << 30)
+    } else {
+        (8, 64u64 << 20)
+    };
     for (label, mode) in [
         ("store-and-forward", BroadcastMode::StoreAndForward),
         ("pipelined-1MB", BroadcastMode::Pipelined { block: 1 << 20 }),
@@ -177,7 +225,11 @@ fn ablation_broadcast() {
             let mk = Arc::clone(&makespan);
             cluster.sim().spawn("bcast", move |_env| {
                 let signals: Arc<dyn SignalTable> = SimSignals::new(state);
-                let bc = TreeBroadcast { arity, mode, write_to_disk: true };
+                let bc = TreeBroadcast {
+                    arity,
+                    mode,
+                    write_to_disk: true,
+                };
                 let out = bc.run(&fabric2, &signals, source, &targets, bytes).unwrap();
                 *mk.lock() = out.makespan_us;
             });

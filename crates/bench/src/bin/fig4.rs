@@ -13,11 +13,21 @@ fn main() {
 
     let mut a = Table::new(
         "fig4a_avg_boot_time",
-        &["instances", "taktuk_prepropagation_s", "qcow2_over_pvfs_s", "our_approach_s"],
+        &[
+            "instances",
+            "taktuk_prepropagation_s",
+            "qcow2_over_pvfs_s",
+            "our_approach_s",
+        ],
     );
     let mut b = Table::new(
         "fig4b_total_boot_time",
-        &["instances", "taktuk_prepropagation_s", "qcow2_over_pvfs_s", "our_approach_s"],
+        &[
+            "instances",
+            "taktuk_prepropagation_s",
+            "qcow2_over_pvfs_s",
+            "our_approach_s",
+        ],
     );
     let mut c = Table::new(
         "fig4c_speedup",
@@ -25,7 +35,12 @@ fn main() {
     );
     let mut d = Table::new(
         "fig4d_network_traffic",
-        &["instances", "taktuk_prepropagation_gb", "qcow2_over_pvfs_gb", "our_approach_gb"],
+        &[
+            "instances",
+            "taktuk_prepropagation_gb",
+            "qcow2_over_pvfs_gb",
+            "our_approach_gb",
+        ],
     );
     for row in &rows {
         let [pre, qcow, ours] = &row.outcomes;
@@ -35,9 +50,23 @@ fn main() {
             &f3(qcow.avg_boot_s()),
             &f3(ours.avg_boot_s()),
         ]);
-        b.row(&[&row.n, &f1(pre.total_s), &f1(qcow.total_s), &f1(ours.total_s)]);
-        c.row(&[&row.n, &f1(row.speedup_vs_taktuk()), &f3(row.speedup_vs_qcow())]);
-        d.row(&[&row.n, &f3(pre.traffic_gb), &f3(qcow.traffic_gb), &f3(ours.traffic_gb)]);
+        b.row(&[
+            &row.n,
+            &f1(pre.total_s),
+            &f1(qcow.total_s),
+            &f1(ours.total_s),
+        ]);
+        c.row(&[
+            &row.n,
+            &f1(row.speedup_vs_taktuk()),
+            &f3(row.speedup_vs_qcow()),
+        ]);
+        d.row(&[
+            &row.n,
+            &f3(pre.traffic_gb),
+            &f3(qcow.traffic_gb),
+            &f3(ours.traffic_gb),
+        ]);
     }
     a.emit();
     b.emit();

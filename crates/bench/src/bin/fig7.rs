@@ -16,7 +16,11 @@ fn main() {
     let results = fig67::run(scale.exp_scale(), Calibration::default(), cfg);
     let mut t = Table::new(
         "fig7_bonnie_ops",
-        &["operation_type", "local_ops_per_s", "our_approach_ops_per_s"],
+        &[
+            "operation_type",
+            "local_ops_per_s",
+            "our_approach_ops_per_s",
+        ],
     );
     for r in results.iter().filter(|r| !r.is_throughput) {
         t.row(&[&r.phase.label(), &f1(r.local), &f1(r.mirror)]);

@@ -28,15 +28,60 @@ fn main() {
 
     let mut t = Table::new(
         "fig8_montecarlo",
-        &["setting", "pre_propagation_s", "qcow2_over_pvfs_s", "our_approach_s"],
+        &[
+            "setting",
+            "pre_propagation_s",
+            "qcow2_over_pvfs_s",
+            "our_approach_s",
+        ],
     );
-    let pre = run_one(Strategy::Prepropagation, Setting::Uninterrupted, n, exp, cal, plan, seed);
-    let qcow = run_one(Strategy::QcowOverPvfs, Setting::Uninterrupted, n, exp, cal, plan, seed);
-    let ours = run_one(Strategy::Mirror, Setting::Uninterrupted, n, exp, cal, plan, seed);
+    let pre = run_one(
+        Strategy::Prepropagation,
+        Setting::Uninterrupted,
+        n,
+        exp,
+        cal,
+        plan,
+        seed,
+    );
+    let qcow = run_one(
+        Strategy::QcowOverPvfs,
+        Setting::Uninterrupted,
+        n,
+        exp,
+        cal,
+        plan,
+        seed,
+    );
+    let ours = run_one(
+        Strategy::Mirror,
+        Setting::Uninterrupted,
+        n,
+        exp,
+        cal,
+        plan,
+        seed,
+    );
     t.row(&[&"Uninterrupted", &f1(pre), &f1(qcow), &f1(ours)]);
 
-    let qcow_sr = run_one(Strategy::QcowOverPvfs, Setting::SuspendResume, n, exp, cal, plan, seed);
-    let ours_sr = run_one(Strategy::Mirror, Setting::SuspendResume, n, exp, cal, plan, seed);
+    let qcow_sr = run_one(
+        Strategy::QcowOverPvfs,
+        Setting::SuspendResume,
+        n,
+        exp,
+        cal,
+        plan,
+        seed,
+    );
+    let ours_sr = run_one(
+        Strategy::Mirror,
+        Setting::SuspendResume,
+        n,
+        exp,
+        cal,
+        plan,
+        seed,
+    );
     t.row(&[&"Suspend/Resume", &"n/a", &f1(qcow_sr), &f1(ours_sr)]);
     t.emit();
 

@@ -16,7 +16,9 @@ fn main() {
         if mini {
             cmd.arg("--mini");
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
         assert!(status.success(), "{fig} failed");
     }
     println!("\nAll figures regenerated; CSVs in target/paper/.");

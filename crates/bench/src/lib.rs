@@ -88,7 +88,8 @@ impl Table {
     /// Append a row.
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|c| format!("{c}")).collect());
+        self.rows
+            .push(cells.iter().map(|c| format!("{c}")).collect());
     }
 
     /// Print to stdout and write `<name>.csv` under [`output_dir`].

@@ -191,7 +191,10 @@ impl fmt::Display for BlobError {
             BlobError::NoSuchBlob(b) => write!(f, "{b} does not exist"),
             BlobError::NoSuchVersion(b, v) => write!(f, "{b} has no snapshot {v}"),
             BlobError::Conflict { blob, base, latest } => {
-                write!(f, "write to {blob} based on {base} conflicts with latest {latest}")
+                write!(
+                    f,
+                    "write to {blob} based on {base} conflicts with latest {latest}"
+                )
             }
             BlobError::OutOfBounds { offset, len, size } => {
                 write!(f, "access {offset}+{len} beyond blob size {size}")
@@ -230,7 +233,11 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = BlobError::Conflict { blob: BlobId(1), base: Version(2), latest: Version(3) };
+        let e = BlobError::Conflict {
+            blob: BlobId(1),
+            base: Version(2),
+            latest: Version(3),
+        };
         assert!(e.to_string().contains("conflicts"));
     }
 }

@@ -7,6 +7,27 @@
 //! pattern (§3.1.3). Writes allocate providers round-robin, push chunks in
 //! parallel, shadow the metadata tree, and publish the new snapshot at the
 //! version manager.
+//!
+//! # The vectored read pipeline
+//!
+//! [`Client::read_multi`] is the batched data plane the mirroring module
+//! drives. It differs from per-run [`Client::read`] loops in three ways:
+//!
+//! 1. **Single descent** — all requested runs are planned in one
+//!    level-by-level walk of the segment tree
+//!    ([`segtree::collect_leaves_multi`]), so a plan of R runs costs at
+//!    most `tree depth` metadata rounds, not `R × depth` (§3.2: metadata
+//!    is accessed in parallel, grouped per level).
+//! 2. **Descriptor cache** — resolved chunk descriptors are cached per
+//!    `(blob, version)` on the compute node (§4.1's metadata cache).
+//!    Snapshots are immutable, so entries never go stale; repeated
+//!    boot-time reads of the same snapshot skip the metadata plane
+//!    entirely. `write_chunks` seeds the new version's entry from its
+//!    base plus the published delta, and `clone_blob` carries the source
+//!    entry over to the clone.
+//! 3. **Per-provider batching** — the chunk fetches of the whole plan are
+//!    grouped by provider and issued as one batched transfer each, with
+//!    per-chunk replica failover as the fallback path.
 
 use crate::api::{
     BlobConfig, BlobError, BlobId, BlobResult, ChunkDesc, NodeKey, TreeNode, Version,
@@ -14,11 +35,12 @@ use crate::api::{
 use crate::meta::partition_of;
 use crate::segtree::{self, NodeIo};
 use crate::service::BlobStore;
-use bff_data::{chunk_cover, chunk_range, intersect, Payload};
+use bff_data::{chunk_cover, chunk_range, intersect, ByteRange, Payload, RangeSet};
 use bff_net::{NetError, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cached per-(blob, version) metadata.
@@ -30,6 +52,23 @@ struct VersionMeta {
     span: u64,
 }
 
+/// The compute node's chunk-descriptor cache for one snapshot (the
+/// paper's §4.1 metadata cache). An index inside `resolved` but absent
+/// from `descs` is a known-unwritten chunk (reads as zeros) — that
+/// negative knowledge also skips the metadata plane on re-reads.
+#[derive(Debug, Clone, Default)]
+struct DescCache {
+    /// Chunk-index ranges already resolved against the metadata plane.
+    resolved: RangeSet,
+    /// Descriptors of the resolved chunks that exist.
+    descs: HashMap<u64, ChunkDesc>,
+}
+
+/// Entries kept in the per-client descriptor cache before wholesale
+/// eviction. Snapshots are immutable so entries never go *stale*; the
+/// bound only caps memory for long commit chains.
+const DESC_CACHE_VERSIONS: usize = 64;
+
 /// A client handle bound to one cluster node.
 #[derive(Clone)]
 pub struct Client {
@@ -37,6 +76,10 @@ pub struct Client {
     node: NodeId,
     version_cache: Arc<Mutex<HashMap<(BlobId, Version), VersionMeta>>>,
     node_cache: Arc<Mutex<HashMap<NodeKey, TreeNode>>>,
+    desc_cache: Arc<Mutex<HashMap<(BlobId, Version), DescCache>>>,
+    /// Diagnostic: number of `NodeIo::fetch` rounds issued (tests assert
+    /// the single-descent bound; see `read_multi`).
+    meta_fetch_calls: Arc<AtomicU64>,
 }
 
 impl Client {
@@ -47,7 +90,16 @@ impl Client {
             node,
             version_cache: Arc::new(Mutex::new(HashMap::new())),
             node_cache: Arc::new(Mutex::new(HashMap::new())),
+            desc_cache: Arc::new(Mutex::new(HashMap::new())),
+            meta_fetch_calls: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Number of metadata fetch rounds (`NodeIo::fetch` calls) this client
+    /// has issued. Each call is one level of a segment-tree descent; the
+    /// vectored read path bounds them at `tree depth` per plan.
+    pub fn meta_fetch_calls(&self) -> u64 {
+        self.meta_fetch_calls.load(Ordering::Relaxed)
     }
 
     /// The node this client runs on.
@@ -75,7 +127,36 @@ impl Client {
     /// `(src, version)` (§3.1.4).
     pub fn clone_blob(&self, src: BlobId, version: Version) -> BlobResult<BlobId> {
         self.control_rpc(self.store.topo.vmanager)?;
-        self.store.vmanager.lock().clone_blob(src, version)
+        let id = self.store.vmanager.lock().clone_blob(src, version)?;
+        // The clone's Version(1) *is* the source tree, so the descriptor
+        // cache carries over verbatim.
+        let mut cache = self.desc_cache.lock();
+        if let Some(entry) = cache.get(&(src, version)).cloned() {
+            Self::desc_cache_insert(&mut cache, (id, Version(1)), entry);
+        }
+        Ok(id)
+    }
+
+    /// Insert with wholesale eviction once the version bound is hit.
+    fn desc_cache_insert(
+        cache: &mut HashMap<(BlobId, Version), DescCache>,
+        key: (BlobId, Version),
+        entry: DescCache,
+    ) {
+        *Self::desc_cache_entry(cache, key) = entry;
+    }
+
+    /// The cache slot for `key`, creating it empty if absent — the single
+    /// place the eviction policy lives (wholesale clear at the version
+    /// bound; entries are never *stale*, the bound only caps memory).
+    fn desc_cache_entry(
+        cache: &mut HashMap<(BlobId, Version), DescCache>,
+        key: (BlobId, Version),
+    ) -> &mut DescCache {
+        if cache.len() >= DESC_CACHE_VERSIONS && !cache.contains_key(&key) {
+            cache.clear();
+        }
+        cache.entry(key).or_default()
     }
 
     /// Latest published version of a blob.
@@ -106,7 +187,12 @@ impl Client {
             let root = meta
                 .root(version)
                 .ok_or(BlobError::NoSuchVersion(blob, version))?;
-            VersionMeta { root, size: meta.size, chunk_size: meta.chunk_size, span: meta.span }
+            VersionMeta {
+                root,
+                size: meta.size,
+                chunk_size: meta.chunk_size,
+                span: meta.span,
+            }
         };
         self.version_cache.lock().insert((blob, version), m);
         Ok(m)
@@ -187,6 +273,173 @@ impl Client {
         Ok(out)
     }
 
+    /// Vectored read: fetch every range of `(blob, version)` in one
+    /// batched pipeline, returning one payload per input range (unwritten
+    /// regions read as zeros, like [`Client::read`]).
+    ///
+    /// All ranges are planned together: one segment-tree descent for the
+    /// union of their chunk covers (at most `tree depth` metadata rounds
+    /// total — see [`segtree::collect_leaves_multi`]), served first from
+    /// the per-`(blob, version)` descriptor cache, and the chunk fetches
+    /// are grouped per provider into batched transfers with per-chunk
+    /// replica failover as fallback. Byte-for-byte equivalent to calling
+    /// [`Client::read`] once per range; strictly cheaper in metadata
+    /// rounds and per-message overheads.
+    pub fn read_multi(
+        &self,
+        blob: BlobId,
+        version: Version,
+        ranges: &[ByteRange],
+    ) -> BlobResult<Vec<Payload>> {
+        let meta = self.version_meta(blob, version)?;
+        for range in ranges {
+            if range.start > range.end || range.end > meta.size {
+                return Err(BlobError::OutOfBounds {
+                    offset: range.start,
+                    len: range.end.saturating_sub(range.start),
+                    size: meta.size,
+                });
+            }
+        }
+        // Union of chunk covers, as sorted disjoint index runs.
+        let mut cover_runs: Vec<Range<u64>> = ranges
+            .iter()
+            .filter(|r| r.start < r.end)
+            .map(|r| chunk_cover(r, meta.chunk_size))
+            .collect();
+        cover_runs.sort_by_key(|r| r.start);
+        cover_runs.dedup_by(|next, prev| {
+            if next.start <= prev.end {
+                prev.end = prev.end.max(next.end);
+                true
+            } else {
+                false
+            }
+        });
+
+        // Resolve descriptors: cache first, then one descent for the rest.
+        let mut descs: HashMap<u64, ChunkDesc> = HashMap::new();
+        let mut missing: Vec<Range<u64>> = Vec::new();
+        {
+            let mut cache = self.desc_cache.lock();
+            let entry = Self::desc_cache_entry(&mut cache, (blob, version));
+            for run in &cover_runs {
+                // Cached descriptors for the already-resolved parts.
+                for resolved in entry.resolved.runs_within(run) {
+                    for i in resolved {
+                        if let Some(d) = entry.descs.get(&i) {
+                            descs.insert(i, d.clone());
+                        }
+                    }
+                }
+                // The remainder needs the (single) descent below.
+                missing.extend(entry.resolved.gaps_within(run));
+            }
+        }
+        if !missing.is_empty() {
+            let leaves = {
+                let mut io = ClientNodeIo { client: self };
+                segtree::collect_leaves_multi(&mut io, meta.root, meta.span, &missing)?
+            };
+            let mut cache = self.desc_cache.lock();
+            let entry = Self::desc_cache_entry(&mut cache, (blob, version));
+            for (i, d) in leaves {
+                entry.descs.insert(i, d.clone());
+                descs.insert(i, d);
+            }
+            for run in missing {
+                entry.resolved.insert(run);
+            }
+        }
+
+        // Batched chunk fetch for every written chunk in the cover union.
+        let mut fetch: Vec<(u64, ChunkDesc, u64)> = Vec::new();
+        for run in &cover_runs {
+            for idx in run.clone() {
+                if let Some(desc) = descs.get(&idx) {
+                    let cr = chunk_range(idx, meta.chunk_size, meta.size);
+                    fetch.push((idx, desc.clone(), cr.end - cr.start));
+                }
+            }
+        }
+        let fetched = self.fetch_chunks_batched(&fetch)?;
+
+        // Assemble each requested range from chunk slices (zero-copy) and
+        // zero fill.
+        let mut out = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let mut payload = Payload::empty();
+            for idx in chunk_cover(range, meta.chunk_size) {
+                let cr = chunk_range(idx, meta.chunk_size, meta.size);
+                let want = intersect(&cr, range);
+                if want.start >= want.end {
+                    continue;
+                }
+                match fetched.get(&idx) {
+                    Some(p) => {
+                        debug_assert_eq!(p.len(), cr.end - cr.start, "stored chunk length");
+                        payload.append(p.slice(want.start - cr.start, want.end - cr.start));
+                    }
+                    None => payload.append(Payload::zeros(want.end - want.start)),
+                }
+            }
+            debug_assert_eq!(payload.len(), range.end - range.start);
+            out.push(payload);
+        }
+        Ok(out)
+    }
+
+    /// Fetch `chunks` (index, descriptor, stored length), grouped by
+    /// provider: each provider serves its group as one batched disk read +
+    /// one batched transfer, providers in parallel. Chunks whose batch
+    /// fails fall back to per-chunk [`fetch_chunk`] replica failover.
+    fn fetch_chunks_batched(
+        &self,
+        chunks: &[(u64, ChunkDesc, u64)],
+    ) -> BlobResult<HashMap<u64, Payload>> {
+        if chunks.is_empty() {
+            return Ok(HashMap::new());
+        }
+        // Preferred replica per chunk, spread like fetch_chunk so batched
+        // and per-chunk paths load the same copies.
+        let mut by_provider: HashMap<NodeId, Vec<(u64, ChunkDesc, u64)>> = HashMap::new();
+        for (idx, desc, len) in chunks {
+            let k = desc.replicas.len();
+            debug_assert!(k > 0);
+            let preferred = desc.replicas[(desc.id.0 as usize + self.node.index()) % k];
+            by_provider
+                .entry(preferred)
+                .or_default()
+                .push((*idx, desc.clone(), *len));
+        }
+        let mut providers: Vec<NodeId> = by_provider.keys().copied().collect();
+        providers.sort_unstable(); // deterministic task order
+        let results: Arc<Mutex<ChunkResults>> =
+            Arc::new(Mutex::new(Vec::with_capacity(chunks.len())));
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = providers
+            .into_iter()
+            .map(|prov| {
+                let group = by_provider.remove(&prov).expect("grouped above");
+                let store = Arc::clone(&self.store);
+                let results = Arc::clone(&results);
+                let me = self.node;
+                Box::new(move || {
+                    let got = fetch_chunk_batch(&store, me, prov, group);
+                    results.lock().extend(got);
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.store.fabric.par_join(tasks);
+        let results = Arc::try_unwrap(results)
+            .unwrap_or_else(|a| Mutex::new(a.lock().clone()))
+            .into_inner();
+        let mut out = HashMap::with_capacity(results.len());
+        for (idx, res) in results {
+            out.insert(idx, res?);
+        }
+        Ok(out)
+    }
+
     /// Write `data` at `offset` on top of `(blob, base)` and publish the
     /// result as the next snapshot. Partially covered chunks are
     /// read-modify-written against the base version.
@@ -200,14 +453,19 @@ impl Client {
         let meta = self.version_meta(blob, base)?;
         let len = data.len();
         if offset + len > meta.size {
-            return Err(BlobError::OutOfBounds { offset, len, size: meta.size });
+            return Err(BlobError::OutOfBounds {
+                offset,
+                len,
+                size: meta.size,
+            });
         }
         if len == 0 {
             return Err(BlobError::BadInput("empty write"));
         }
         let range = offset..offset + len;
         let cover = chunk_cover(&range, meta.chunk_size);
-        let mut updates: Vec<(u64, Payload)> = Vec::with_capacity((cover.end - cover.start) as usize);
+        let mut updates: Vec<(u64, Payload)> =
+            Vec::with_capacity((cover.end - cover.start) as usize);
         for idx in cover {
             let cr = chunk_range(idx, meta.chunk_size, meta.size);
             let part = intersect(&cr, &range);
@@ -215,9 +473,11 @@ impl Client {
             let full = if part == cr {
                 piece
             } else {
-                // Read-modify-write against the base snapshot.
-                let old = self.read(blob, base, cr.clone())?;
-                old.overwrite(part.start - cr.start, piece)
+                // Read-modify-write against the base snapshot, splicing
+                // the patch in place (no head/tail rope rebuild).
+                let mut old = self.read(blob, base, cr.clone())?;
+                old.overwrite_in_place(part.start - cr.start, piece);
+                old
             };
             updates.push((idx, full));
         }
@@ -296,8 +556,27 @@ impl Client {
         let v = self.store.vmanager.lock().publish(blob, base, new_root)?;
         self.version_cache.lock().insert(
             (blob, v),
-            VersionMeta { root: new_root, ..meta },
+            VersionMeta {
+                root: new_root,
+                ..meta
+            },
         );
+        // Seed the new snapshot's descriptor cache: everything resolved
+        // for the base still holds (unmodified subtrees are shared), plus
+        // the delta just published. The committing client can then read
+        // its own snapshot back without touching the metadata plane.
+        // The base entry is *moved*, not cloned — a commit chain would
+        // otherwise copy O(resolved chunks) per commit; a later read of
+        // the base version simply re-resolves.
+        {
+            let mut cache = self.desc_cache.lock();
+            let mut entry = cache.remove(&(blob, base)).unwrap_or_default();
+            for (i, d) in &update_map {
+                entry.descs.insert(*i, d.clone());
+                entry.resolved.insert(*i..*i + 1);
+            }
+            Self::desc_cache_insert(&mut cache, (blob, v), entry);
+        }
         Ok(v)
     }
 
@@ -309,6 +588,9 @@ impl Client {
         Ok((blob, v))
     }
 }
+
+/// Per-chunk fetch outcomes keyed by chunk index.
+type ChunkResults = Vec<(u64, BlobResult<Payload>)>;
 
 /// Fetch one chunk with replica failover. The preferred replica is spread
 /// by chunk id and reader so concurrent readers don't gang up on one copy.
@@ -356,6 +638,62 @@ fn fetch_chunk(
     Err(last)
 }
 
+/// Serve one provider's slice of a batched read plan: all chunks present
+/// at `prov` are charged as one batched disk read (cold bytes only) and
+/// one batched transfer — the per-message savings behind the vectored
+/// pipeline. Chunks the provider cannot serve (missing, node down, or a
+/// mid-batch fabric failure) fall back to per-chunk [`fetch_chunk`]
+/// replica failover, preserving availability semantics.
+fn fetch_chunk_batch(
+    store: &Arc<BlobStore>,
+    me: NodeId,
+    prov: NodeId,
+    group: Vec<(u64, ChunkDesc, u64)>,
+) -> ChunkResults {
+    let mut got: Vec<(u64, ChunkDesc, u64, Payload)> = Vec::with_capacity(group.len());
+    let mut fallback: Vec<(u64, ChunkDesc, u64)> = Vec::new();
+    let (mut total, mut cold) = (0u64, 0u64);
+    if store.fabric.is_down(prov) || !store.providers.contains_key(&prov) {
+        fallback = group;
+    } else {
+        let read_cache = store.config().provider_read_cache;
+        let provider = &store.providers[&prov];
+        let mut p = provider.lock();
+        for (idx, desc, len) in group {
+            match p.get(desc.id) {
+                Some((data, hot)) => {
+                    debug_assert_eq!(data.len(), len);
+                    total += len;
+                    if !hot || !read_cache {
+                        cold += len;
+                    }
+                    got.push((idx, desc, len, data));
+                }
+                None => fallback.push((idx, desc, len)),
+            }
+        }
+    }
+    let mut out: ChunkResults = Vec::with_capacity(got.len() + fallback.len());
+    if !got.is_empty() {
+        let serve = || -> Result<(), NetError> {
+            if cold > 0 {
+                store.fabric.disk_read(prov, cold)?;
+            }
+            store.fabric.transfer(prov, me, total)
+        };
+        match serve() {
+            Ok(()) => out.extend(got.into_iter().map(|(idx, _, _, data)| (idx, Ok(data)))),
+            // The provider failed mid-batch: retry every chunk through the
+            // failover path (it skips down nodes).
+            Err(_) => fallback.extend(got.into_iter().map(|(idx, desc, len, _)| (idx, desc, len))),
+        }
+    }
+    for (idx, desc, len) in fallback {
+        out.push((idx, fetch_chunk(store, me, &desc, len)));
+    }
+    out
+}
+
 /// Push one chunk to all its replicas.
 fn put_chunk(
     store: &Arc<BlobStore>,
@@ -395,6 +733,7 @@ impl ClientNodeIo<'_> {
 
 impl NodeIo for ClientNodeIo<'_> {
     fn fetch(&mut self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>> {
+        self.client.meta_fetch_calls.fetch_add(1, Ordering::Relaxed);
         let store = &self.client.store;
         let mut out: Vec<Option<TreeNode>> = vec![None; keys.len()];
         // Serve from the client cache first (nodes are immutable).
@@ -412,7 +751,10 @@ impl NodeIo for ClientNodeIo<'_> {
         // round per level" batching).
         let mut by_shard: HashMap<usize, Vec<(usize, NodeKey)>> = HashMap::new();
         for (i, k) in misses {
-            by_shard.entry(partition_of(k, self.shard_count())).or_default().push((i, k));
+            by_shard
+                .entry(partition_of(k, self.shard_count()))
+                .or_default()
+                .push((i, k));
         }
         let mut shards: Vec<usize> = by_shard.keys().copied().collect();
         shards.sort_unstable(); // deterministic RPC order
@@ -447,7 +789,9 @@ impl NodeIo for ClientNodeIo<'_> {
     fn reserve(&mut self, n: u64) -> BlobResult<Range<u64>> {
         let store = &self.client.store;
         let c = store.config().control_bytes;
-        store.fabric.rpc(self.client.node, store.topo.vmanager, c, c)?;
+        store
+            .fabric
+            .rpc(self.client.node, store.topo.vmanager, c, c)?;
         Ok(store.vmanager.lock().reserve_keys(n))
     }
 
@@ -493,7 +837,10 @@ mod tests {
         let fabric = LocalFabric::new(nodes as usize + 1);
         let compute: Vec<NodeId> = (0..nodes).map(NodeId).collect();
         let topo = BlobTopology::colocated(&compute, NodeId(nodes));
-        let cfg = BlobConfig { chunk_size: 128, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            ..Default::default()
+        };
         let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
         let client = Client::new(store, NodeId(0));
         (fabric, client)
@@ -561,8 +908,12 @@ mod tests {
     fn conflicting_write_rejected() {
         let (_f, client) = setup(2);
         let (blob, v1) = client.upload(Payload::zeros(256)).unwrap();
-        client.write(blob, v1, 0, Payload::from(vec![1u8; 10])).unwrap();
-        let err = client.write(blob, v1, 0, Payload::from(vec![2u8; 10])).unwrap_err();
+        client
+            .write(blob, v1, 0, Payload::from(vec![1u8; 10]))
+            .unwrap();
+        let err = client
+            .write(blob, v1, 0, Payload::from(vec![2u8; 10]))
+            .unwrap_err();
         assert!(matches!(err, BlobError::Conflict { .. }));
     }
 
@@ -582,7 +933,9 @@ mod tests {
         let got = client.read(b, Version(1), 0..1024).unwrap();
         assert!(got.content_eq(&base));
         // Diverge the clone; origin unchanged.
-        let vb = client.write(b, Version(1), 0, Payload::from(vec![9u8; 100])).unwrap();
+        let vb = client
+            .write(b, Version(1), 0, Payload::from(vec![9u8; 100]))
+            .unwrap();
         let got_a = client.read(a, va, 0..1024).unwrap();
         assert!(got_a.content_eq(&base));
         let got_b = client.read(b, vb, 0..100).unwrap();
@@ -602,7 +955,11 @@ mod tests {
             .write_chunks(b, Version(1), vec![(3, Payload::synth(7, 0, 128))])
             .unwrap();
         let bytes_after = client.store().total_stored_bytes();
-        assert_eq!(bytes_after - bytes_initial, 128, "one chunk of new data only");
+        assert_eq!(
+            bytes_after - bytes_initial,
+            128,
+            "one chunk of new data only"
+        );
     }
 
     #[test]
@@ -610,7 +967,11 @@ mod tests {
         let fabric = LocalFabric::new(5);
         let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
         let topo = BlobTopology::colocated(&compute, NodeId(4));
-        let cfg = BlobConfig { chunk_size: 128, replication: 2, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            replication: 2,
+            ..Default::default()
+        };
         let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
         let client = Client::new(store, NodeId(0));
         let data = Payload::synth(8, 0, 1024);
@@ -626,7 +987,11 @@ mod tests {
         let fabric = LocalFabric::new(3);
         let compute: Vec<NodeId> = (0..2).map(NodeId).collect();
         let topo = BlobTopology::colocated(&compute, NodeId(2));
-        let cfg = BlobConfig { chunk_size: 128, replication: 1, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            replication: 1,
+            ..Default::default()
+        };
         let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
         let client = Client::new(store, NodeId(0));
         let (blob, v) = client.upload(Payload::synth(9, 0, 512)).unwrap();
@@ -647,6 +1012,205 @@ mod tests {
             client.write(blob, v, 90, Payload::zeros(20)),
             Err(BlobError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn read_multi_equivalent_to_per_run_reads() {
+        let (_f, client) = setup(4);
+        let data = Payload::synth(21, 0, 4096); // 32 chunks of 128
+        let (blob, v) = client.upload(data.clone()).unwrap();
+        // Mix of aligned, unaligned, overlapping, empty and whole ranges.
+        let plans: Vec<Vec<Range<u64>>> = vec![
+            vec![0..4096],
+            vec![0..128, 256..384, 4000..4096],
+            vec![10..50, 50..300, 299..301, 77..77],
+            vec![4095..4096, 0..1],
+            vec![],
+        ];
+        for plan in plans {
+            let multi = client.read_multi(blob, v, &plan).unwrap();
+            assert_eq!(multi.len(), plan.len());
+            for (r, got) in plan.iter().zip(&multi) {
+                let single = client.read(blob, v, r.clone()).unwrap();
+                assert!(
+                    got.content_eq(&single),
+                    "range {r:?} differs between read and read_multi"
+                );
+            }
+        }
+        // Sparse blob: unwritten chunks read as zeros on both paths.
+        let sparse = client.create_blob(1024).unwrap();
+        let v1 = client
+            .write(sparse, Version(0), 600, Payload::synth(3, 0, 50))
+            .unwrap();
+        let plan = vec![0..1024, 500..700, 0..128];
+        let multi = client.read_multi(sparse, v1, &plan).unwrap();
+        for (r, got) in plan.iter().zip(&multi) {
+            let single = client.read(sparse, v1, r.clone()).unwrap();
+            assert!(got.content_eq(&single), "sparse range {r:?} differs");
+        }
+    }
+
+    #[test]
+    fn read_multi_bounds_checked() {
+        let (_f, client) = setup(2);
+        let (blob, v) = client.upload(Payload::zeros(100)).unwrap();
+        assert!(matches!(
+            client.read_multi(blob, v, &[0..10, 50..200]),
+            Err(BlobError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn cold_read_plan_costs_at_most_tree_depth_fetch_rounds() {
+        // The acceptance bound: R non-local runs cost <= depth rounds
+        // total, not R × depth. 4096 bytes / 128 = 32 chunks, span 32,
+        // depth log2(32)+1 = 6.
+        let (_f, client) = setup(4);
+        let (blob, v) = client.upload(Payload::synth(22, 0, 4096)).unwrap();
+        let plan: Vec<Range<u64>> = (0..16).map(|i| (i * 256)..(i * 256 + 64)).collect();
+        let depth = 32u64.ilog2() as u64 + 1;
+
+        // Per-run path on a fresh client: one descent per run.
+        let per_run = Client::new(Arc::clone(client.store()), NodeId(1));
+        for r in &plan {
+            per_run.read(blob, v, r.clone()).unwrap();
+        }
+        let per_run_rounds = per_run.meta_fetch_calls();
+        assert!(
+            per_run_rounds >= plan.len() as u64 * 2,
+            "per-run path descends per run (got {per_run_rounds} rounds)"
+        );
+
+        // Vectored path on another fresh client: a single descent.
+        let multi = Client::new(Arc::clone(client.store()), NodeId(2));
+        multi.read_multi(blob, v, &plan).unwrap();
+        assert!(
+            multi.meta_fetch_calls() <= depth,
+            "cold vectored plan took {} rounds, depth is {depth}",
+            multi.meta_fetch_calls()
+        );
+
+        // Warm re-read of the same plan: the descriptor cache skips the
+        // metadata plane entirely (the paper's compute-node cache effect).
+        let before = multi.meta_fetch_calls();
+        multi.read_multi(blob, v, &plan).unwrap();
+        assert_eq!(
+            multi.meta_fetch_calls(),
+            before,
+            "warm reads must not descend the tree"
+        );
+        // A full read resolves the remaining chunks once, then is free too.
+        multi
+            .read_multi(blob, v, std::slice::from_ref(&(0..4096)))
+            .unwrap();
+        let after_full = multi.meta_fetch_calls();
+        multi
+            .read_multi(blob, v, std::slice::from_ref(&(0..4096)))
+            .unwrap();
+        assert_eq!(multi.meta_fetch_calls(), after_full);
+    }
+
+    #[test]
+    fn desc_cache_never_serves_stale_versions() {
+        // read → commit from another client → read must observe the new
+        // version: versions are explicit, so the second read targets the
+        // *new* snapshot and must see its content, never v1 descriptors.
+        let (_f, client_a) = setup(4);
+        let data = Payload::synth(30, 0, 1024);
+        let (blob, v1) = client_a.upload(data.clone()).unwrap();
+        let a = Client::new(Arc::clone(client_a.store()), NodeId(1));
+        let warm = a
+            .read_multi(blob, v1, std::slice::from_ref(&(0..1024)))
+            .unwrap();
+        assert!(warm[0].content_eq(&data));
+
+        // Another client commits a new snapshot.
+        let b = Client::new(Arc::clone(client_a.store()), NodeId(2));
+        let patch = Payload::synth(31, 0, 128);
+        let v2 = b.write_chunks(blob, v1, vec![(2, patch.clone())]).unwrap();
+        assert_eq!(b.latest_version(blob).unwrap(), v2);
+
+        // Client A discovers the new version and reads it: fresh content.
+        let latest = a.latest_version(blob).unwrap();
+        assert_eq!(latest, v2);
+        let got = a.read_multi(blob, latest, &[256..384, 0..128]).unwrap();
+        assert!(got[0].content_eq(&patch), "must observe the new chunk");
+        assert!(got[1].content_eq(&data.slice(0, 128)));
+        // And v1 still reads the original (snapshots immutable).
+        let old = a
+            .read_multi(blob, v1, std::slice::from_ref(&(256..384)))
+            .unwrap();
+        assert!(old[0].content_eq(&data.slice(256, 384)));
+    }
+
+    #[test]
+    fn committer_reads_own_snapshot_without_metadata_rounds() {
+        // write_chunks seeds the descriptor cache for the new version
+        // (base entry + published delta).
+        let (_f, client) = setup(4);
+        let (blob, v1) = client.upload(Payload::synth(33, 0, 1024)).unwrap();
+        client
+            .read_multi(blob, v1, std::slice::from_ref(&(0..1024)))
+            .unwrap(); // resolve v1 fully
+        let v2 = client
+            .write_chunks(blob, v1, vec![(0, Payload::synth(34, 0, 128))])
+            .unwrap();
+        // The commit itself descends (tree shadowing); the *read* of the
+        // freshly published snapshot must not.
+        let rounds_after_commit = client.meta_fetch_calls();
+        client
+            .read_multi(blob, v2, std::slice::from_ref(&(0..1024)))
+            .unwrap();
+        assert_eq!(
+            client.meta_fetch_calls(),
+            rounds_after_commit,
+            "reading a self-committed snapshot must be metadata-free"
+        );
+    }
+
+    #[test]
+    fn clone_carries_descriptor_cache_over() {
+        let (_f, client) = setup(4);
+        let data = Payload::synth(35, 0, 1024);
+        let (blob, v) = client.upload(data.clone()).unwrap();
+        client
+            .read_multi(blob, v, std::slice::from_ref(&(0..1024)))
+            .unwrap();
+        let rounds = client.meta_fetch_calls();
+        let cloned = client.clone_blob(blob, v).unwrap();
+        let got = client
+            .read_multi(cloned, Version(1), std::slice::from_ref(&(0..1024)))
+            .unwrap();
+        assert!(got[0].content_eq(&data));
+        assert_eq!(
+            client.meta_fetch_calls(),
+            rounds,
+            "clone shares the source tree, so its cache carries over"
+        );
+    }
+
+    #[test]
+    fn read_multi_survives_provider_failure() {
+        let fabric = LocalFabric::new(5);
+        let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(4));
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            replication: 2,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        let client = Client::new(store, NodeId(0));
+        let data = Payload::synth(36, 0, 2048);
+        let (blob, v) = client.upload(data.clone()).unwrap();
+        fabric.fail_node(NodeId(2));
+        let got = client.read_multi(blob, v, &[0..2048, 100..300]).unwrap();
+        assert!(
+            got[0].content_eq(&data),
+            "batched path must fail over per chunk"
+        );
+        assert!(got[1].content_eq(&data.slice(100, 300)));
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub mod service;
 pub mod vmanager;
 
 pub use api::{
-    BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey,
-    TreeNode, Version,
+    BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey, TreeNode,
+    Version,
 };
 pub use client::Client;
 pub use pmanager::Placement;

@@ -63,10 +63,16 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut m = MetaPartition::new();
-        let n = TreeNode::Inner { left: NodeKey(1), right: NodeKey::NULL };
+        let n = TreeNode::Inner {
+            left: NodeKey(1),
+            right: NodeKey::NULL,
+        };
         m.put([(NodeKey(5), n.clone())]);
         assert_eq!(m.get(NodeKey(5)).unwrap(), n);
-        assert!(matches!(m.get(NodeKey(6)), Err(BlobError::MetadataMissing(_))));
+        assert!(matches!(
+            m.get(NodeKey(6)),
+            Err(BlobError::MetadataMissing(_))
+        ));
     }
 
     #[test]
@@ -85,7 +91,10 @@ mod tests {
     #[test]
     fn idempotent_puts_allowed() {
         let mut m = MetaPartition::new();
-        let n = TreeNode::Inner { left: NodeKey(1), right: NodeKey(2) };
+        let n = TreeNode::Inner {
+            left: NodeKey(1),
+            right: NodeKey(2),
+        };
         m.put([(NodeKey(5), n.clone())]);
         m.put([(NodeKey(5), n)]);
         assert_eq!(m.node_count(), 1);

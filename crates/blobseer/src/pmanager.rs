@@ -34,7 +34,13 @@ impl PManager {
     /// Manage the given provider set.
     pub fn new(providers: Vec<NodeId>, strategy: Placement) -> Self {
         let n = providers.len();
-        Self { providers, strategy, next_chunk: 1, cursor: 0, load_bytes: vec![0; n] }
+        Self {
+            providers,
+            strategy,
+            next_chunk: 1,
+            cursor: 0,
+            load_bytes: vec![0; n],
+        }
     }
 
     /// Allocate `n` chunks of `chunk_bytes` each with `replication`
@@ -125,7 +131,10 @@ mod tests {
         let mut pm = PManager::new(nodes(4), Placement::RoundRobin);
         pm.allocate(8192, 256 << 10, 1).unwrap();
         let loads = pm.load();
-        assert!(loads.iter().all(|&l| l == loads[0]), "perfectly even: {loads:?}");
+        assert!(
+            loads.iter().all(|&l| l == loads[0]),
+            "perfectly even: {loads:?}"
+        );
     }
 
     #[test]

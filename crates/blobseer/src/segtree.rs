@@ -44,31 +44,71 @@ pub fn collect_leaves(
     span: u64,
     want: &Range<u64>,
 ) -> BlobResult<Vec<(u64, ChunkDesc)>> {
+    collect_leaves_multi(io, root, span, std::slice::from_ref(want))
+}
+
+/// Multi-range variant of [`collect_leaves`]: one breadth-first descent
+/// for the *union* of `wants`, so a read plan of R disjoint runs costs at
+/// most `tree depth` metadata rounds total instead of `R × depth`. This is
+/// the single-descent planner behind the client's vectored `read_multi`.
+///
+/// Ordering contract: the result is sorted by chunk index with no
+/// duplicates (even if `wants` overlap), and no explicit sort is needed —
+/// the frontier is kept in index order (children pushed left before
+/// right), and every leaf of a shadowed tree sits at the bottom level
+/// (`build_new_tree` splits inner ranges down to single-chunk leaves), so
+/// the final level emits leaves left-to-right. A test locks this contract.
+pub fn collect_leaves_multi(
+    io: &mut dyn NodeIo,
+    root: NodeKey,
+    span: u64,
+    wants: &[Range<u64>],
+) -> BlobResult<Vec<(u64, ChunkDesc)>> {
     let mut out = Vec::new();
-    if root.is_null() || want.start >= want.end {
+    // Normalize to sorted, disjoint, non-empty ranges.
+    let mut wants: Vec<Range<u64>> = wants.iter().filter(|w| w.start < w.end).cloned().collect();
+    wants.sort_by_key(|w| w.start);
+    wants.dedup_by(|next, prev| {
+        if next.start <= prev.end {
+            prev.end = prev.end.max(next.end);
+            true
+        } else {
+            false
+        }
+    });
+    if root.is_null() || wants.is_empty() {
         return Ok(out);
     }
-    // Frontier of (key, node_range).
+    // Does `range` intersect the want union? `wants` is sorted+disjoint,
+    // so only the predecessor-by-start and successor runs can overlap.
+    let intersects = |range: &Range<u64>| -> bool {
+        let i = wants.partition_point(|w| w.start < range.end);
+        i > 0 && wants[i - 1].end > range.start
+    };
+    // Frontier of (key, node_range), maintained in index order.
     let mut frontier: Vec<(NodeKey, Range<u64>)> = vec![(root, 0..span)];
     while !frontier.is_empty() {
         let keys: Vec<NodeKey> = frontier.iter().map(|(k, _)| *k).collect();
         let nodes = io.fetch(&keys)?;
         let mut next = Vec::new();
-        for ((key, range), node) in frontier.into_iter().zip(nodes) {
-            let _ = key;
+        for ((_key, range), node) in frontier.into_iter().zip(nodes) {
             match node {
                 TreeNode::Leaf { chunk } => {
                     debug_assert_eq!(range.end - range.start, 1, "leaf must cover one chunk");
-                    if want.contains(&range.start) {
+                    if intersects(&range) {
+                        debug_assert!(
+                            out.last().is_none_or(|(i, _)| *i < range.start),
+                            "frontier order must yield sorted leaves"
+                        );
                         out.push((range.start, chunk));
                     }
                 }
                 TreeNode::Inner { left, right } => {
                     let mid = range.start + (range.end - range.start) / 2;
-                    if !left.is_null() && want.start < mid && range.start < want.end {
+                    if !left.is_null() && intersects(&(range.start..mid)) {
                         next.push((left, range.start..mid));
                     }
-                    if !right.is_null() && want.start < range.end && mid < want.end {
+                    if !right.is_null() && intersects(&(mid..range.end)) {
                         next.push((right, mid..range.end));
                     }
                 }
@@ -76,7 +116,6 @@ pub fn collect_leaves(
         }
         frontier = next;
     }
-    out.sort_by_key(|(i, _)| *i);
     Ok(out)
 }
 
@@ -178,7 +217,10 @@ fn build_rec(
     }
     let key = NodeKey(keys.next().expect("key reservation exhausted"));
     if range.end - range.start == 1 {
-        let chunk = updates.get(&range.start).expect("touched leaf has update").clone();
+        let chunk = updates
+            .get(&range.start)
+            .expect("touched leaf has update")
+            .clone();
         created.push((key, TreeNode::Leaf { chunk }));
         return Ok(key);
     }
@@ -214,7 +256,10 @@ mod tests {
 
     impl MemIo {
         fn new() -> Self {
-            Self { next: 1, ..Default::default() }
+            Self {
+                next: 1,
+                ..Default::default()
+            }
         }
     }
 
@@ -222,7 +267,12 @@ mod tests {
         fn fetch(&mut self, keys: &[NodeKey]) -> BlobResult<Vec<TreeNode>> {
             self.fetch_rounds += 1;
             keys.iter()
-                .map(|k| self.nodes.get(k).cloned().ok_or(BlobError::MetadataMissing(*k)))
+                .map(|k| {
+                    self.nodes
+                        .get(k)
+                        .cloned()
+                        .ok_or(BlobError::MetadataMissing(*k))
+                })
                 .collect()
         }
         fn reserve(&mut self, n: u64) -> BlobResult<Range<u64>> {
@@ -240,7 +290,10 @@ mod tests {
     }
 
     fn desc(i: u64) -> ChunkDesc {
-        ChunkDesc { id: ChunkId(1000 + i), replicas: vec![NodeId((i % 4) as u32)] }
+        ChunkDesc {
+            id: ChunkId(1000 + i),
+            replicas: vec![NodeId((i % 4) as u32)],
+        }
     }
 
     fn updates(idx: &[u64]) -> HashMap<u64, ChunkDesc> {
@@ -322,10 +375,20 @@ mod tests {
         let a_root = build_new_tree(&mut io, NodeKey::NULL, 4, &updates(&[0, 1, 2, 3])).unwrap();
         let b_root = a_root; // CLONE
         let mut up = HashMap::new();
-        up.insert(1u64, ChunkDesc { id: ChunkId(777), replicas: vec![NodeId(9)] });
+        up.insert(
+            1u64,
+            ChunkDesc {
+                id: ChunkId(777),
+                replicas: vec![NodeId(9)],
+            },
+        );
         let b2 = build_new_tree(&mut io, b_root, 4, &up).unwrap();
         let a_leaves = collect_leaves(&mut io, a_root, 4, &(0..4)).unwrap();
-        assert_eq!(a_leaves[1].1, desc(1), "origin unchanged after clone diverges");
+        assert_eq!(
+            a_leaves[1].1,
+            desc(1),
+            "origin unchanged after clone diverges"
+        );
         let b_leaves = collect_leaves(&mut io, b2, 4, &(0..4)).unwrap();
         assert_eq!(b_leaves[1].1.id, ChunkId(777));
         assert_eq!(b_leaves[0].1, desc(0), "clone shares original content");
@@ -340,6 +403,68 @@ mod tests {
         let _ = collect_leaves(&mut io, root, 16, &(0..16)).unwrap();
         // Depth of a span-16 tree is log2(16)+1 = 5 levels.
         assert_eq!(io.fetch_rounds, 5);
+    }
+
+    #[test]
+    fn multi_range_descent_costs_one_round_per_level() {
+        // A plan of R disjoint runs must cost at most tree-depth rounds
+        // total, not R × depth: the union descends in one BFS.
+        let span = 64u64;
+        let mut io = MemIo::new();
+        let all: Vec<u64> = (0..span).collect();
+        let root = build_new_tree(&mut io, NodeKey::NULL, span, &updates(&all)).unwrap();
+        let runs: Vec<Range<u64>> = vec![2..5, 9..10, 17..23, 40..41, 60..64];
+        io.fetch_rounds = 0;
+        let leaves = collect_leaves_multi(&mut io, root, span, &runs).unwrap();
+        let depth = span.ilog2() as usize + 1;
+        assert!(
+            io.fetch_rounds <= depth,
+            "{} rounds for {} runs exceeds depth {}",
+            io.fetch_rounds,
+            runs.len(),
+            depth
+        );
+        // Same leaves as per-run descents, in index order.
+        let mut expect = Vec::new();
+        for r in &runs {
+            expect.extend(collect_leaves(&mut io, root, span, r).unwrap());
+        }
+        assert_eq!(leaves, expect);
+    }
+
+    #[test]
+    fn multi_range_overlaps_dedup_and_clamp() {
+        let mut io = MemIo::new();
+        let root = build_new_tree(&mut io, NodeKey::NULL, 8, &updates(&[0, 3, 5, 7])).unwrap();
+        // Overlapping + adjacent + empty input ranges collapse cleanly.
+        let leaves = collect_leaves_multi(&mut io, root, 8, &[4..6, 2..5, 6..6, 5..8]).unwrap();
+        let idx: Vec<u64> = leaves.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, vec![3, 5, 7]);
+        // Empty plan costs nothing.
+        io.fetch_rounds = 0;
+        assert!(collect_leaves_multi(&mut io, root, 8, &[])
+            .unwrap()
+            .is_empty());
+        assert!(
+            collect_leaves_multi(&mut io, root, 8, std::slice::from_ref(&(3..3)))
+                .unwrap()
+                .is_empty()
+        );
+        assert_eq!(io.fetch_rounds, 0);
+    }
+
+    #[test]
+    fn leaves_emerge_in_index_order_without_sorting() {
+        // The ordering contract `collect_leaves_multi` documents: BFS with
+        // left-before-right children yields sorted leaves because every
+        // leaf sits at the bottom level. Locked here so a future layout
+        // change (e.g. variable-depth leaves) must revisit the contract.
+        let mut io = MemIo::new();
+        let sparse: Vec<u64> = vec![1, 2, 6, 9, 300, 301, 500, 1023];
+        let root = build_new_tree(&mut io, NodeKey::NULL, 1024, &updates(&sparse)).unwrap();
+        let leaves = collect_leaves(&mut io, root, 1024, &(0..1024)).unwrap();
+        let idx: Vec<u64> = leaves.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, sparse, "leaves must arrive sorted and complete");
     }
 
     #[test]

@@ -43,13 +43,20 @@ impl BlobStore {
         placement: Placement,
     ) -> Arc<Self> {
         assert!(!topo.providers.is_empty(), "need at least one provider");
-        assert!(!topo.metadata.is_empty(), "need at least one metadata server");
+        assert!(
+            !topo.metadata.is_empty(),
+            "need at least one metadata server"
+        );
         let providers = topo
             .providers
             .iter()
             .map(|&n| (n, Mutex::new(Provider::new())))
             .collect();
-        let meta = topo.metadata.iter().map(|_| Mutex::new(MetaPartition::new())).collect();
+        let meta = topo
+            .metadata
+            .iter()
+            .map(|_| Mutex::new(MetaPartition::new()))
+            .collect();
         Arc::new(Self {
             pmanager: Mutex::new(PManager::new(topo.providers.clone(), placement)),
             vmanager: Mutex::new(VManager::new()),
@@ -80,12 +87,18 @@ impl BlobStore {
     /// chunks are stored once, so this is the paper's storage-space
     /// metric: snapshots that share content do not multiply it.
     pub fn total_stored_bytes(&self) -> u64 {
-        self.providers.values().map(|p| p.lock().stored_bytes()).sum()
+        self.providers
+            .values()
+            .map(|p| p.lock().stored_bytes())
+            .sum()
     }
 
     /// Total chunks stored across all providers.
     pub fn total_chunks(&self) -> usize {
-        self.providers.values().map(|p| p.lock().chunk_count()).sum()
+        self.providers
+            .values()
+            .map(|p| p.lock().chunk_count())
+            .sum()
     }
 
     /// Total metadata tree nodes stored.

@@ -48,7 +48,11 @@ pub struct VManager {
 impl VManager {
     /// Fresh state. Node key 0 is reserved for `NodeKey::NULL`.
     pub fn new() -> Self {
-        Self { blobs: HashMap::new(), next_blob: 1, next_node_key: 1 }
+        Self {
+            blobs: HashMap::new(),
+            next_blob: 1,
+            next_node_key: 1,
+        }
     }
 
     /// Create an empty blob of `size` bytes striped into `chunk_size`
@@ -90,7 +94,10 @@ impl VManager {
     /// patterns each VM commits to its own clone, so conflicts indicate
     /// middleware bugs rather than expected races.)
     pub fn publish(&mut self, blob: BlobId, base: Version, root: NodeKey) -> BlobResult<Version> {
-        let meta = self.blobs.get_mut(&blob).ok_or(BlobError::NoSuchBlob(blob))?;
+        let meta = self
+            .blobs
+            .get_mut(&blob)
+            .ok_or(BlobError::NoSuchBlob(blob))?;
         let latest = Version(meta.roots.len() as u64 - 1);
         if base != latest {
             return Err(BlobError::Conflict { blob, base, latest });
@@ -115,7 +122,12 @@ impl VManager {
         self.next_blob += 1;
         self.blobs.insert(
             id,
-            BlobMeta { size, chunk_size, span, roots: vec![NodeKey::NULL, root] },
+            BlobMeta {
+                size,
+                chunk_size,
+                span,
+                roots: vec![NodeKey::NULL, root],
+            },
         );
         Ok(id)
     }
@@ -167,7 +179,13 @@ mod tests {
         let b = vm.create_blob(1000, 100).unwrap();
         vm.publish(b, Version(0), NodeKey(10)).unwrap();
         let err = vm.publish(b, Version(0), NodeKey(30)).unwrap_err();
-        assert!(matches!(err, BlobError::Conflict { latest: Version(1), .. }));
+        assert!(matches!(
+            err,
+            BlobError::Conflict {
+                latest: Version(1),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -116,8 +116,7 @@ impl MirrorBackend {
             read_bw: cal.page_read_bw,
             ..MirrorConfig::default()
         };
-        let img =
-            MirroredImage::open(client, blob, version, Box::new(MemStore::new(size)), cfg)?;
+        let img = MirroredImage::open(client, blob, version, Box::new(MemStore::new(size)), cfg)?;
         Ok(Self { img, cloned: false })
     }
 
@@ -185,7 +184,13 @@ pub struct RawLocalBackend {
 impl RawLocalBackend {
     /// Wrap the broadcast copy of `base` on `node`.
     pub fn new(node: NodeId, fabric: Arc<dyn Fabric>, base: Payload, cal: Calibration) -> Self {
-        Self { node, fabric, base, overlay: ExtentMap::new(), cal }
+        Self {
+            node,
+            fabric,
+            base,
+            overlay: ExtentMap::new(),
+            cal,
+        }
     }
 }
 
@@ -217,8 +222,10 @@ impl ImageBackend for RawLocalBackend {
         // The hypervisor's default write path: page-cache absorb plus the
         // less efficient flush behaviour the paper observed (Fig. 6).
         self.fabric.disk_write_cached(self.node, len)?;
-        self.fabric
-            .compute(self.node, (len as f64 / self.cal.hyp_write_bw).ceil() as u64);
+        self.fabric.compute(
+            self.node,
+            (len as f64 / self.cal.hyp_write_bw).ceil() as u64,
+        );
         Ok(())
     }
 
@@ -300,10 +307,25 @@ impl QcowPvfsBackend {
         cal: Calibration,
     ) -> Result<Self, BackendError> {
         let size = pvfs.size(base_file)?;
-        let dev = ChargedDev { inner: MemBlockDev::new(), node, fabric: Arc::clone(&fabric) };
-        let backing = Box::new(PvfsBacking { client: pvfs.clone(), file: base_file, size });
+        let dev = ChargedDev {
+            inner: MemBlockDev::new(),
+            node,
+            fabric: Arc::clone(&fabric),
+        };
+        let backing = Box::new(PvfsBacking {
+            client: pvfs.clone(),
+            file: base_file,
+            size,
+        });
         let img = Qcow2Image::create(dev, size, cal.qcow2_cluster_bits, Some(backing))?;
-        Ok(Self { img, pvfs, node, fabric, cal, snapshot_file: None })
+        Ok(Self {
+            img,
+            pvfs,
+            node,
+            fabric,
+            cal,
+            snapshot_file: None,
+        })
     }
 
     /// Reopen a snapshot copy previously pushed to PVFS: download the
@@ -327,9 +349,20 @@ impl QcowPvfsBackend {
             fabric: Arc::clone(&fabric),
         };
         let size = pvfs.size(base_file)?;
-        let backing = Box::new(PvfsBacking { client: pvfs.clone(), file: base_file, size });
+        let backing = Box::new(PvfsBacking {
+            client: pvfs.clone(),
+            file: base_file,
+            size,
+        });
         let img = Qcow2Image::open(dev, Some(backing))?;
-        Ok(Self { img, pvfs, node, fabric, cal, snapshot_file: Some(snapshot_file) })
+        Ok(Self {
+            img,
+            pvfs,
+            node,
+            fabric,
+            cal,
+            snapshot_file: Some(snapshot_file),
+        })
     }
 
     /// Bytes the qcow2 file occupies locally.
@@ -354,8 +387,10 @@ impl ImageBackend for QcowPvfsBackend {
         let len = data.len();
         self.img.write(offset, data)?;
         // Hypervisor default write path penalty (same as raw local).
-        self.fabric
-            .compute(self.node, (len as f64 / self.cal.hyp_write_bw).ceil() as u64);
+        self.fabric.compute(
+            self.node,
+            (len as f64 / self.cal.hyp_write_bw).ceil() as u64,
+        );
         Ok(())
     }
 
@@ -398,7 +433,10 @@ mod tests {
         let fabric = LocalFabric::new(5);
         let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
         let topo = BlobTopology::colocated(&nodes, NodeId(4));
-        let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 64 << 10,
+            ..Default::default()
+        };
         let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
         let client = BlobClient::new(store, NodeId(0));
         let (blob, v) = client.upload(image()).unwrap();
@@ -409,7 +447,10 @@ mod tests {
         let fabric: Arc<dyn Fabric> = LocalFabric::new(5);
         let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
         let pvfs = Pvfs::new(
-            PvfsConfig { stripe_size: 64 << 10, ..Default::default() },
+            PvfsConfig {
+                stripe_size: 64 << 10,
+                ..Default::default()
+            },
             nodes,
             Arc::clone(&fabric),
         );
@@ -491,8 +532,12 @@ mod tests {
         // byte-identical images through both stacks.
         let mut m = mirror_backend();
         let mut q = qcow_backend();
-        let writes =
-            [(100u64, 50usize), (70_000, 200), (65_530, 20), (IMG - 300, 300)];
+        let writes = [
+            (100u64, 50usize),
+            (70_000, 200),
+            (65_530, 20),
+            (IMG - 300, 300),
+        ];
         for (i, (off, len)) in writes.into_iter().enumerate() {
             let data = Payload::synth(i as u64 + 50, 0, len as u64);
             m.write(off, data.clone()).unwrap();

@@ -27,16 +27,18 @@ impl Fig4Row {
 }
 
 /// The strategies in figure order.
-pub const STRATEGIES: [Strategy; 3] =
-    [Strategy::Prepropagation, Strategy::QcowOverPvfs, Strategy::Mirror];
+pub const STRATEGIES: [Strategy; 3] = [
+    Strategy::Prepropagation,
+    Strategy::QcowOverPvfs,
+    Strategy::Mirror,
+];
 
 /// Run the Fig. 4 sweep over instance counts `ns`.
 pub fn run(ns: &[usize], scale: ExpScale, cal: Calibration, run_seed: u64) -> Vec<Fig4Row> {
     ns.iter()
         .map(|&n| Fig4Row {
             n,
-            outcomes: STRATEGIES
-                .map(|s| run_deployment(s, n, scale, cal, None, run_seed)),
+            outcomes: STRATEGIES.map(|s| run_deployment(s, n, scale, cal, None, run_seed)),
         })
         .collect()
 }

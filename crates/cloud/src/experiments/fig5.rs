@@ -69,7 +69,10 @@ pub fn run_one_with_async(
     diff_bytes: u64,
     async_writes: bool,
 ) -> SnapOutcome {
-    assert!(strategy != Strategy::Prepropagation, "excluded as in the paper");
+    assert!(
+        strategy != Strategy::Prepropagation,
+        "excluded as in the paper"
+    );
     let cluster = SimCluster::new(cal.cluster(n));
     let fabric: Arc<dyn Fabric> = cluster.fabric();
     let compute: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
@@ -91,7 +94,10 @@ pub fn run_one_with_async(
         while written < diff_bytes {
             let len = write_sz.min(diff_bytes - written);
             backend
-                .write(diff_at + written, vm_write_payload(i as u64, diff_at + written, len))
+                .write(
+                    diff_at + written,
+                    vm_write_payload(i as u64, diff_at + written, len),
+                )
                 .expect("diff write");
             written += len;
         }
@@ -105,8 +111,11 @@ pub fn run_one_with_async(
 
     match strategy {
         Strategy::Mirror => {
-            let cfg =
-                BlobConfig { chunk_size: scale.chunk_size, async_writes, ..Default::default() };
+            let cfg = BlobConfig {
+                chunk_size: scale.chunk_size,
+                async_writes,
+                ..Default::default()
+            };
             let topo = BlobTopology::colocated(&compute, service);
             let store = BlobStore::new(cfg, topo, Arc::clone(&fabric));
             let uploader = BlobClient::new(Arc::clone(&store), service);
@@ -128,7 +137,10 @@ pub fn run_one_with_async(
         }
         Strategy::QcowOverPvfs => {
             let pvfs = Pvfs::new(
-                PvfsConfig { stripe_size: scale.chunk_size, ..Default::default() },
+                PvfsConfig {
+                    stripe_size: scale.chunk_size,
+                    ..Default::default()
+                },
                 compute.clone(),
                 Arc::clone(&fabric),
             );
@@ -166,12 +178,7 @@ pub fn run_one_with_async(
 }
 
 /// The Fig. 5 sweep: both strategies across instance counts.
-pub fn run(
-    ns: &[usize],
-    scale: ExpScale,
-    cal: Calibration,
-    diff_bytes: u64,
-) -> Vec<Fig5Row> {
+pub fn run(ns: &[usize], scale: ExpScale, cal: Calibration, diff_bytes: u64) -> Vec<Fig5Row> {
     ns.iter()
         .map(|&n| Fig5Row {
             n,

@@ -88,7 +88,10 @@ fn run_variant(
         }
         Variant::Mirror => {
             let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
-            let bcfg = BlobConfig { chunk_size: scale.chunk_size, ..Default::default() };
+            let bcfg = BlobConfig {
+                chunk_size: scale.chunk_size,
+                ..Default::default()
+            };
             let topo = BlobTopology::colocated(&compute, NodeId(4));
             let store = BlobStore::new(bcfg, topo, Arc::clone(&fabric));
             let uploader = BlobClient::new(Arc::clone(&store), NodeId(4));
@@ -115,8 +118,14 @@ fn run_variant(
                 if extra > 0 {
                     fabric2.compute(node, extra);
                 }
-                run_vm_trace(&fabric2, node, backend.as_mut(), 3, std::slice::from_ref(op))
-                    .expect("bonnie op");
+                run_vm_trace(
+                    &fabric2,
+                    node,
+                    backend.as_mut(),
+                    3,
+                    std::slice::from_ref(op),
+                )
+                .expect("bonnie op");
             }
             let dt_s = (env.now_us() - t0) as f64 / 1e6;
             let metric = match phase {
@@ -165,7 +174,11 @@ mod tests {
 
     fn results() -> Vec<BonnieResult> {
         let scale = ExpScale::mini();
-        run(scale, Calibration::default(), BonnieConfig::scaled(scale.image_len))
+        run(
+            scale,
+            Calibration::default(),
+            BonnieConfig::scaled(scale.image_len),
+        )
     }
 
     #[test]
@@ -209,8 +222,7 @@ mod tests {
         }
         // Deletion is the worst case, as the paper highlights.
         let seek_ratio = get(BonniePhase::RandomSeek).local / get(BonniePhase::RandomSeek).mirror;
-        let del_ratio =
-            get(BonniePhase::DeleteFiles).local / get(BonniePhase::DeleteFiles).mirror;
+        let del_ratio = get(BonniePhase::DeleteFiles).local / get(BonniePhase::DeleteFiles).mirror;
         assert!(del_ratio > 1.5, "DelF ratio {del_ratio}");
         assert!(seek_ratio > 1.5, "RndSeek ratio {seek_ratio}");
     }

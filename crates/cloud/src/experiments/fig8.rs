@@ -72,7 +72,10 @@ fn suspend_resume_mirror(
     let fabric: Arc<dyn Fabric> = cluster.fabric();
     let compute: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let service = NodeId(n as u32);
-    let cfg = BlobConfig { chunk_size: scale.chunk_size, ..Default::default() };
+    let cfg = BlobConfig {
+        chunk_size: scale.chunk_size,
+        ..Default::default()
+    };
     let topo = BlobTopology::colocated(&compute, service);
     let store = BlobStore::new(cfg, topo, Arc::clone(&fabric));
     let uploader = BlobClient::new(Arc::clone(&store), service);
@@ -103,8 +106,7 @@ fn suspend_resume_mirror(
             pids.push(env.spawn(format!("vmA{i}"), move |env| {
                 env.sleep_us(skew(&cal, run_seed, i));
                 let client = BlobClient::new(store, node);
-                let mut backend =
-                    MirrorBackend::open(client, blob, version, &cal).expect("open");
+                let mut backend = MirrorBackend::open(client, blob, version, &cal).expect("open");
                 let mut ops = profile.generate(run_seed ^ i as u64);
                 ops.extend(plan.ops_between(0, half));
                 run_vm_trace(&fabric, node, &mut backend, i as u64, &ops).expect("phase A");
@@ -117,8 +119,11 @@ fn suspend_resume_mirror(
         env.join_all(&pids);
 
         // Phase B: redeploy each snapshot on the *next* node over.
-        let snapshot_list: Vec<(BlobId, Version)> =
-            snaps2.lock().iter().map(|s| s.expect("phase A snapshotted")).collect();
+        let snapshot_list: Vec<(BlobId, Version)> = snaps2
+            .lock()
+            .iter()
+            .map(|s| s.expect("phase A snapshotted"))
+            .collect();
         let mut pids = Vec::with_capacity(n);
         for (i, &(sblob, sver)) in snapshot_list.iter().enumerate() {
             let node = compute2[(i + 1) % compute2.len()];
@@ -155,7 +160,10 @@ fn suspend_resume_qcow(
     let compute: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let service = NodeId(n as u32);
     let pvfs = Pvfs::new(
-        PvfsConfig { stripe_size: scale.chunk_size, ..Default::default() },
+        PvfsConfig {
+            stripe_size: scale.chunk_size,
+            ..Default::default()
+        },
         compute.clone(),
         Arc::clone(&fabric),
     );
@@ -201,8 +209,11 @@ fn suspend_resume_qcow(
         }
         env.join_all(&pids);
 
-        let snapshot_list: Vec<FileId> =
-            snaps2.lock().iter().map(|s| s.expect("phase A snapshotted")).collect();
+        let snapshot_list: Vec<FileId> = snaps2
+            .lock()
+            .iter()
+            .map(|s| s.expect("phase A snapshotted"))
+            .collect();
         let mut pids = Vec::with_capacity(n);
         for (i, &snap) in snapshot_list.iter().enumerate() {
             let node = compute2[(i + 1) % compute2.len()];
@@ -252,9 +263,33 @@ mod tests {
         let scale = ExpScale::mini();
         let cal = Calibration::default();
         let plan = mini_plan();
-        let pre = run_one(Strategy::Prepropagation, Setting::Uninterrupted, 3, scale, cal, plan, 5);
-        let qcow = run_one(Strategy::QcowOverPvfs, Setting::Uninterrupted, 3, scale, cal, plan, 5);
-        let ours = run_one(Strategy::Mirror, Setting::Uninterrupted, 3, scale, cal, plan, 5);
+        let pre = run_one(
+            Strategy::Prepropagation,
+            Setting::Uninterrupted,
+            3,
+            scale,
+            cal,
+            plan,
+            5,
+        );
+        let qcow = run_one(
+            Strategy::QcowOverPvfs,
+            Setting::Uninterrupted,
+            3,
+            scale,
+            cal,
+            plan,
+            5,
+        );
+        let ours = run_one(
+            Strategy::Mirror,
+            Setting::Uninterrupted,
+            3,
+            scale,
+            cal,
+            plan,
+            5,
+        );
         // Fig. 8 left group: ours is the fastest. (The prepropagation vs
         // qcow2 ordering only emerges at paper scale, where broadcasting
         // 2 GB dominates; the paper-scale run is in EXPERIMENTS.md.)
@@ -269,12 +304,35 @@ mod tests {
         let scale = ExpScale::mini();
         let cal = Calibration::default();
         let plan = mini_plan();
-        let qcow =
-            run_one(Strategy::QcowOverPvfs, Setting::SuspendResume, 3, scale, cal, plan, 5);
-        let ours = run_one(Strategy::Mirror, Setting::SuspendResume, 3, scale, cal, plan, 5);
+        let qcow = run_one(
+            Strategy::QcowOverPvfs,
+            Setting::SuspendResume,
+            3,
+            scale,
+            cal,
+            plan,
+            5,
+        );
+        let ours = run_one(
+            Strategy::Mirror,
+            Setting::SuspendResume,
+            3,
+            scale,
+            cal,
+            plan,
+            5,
+        );
         assert!(ours < qcow, "ours {ours} vs qcow {qcow}");
         // The cycle costs more than the uninterrupted run.
-        let ours_flat = run_one(Strategy::Mirror, Setting::Uninterrupted, 3, scale, cal, plan, 5);
+        let ours_flat = run_one(
+            Strategy::Mirror,
+            Setting::Uninterrupted,
+            3,
+            scale,
+            cal,
+            plan,
+            5,
+        );
         assert!(ours > ours_flat);
     }
 

@@ -47,12 +47,18 @@ pub struct ExpScale {
 impl ExpScale {
     /// The paper's configuration.
     pub fn paper() -> Self {
-        Self { image_len: 2 << 30, chunk_size: 256 << 10 }
+        Self {
+            image_len: 2 << 30,
+            chunk_size: 256 << 10,
+        }
     }
 
     /// A miniature configuration for fast tests (same code paths).
     pub fn mini() -> Self {
-        Self { image_len: 8 << 20, chunk_size: 64 << 10 }
+        Self {
+            image_len: 8 << 20,
+            chunk_size: 64 << 10,
+        }
     }
 
     /// Boot profile matching this scale.
@@ -145,7 +151,10 @@ pub fn run_deployment(
 
     match strategy {
         Strategy::Mirror => {
-            let cfg = BlobConfig { chunk_size: scale.chunk_size, ..Default::default() };
+            let cfg = BlobConfig {
+                chunk_size: scale.chunk_size,
+                ..Default::default()
+            };
             let topo = BlobTopology::colocated(&compute, service);
             let store = BlobStore::new(cfg, topo, Arc::clone(&fabric));
             let uploader = BlobClient::new(Arc::clone(&store), service);
@@ -161,8 +170,8 @@ pub fn run_deployment(
                     env.sleep_us(skew_us(&cal, run_seed, i));
                     let start = env.now_us();
                     let client = BlobClient::new(store, node);
-                    let mut backend = MirrorBackend::open(client, blob, version, &cal)
-                        .expect("open mirror");
+                    let mut backend =
+                        MirrorBackend::open(client, blob, version, &cal).expect("open mirror");
                     let mut ops = profile.generate(run_seed ^ i as u64);
                     if let Some(f) = &extra {
                         ops.extend(f(i));
@@ -174,13 +183,18 @@ pub fn run_deployment(
         }
         Strategy::QcowOverPvfs => {
             let pvfs = Pvfs::new(
-                PvfsConfig { stripe_size: scale.chunk_size, ..Default::default() },
+                PvfsConfig {
+                    stripe_size: scale.chunk_size,
+                    ..Default::default()
+                },
                 compute.clone(),
                 Arc::clone(&fabric),
             );
             let stage = PvfsClient::new(Arc::clone(&pvfs), service);
             let base = stage.create(scale.image_len).expect("create base");
-            stage.write(base, 0, scale.image()).expect("pre-staging write");
+            stage
+                .write(base, 0, scale.image())
+                .expect("pre-staging write");
             pvfs.drop_caches(); // image staged long before; caches cold
             fabric.stats().reset();
             for (i, &node) in compute.iter().enumerate() {
@@ -265,7 +279,14 @@ mod tests {
     use super::*;
 
     fn mini(strategy: Strategy, n: usize) -> DeployOutcome {
-        run_deployment(strategy, n, ExpScale::mini(), Calibration::default(), None, 1)
+        run_deployment(
+            strategy,
+            n,
+            ExpScale::mini(),
+            Calibration::default(),
+            None,
+            1,
+        )
     }
 
     #[test]
@@ -275,7 +296,11 @@ mod tests {
         assert!(out.total_s > 0.0);
         // Traffic well under 4 full images.
         let four_images = 4.0 * (8 << 20) as f64 / 1e9;
-        assert!(out.traffic_gb < four_images / 2.0, "traffic {}", out.traffic_gb);
+        assert!(
+            out.traffic_gb < four_images / 2.0,
+            "traffic {}",
+            out.traffic_gb
+        );
     }
 
     #[test]
@@ -283,10 +308,19 @@ mod tests {
         let pre = mini(Strategy::Prepropagation, 4);
         let ours = mini(Strategy::Mirror, 4);
         let four_images = 4.0 * (8 << 20) as f64 / 1e9;
-        assert!(pre.traffic_gb >= four_images * 0.99, "traffic {}", pre.traffic_gb);
+        assert!(
+            pre.traffic_gb >= four_images * 0.99,
+            "traffic {}",
+            pre.traffic_gb
+        );
         assert!(pre.traffic_gb > 3.0 * ours.traffic_gb);
         // Total deployment time: prepropagation pays the broadcast.
-        assert!(pre.total_s > ours.total_s, "{} vs {}", pre.total_s, ours.total_s);
+        assert!(
+            pre.total_s > ours.total_s,
+            "{} vs {}",
+            pre.total_s,
+            ours.total_s
+        );
         // But its per-instance boot (post-init) is the fastest.
         assert!(pre.avg_boot_s() < ours.avg_boot_s());
     }

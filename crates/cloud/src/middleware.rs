@@ -53,7 +53,13 @@ impl Cloud {
     ) -> Self {
         let topo = BlobTopology::colocated(&compute, service);
         let store = BlobStore::new(blob_cfg, topo, Arc::clone(&fabric));
-        Self { store, fabric, compute, service, cal }
+        Self {
+            store,
+            fabric,
+            compute,
+            service,
+            cal,
+        }
     }
 
     /// The repository.
@@ -161,7 +167,10 @@ impl Cloud {
             .filter_map(|(b, _)| sizes.get(b))
             .copied()
             .sum();
-        StorageReport { stored_bytes: stored, naive_full_copy_bytes: naive }
+        StorageReport {
+            stored_bytes: stored,
+            naive_full_copy_bytes: naive,
+        }
     }
 }
 
@@ -185,7 +194,10 @@ mod tests {
     fn cloud() -> Cloud {
         let fabric = LocalFabric::new(9);
         let compute: Vec<NodeId> = (0..8).map(NodeId).collect();
-        let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 64 << 10,
+            ..Default::default()
+        };
         Cloud::new(fabric, compute, NodeId(8), cfg, Calibration::default())
     }
 
@@ -205,8 +217,7 @@ mod tests {
         let snaps = cloud.snapshot_all(&mut vms).unwrap();
         assert_eq!(snaps.len(), 4);
         // Snapshots are distinct first-class blobs.
-        let blobs: std::collections::HashSet<BlobId> =
-            snaps.iter().map(|(b, _)| *b).collect();
+        let blobs: std::collections::HashSet<BlobId> = snaps.iter().map(|(b, _)| *b).collect();
         assert_eq!(blobs.len(), 4);
         assert!(blobs.iter().all(|b| *b != blob));
         // Each snapshot downloads as a standalone image with that VM's
@@ -266,7 +277,10 @@ mod tests {
         let cloud = cloud();
         let (blob, v) = cloud.upload_image(Payload::synth(8, 0, IMG)).unwrap();
         let mut vms = cloud.deploy(blob, v, &[NodeId(0)]).unwrap();
-        vms[0].backend.write(500, Payload::from(vec![9u8; 32])).unwrap();
+        vms[0]
+            .backend
+            .write(500, Payload::from(vec![9u8; 32]))
+            .unwrap();
         let snaps = cloud.snapshot_all(&mut vms).unwrap();
         drop(vms);
         let mut resumed = cloud.resume(&snaps, &[NodeId(5)]).unwrap();

@@ -15,12 +15,16 @@ pub struct SimSignals {
 impl SimSignals {
     /// Bind to a simulation.
     pub fn new(state: Arc<SimState>) -> Arc<Self> {
-        Arc::new(Self { state, map: Mutex::new(HashMap::new()) })
+        Arc::new(Self {
+            state,
+            map: Mutex::new(HashMap::new()),
+        })
     }
 
     fn completion(&self, key: u64) -> CompletionId {
         let mut map = self.map.lock();
-        *map.entry(key).or_insert_with(|| self.state.new_completion())
+        *map.entry(key)
+            .or_insert_with(|| self.state.new_completion())
     }
 }
 

@@ -9,8 +9,8 @@
 
 use crate::backend::{BackendError, ImageBackend};
 use bff_data::Payload;
-use bff_workloads::VmOp;
 use bff_net::{Fabric, NodeId};
+use bff_workloads::VmOp;
 use std::sync::Arc;
 
 /// The deterministic content a VM writes at `offset`: stream `seed`,
@@ -66,8 +66,12 @@ mod tests {
     fn trace_replay_matches_reference_model() {
         let image = Payload::synth(1, 0, 1 << 20);
         let fabric: Arc<dyn Fabric> = LocalFabric::new(1);
-        let mut backend =
-            RawLocalBackend::new(NodeId(0), Arc::clone(&fabric), image.clone(), Calibration::default());
+        let mut backend = RawLocalBackend::new(
+            NodeId(0),
+            Arc::clone(&fabric),
+            image.clone(),
+            Calibration::default(),
+        );
         let profile = BootProfile::scaled(1 << 20);
         let ops = profile.generate(42);
         run_vm_trace(&fabric, NodeId(0), &mut backend, 42, &ops).unwrap();

@@ -36,7 +36,12 @@ impl ChunkMap {
     /// Empty map for an image of `image_len` bytes in `chunk_size` chunks.
     pub fn new(image_len: u64, chunk_size: u64) -> Self {
         assert!(chunk_size > 0, "chunk size must be positive");
-        Self { image_len, chunk_size, local: RangeSet::new(), dirty: RangeSet::new() }
+        Self {
+            image_len,
+            chunk_size,
+            local: RangeSet::new(),
+            dirty: RangeSet::new(),
+        }
     }
 
     /// Image length in bytes.
@@ -66,7 +71,8 @@ impl ChunkMap {
 
     /// Whether chunk `idx` is completely mirrored.
     pub fn is_chunk_local(&self, idx: u64) -> bool {
-        self.local.contains_range(&chunk_range(idx, self.chunk_size, self.image_len))
+        self.local
+            .contains_range(&chunk_range(idx, self.chunk_size, self.image_len))
     }
 
     /// Number of maximal runs tracked (the fragmentation-overhead metric
@@ -134,7 +140,10 @@ impl ChunkMap {
             let last = runs.last().expect("non-empty");
             let hull = first.start.min(w.start)..last.end.max(w.end);
             for g in self.local.gaps_within(&hull) {
-                let g = ByteRange { start: g.start, end: g.end };
+                let g = ByteRange {
+                    start: g.start,
+                    end: g.end,
+                };
                 // Exclude what the write itself will cover.
                 if g.end <= w.start || g.start >= w.end {
                     gaps.push(g);
@@ -230,9 +239,8 @@ impl ChunkMap {
     /// modification manager writes next to the mirror file on close,
     /// §4.2).
     pub fn serialize(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(
-            40 + 16 * (self.local.run_count() + self.dirty.run_count()),
-        );
+        let mut out =
+            Vec::with_capacity(40 + 16 * (self.local.run_count() + self.dirty.run_count()));
         out.extend(b"BFFM");
         out.extend(1u32.to_le_bytes()); // format version
         out.extend(self.image_len.to_le_bytes());
@@ -251,7 +259,9 @@ impl ChunkMap {
     pub fn deserialize(data: &[u8]) -> Result<Self, String> {
         let mut pos = 0usize;
         let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
-            let s = data.get(*pos..*pos + n).ok_or("truncated chunk-map metadata")?;
+            let s = data
+                .get(*pos..*pos + n)
+                .ok_or("truncated chunk-map metadata")?;
             *pos += n;
             Ok(s)
         };
@@ -287,7 +297,12 @@ impl ChunkMap {
         }
         let dirty = sets.pop().expect("two sets");
         let local = sets.pop().expect("two sets");
-        Ok(Self { image_len, chunk_size, local, dirty })
+        Ok(Self {
+            image_len,
+            chunk_size,
+            local,
+            dirty,
+        })
     }
 }
 

@@ -48,7 +48,10 @@ pub struct MemStore {
 impl MemStore {
     /// An empty (all-zero) store of `len` bytes.
     pub fn new(len: u64) -> Self {
-        Self { len, extents: ExtentMap::new() }
+        Self {
+            len,
+            extents: ExtentMap::new(),
+        }
     }
 
     /// Number of stored extents (diagnostic).
@@ -79,7 +82,8 @@ impl LocalStore for MemStore {
         if data.is_empty() {
             return;
         }
-        self.extents.insert(offset..offset + data.len(), data.clone());
+        self.extents
+            .insert(offset..offset + data.len(), data.clone());
     }
 }
 

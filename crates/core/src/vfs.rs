@@ -95,7 +95,13 @@ pub struct VirtualFs {
 impl VirtualFs {
     /// Mount the VFS for a node's repository client.
     pub fn new(client: Client, cfg: MirrorConfig) -> Self {
-        Self { client, cfg, next_fd: 3, open: HashMap::new(), saved: HashMap::new() }
+        Self {
+            client,
+            cfg,
+            next_fd: 3,
+            open: HashMap::new(),
+            saved: HashMap::new(),
+        }
     }
 
     /// Open a snapshot file by path, creating an in-memory mirror store.
@@ -184,7 +190,10 @@ mod tests {
         let fabric = LocalFabric::new(3);
         let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
         let topo = BlobTopology::colocated(&nodes, NodeId(2));
-        let cfg = BlobConfig { chunk_size: 64, ..Default::default() };
+        let cfg = BlobConfig {
+            chunk_size: 64,
+            ..Default::default()
+        };
         let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
         let client = Client::new(store, NodeId(0));
         let image = Payload::synth(3, 0, 512);

@@ -40,7 +40,9 @@ pub struct ExtentMap<V> {
 impl<V: ExtentValue> ExtentMap<V> {
     /// The empty map.
     pub fn new() -> Self {
-        Self { ents: BTreeMap::new() }
+        Self {
+            ents: BTreeMap::new(),
+        }
     }
 
     /// Number of stored extents.
@@ -207,7 +209,13 @@ mod tests {
             for i in r.start..r.end {
                 model[i as usize] = Some(*tag);
             }
-            map.insert(r.clone(), TaggedLen { tag: *tag, len: r.end - r.start });
+            map.insert(
+                r.clone(),
+                TaggedLen {
+                    tag: *tag,
+                    len: r.end - r.start,
+                },
+            );
         }
         // Every piece returned must match the model bytes.
         for piece in map.read(&probe) {
@@ -237,8 +245,14 @@ mod tests {
         fn split(&self, at: u64) -> (Self, Self) {
             assert!(at <= self.len);
             (
-                TaggedLen { tag: self.tag, len: at },
-                TaggedLen { tag: self.tag, len: self.len - at },
+                TaggedLen {
+                    tag: self.tag,
+                    len: at,
+                },
+                TaggedLen {
+                    tag: self.tag,
+                    len: self.len - at,
+                },
             )
         }
     }
@@ -296,6 +310,9 @@ mod tests {
         assert_eq!(pieces.len(), 1);
         let (r, v) = &pieces[0];
         assert_eq!(*r, 10..20);
-        assert_eq!(v.materialize(), crate::synth::SynthSource::new(2).materialize(10, 10));
+        assert_eq!(
+            v.materialize(),
+            crate::synth::SynthSource::new(2).materialize(10, 10)
+        );
     }
 }

@@ -41,7 +41,9 @@ impl Seg {
         debug_assert!(start <= end && end <= self.len());
         match self {
             Seg::Bytes(b) => Seg::Bytes(b.slice(start as usize..end as usize)),
-            Seg::Synth { seed, start: s0, .. } => Seg::Synth {
+            Seg::Synth {
+                seed, start: s0, ..
+            } => Seg::Synth {
                 seed: *seed,
                 start: s0 + start,
                 len: end - start,
@@ -76,8 +78,16 @@ impl Seg {
         match (self, other) {
             (Seg::Zero { len: a }, Seg::Zero { len: b }) => Some(Seg::Zero { len: a + b }),
             (
-                Seg::Synth { seed: s1, start: st1, len: l1 },
-                Seg::Synth { seed: s2, start: st2, len: l2 },
+                Seg::Synth {
+                    seed: s1,
+                    start: st1,
+                    len: l1,
+                },
+                Seg::Synth {
+                    seed: s2,
+                    start: st2,
+                    len: l2,
+                },
             ) if s1 == s2 && st1 + l1 == *st2 => Some(Seg::Synth {
                 seed: *s1,
                 start: *st1,
@@ -109,7 +119,10 @@ impl Payload {
         if len == 0 {
             return Self::empty();
         }
-        Self { segs: vec![Seg::Zero { len }], len }
+        Self {
+            segs: vec![Seg::Zero { len }],
+            len,
+        }
     }
 
     /// A payload of `len` bytes of synthetic stream `seed`, starting at
@@ -118,7 +131,10 @@ impl Payload {
         if len == 0 {
             return Self::empty();
         }
-        Self { segs: vec![Seg::Synth { seed, start, len }], len }
+        Self {
+            segs: vec![Seg::Synth { seed, start, len }],
+            len,
+        }
     }
 
     /// A payload holding literal bytes.
@@ -128,7 +144,10 @@ impl Payload {
             return Self::empty();
         }
         let len = b.len() as u64;
-        Self { segs: vec![Seg::Bytes(b)], len }
+        Self {
+            segs: vec![Seg::Bytes(b)],
+            len,
+        }
     }
 
     /// Total length in bytes.
@@ -179,7 +198,11 @@ impl Payload {
 
     /// Sub-payload covering `start..end` (must be within bounds).
     pub fn slice(&self, start: u64, end: u64) -> Payload {
-        assert!(start <= end && end <= self.len, "slice {start}..{end} out of bounds (len {})", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds (len {})",
+            self.len
+        );
         let mut out = Payload::empty();
         if start == end {
             return out;
@@ -206,7 +229,11 @@ impl Payload {
 
     /// The byte at position `pos`.
     pub fn byte_at(&self, pos: u64) -> u8 {
-        assert!(pos < self.len, "byte_at {pos} out of bounds (len {})", self.len);
+        assert!(
+            pos < self.len,
+            "byte_at {pos} out of bounds (len {})",
+            self.len
+        );
         let mut off = pos;
         for seg in &self.segs {
             if off < seg.len() {
@@ -273,8 +300,16 @@ impl Payload {
             match (a, b) {
                 (Seg::Zero { .. }, Seg::Zero { .. }) => return true,
                 (
-                    Seg::Synth { seed: s1, start: t1, .. },
-                    Seg::Synth { seed: s2, start: t2, .. },
+                    Seg::Synth {
+                        seed: s1,
+                        start: t1,
+                        ..
+                    },
+                    Seg::Synth {
+                        seed: s2,
+                        start: t2,
+                        ..
+                    },
                 ) if s1 == s2 && t1 == t2 => return true,
                 _ => {}
             }
@@ -294,16 +329,65 @@ impl Payload {
     /// the new payload. Used by layers that maintain whole-object images
     /// (e.g. chunk read-modify-write).
     pub fn overwrite(&self, at: u64, patch: Payload) -> Payload {
+        let mut out = self.clone();
+        out.overwrite_in_place(at, patch);
+        out
+    }
+
+    /// Overwrite the region `at..at + patch.len()` with `patch`, in place.
+    ///
+    /// Single pass over the segment rope: segments strictly before or
+    /// after the patched window are kept (moved, not copied), boundary
+    /// segments are split, and only the patch's own segments are inserted.
+    /// The former `slice(0, at) + patch + slice(end, len)` rebuild scanned
+    /// the rope twice from position zero per call, which made repeated
+    /// chunk read-modify-writes quadratic in segment count.
+    pub fn overwrite_in_place(&mut self, at: u64, patch: Payload) {
+        let plen = patch.len();
         assert!(
-            at + patch.len() <= self.len,
+            at + plen <= self.len,
             "overwrite {}..{} out of bounds (len {})",
             at,
-            at + patch.len(),
+            at + plen,
             self.len
         );
-        let head = self.slice(0, at);
-        let tail = self.slice(at + patch.len(), self.len);
-        head.concat(patch).concat(tail)
+        if plen == 0 {
+            return;
+        }
+        let end = at + plen;
+        let total = self.len;
+        let old = std::mem::take(self);
+        self.segs.reserve(old.segs.len() + patch.segs.len());
+        let mut pos = 0u64;
+        let mut patch_done = false;
+        for seg in old.segs {
+            let sl = seg.len();
+            let (seg_start, seg_end) = (pos, pos + sl);
+            pos = seg_end;
+            // Head piece (possibly the whole segment) before the window.
+            if seg_start < at {
+                let keep_to = at.min(seg_end);
+                if keep_to == seg_end {
+                    self.push_seg(seg);
+                    continue;
+                }
+                self.push_seg(seg.slice(0, keep_to - seg_start));
+            }
+            // The patch goes in exactly once, when we first reach `at`.
+            if !patch_done && seg_end > at {
+                for p in &patch.segs {
+                    self.push_seg(p.clone());
+                }
+                patch_done = true;
+            }
+            // Tail piece after the window.
+            if seg_end > end {
+                let from = end.max(seg_start);
+                self.push_seg(seg.slice(from - seg_start, sl));
+            }
+        }
+        debug_assert!(patch_done, "window within bounds implies insertion");
+        debug_assert_eq!(self.len, total);
     }
 }
 
@@ -409,6 +493,54 @@ mod tests {
         let base = Payload::zeros(10);
         let patched = base.overwrite(3, Payload::from(&b"xyz"[..]));
         assert_eq!(patched.materialize(), b"\0\0\0xyz\0\0\0\0");
+    }
+
+    #[test]
+    fn overwrite_in_place_matches_rebuild_everywhere() {
+        // Sweep every (offset, length) against the naive slice+concat
+        // reference, over a multi-segment rope.
+        let base = Payload::from(&b"abcd"[..])
+            .concat(Payload::synth(4, 8, 6))
+            .concat(Payload::zeros(5));
+        let len = base.len();
+        for at in 0..len {
+            for plen in 0..=(len - at) {
+                let patch = Payload::synth(9, 100, plen);
+                let reference = base
+                    .slice(0, at)
+                    .concat(patch.clone())
+                    .concat(base.slice(at + plen, len));
+                let mut got = base.clone();
+                got.overwrite_in_place(at, patch);
+                assert_eq!(got.len(), len);
+                assert!(
+                    got.content_eq(&reference),
+                    "mismatch at={at} plen={plen}: {got:?} vs {reference:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overwrite_in_place_boundaries() {
+        // Patch at 0, at the exact end, across segment boundaries, and
+        // covering the whole payload.
+        let mut p = Payload::zeros(4).concat(Payload::synth(1, 0, 4));
+        p.overwrite_in_place(0, Payload::from(&b"ab"[..]));
+        assert_eq!(&p.materialize()[..2], b"ab");
+        p.overwrite_in_place(6, Payload::from(&b"yz"[..]));
+        assert_eq!(&p.materialize()[6..], b"yz");
+        p.overwrite_in_place(3, Payload::from(&b"mid"[..]));
+        assert_eq!(&p.materialize()[3..6], b"mid");
+        p.overwrite_in_place(0, Payload::synth(5, 0, 8));
+        assert!(p.content_eq(&Payload::synth(5, 0, 8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overwrite_in_place_oob_panics() {
+        let mut p = Payload::zeros(4);
+        p.overwrite_in_place(2, Payload::zeros(3));
     }
 
     #[test]

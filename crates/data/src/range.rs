@@ -49,7 +49,10 @@ pub fn chunk_range(index: u64, chunk_size: u64, image_len: u64) -> ByteRange {
     assert!(chunk_size > 0, "chunk size must be positive");
     let start = index * chunk_size;
     let end = (start + chunk_size).min(image_len);
-    assert!(start < end, "chunk {index} out of bounds for image of {image_len} bytes");
+    assert!(
+        start < end,
+        "chunk {index} out of bounds for image of {image_len} bytes"
+    );
     start..end
 }
 

@@ -15,6 +15,10 @@ use std::collections::BTreeMap;
 pub struct RangeSet {
     /// start -> end, disjoint, non-adjacent, non-empty.
     runs: BTreeMap<u64, u64>,
+    /// Maintained sum of run lengths, so [`Self::covered`] is O(1). The
+    /// mirror stats path queries it per operation; recomputing by
+    /// summation made every stats call O(runs).
+    covered: u64,
 }
 
 impl RangeSet {
@@ -29,9 +33,15 @@ impl RangeSet {
         self.runs.len()
     }
 
-    /// Total number of positions covered.
+    /// Total number of positions covered. O(1): the counter is maintained
+    /// by `insert`/`remove`/`clear`.
     pub fn covered(&self) -> u64 {
-        self.runs.iter().map(|(s, e)| e - s).sum()
+        debug_assert_eq!(
+            self.covered,
+            self.runs.iter().map(|(s, e)| e - s).sum::<u64>(),
+            "covered counter out of sync"
+        );
+        self.covered
     }
 
     /// Whether the set is empty.
@@ -52,6 +62,7 @@ impl RangeSet {
                 start = s;
                 end = end.max(e);
                 self.runs.remove(&s);
+                self.covered -= e - s;
             }
         }
         // Absorb every run that begins within [start, end].
@@ -61,11 +72,13 @@ impl RangeSet {
                 Some((s, e)) => {
                     end = end.max(e);
                     self.runs.remove(&s);
+                    self.covered -= e - s;
                 }
                 None => break,
             }
         }
         self.runs.insert(start, end);
+        self.covered += end - start;
     }
 
     /// Remove a range from the set, splitting runs as needed.
@@ -92,11 +105,13 @@ impl RangeSet {
             }
         }
         for s in to_remove {
-            self.runs.remove(&s);
+            let e = self.runs.remove(&s).expect("run listed for removal exists");
+            self.covered -= e - s;
         }
         for (s, e) in to_add {
             if s < e {
                 self.runs.insert(s, e);
+                self.covered += e - s;
             }
         }
     }
@@ -119,10 +134,7 @@ impl RangeSet {
     }
 
     /// Iterate over the maximal runs intersecting `range`, clamped to it.
-    pub fn runs_within<'a>(
-        &'a self,
-        range: &ByteRange,
-    ) -> impl Iterator<Item = ByteRange> + 'a {
+    pub fn runs_within<'a>(&'a self, range: &ByteRange) -> impl Iterator<Item = ByteRange> + 'a {
         let (rs, re) = (range.start, range.end);
         let pred = self
             .runs
@@ -167,6 +179,7 @@ impl RangeSet {
     /// Clear the set.
     pub fn clear(&mut self) {
         self.runs.clear();
+        self.covered = 0;
     }
 }
 
@@ -259,5 +272,30 @@ mod tests {
         let mut s = set(&[0..4, 6..10, 12..16]);
         s.remove(2..13);
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![0..2, 13..16]);
+    }
+
+    #[test]
+    fn covered_counter_tracks_all_mutations() {
+        // Exercise every insert/remove code path and check the O(1)
+        // counter against brute-force summation (the debug_assert in
+        // covered() does the same check on every call).
+        let mut s = RangeSet::new();
+        assert_eq!(s.covered(), 0);
+        s.insert(0..10); // fresh run
+        assert_eq!(s.covered(), 10);
+        s.insert(5..15); // absorbed by left neighbour
+        assert_eq!(s.covered(), 15);
+        s.insert(20..30);
+        s.insert(12..25); // bridges two runs
+        assert_eq!(s.covered(), 30);
+        s.remove(5..8); // split one run
+        assert_eq!(s.covered(), 27);
+        s.remove(0..100); // remove everything
+        assert_eq!(s.covered(), 0);
+        s.insert(3..3); // no-op
+        assert_eq!(s.covered(), 0);
+        s.insert(1..2);
+        s.clear();
+        assert_eq!(s.covered(), 0);
     }
 }

@@ -106,8 +106,7 @@ mod tests {
         for start in 0u64..16 {
             for len in 0usize..40 {
                 let filled = src.materialize(start, len);
-                let manual: Vec<u8> =
-                    (0..len as u64).map(|i| src.byte_at(start + i)).collect();
+                let manual: Vec<u8> = (0..len as u64).map(|i| src.byte_at(start + i)).collect();
                 assert_eq!(filled, manual, "start={start} len={len}");
             }
         }

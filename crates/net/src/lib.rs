@@ -98,8 +98,13 @@ pub trait Fabric: Send + Sync {
 
     /// A control-plane round trip (`req_bytes` there, `resp_bytes` back),
     /// used for metadata lookups and provider-manager calls.
-    fn rpc(&self, src: NodeId, dst: NodeId, req_bytes: u64, resp_bytes: u64)
-        -> Result<(), NetError>;
+    fn rpc(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) -> Result<(), NetError>;
 
     /// Charge a local-disk read of `bytes` at `node`.
     fn disk_read(&self, node: NodeId, bytes: u64) -> Result<(), NetError>;
@@ -245,11 +250,7 @@ impl Fabric for LocalFabric {
     fn compute(&self, _node: NodeId, _micros: u64) {}
 
     fn is_down(&self, node: NodeId) -> bool {
-        self.down
-            .read()
-            .get(node.index())
-            .copied()
-            .unwrap_or(false)
+        self.down.read().get(node.index()).copied().unwrap_or(false)
     }
 
     fn stats(&self) -> &TrafficStats {
@@ -302,8 +303,16 @@ mod tests {
     fn transfer_all_accounts_everything() {
         let f = LocalFabric::new(4);
         let xs = [
-            Transfer { src: NodeId(0), dst: NodeId(1), bytes: 10 },
-            Transfer { src: NodeId(2), dst: NodeId(1), bytes: 20 },
+            Transfer {
+                src: NodeId(0),
+                dst: NodeId(1),
+                bytes: 10,
+            },
+            Transfer {
+                src: NodeId(2),
+                dst: NodeId(1),
+                bytes: 20,
+            },
         ];
         f.transfer_all(&xs).unwrap();
         assert_eq!(f.stats().total_network_bytes(), 30);

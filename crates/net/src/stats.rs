@@ -57,28 +57,44 @@ impl TrafficStats {
     pub fn record_transfer(&self, src: NodeId, dst: NodeId, bytes: u64) {
         self.network_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.transfers.fetch_add(1, Ordering::Relaxed);
-        self.nodes[src.index()].sent.fetch_add(bytes, Ordering::Relaxed);
-        self.nodes[dst.index()].received.fetch_add(bytes, Ordering::Relaxed);
+        self.nodes[src.index()]
+            .sent
+            .fetch_add(bytes, Ordering::Relaxed);
+        self.nodes[dst.index()]
+            .received
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Record an RPC round trip.
     pub fn record_rpc(&self, src: NodeId, dst: NodeId, req: u64, resp: u64) {
         self.network_bytes.fetch_add(req + resp, Ordering::Relaxed);
         self.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.nodes[src.index()].sent.fetch_add(req, Ordering::Relaxed);
-        self.nodes[src.index()].received.fetch_add(resp, Ordering::Relaxed);
-        self.nodes[dst.index()].received.fetch_add(req, Ordering::Relaxed);
-        self.nodes[dst.index()].sent.fetch_add(resp, Ordering::Relaxed);
+        self.nodes[src.index()]
+            .sent
+            .fetch_add(req, Ordering::Relaxed);
+        self.nodes[src.index()]
+            .received
+            .fetch_add(resp, Ordering::Relaxed);
+        self.nodes[dst.index()]
+            .received
+            .fetch_add(req, Ordering::Relaxed);
+        self.nodes[dst.index()]
+            .sent
+            .fetch_add(resp, Ordering::Relaxed);
     }
 
     /// Record a local disk read.
     pub fn record_disk_read(&self, node: NodeId, bytes: u64) {
-        self.nodes[node.index()].disk_read.fetch_add(bytes, Ordering::Relaxed);
+        self.nodes[node.index()]
+            .disk_read
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Record a local disk write.
     pub fn record_disk_write(&self, node: NodeId, bytes: u64) {
-        self.nodes[node.index()].disk_written.fetch_add(bytes, Ordering::Relaxed);
+        self.nodes[node.index()]
+            .disk_written
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Total bytes moved over the network (the paper's Fig. 4(d) metric).

@@ -76,7 +76,11 @@ pub struct PvfsConfig {
 
 impl Default for PvfsConfig {
     fn default() -> Self {
-        Self { stripe_size: 256 << 10, control_bytes: 64, server_read_cache: true }
+        Self {
+            stripe_size: 256 << 10,
+            control_bytes: 64,
+            server_read_cache: true,
+        }
     }
 }
 
@@ -112,7 +116,10 @@ impl Pvfs {
     /// Deploy over the given I/O server nodes.
     pub fn new(cfg: PvfsConfig, servers: Vec<NodeId>, fabric: Arc<dyn Fabric>) -> Arc<Self> {
         assert!(!servers.is_empty(), "need at least one I/O server");
-        let state = servers.iter().map(|_| Mutex::new(IoServer::default())).collect();
+        let state = servers
+            .iter()
+            .map(|_| Mutex::new(IoServer::default()))
+            .collect();
         Arc::new(Self {
             cfg,
             servers,
@@ -168,7 +175,11 @@ pub struct PvfsClient {
 impl PvfsClient {
     /// Client for the process on `node`.
     pub fn new(fs: Arc<Pvfs>, node: NodeId) -> Self {
-        Self { fs, node, meta_cache: Arc::new(Mutex::new(HashMap::new())) }
+        Self {
+            fs,
+            node,
+            meta_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// The filesystem handle.
@@ -208,7 +219,10 @@ impl PvfsClient {
         };
         self.meta_rpc(id)?;
         let base_server = (id.0 as usize * 7) % self.fs.servers.len();
-        self.fs.files.lock().insert(id, FileMeta { size, base_server });
+        self.fs
+            .files
+            .lock()
+            .insert(id, FileMeta { size, base_server });
         Ok(id)
     }
 
@@ -270,7 +284,11 @@ impl PvfsClient {
         let meta = self.meta(file)?;
         let range = offset..offset + data.len();
         if range.end > meta.size {
-            return Err(PvfsError::OutOfBounds { offset, len: data.len(), size: meta.size });
+            return Err(PvfsError::OutOfBounds {
+                offset,
+                len: data.len(),
+                size: meta.size,
+            });
         }
         if data.is_empty() {
             return Ok(());
@@ -383,7 +401,10 @@ mod tests {
         let fabric = LocalFabric::new(servers as usize + 1);
         let nodes: Vec<NodeId> = (0..servers).map(NodeId).collect();
         let fs = Pvfs::new(
-            PvfsConfig { stripe_size: stripe, ..Default::default() },
+            PvfsConfig {
+                stripe_size: stripe,
+                ..Default::default()
+            },
             nodes,
             fabric as Arc<dyn Fabric>,
         );
@@ -436,19 +457,28 @@ mod tests {
         // 16 stripes over 4 servers: each holds 400 bytes.
         let per_server = c.fs().server_loads();
         assert_eq!(per_server.iter().sum::<u64>(), 1600);
-        assert!(per_server.iter().all(|&b| b == 400), "balanced: {per_server:?}");
+        assert!(
+            per_server.iter().all(|&b| b == 400),
+            "balanced: {per_server:?}"
+        );
     }
 
     #[test]
     fn out_of_bounds_rejected() {
         let c = setup(2, 100);
         let f = c.create(100).unwrap();
-        assert!(matches!(c.read(f, 50..200), Err(PvfsError::OutOfBounds { .. })));
+        assert!(matches!(
+            c.read(f, 50..200),
+            Err(PvfsError::OutOfBounds { .. })
+        ));
         assert!(matches!(
             c.write(f, 90, Payload::zeros(20)),
             Err(PvfsError::OutOfBounds { .. })
         ));
-        assert!(matches!(c.read(FileId(99), 0..1), Err(PvfsError::NoSuchFile(_))));
+        assert!(matches!(
+            c.read(FileId(99), 0..1),
+            Err(PvfsError::NoSuchFile(_))
+        ));
     }
 
     #[test]

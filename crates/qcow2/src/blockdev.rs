@@ -74,7 +74,8 @@ impl BlockDev for MemBlockDev {
         if data.is_empty() {
             return;
         }
-        self.extents.insert(offset..offset + data.len(), data.clone());
+        self.extents
+            .insert(offset..offset + data.len(), data.clone());
         self.len = self.len.max(offset + data.len());
     }
 

@@ -114,11 +114,15 @@ impl Header {
         let u64_at = |o: usize| u64::from_le_bytes(data[o..o + 8].try_into().expect("8 bytes"));
         let version = u32_at(4);
         if version != 1 {
-            return Err(Qcow2Error::BadHeader(format!("unsupported version {version}")));
+            return Err(Qcow2Error::BadHeader(format!(
+                "unsupported version {version}"
+            )));
         }
         let cluster_bits = u32_at(8);
         if !(9..=22).contains(&cluster_bits) {
-            return Err(Qcow2Error::BadHeader(format!("cluster_bits {cluster_bits}")));
+            return Err(Qcow2Error::BadHeader(format!(
+                "cluster_bits {cluster_bits}"
+            )));
         }
         Ok(Header {
             cluster_bits,
@@ -168,7 +172,10 @@ mod tests {
         assert!(Header::decode(b"shrt").is_err());
         let mut bad = sample().encode();
         bad[0] = b'X';
-        assert!(matches!(Header::decode(&bad), Err(Qcow2Error::BadHeader(_))));
+        assert!(matches!(
+            Header::decode(&bad),
+            Err(Qcow2Error::BadHeader(_))
+        ));
         let mut badver = sample().encode();
         badver[4] = 9;
         assert!(Header::decode(&badver).is_err());

@@ -31,7 +31,9 @@ impl<D: BlockDev> Qcow2Image<D> {
         backing: Option<Box<dyn Backing>>,
     ) -> Result<Self, Qcow2Error> {
         if !(9..=22).contains(&cluster_bits) {
-            return Err(Qcow2Error::BadHeader(format!("cluster_bits {cluster_bits}")));
+            return Err(Qcow2Error::BadHeader(format!(
+                "cluster_bits {cluster_bits}"
+            )));
         }
         if let Some(b) = &backing {
             if b.len() != virtual_size {
@@ -88,7 +90,14 @@ impl<D: BlockDev> Qcow2Image<D> {
                 return Err(Qcow2Error::Corrupt(format!("L1 entry {e:#x} out of range")));
             }
         }
-        Ok(Self { dev, header, backing, l1, l2_cache: HashMap::new(), allocated_data_clusters: 0 })
+        Ok(Self {
+            dev,
+            header,
+            backing,
+            l1,
+            l2_cache: HashMap::new(),
+            allocated_data_clusters: 0,
+        })
     }
 
     /// Virtual disk size.
@@ -156,7 +165,8 @@ impl<D: BlockDev> Qcow2Image<D> {
     fn l2_table_mut(&mut self, l1_idx: u64) -> Result<u64, Qcow2Error> {
         if self.l1[l1_idx as usize] == 0 {
             let off = self.alloc_cluster();
-            self.dev.write_at(off, &Payload::zeros(self.header.cluster_size()));
+            self.dev
+                .write_at(off, &Payload::zeros(self.header.cluster_size()));
             self.l1[l1_idx as usize] = off;
             // Write-through the updated L1 entry and header.
             self.dev.write_at(
@@ -164,7 +174,8 @@ impl<D: BlockDev> Qcow2Image<D> {
                 &Payload::from(off.to_le_bytes().to_vec()),
             );
             self.flush_header();
-            self.l2_cache.insert(l1_idx, vec![0u64; self.header.l2_entries() as usize]);
+            self.l2_cache
+                .insert(l1_idx, vec![0u64; self.header.l2_entries() as usize]);
         }
         Ok(self.l1[l1_idx as usize])
     }
@@ -174,7 +185,9 @@ impl<D: BlockDev> Qcow2Image<D> {
         let per = self.header.l2_entries();
         let (l1_idx, l2_idx) = (vc / per, vc % per);
         if l1_idx >= self.header.l1_entries {
-            return Err(Qcow2Error::Corrupt(format!("virtual cluster {vc} beyond L1")));
+            return Err(Qcow2Error::Corrupt(format!(
+                "virtual cluster {vc} beyond L1"
+            )));
         }
         match self.l2_table(l1_idx)? {
             Some(t) => Ok(match t[l2_idx as usize] {
@@ -318,7 +331,9 @@ mod tests {
         assert_eq!(img.allocated_data_clusters(), 1);
         // The written bytes read back; the rest of the cluster is base.
         let got = img.read(4096..8192).unwrap();
-        let expect = base_image().slice(4096, 8192).overwrite(100, Payload::from(vec![7u8; 50]));
+        let expect = base_image()
+            .slice(4096, 8192)
+            .overwrite(100, Payload::from(vec![7u8; 50]));
         assert!(got.content_eq(&expect));
         // Neighbouring clusters untouched.
         let got = img.read(0..4096).unwrap();
@@ -333,7 +348,10 @@ mod tests {
         img.write(0, Payload::from(vec![2u8; 4096])).unwrap();
         assert_eq!(img.file_len(), before, "no second allocation");
         assert_eq!(img.allocated_data_clusters(), 1);
-        assert!(img.read(0..4096).unwrap().content_eq(&Payload::from(vec![2u8; 4096])));
+        assert!(img
+            .read(0..4096)
+            .unwrap()
+            .content_eq(&Payload::from(vec![2u8; 4096])));
     }
 
     #[test]
@@ -413,7 +431,9 @@ mod tests {
         let mut model = base_image().materialize();
         let mut x = 0x12345678u64;
         for _ in 0..40 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let off = x % (VSIZE - 600);
             let len = 1 + (x >> 32) % 600;
             let val = (x >> 16) as u8;

@@ -65,7 +65,12 @@ struct DiskState {
 
 impl DiskState {
     fn new(params: DiskParams) -> Self {
-        Self { params, next_free: 0, dirty: 0.0, dirty_as_of: 0 }
+        Self {
+            params,
+            next_free: 0,
+            dirty: 0.0,
+            dirty_as_of: 0,
+        }
     }
 
     /// Lazily drain the dirty counter at disk speed up to `now`.
@@ -132,7 +137,9 @@ impl DiskBank {
 
     /// `nodes` identical disks with the given parameters.
     pub fn with_params(nodes: usize, params: DiskParams) -> Self {
-        Self { disks: (0..nodes).map(|_| DiskState::new(params)).collect() }
+        Self {
+            disks: (0..nodes).map(|_| DiskState::new(params)).collect(),
+        }
     }
 
     /// Completion time of a read of `bytes` at `node`, queued FIFO.
@@ -162,7 +169,12 @@ mod tests {
     use super::*;
 
     fn params() -> DiskParams {
-        DiskParams { bandwidth: 100.0, access_us: 10, mem_bandwidth: 1000.0, dirty_limit: 10_000 }
+        DiskParams {
+            bandwidth: 100.0,
+            access_us: 10,
+            mem_bandwidth: 1000.0,
+            dirty_limit: 10_000,
+        }
     }
 
     #[test]

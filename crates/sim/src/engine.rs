@@ -129,7 +129,11 @@ impl SimState {
     /// Push an event at absolute time `time` (must be >= now).
     pub(crate) fn push_event_at(&self, time: SimTime, kind: EventKind) {
         debug_assert!(time >= self.now_us(), "event scheduled in the past");
-        let ev = Event { time, seq: self.next_seq(), kind };
+        let ev = Event {
+            time,
+            seq: self.next_seq(),
+            kind,
+        };
         self.queue.lock().push(Reverse(ev));
     }
 
@@ -137,7 +141,10 @@ impl SimState {
     pub fn new_completion(&self) -> CompletionId {
         let mut cs = self.completions.lock();
         let id = CompletionId(cs.len() as u64);
-        cs.push(Completion { done: false, waiters: Vec::new() });
+        cs.push(Completion {
+            done: false,
+            waiters: Vec::new(),
+        });
         id
     }
 
@@ -318,7 +325,11 @@ fn spawn_process(
         });
         pid
     };
-    let env = Env { pid, state: Arc::clone(state), resume_rx };
+    let env = Env {
+        pid,
+        state: Arc::clone(state),
+        resume_rx,
+    };
     let thread_state = Arc::clone(state);
     let handle = std::thread::Builder::new()
         .name(format!("sim-{name}"))
@@ -441,7 +452,10 @@ impl Simulation {
             blocked.is_empty(),
             "simulation deadlock: queue empty but processes blocked: {blocked:?}"
         );
-        SimReport { end_time_us: self.state.now_us(), events }
+        SimReport {
+            end_time_us: self.state.now_us(),
+            events,
+        }
     }
 
     fn step(&self, pid: ProcId) {
@@ -451,9 +465,15 @@ impl Simulation {
             if slot.done {
                 return;
             }
-            slot.resume_tx.send(Resume::Go).expect("process thread gone");
+            slot.resume_tx
+                .send(Resume::Go)
+                .expect("process thread gone");
         }
-        match self.yield_rx.recv().expect("process hung up without yielding") {
+        match self
+            .yield_rx
+            .recv()
+            .expect("process hung up without yielding")
+        {
             YieldMsg::Blocked(p, BlockReason::Sleep(until)) => {
                 self.state.push_event_at(until, EventKind::Wake(p));
             }

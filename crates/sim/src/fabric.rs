@@ -57,7 +57,10 @@ impl Default for ClusterParams {
 impl ClusterParams {
     /// The paper's testbed with `nodes` machines.
     pub fn grid5000(nodes: usize) -> Self {
-        Self { nodes, ..Self::default() }
+        Self {
+            nodes,
+            ..Self::default()
+        }
     }
 }
 
@@ -186,7 +189,9 @@ impl Fabric for SimFabric {
         if src != dst {
             self.stats.record_transfer(src, dst, bytes);
         }
-        let Some(env) = self.charging() else { return Ok(()) };
+        let Some(env) = self.charging() else {
+            return Ok(());
+        };
         if src == dst {
             return Ok(());
         }
@@ -205,7 +210,9 @@ impl Fabric for SimFabric {
                 self.stats.record_transfer(x.src, x.dst, x.bytes);
             }
         }
-        let Some(env) = self.charging() else { return Ok(()) };
+        let Some(env) = self.charging() else {
+            return Ok(());
+        };
         env.sleep_us(self.params.link_latency_us);
         let cids = self.start_flows(&env, xfers);
         env.wait_all(&cids);
@@ -228,7 +235,9 @@ impl Fabric for SimFabric {
         if src != dst {
             self.stats.record_rpc(src, dst, req_bytes, resp_bytes);
         }
-        let Some(env) = self.charging() else { return Ok(()) };
+        let Some(env) = self.charging() else {
+            return Ok(());
+        };
         if src == dst {
             return Ok(());
         }
@@ -244,7 +253,9 @@ impl Fabric for SimFabric {
     fn disk_read(&self, node: NodeId, bytes: u64) -> Result<(), NetError> {
         self.check(node)?;
         self.stats.record_disk_read(node, bytes);
-        let Some(env) = self.charging() else { return Ok(()) };
+        let Some(env) = self.charging() else {
+            return Ok(());
+        };
         let done = {
             let mut disks = self.state.disks.lock();
             disks.read(node.index(), self.state.now_us(), bytes)
@@ -258,10 +269,17 @@ impl Fabric for SimFabric {
     fn disk_write(&self, node: NodeId, bytes: u64) -> Result<(), NetError> {
         self.check(node)?;
         self.stats.record_disk_write(node, bytes);
-        let Some(env) = self.charging() else { return Ok(()) };
+        let Some(env) = self.charging() else {
+            return Ok(());
+        };
         let done = {
             let mut disks = self.state.disks.lock();
-            disks.write(node.index(), self.state.now_us(), bytes, WriteMode::WriteThrough)
+            disks.write(
+                node.index(),
+                self.state.now_us(),
+                bytes,
+                WriteMode::WriteThrough,
+            )
         };
         let cid = self.state.new_completion();
         self.state.complete_at(cid, done);
@@ -272,10 +290,17 @@ impl Fabric for SimFabric {
     fn disk_write_cached(&self, node: NodeId, bytes: u64) -> Result<(), NetError> {
         self.check(node)?;
         self.stats.record_disk_write(node, bytes);
-        let Some(env) = self.charging() else { return Ok(()) };
+        let Some(env) = self.charging() else {
+            return Ok(());
+        };
         let done = {
             let mut disks = self.state.disks.lock();
-            disks.write(node.index(), self.state.now_us(), bytes, WriteMode::WriteBack)
+            disks.write(
+                node.index(),
+                self.state.now_us(),
+                bytes,
+                WriteMode::WriteBack,
+            )
         };
         let cid = self.state.new_completion();
         self.state.complete_at(cid, done);
@@ -285,7 +310,9 @@ impl Fabric for SimFabric {
 
     fn disk_sync(&self, node: NodeId) -> Result<(), NetError> {
         self.check(node)?;
-        let Some(env) = self.charging() else { return Ok(()) };
+        let Some(env) = self.charging() else {
+            return Ok(());
+        };
         let done = {
             let mut disks = self.state.disks.lock();
             disks.sync(node.index(), self.state.now_us())

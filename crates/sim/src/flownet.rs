@@ -98,7 +98,13 @@ impl FlowNet {
         self.next_id += 1;
         self.flows.insert(
             id,
-            Flow { src, dst, remaining: bytes.max(1) as f64, rate: 0.0, completion },
+            Flow {
+                src,
+                dst,
+                remaining: bytes.max(1) as f64,
+                rate: 0.0,
+                completion,
+            },
         );
         self.generation += 1;
     }
@@ -173,7 +179,9 @@ impl FlowNet {
                     }
                 }
             }
-            let Some((share, is_out, node)) = best else { break };
+            let Some((share, is_out, node)) = best else {
+                break;
+            };
             if share.is_infinite() {
                 // No finite capacities left: remaining flows are unbounded;
                 // give them a very large finite rate to keep times sane.
@@ -186,7 +194,11 @@ impl FlowNet {
             let mut still = Vec::with_capacity(unfrozen.len());
             for id in unfrozen.drain(..) {
                 let f = &self.flows[&id];
-                let crosses = if is_out { f.src as usize == node } else { f.dst as usize == node };
+                let crosses = if is_out {
+                    f.src as usize == node
+                } else {
+                    f.dst as usize == node
+                };
                 if crosses {
                     frozen.insert(id, share);
                     rem_out[f.src as usize] = (rem_out[f.src as usize] - share).max(0.0);
@@ -331,8 +343,16 @@ mod tests {
             assert!(r > 0.0, "every flow must get bandwidth");
         }
         for i in 0..n {
-            assert!(out[i] <= 117.5 + 1e-6, "egress {i} over capacity: {}", out[i]);
-            assert!(inn[i] <= 117.5 + 1e-6, "ingress {i} over capacity: {}", inn[i]);
+            assert!(
+                out[i] <= 117.5 + 1e-6,
+                "egress {i} over capacity: {}",
+                out[i]
+            );
+            assert!(
+                inn[i] <= 117.5 + 1e-6,
+                "ingress {i} over capacity: {}",
+                inn[i]
+            );
         }
     }
 

@@ -53,8 +53,16 @@ impl Summary {
 
     /// Minimum sample (0 for empty).
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
-            .min(if self.samples.is_empty() { 0.0 } else { f64::INFINITY })
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+            .min(if self.samples.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            })
     }
 
     /// Maximum sample (0 for empty).

@@ -106,7 +106,11 @@ impl SimBarrier {
     pub fn new(state: Arc<SimState>, n: usize) -> Arc<Self> {
         assert!(n > 0);
         let gate = state.new_completion();
-        Arc::new(Self { state, n, inner: Mutex::new(BarrierInner { arrived: 0, gate }) })
+        Arc::new(Self {
+            state,
+            n,
+            inner: Mutex::new(BarrierInner { arrived: 0, gate }),
+        })
     }
 
     /// Block until all `n` participants arrive. The last arrival releases
@@ -150,7 +154,10 @@ impl SimLatch {
         if n == 0 {
             state.complete(gate);
         }
-        Arc::new(Self { state, inner: Mutex::new(LatchInner { remaining: n, gate }) })
+        Arc::new(Self {
+            state,
+            inner: Mutex::new(LatchInner { remaining: n, gate }),
+        })
     }
 
     /// Record one completion; the final call opens the gate.

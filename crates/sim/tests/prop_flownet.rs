@@ -2,19 +2,18 @@
 //! feasibility, max-min optimality conditions, and conservation of bytes
 //! through full simulated transfers.
 
+use bff_net::{Fabric, NodeId, Transfer};
 use bff_sim::engine::CompletionId;
 use bff_sim::{ClusterParams, DiskParams, FlowNet, SimCluster};
-use bff_net::{Fabric, NodeId, Transfer};
 use proptest::prelude::*;
 use std::sync::Arc;
 
 fn arb_flows(nodes: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..nodes, 0..nodes), 1..40)
-        .prop_map(move |v| {
-            v.into_iter()
-                .map(|(s, d)| if s == d { (s, (d + 1) % nodes) } else { (s, d) })
-                .collect()
-        })
+    prop::collection::vec((0..nodes, 0..nodes), 1..40).prop_map(move |v| {
+        v.into_iter()
+            .map(|(s, d)| if s == d { (s, (d + 1) % nodes) } else { (s, d) })
+            .collect()
+    })
 }
 
 proptest! {

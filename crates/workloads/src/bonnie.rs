@@ -88,22 +88,37 @@ impl BonnieConfig {
     /// are tiny inode-sized writes, matching how a guest filesystem turns
     /// them into journal/inode updates in the image.
     pub fn phase_ops(&self, phase: BonniePhase, seed: u64) -> Vec<VmOp> {
-        assert!(self.region_offset + self.working_set <= self.image_len, "region must fit");
+        assert!(
+            self.region_offset + self.working_set <= self.image_len,
+            "region must fit"
+        );
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xB0_11_1E_00);
         let blocks = self.working_set / self.block;
         match phase {
             BonniePhase::BlockWrite => (0..blocks)
-                .map(|b| VmOp::Write { offset: self.region_offset + b * self.block, len: self.block })
+                .map(|b| VmOp::Write {
+                    offset: self.region_offset + b * self.block,
+                    len: self.block,
+                })
                 .collect(),
             BonniePhase::BlockRead => (0..blocks)
-                .map(|b| VmOp::Read { offset: self.region_offset + b * self.block, len: self.block })
+                .map(|b| VmOp::Read {
+                    offset: self.region_offset + b * self.block,
+                    len: self.block,
+                })
                 .collect(),
             BonniePhase::BlockOverwrite => (0..blocks)
                 .flat_map(|b| {
                     let offset = self.region_offset + b * self.block;
                     [
-                        VmOp::Read { offset, len: self.block },
-                        VmOp::Write { offset, len: self.block },
+                        VmOp::Read {
+                            offset,
+                            len: self.block,
+                        },
+                        VmOp::Write {
+                            offset,
+                            len: self.block,
+                        },
                     ]
                 })
                 .collect(),
@@ -168,7 +183,16 @@ mod tests {
         let reads = c.phase_ops(BonniePhase::BlockRead, 1);
         assert_eq!(writes.len(), reads.len());
         for (w, r) in writes.iter().zip(&reads) {
-            let (VmOp::Write { offset: wo, len: wl }, VmOp::Read { offset: ro, len: rl }) = (w, r)
+            let (
+                VmOp::Write {
+                    offset: wo,
+                    len: wl,
+                },
+                VmOp::Read {
+                    offset: ro,
+                    len: rl,
+                },
+            ) = (w, r)
             else {
                 panic!("phase op kinds");
             };
@@ -180,7 +204,9 @@ mod tests {
     fn seeks_stay_in_region() {
         let c = BonnieConfig::scaled(1 << 20);
         for op in c.phase_ops(BonniePhase::RandomSeek, 2) {
-            let VmOp::Read { offset, len } = op else { panic!("seeks read") };
+            let VmOp::Read { offset, len } = op else {
+                panic!("seeks read")
+            };
             assert!(offset >= c.region_offset);
             assert!(offset + len <= c.region_offset + c.working_set);
         }
@@ -197,6 +223,9 @@ mod tests {
     #[test]
     fn labels_match_figures() {
         let labels: Vec<&str> = BonnieConfig::phases().iter().map(|p| p.label()).collect();
-        assert_eq!(labels, ["BlockW", "BlockR", "BlockO", "RndSeek", "CreatF", "DelF"]);
+        assert_eq!(
+            labels,
+            ["BlockW", "BlockR", "BlockO", "RndSeek", "CreatF", "DelF"]
+        );
     }
 }

@@ -93,7 +93,10 @@ impl BootProfile {
         };
 
         // BIOS/bootloader: the first sectors.
-        ops.push(VmOp::Read { offset: 0, len: 512.min(self.image_len) });
+        ops.push(VmOp::Read {
+            offset: 0,
+            len: 512.min(self.image_len),
+        });
         cpu(&mut rng, &mut ops);
 
         // Kernel + initrd: sequential from the front of the image.
@@ -121,9 +124,9 @@ impl BootProfile {
         while read_left > 0 {
             // File sizes: mostly small, occasionally large (shared libs).
             let file_len = match rng.gen_range(0..10u32) {
-                0..=5 => rng.gen_range(4 << 10..64 << 10u64),
-                6..=8 => rng.gen_range(64 << 10..256 << 10u64),
-                _ => rng.gen_range(256 << 10..1 << 20u64),
+                0..=5 => rng.gen_range(4u64 << 10..64 << 10),
+                6..=8 => rng.gen_range(64u64 << 10..256 << 10),
+                _ => rng.gen_range(256u64 << 10..1 << 20),
             }
             .min(read_left);
             // File placement: inside a band of the hot set, so different
@@ -131,8 +134,7 @@ impl BootProfile {
             let band = rng.gen_range(0..8u64);
             let band_base = band * (self.image_len / 8);
             let within = rng.gen_range(0..(hot_len / 8).max(1));
-            let mut offset =
-                (band_base + within).min(self.image_len.saturating_sub(file_len));
+            let mut offset = (band_base + within).min(self.image_len.saturating_sub(file_len));
             // Sequential requests through the file.
             let mut remaining = file_len;
             while remaining > 0 {
@@ -147,9 +149,14 @@ impl BootProfile {
             read_left -= file_len;
             file_no += 1;
             if file_no.is_multiple_of(write_every) && write_left > 0 {
-                let wlen = rng.gen_range(self.write_size.0..=self.write_size.1).min(write_left);
+                let wlen = rng
+                    .gen_range(self.write_size.0..=self.write_size.1)
+                    .min(write_left);
                 let woff = rng.gen_range(0..self.image_len.saturating_sub(wlen).max(1));
-                ops.push(VmOp::Write { offset: woff, len: wlen });
+                ops.push(VmOp::Write {
+                    offset: woff,
+                    len: wlen,
+                });
                 write_left -= wlen;
             }
         }
@@ -220,6 +227,12 @@ mod tests {
     fn starts_with_boot_sector() {
         let p = BootProfile::debian_2g();
         let ops = p.generate(9);
-        assert_eq!(ops[0], VmOp::Read { offset: 0, len: 512 });
+        assert_eq!(
+            ops[0],
+            VmOp::Read {
+                offset: 0,
+                len: 512
+            }
+        );
     }
 }

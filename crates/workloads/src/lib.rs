@@ -87,7 +87,10 @@ pub struct TraceTotals {
 
 /// Summarize a trace.
 pub fn totals(trace: &[VmOp]) -> TraceTotals {
-    let mut t = TraceTotals { ops: trace.len(), ..Default::default() };
+    let mut t = TraceTotals {
+        ops: trace.len(),
+        ..Default::default()
+    };
     for op in trace {
         t.read_bytes += op.read_bytes();
         t.write_bytes += op.write_bytes();
@@ -104,9 +107,15 @@ mod tests {
     fn totals_add_up() {
         let trace = [
             VmOp::Cpu { us: 10 },
-            VmOp::Read { offset: 0, len: 100 },
+            VmOp::Read {
+                offset: 0,
+                len: 100,
+            },
             VmOp::Write { offset: 5, len: 7 },
-            VmOp::Read { offset: 100, len: 50 },
+            VmOp::Read {
+                offset: 100,
+                len: 50,
+            },
         ];
         let t = totals(&trace);
         assert_eq!(t.read_bytes, 150);

@@ -75,7 +75,10 @@ impl WorkerPlan {
             // Save intermediate results (skip if the job just finished —
             // final results are reported, not checkpointed).
             if t < self.compute_us {
-                ops.push(VmOp::Write { offset: self.state_offset, len: self.state_bytes });
+                ops.push(VmOp::Write {
+                    offset: self.state_offset,
+                    len: self.state_bytes,
+                });
             }
         }
         ops
@@ -88,7 +91,10 @@ impl WorkerPlan {
 
     /// On resume, a worker reads its saved state back first.
     pub fn resume_prologue(&self) -> Vec<VmOp> {
-        vec![VmOp::Read { offset: self.state_offset, len: self.state_bytes }]
+        vec![VmOp::Read {
+            offset: self.state_offset,
+            len: self.state_bytes,
+        }]
     }
 }
 

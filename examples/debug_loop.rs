@@ -14,7 +14,11 @@ const STATE_AT: u64 = 8 << 20;
 /// The "application": a counter that corrupts itself at a threshold (the
 /// bug we are hunting).
 fn app_step(vm: &mut VmHandle, patched: bool) -> u64 {
-    let raw = vm.backend.read(STATE_AT..STATE_AT + 8).expect("read state").materialize();
+    let raw = vm
+        .backend
+        .read(STATE_AT..STATE_AT + 8)
+        .expect("read state")
+        .materialize();
     let mut counter = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
     counter += 1;
     // The bug: an unpatched binary corrupts the counter at 5.
@@ -34,7 +38,10 @@ fn main() {
         fabric,
         compute.clone(),
         NodeId(4),
-        BlobConfig { chunk_size: 64 << 10, ..Default::default() },
+        BlobConfig {
+            chunk_size: 64 << 10,
+            ..Default::default()
+        },
         Calibration::default(),
     );
     // The uploaded image has the counter initialized to zero.
@@ -52,7 +59,10 @@ fn main() {
         }
     }
     let checkpoint = cloud.snapshot_all(&mut vms).expect("checkpoint");
-    println!("checkpoint taken at counter=4 on {} instances", checkpoint.len());
+    println!(
+        "checkpoint taken at counter=4 on {} instances",
+        checkpoint.len()
+    );
 
     // Reproduce the bug from the live instances.
     for vm in vms.iter_mut() {
@@ -63,7 +73,9 @@ fn main() {
     // Debug loop: resume the checkpoint snapshots (on other nodes, they
     // are standalone images) and try candidate fixes iteratively.
     for (attempt, patched) in [(1, false), (2, true)] {
-        let mut lab = cloud.resume(&checkpoint, &compute).expect("resume checkpoint");
+        let mut lab = cloud
+            .resume(&checkpoint, &compute)
+            .expect("resume checkpoint");
         let mut ok = true;
         for vm in lab.iter_mut() {
             let c = app_step(vm, patched);
@@ -71,7 +83,11 @@ fn main() {
         }
         println!(
             "attempt {attempt} (patched={patched}): {}",
-            if ok { "fix holds, resuming for real" } else { "still broken, iterating" }
+            if ok {
+                "fix holds, resuming for real"
+            } else {
+                "still broken, iterating"
+            }
         );
         if ok {
             // The fixed run continues from where the app left off.

@@ -21,12 +21,18 @@ fn save_state(vm: &mut VmHandle, done: u64, inside: u64) {
     let mut buf = Vec::with_capacity(16);
     buf.extend(done.to_le_bytes());
     buf.extend(inside.to_le_bytes());
-    vm.backend.write(STATE_AT, Payload::from(buf)).expect("save state");
+    vm.backend
+        .write(STATE_AT, Payload::from(buf))
+        .expect("save state");
 }
 
 /// Load the tally back.
 fn load_state(vm: &mut VmHandle) -> (u64, u64) {
-    let raw = vm.backend.read(STATE_AT..STATE_AT + 16).expect("load state").materialize();
+    let raw = vm
+        .backend
+        .read(STATE_AT..STATE_AT + 16)
+        .expect("load state")
+        .materialize();
     (
         u64::from_le_bytes(raw[0..8].try_into().expect("8 bytes")),
         u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")),
@@ -55,10 +61,15 @@ fn main() {
         fabric,
         workers.iter().chain(&spare).copied().collect(),
         NodeId(16),
-        BlobConfig { chunk_size: 64 << 10, ..Default::default() },
+        BlobConfig {
+            chunk_size: 64 << 10,
+            ..Default::default()
+        },
         Calibration::default(),
     );
-    let (blob, v) = cloud.upload_image(Payload::synth(31415, 0, 8 << 20)).expect("upload");
+    let (blob, v) = cloud
+        .upload_image(Payload::synth(31415, 0, 8 << 20))
+        .expect("upload");
 
     // Phase 1: deploy on the first node set, compute half the samples,
     // checkpoint the tallies into the images, snapshot everything.
@@ -68,7 +79,10 @@ fn main() {
         save_state(vm, HALF, inside);
     }
     let snaps = cloud.snapshot_all(&mut vms).expect("global snapshot");
-    println!("suspended after {HALF} samples/worker; {} snapshots taken", snaps.len());
+    println!(
+        "suspended after {HALF} samples/worker; {} snapshots taken",
+        snaps.len()
+    );
     drop(vms); // original deployment terminated
 
     // Phase 2: resume every snapshot on a *different* node (spare set) —

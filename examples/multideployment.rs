@@ -9,17 +9,27 @@ use bff::cloud::experiments::{run_deployment, ExpScale, Strategy};
 use bff::cloud::params::Calibration;
 
 fn main() {
-    let scale = ExpScale { image_len: 64 << 20, chunk_size: 256 << 10 };
+    let scale = ExpScale {
+        image_len: 64 << 20,
+        chunk_size: 256 << 10,
+    };
     let n = 16;
     let cal = Calibration::default();
 
-    println!("deploying {n} instances of a {} MB image, three ways:\n", scale.image_len >> 20);
+    println!(
+        "deploying {n} instances of a {} MB image, three ways:\n",
+        scale.image_len >> 20
+    );
     println!(
         "{:<24} {:>14} {:>12} {:>12}",
         "strategy", "avg boot (s)", "total (s)", "traffic (GB)"
     );
     let mut totals = Vec::new();
-    for strategy in [Strategy::Prepropagation, Strategy::QcowOverPvfs, Strategy::Mirror] {
+    for strategy in [
+        Strategy::Prepropagation,
+        Strategy::QcowOverPvfs,
+        Strategy::Mirror,
+    ] {
         let out = run_deployment(strategy, n, scale, cal, None, 42);
         println!(
             "{:<24} {:>14.2} {:>12.2} {:>12.3}",

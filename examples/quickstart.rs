@@ -15,14 +15,20 @@ fn main() {
         fabric.clone(),
         compute.clone(),
         NodeId(8),
-        BlobConfig { chunk_size: 256 << 10, ..Default::default() },
+        BlobConfig {
+            chunk_size: 256 << 10,
+            ..Default::default()
+        },
         Calibration::default(),
     );
 
     // The client uploads a 64 MB image; it is striped automatically.
     let image = Payload::synth(2026, 0, 64 << 20);
     let (blob, version) = cloud.upload_image(image.clone()).expect("upload");
-    println!("uploaded {blob} as snapshot {version} ({} MB)", image.len() >> 20);
+    println!(
+        "uploaded {blob} as snapshot {version} ({} MB)",
+        image.len() >> 20
+    );
     fabric.stats().reset(); // count deployment traffic only
 
     // Multideployment: one instance per node. Nothing is copied —

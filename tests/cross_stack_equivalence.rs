@@ -29,7 +29,10 @@ fn trace() -> Vec<VmOp> {
 fn mirror_backend(fabric: Arc<dyn Fabric>) -> MirrorBackend {
     let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
     let topo = bff::blobseer::BlobTopology::colocated(&compute, NodeId(4));
-    let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+    let cfg = BlobConfig {
+        chunk_size: 64 << 10,
+        ..Default::default()
+    };
     let store = bff::blobseer::BlobStore::new(cfg, topo, fabric);
     let client = BlobClient::new(store, NodeId(0));
     let (blob, v) = client.upload(image()).unwrap();
@@ -39,7 +42,10 @@ fn mirror_backend(fabric: Arc<dyn Fabric>) -> MirrorBackend {
 fn qcow_backend(fabric: Arc<dyn Fabric>) -> QcowPvfsBackend {
     let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
     let pvfs = Pvfs::new(
-        PvfsConfig { stripe_size: 64 << 10, ..Default::default() },
+        PvfsConfig {
+            stripe_size: 64 << 10,
+            ..Default::default()
+        },
         compute,
         Arc::clone(&fabric),
     );
@@ -72,8 +78,14 @@ fn all_three_stacks_produce_identical_images() {
     let qc_img = final_image(&mut qc, &f3);
 
     assert!(raw_img.content_eq(&want), "raw local matches the model");
-    assert!(mir_img.content_eq(&want), "mirroring module matches the model");
-    assert!(qc_img.content_eq(&want), "qcow2-over-pvfs matches the model");
+    assert!(
+        mir_img.content_eq(&want),
+        "mirroring module matches the model"
+    );
+    assert!(
+        qc_img.content_eq(&want),
+        "qcow2-over-pvfs matches the model"
+    );
 }
 
 #[test]
@@ -96,8 +108,11 @@ fn simulated_and_local_execution_agree_byte_for_byte() {
     });
     let end_us = cluster.run();
     assert!(end_us > 0, "the simulated run consumed virtual time");
-    assert_eq!(digest.lock().expect("sim ran"), local_digest,
-        "virtual time changes timing, never contents");
+    assert_eq!(
+        digest.lock().expect("sim ran"),
+        local_digest,
+        "virtual time changes timing, never contents"
+    );
 }
 
 #[test]

@@ -1,8 +1,8 @@
 //! End-to-end semantics across the whole stack: client → middleware →
 //! mirroring module → versioning repository, on real bytes.
 
-use bff::prelude::*;
 use bff::core::{Ioctl, IoctlReply};
+use bff::prelude::*;
 
 const IMG: u64 = 4 << 20;
 
@@ -13,7 +13,10 @@ fn cloud(nodes: u32) -> (std::sync::Arc<LocalFabric>, Cloud) {
         fabric.clone(),
         compute,
         NodeId(nodes),
-        BlobConfig { chunk_size: 128 << 10, ..Default::default() },
+        BlobConfig {
+            chunk_size: 128 << 10,
+            ..Default::default()
+        },
         Calibration::default(),
     );
     (fabric, cloud)
@@ -60,7 +63,10 @@ fn repeated_global_snapshots_share_unmodified_content() {
         for vm in vms.iter_mut() {
             // One chunk of fresh data per VM per round.
             vm.backend
-                .write(round * (128 << 10), Payload::synth(100 + round, 0, 128 << 10))
+                .write(
+                    round * (128 << 10),
+                    Payload::synth(100 + round, 0, 128 << 10),
+                )
                 .unwrap();
         }
         all_snaps.extend(cloud.snapshot_all(&mut vms).unwrap());
@@ -69,8 +75,10 @@ fn repeated_global_snapshots_share_unmodified_content() {
     let stored = cloud.store().total_stored_bytes();
     assert_eq!(stored - base_stored, 4 * 5 * (128 << 10));
     let report = cloud.storage_report(&all_snaps);
-    assert!(report.stored_bytes * 10 < report.naive_full_copy_bytes,
-        ">90% storage saved: {report:?}");
+    assert!(
+        report.stored_bytes * 10 < report.naive_full_copy_bytes,
+        ">90% storage saved: {report:?}"
+    );
 }
 
 #[test]
@@ -86,7 +94,8 @@ fn vfs_facade_end_to_end() {
     let got = vfs.read(fd, 4096, 1000).unwrap();
     assert!(got.content_eq(&image.slice(4096, 5096)));
     // Write, then ioctl CLONE + COMMIT like the control agent would.
-    vfs.write(fd, 0, Payload::from(b"#!contextualized".to_vec())).unwrap();
+    vfs.write(fd, 0, Payload::from(b"#!contextualized".to_vec()))
+        .unwrap();
     let IoctlReply::Cloned(new_blob) = vfs.ioctl(fd, Ioctl::Clone).unwrap() else {
         panic!("clone reply")
     };
@@ -96,7 +105,9 @@ fn vfs_facade_end_to_end() {
     vfs.close(fd).unwrap();
     // The snapshot is visible cloud-wide as a raw image.
     let full = cloud.download_image(new_blob, new_v).unwrap();
-    assert!(full.slice(0, 16).content_eq(&Payload::from(b"#!contextualized".to_vec())));
+    assert!(full
+        .slice(0, 16)
+        .content_eq(&Payload::from(b"#!contextualized".to_vec())));
 }
 
 #[test]
@@ -104,7 +115,10 @@ fn elastic_deployment_add_instances_mid_flight() {
     let (_f, cloud) = cloud(4);
     let (blob, v) = cloud.upload_image(Payload::synth(4, 0, IMG)).unwrap();
     let mut vms = cloud.deploy(blob, v, &[NodeId(0), NodeId(1)]).unwrap();
-    vms[0].backend.write(0, Payload::from(vec![5u8; 64])).unwrap();
+    vms[0]
+        .backend
+        .write(0, Payload::from(vec![5u8; 64]))
+        .unwrap();
     // Scale out: two more instances join from the same snapshot.
     for n in [NodeId(2), NodeId(3)] {
         vms.push(cloud.add_instance(blob, v, n).unwrap());

@@ -14,7 +14,11 @@ fn setup(replication: usize) -> (Arc<LocalFabric>, BlobClient, BlobId, Version) 
     let fabric = LocalFabric::new(7);
     let compute: Vec<NodeId> = (0..6).map(NodeId).collect();
     let topo = BlobTopology::colocated(&compute, NodeId(6));
-    let cfg = BlobConfig { chunk_size: 64 << 10, replication, ..Default::default() };
+    let cfg = BlobConfig {
+        chunk_size: 64 << 10,
+        replication,
+        ..Default::default()
+    };
     let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
     let client = BlobClient::new(store, NodeId(0));
     let (blob, v) = client.upload(Payload::synth(0xFA11, 0, IMG)).unwrap();
@@ -36,10 +40,12 @@ fn replicated_deployment_survives_any_single_loss() {
     for victim in 1..6u32 {
         let (fabric, client, blob, v) = setup(2);
         fabric.fail_node(NodeId(victim));
-        let mut backend =
-            MirrorBackend::open(client, blob, v, &Calibration::default()).unwrap();
+        let mut backend = MirrorBackend::open(client, blob, v, &Calibration::default()).unwrap();
         let got = backend.read(0..IMG).unwrap();
-        assert!(got.content_eq(&Payload::synth(0xFA11, 0, IMG)), "victim {victim}");
+        assert!(
+            got.content_eq(&Payload::synth(0xFA11, 0, IMG)),
+            "victim {victim}"
+        );
     }
 }
 
@@ -95,11 +101,16 @@ fn commit_fails_cleanly_when_target_provider_down() {
     // Kill a provider; round-robin allocation will hit it for some chunk
     // of a large enough commit.
     fabric.fail_node(NodeId(4));
-    backend.write(1 << 20, Payload::synth(5, 0, 512 << 10)).unwrap();
+    backend
+        .write(1 << 20, Payload::synth(5, 0, 512 << 10))
+        .unwrap();
     let res = backend.snapshot();
     assert!(res.is_err(), "commit must surface the failure");
     // The base version is still fully consistent for re-deployments.
     fabric.recover_node(NodeId(4));
     let got = backend.read(0..100).unwrap();
-    assert!(got.content_eq(&Payload::from(vec![1u8; 100])), "local state intact");
+    assert!(
+        got.content_eq(&Payload::from(vec![1u8; 100])),
+        "local state intact"
+    );
 }

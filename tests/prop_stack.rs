@@ -14,19 +14,16 @@ fn fresh_mirror(seed: u64, cfg: MirrorConfig) -> (BlobClient, MirroredImage, Vec
     let fabric = LocalFabric::new(4);
     let compute: Vec<NodeId> = (0..3).map(NodeId).collect();
     let topo = BlobTopology::colocated(&compute, NodeId(3));
-    let bcfg = BlobConfig { chunk_size: CHUNK, ..Default::default() };
+    let bcfg = BlobConfig {
+        chunk_size: CHUNK,
+        ..Default::default()
+    };
     let store = BlobStore::new(bcfg, topo, fabric as Arc<dyn Fabric>);
     let client = BlobClient::new(store, NodeId(0));
     let image = Payload::synth(seed, 0, IMG);
     let (blob, v) = client.upload(image.clone()).unwrap();
-    let img = MirroredImage::open(
-        client.clone(),
-        blob,
-        v,
-        Box::new(MemStore::new(IMG)),
-        cfg,
-    )
-    .unwrap();
+    let img =
+        MirroredImage::open(client.clone(), blob, v, Box::new(MemStore::new(IMG)), cfg).unwrap();
     (client, img, image.materialize())
 }
 
@@ -39,9 +36,13 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..IMG, 1..3000u64).prop_map(|(o, l)| Op::Read(o.min(IMG - 1), l.min(IMG - o.min(IMG - 1)).max(1))),
-        (0..IMG, 1..3000u64, any::<u64>())
-            .prop_map(|(o, l, s)| Op::Write(o.min(IMG - 1), l.min(IMG - o.min(IMG - 1)).max(1), s)),
+        (0..IMG, 1..3000u64)
+            .prop_map(|(o, l)| Op::Read(o.min(IMG - 1), l.min(IMG - o.min(IMG - 1)).max(1))),
+        (0..IMG, 1..3000u64, any::<u64>()).prop_map(|(o, l, s)| Op::Write(
+            o.min(IMG - 1),
+            l.min(IMG - o.min(IMG - 1)).max(1),
+            s
+        )),
         Just(Op::Commit),
     ]
 }

@@ -17,7 +17,10 @@ fn shared_store() -> (Arc<BlobStore>, BlobId, Version, Payload) {
     let fabric = LocalFabric::new(THREADS + 1);
     let compute: Vec<NodeId> = (0..THREADS as u32).map(NodeId).collect();
     let topo = BlobTopology::colocated(&compute, NodeId(THREADS as u32));
-    let cfg = BlobConfig { chunk_size: 64 << 10, ..Default::default() };
+    let cfg = BlobConfig {
+        chunk_size: 64 << 10,
+        ..Default::default()
+    };
     let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
     let image = Payload::synth(0x7EAD, 0, IMG);
     let client = BlobClient::new(Arc::clone(&store), NodeId(0));
@@ -34,8 +37,7 @@ fn concurrent_boots_read_identical_content() {
             let image = image.clone();
             s.spawn(move || {
                 let client = BlobClient::new(store, NodeId(i as u32));
-                let mut b =
-                    MirrorBackend::open(client, blob, v, &Calibration::default()).unwrap();
+                let mut b = MirrorBackend::open(client, blob, v, &Calibration::default()).unwrap();
                 // Interleaved partial reads, then the whole image.
                 for k in 0..8u64 {
                     let at = (k * 293_339) % (IMG - 10_000);
@@ -62,15 +64,20 @@ fn concurrent_snapshots_commute() {
                         MirrorBackend::open(client, blob, v, &Calibration::default()).unwrap();
                     // Every thread writes its own mark and snapshots
                     // twice, racing against all the others.
-                    b.write(1000 * i as u64, Payload::from(vec![i as u8 + 1; 500])).unwrap();
+                    b.write(1000 * i as u64, Payload::from(vec![i as u8 + 1; 500]))
+                        .unwrap();
                     b.snapshot().unwrap();
-                    b.write(IMG / 2, Payload::from(vec![i as u8 + 1; 64])).unwrap();
+                    b.write(IMG / 2, Payload::from(vec![i as u8 + 1; 64]))
+                        .unwrap();
                     b.snapshot().unwrap();
                     (b.blob(), b.version())
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
     });
     // All clones are distinct and each holds exactly its own writes.
     let verifier = BlobClient::new(Arc::clone(&store), NodeId(0));
@@ -80,7 +87,10 @@ fn concurrent_snapshots_commute() {
             .clone()
             .overwrite(1000 * i as u64, Payload::from(vec![i as u8 + 1; 500]))
             .overwrite(IMG / 2, Payload::from(vec![i as u8 + 1; 64]));
-        assert!(got.content_eq(&expect), "snapshot {i} isolated under concurrency");
+        assert!(
+            got.content_eq(&expect),
+            "snapshot {i} isolated under concurrency"
+        );
     }
     // The origin is untouched.
     let orig = verifier.read(blob, v, 0..IMG).unwrap();
@@ -88,7 +98,7 @@ fn concurrent_snapshots_commute() {
     // Storage stays shared: far below one full image per snapshot.
     let stored = store.total_stored_bytes();
     assert!(
-        stored < IMG + THREADS as u64 * (3 * 64 << 10),
+        stored < IMG + THREADS as u64 * ((3 * 64) << 10),
         "stored {stored} should be near one image"
     );
 }
@@ -109,7 +119,10 @@ fn concurrent_commits_to_one_blob_conflict_cleanly() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
     });
     let wins = results.iter().filter(|r| r.is_ok()).count();
     assert_eq!(wins, 1, "exactly one racer publishes version 2");

@@ -1,0 +1,152 @@
+//! Offline shim of the `bytes` crate: a cheaply cloneable, sliceable byte
+//! buffer backed by `Arc<[u8]>`. Implements exactly the API surface the
+//! workspace uses (`copy_from_slice`, `slice`, `Deref<Target = [u8]>`,
+//! `From<Vec<u8>>`); drop-in replaceable by the real crate when a registry
+//! is available.
+
+use std::fmt;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A reference-counted, sliceable view into an immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::from_vec(Vec::new())
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from_vec(data.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Self {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-view sharing the same backing buffer (O(1), no copy).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice {begin}..{end} out of bounds (len {len})"
+        );
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter().take(32) {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        if self.len() > 32 {
+            write!(f, "…")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::copy_from_slice(s.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_and_clamps() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let s = b.slice(6..11);
+        assert_eq!(&s[..], b"world");
+        let s2 = s.slice(1..3);
+        assert_eq!(&s2[..], b"or");
+        assert_eq!(b.len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_oob_panics() {
+        Bytes::copy_from_slice(b"ab").slice(1..4);
+    }
+}

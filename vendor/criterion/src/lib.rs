@@ -1,0 +1,303 @@
+//! Offline shim of `criterion`: a minimal but honest micro-benchmark
+//! harness with the same macro/API surface the workspace's benches use.
+//! Each benchmark is auto-calibrated to a target measurement time, run as
+//! several samples, and reported as the median ns/iteration (with min/max
+//! spread). Set `BFF_BENCH_JSON=<path>` to also append one JSON object per
+//! benchmark — the workspace's `BENCH_*.json` perf trajectory hooks into
+//! that. `BFF_BENCH_FAST=1` cuts calibration for smoke runs.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized (ignored by this shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Iterations per sample used.
+    pub iters: u64,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    target: Duration,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let fast = std::env::var("BFF_BENCH_FAST").is_ok_and(|v| v != "0");
+        Self {
+            target: if fast {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(200)
+            },
+            samples: if fast { 3 } else { 11 },
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let m = run_benchmark(name.to_string(), None, self.target, self.samples, f);
+        report(&m);
+        self.results.push(m);
+    }
+
+    /// Dump collected results; called by `criterion_group!` at group end.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("BFF_BENCH_JSON") {
+            let mut out = String::new();
+            for m in &self.results {
+                let tp = match m.throughput {
+                    Some(Throughput::Bytes(b)) => format!(
+                        ",\"throughput_bytes\":{b},\"mib_per_s\":{:.1}",
+                        b as f64 / (m.median_ns / 1e9) / (1 << 20) as f64
+                    ),
+                    Some(Throughput::Elements(e)) => format!(",\"throughput_elems\":{e}"),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{{\"bench\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters\":{}{}}}\n",
+                    m.id, m.median_ns, m.min_ns, m.max_ns, m.iters, tp
+                ));
+            }
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = f.write_all(out.as_bytes());
+            }
+        }
+    }
+}
+
+/// A named group; benchmarks report as `group/name`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, tp: Throughput) {
+        self.throughput = Some(tp);
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, name);
+        let m = run_benchmark(id, self.throughput, self.c.target, self.c.samples, f);
+        report(&m);
+        self.c.results.push(m);
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; drives the measured iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `f` over the configured number of iterations.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` only, constructing a fresh input with `setup`
+    /// outside the timed region each iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark(
+    id: String,
+    throughput: Option<Throughput>,
+    target: Duration,
+    samples: usize,
+    mut f: impl FnMut(&mut Bencher),
+) -> Measurement {
+    // Calibrate: find an iteration count whose sample takes >= target/samples.
+    let per_sample = target / samples as u32;
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= per_sample || iters >= 1 << 30 {
+            break;
+        }
+        let scale = (per_sample.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9)).min(1024.0);
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    }
+    // Measure.
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("time is finite"));
+    Measurement {
+        id,
+        median_ns: per_iter_ns[per_iter_ns.len() / 2],
+        min_ns: per_iter_ns[0],
+        max_ns: *per_iter_ns.last().expect("samples > 0"),
+        iters,
+        throughput,
+    }
+}
+
+fn report(m: &Measurement) {
+    let human = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    let tp = match m.throughput {
+        Some(Throughput::Bytes(b)) => {
+            let mibs = b as f64 / (m.median_ns / 1e9) / (1 << 20) as f64;
+            format!("  thrpt: {mibs:.1} MiB/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{:<44} time: [{} {} {}]{}",
+        m.id,
+        human(m.min_ns),
+        human(m.median_ns),
+        human(m.max_ns),
+        tp
+    );
+}
+
+/// Define a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("BFF_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1024u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 1024],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert!(c.results.iter().all(|m| m.median_ns > 0.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline shim of `crossbeam`: multi-producer multi-consumer channels
+//! (both `Sender` and `Receiver` are `Clone`, matching crossbeam's
+//! semantics which std::sync::mpsc lacks), built on a mutex + condvars.
+//! Only the `channel` module is provided — the subset this workspace uses.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when an item arrives or all senders drop.
+        readable: Condvar,
+        /// Signalled when space frees up or all receivers drop.
+        writable: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// The sending half; cloneable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded channel: sends block while `cap` items are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        // A zero-capacity crossbeam channel is a rendezvous; this shim
+        // approximates it with capacity 1, which preserves ordering and
+        // never deadlocks callers that would have rendezvoused.
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = inner.capacity.is_some_and(|c| inner.queue.len() >= c);
+                if !full {
+                    inner.queue.push_back(value);
+                    self.shared.readable.notify_one();
+                    return Ok(());
+                }
+                inner = self
+                    .shared
+                    .writable
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a value, blocking until one arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .readable
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            match inner.queue.pop_front() {
+                Some(v) => {
+                    self.shared.writable.notify_one();
+                    Ok(v)
+                }
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator draining the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                self.shared.writable.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn baton_roundtrip() {
+            let (tx, rx) = bounded::<u32>(1);
+            let rx2 = rx.clone();
+            let h = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(7).unwrap();
+            assert_eq!(h.join().unwrap(), 7);
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(2).is_err());
+        }
+
+        #[test]
+        fn iter_drains() {
+            let (tx, rx) = unbounded();
+            for i in 0..3 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        }
+    }
+}
