@@ -43,13 +43,13 @@ impl NodeIo for MemIo {
 }
 
 fn full_tree(io: &mut MemIo, span: u64) -> NodeKey {
-    let updates: HashMap<u64, ChunkDesc> = (0..span)
+    let updates: bff_data::FastMap<u64, ChunkDesc> = (0..span)
         .map(|i| {
             (
                 i,
                 ChunkDesc {
                     id: ChunkId(i + 1),
-                    replicas: vec![NodeId((i % 8) as u32)],
+                    replicas: [NodeId((i % 8) as u32)].into(),
                 },
             )
         })
@@ -64,13 +64,13 @@ fn bench_segtree(c: &mut Criterion) {
     group.bench_function("shadow_commit_60_chunks", |b| {
         let mut io = MemIo::default();
         let root = full_tree(&mut io, span);
-        let updates: HashMap<u64, ChunkDesc> = (0..60u64)
+        let updates: bff_data::FastMap<u64, ChunkDesc> = (0..60u64)
             .map(|i| {
                 (
                     i * 136,
                     ChunkDesc {
                         id: ChunkId(100_000 + i),
-                        replicas: vec![NodeId(0)],
+                        replicas: [NodeId(0)].into(),
                     },
                 )
             })

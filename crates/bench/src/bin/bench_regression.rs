@@ -1,0 +1,133 @@
+//! CI perf-regression gate: compare the criterion read/write pipeline
+//! benches against the committed `BENCH_*.json` baseline.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_regression --results bench-results.jsonl --baseline BENCH_2.json
+//! ```
+//!
+//! `--results` is the `BFF_BENCH_JSON` jsonl the criterion shim appends
+//! (pass it several times to merge files). The gate checks *speedup
+//! ratios* (sequential reference ÷ batched pipeline), not absolute
+//! nanoseconds, so it is immune to runner hardware differences; within a
+//! run it uses each bench's `min_ns` — the least-interference estimator
+//! on noisy shared CI machines. A check fails when a ratio drops more
+//! than `regression_tolerance` below the baseline ratio, or below the
+//! corresponding hard floor recorded in the baseline.
+
+use std::process::ExitCode;
+
+/// Extract the first number following `"key":` in a JSON text. Good for
+/// the flat objects the criterion shim emits and the top-level scalar
+/// fields of `BENCH_*.json` — not a general JSON parser.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `min_ns` of the named bench across all results lines.
+fn min_ns(lines: &[String], bench: &str) -> Option<f64> {
+    let needle = format!("\"bench\":\"{bench}\"");
+    lines
+        .iter()
+        .filter(|l| l.contains(&needle))
+        .filter_map(|l| json_number(l, "min_ns"))
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+struct Check {
+    name: &'static str,
+    /// Ratio: reference bench ÷ pipeline bench (higher is better).
+    reference: &'static str,
+    pipeline: &'static str,
+    /// Baseline key holding the recorded ratio.
+    baseline_key: &'static str,
+    /// Baseline key holding the hard floor.
+    floor_key: &'static str,
+}
+
+const CHECKS: &[Check] = &[
+    Check {
+        name: "read: vectored read_multi vs per-run reads",
+        reference: "cold_boot_sweep/per_run_reads",
+        pipeline: "cold_boot_sweep/read_multi",
+        baseline_key: "cold_boot_sweep_speedup",
+        floor_key: "cold_boot_sweep_floor",
+    },
+    Check {
+        name: "write: fan-out batched vs sequential pushes",
+        reference: "cold_write_sweep/sequential_push",
+        pipeline: "cold_write_sweep/fanout_batched",
+        baseline_key: "cold_write_sweep_speedup_fanout",
+        floor_key: "cold_write_sweep_floor",
+    },
+    Check {
+        name: "write: chain batched vs sequential pushes",
+        reference: "cold_write_sweep/sequential_push",
+        pipeline: "cold_write_sweep/chain_batched",
+        baseline_key: "cold_write_sweep_speedup_chain",
+        floor_key: "cold_write_sweep_floor",
+    },
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut results: Vec<String> = Vec::new();
+    let mut baseline_path = String::from("BENCH_2.json");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--results" => {
+                let path = args.next().expect("--results needs a path");
+                let text =
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+                results.extend(text.lines().map(str::to_string));
+            }
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!results.is_empty(), "no --results provided");
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let tolerance = json_number(&baseline, "regression_tolerance").unwrap_or(0.25);
+
+    let mut failed = false;
+    println!("perf-regression gate vs {baseline_path} (tolerance {tolerance})");
+    for check in CHECKS {
+        let (Some(refr), Some(pipe)) = (
+            min_ns(&results, check.reference),
+            min_ns(&results, check.pipeline),
+        ) else {
+            println!("FAIL {}: benches missing from results", check.name);
+            failed = true;
+            continue;
+        };
+        let current = refr / pipe;
+        let recorded = json_number(&baseline, check.baseline_key)
+            .unwrap_or_else(|| panic!("baseline missing {}", check.baseline_key));
+        let floor = json_number(&baseline, check.floor_key)
+            .unwrap_or_else(|| panic!("baseline missing {}", check.floor_key));
+        let threshold = (recorded * (1.0 - tolerance)).max(floor);
+        let ok = current >= threshold;
+        println!(
+            "{} {}: {:.2}x (baseline {recorded:.2}x, threshold {threshold:.2}x, floor {floor:.2}x)",
+            if ok { "ok  " } else { "FAIL" },
+            check.name,
+            current,
+        );
+        failed |= !ok;
+    }
+    if failed {
+        println!("perf regression detected: batched pipelines regressed >{tolerance} vs baseline");
+        ExitCode::FAILURE
+    } else {
+        println!("all pipeline speedups within tolerance");
+        ExitCode::SUCCESS
+    }
+}

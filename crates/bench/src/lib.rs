@@ -131,6 +131,29 @@ impl Table {
             writeln!(f, "{}", row.join(",")).expect("write csv");
         }
         println!("[written {}]", path.display());
+        // JSON (one object per row) — the format CI uploads as artifacts.
+        let path = output_dir().join(format!("{}.json", self.name));
+        fs::write(&path, self.to_json()).expect("write json");
+        println!("[written {}]", path.display());
+    }
+
+    /// The table as a JSON array of row objects (cells as strings).
+    pub fn to_json(&self) -> String {
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| format!("\"{}\":\"{}\"", escape(h), escape(c)))
+                    .collect();
+                format!("  {{{}}}", fields.join(","))
+            })
+            .collect();
+        format!("[\n{}\n]\n", rows.join(",\n"))
     }
 }
 
@@ -155,6 +178,8 @@ mod tests {
         t.emit();
         let csv = fs::read_to_string(output_dir().join("unit-test-table.csv")).unwrap();
         assert_eq!(csv, "a,b\n1,2.500\n");
+        let json = fs::read_to_string(output_dir().join("unit-test-table.json")).unwrap();
+        assert_eq!(json, "[\n  {\"a\":\"1\",\"b\":\"2.500\"}\n]\n");
     }
 
     #[test]

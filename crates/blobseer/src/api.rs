@@ -3,6 +3,7 @@
 
 use bff_net::{NetError, NodeId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a BLOB (one VM image lineage).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,12 +49,17 @@ impl fmt::Display for Version {
 }
 
 /// Where a chunk's replicas live.
+///
+/// Replica sets are shared (`Arc`) rather than owned: a descriptor is
+/// cloned many times per commit (tree leaf, metadata shard, descriptor
+/// caches), and sharing the set makes each clone a refcount bump instead
+/// of a heap allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkDesc {
     /// The stored chunk.
     pub id: ChunkId,
     /// Provider nodes holding a replica, in allocation order.
-    pub replicas: Vec<NodeId>,
+    pub replicas: Arc<[NodeId]>,
 }
 
 /// A metadata segment-tree node (Fig. 3 of the paper).
@@ -78,6 +84,28 @@ pub enum TreeNode {
     },
 }
 
+/// How chunk replicas are pushed to their providers on write.
+///
+/// All modes move the same payload bytes and leave byte-identical
+/// provider state; they differ in how the transfers are shaped, which is
+/// what the fabric's per-message and per-link costs see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// The client pushes every replica itself, with all pushes grouped by
+    /// destination provider into one batched transfer each. Highest
+    /// client egress (`k×` the payload), lowest replication latency depth.
+    Fanout,
+    /// The client pushes each chunk group to its first replica only; each
+    /// replica forwards the batch to the next one in the descriptor's
+    /// replica order. Client egress is `1×` the payload; the forwarding
+    /// load rides the providers' links.
+    Chain,
+    /// The pre-batching reference path: one push per chunk, replicas in
+    /// sequence. Kept for equivalence tests and as the perf baseline the
+    /// `bench-regression` CI gate measures the batched modes against.
+    Sequential,
+}
+
 /// Service configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct BlobConfig {
@@ -85,6 +113,8 @@ pub struct BlobConfig {
     pub chunk_size: u64,
     /// Number of replicas per chunk. Paper's headline runs: 1.
     pub replication: usize,
+    /// How replicas are pushed on write (see [`ReplicationMode`]).
+    pub replication_mode: ReplicationMode,
     /// Providers acknowledge writes after the page cache absorbs them
     /// (§5.3: "BlobSeer uses an asynchronous write strategy that returns
     /// to the client before data was committed to disk").
@@ -103,6 +133,7 @@ impl Default for BlobConfig {
         Self {
             chunk_size: 256 << 10,
             replication: 1,
+            replication_mode: ReplicationMode::Fanout,
             async_writes: true,
             provider_read_cache: true,
             node_bytes: 96,

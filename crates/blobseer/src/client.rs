@@ -4,14 +4,16 @@
 //! locally — tree nodes are immutable, so caching is trivially coherent)
 //! and then fetch the covered chunks *in parallel* from their providers,
 //! which is what distributes the I/O workload under the multideployment
-//! pattern (§3.1.3). Writes allocate providers round-robin, push chunks in
-//! parallel, shadow the metadata tree, and publish the new snapshot at the
-//! version manager.
+//! pattern (§3.1.3). Writes allocate providers round-robin (skipping
+//! providers the fabric reports down), push chunks through the batched
+//! replication pipeline, shadow the metadata tree, and publish the new
+//! snapshot at the version manager.
 //!
 //! # The vectored read pipeline
 //!
 //! [`Client::read_multi`] is the batched data plane the mirroring module
-//! drives. It differs from per-run [`Client::read`] loops in three ways:
+//! drives; per-run [`Client::read`] is a thin wrapper over it. It differs
+//! from a per-run read loop in three ways:
 //!
 //! 1. **Single descent** — all requested runs are planned in one
 //!    level-by-level walk of the segment tree
@@ -28,13 +30,37 @@
 //! 3. **Per-provider batching** — the chunk fetches of the whole plan are
 //!    grouped by provider and issued as one batched transfer each, with
 //!    per-chunk replica failover as the fallback path.
+//!
+//! # The batched replication write pipeline
+//!
+//! [`Client::write_chunks`] is the write-side twin. The update set is
+//! pushed according to [`ReplicationMode`]:
+//!
+//! * **Fan-out** (default) — every `(chunk, replica)` pair is grouped by
+//!   destination provider; each provider receives its whole group as one
+//!   batched transfer + one batched (write-back) disk write, providers in
+//!   parallel. The sharded [`crate::provider::ProviderStore`] means those
+//!   parallel pushes never contend on a shared lock.
+//! * **Chain** — chunks sharing a replica chain are pushed once to the
+//!   first replica, which forwards the batch down the chain, so the
+//!   client's egress is `1×` the payload.
+//! * **Sequential** — the pre-batching reference (one push per chunk,
+//!   replicas in order), kept for equivalence tests and as the baseline
+//!   the CI `bench-regression` gate measures against.
+//!
+//! All modes have *per-replica failover*: a replica that cannot take its
+//! batch (down node, mid-transfer failure) is dropped from the published
+//! chunk descriptor rather than failing the write; the write only errors
+//! if a chunk retains no replica at all.
 
 use crate::api::{
-    BlobConfig, BlobError, BlobId, BlobResult, ChunkDesc, NodeKey, TreeNode, Version,
+    BlobConfig, BlobError, BlobId, BlobResult, ChunkDesc, NodeKey, ReplicationMode, TreeNode,
+    Version,
 };
 use crate::meta::partition_of;
 use crate::segtree::{self, NodeIo};
 use crate::service::BlobStore;
+use bff_data::FastMap;
 use bff_data::{chunk_cover, chunk_range, intersect, ByteRange, Payload, RangeSet};
 use bff_net::{NetError, NodeId};
 use parking_lot::Mutex;
@@ -61,7 +87,7 @@ struct DescCache {
     /// Chunk-index ranges already resolved against the metadata plane.
     resolved: RangeSet,
     /// Descriptors of the resolved chunks that exist.
-    descs: HashMap<u64, ChunkDesc>,
+    descs: FastMap<u64, ChunkDesc>,
 }
 
 /// Entries kept in the per-client descriptor cache before wholesale
@@ -74,9 +100,9 @@ const DESC_CACHE_VERSIONS: usize = 64;
 pub struct Client {
     store: Arc<BlobStore>,
     node: NodeId,
-    version_cache: Arc<Mutex<HashMap<(BlobId, Version), VersionMeta>>>,
-    node_cache: Arc<Mutex<HashMap<NodeKey, TreeNode>>>,
-    desc_cache: Arc<Mutex<HashMap<(BlobId, Version), DescCache>>>,
+    version_cache: Arc<Mutex<FastMap<(BlobId, Version), VersionMeta>>>,
+    node_cache: Arc<Mutex<FastMap<NodeKey, TreeNode>>>,
+    desc_cache: Arc<Mutex<FastMap<(BlobId, Version), DescCache>>>,
     /// Diagnostic: number of `NodeIo::fetch` rounds issued (tests assert
     /// the single-descent bound; see `read_multi`).
     meta_fetch_calls: Arc<AtomicU64>,
@@ -88,9 +114,9 @@ impl Client {
         Self {
             store,
             node,
-            version_cache: Arc::new(Mutex::new(HashMap::new())),
-            node_cache: Arc::new(Mutex::new(HashMap::new())),
-            desc_cache: Arc::new(Mutex::new(HashMap::new())),
+            version_cache: Arc::new(Mutex::new(FastMap::default())),
+            node_cache: Arc::new(Mutex::new(FastMap::default())),
+            desc_cache: Arc::new(Mutex::new(FastMap::default())),
             meta_fetch_calls: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -139,7 +165,7 @@ impl Client {
 
     /// Insert with wholesale eviction once the version bound is hit.
     fn desc_cache_insert(
-        cache: &mut HashMap<(BlobId, Version), DescCache>,
+        cache: &mut FastMap<(BlobId, Version), DescCache>,
         key: (BlobId, Version),
         entry: DescCache,
     ) {
@@ -150,7 +176,7 @@ impl Client {
     /// place the eviction policy lives (wholesale clear at the version
     /// bound; entries are never *stale*, the bound only caps memory).
     fn desc_cache_entry(
-        cache: &mut HashMap<(BlobId, Version), DescCache>,
+        cache: &mut FastMap<(BlobId, Version), DescCache>,
         key: (BlobId, Version),
     ) -> &mut DescCache {
         if cache.len() >= DESC_CACHE_VERSIONS && !cache.contains_key(&key) {
@@ -199,78 +225,15 @@ impl Client {
     }
 
     /// Read `range` of `(blob, version)`. Unwritten regions read as
-    /// zeros. Chunks are fetched in parallel from their providers, with
-    /// replica failover.
+    /// zeros. A thin wrapper over the vectored [`Client::read_multi`]
+    /// pipeline (one-range plan), so even single-range callers get the
+    /// descriptor cache and batched per-provider fetches with replica
+    /// failover.
     pub fn read(&self, blob: BlobId, version: Version, range: Range<u64>) -> BlobResult<Payload> {
-        let meta = self.version_meta(blob, version)?;
-        if range.start > range.end || range.end > meta.size {
-            return Err(BlobError::OutOfBounds {
-                offset: range.start,
-                len: range.end.saturating_sub(range.start),
-                size: meta.size,
-            });
-        }
-        if range.start == range.end {
-            return Ok(Payload::empty());
-        }
-        let cover = chunk_cover(&range, meta.chunk_size);
-        let leaves = {
-            let mut io = ClientNodeIo { client: self };
-            segtree::collect_leaves(&mut io, meta.root, meta.span, &cover)?
-        };
-        // Parallel chunk fetch.
-        let by_index: HashMap<u64, ChunkDesc> = leaves.into_iter().collect();
-        let mut fetch: Vec<(u64, ChunkDesc, u64)> = Vec::new(); // (idx, desc, len)
-        for idx in cover.clone() {
-            if let Some(desc) = by_index.get(&idx) {
-                let cr = chunk_range(idx, meta.chunk_size, meta.size);
-                fetch.push((idx, desc.clone(), cr.end - cr.start));
-            }
-        }
-        let results: Arc<Mutex<Vec<Option<BlobResult<Payload>>>>> =
-            Arc::new(Mutex::new(vec![None; fetch.len()]));
-        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = fetch
-            .iter()
-            .enumerate()
-            .map(|(slot, (_, desc, len))| {
-                let store = Arc::clone(&self.store);
-                let results = Arc::clone(&results);
-                let desc = desc.clone();
-                let (me, len) = (self.node, *len);
-                Box::new(move || {
-                    let r = fetch_chunk(&store, me, &desc, len);
-                    results.lock()[slot] = Some(r);
-                }) as Box<dyn FnOnce() + Send + 'static>
-            })
-            .collect();
-        self.store.fabric.par_join(tasks);
-
-        // Assemble, zero-filling unwritten chunks.
-        let fetched = Arc::try_unwrap(results)
-            .unwrap_or_else(|a| Mutex::new(a.lock().clone()))
-            .into_inner();
-        let mut by_idx_payload: HashMap<u64, Payload> = HashMap::with_capacity(fetch.len());
-        for ((idx, _, _), res) in fetch.iter().zip(fetched) {
-            let payload = res.expect("task ran")?;
-            by_idx_payload.insert(*idx, payload);
-        }
-        let mut out = Payload::empty();
-        for idx in cover {
-            let cr = chunk_range(idx, meta.chunk_size, meta.size);
-            let want = intersect(&cr, &range);
-            if want.start >= want.end {
-                continue;
-            }
-            match by_idx_payload.get(&idx) {
-                Some(p) => {
-                    debug_assert_eq!(p.len(), cr.end - cr.start, "stored chunk length");
-                    out.append(p.slice(want.start - cr.start, want.end - cr.start));
-                }
-                None => out.append(Payload::zeros(want.end - want.start)),
-            }
-        }
-        debug_assert_eq!(out.len(), range.end - range.start);
-        Ok(out)
+        Ok(self
+            .read_multi(blob, version, std::slice::from_ref(&range))?
+            .pop()
+            .expect("one payload per range"))
     }
 
     /// Vectored read: fetch every range of `(blob, version)` in one
@@ -318,7 +281,7 @@ impl Client {
         });
 
         // Resolve descriptors: cache first, then one descent for the rest.
-        let mut descs: HashMap<u64, ChunkDesc> = HashMap::new();
+        let mut descs: FastMap<u64, ChunkDesc> = FastMap::default();
         let mut missing: Vec<Range<u64>> = Vec::new();
         {
             let mut cache = self.desc_cache.lock();
@@ -505,43 +468,36 @@ impl Client {
             }
         }
 
-        // 1. Allocate chunk ids + providers (one provider-manager RPC).
+        // 1. Allocate chunk ids + providers (one provider-manager RPC),
+        //    skipping providers the fabric currently reports down —
+        //    placing fresh chunks there would only defer the failure to
+        //    push time.
         let n = updates.len();
         let c = self.cfg().control_bytes;
         self.store
             .fabric
             .rpc(self.node, self.store.topo.pmanager, c, c + 24 * n as u64)?;
+        let down: Vec<bool> = self
+            .store
+            .topo
+            .providers
+            .iter()
+            .map(|&p| self.store.fabric.is_down(p))
+            .collect();
         let descs = {
             let mut pm = self.store.pmanager.lock();
-            pm.allocate(n, meta.chunk_size, self.cfg().replication)?
+            pm.allocate_avoiding(n, meta.chunk_size, self.cfg().replication, &down)?
         };
 
-        // 2. Push chunk data to providers, all chunks in parallel,
-        //    replicas in sequence (chain replication would be equivalent
-        //    under the fluid model).
-        let errors: Arc<Mutex<Vec<BlobError>>> = Arc::new(Mutex::new(Vec::new()));
-        let async_writes = self.cfg().async_writes;
-        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = updates
-            .iter()
-            .zip(&descs)
-            .map(|((_, data), desc)| {
-                let store = Arc::clone(&self.store);
-                let errors = Arc::clone(&errors);
-                let (desc, data, me) = (desc.clone(), data.clone(), self.node);
-                Box::new(move || {
-                    if let Err(e) = put_chunk(&store, me, &desc, data, async_writes) {
-                        errors.lock().push(e);
-                    }
-                }) as Box<dyn FnOnce() + Send + 'static>
-            })
-            .collect();
-        self.store.fabric.par_join(tasks);
-        if let Some(e) = errors.lock().first() {
-            return Err(e.clone());
-        }
+        // 2. Push chunk data through the configured replication pipeline
+        //    (fan-out / chain batched per provider, or the sequential
+        //    reference), with per-replica failover: the published
+        //    descriptors keep exactly the replicas that acknowledged.
+        let updates = Arc::new(updates);
+        let descs = self.push_chunks(&updates, descs)?;
 
         // 3. Shadow the metadata tree.
-        let update_map: HashMap<u64, ChunkDesc> = updates
+        let update_map: FastMap<u64, ChunkDesc> = updates
             .iter()
             .map(|(i, _)| *i)
             .zip(descs.iter().cloned())
@@ -571,9 +527,24 @@ impl Client {
         {
             let mut cache = self.desc_cache.lock();
             let mut entry = cache.remove(&(blob, base)).unwrap_or_default();
+            // Coalesce the updated indices into maximal runs first: a
+            // full-image commit is then one range insert, not one per
+            // chunk.
+            let mut idxs: Vec<u64> = update_map.keys().copied().collect();
+            idxs.sort_unstable();
+            let mut run_start = idxs[0];
+            let mut run_end = idxs[0] + 1;
+            for &i in &idxs[1..] {
+                if i == run_end {
+                    run_end = i + 1;
+                } else {
+                    entry.resolved.insert(run_start..run_end);
+                    (run_start, run_end) = (i, i + 1);
+                }
+            }
+            entry.resolved.insert(run_start..run_end);
             for (i, d) in &update_map {
                 entry.descs.insert(*i, d.clone());
-                entry.resolved.insert(*i..*i + 1);
             }
             Self::desc_cache_insert(&mut cache, (blob, v), entry);
         }
@@ -586,6 +557,163 @@ impl Client {
         let blob = self.create_blob(data.len())?;
         let v = self.write(blob, Version(0), 0, data)?;
         Ok((blob, v))
+    }
+
+    /// Push the update set through the configured replication pipeline
+    /// and reduce each descriptor to the replicas that acknowledged
+    /// (in allocation order, so all modes publish identical replica
+    /// sets when nothing fails). Errors only if a chunk retains no
+    /// replica.
+    ///
+    /// The update set and descriptors are shared with the push tasks by
+    /// refcount; each replica push clones exactly one payload rope (the
+    /// copy that provider stores).
+    fn push_chunks(
+        &self,
+        updates: &Arc<Vec<(u64, Payload)>>,
+        descs: Vec<ChunkDesc>,
+    ) -> BlobResult<Vec<ChunkDesc>> {
+        let descs = Arc::new(descs);
+        let outcome = match self.cfg().replication_mode {
+            ReplicationMode::Fanout => self.push_fanout(updates, &descs),
+            ReplicationMode::Chain => self.push_chain(updates, &descs),
+            ReplicationMode::Sequential => self.push_sequential(updates, &descs),
+        };
+        let mut out = Vec::with_capacity(descs.len());
+        for (slot, desc) in descs.iter().enumerate() {
+            let acked = &outcome.acked[slot];
+            let survivors: Vec<NodeId> = desc
+                .replicas
+                .iter()
+                .copied()
+                .filter(|p| acked.contains(p))
+                .collect();
+            if survivors.is_empty() {
+                return Err(outcome.errors[slot]
+                    .clone()
+                    .unwrap_or(BlobError::ChunkUnavailable(desc.id)));
+            }
+            out.push(ChunkDesc {
+                id: desc.id,
+                replicas: survivors.into(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Fan-out: every `(chunk, replica)` pair grouped by destination
+    /// provider; one batched transfer + disk write per provider, all
+    /// providers in parallel.
+    fn push_fanout(
+        &self,
+        updates: &Arc<Vec<(u64, Payload)>>,
+        descs: &Arc<Vec<ChunkDesc>>,
+    ) -> PushOutcome {
+        let mut by_provider: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (slot, desc) in descs.iter().enumerate() {
+            for &prov in desc.replicas.iter() {
+                by_provider.entry(prov).or_default().push(slot);
+            }
+        }
+        let mut providers: Vec<NodeId> = by_provider.keys().copied().collect();
+        providers.sort_unstable(); // deterministic task order
+        let outcome = Arc::new(Mutex::new(PushOutcome::new(descs.len())));
+        let async_writes = self.cfg().async_writes;
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = providers
+            .into_iter()
+            .map(|prov| {
+                let slots = by_provider.remove(&prov).expect("grouped above");
+                let updates = Arc::clone(updates);
+                let descs = Arc::clone(descs);
+                let store = Arc::clone(&self.store);
+                let outcome = Arc::clone(&outcome);
+                let me = self.node;
+                Box::new(move || {
+                    let res = push_slots(&store, me, prov, &updates, &descs, &slots, async_writes);
+                    record_slots(&outcome, prov, &slots, res);
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.store.fabric.par_join(tasks);
+        unwrap_shared(outcome)
+    }
+
+    /// Chain: chunks sharing a replica chain are pushed once to the first
+    /// replica; each live hop forwards the batch to the next. A dead hop
+    /// is skipped and the next hop is fed from the last live holder.
+    fn push_chain(
+        &self,
+        updates: &Arc<Vec<(u64, Payload)>>,
+        descs: &Arc<Vec<ChunkDesc>>,
+    ) -> PushOutcome {
+        let mut by_chain: HashMap<Arc<[NodeId]>, Vec<usize>> = HashMap::new();
+        for (slot, desc) in descs.iter().enumerate() {
+            by_chain
+                .entry(desc.replicas.clone())
+                .or_default()
+                .push(slot);
+        }
+        let mut chains: Vec<Arc<[NodeId]>> = by_chain.keys().cloned().collect();
+        chains.sort_unstable(); // deterministic task order
+        let outcome = Arc::new(Mutex::new(PushOutcome::new(descs.len())));
+        let async_writes = self.cfg().async_writes;
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = chains
+            .into_iter()
+            .map(|chain| {
+                let slots = by_chain.remove(&chain).expect("grouped above");
+                let updates = Arc::clone(updates);
+                let descs = Arc::clone(descs);
+                let store = Arc::clone(&self.store);
+                let outcome = Arc::clone(&outcome);
+                let me = self.node;
+                Box::new(move || {
+                    let mut src = me;
+                    for &prov in chain.iter() {
+                        match push_slots(&store, src, prov, &updates, &descs, &slots, async_writes)
+                        {
+                            Ok(()) => {
+                                record_slots(&outcome, prov, &slots, Ok(()));
+                                src = prov;
+                            }
+                            Err(e) => record_slots(&outcome, prov, &slots, Err(e)),
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.store.fabric.par_join(tasks);
+        unwrap_shared(outcome)
+    }
+
+    /// Sequential reference: one push per chunk, replicas in order
+    /// (the pre-batching behaviour, with the same failover semantics).
+    fn push_sequential(
+        &self,
+        updates: &Arc<Vec<(u64, Payload)>>,
+        descs: &Arc<Vec<ChunkDesc>>,
+    ) -> PushOutcome {
+        let outcome = Arc::new(Mutex::new(PushOutcome::new(descs.len())));
+        let async_writes = self.cfg().async_writes;
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = (0..descs.len())
+            .map(|slot| {
+                let replicas = Arc::clone(&descs[slot].replicas);
+                let updates = Arc::clone(updates);
+                let descs = Arc::clone(descs);
+                let store = Arc::clone(&self.store);
+                let outcome = Arc::clone(&outcome);
+                let me = self.node;
+                Box::new(move || {
+                    let slots = [slot];
+                    for &prov in replicas.iter() {
+                        let res =
+                            push_slots(&store, me, prov, &updates, &descs, &slots, async_writes);
+                        record_slots(&outcome, prov, &slots, res);
+                    }
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.store.fabric.par_join(tasks);
+        unwrap_shared(outcome)
     }
 }
 
@@ -611,11 +739,11 @@ fn fetch_chunk(
             continue;
         }
         let got = {
-            let Some(provider) = store.providers.get(&prov) else {
+            let Some(mut provider) = store.providers.lock(prov) else {
                 last = BlobError::ChunkUnavailable(desc.id);
                 continue;
             };
-            provider.lock().get(desc.id)
+            provider.get(desc.id)
         };
         let Some((data, hot)) = got else {
             last = BlobError::ChunkUnavailable(desc.id);
@@ -653,12 +781,11 @@ fn fetch_chunk_batch(
     let mut got: Vec<(u64, ChunkDesc, u64, Payload)> = Vec::with_capacity(group.len());
     let mut fallback: Vec<(u64, ChunkDesc, u64)> = Vec::new();
     let (mut total, mut cold) = (0u64, 0u64);
-    if store.fabric.is_down(prov) || !store.providers.contains_key(&prov) {
+    if store.fabric.is_down(prov) || !store.providers.contains(prov) {
         fallback = group;
     } else {
         let read_cache = store.config().provider_read_cache;
-        let provider = &store.providers[&prov];
-        let mut p = provider.lock();
+        let mut p = store.providers.lock(prov).expect("contains checked");
         for (idx, desc, len) in group {
             match p.get(desc.id) {
                 Some((data, hot)) => {
@@ -694,30 +821,78 @@ fn fetch_chunk_batch(
     out
 }
 
-/// Push one chunk to all its replicas.
-fn put_chunk(
-    store: &Arc<BlobStore>,
-    me: NodeId,
-    desc: &ChunkDesc,
-    data: Payload,
-    async_writes: bool,
-) -> BlobResult<()> {
-    let len = data.len();
-    for &prov in &desc.replicas {
-        store.fabric.transfer(me, prov, len)?;
-        store
-            .providers
-            .get(&prov)
-            .ok_or(BlobError::ChunkUnavailable(desc.id))?
-            .lock()
-            .put(desc.id, data.clone());
-        if async_writes {
-            store.fabric.disk_write_cached(prov, len)?;
-        } else {
-            store.fabric.disk_write(prov, len)?;
+/// Per-chunk push results, indexed like the update set.
+#[derive(Debug, Default)]
+struct PushOutcome {
+    /// Replicas that acknowledged each chunk (completion order; reduced
+    /// against the descriptor's allocation order afterwards).
+    acked: Vec<Vec<NodeId>>,
+    /// Last push failure seen per chunk.
+    errors: Vec<Option<BlobError>>,
+}
+
+impl PushOutcome {
+    fn new(n: usize) -> Self {
+        Self {
+            acked: vec![Vec::new(); n],
+            errors: vec![None; n],
         }
     }
+}
+
+/// Push the chunks at `slots` from `src` to provider `prov`: one
+/// transfer + one (write-back) disk write for the whole group, chunks
+/// stored under a single shard acquisition — the per-message savings
+/// mirroring the batched read path. The payload rope is cloned once per
+/// stored replica (the copy the provider keeps).
+fn push_slots(
+    store: &Arc<BlobStore>,
+    src: NodeId,
+    prov: NodeId,
+    updates: &[(u64, Payload)],
+    descs: &[ChunkDesc],
+    slots: &[usize],
+    async_writes: bool,
+) -> BlobResult<()> {
+    if !store.providers.contains(prov) {
+        return Err(BlobError::ChunkUnavailable(descs[slots[0]].id));
+    }
+    let total: u64 = slots.iter().map(|&s| updates[s].1.len()).sum();
+    store.fabric.transfer(src, prov, total)?;
+    store.providers.put_batch(
+        prov,
+        slots.iter().map(|&s| (descs[s].id, updates[s].1.clone())),
+    );
+    if async_writes {
+        store.fabric.disk_write_cached(prov, total)?;
+    } else {
+        store.fabric.disk_write(prov, total)?;
+    }
     Ok(())
+}
+
+/// Record a push outcome at `prov` for every chunk it carried.
+fn record_slots(outcome: &Mutex<PushOutcome>, prov: NodeId, slots: &[usize], res: BlobResult<()>) {
+    let mut o = outcome.lock();
+    match res {
+        Ok(()) => {
+            for &slot in slots {
+                o.acked[slot].push(prov);
+            }
+        }
+        Err(e) => {
+            for &slot in slots {
+                o.errors[slot] = Some(e.clone());
+            }
+        }
+    }
+}
+
+/// Take the outcome back out of the shared task-side handle.
+fn unwrap_shared(outcome: Arc<Mutex<PushOutcome>>) -> PushOutcome {
+    Arc::try_unwrap(outcome)
+        .unwrap_or_else(|a| Mutex::new(std::mem::take(&mut *a.lock())))
+        .into_inner()
 }
 
 /// Metadata I/O with client-side caching and per-shard batched RPCs.
@@ -747,19 +922,17 @@ impl NodeIo for ClientNodeIo<'_> {
                 }
             }
         }
-        // Group misses by shard; one RPC per shard (the "one metadata
-        // round per level" batching).
-        let mut by_shard: HashMap<usize, Vec<(usize, NodeKey)>> = HashMap::new();
+        // Group misses by shard (dense buckets, ascending shard order —
+        // deterministic RPCs); one RPC per shard (the "one metadata round
+        // per level" batching).
+        let mut by_shard: Vec<Vec<(usize, NodeKey)>> = vec![Vec::new(); self.shard_count()];
         for (i, k) in misses {
-            by_shard
-                .entry(partition_of(k, self.shard_count()))
-                .or_default()
-                .push((i, k));
+            by_shard[partition_of(k, self.shard_count())].push((i, k));
         }
-        let mut shards: Vec<usize> = by_shard.keys().copied().collect();
-        shards.sort_unstable(); // deterministic RPC order
-        for shard in shards {
-            let group = &by_shard[&shard];
+        for (shard, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
             let server = store.topo.metadata[shard];
             let cfg = store.config();
             store.fabric.rpc(
@@ -770,8 +943,8 @@ impl NodeIo for ClientNodeIo<'_> {
             )?;
             let part = store.meta[shard].lock();
             for (i, k) in group {
-                let node = part.get(*k)?;
-                out[*i] = Some(node);
+                let node = part.get(k)?;
+                out[i] = Some(node);
             }
         }
         // Fill cache.
@@ -797,17 +970,24 @@ impl NodeIo for ClientNodeIo<'_> {
 
     fn store(&mut self, nodes: Vec<(NodeKey, TreeNode)>) -> BlobResult<()> {
         let store = &self.client.store;
-        let mut by_shard: HashMap<usize, Vec<(NodeKey, TreeNode)>> = HashMap::new();
-        for (k, n) in &nodes {
-            by_shard
-                .entry(partition_of(*k, self.shard_count()))
-                .or_default()
-                .push((*k, n.clone()));
+        // New nodes are immediately cacheable (cheap clones: inner nodes
+        // are two keys, leaves share their replica set by refcount).
+        {
+            let mut cache = self.client.node_cache.lock();
+            for (k, n) in &nodes {
+                cache.insert(*k, n.clone());
+            }
         }
-        let mut shards: Vec<usize> = by_shard.keys().copied().collect();
-        shards.sort_unstable();
-        for shard in shards {
-            let group = by_shard.remove(&shard).expect("present");
+        // Dense shard buckets, nodes moved (not cloned); ascending shard
+        // order keeps RPCs deterministic.
+        let mut by_shard: Vec<Vec<(NodeKey, TreeNode)>> = vec![Vec::new(); self.shard_count()];
+        for (k, n) in nodes {
+            by_shard[partition_of(k, self.shard_count())].push((k, n));
+        }
+        for (shard, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
             let server = store.topo.metadata[shard];
             let cfg = store.config();
             store.fabric.rpc(
@@ -817,11 +997,6 @@ impl NodeIo for ClientNodeIo<'_> {
                 cfg.control_bytes,
             )?;
             store.meta[shard].lock().put(group);
-        }
-        // New nodes are immediately cacheable.
-        let mut cache = self.client.node_cache.lock();
-        for (k, n) in nodes {
-            cache.insert(k, n);
         }
         Ok(())
     }
@@ -1211,6 +1386,282 @@ mod tests {
             "batched path must fail over per chunk"
         );
         assert!(got[1].content_eq(&data.slice(100, 300)));
+    }
+
+    /// A fabric with a *stale failure detector*: operations against down
+    /// nodes fail (the inner fabric's truth), but `is_down` claims
+    /// everything is up — so allocation cannot avoid the dead provider
+    /// and the push-side per-replica failover has to handle it.
+    struct StaleViewFabric {
+        inner: Arc<LocalFabric>,
+    }
+
+    impl Fabric for StaleViewFabric {
+        fn now_us(&self) -> u64 {
+            self.inner.now_us()
+        }
+        fn transfer(&self, src: NodeId, dst: NodeId, bytes: u64) -> Result<(), NetError> {
+            self.inner.transfer(src, dst, bytes)
+        }
+        fn transfer_all(&self, xfers: &[bff_net::Transfer]) -> Result<(), NetError> {
+            self.inner.transfer_all(xfers)
+        }
+        fn rpc(&self, src: NodeId, dst: NodeId, req: u64, resp: u64) -> Result<(), NetError> {
+            self.inner.rpc(src, dst, req, resp)
+        }
+        fn disk_read(&self, node: NodeId, bytes: u64) -> Result<(), NetError> {
+            self.inner.disk_read(node, bytes)
+        }
+        fn disk_write(&self, node: NodeId, bytes: u64) -> Result<(), NetError> {
+            self.inner.disk_write(node, bytes)
+        }
+        fn disk_write_cached(&self, node: NodeId, bytes: u64) -> Result<(), NetError> {
+            self.inner.disk_write_cached(node, bytes)
+        }
+        fn disk_sync(&self, node: NodeId) -> Result<(), NetError> {
+            self.inner.disk_sync(node)
+        }
+        fn compute(&self, node: NodeId, micros: u64) {
+            self.inner.compute(node, micros)
+        }
+        fn is_down(&self, _node: NodeId) -> bool {
+            false // the stale view
+        }
+        fn stats(&self) -> &bff_net::TrafficStats {
+            self.inner.stats()
+        }
+    }
+
+    fn setup_mode(
+        nodes: u32,
+        replication: usize,
+        mode: crate::api::ReplicationMode,
+    ) -> (Arc<LocalFabric>, Client) {
+        let fabric = LocalFabric::new(nodes as usize + 1);
+        let compute: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(nodes));
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            replication,
+            replication_mode: mode,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        (fabric, Client::new(store, NodeId(0)))
+    }
+
+    /// Which providers hold each chunk id, as one sorted fingerprint per
+    /// store (chunk ids are allocated deterministically, so equal
+    /// fingerprints mean identical replica sets).
+    fn replica_fingerprint(client: &Client, max_chunk: u64) -> Vec<(u64, Vec<u32>)> {
+        let store = client.store();
+        let mut out = Vec::new();
+        for id in 1..=max_chunk {
+            let mut holders: Vec<u32> = store
+                .topology()
+                .providers
+                .iter()
+                .filter(|&&p| {
+                    store
+                        .providers
+                        .lock(p)
+                        .unwrap()
+                        .has(crate::api::ChunkId(id))
+                })
+                .map(|p| p.0)
+                .collect();
+            holders.sort_unstable();
+            out.push((id, holders));
+        }
+        out
+    }
+
+    #[test]
+    fn replication_modes_equivalent_to_sequential_reference() {
+        // Chain and fan-out must produce byte-identical blob contents and
+        // identical replica sets vs the sequential-push reference.
+        use crate::api::ReplicationMode::*;
+        let image = Payload::synth(70, 0, 2048); // 16 chunks of 128
+        let patch: Vec<(u64, Payload)> = vec![
+            (0, Payload::synth(71, 0, 128)),
+            (5, Payload::synth(72, 0, 128)),
+            (15, Payload::synth(73, 0, 128)),
+        ];
+        let mut results = Vec::new();
+        for mode in [Sequential, Fanout, Chain] {
+            let (_f, client) = setup_mode(4, 3, mode);
+            let (blob, v1) = client.upload(image.clone()).unwrap();
+            let v2 = client.write_chunks(blob, v1, patch.clone()).unwrap();
+            let content = client.read(blob, v2, 0..2048).unwrap();
+            let fingerprint = replica_fingerprint(&client, 16 + 3);
+            let loads = client.store().provider_loads();
+            results.push((mode, content, fingerprint, loads));
+        }
+        let (_, ref_content, ref_fp, ref_loads) = &results[0];
+        for (mode, content, fp, loads) in &results[1..] {
+            assert!(
+                content.content_eq(ref_content),
+                "{mode:?} content differs from sequential reference"
+            );
+            assert_eq!(fp, ref_fp, "{mode:?} replica sets differ");
+            assert_eq!(loads, ref_loads, "{mode:?} per-provider loads differ");
+        }
+        // Every chunk got its full replica set.
+        assert!(ref_fp.iter().all(|(_, holders)| holders.len() == 3));
+    }
+
+    #[test]
+    fn fanout_batches_one_transfer_per_provider() {
+        use crate::api::ReplicationMode::*;
+        let updates: Vec<(u64, Payload)> = (0..16)
+            .map(|i| (i, Payload::synth(80 + i, 0, 128)))
+            .collect();
+        let count_transfers = |mode| {
+            // Write from the service node so every push crosses the
+            // network (self-transfers are free and uncounted).
+            let (f, client) = setup_mode(4, 2, mode);
+            let client = Client::new(Arc::clone(client.store()), NodeId(4));
+            let blob = client.create_blob(2048).unwrap();
+            let before = f.stats().transfer_count();
+            client
+                .write_chunks(blob, Version(0), updates.clone())
+                .unwrap();
+            f.stats().transfer_count() - before
+        };
+        let sequential = count_transfers(Sequential);
+        let fanout = count_transfers(Fanout);
+        let chain = count_transfers(Chain);
+        // Sequential: one transfer per (chunk, replica) = 32. Batched
+        // modes: one per provider group / chain hop — bounded by
+        // providers × replication = 8, not by the chunk count.
+        assert_eq!(sequential, 32);
+        assert!(fanout <= 8, "fanout used {fanout} transfers");
+        assert!(chain <= 8, "chain used {chain} transfers");
+    }
+
+    #[test]
+    fn chain_offloads_client_egress_to_providers() {
+        use crate::api::ReplicationMode::*;
+        let updates: Vec<(u64, Payload)> = (0..8)
+            .map(|i| (i, Payload::synth(90 + i, 0, 128)))
+            .collect();
+        let egress = |mode| {
+            // Service-node writer: all pushes cross the network.
+            let (f, client) = setup_mode(4, 2, mode);
+            let client = Client::new(Arc::clone(client.store()), NodeId(4));
+            let blob = client.create_blob(1024).unwrap();
+            f.stats().reset();
+            client
+                .write_chunks(blob, Version(0), updates.clone())
+                .unwrap();
+            (
+                f.stats().node(NodeId(4)).sent,
+                f.stats().total_network_bytes(),
+            )
+        };
+        let (fan_sent, fan_total) = egress(Fanout);
+        let (chain_sent, chain_total) = egress(Chain);
+        // Both move the same payload volume in total...
+        assert_eq!(fan_total, chain_total);
+        // ...but the chain client sends each byte once, the fan-out
+        // client once per replica. (Client egress also carries the
+        // metadata/control bytes, identical in both.)
+        assert_eq!(fan_sent - chain_sent, 8 * 128);
+    }
+
+    /// Providers on `0..providers`, managers *and metadata* on the
+    /// service node — so failing a provider kills only its chunk store,
+    /// not a metadata shard (the paper's metadata servers are a separate
+    /// concern from provider failure).
+    fn topo_service_meta(providers: u32, service: u32) -> BlobTopology {
+        BlobTopology {
+            vmanager: NodeId(service),
+            pmanager: NodeId(service),
+            metadata: vec![NodeId(service)],
+            providers: (0..providers).map(NodeId).collect(),
+        }
+    }
+
+    #[test]
+    fn write_skips_down_providers_at_allocation() {
+        let fabric = LocalFabric::new(5);
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            ..Default::default()
+        };
+        let store = BlobStore::new(
+            cfg,
+            topo_service_meta(4, 4),
+            fabric.clone() as Arc<dyn Fabric>,
+        );
+        let client = Client::new(store, NodeId(4));
+        fabric.fail_node(NodeId(2));
+        let data = Payload::synth(60, 0, 2048); // 16 chunks over 4 providers
+        let (blob, v) = client.upload(data.clone()).unwrap();
+        let loads = client.store().provider_loads();
+        assert_eq!(loads[2], 0, "down provider must receive no chunks");
+        assert_eq!(loads.iter().sum::<u64>(), 2048);
+        // Everything reads back without touching the dead node.
+        let got = client.read(blob, v, 0..2048).unwrap();
+        assert!(got.content_eq(&data));
+    }
+
+    #[test]
+    fn per_replica_failover_publishes_surviving_replicas() {
+        // A provider dies between the failure detector's last sweep and
+        // the push (stale view): allocation still targets it, so the
+        // pipeline must drop that replica and publish the survivors.
+        for mode in [
+            crate::api::ReplicationMode::Sequential,
+            crate::api::ReplicationMode::Fanout,
+            crate::api::ReplicationMode::Chain,
+        ] {
+            let inner = LocalFabric::new(4);
+            let fabric: Arc<dyn Fabric> = Arc::new(StaleViewFabric {
+                inner: Arc::clone(&inner),
+            });
+            let cfg = BlobConfig {
+                chunk_size: 128,
+                replication: 3,
+                replication_mode: mode,
+                ..Default::default()
+            };
+            let store = BlobStore::new(cfg, topo_service_meta(3, 3), fabric);
+            let client = Client::new(store, NodeId(3));
+            inner.fail_node(NodeId(1));
+            let data = Payload::synth(61, 0, 512);
+            let (blob, v) = client.upload(data.clone()).unwrap();
+            // The dead replica stored nothing; the others hold everything.
+            let loads = client.store().provider_loads();
+            assert_eq!(loads[1], 0, "{mode:?}: dead replica must hold nothing");
+            assert_eq!(loads[0], 512, "{mode:?}");
+            assert_eq!(loads[2], 512, "{mode:?}");
+            // Reads succeed off the surviving replicas.
+            let got = client.read(blob, v, 0..512).unwrap();
+            assert!(got.content_eq(&data), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn write_fails_only_when_no_replica_survives() {
+        let inner = LocalFabric::new(3);
+        let fabric: Arc<dyn Fabric> = Arc::new(StaleViewFabric {
+            inner: Arc::clone(&inner),
+        });
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            replication: 2,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo_service_meta(2, 2), fabric);
+        let client = Client::new(store, NodeId(2));
+        let blob = client.create_blob(128).unwrap();
+        inner.fail_node(NodeId(0));
+        inner.fail_node(NodeId(1));
+        let err = client
+            .write_chunks(blob, Version(0), vec![(0, Payload::zeros(128))])
+            .unwrap_err();
+        assert!(matches!(err, BlobError::Net(NetError::NodeDown(_))));
     }
 
     #[test]

@@ -33,9 +33,10 @@ pub mod service;
 pub mod vmanager;
 
 pub use api::{
-    BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey, TreeNode,
-    Version,
+    BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey,
+    ReplicationMode, TreeNode, Version,
 };
 pub use client::Client;
 pub use pmanager::Placement;
+pub use provider::ProviderStore;
 pub use service::BlobStore;

@@ -5,12 +5,12 @@
 //! which is what makes aggressive client-side caching of tree nodes safe.
 
 use crate::api::{BlobError, BlobResult, NodeKey, TreeNode};
-use std::collections::HashMap;
+use bff_data::FastMap;
 
 /// One metadata server's shard.
 #[derive(Debug, Default)]
 pub struct MetaPartition {
-    nodes: HashMap<NodeKey, TreeNode>,
+    nodes: FastMap<NodeKey, TreeNode>,
 }
 
 impl MetaPartition {

@@ -51,37 +51,79 @@ impl PManager {
         chunk_bytes: u64,
         replication: usize,
     ) -> BlobResult<Vec<ChunkDesc>> {
+        self.allocate_avoiding(n, chunk_bytes, replication, &[])
+    }
+
+    /// Allocate like [`PManager::allocate`], but skip providers flagged in
+    /// `down` (indexed like the provider list; short or empty slices read
+    /// as all-up). This is the caller's fail-stop view of the fabric:
+    /// placing fresh chunks on a known-dead node would only defer the
+    /// failure to push time.
+    ///
+    /// Degradation rules when the up set is small: with fewer up
+    /// providers than `replication`, replicas shrink to the up set; with
+    /// *no* up providers, allocation falls back to the full list and the
+    /// push-side per-replica failover reports the real error chunk by
+    /// chunk.
+    pub fn allocate_avoiding(
+        &mut self,
+        n: usize,
+        chunk_bytes: u64,
+        replication: usize,
+        down: &[bool],
+    ) -> BlobResult<Vec<ChunkDesc>> {
         if self.providers.is_empty() {
             return Err(BlobError::BadInput("no providers registered"));
         }
         if replication == 0 || replication > self.providers.len() {
             return Err(BlobError::BadInput("replication must be in 1..=providers"));
         }
+        let is_down = |i: usize| down.get(i).copied().unwrap_or(false);
+        let up_count = (0..self.providers.len()).filter(|&i| !is_down(i)).count();
+        let (skip_down, per_chunk) = if up_count == 0 {
+            (false, replication)
+        } else {
+            (true, replication.min(up_count))
+        };
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let id = ChunkId(self.next_chunk);
             self.next_chunk += 1;
             let first = match self.strategy {
-                Placement::RoundRobin => {
+                Placement::RoundRobin => loop {
                     let c = self.cursor;
                     self.cursor = (self.cursor + 1) % self.providers.len();
-                    c
-                }
+                    if !(skip_down && is_down(c)) {
+                        break c;
+                    }
+                },
                 Placement::LeastLoaded => self
                     .load_bytes
                     .iter()
                     .enumerate()
+                    .filter(|(i, _)| !(skip_down && is_down(*i)))
                     .min_by_key(|(i, &l)| (l, *i))
                     .map(|(i, _)| i)
-                    .expect("non-empty providers"),
+                    .expect("up set is non-empty"),
             };
-            let mut replicas = Vec::with_capacity(replication);
-            for r in 0..replication {
+            // Replicas on consecutive distinct (up, where possible)
+            // providers starting at `first`.
+            let mut replicas = Vec::with_capacity(per_chunk);
+            for r in 0..self.providers.len() {
                 let idx = (first + r) % self.providers.len();
+                if skip_down && is_down(idx) {
+                    continue;
+                }
                 self.load_bytes[idx] += chunk_bytes;
                 replicas.push(self.providers[idx]);
+                if replicas.len() == per_chunk {
+                    break;
+                }
             }
-            out.push(ChunkDesc { id, replicas });
+            out.push(ChunkDesc {
+                id,
+                replicas: replicas.into(),
+            });
         }
         Ok(out)
     }
@@ -120,8 +162,8 @@ mod tests {
     fn replicas_are_distinct_consecutive_providers() {
         let mut pm = PManager::new(nodes(4), Placement::RoundRobin);
         let d = pm.allocate(1, 100, 3).unwrap().remove(0);
-        assert_eq!(d.replicas, vec![NodeId(0), NodeId(1), NodeId(2)]);
-        let mut uniq = d.replicas.clone();
+        assert_eq!(&d.replicas[..], [NodeId(0), NodeId(1), NodeId(2)]);
+        let mut uniq = d.replicas.to_vec();
         uniq.dedup();
         assert_eq!(uniq.len(), 3);
     }
@@ -157,5 +199,54 @@ mod tests {
     fn no_providers_is_an_error() {
         let mut pm = PManager::new(vec![], Placement::RoundRobin);
         assert!(pm.allocate(1, 10, 1).is_err());
+    }
+
+    #[test]
+    fn down_providers_skipped_at_allocation() {
+        let mut pm = PManager::new(nodes(4), Placement::RoundRobin);
+        let down = [false, false, true, false];
+        let descs = pm.allocate_avoiding(8, 100, 1, &down).unwrap();
+        assert!(
+            descs.iter().all(|d| d.replicas[0] != NodeId(2)),
+            "no chunk lands on the down provider"
+        );
+        assert_eq!(pm.load()[2], 0);
+        // Rotation still covers all up providers.
+        let firsts: Vec<u32> = descs.iter().map(|d| d.replicas[0].0).collect();
+        assert_eq!(firsts, vec![0, 1, 3, 0, 1, 3, 0, 1]);
+    }
+
+    #[test]
+    fn replicas_avoid_down_providers() {
+        let mut pm = PManager::new(nodes(4), Placement::RoundRobin);
+        let down = [false, true, false, false];
+        let d = pm.allocate_avoiding(1, 100, 3, &down).unwrap().remove(0);
+        assert_eq!(&d.replicas[..], [NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn replication_degrades_to_up_set() {
+        let mut pm = PManager::new(nodes(3), Placement::RoundRobin);
+        let down = [false, true, true];
+        let d = pm.allocate_avoiding(1, 100, 3, &down).unwrap().remove(0);
+        assert_eq!(&d.replicas[..], [NodeId(0)], "only the up provider");
+        // With nothing up, fall back to the full set (push-side failover
+        // owns the error then).
+        let mut pm = PManager::new(nodes(2), Placement::RoundRobin);
+        let d = pm
+            .allocate_avoiding(1, 100, 2, &[true, true])
+            .unwrap()
+            .remove(0);
+        assert_eq!(d.replicas.len(), 2);
+    }
+
+    #[test]
+    fn empty_down_slice_matches_plain_allocate() {
+        let mut a = PManager::new(nodes(3), Placement::RoundRobin);
+        let mut b = PManager::new(nodes(3), Placement::RoundRobin);
+        let da = a.allocate(5, 64, 2).unwrap();
+        let db = b.allocate_avoiding(5, 64, 2, &[]).unwrap();
+        assert_eq!(da, db);
+        assert_eq!(a.load(), b.load());
     }
 }

@@ -5,16 +5,28 @@
 //! costs (transfer to/from the provider node, disk read/write at the
 //! provider) around these calls. The `hot` set models the provider host's
 //! page cache: a chunk read once is served from memory afterwards.
+//!
+//! [`ProviderStore`] is the sharded container the service deploys:
+//! one lock per provider (a shard), dense slot addressing instead of a
+//! hashed map, and aggregate counters maintained with atomics. Fetch and
+//! push tasks touching *distinct* providers therefore never contend on a
+//! shared lock, which is what lets the fabric express the per-provider
+//! parallelism of the paper's transfer scheme (§3.1.3), and the service's
+//! storage metrics (`total_stored_bytes`, `total_chunks`) never stop the
+//! data plane to aggregate.
 
 use crate::api::ChunkId;
-use bff_data::Payload;
-use std::collections::{HashMap, HashSet};
+use bff_data::{FastMap, FastSet, Payload};
+use bff_net::NodeId;
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One provider's chunk store.
 #[derive(Debug, Default)]
 pub struct Provider {
-    chunks: HashMap<ChunkId, Payload>,
-    hot: HashSet<ChunkId>,
+    chunks: FastMap<ChunkId, Payload>,
+    hot: FastSet<ChunkId>,
     stored_bytes: u64,
 }
 
@@ -24,18 +36,21 @@ impl Provider {
         Self::default()
     }
 
-    /// Store a chunk. Chunk ids are globally unique, so an insert never
-    /// replaces different data; re-putting the same id (replica retry) is
-    /// idempotent.
-    pub fn put(&mut self, id: ChunkId, data: Payload) {
-        if let Some(prev) = self.chunks.insert(id, data) {
-            // Idempotent re-put: undo double counting.
-            self.stored_bytes -= prev.len();
-        }
-        let len = self.chunks[&id].len();
-        self.stored_bytes += len;
+    /// Store a chunk, returning `(byte delta, newly stored)`. Chunk ids
+    /// are globally unique, so an insert never replaces different data;
+    /// re-putting the same id (replica retry) is idempotent with delta 0.
+    /// The delta is signed so counters stay truthful even if a future
+    /// caller breaks the never-different-data assumption.
+    pub fn put(&mut self, id: ChunkId, data: Payload) -> (i64, bool) {
+        let new_len = data.len() as i64;
+        let (prev_len, is_new) = match self.chunks.insert(id, data) {
+            Some(prev) => (prev.len() as i64, false),
+            None => (0, true),
+        };
+        self.stored_bytes = (self.stored_bytes as i64 + new_len - prev_len) as u64;
         // Freshly written data sits in the page cache.
         self.hot.insert(id);
+        (new_len - prev_len, is_new)
     }
 
     /// Fetch a chunk, reporting whether it was already cached in memory
@@ -70,9 +85,146 @@ impl Provider {
     }
 }
 
+/// The deployed provider set, sharded one lock per provider.
+///
+/// Addressing is dense: node → slot resolves once through a small map
+/// built at deploy time, and everything after is a vector index. The
+/// aggregate storage metrics are kept in atomics updated on
+/// [`ProviderStore::put`], so reading them never takes any shard lock —
+/// the service can report storage consumption while writes are in flight
+/// without perturbing them.
+#[derive(Debug)]
+pub struct ProviderStore {
+    /// Provider nodes in topology order (slot i ↔ nodes[i]).
+    nodes: Vec<NodeId>,
+    slot_of: HashMap<NodeId, usize>,
+    shards: Vec<Mutex<Provider>>,
+    stored_bytes: AtomicU64,
+    chunks: AtomicU64,
+}
+
+impl ProviderStore {
+    /// Deploy one provider per node.
+    pub fn new(nodes: &[NodeId]) -> Self {
+        Self {
+            nodes: nodes.to_vec(),
+            slot_of: nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
+            shards: nodes.iter().map(|_| Mutex::new(Provider::new())).collect(),
+            stored_bytes: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of providers.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the store has no providers.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Whether `node` hosts a provider.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.slot_of.contains_key(&node)
+    }
+
+    /// Lock `node`'s provider shard. Holding one shard does not block any
+    /// other provider.
+    pub fn lock(&self, node: NodeId) -> Option<MutexGuard<'_, Provider>> {
+        self.slot_of.get(&node).map(|&i| self.shards[i].lock())
+    }
+
+    /// Fold one shard-put outcome into the aggregate counters.
+    fn apply_delta(&self, bytes: i64, new_chunks: u64) {
+        match bytes.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                self.stored_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Less => {
+                self.stored_bytes
+                    .fetch_sub(bytes.unsigned_abs(), Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        if new_chunks > 0 {
+            self.chunks.fetch_add(new_chunks, Ordering::Relaxed);
+        }
+    }
+
+    /// Store a chunk at `node`, maintaining the aggregate counters.
+    /// Returns `false` if `node` hosts no provider.
+    pub fn put(&self, node: NodeId, id: ChunkId, data: Payload) -> bool {
+        let Some(&slot) = self.slot_of.get(&node) else {
+            return false;
+        };
+        let (bytes, is_new) = self.shards[slot].lock().put(id, data);
+        self.apply_delta(bytes, is_new as u64);
+        true
+    }
+
+    /// Store a whole batch of chunks at `node` under one shard
+    /// acquisition and one counter update (the write-side twin of the
+    /// batched fetch path). Returns `false` if `node` hosts no provider.
+    pub fn put_batch<I>(&self, node: NodeId, items: I) -> bool
+    where
+        I: IntoIterator<Item = (ChunkId, Payload)>,
+    {
+        let Some(&slot) = self.slot_of.get(&node) else {
+            return false;
+        };
+        let (mut bytes, mut new_chunks) = (0i64, 0u64);
+        {
+            let mut shard = self.shards[slot].lock();
+            for (id, data) in items {
+                let (delta, is_new) = shard.put(id, data);
+                bytes += delta;
+                new_chunks += is_new as u64;
+            }
+        }
+        self.apply_delta(bytes, new_chunks);
+        true
+    }
+
+    /// Total payload bytes stored across all providers (lock-free; shared
+    /// chunks are stored once, so snapshots that share content do not
+    /// multiply it).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.stored_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total chunks stored across all providers (lock-free).
+    pub fn total_chunks(&self) -> usize {
+        self.chunks.load(Ordering::Relaxed) as usize
+    }
+
+    /// Per-provider stored bytes, in topology order (balance
+    /// diagnostics).
+    pub fn loads(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().stored_bytes())
+            .collect()
+    }
+
+    /// The provider nodes, in topology order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Drop all simulated page caches (ablations).
+    pub fn drop_caches(&self) {
+        for s in &self.shards {
+            s.lock().drop_caches();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn put_get_roundtrip() {
@@ -104,9 +256,83 @@ mod tests {
     #[test]
     fn idempotent_put_does_not_double_count() {
         let mut p = Provider::new();
-        p.put(ChunkId(1), Payload::zeros(100));
-        p.put(ChunkId(1), Payload::zeros(100));
+        assert_eq!(p.put(ChunkId(1), Payload::zeros(100)), (100, true));
+        assert_eq!(p.put(ChunkId(1), Payload::zeros(100)), (0, false));
         assert_eq!(p.stored_bytes(), 100);
         assert_eq!(p.chunk_count(), 1);
+    }
+
+    #[test]
+    fn counters_stay_truthful_on_length_changing_reput() {
+        // Chunk ids never carry different data in the protocol, but the
+        // counters must not silently drift if that assumption is ever
+        // broken: a length-changing re-put and a zero-length chunk both
+        // keep aggregates equal to the per-shard truth.
+        let store = ProviderStore::new(&[NodeId(0)]);
+        store.put(NodeId(0), ChunkId(1), Payload::zeros(100));
+        store.put(NodeId(0), ChunkId(1), Payload::zeros(50));
+        assert_eq!(store.total_stored_bytes(), 50);
+        assert_eq!(store.loads(), vec![50]);
+        assert_eq!(store.total_chunks(), 1);
+        store.put(NodeId(0), ChunkId(2), Payload::zeros(0));
+        assert_eq!(store.total_chunks(), 2, "empty chunks are still chunks");
+    }
+
+    #[test]
+    fn store_addresses_by_node_and_tracks_totals() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let store = ProviderStore::new(&nodes);
+        assert_eq!(store.len(), 4);
+        assert!(store.contains(NodeId(2)));
+        assert!(!store.contains(NodeId(9)));
+        assert!(store.put(NodeId(1), ChunkId(1), Payload::zeros(64)));
+        assert!(store.put(NodeId(3), ChunkId(2), Payload::zeros(36)));
+        // Idempotent replica retry does not double count.
+        assert!(store.put(NodeId(1), ChunkId(1), Payload::zeros(64)));
+        assert!(!store.put(NodeId(9), ChunkId(3), Payload::zeros(8)));
+        assert_eq!(store.total_stored_bytes(), 100);
+        assert_eq!(store.total_chunks(), 2);
+        assert_eq!(store.loads(), vec![0, 64, 0, 36]);
+        let (data, _) = store.lock(NodeId(1)).unwrap().get(ChunkId(1)).unwrap();
+        assert_eq!(data.len(), 64);
+    }
+
+    #[test]
+    fn distinct_provider_shards_do_not_contend() {
+        // Two threads each take and hold a different provider's shard at
+        // the same time; a shared store lock would deadlock this rendezvous
+        // (both threads must be inside their critical section concurrently
+        // before either leaves).
+        let store = Arc::new(ProviderStore::new(&[NodeId(0), NodeId(1)]));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let threads: Vec<_> = [NodeId(0), NodeId(1)]
+            .into_iter()
+            .map(|node| {
+                let store = Arc::clone(&store);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut shard = store.lock(node).unwrap();
+                    // Rendezvous *while holding* the shard: only possible
+                    // if the two locks are independent.
+                    barrier.wait();
+                    shard.put(ChunkId(node.0 as u64 + 1), Payload::zeros(10));
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no deadlock between distinct shards");
+        }
+        assert_eq!(store.loads(), vec![10, 10]);
+    }
+
+    #[test]
+    fn totals_are_lock_free_under_a_held_shard() {
+        // Aggregate metrics must not take shard locks: read them while a
+        // shard guard is held.
+        let store = ProviderStore::new(&[NodeId(0), NodeId(1)]);
+        store.put(NodeId(1), ChunkId(1), Payload::zeros(50));
+        let _held = store.lock(NodeId(0)).unwrap();
+        assert_eq!(store.total_stored_bytes(), 50);
+        assert_eq!(store.total_chunks(), 1);
     }
 }

@@ -13,7 +13,7 @@
 //! way BlobSeer parallelizes its distributed segment trees).
 
 use crate::api::{BlobError, BlobResult, ChunkDesc, NodeKey, TreeNode};
-use std::collections::HashMap;
+use bff_data::FastMap;
 use std::ops::Range;
 
 /// Batched metadata node I/O.
@@ -127,7 +127,7 @@ pub fn build_new_tree(
     io: &mut dyn NodeIo,
     old_root: NodeKey,
     span: u64,
-    updates: &HashMap<u64, ChunkDesc>,
+    updates: &FastMap<u64, ChunkDesc>,
 ) -> BlobResult<NodeKey> {
     if updates.is_empty() {
         return Ok(old_root);
@@ -136,7 +136,7 @@ pub fn build_new_tree(
 
     // Phase 1: fetch the old nodes on paths to updated leaves, level by
     // level, into a local cache.
-    let mut cache: HashMap<NodeKey, TreeNode> = HashMap::new();
+    let mut cache: FastMap<NodeKey, TreeNode> = FastMap::default();
     if !old_root.is_null() {
         let mut frontier: Vec<(NodeKey, Range<u64>)> = vec![(old_root, 0..span)];
         while !frontier.is_empty() {
@@ -172,7 +172,7 @@ pub fn build_new_tree(
     Ok(root)
 }
 
-fn touches(updates: &HashMap<u64, ChunkDesc>, range: &Range<u64>) -> bool {
+fn touches(updates: &FastMap<u64, ChunkDesc>, range: &Range<u64>) -> bool {
     // Updates are sparse relative to spans only for huge trees; for the
     // commit sizes in play a direct scan of the smaller side is fine.
     if (range.end - range.start) < updates.len() as u64 {
@@ -183,10 +183,10 @@ fn touches(updates: &HashMap<u64, ChunkDesc>, range: &Range<u64>) -> bool {
 }
 
 fn count_new_nodes(
-    cache: &HashMap<NodeKey, TreeNode>,
+    cache: &FastMap<NodeKey, TreeNode>,
     old: NodeKey,
     range: Range<u64>,
-    updates: &HashMap<u64, ChunkDesc>,
+    updates: &FastMap<u64, ChunkDesc>,
 ) -> u64 {
     if !touches(updates, &range) {
         return 0;
@@ -204,10 +204,10 @@ fn count_new_nodes(
 }
 
 fn build_rec(
-    cache: &HashMap<NodeKey, TreeNode>,
+    cache: &FastMap<NodeKey, TreeNode>,
     old: NodeKey,
     range: Range<u64>,
-    updates: &HashMap<u64, ChunkDesc>,
+    updates: &FastMap<u64, ChunkDesc>,
     keys: &mut Range<u64>,
     created: &mut Vec<(NodeKey, TreeNode)>,
 ) -> BlobResult<NodeKey> {
@@ -248,7 +248,7 @@ mod tests {
     /// In-memory NodeIo that also counts rounds (for batching assertions).
     #[derive(Default)]
     struct MemIo {
-        nodes: HashMap<NodeKey, TreeNode>,
+        nodes: FastMap<NodeKey, TreeNode>,
         next: u64,
         fetch_rounds: usize,
         stored: usize,
@@ -292,11 +292,11 @@ mod tests {
     fn desc(i: u64) -> ChunkDesc {
         ChunkDesc {
             id: ChunkId(1000 + i),
-            replicas: vec![NodeId((i % 4) as u32)],
+            replicas: [NodeId((i % 4) as u32)].into(),
         }
     }
 
-    fn updates(idx: &[u64]) -> HashMap<u64, ChunkDesc> {
+    fn updates(idx: &[u64]) -> FastMap<u64, ChunkDesc> {
         idx.iter().map(|&i| (i, desc(i))).collect()
     }
 
@@ -359,7 +359,7 @@ mod tests {
     fn old_versions_are_immutable() {
         let mut io = MemIo::new();
         let v1 = build_new_tree(&mut io, NodeKey::NULL, 8, &updates(&[2])).unwrap();
-        let snapshot_before: HashMap<NodeKey, TreeNode> = io.nodes.clone();
+        let snapshot_before: FastMap<NodeKey, TreeNode> = io.nodes.clone();
         let _v2 = build_new_tree(&mut io, v1, 8, &updates(&[2, 5])).unwrap();
         // Every node that existed before still exists, unmodified.
         for (k, n) in snapshot_before {
@@ -374,12 +374,12 @@ mod tests {
         let mut io = MemIo::new();
         let a_root = build_new_tree(&mut io, NodeKey::NULL, 4, &updates(&[0, 1, 2, 3])).unwrap();
         let b_root = a_root; // CLONE
-        let mut up = HashMap::new();
+        let mut up = FastMap::default();
         up.insert(
             1u64,
             ChunkDesc {
                 id: ChunkId(777),
-                replicas: vec![NodeId(9)],
+                replicas: [NodeId(9)].into(),
             },
         );
         let b2 = build_new_tree(&mut io, b_root, 4, &up).unwrap();
@@ -471,7 +471,7 @@ mod tests {
     fn no_update_returns_old_root() {
         let mut io = MemIo::new();
         let root = build_new_tree(&mut io, NodeKey::NULL, 4, &updates(&[1])).unwrap();
-        let same = build_new_tree(&mut io, root, 4, &HashMap::new()).unwrap();
+        let same = build_new_tree(&mut io, root, 4, &FastMap::default()).unwrap();
         assert_eq!(root, same);
     }
 

@@ -11,11 +11,10 @@
 use crate::api::{BlobConfig, BlobTopology};
 use crate::meta::MetaPartition;
 use crate::pmanager::{PManager, Placement};
-use crate::provider::Provider;
+use crate::provider::ProviderStore;
 use crate::vmanager::VManager;
-use bff_net::{Fabric, NodeId};
+use bff_net::Fabric;
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A deployed BlobSeer-like service.
@@ -26,7 +25,9 @@ pub struct BlobStore {
     pub(crate) vmanager: Mutex<VManager>,
     pub(crate) pmanager: Mutex<PManager>,
     pub(crate) meta: Vec<Mutex<MetaPartition>>,
-    pub(crate) providers: HashMap<NodeId, Mutex<Provider>>,
+    /// Sharded one lock per provider: data-plane tasks on distinct
+    /// providers never contend (see [`ProviderStore`]).
+    pub(crate) providers: ProviderStore,
 }
 
 impl BlobStore {
@@ -47,11 +48,7 @@ impl BlobStore {
             !topo.metadata.is_empty(),
             "need at least one metadata server"
         );
-        let providers = topo
-            .providers
-            .iter()
-            .map(|&n| (n, Mutex::new(Provider::new())))
-            .collect();
+        let providers = ProviderStore::new(&topo.providers);
         let meta = topo
             .metadata
             .iter()
@@ -86,19 +83,14 @@ impl BlobStore {
     /// Total chunk payload bytes stored across all providers. Shared
     /// chunks are stored once, so this is the paper's storage-space
     /// metric: snapshots that share content do not multiply it.
+    /// Lock-free: maintained by the sharded store's atomic counters.
     pub fn total_stored_bytes(&self) -> u64 {
-        self.providers
-            .values()
-            .map(|p| p.lock().stored_bytes())
-            .sum()
+        self.providers.total_stored_bytes()
     }
 
-    /// Total chunks stored across all providers.
+    /// Total chunks stored across all providers (lock-free).
     pub fn total_chunks(&self) -> usize {
-        self.providers
-            .values()
-            .map(|p| p.lock().chunk_count())
-            .sum()
+        self.providers.total_chunks()
     }
 
     /// Total metadata tree nodes stored.
@@ -109,25 +101,19 @@ impl BlobStore {
     /// Per-provider stored bytes, in `topology().providers` order
     /// (balance diagnostics).
     pub fn provider_loads(&self) -> Vec<u64> {
-        self.topo
-            .providers
-            .iter()
-            .map(|n| self.providers[n].lock().stored_bytes())
-            .collect()
+        self.providers.loads()
     }
 
     /// Drop all simulated page caches (ablations).
     pub fn drop_provider_caches(&self) {
-        for p in self.providers.values() {
-            p.lock().drop_caches();
-        }
+        self.providers.drop_caches();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bff_net::LocalFabric;
+    use bff_net::{LocalFabric, NodeId};
 
     #[test]
     fn deploy_shapes_match_topology() {

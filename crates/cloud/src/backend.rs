@@ -78,6 +78,13 @@ pub trait ImageBackend: Send {
     }
     /// Read a range of the image.
     fn read(&mut self, range: ByteRange) -> Result<Payload, BackendError>;
+    /// Read several ranges as one vectored request, one payload per
+    /// range — how a hypervisor submits its queued reads in one batch.
+    /// Backends with a remote data plane override this to batch their
+    /// transfers; the default is a per-range loop.
+    fn read_multi(&mut self, ranges: &[ByteRange]) -> Result<Vec<Payload>, BackendError> {
+        ranges.iter().map(|r| self.read(r.clone())).collect()
+    }
     /// Write into the image.
     fn write(&mut self, offset: u64, data: Payload) -> Result<(), BackendError>;
     /// Persist the VM's local modifications; returns the bytes moved to
@@ -143,6 +150,10 @@ impl ImageBackend for MirrorBackend {
 
     fn read(&mut self, range: ByteRange) -> Result<Payload, BackendError> {
         Ok(self.img.read(range)?)
+    }
+
+    fn read_multi(&mut self, ranges: &[ByteRange]) -> Result<Vec<Payload>, BackendError> {
+        Ok(self.img.read_multi(ranges)?)
     }
 
     fn write(&mut self, offset: u64, data: Payload) -> Result<(), BackendError> {
@@ -283,6 +294,12 @@ impl Backing for PvfsBacking {
             .read(self.file, range)
             .expect("backing image read failed (fail-stop)")
     }
+
+    fn read_multi(&self, ranges: &[ByteRange]) -> Vec<Payload> {
+        self.client
+            .read_multi(self.file, ranges)
+            .expect("backing image read failed (fail-stop)")
+    }
 }
 
 /// The qcow2-over-PVFS baseline.
@@ -380,6 +397,14 @@ impl ImageBackend for QcowPvfsBackend {
         let copy = ((range.end - range.start) as f64 / self.cal.page_read_bw).ceil() as u64;
         self.fabric.compute(self.node, self.cal.syscall_us + copy);
         Ok(self.img.read(range)?)
+    }
+
+    fn read_multi(&mut self, ranges: &[ByteRange]) -> Result<Vec<Payload>, BackendError> {
+        for range in ranges {
+            let copy = ((range.end - range.start) as f64 / self.cal.page_read_bw).ceil() as u64;
+            self.fabric.compute(self.node, self.cal.syscall_us + copy);
+        }
+        Ok(self.img.read_multi(ranges)?)
     }
 
     fn write(&mut self, offset: u64, data: Payload) -> Result<(), BackendError> {

@@ -10,8 +10,13 @@
 use crate::backend::{BackendError, ImageBackend};
 use bff_data::Payload;
 use bff_net::{Fabric, NodeId};
-use bff_workloads::VmOp;
+use bff_workloads::{coalesce_reads, VmBatch, VmOp};
 use std::sync::Arc;
+
+/// Queue depth of the modelled virtual disk: how many back-to-back guest
+/// reads the hypervisor submits to the image backend as one vectored
+/// request (virtio-blk queues default to this order of magnitude).
+pub const READ_QUEUE_DEPTH: usize = 32;
 
 /// The deterministic content a VM writes at `offset`: stream `seed`,
 /// positioned by absolute offset so overlapping writes agree.
@@ -20,6 +25,10 @@ pub fn vm_write_payload(seed: u64, offset: u64, len: u64) -> Payload {
 }
 
 /// Replay `ops` against `backend`, charging compute to `node`.
+/// Consecutive reads are submitted as vectored requests of up to
+/// [`READ_QUEUE_DEPTH`] ranges ([`ImageBackend::read_multi`]), which is
+/// what routes workload reads through the repository's batched pipeline;
+/// writes and compute bursts are ordering barriers.
 pub fn run_vm_trace(
     fabric: &Arc<dyn Fabric>,
     node: NodeId,
@@ -27,15 +36,21 @@ pub fn run_vm_trace(
     seed: u64,
     ops: &[VmOp],
 ) -> Result<(), BackendError> {
-    for op in ops {
-        match *op {
-            VmOp::Cpu { us } => fabric.compute(node, us),
-            VmOp::Read { offset, len } => {
-                let got = backend.read(offset..offset + len)?;
-                debug_assert_eq!(got.len(), len);
-            }
-            VmOp::Write { offset, len } => {
+    for batch in coalesce_reads(ops, READ_QUEUE_DEPTH) {
+        match batch {
+            VmBatch::Op(VmOp::Cpu { us }) => fabric.compute(node, us),
+            VmBatch::Op(VmOp::Write { offset, len }) => {
                 backend.write(offset, vm_write_payload(seed, offset, len))?;
+            }
+            VmBatch::Op(VmOp::Read { .. }) => {
+                unreachable!("coalesce_reads folds every read into a batch")
+            }
+            VmBatch::Reads(ranges) => {
+                let got = backend.read_multi(&ranges)?;
+                debug_assert!(got
+                    .iter()
+                    .zip(&ranges)
+                    .all(|(p, r)| p.len() == r.end - r.start));
             }
         }
     }

@@ -17,6 +17,7 @@
 
 pub mod digest;
 pub mod extent;
+pub mod hash;
 pub mod payload;
 pub mod range;
 pub mod rangeset;
@@ -24,6 +25,7 @@ pub mod synth;
 
 pub use digest::Digest;
 pub use extent::{ExtentMap, ExtentValue};
+pub use hash::{FastMap, FastSet, U64BuildHasher, U64Hasher};
 pub use payload::Payload;
 pub use range::{chunk_cover, chunk_range, intersect, ranges_overlap, ByteRange};
 pub use rangeset::RangeSet;

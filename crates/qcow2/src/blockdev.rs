@@ -29,6 +29,12 @@ pub trait Backing: Send {
     }
     /// Read `range` of the base image.
     fn read_at(&self, range: Range<u64>) -> Payload;
+    /// Read several ranges as one vectored request, one payload per
+    /// range. Remote backings (a file striped in PVFS) override this to
+    /// batch their per-server transfers; the default is a per-range loop.
+    fn read_multi(&self, ranges: &[Range<u64>]) -> Vec<Payload> {
+        ranges.iter().map(|r| self.read_at(r.clone())).collect()
+    }
 }
 
 /// In-memory sparse block device.

@@ -205,29 +205,89 @@ impl<D: BlockDev> Qcow2Image<D> {
         }
     }
 
-    /// Read `range` of the virtual disk.
+    /// Read `range` of the virtual disk. A thin wrapper over the
+    /// vectored [`Qcow2Image::read_multi`] (one-range plan), so even a
+    /// single range spanning several unallocated clusters batches its
+    /// backing fall-through into one vectored backing request.
     pub fn read(&mut self, range: Range<u64>) -> Result<Payload, Qcow2Error> {
-        if range.start > range.end || range.end > self.header.virtual_size {
-            return Err(Qcow2Error::OutOfBounds {
-                offset: range.start,
-                len: range.end.saturating_sub(range.start),
-                size: self.header.virtual_size,
-            });
-        }
-        let cs = self.header.cluster_size();
-        let mut out = Payload::empty();
-        for vc in bff_data::chunk_cover(&range, cs) {
-            let cr = bff_data::chunk_range(vc, cs, self.header.virtual_size);
-            let want = intersect(&cr, &range);
-            match self.lookup(vc)? {
-                Some(off) => {
-                    let rel = want.start - cr.start..want.end - cr.start;
-                    out.append(self.dev.read_at(off + rel.start..off + rel.end));
-                }
-                None => out.append(self.backing_read(want)),
+        Ok(self
+            .read_multi(std::slice::from_ref(&range))?
+            .pop()
+            .expect("one payload per range"))
+    }
+
+    /// Vectored read: one payload per input range. Allocated clusters are
+    /// served from the local qcow2 file; all backing fall-through pieces
+    /// of the whole plan are gathered into a single
+    /// [`Backing::read_multi`] request, which is what lets a remote
+    /// backing (PVFS) batch its per-server transfers instead of paying one
+    /// round trip per unallocated cluster.
+    pub fn read_multi(&mut self, ranges: &[Range<u64>]) -> Result<Vec<Payload>, Qcow2Error> {
+        for range in ranges {
+            if range.start > range.end || range.end > self.header.virtual_size {
+                return Err(Qcow2Error::OutOfBounds {
+                    offset: range.start,
+                    len: range.end.saturating_sub(range.start),
+                    size: self.header.virtual_size,
+                });
             }
         }
-        debug_assert_eq!(out.len(), range.end - range.start);
+        let cs = self.header.cluster_size();
+        // Walk the plan once, emitting local segments eagerly and backing
+        // segments as placeholders resolved by one vectored request.
+        enum Segment {
+            Local(Payload),
+            Backing(usize),
+        }
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut segment_of_range: Vec<Range<usize>> = Vec::with_capacity(ranges.len());
+        let mut backing_wants: Vec<Range<u64>> = Vec::new();
+        for range in ranges {
+            let first = segments.len();
+            for vc in bff_data::chunk_cover(range, cs) {
+                let cr = bff_data::chunk_range(vc, cs, self.header.virtual_size);
+                let want = intersect(&cr, range);
+                if want.start >= want.end {
+                    continue;
+                }
+                match self.lookup(vc)? {
+                    Some(off) => {
+                        let rel = want.start - cr.start..want.end - cr.start;
+                        segments.push(Segment::Local(
+                            self.dev.read_at(off + rel.start..off + rel.end),
+                        ));
+                    }
+                    None => {
+                        segments.push(Segment::Backing(backing_wants.len()));
+                        backing_wants.push(want);
+                    }
+                }
+            }
+            segment_of_range.push(first..segments.len());
+        }
+        let mut backing_pieces: Vec<Option<Payload>> = match &self.backing {
+            Some(b) if !backing_wants.is_empty() => {
+                b.read_multi(&backing_wants).into_iter().map(Some).collect()
+            }
+            _ => backing_wants
+                .iter()
+                .map(|w| Some(Payload::zeros(w.end - w.start)))
+                .collect(),
+        };
+        let mut out = Vec::with_capacity(ranges.len());
+        for (range, span) in ranges.iter().zip(segment_of_range) {
+            let mut payload = Payload::empty();
+            for slot in span {
+                match &mut segments[slot] {
+                    Segment::Local(p) => payload.append(std::mem::replace(p, Payload::empty())),
+                    Segment::Backing(i) => {
+                        payload.append(backing_pieces[*i].take().expect("resolved above"))
+                    }
+                }
+            }
+            debug_assert_eq!(payload.len(), range.end - range.start);
+            out.push(payload);
+        }
         Ok(out)
     }
 
@@ -422,6 +482,71 @@ mod tests {
             Qcow2Image::open(dev, None),
             Err(Qcow2Error::BadHeader(_)) | Err(Qcow2Error::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn read_multi_equivalent_to_per_range_reads() {
+        let mut img = cow_image();
+        img.write(4096 + 100, Payload::from(vec![7u8; 50])).unwrap();
+        img.write(20_000, Payload::from(vec![8u8; 3000])).unwrap();
+        let plans: Vec<Vec<Range<u64>>> = vec![
+            vec![0..VSIZE],
+            vec![0..4096, 4096..8192, 60_000..VSIZE],
+            vec![100..200, 150..4200, 300..300],
+            vec![],
+        ];
+        for plan in plans {
+            let multi = img.read_multi(&plan).unwrap();
+            assert_eq!(multi.len(), plan.len());
+            for (r, got) in plan.iter().zip(&multi) {
+                let single = img.read(r.clone()).unwrap();
+                assert!(got.content_eq(&single), "range {r:?} differs");
+            }
+        }
+        assert!(img.read_multi(&[0..10, 0..VSIZE + 1]).is_err());
+    }
+
+    #[test]
+    fn read_gathers_backing_fallthrough_into_one_vectored_request() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        struct CountingBacking {
+            data: Payload,
+            vectored_calls: Arc<AtomicU64>,
+        }
+        impl Backing for CountingBacking {
+            fn len(&self) -> u64 {
+                self.data.len()
+            }
+            fn read_at(&self, range: Range<u64>) -> Payload {
+                self.data.slice(range.start, range.end)
+            }
+            fn read_multi(&self, ranges: &[Range<u64>]) -> Vec<Payload> {
+                self.vectored_calls.fetch_add(1, Ordering::Relaxed);
+                ranges.iter().map(|r| self.read_at(r.clone())).collect()
+            }
+        }
+
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut img = Qcow2Image::create(
+            MemBlockDev::new(),
+            VSIZE,
+            CBITS,
+            Some(Box::new(CountingBacking {
+                data: base_image(),
+                vectored_calls: Arc::clone(&calls),
+            })),
+        )
+        .unwrap();
+        // Allocate a hole in the middle so the read interleaves local and
+        // backing clusters.
+        img.write(8192, Payload::from(vec![5u8; 4096])).unwrap();
+        let got = img.read(0..VSIZE).unwrap();
+        let expect = base_image().overwrite(8192, Payload::from(vec![5u8; 4096]));
+        assert!(got.content_eq(&expect));
+        // 15 unallocated clusters, one backing request.
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -72,6 +72,47 @@ impl VmOp {
     }
 }
 
+/// One replay step after read-coalescing (see [`coalesce_reads`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmBatch {
+    /// A compute or write op, replayed as-is.
+    Op(VmOp),
+    /// Consecutive reads issued as one vectored request.
+    Reads(Vec<std::ops::Range<u64>>),
+}
+
+/// Coalesce consecutive `Read` ops into vectored batches of at most
+/// `max_batch` requests — the virtual disk's queue-depth model: a guest
+/// issuing back-to-back reads has them in flight together, and the
+/// hypervisor submits the queue as one vectored request to the image
+/// backend. Compute and write ops are ordering barriers (a read after a
+/// write must observe it) and flush the pending batch.
+pub fn coalesce_reads(ops: &[VmOp], max_batch: usize) -> Vec<VmBatch> {
+    assert!(max_batch > 0, "queue depth must be positive");
+    let mut out = Vec::new();
+    let mut pending: Vec<std::ops::Range<u64>> = Vec::new();
+    for op in ops {
+        match *op {
+            VmOp::Read { offset, len } => {
+                pending.push(offset..offset + len);
+                if pending.len() == max_batch {
+                    out.push(VmBatch::Reads(std::mem::take(&mut pending)));
+                }
+            }
+            other => {
+                if !pending.is_empty() {
+                    out.push(VmBatch::Reads(std::mem::take(&mut pending)));
+                }
+                out.push(VmBatch::Op(other));
+            }
+        }
+    }
+    if !pending.is_empty() {
+        out.push(VmBatch::Reads(pending));
+    }
+    out
+}
+
 /// Totals over a trace.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceTotals {
@@ -102,6 +143,66 @@ pub fn totals(trace: &[VmOp]) -> TraceTotals {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coalesce_batches_consecutive_reads_and_respects_barriers() {
+        let trace = [
+            VmOp::Read { offset: 0, len: 10 },
+            VmOp::Read {
+                offset: 10,
+                len: 10,
+            },
+            VmOp::Write { offset: 5, len: 2 },
+            VmOp::Read {
+                offset: 20,
+                len: 10,
+            },
+            VmOp::Cpu { us: 3 },
+        ];
+        let batches = coalesce_reads(&trace, 32);
+        assert_eq!(
+            batches,
+            vec![
+                VmBatch::Reads(vec![0..10, 10..20]),
+                VmBatch::Op(VmOp::Write { offset: 5, len: 2 }),
+                VmBatch::Reads(std::iter::once(20..30).collect()),
+                VmBatch::Op(VmOp::Cpu { us: 3 }),
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesce_caps_batches_at_queue_depth() {
+        let trace: Vec<VmOp> = (0..5)
+            .map(|i| VmOp::Read {
+                offset: i * 10,
+                len: 10,
+            })
+            .collect();
+        let batches = coalesce_reads(&trace, 2);
+        assert_eq!(batches.len(), 3);
+        let sizes: Vec<usize> = batches
+            .iter()
+            .map(|b| match b {
+                VmBatch::Reads(r) => r.len(),
+                _ => panic!("only reads"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn coalesce_preserves_op_order_and_volume() {
+        let trace = [
+            VmOp::Cpu { us: 1 },
+            VmOp::Read { offset: 0, len: 7 },
+            VmOp::Write { offset: 0, len: 3 },
+        ];
+        let batches = coalesce_reads(&trace, 1);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], VmBatch::Op(VmOp::Cpu { us: 1 }));
+        assert_eq!(batches[1], VmBatch::Reads(std::iter::once(0..7).collect()));
+    }
 
     #[test]
     fn totals_add_up() {
