@@ -9,7 +9,7 @@
 //! segment tree; vectored, the whole plan costs one descent and batched
 //! per-provider transfers.
 
-use bff_blobseer::{BlobConfig, BlobId, BlobStore, BlobTopology, Client, Version};
+use bff_blobseer::{BlobConfig, BlobId, BlobStore, BlobTopology, Client, NodeContext, Version};
 use bff_data::Payload;
 use bff_net::{Fabric, LocalFabric, NodeId};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -43,6 +43,16 @@ fn deploy(image_bytes: u64, chunk_size: u64, nodes: u32) -> Repo {
     }
 }
 
+impl Repo {
+    /// A client with genuinely cold caches. `Client::new` attaches to
+    /// the node's *shared* context (which stays warm across iterations),
+    /// so cold-path benches must bring their own fresh one.
+    fn cold_client(&self, node: NodeId) -> Client {
+        let ctx = Arc::new(NodeContext::new(self.store.config()));
+        Client::with_context(Arc::clone(&self.store), node, ctx)
+    }
+}
+
 /// The boot-like sweep plan: every other chunk, as disjoint runs.
 fn sweep_plan(image_bytes: u64, chunk_size: u64) -> Vec<Range<u64>> {
     (0..image_bytes / chunk_size)
@@ -64,7 +74,7 @@ fn bench_cold_boot_sweep(c: &mut Criterion) {
     group.bench_function("per_run_reads", |b| {
         b.iter_batched(
             // A fresh client per iteration: cold node + descriptor caches.
-            || Client::new(Arc::clone(&repo.store), NodeId(1)),
+            || repo.cold_client(NodeId(1)),
             |client| {
                 for r in &plan {
                     client
@@ -78,7 +88,7 @@ fn bench_cold_boot_sweep(c: &mut Criterion) {
     });
     group.bench_function("read_multi", |b| {
         b.iter_batched(
-            || Client::new(Arc::clone(&repo.store), NodeId(1)),
+            || repo.cold_client(NodeId(1)),
             |client| {
                 client
                     .read_multi(repo.blob, repo.version, &plan)
@@ -103,7 +113,7 @@ fn bench_paper_scale_image(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper_scale_2gb");
     group.bench_function("cold_read_multi_full_sweep", |b| {
         b.iter_batched(
-            || Client::new(Arc::clone(&repo.store), NodeId(2)),
+            || repo.cold_client(NodeId(2)),
             |client| {
                 client
                     .read_multi(repo.blob, repo.version, &plan)

@@ -26,6 +26,10 @@ fn deploy(chunk_size: u64, nodes: u32, replication: usize, mode: ReplicationMode
         chunk_size,
         replication,
         replication_mode: mode,
+        // This bench measures the replication push pipeline; with dedup
+        // on, every iteration after the first would commit the identical
+        // plan by reference and measure nothing but the digest probe.
+        dedup: false,
         ..Default::default()
     };
     let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);

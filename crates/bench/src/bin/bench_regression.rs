@@ -1,10 +1,12 @@
 //! CI perf-regression gate: compare the criterion read/write pipeline
-//! benches against the committed `BENCH_*.json` baseline.
+//! benches against the committed `BENCH_*.json` baseline, and the
+//! `dedup_sweep` summary against the `BENCH_3.json` floors.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_regression --results bench-results.jsonl --baseline BENCH_2.json
+//! bench_regression --results bench-results.jsonl --baseline BENCH_2.json \
+//!     [--dedup-results target/paper/dedup_summary.json --dedup-baseline BENCH_3.json]
 //! ```
 //!
 //! `--results` is the `BFF_BENCH_JSON` jsonl the criterion shim appends
@@ -15,6 +17,11 @@
 //! on noisy shared CI machines. A check fails when a ratio drops more
 //! than `regression_tolerance` below the baseline ratio, or below the
 //! corresponding hard floor recorded in the baseline.
+//!
+//! The dedup checks work the same way on deterministic byte ratios
+//! (provider-bytes-written reduction, network reduction, cache hit
+//! rate), so they are noise-free: a failure means the dedup or
+//! node-shared-cache pipeline itself regressed.
 
 use std::process::ExitCode;
 
@@ -76,10 +83,59 @@ const CHECKS: &[Check] = &[
     },
 ];
 
+/// Measured-value keys checked between a dedup summary and `BENCH_3.json`
+/// (each `<key>` needs a `<key minus suffix>_floor` in the baseline).
+const DEDUP_CHECKS: &[(&str, &str, &str)] = &[
+    (
+        "dedup: provider bytes written, off ÷ on",
+        "dedup_stored_reduction",
+        "dedup_stored_floor",
+    ),
+    (
+        "dedup: network bytes, off ÷ on",
+        "dedup_network_reduction",
+        "dedup_network_floor",
+    ),
+    (
+        "node cache: descriptor hit rate",
+        "desc_hit_rate",
+        "desc_hit_rate_floor",
+    ),
+];
+
+/// Gate the dedup-sweep summary against the committed floors. Returns
+/// `true` when something failed.
+fn check_dedup(summary: &str, baseline: &str, baseline_path: &str) -> bool {
+    let tolerance = json_number(baseline, "regression_tolerance").unwrap_or(0.25);
+    let mut failed = false;
+    println!("dedup-sweep gate vs {baseline_path} (tolerance {tolerance})");
+    for (name, key, floor_key) in DEDUP_CHECKS {
+        let Some(current) = json_number(summary, key) else {
+            println!("FAIL {name}: {key} missing from summary");
+            failed = true;
+            continue;
+        };
+        let recorded =
+            json_number(baseline, key).unwrap_or_else(|| panic!("baseline missing {key}"));
+        let floor = json_number(baseline, floor_key)
+            .unwrap_or_else(|| panic!("baseline missing {floor_key}"));
+        let threshold = (recorded * (1.0 - tolerance)).max(floor);
+        let ok = current >= threshold;
+        println!(
+            "{} {name}: {current:.2} (baseline {recorded:.2}, threshold {threshold:.2}, floor {floor:.2})",
+            if ok { "ok  " } else { "FAIL" },
+        );
+        failed |= !ok;
+    }
+    failed
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut results: Vec<String> = Vec::new();
     let mut baseline_path = String::from("BENCH_2.json");
+    let mut dedup_results: Option<String> = None;
+    let mut dedup_baseline = String::from("BENCH_3.json");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--results" => {
@@ -89,10 +145,34 @@ fn main() -> ExitCode {
                 results.extend(text.lines().map(str::to_string));
             }
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
+            "--dedup-results" => {
+                let path = args.next().expect("--dedup-results needs a path");
+                dedup_results = Some(
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+                );
+            }
+            "--dedup-baseline" => {
+                dedup_baseline = args.next().expect("--dedup-baseline needs a path")
+            }
             other => panic!("unknown argument {other}"),
         }
     }
-    assert!(!results.is_empty(), "no --results provided");
+    assert!(
+        !results.is_empty() || dedup_results.is_some(),
+        "no --results or --dedup-results provided"
+    );
+    if let Some(summary) = &dedup_results {
+        let baseline = std::fs::read_to_string(&dedup_baseline)
+            .unwrap_or_else(|e| panic!("read baseline {dedup_baseline}: {e}"));
+        if check_dedup(summary, &baseline, &dedup_baseline) {
+            println!("dedup regression detected");
+            return ExitCode::FAILURE;
+        }
+    }
+    if results.is_empty() {
+        println!("all dedup-sweep ratios within tolerance");
+        return ExitCode::SUCCESS;
+    }
     let baseline = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
     let tolerance = json_number(&baseline, "regression_tolerance").unwrap_or(0.25);

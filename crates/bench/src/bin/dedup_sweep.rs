@@ -1,0 +1,181 @@
+//! Dedup sweep: the snapshot-heavy Monte-Carlo suspend/resume workload
+//! (§5.5) with content-addressed write dedup off vs on.
+//!
+//! Eight workers (two co-located per node — the multideployment
+//! pattern) boot from one base image, checkpoint their intermediate
+//! results every round and snapshot after every checkpoint. Halfway
+//! through, all of them are suspended and resumed on *different* nodes
+//! (nothing local survives), reload their state and finish. Checkpoints
+//! rewrite the same temporary file, so consecutive snapshots carry
+//! identical dirty content — exactly the §3.1.3 situation where commits
+//! should grow the repository by dirty *unique* bytes only.
+//!
+//! Emits `target/paper/dedup_sweep.{csv,json}` (the per-mode table) and
+//! `target/paper/dedup_summary.json` — the flat file the
+//! `bench_regression` CI gate compares against the `BENCH_3.json`
+//! floors.
+//!
+//! The binary is CI-sized by default (seconds); `--mini` is accepted for
+//! symmetry with the figure binaries and changes nothing.
+
+use bff_bench::{f3, output_dir, Table};
+use bff_cloud::backend::ImageBackend;
+use bff_cloud::middleware::Cloud;
+use bff_cloud::params::Calibration;
+use bff_cloud::vm::vm_write_payload;
+use bff_data::Payload;
+use bff_net::{Fabric, LocalFabric, NodeId};
+use std::fmt::Write as _;
+
+const NODES: u32 = 4;
+const VMS: usize = 8; // two co-located per node
+const IMG: u64 = 4 << 20;
+const CHUNK: u64 = 64 << 10;
+const STATE_BYTES: u64 = 256 << 10; // the worker's intermediate results
+const STATE_OFFSET: u64 = 1 << 20;
+const BOOT_READ: u64 = 1 << 20;
+/// Checkpoint+snapshot rounds before and after the suspend/resume.
+const ROUNDS: usize = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct ModeOutcome {
+    stored_mb: f64,
+    committed_mb: f64,
+    reused_mb: f64,
+    network_mb: f64,
+    hit_rate: f64,
+}
+
+fn run_mode(dedup: bool) -> ModeOutcome {
+    let fabric = LocalFabric::new(NODES as usize + 1);
+    let compute: Vec<NodeId> = (0..NODES).map(NodeId).collect();
+    let cloud = Cloud::new(
+        fabric.clone(),
+        compute,
+        NodeId(NODES),
+        bff_blobseer::BlobConfig {
+            chunk_size: CHUNK,
+            dedup,
+            ..Default::default()
+        },
+        Calibration::default(),
+    );
+    let (blob, version) = cloud
+        .upload_image(Payload::synth(0x5EED, 0, IMG))
+        .expect("upload");
+    let stored_base = cloud.store().total_stored_bytes();
+    fabric.stats().reset();
+
+    let node_of = |vm: usize, resumed: bool| -> NodeId {
+        // Two VMs per node; resume shifts every worker to another node.
+        let shift = if resumed { 2 } else { 0 };
+        NodeId(((vm + shift) % NODES as usize) as u32)
+    };
+
+    let mut committed = 0u64;
+    // Phase 1: deploy, boot-read, checkpoint+snapshot ROUNDS times.
+    let mut snaps = Vec::with_capacity(VMS);
+    for vm in 0..VMS {
+        let mut handle = cloud
+            .add_instance(blob, version, node_of(vm, false))
+            .expect("deploy");
+        handle.backend.read(0..BOOT_READ).expect("boot read");
+        for _ in 0..ROUNDS {
+            let state = vm_write_payload(vm as u64, STATE_OFFSET, STATE_BYTES);
+            handle
+                .backend
+                .write(STATE_OFFSET, state)
+                .expect("checkpoint");
+            committed += handle.backend.snapshot().expect("snapshot");
+        }
+        snaps.push(handle.snapshot().expect("snapshot identity"));
+    }
+
+    // Phase 2: resume every snapshot on a different node, reload the
+    // saved state, finish the remaining rounds.
+    for (vm, &(sblob, sver)) in snaps.iter().enumerate() {
+        let mut handle = cloud
+            .add_instance(sblob, sver, node_of(vm, true))
+            .expect("resume");
+        handle
+            .backend
+            .read(STATE_OFFSET..STATE_OFFSET + STATE_BYTES)
+            .expect("reload state");
+        for _ in 0..ROUNDS {
+            let state = vm_write_payload(vm as u64, STATE_OFFSET, STATE_BYTES);
+            handle
+                .backend
+                .write(STATE_OFFSET, state)
+                .expect("checkpoint");
+            committed += handle.backend.snapshot().expect("snapshot");
+        }
+    }
+
+    let stats = cloud.cache_stats();
+    ModeOutcome {
+        stored_mb: (cloud.store().total_stored_bytes() - stored_base) as f64 / 1e6,
+        committed_mb: committed as f64 / 1e6,
+        reused_mb: stats.dedup_reused_bytes as f64 / 1e6,
+        network_mb: fabric.stats().total_network_bytes() as f64 / 1e6,
+        hit_rate: stats.hit_rate(),
+    }
+}
+
+fn main() {
+    let off = run_mode(false);
+    let on = run_mode(true);
+
+    let mut t = Table::new(
+        "dedup_sweep",
+        &[
+            "dedup",
+            "committed_mb",
+            "stored_mb",
+            "reused_by_reference_mb",
+            "network_mb",
+            "desc_hit_rate",
+        ],
+    );
+    for (label, m) in [("off", off), ("on", on)] {
+        t.row(&[
+            &label,
+            &f3(m.committed_mb),
+            &f3(m.stored_mb),
+            &f3(m.reused_mb),
+            &f3(m.network_mb),
+            &f3(m.hit_rate),
+        ]);
+    }
+    t.emit();
+
+    let stored_reduction = off.stored_mb / on.stored_mb.max(1e-9);
+    let network_reduction = off.network_mb / on.network_mb.max(1e-9);
+    println!(
+        "\nprovider bytes written: {:.1} MB -> {:.1} MB ({stored_reduction:.2}x reduction); \
+         network {:.1} MB -> {:.1} MB ({network_reduction:.2}x); \
+         desc-cache hit rate {:.0}%",
+        off.stored_mb,
+        on.stored_mb,
+        off.network_mb,
+        on.network_mb,
+        100.0 * on.hit_rate
+    );
+
+    // Flat summary for the CI perf gate (compared against BENCH_3.json).
+    let mut summary = String::from("{\n");
+    let _ = writeln!(
+        summary,
+        "  \"dedup_stored_reduction\": {stored_reduction:.3},"
+    );
+    let _ = writeln!(
+        summary,
+        "  \"dedup_network_reduction\": {network_reduction:.3},"
+    );
+    let _ = writeln!(summary, "  \"desc_hit_rate\": {:.3},", on.hit_rate);
+    let _ = writeln!(summary, "  \"dedup_reused_mb\": {:.3}", on.reused_mb);
+    summary.push('}');
+    summary.push('\n');
+    let path = output_dir().join("dedup_summary.json");
+    std::fs::write(&path, summary).expect("write summary");
+    println!("[written {}]", path.display());
+}

@@ -126,6 +126,29 @@ pub struct BlobConfig {
     pub node_bytes: u64,
     /// Size of a small control message, for RPC costing.
     pub control_bytes: u64,
+    /// Content-addressed write deduplication (§3.1.3): a commit whose
+    /// chunk payload already has live replicas under the node's digest
+    /// index is published by reference (descriptor reuse + provider-side
+    /// refcount bump) instead of re-replicated. Defaults to the
+    /// `BFF_DEDUP` environment variable (unset → on), which is how CI
+    /// runs the whole suite in both modes.
+    pub dedup: bool,
+    /// Versions kept in the node-shared chunk-descriptor cache before
+    /// LRU eviction (entries are per `(blob, version)`; snapshots are
+    /// immutable so the bound only caps memory, never freshness).
+    pub desc_cache_versions: usize,
+    /// Entries kept in the node's content-digest index (dedup lookup
+    /// window). `0` disables the index even when `dedup` is on.
+    pub digest_index_chunks: usize,
+}
+
+/// Whether `BFF_DEDUP` asks for dedup to be disabled (CI toggles the
+/// whole test suite through this).
+fn dedup_env_default() -> bool {
+    match std::env::var("BFF_DEDUP") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
 }
 
 impl Default for BlobConfig {
@@ -138,6 +161,9 @@ impl Default for BlobConfig {
             provider_read_cache: true,
             node_bytes: 96,
             control_bytes: 64,
+            dedup: dedup_env_default(),
+            desc_cache_versions: 64,
+            digest_index_chunks: 1 << 16,
         }
     }
 }

@@ -21,12 +21,15 @@
 //!    most `tree depth` metadata rounds, not `R × depth` (§3.2: metadata
 //!    is accessed in parallel, grouped per level).
 //! 2. **Descriptor cache** — resolved chunk descriptors are cached per
-//!    `(blob, version)` on the compute node (§4.1's metadata cache).
-//!    Snapshots are immutable, so entries never go stale; repeated
-//!    boot-time reads of the same snapshot skip the metadata plane
-//!    entirely. `write_chunks` seeds the new version's entry from its
-//!    base plus the published delta, and `clone_blob` carries the source
-//!    entry over to the clone.
+//!    `(blob, version)` in the *node-shared* [`NodeContext`] (§4.1's
+//!    metadata cache lives in the per-node FUSE process, shared by every
+//!    co-located VM). Snapshots are immutable, so entries never go
+//!    stale; repeated boot-time reads of the same snapshot skip the
+//!    metadata plane entirely — even from a different co-located client.
+//!    `write_chunks` seeds the new version's entry from its base plus
+//!    the published delta, and `clone_blob` carries the source entry
+//!    over to the clone. Eviction is per-entry LRU, bounded by
+//!    [`BlobConfig::desc_cache_versions`].
 //! 3. **Per-provider batching** — the chunk fetches of the whole plan are
 //!    grouped by provider and issued as one batched transfer each, with
 //!    per-chunk replica failover as the fallback path.
@@ -52,16 +55,31 @@
 //! batch (down node, mid-transfer failure) is dropped from the published
 //! chunk descriptor rather than failing the write; the write only errors
 //! if a chunk retains no replica at all.
+//!
+//! # Content-addressed write dedup
+//!
+//! When [`BlobConfig::dedup`] is on, `write_chunks` content-addresses
+//! the update set before touching the provider manager: identical
+//! payloads *within* the commit collapse to one stored chunk, and
+//! payloads whose `(length, digest)` already map to live replicas in the
+//! node's [`NodeContext`] digest index are committed **by reference** —
+//! the published leaf reuses the existing descriptor and bumps a
+//! provider-side refcount instead of re-replicating the bytes. Snapshot
+//! storage therefore grows with dirty *unique* bytes, not dirty bytes
+//! (the write-side half of §3.1.3's dedup claim). A commit that fails to
+//! publish (conflict, network) releases every reference it took;
+//! releases never underflow.
 
 use crate::api::{
-    BlobConfig, BlobError, BlobId, BlobResult, ChunkDesc, NodeKey, ReplicationMode, TreeNode,
-    Version,
+    BlobConfig, BlobError, BlobId, BlobResult, ChunkDesc, ChunkId, NodeKey, ReplicationMode,
+    TreeNode, Version,
 };
+use crate::context::NodeContext;
 use crate::meta::partition_of;
 use crate::segtree::{self, NodeIo};
 use crate::service::BlobStore;
-use bff_data::FastMap;
-use bff_data::{chunk_cover, chunk_range, intersect, ByteRange, Payload, RangeSet};
+use bff_data::{chunk_cover, chunk_range, intersect, ByteRange, ContentKey, Payload};
+use bff_data::{FastMap, FastSet};
 use bff_net::{NetError, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -78,47 +96,45 @@ struct VersionMeta {
     span: u64,
 }
 
-/// The compute node's chunk-descriptor cache for one snapshot (the
-/// paper's §4.1 metadata cache). An index inside `resolved` but absent
-/// from `descs` is a known-unwritten chunk (reads as zeros) — that
-/// negative knowledge also skips the metadata plane on re-reads.
-#[derive(Debug, Clone, Default)]
-struct DescCache {
-    /// Chunk-index ranges already resolved against the metadata plane.
-    resolved: RangeSet,
-    /// Descriptors of the resolved chunks that exist.
-    descs: FastMap<u64, ChunkDesc>,
-}
-
-/// Entries kept in the per-client descriptor cache before wholesale
-/// eviction. Snapshots are immutable so entries never go *stale*; the
-/// bound only caps memory for long commit chains.
-const DESC_CACHE_VERSIONS: usize = 64;
-
-/// A client handle bound to one cluster node.
+/// A client handle bound to one cluster node. All clients on a node
+/// share that node's [`NodeContext`] (descriptor cache + digest index),
+/// exactly as co-located VMs share the paper's per-node FUSE process.
 #[derive(Clone)]
 pub struct Client {
     store: Arc<BlobStore>,
     node: NodeId,
+    ctx: Arc<NodeContext>,
     version_cache: Arc<Mutex<FastMap<(BlobId, Version), VersionMeta>>>,
     node_cache: Arc<Mutex<FastMap<NodeKey, TreeNode>>>,
-    desc_cache: Arc<Mutex<FastMap<(BlobId, Version), DescCache>>>,
     /// Diagnostic: number of `NodeIo::fetch` rounds issued (tests assert
     /// the single-descent bound; see `read_multi`).
     meta_fetch_calls: Arc<AtomicU64>,
 }
 
 impl Client {
-    /// Create a client for the process running on `node`.
+    /// Create a client for the process running on `node`, attached to
+    /// the node's shared [`NodeContext`].
     pub fn new(store: Arc<BlobStore>, node: NodeId) -> Self {
+        let ctx = store.node_context(node);
+        Self::with_context(store, node, ctx)
+    }
+
+    /// Create a client attached to an explicit context (tests and
+    /// special deployments; [`Client::new`] is the normal path).
+    pub fn with_context(store: Arc<BlobStore>, node: NodeId, ctx: Arc<NodeContext>) -> Self {
         Self {
             store,
             node,
+            ctx,
             version_cache: Arc::new(Mutex::new(FastMap::default())),
             node_cache: Arc::new(Mutex::new(FastMap::default())),
-            desc_cache: Arc::new(Mutex::new(FastMap::default())),
             meta_fetch_calls: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// The node-shared cache module this client attaches to.
+    pub fn context(&self) -> &Arc<NodeContext> {
+        &self.ctx
     }
 
     /// Number of metadata fetch rounds (`NodeIo::fetch` calls) this client
@@ -156,33 +172,10 @@ impl Client {
         let id = self.store.vmanager.lock().clone_blob(src, version)?;
         // The clone's Version(1) *is* the source tree, so the descriptor
         // cache carries over verbatim.
-        let mut cache = self.desc_cache.lock();
-        if let Some(entry) = cache.get(&(src, version)).cloned() {
-            Self::desc_cache_insert(&mut cache, (id, Version(1)), entry);
+        if let Some(entry) = self.ctx.entry_snapshot((src, version)) {
+            self.ctx.insert_entry((id, Version(1)), entry);
         }
         Ok(id)
-    }
-
-    /// Insert with wholesale eviction once the version bound is hit.
-    fn desc_cache_insert(
-        cache: &mut FastMap<(BlobId, Version), DescCache>,
-        key: (BlobId, Version),
-        entry: DescCache,
-    ) {
-        *Self::desc_cache_entry(cache, key) = entry;
-    }
-
-    /// The cache slot for `key`, creating it empty if absent — the single
-    /// place the eviction policy lives (wholesale clear at the version
-    /// bound; entries are never *stale*, the bound only caps memory).
-    fn desc_cache_entry(
-        cache: &mut FastMap<(BlobId, Version), DescCache>,
-        key: (BlobId, Version),
-    ) -> &mut DescCache {
-        if cache.len() >= DESC_CACHE_VERSIONS && !cache.contains_key(&key) {
-            cache.clear();
-        }
-        cache.entry(key).or_default()
     }
 
     /// Latest published version of a blob.
@@ -280,15 +273,17 @@ impl Client {
             }
         });
 
-        // Resolve descriptors: cache first, then one descent for the rest.
+        // Resolve descriptors: the node-shared cache first, then one
+        // descent for the rest. Chunk-granular hit/miss counts feed the
+        // context's aggregate counters.
         let mut descs: FastMap<u64, ChunkDesc> = FastMap::default();
         let mut missing: Vec<Range<u64>> = Vec::new();
-        {
-            let mut cache = self.desc_cache.lock();
-            let entry = Self::desc_cache_entry(&mut cache, (blob, version));
+        let (hits, misses) = self.ctx.with_entry((blob, version), |entry| {
+            let (mut hits, mut misses) = (0u64, 0u64);
             for run in &cover_runs {
                 // Cached descriptors for the already-resolved parts.
                 for resolved in entry.resolved.runs_within(run) {
+                    hits += resolved.end - resolved.start;
                     for i in resolved {
                         if let Some(d) = entry.descs.get(&i) {
                             descs.insert(i, d.clone());
@@ -296,23 +291,28 @@ impl Client {
                     }
                 }
                 // The remainder needs the (single) descent below.
-                missing.extend(entry.resolved.gaps_within(run));
+                for gap in entry.resolved.gaps_within(run) {
+                    misses += gap.end - gap.start;
+                    missing.push(gap);
+                }
             }
-        }
+            (hits, misses)
+        });
+        self.ctx.note_desc_lookup(hits, misses);
         if !missing.is_empty() {
             let leaves = {
                 let mut io = ClientNodeIo { client: self };
                 segtree::collect_leaves_multi(&mut io, meta.root, meta.span, &missing)?
             };
-            let mut cache = self.desc_cache.lock();
-            let entry = Self::desc_cache_entry(&mut cache, (blob, version));
-            for (i, d) in leaves {
-                entry.descs.insert(i, d.clone());
-                descs.insert(i, d);
-            }
-            for run in missing {
-                entry.resolved.insert(run);
-            }
+            self.ctx.with_entry((blob, version), |entry| {
+                for (i, d) in leaves {
+                    entry.descs.insert(i, d.clone());
+                    descs.insert(i, d);
+                }
+                for run in missing {
+                    entry.resolved.insert(run);
+                }
+            });
         }
 
         // Batched chunk fetch for every written chunk in the cover union.
@@ -451,12 +451,34 @@ impl Client {
     /// the mirroring module gap-fills chunks locally, so every modified
     /// chunk arrives complete). `updates` maps chunk index → full chunk
     /// payload.
+    ///
+    /// With [`BlobConfig::dedup`] on, identical payloads within the
+    /// commit collapse to one stored chunk and payloads already indexed
+    /// by content in the node's [`NodeContext`] are committed by
+    /// reference (see the module docs). A failed publish releases every
+    /// provider-side reference the commit took.
     pub fn write_chunks(
         &self,
         blob: BlobId,
         base: Version,
         updates: Vec<(u64, Payload)>,
     ) -> BlobResult<Version> {
+        self.write_chunks_accounted(blob, base, updates)
+            .map(|(v, _)| v)
+    }
+
+    /// [`Client::write_chunks`], additionally returning the payload
+    /// bytes *this commit* published by reference (index reuse +
+    /// intra-commit collapse). Callers attributing dedup savings to one
+    /// image (e.g. the mirror's COMMIT stats) must use this rather than
+    /// delta-reading the node-shared [`NodeContext`] counters, which
+    /// interleave across co-located committers.
+    pub fn write_chunks_accounted(
+        &self,
+        blob: BlobId,
+        base: Version,
+        updates: Vec<(u64, Payload)>,
+    ) -> BlobResult<(Version, u64)> {
         let meta = self.version_meta(blob, base)?;
         if updates.is_empty() {
             return Err(BlobError::BadInput("empty update set"));
@@ -468,46 +490,271 @@ impl Client {
             }
         }
 
-        // 1. Allocate chunk ids + providers (one provider-manager RPC),
-        //    skipping providers the fabric currently reports down —
-        //    placing fresh chunks there would only defer the failure to
-        //    push time.
-        let n = updates.len();
-        let c = self.cfg().control_bytes;
-        self.store
-            .fabric
-            .rpc(self.node, self.store.topo.pmanager, c, c + 24 * n as u64)?;
-        let down: Vec<bool> = self
-            .store
-            .topo
-            .providers
+        // Content-address the update set: one `UniqueChunk` per distinct
+        // payload, `slot_of[s]` mapping each update slot to its unique.
+        // With dedup off every slot is its own unique and no digest is
+        // computed.
+        let (mut uniques, slot_of) = self.plan_commit(&updates);
+        // Every provider-side reference this commit acquires, recorded
+        // so a failed publish can roll all of them back.
+        let mut retained: Vec<(NodeId, ChunkId)> = Vec::new();
+        if self.cfg().dedup {
+            self.dedup_probe(&updates, &mut uniques, &mut retained);
+        }
+        let mut reused_bytes = 0u64;
+        let result = self.publish_planned(
+            blob,
+            base,
+            meta,
+            &updates,
+            &uniques,
+            &slot_of,
+            &mut retained,
+            &mut reused_bytes,
+        );
+        if result.is_err() {
+            // Roll back: drop every reference taken above. `release`
+            // never underflows, so a partial rollback racing other
+            // commits stays safe.
+            for (prov, id) in retained.drain(..) {
+                self.store.providers.release(prov, id);
+            }
+        }
+        result.map(|v| (v, reused_bytes))
+    }
+
+    /// Group the update set by content. Returns the distinct payloads
+    /// (first-appearance order) and the slot → unique mapping.
+    fn plan_commit(&self, updates: &[(u64, Payload)]) -> (Vec<UniqueChunk>, Vec<usize>) {
+        let mut uniques: Vec<UniqueChunk> = Vec::with_capacity(updates.len());
+        let mut slot_of: Vec<usize> = Vec::with_capacity(updates.len());
+        if self.cfg().dedup {
+            let mut by_key: FastMap<ContentKey, usize> = FastMap::default();
+            for (slot, (_, data)) in updates.iter().enumerate() {
+                let key = (data.len(), data.digest());
+                let u = *by_key.entry(key).or_insert_with(|| {
+                    uniques.push(UniqueChunk {
+                        key: Some(key),
+                        first_slot: slot,
+                        uses: 0,
+                        reused: None,
+                    });
+                    uniques.len() - 1
+                });
+                uniques[u].uses += 1;
+                slot_of.push(u);
+            }
+        } else {
+            for slot in 0..updates.len() {
+                uniques.push(UniqueChunk {
+                    key: None,
+                    first_slot: slot,
+                    uses: 1,
+                    reused: None,
+                });
+                slot_of.push(slot);
+            }
+        }
+        (uniques, slot_of)
+    }
+
+    /// Probe the node's digest index for each unique payload and
+    /// validate hits against the providers: one control RPC per distinct
+    /// reachable provider (the batched refcount bump + verification
+    /// round), a **byte comparison** of the candidate payload against a
+    /// stored replica (a 64-bit digest alone is not collision-proof, and
+    /// a collision here would silently publish wrong content — in a real
+    /// deployment the provider performs this check while handling the
+    /// bump), then a `retain` per replica that still holds the chunk.
+    /// Replicas that are down, unreachable or no longer hold the chunk
+    /// drop out — exactly the push pipeline's per-replica failover
+    /// semantics. A hit whose chunk is gone everywhere is forgotten; a
+    /// content mismatch (digest collision) keeps the index entry — it is
+    /// still correct for the *other* payload — and pushes fresh.
+    fn dedup_probe(
+        &self,
+        updates: &[(u64, Payload)],
+        uniques: &mut [UniqueChunk],
+        retained: &mut Vec<(NodeId, ChunkId)>,
+    ) {
+        let mut candidates: Vec<(usize, ContentKey, ChunkDesc)> = Vec::new();
+        for (u, unique) in uniques.iter().enumerate() {
+            let key = unique.key.expect("dedup plan carries keys");
+            if let Some(desc) = self.ctx.digest_lookup(&key) {
+                candidates.push((u, key, desc));
+            }
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        let mut provs: Vec<NodeId> = candidates
             .iter()
-            .map(|&p| self.store.fabric.is_down(p))
+            .flat_map(|(_, _, d)| d.replicas.iter().copied())
             .collect();
-        let descs = {
-            let mut pm = self.store.pmanager.lock();
-            pm.allocate_avoiding(n, meta.chunk_size, self.cfg().replication, &down)?
-        };
+        provs.sort_unstable();
+        provs.dedup();
+        let c = self.cfg().control_bytes;
+        let mut reachable: FastSet<NodeId> = FastSet::default();
+        for prov in provs {
+            if !self.store.fabric.is_down(prov)
+                && self.store.fabric.rpc(self.node, prov, c, c).is_ok()
+            {
+                reachable.insert(prov);
+            }
+        }
+        for (u, key, desc) in candidates {
+            // Verify the bytes against whichever replica still stores
+            // the chunk. `None` = gone everywhere (stale entry),
+            // `Some(false)` = digest collision. The stored payload is
+            // cloned out (rope segments are refcounted — no byte copy)
+            // so the O(chunk_size) comparison runs *outside* the shard
+            // lock and never stalls concurrent traffic to that provider.
+            let payload = &updates[uniques[u].first_slot].1;
+            let mut verdict: Option<bool> = None;
+            for &prov in desc.replicas.iter() {
+                let stored = match self.store.providers.lock(prov) {
+                    Some(shard) => shard.peek(desc.id).cloned(),
+                    None => continue,
+                };
+                if let Some(stored) = stored {
+                    verdict = Some(stored.content_eq(payload));
+                    break;
+                }
+            }
+            match verdict {
+                Some(true) => {}
+                Some(false) => continue,
+                None => {
+                    self.ctx.digest_forget(&key);
+                    continue;
+                }
+            }
+            let mut survivors: Vec<NodeId> = Vec::with_capacity(desc.replicas.len());
+            for &prov in desc.replicas.iter() {
+                if reachable.contains(&prov) && self.store.providers.retain(prov, desc.id) {
+                    survivors.push(prov);
+                    retained.push((prov, desc.id));
+                }
+            }
+            if survivors.is_empty() {
+                self.ctx.digest_forget(&key);
+            } else {
+                uniques[u].reused = Some(ChunkDesc {
+                    id: desc.id,
+                    replicas: survivors.into(),
+                });
+            }
+        }
+    }
 
-        // 2. Push chunk data through the configured replication pipeline
-        //    (fan-out / chain batched per provider, or the sequential
-        //    reference), with per-replica failover: the published
-        //    descriptors keep exactly the replicas that acknowledged.
-        let updates = Arc::new(updates);
-        let descs = self.push_chunks(&updates, descs)?;
+    /// Allocate, push and publish a content-planned commit. Any error
+    /// propagates to `write_chunks`, which rolls back `retained`.
+    #[allow(clippy::too_many_arguments)]
+    fn publish_planned(
+        &self,
+        blob: BlobId,
+        base: Version,
+        meta: VersionMeta,
+        updates: &[(u64, Payload)],
+        uniques: &[UniqueChunk],
+        slot_of: &[usize],
+        retained: &mut Vec<(NodeId, ChunkId)>,
+        reused_out: &mut u64,
+    ) -> BlobResult<Version> {
+        // 1. Allocate chunk ids + providers for the uniques that need
+        //    fresh storage (one provider-manager RPC, skipped entirely
+        //    when every chunk commits by reference), avoiding providers
+        //    the fabric currently reports down.
+        let fresh: Vec<usize> = (0..uniques.len())
+            .filter(|&u| uniques[u].reused.is_none())
+            .collect();
+        let mut unique_descs: Vec<Option<ChunkDesc>> =
+            uniques.iter().map(|u| u.reused.clone()).collect();
+        if !fresh.is_empty() {
+            let n = fresh.len();
+            let c = self.cfg().control_bytes;
+            self.store
+                .fabric
+                .rpc(self.node, self.store.topo.pmanager, c, c + 24 * n as u64)?;
+            let down: Vec<bool> = self
+                .store
+                .topo
+                .providers
+                .iter()
+                .map(|&p| self.store.fabric.is_down(p))
+                .collect();
+            let descs = {
+                let mut pm = self.store.pmanager.lock();
+                pm.allocate_avoiding(n, meta.chunk_size, self.cfg().replication, &down)?
+            };
+            // A fresh put stores each replica at refcount 1 — record that
+            // implicit reference *before* pushing, so a failed push or
+            // publish releases (and thereby frees) whatever actually got
+            // stored instead of orphaning it on the providers. Releasing
+            // a replica the push never reached is a no-op.
+            for desc in &descs {
+                for &prov in desc.replicas.iter() {
+                    retained.push((prov, desc.id));
+                }
+            }
 
-        // 3. Shadow the metadata tree.
+            // 2. Push the distinct payloads through the configured
+            //    replication pipeline (fan-out / chain / sequential) with
+            //    per-replica failover — deduplicated bytes never reach
+            //    the wire.
+            let fresh_updates: Arc<Vec<(u64, Payload)>> = Arc::new(
+                fresh
+                    .iter()
+                    .map(|&u| updates[uniques[u].first_slot].clone())
+                    .collect(),
+            );
+            let pushed = self.push_chunks(&fresh_updates, descs)?;
+            for (&u, desc) in fresh.iter().zip(pushed) {
+                unique_descs[u] = Some(desc);
+            }
+        }
+
+        // 3. Extra intra-commit uses take one more provider-side
+        //    reference each (a fresh put starts at refcount 1 — its
+        //    first use; a validated reuse already retained once).
+        let mut dedup_chunks = 0u64;
+        let mut dedup_bytes = 0u64;
+        for (u, unique) in uniques.iter().enumerate() {
+            let desc = unique_descs[u].as_ref().expect("filled above");
+            for _ in 1..unique.uses {
+                for &prov in desc.replicas.iter() {
+                    if self.store.providers.retain(prov, desc.id) {
+                        retained.push((prov, desc.id));
+                    }
+                }
+            }
+            let len = updates[unique.first_slot].1.len();
+            if unique.reused.is_some() {
+                dedup_chunks += unique.uses;
+                dedup_bytes += len * unique.uses;
+            } else if unique.uses > 1 {
+                dedup_chunks += unique.uses - 1;
+                dedup_bytes += len * (unique.uses - 1);
+            }
+        }
+
+        // 4. Shadow the metadata tree with one descriptor per slot.
         let update_map: FastMap<u64, ChunkDesc> = updates
             .iter()
-            .map(|(i, _)| *i)
-            .zip(descs.iter().cloned())
+            .enumerate()
+            .map(|(slot, (i, _))| {
+                (
+                    *i,
+                    unique_descs[slot_of[slot]].clone().expect("filled above"),
+                )
+            })
             .collect();
         let new_root = {
             let mut io = ClientNodeIo { client: self };
             segtree::build_new_tree(&mut io, meta.root, meta.span, &update_map)?
         };
 
-        // 4. Publish at the version manager (the total-order point).
+        // 5. Publish at the version manager (the total-order point).
         self.control_rpc(self.store.topo.vmanager)?;
         let v = self.store.vmanager.lock().publish(blob, base, new_root)?;
         self.version_cache.lock().insert(
@@ -517,16 +764,29 @@ impl Client {
                 ..meta
             },
         );
+        // The commit is durable: record its content for future reuse and
+        // account the dedup savings.
+        if self.cfg().dedup {
+            for (u, unique) in uniques.iter().enumerate() {
+                if let Some(key) = unique.key {
+                    let desc = unique_descs[u].clone().expect("filled above");
+                    self.ctx.digest_record(key, desc);
+                }
+            }
+            if dedup_chunks > 0 {
+                self.ctx.note_dedup(dedup_chunks, dedup_bytes);
+            }
+            *reused_out = dedup_bytes;
+        }
         // Seed the new snapshot's descriptor cache: everything resolved
         // for the base still holds (unmodified subtrees are shared), plus
-        // the delta just published. The committing client can then read
-        // its own snapshot back without touching the metadata plane.
-        // The base entry is *moved*, not cloned — a commit chain would
-        // otherwise copy O(resolved chunks) per commit; a later read of
-        // the base version simply re-resolves.
+        // the delta just published. The committing client — or any
+        // co-located one — can then read the snapshot back without
+        // touching the metadata plane. The base entry is *moved*, not
+        // cloned: a commit chain would otherwise copy O(resolved chunks)
+        // per commit; a later read of the base version simply re-resolves.
         {
-            let mut cache = self.desc_cache.lock();
-            let mut entry = cache.remove(&(blob, base)).unwrap_or_default();
+            let mut entry = self.ctx.take_entry((blob, base)).unwrap_or_default();
             // Coalesce the updated indices into maximal runs first: a
             // full-image commit is then one range insert, not one per
             // chunk.
@@ -546,7 +806,7 @@ impl Client {
             for (i, d) in &update_map {
                 entry.descs.insert(*i, d.clone());
             }
-            Self::desc_cache_insert(&mut cache, (blob, v), entry);
+            self.ctx.insert_entry((blob, v), entry);
         }
         Ok(v)
     }
@@ -715,6 +975,20 @@ impl Client {
         self.store.fabric.par_join(tasks);
         unwrap_shared(outcome)
     }
+}
+
+/// One distinct payload content within a commit's update set.
+#[derive(Debug)]
+struct UniqueChunk {
+    /// Content key, `None` when dedup is off (no digest computed).
+    key: Option<ContentKey>,
+    /// First update slot carrying this content (its payload is pushed).
+    first_slot: usize,
+    /// How many update slots carry this content.
+    uses: u64,
+    /// Validated digest-index hit: commit by reference to this
+    /// descriptor instead of pushing.
+    reused: Option<ChunkDesc>,
 }
 
 /// Per-chunk fetch outcomes keyed by chunk index.
@@ -1662,6 +1936,303 @@ mod tests {
             .write_chunks(blob, Version(0), vec![(0, Payload::zeros(128))])
             .unwrap_err();
         assert!(matches!(err, BlobError::Net(NetError::NodeDown(_))));
+    }
+
+    /// Setup with an explicit dedup setting (tests must not depend on
+    /// the `BFF_DEDUP` environment default — CI flips it).
+    fn setup_dedup(nodes: u32, replication: usize, dedup: bool) -> (Arc<LocalFabric>, Client) {
+        let fabric = LocalFabric::new(nodes as usize + 1);
+        let compute: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(nodes));
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            replication,
+            dedup,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        (fabric, Client::new(store, NodeId(0)))
+    }
+
+    /// Refcounts of chunk `id` across all providers holding it.
+    fn refcounts(client: &Client, id: u64) -> Vec<u64> {
+        client
+            .store()
+            .topology()
+            .providers
+            .iter()
+            .filter_map(|&p| {
+                client
+                    .store()
+                    .providers
+                    .refcount(p, crate::api::ChunkId(id))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lru_cache_survives_long_version_churn() {
+        // Regression for the old wholesale eviction: resolving >64
+        // snapshots used to flush the *entire* descriptor cache, so a
+        // frequently-read snapshot paid fresh metadata descents over and
+        // over. With per-entry LRU, the hot entry stays resident through
+        // arbitrary churn.
+        let (_f, client) = setup(4);
+        let hot_data = Payload::synth(40, 0, 1024);
+        let (hot, vhot) = client.upload(hot_data).unwrap(); // 8 chunks, fully seeded
+        let churn = client.create_blob(128).unwrap();
+        let mut versions = vec![Version(0)];
+        for i in 0..150u64 {
+            let v = client
+                .write(
+                    churn,
+                    *versions.last().unwrap(),
+                    0,
+                    Payload::synth(50 + i, 0, 128),
+                )
+                .unwrap();
+            versions.push(v);
+        }
+        // Touch 150 distinct (blob, version) entries — far past the
+        // 64-version bound — re-reading the hot snapshot throughout.
+        for (i, v) in versions.iter().skip(1).enumerate() {
+            client.read(churn, *v, 0..128).unwrap();
+            if i % 2 == 0 {
+                let before = client.meta_fetch_calls();
+                client.read(hot, vhot, 0..1024).unwrap();
+                assert_eq!(
+                    client.meta_fetch_calls(),
+                    before,
+                    "hot snapshot re-resolved at churn step {i}: the cache \
+                     was flushed wholesale"
+                );
+            }
+        }
+        let ctx = client.context();
+        assert!(
+            ctx.desc_entries() <= ctx.desc_capacity(),
+            "LRU bound violated: {} > {}",
+            ctx.desc_entries(),
+            ctx.desc_capacity()
+        );
+    }
+
+    #[test]
+    fn dedup_commits_identical_content_by_reference() {
+        let (_f, client) = setup_dedup(4, 1, true);
+        let (a, va) = client.upload(Payload::synth(60, 0, 512)).unwrap(); // ids 1..=4
+        let content = Payload::synth(77, 0, 128);
+        let v2 = client
+            .write_chunks(a, va, vec![(0, content.clone())])
+            .unwrap(); // id 5
+        let stored = client.store().total_stored_bytes();
+        assert_eq!(refcounts(&client, 5), vec![1]);
+
+        // A different blob commits the same bytes: no new storage, the
+        // leaf references chunk 5 and bumps its refcount.
+        let b = client.create_blob(512).unwrap();
+        let vb = client
+            .write_chunks(b, Version(0), vec![(1, content.clone())])
+            .unwrap();
+        assert_eq!(
+            client.store().total_stored_bytes(),
+            stored,
+            "identical content must not grow provider storage"
+        );
+        assert_eq!(refcounts(&client, 5), vec![2]);
+        let got = client.read(b, vb, 128..256).unwrap();
+        assert!(got.content_eq(&content));
+        // The origin snapshot still reads its copy.
+        let got = client.read(a, v2, 0..128).unwrap();
+        assert!(got.content_eq(&content));
+        assert_eq!(client.context().stats().dedup_hits, 1);
+
+        // Dedup off: the same sequence stores the chunk twice.
+        let (_f2, off) = setup_dedup(4, 1, false);
+        let (a2, va2) = off.upload(Payload::synth(60, 0, 512)).unwrap();
+        off.write_chunks(a2, va2, vec![(0, content.clone())])
+            .unwrap();
+        let stored_off = off.store().total_stored_bytes();
+        let b2 = off.create_blob(512).unwrap();
+        off.write_chunks(b2, Version(0), vec![(1, content.clone())])
+            .unwrap();
+        assert_eq!(off.store().total_stored_bytes(), stored_off + 128);
+    }
+
+    #[test]
+    fn intra_commit_duplicates_collapse() {
+        let (_f, client) = setup_dedup(4, 1, true);
+        // Four identical all-zero chunks upload as one stored chunk with
+        // four references.
+        let (blob, v) = client.upload(Payload::zeros(512)).unwrap();
+        assert_eq!(client.store().total_stored_bytes(), 128);
+        assert_eq!(client.store().total_chunks(), 1);
+        assert_eq!(refcounts(&client, 1), vec![4]);
+        let got = client.read(blob, v, 0..512).unwrap();
+        assert!(got.content_eq(&Payload::zeros(512)));
+    }
+
+    #[test]
+    fn dedup_reads_byte_identical_to_dedup_off() {
+        // The same commit sequence through both configurations must be
+        // byte-identical on every snapshot (the content-plane invariant
+        // the property suite checks at scale).
+        let patches: Vec<(u64, Payload)> = vec![
+            (0, Payload::zeros(128)),
+            (3, Payload::synth(81, 0, 128)),
+            (5, Payload::zeros(128)),
+            (7, Payload::synth(81, 0, 128)),
+        ];
+        let mut snapshots: Vec<Vec<Payload>> = Vec::new();
+        for dedup in [true, false] {
+            let (_f, client) = setup_dedup(4, 2, dedup);
+            let (blob, v1) = client.upload(Payload::synth(80, 0, 1024)).unwrap();
+            let v2 = client.write_chunks(blob, v1, patches.clone()).unwrap();
+            let v3 = client
+                .write_chunks(blob, v2, vec![(1, Payload::zeros(128))])
+                .unwrap();
+            snapshots.push(
+                [v1, v2, v3]
+                    .iter()
+                    .map(|&v| client.read(blob, v, 0..1024).unwrap())
+                    .collect(),
+            );
+        }
+        for (on, off) in snapshots[0].iter().zip(&snapshots[1]) {
+            assert!(on.content_eq(off), "dedup changed snapshot content");
+        }
+    }
+
+    #[test]
+    fn dedup_conflict_rolls_back_refcounts() {
+        let (_f, client) = setup_dedup(4, 2, true);
+        let (blob, v1) = client.upload(Payload::synth(90, 0, 512)).unwrap();
+        let content = Payload::synth(91, 0, 128);
+        client
+            .write_chunks(blob, v1, vec![(0, content.clone())])
+            .unwrap(); // id 5
+        let before = refcounts(&client, 5);
+        assert_eq!(before, vec![1, 1], "one reference per replica");
+        // A second commit from the same base dedups onto chunk 5, then
+        // loses the publish race: its references must be released.
+        let err = client
+            .write_chunks(blob, v1, vec![(1, content.clone())])
+            .unwrap_err();
+        assert!(matches!(err, BlobError::Conflict { .. }));
+        assert_eq!(
+            refcounts(&client, 5),
+            before,
+            "failed publish must release its dedup references"
+        );
+        // Releasing a chunk that was never stored is a clean no-op.
+        assert!(!client
+            .store()
+            .providers
+            .release(NodeId(0), crate::api::ChunkId(999)));
+    }
+
+    #[test]
+    fn accounted_commit_reports_only_its_own_reuse() {
+        // Two co-located clients share one NodeContext; each commit must
+        // report exactly its own by-reference bytes, not a delta of the
+        // shared counters (which interleave across committers).
+        let (_f, c1) = setup_dedup(4, 1, true);
+        let c2 = Client::new(Arc::clone(c1.store()), NodeId(0));
+        let (b1, v1) = c1.upload(Payload::synth(80, 0, 512)).unwrap();
+        let (b2, v2) = c2.upload(Payload::synth(81, 0, 512)).unwrap();
+        let shared = Payload::synth(82, 0, 128);
+        // c1 stores the content fresh: nothing reused.
+        let (v1b, r1) = c1
+            .write_chunks_accounted(b1, v1, vec![(0, shared.clone())])
+            .unwrap();
+        assert_eq!(r1, 0, "fresh content must report zero reuse");
+        // c2 commits the same content (index hit) plus a fresh chunk:
+        // exactly the shared chunk's bytes are reported, never c1's.
+        let (_, r2) = c2
+            .write_chunks_accounted(
+                b2,
+                v2,
+                vec![(0, shared.clone()), (1, Payload::synth(83, 0, 128))],
+            )
+            .unwrap();
+        assert_eq!(r2, 128, "exactly the deduped chunk's bytes");
+        // An intra-commit collapse is attributed to the committing
+        // client as well: 3 identical fresh chunks -> 2 by reference.
+        let fresh = Payload::synth(84, 0, 128);
+        let (_, r3) = c1
+            .write_chunks_accounted(
+                b1,
+                v1b,
+                vec![(1, fresh.clone()), (2, fresh.clone()), (3, fresh.clone())],
+            )
+            .unwrap();
+        assert_eq!(r3, 256, "uses beyond the first commit by reference");
+    }
+
+    #[test]
+    fn digest_collision_never_publishes_wrong_bytes() {
+        use crate::api::ChunkId;
+        let (_f, client) = setup_dedup(4, 1, true);
+        let (blob, v1) = client.upload(Payload::synth(98, 0, 512)).unwrap(); // ids 1..=4
+        let a = Payload::synth(99, 0, 128);
+        let b = Payload::from(vec![0x5Au8; 128]);
+        let v2 = client.write_chunks(blob, v1, vec![(0, a.clone())]).unwrap(); // id 5 stores A
+                                                                               // Poison the digest index: claim B's content key maps to the
+                                                                               // chunk storing A — a simulated 64-bit digest collision.
+        let prov = client
+            .store()
+            .topology()
+            .providers
+            .iter()
+            .copied()
+            .find(|&p| client.store().providers.refcount(p, ChunkId(5)).is_some())
+            .expect("chunk 5 stored somewhere");
+        client.context().digest_record(
+            (b.len(), b.digest()),
+            ChunkDesc {
+                id: ChunkId(5),
+                replicas: vec![prov].into(),
+            },
+        );
+        // Committing B must detect the mismatch, push fresh, and leave
+        // chunk 5's refcount untouched.
+        let stored = client.store().total_stored_bytes();
+        let v3 = client.write_chunks(blob, v2, vec![(1, b.clone())]).unwrap();
+        assert_eq!(client.store().total_stored_bytes(), stored + 128);
+        assert_eq!(refcounts(&client, 5), vec![1]);
+        let got = client.read(blob, v3, 128..256).unwrap();
+        assert!(
+            got.content_eq(&b),
+            "a digest collision must never publish the wrong bytes"
+        );
+    }
+
+    #[test]
+    fn failed_publish_releases_freshly_pushed_chunks() {
+        // A commit that loses the publish race has already pushed its
+        // *new* chunks to the providers; the rollback must release them
+        // (fresh puts carry refcount 1), not orphan them — otherwise
+        // provider storage grows without bound under commit contention.
+        for dedup in [true, false] {
+            let (_f, client) = setup_dedup(4, 2, dedup);
+            let (blob, v1) = client.upload(Payload::synth(95, 0, 512)).unwrap();
+            client
+                .write_chunks(blob, v1, vec![(0, Payload::synth(96, 0, 128))])
+                .unwrap();
+            let stored = client.store().total_stored_bytes();
+            let chunks = client.store().total_chunks();
+            // Conflicting commit with brand-new content.
+            let err = client
+                .write_chunks(blob, v1, vec![(1, Payload::synth(97, 0, 128))])
+                .unwrap_err();
+            assert!(matches!(err, BlobError::Conflict { .. }), "dedup={dedup}");
+            assert_eq!(
+                client.store().total_stored_bytes(),
+                stored,
+                "dedup={dedup}: conflicted push left orphaned bytes"
+            );
+            assert_eq!(client.store().total_chunks(), chunks, "dedup={dedup}");
+        }
     }
 
     #[test]

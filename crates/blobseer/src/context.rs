@@ -1,0 +1,382 @@
+//! The per-node shared metadata/cache module ([`NodeContext`]).
+//!
+//! The paper's compute nodes run one FUSE process per node, shared by
+//! every co-located VM (§3.1.3, §4.1): its metadata cache and dedup
+//! knowledge are node-wide, not per-image. This module is that process's
+//! state in our model. Every [`crate::Client`] created for a node
+//! attaches to the node's `NodeContext` (the [`crate::BlobStore`] keeps
+//! one per node), so co-located clients share:
+//!
+//! * **The chunk-descriptor cache** — per-`(blob, version)` entries of
+//!   resolved chunk descriptors, sharded like
+//!   [`crate::provider::ProviderStore`] slots (one lock per shard, so
+//!   co-located VMs resolving different snapshots never contend), with
+//!   per-entry LRU eviction bounded by
+//!   [`crate::BlobConfig::desc_cache_versions`]. Snapshots are immutable,
+//!   so entries are never *stale* — the bound only caps memory. This
+//!   replaces the old per-client cache whose wholesale eviction flushed
+//!   everything once a client had touched too many versions.
+//! * **The content-digest index** — maps `(length, digest)` of committed
+//!   chunk payloads to their live descriptors. `Client::write_chunks`
+//!   consults it before pushing replicas: a chunk whose content already
+//!   has live replicas is committed *by reference* (descriptor reuse plus
+//!   a provider-side refcount bump) instead of re-replicated, so snapshot
+//!   storage grows with dirty *unique* bytes, not dirty bytes (§3.1.3's
+//!   dedup claim, now exploited on the write side).
+//!
+//! Aggregate hit/miss and dedup counters are atomics: experiments read
+//! them without stopping the data plane.
+
+use crate::api::{BlobConfig, BlobId, ChunkDesc, Version};
+use bff_data::{ContentKey, DigestIndex, FastMap, RangeSet, U64Hasher};
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Descriptor-cache shards per node. Like the provider store, sharding
+/// exists so concurrent co-located clients touching *different*
+/// snapshots never contend on one lock; 8 shards cover the per-node VM
+/// counts of the paper's multideployment experiments.
+pub const DESC_SHARDS: usize = 8;
+
+/// The resolved chunk descriptors of one snapshot (the paper's §4.1
+/// metadata cache). An index inside `resolved` but absent from `descs`
+/// is a known-unwritten chunk (reads as zeros) — that negative knowledge
+/// also skips the metadata plane on re-reads.
+#[derive(Debug, Clone, Default)]
+pub struct DescCache {
+    /// Chunk-index ranges already resolved against the metadata plane.
+    pub(crate) resolved: RangeSet,
+    /// Descriptors of the resolved chunks that exist.
+    pub(crate) descs: FastMap<u64, ChunkDesc>,
+}
+
+/// One cached snapshot entry plus its LRU stamp.
+#[derive(Debug, Default)]
+struct Entry {
+    cache: DescCache,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct DescShard {
+    entries: FastMap<(BlobId, Version), Entry>,
+}
+
+/// Snapshot of a context's aggregate counters (see
+/// [`NodeContext::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Chunk lookups served from the descriptor cache (incl. negative
+    /// knowledge).
+    pub desc_hits: u64,
+    /// Chunk lookups that needed a metadata-plane descent.
+    pub desc_misses: u64,
+    /// Commit chunks published by reference instead of re-replicated.
+    pub dedup_hits: u64,
+    /// Payload bytes those reference commits did *not* push.
+    pub dedup_reused_bytes: u64,
+    /// `(blob, version)` entries currently cached.
+    pub desc_entries: usize,
+}
+
+impl CacheStats {
+    /// Descriptor-cache hit rate in `[0, 1]` (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.desc_hits + self.desc_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.desc_hits as f64 / total as f64
+    }
+}
+
+/// The node-shared cache module (see module docs).
+#[derive(Debug)]
+pub struct NodeContext {
+    shards: Vec<Mutex<DescShard>>,
+    /// Node-wide entry bound, distributed exactly over the shards
+    /// (shard `i` holds `capacity/n + (i < capacity % n)` entries), so
+    /// the configured `desc_cache_versions` is honored to the entry —
+    /// never rounded up per shard.
+    capacity: usize,
+    /// Monotone use stamp shared by all shards.
+    tick: AtomicU64,
+    desc_hits: AtomicU64,
+    desc_misses: AtomicU64,
+    dedup_hits: AtomicU64,
+    dedup_reused_bytes: AtomicU64,
+    digests: Mutex<DigestIndex<ChunkDesc>>,
+}
+
+impl NodeContext {
+    /// A context sized from the service configuration. Small capacities
+    /// use fewer shards so every shard keeps a bound ≥ 1 while the
+    /// total stays exactly `desc_cache_versions`.
+    pub fn new(cfg: &BlobConfig) -> Self {
+        let capacity = cfg.desc_cache_versions.max(1);
+        let shard_count = DESC_SHARDS.min(capacity);
+        Self {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(DescShard::default()))
+                .collect(),
+            capacity,
+            tick: AtomicU64::new(0),
+            desc_hits: AtomicU64::new(0),
+            desc_misses: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            dedup_reused_bytes: AtomicU64::new(0),
+            digests: Mutex::new(DigestIndex::new(cfg.digest_index_chunks)),
+        }
+    }
+
+    fn shard_of(&self, key: &(BlobId, Version)) -> usize {
+        let mut h = U64Hasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Entry bound of shard `i` (the node-wide bound distributed with
+    /// the remainder spread over the first shards).
+    fn shard_capacity(&self, i: usize) -> usize {
+        let n = self.shards.len();
+        self.capacity / n + usize::from(i < self.capacity % n)
+    }
+
+    /// Run `f` over the entry for `key`, creating it empty if absent and
+    /// marking it most-recently used. Inserting into a full shard evicts
+    /// that shard's least-recently-used entry — and only that entry; the
+    /// rest of the cache is untouched (unlike the old wholesale clear).
+    pub fn with_entry<R>(&self, key: (BlobId, Version), f: impl FnOnce(&mut DescCache) -> R) -> R {
+        let shard_idx = self.shard_of(&key);
+        let mut shard = self.shards[shard_idx].lock();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if shard.entries.len() >= self.shard_capacity(shard_idx)
+            && !shard.entries.contains_key(&key)
+        {
+            if let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.entries.remove(&victim);
+            }
+        }
+        let entry = shard.entries.entry(key).or_default();
+        entry.last_used = tick;
+        f(&mut entry.cache)
+    }
+
+    /// Clone the entry for `key` if cached (marks it used). The CLONE
+    /// carryover path: a clone's `Version(1)` *is* the source tree.
+    pub fn entry_snapshot(&self, key: (BlobId, Version)) -> Option<DescCache> {
+        let mut shard = self.shards[self.shard_of(&key)].lock();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = shard.entries.get_mut(&key)?;
+        entry.last_used = tick;
+        Some(entry.cache.clone())
+    }
+
+    /// Remove and return the entry for `key`. The COMMIT seeding path
+    /// *moves* the base version's entry onto the new snapshot — cloning
+    /// would copy O(resolved chunks) per commit along a commit chain.
+    pub fn take_entry(&self, key: (BlobId, Version)) -> Option<DescCache> {
+        let mut shard = self.shards[self.shard_of(&key)].lock();
+        shard.entries.remove(&key).map(|e| e.cache)
+    }
+
+    /// Insert (or replace) the entry for `key`, marking it
+    /// most-recently used and evicting the shard's LRU entry if needed.
+    pub fn insert_entry(&self, key: (BlobId, Version), cache: DescCache) {
+        self.with_entry(key, |slot| *slot = cache);
+    }
+
+    /// Total `(blob, version)` entries cached right now.
+    pub fn desc_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// The node-wide entry bound (`desc_entries` never exceeds it);
+    /// exactly the configured `desc_cache_versions`.
+    pub fn desc_capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record the outcome of a descriptor resolution: `hits` chunks came
+    /// from the cache, `misses` needed the metadata plane.
+    pub(crate) fn note_desc_lookup(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.desc_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.desc_misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a commit-by-reference of `chunks` chunks / `bytes` bytes.
+    pub(crate) fn note_dedup(&self, chunks: u64, bytes: u64) {
+        self.dedup_hits.fetch_add(chunks, Ordering::Relaxed);
+        self.dedup_reused_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Look up a content key in the digest index.
+    pub(crate) fn digest_lookup(&self, key: &ContentKey) -> Option<ChunkDesc> {
+        self.digests.lock().get(key).cloned()
+    }
+
+    /// Record (or refresh) the descriptor holding `key`'s content.
+    pub(crate) fn digest_record(&self, key: ContentKey, desc: ChunkDesc) {
+        self.digests.lock().insert(key, desc);
+    }
+
+    /// Drop a digest entry found stale (no live replicas retained).
+    pub(crate) fn digest_forget(&self, key: &ContentKey) {
+        self.digests.lock().remove(key);
+    }
+
+    /// Number of content keys currently indexed.
+    pub fn digest_entries(&self) -> usize {
+        self.digests.lock().len()
+    }
+
+    /// Payload bytes committed by reference so far, node-wide across
+    /// every attached client — one Relaxed atomic load, no locks. For
+    /// per-commit attribution use
+    /// `Client::write_chunks_accounted` instead: deltas of this shared
+    /// counter interleave across co-located committers.
+    pub fn dedup_reused_bytes(&self) -> u64 {
+        self.dedup_reused_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate counters, read lock-free except for the entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            desc_hits: self.desc_hits.load(Ordering::Relaxed),
+            desc_misses: self.desc_misses.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            dedup_reused_bytes: self.dedup_reused_bytes.load(Ordering::Relaxed),
+            desc_entries: self.desc_entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ChunkId;
+    use bff_net::NodeId;
+    use std::sync::Arc;
+
+    fn ctx(versions: usize) -> NodeContext {
+        NodeContext::new(&BlobConfig {
+            desc_cache_versions: versions,
+            ..Default::default()
+        })
+    }
+
+    fn desc(id: u64) -> ChunkDesc {
+        ChunkDesc {
+            id: ChunkId(id),
+            replicas: Arc::from([NodeId(0)].as_slice()),
+        }
+    }
+
+    #[test]
+    fn entries_bounded_and_lru_evicted_per_shard() {
+        let c = ctx(16);
+        assert_eq!(c.desc_capacity(), 16);
+        // Insert far more entries than capacity.
+        for v in 1..=200u64 {
+            c.with_entry((BlobId(1), Version(v)), |e| {
+                e.descs.insert(0, desc(v));
+            });
+        }
+        assert!(c.desc_entries() <= c.desc_capacity());
+        // The most recent entry survived (it is the newest in its shard).
+        assert!(c.entry_snapshot((BlobId(1), Version(200))).is_some());
+    }
+
+    #[test]
+    fn capacity_is_exact_for_any_configuration() {
+        // The configured bound is honored to the entry — including
+        // values smaller than, and not divisible by, the shard count.
+        for cap in [1usize, 3, 4, 10, 16, 64, 100] {
+            let c = ctx(cap);
+            assert_eq!(c.desc_capacity(), cap, "configured {cap}");
+            for v in 1..=(cap as u64 * 20) {
+                c.with_entry((BlobId(1), Version(v)), |_| {});
+            }
+            assert!(
+                c.desc_entries() <= cap,
+                "configured {cap}, holding {}",
+                c.desc_entries()
+            );
+        }
+    }
+
+    #[test]
+    fn recently_used_entries_survive_churn() {
+        // Shard capacity 8: the hot entry (re-touched every other step)
+        // can only be a shard's LRU victim if 7 churn entries landed in
+        // its shard within 2 steps — impossible, so it must survive.
+        let c = ctx(64);
+        let hot = (BlobId(7), Version(1));
+        c.with_entry(hot, |e| {
+            e.descs.insert(0, desc(99));
+        });
+        // Churn many one-shot entries, re-touching the hot one often
+        // enough that it is never its shard's LRU victim.
+        for v in 1..=500u64 {
+            c.with_entry((BlobId(1), Version(v)), |_| {});
+            if v % 2 == 0 {
+                assert!(
+                    c.entry_snapshot(hot).is_some(),
+                    "hot entry evicted at churn step {v}"
+                );
+            }
+        }
+        let got = c.entry_snapshot(hot).expect("hot entry survives churn");
+        assert!(got.descs.contains_key(&0));
+        assert!(c.desc_entries() <= c.desc_capacity());
+    }
+
+    #[test]
+    fn take_and_insert_move_entries_between_keys() {
+        let c = ctx(16);
+        let a = (BlobId(1), Version(1));
+        let b = (BlobId(1), Version(2));
+        c.with_entry(a, |e| {
+            e.resolved.insert(0..4);
+            e.descs.insert(2, desc(5));
+        });
+        let moved = c.take_entry(a).expect("present");
+        assert!(c.entry_snapshot(a).is_none(), "take removes");
+        c.insert_entry(b, moved);
+        let got = c.entry_snapshot(b).expect("moved entry");
+        assert_eq!(got.descs.get(&2), Some(&desc(5)));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = ctx(8);
+        c.note_desc_lookup(3, 1);
+        c.note_desc_lookup(0, 2);
+        c.note_dedup(2, 256);
+        let s = c.stats();
+        assert_eq!((s.desc_hits, s.desc_misses), (3, 3));
+        assert_eq!((s.dedup_hits, s.dedup_reused_bytes), (2, 256));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_index_roundtrip() {
+        let c = ctx(8);
+        let key = (128u64, bff_data::Digest(42));
+        assert!(c.digest_lookup(&key).is_none());
+        c.digest_record(key, desc(9));
+        assert_eq!(c.digest_lookup(&key), Some(desc(9)));
+        c.digest_forget(&key);
+        assert!(c.digest_lookup(&key).is_none());
+    }
+}

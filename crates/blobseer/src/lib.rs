@@ -25,6 +25,7 @@
 
 pub mod api;
 pub mod client;
+pub mod context;
 pub mod meta;
 pub mod pmanager;
 pub mod provider;
@@ -37,6 +38,7 @@ pub use api::{
     ReplicationMode, TreeNode, Version,
 };
 pub use client::Client;
+pub use context::{CacheStats, NodeContext};
 pub use pmanager::Placement;
 pub use provider::ProviderStore;
 pub use service::BlobStore;

@@ -28,6 +28,13 @@ pub struct Provider {
     chunks: FastMap<ChunkId, Payload>,
     hot: FastSet<ChunkId>,
     stored_bytes: u64,
+    /// Dedup reference counts: how many published leaf descriptors point
+    /// at each chunk through the content-addressed write path. A fresh
+    /// put starts at 1; every commit-by-reference retains once per use.
+    /// Invariant: a refs entry exists iff the chunk exists, and is ≥ 1 —
+    /// so a release can never underflow (releasing an absent chunk is a
+    /// no-op, and a count that reaches 0 removes both together).
+    refs: FastMap<ChunkId, u64>,
 }
 
 impl Provider {
@@ -47,10 +54,67 @@ impl Provider {
             Some(prev) => (prev.len() as i64, false),
             None => (0, true),
         };
+        if is_new {
+            self.refs.insert(id, 1);
+        }
         self.stored_bytes = (self.stored_bytes as i64 + new_len - prev_len) as u64;
         // Freshly written data sits in the page cache.
         self.hot.insert(id);
         (new_len - prev_len, is_new)
+    }
+
+    /// Add one dedup reference to a stored chunk. Returns `false` (and
+    /// changes nothing) if the chunk is not present — the caller treats
+    /// that as a stale digest-index hit.
+    pub fn retain(&mut self, id: ChunkId) -> bool {
+        self.retain_n(id, 1)
+    }
+
+    /// Add `n` dedup references in one shard acquisition (the
+    /// intra-commit duplicate path: a commit of N identical chunks bumps
+    /// once by N−1 per replica instead of N−1 times).
+    pub fn retain_n(&mut self, id: ChunkId, n: u64) -> bool {
+        debug_assert!(n > 0, "retaining zero references is meaningless");
+        if !self.chunks.contains_key(&id) {
+            return false;
+        }
+        *self.refs.entry(id).or_insert(0) += n;
+        true
+    }
+
+    /// Drop one dedup reference. When the count reaches zero the chunk
+    /// (and its page-cache entry) is removed and its bytes freed.
+    /// Releasing an absent chunk — including a double release after the
+    /// count already hit zero — is a harmless no-op: the count can never
+    /// underflow. Returns `(freed bytes, chunk removed, reference
+    /// dropped)`.
+    pub fn release(&mut self, id: ChunkId) -> (u64, bool, bool) {
+        self.release_n(id, 1)
+    }
+
+    /// Drop up to `n` dedup references in one shard acquisition (the
+    /// rollback twin of [`Provider::retain_n`]). Saturates at zero —
+    /// over-releasing removes the chunk and stops, it never underflows.
+    pub fn release_n(&mut self, id: ChunkId, n: u64) -> (u64, bool, bool) {
+        debug_assert!(n > 0, "releasing zero references is meaningless");
+        let Some(count) = self.refs.get_mut(&id) else {
+            return (0, false, false);
+        };
+        debug_assert!(*count >= 1, "refs entry exists ⇒ count ≥ 1");
+        *count = count.saturating_sub(n);
+        if *count > 0 {
+            return (0, false, true);
+        }
+        self.refs.remove(&id);
+        self.hot.remove(&id);
+        let freed = self.chunks.remove(&id).map_or(0, |p| p.len());
+        self.stored_bytes -= freed;
+        (freed, true, true)
+    }
+
+    /// Current dedup reference count of a chunk (`None` if absent).
+    pub fn refcount(&self, id: ChunkId) -> Option<u64> {
+        self.refs.get(&id).copied()
     }
 
     /// Fetch a chunk, reporting whether it was already cached in memory
@@ -64,6 +128,13 @@ impl Provider {
     /// Whether the chunk is present.
     pub fn has(&self, id: ChunkId) -> bool {
         self.chunks.contains_key(&id)
+    }
+
+    /// Borrow a stored chunk without touching the page-cache model — a
+    /// metadata-side integrity check (dedup hit verification), not a
+    /// data-plane read, so it must not warm the `hot` set.
+    pub fn peek(&self, id: ChunkId) -> Option<&Payload> {
+        self.chunks.get(&id)
     }
 
     /// Total payload bytes stored (the storage-consumption metric behind
@@ -136,8 +207,9 @@ impl ProviderStore {
         self.slot_of.get(&node).map(|&i| self.shards[i].lock())
     }
 
-    /// Fold one shard-put outcome into the aggregate counters.
-    fn apply_delta(&self, bytes: i64, new_chunks: u64) {
+    /// Fold one shard outcome into the aggregate counters (`chunks < 0`
+    /// after a release removed chunks).
+    fn apply_delta(&self, bytes: i64, chunks: i64) {
         match bytes.cmp(&0) {
             std::cmp::Ordering::Greater => {
                 self.stored_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
@@ -148,8 +220,15 @@ impl ProviderStore {
             }
             std::cmp::Ordering::Equal => {}
         }
-        if new_chunks > 0 {
-            self.chunks.fetch_add(new_chunks, Ordering::Relaxed);
+        match chunks.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                self.chunks.fetch_add(chunks as u64, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Less => {
+                self.chunks
+                    .fetch_sub(chunks.unsigned_abs(), Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Equal => {}
         }
     }
 
@@ -160,8 +239,49 @@ impl ProviderStore {
             return false;
         };
         let (bytes, is_new) = self.shards[slot].lock().put(id, data);
-        self.apply_delta(bytes, is_new as u64);
+        self.apply_delta(bytes, is_new as i64);
         true
+    }
+
+    /// Add one dedup reference to `id` at `node` (see
+    /// [`Provider::retain`]). Returns `false` if the node hosts no
+    /// provider or the chunk is absent.
+    pub fn retain(&self, node: NodeId, id: ChunkId) -> bool {
+        self.retain_n(node, id, 1)
+    }
+
+    /// Add `n` dedup references under one shard acquisition (see
+    /// [`Provider::retain_n`]).
+    pub fn retain_n(&self, node: NodeId, id: ChunkId, n: u64) -> bool {
+        match self.slot_of.get(&node) {
+            Some(&slot) => self.shards[slot].lock().retain_n(id, n),
+            None => false,
+        }
+    }
+
+    /// Drop one dedup reference to `id` at `node`, maintaining the
+    /// aggregate counters (see [`Provider::release`]). Never underflows;
+    /// returns `true` only when a reference was actually dropped.
+    pub fn release(&self, node: NodeId, id: ChunkId) -> bool {
+        self.release_n(node, id, 1)
+    }
+
+    /// Drop up to `n` dedup references under one shard acquisition (see
+    /// [`Provider::release_n`]), maintaining the aggregate counters.
+    pub fn release_n(&self, node: NodeId, id: ChunkId, n: u64) -> bool {
+        let Some(&slot) = self.slot_of.get(&node) else {
+            return false;
+        };
+        let (freed, removed, dropped) = self.shards[slot].lock().release_n(id, n);
+        self.apply_delta(-(freed as i64), -(removed as i64));
+        dropped
+    }
+
+    /// Dedup reference count of `id` at `node` (`None` if either is
+    /// absent).
+    pub fn refcount(&self, node: NodeId, id: ChunkId) -> Option<u64> {
+        let &slot = self.slot_of.get(&node)?;
+        self.shards[slot].lock().refcount(id)
     }
 
     /// Store a whole batch of chunks at `node` under one shard
@@ -174,13 +294,13 @@ impl ProviderStore {
         let Some(&slot) = self.slot_of.get(&node) else {
             return false;
         };
-        let (mut bytes, mut new_chunks) = (0i64, 0u64);
+        let (mut bytes, mut new_chunks) = (0i64, 0i64);
         {
             let mut shard = self.shards[slot].lock();
             for (id, data) in items {
                 let (delta, is_new) = shard.put(id, data);
                 bytes += delta;
-                new_chunks += is_new as u64;
+                new_chunks += is_new as i64;
             }
         }
         self.apply_delta(bytes, new_chunks);
@@ -276,6 +396,44 @@ mod tests {
         assert_eq!(store.total_chunks(), 1);
         store.put(NodeId(0), ChunkId(2), Payload::zeros(0));
         assert_eq!(store.total_chunks(), 2, "empty chunks are still chunks");
+    }
+
+    #[test]
+    fn retain_release_lifecycle() {
+        let mut p = Provider::new();
+        p.put(ChunkId(1), Payload::zeros(100));
+        assert_eq!(p.refcount(ChunkId(1)), Some(1));
+        assert!(p.retain(ChunkId(1)));
+        assert_eq!(p.refcount(ChunkId(1)), Some(2));
+        assert_eq!(p.release(ChunkId(1)), (0, false, true));
+        // Final release frees the chunk.
+        assert_eq!(p.release(ChunkId(1)), (100, true, true));
+        assert!(p.get(ChunkId(1)).is_none());
+        assert_eq!(p.stored_bytes(), 0);
+        // Double release after removal: no-op, never underflows.
+        assert_eq!(p.release(ChunkId(1)), (0, false, false));
+        assert_eq!(p.refcount(ChunkId(1)), None);
+        // Retaining an absent chunk fails cleanly.
+        assert!(!p.retain(ChunkId(1)));
+    }
+
+    #[test]
+    fn store_release_maintains_aggregates() {
+        let store = ProviderStore::new(&[NodeId(0), NodeId(1)]);
+        store.put(NodeId(0), ChunkId(1), Payload::zeros(64));
+        store.put(NodeId(1), ChunkId(1), Payload::zeros(64)); // replica
+        assert!(store.retain(NodeId(0), ChunkId(1)));
+        assert_eq!(store.refcount(NodeId(0), ChunkId(1)), Some(2));
+        // Release down to zero on node 0 only.
+        assert!(store.release(NodeId(0), ChunkId(1)));
+        assert!(store.release(NodeId(0), ChunkId(1)));
+        assert!(!store.release(NodeId(0), ChunkId(1)), "no underflow");
+        assert_eq!(store.total_stored_bytes(), 64, "replica on 1 remains");
+        assert_eq!(store.total_chunks(), 1);
+        assert_eq!(store.loads(), vec![0, 64]);
+        // Unknown node is a clean no-op.
+        assert!(!store.retain(NodeId(9), ChunkId(1)));
+        assert!(!store.release(NodeId(9), ChunkId(1)));
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! concurrency (coroutine processes).
 
 use crate::api::{BlobConfig, BlobTopology};
+use crate::context::NodeContext;
 use crate::meta::MetaPartition;
 use crate::pmanager::{PManager, Placement};
 use crate::provider::ProviderStore;
 use crate::vmanager::VManager;
-use bff_net::Fabric;
+use bff_data::FastMap;
+use bff_net::{Fabric, NodeId};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -28,6 +30,10 @@ pub struct BlobStore {
     /// Sharded one lock per provider: data-plane tasks on distinct
     /// providers never contend (see [`ProviderStore`]).
     pub(crate) providers: ProviderStore,
+    /// One [`NodeContext`] per compute node, created lazily: every
+    /// client on a node attaches to the same shared cache module (the
+    /// paper's per-node FUSE process, §4.1).
+    contexts: Mutex<FastMap<NodeId, Arc<NodeContext>>>,
 }
 
 impl BlobStore {
@@ -62,7 +68,20 @@ impl BlobStore {
             cfg,
             topo,
             fabric,
+            contexts: Mutex::new(FastMap::default()),
         })
+    }
+
+    /// The shared cache module of `node` (created on first use). All
+    /// clients co-located on a node attach to the same context, sharing
+    /// its descriptor cache and content-digest index.
+    pub fn node_context(&self, node: NodeId) -> Arc<NodeContext> {
+        Arc::clone(
+            self.contexts
+                .lock()
+                .entry(node)
+                .or_insert_with(|| Arc::new(NodeContext::new(&self.cfg))),
+        )
     }
 
     /// Service configuration.
@@ -78,6 +97,11 @@ impl BlobStore {
     /// The fabric this service charges.
     pub fn fabric(&self) -> &Arc<dyn Fabric> {
         &self.fabric
+    }
+
+    /// The deployed provider set (chunk stores, refcounts, loads).
+    pub fn providers(&self) -> &ProviderStore {
+        &self.providers
     }
 
     /// Total chunk payload bytes stored across all providers. Shared
@@ -125,6 +149,19 @@ mod tests {
         assert_eq!(store.meta.len(), 4);
         assert_eq!(store.total_stored_bytes(), 0);
         assert_eq!(store.total_metadata_nodes(), 0);
+    }
+
+    #[test]
+    fn node_contexts_shared_per_node() {
+        let fabric = LocalFabric::new(3);
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&nodes, NodeId(2));
+        let store = BlobStore::new(BlobConfig::default(), topo, fabric);
+        let a = store.node_context(NodeId(0));
+        let b = store.node_context(NodeId(0));
+        let c = store.node_context(NodeId(1));
+        assert!(Arc::ptr_eq(&a, &b), "same node → same shared context");
+        assert!(!Arc::ptr_eq(&a, &c), "different nodes stay isolated");
     }
 
     #[test]

@@ -77,9 +77,32 @@ impl Cloud {
         &self.compute
     }
 
-    /// Repository client for a node.
+    /// Repository client for a node. Clients created for the same node
+    /// attach to that node's shared [`bff_blobseer::NodeContext`] — the
+    /// paper's per-node FUSE module — so co-located VMs share the
+    /// descriptor cache and the content-digest dedup index.
     pub fn client(&self, node: NodeId) -> BlobClient {
         BlobClient::new(Arc::clone(&self.store), node)
+    }
+
+    /// The shared cache module of one compute node.
+    pub fn node_context(&self, node: NodeId) -> Arc<bff_blobseer::NodeContext> {
+        self.store.node_context(node)
+    }
+
+    /// Cache/dedup counters aggregated over all compute nodes (plus the
+    /// service node, whose client stages uploads).
+    pub fn cache_stats(&self) -> bff_blobseer::CacheStats {
+        let mut total = bff_blobseer::CacheStats::default();
+        for &node in self.compute.iter().chain([&self.service]) {
+            let s = self.store.node_context(node).stats();
+            total.desc_hits += s.desc_hits;
+            total.desc_misses += s.desc_misses;
+            total.dedup_hits += s.dedup_hits;
+            total.dedup_reused_bytes += s.dedup_reused_bytes;
+            total.desc_entries += s.desc_entries;
+        }
+        total
     }
 
     /// Client-side image upload (Fig. 1 "put image"); the image is
@@ -270,6 +293,31 @@ mod tests {
         );
         // The >90% reduction the paper reports.
         assert!(report.stored_bytes * 5 < report.naive_full_copy_bytes);
+    }
+
+    #[test]
+    fn co_located_vms_share_node_cache() {
+        let cloud = cloud();
+        let (blob, v) = cloud.upload_image(Payload::synth(9, 0, IMG)).unwrap();
+        // Two instances on ONE node — the co-location case the paper's
+        // shared FUSE process serves.
+        let mut vm1 = cloud.add_instance(blob, v, NodeId(0)).unwrap();
+        let mut vm2 = cloud.add_instance(blob, v, NodeId(0)).unwrap();
+        vm1.backend.read(0..IMG).unwrap();
+        let ctx = cloud.node_context(NodeId(0));
+        let misses_after_first = ctx.stats().desc_misses;
+        vm2.backend.read(0..IMG).unwrap();
+        let s = ctx.stats();
+        assert_eq!(
+            s.desc_misses, misses_after_first,
+            "the second co-located VM must ride the first one's resolved \
+             descriptors"
+        );
+        assert!(s.desc_hits > 0, "shared cache recorded no hits");
+        // An instance on another node resolves independently.
+        let mut vm3 = cloud.add_instance(blob, v, NodeId(1)).unwrap();
+        vm3.backend.read(0..4096).unwrap();
+        assert!(cloud.node_context(NodeId(1)).stats().desc_misses > 0);
     }
 
     #[test]

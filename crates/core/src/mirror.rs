@@ -80,6 +80,12 @@ pub struct MirrorStats {
     pub writes: u64,
     /// Bytes committed across all COMMITs (full dirty chunks).
     pub committed_bytes: u64,
+    /// Of `committed_bytes`, bytes the repository published *by
+    /// reference* through content-addressed dedup instead of pushing
+    /// (0 when [`bff_blobseer::BlobConfig::dedup`] is off). Reported
+    /// per commit by the repository client, so the attribution is exact
+    /// per image even with co-located VMs committing concurrently.
+    pub deduped_bytes: u64,
 }
 
 /// A VM image mirrored on a compute node.
@@ -366,7 +372,15 @@ impl MirroredImage {
             })
             .collect();
         let committed: u64 = updates.iter().map(|(_, p)| p.len()).sum();
-        let v = self.client.write_chunks(self.blob, self.base, updates)?;
+        // Dirty chunks whose content already has live replicas commit by
+        // reference (§3.1.3 dedup); account the bytes that therefore
+        // never left this node. The commit reports its own reuse — a
+        // delta over the node-shared counters would fold in co-located
+        // VMs committing concurrently.
+        let (v, reused) = self
+            .client
+            .write_chunks_accounted(self.blob, self.base, updates)?;
+        self.stats.deduped_bytes += reused;
         self.stats.committed_bytes += committed;
         self.base = v;
         self.map.clear_dirty();
@@ -517,6 +531,45 @@ mod tests {
         // The base snapshot still reads pristine (shadowing).
         let old = client.read(blob, Version(1), 0..IMG).unwrap();
         assert!(old.content_eq(&image));
+    }
+
+    #[test]
+    fn recommitted_identical_checkpoint_dedups() {
+        // The Monte-Carlo checkpoint pattern: a VM rewrites the same
+        // state bytes and snapshots again. With dedup on, the second
+        // commit publishes by reference — no new provider storage.
+        let fabric = LocalFabric::new(5);
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&nodes, NodeId(4));
+        let cfg = BlobConfig {
+            chunk_size: CS,
+            dedup: true,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+        let client = Client::new(store, NodeId(0));
+        let (blob, _v) = client.upload(Payload::synth(42, 0, IMG)).unwrap();
+        let mut m = mirror(&client, blob);
+
+        // Distinct content per chunk so the first commit is all-unique.
+        let state = Payload::synth(0xC4, 0, 2 * CS);
+        m.write(256, state.clone()).unwrap();
+        m.commit().unwrap();
+        let stored = client.store().total_stored_bytes();
+        assert_eq!(m.stats().deduped_bytes, 0, "first checkpoint is unique");
+
+        // Same state written (and re-dirtied) again: commit-by-reference.
+        m.write(256, state.clone()).unwrap();
+        let v = m.commit().unwrap();
+        assert_eq!(
+            client.store().total_stored_bytes(),
+            stored,
+            "identical checkpoint re-commit must not grow storage"
+        );
+        assert_eq!(m.stats().deduped_bytes, 2 * CS);
+        // The new snapshot still reads correctly.
+        let got = client.read(blob, v, 256..256 + 2 * CS).unwrap();
+        assert!(got.content_eq(&state));
     }
 
     #[test]

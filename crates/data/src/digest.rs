@@ -1,9 +1,14 @@
-//! Content digests used for cheap equality checks in tests and for
-//! content-addressing diagnostics.
+//! Content digests used for cheap equality checks, and the bounded
+//! [`DigestIndex`] behind content-addressed write deduplication.
 //!
 //! FNV-1a over 64 bits is sufficient here: digests are never used for
 //! security, only to compare payloads without materializing both sides,
-//! and collisions in test-sized inputs are vanishingly unlikely.
+//! and collisions in test-sized inputs are vanishingly unlikely. Dedup
+//! consumers additionally key by payload *length*, shrinking the
+//! collision scope to equal-sized chunks.
+
+use crate::FastMap;
+use std::collections::VecDeque;
 
 /// A 64-bit FNV-1a digest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +61,113 @@ impl Digest {
     }
 }
 
+/// Content key of a payload for dedup purposes: `(length, digest)`.
+/// Keying by length as well as digest confines hash collisions to
+/// equal-sized payloads.
+pub type ContentKey = (u64, Digest);
+
+/// A bounded content-addressed index: maps [`ContentKey`]s to arbitrary
+/// values (e.g. chunk descriptors), evicting the oldest *live* entry
+/// once the capacity is reached (insertion order; re-inserting a key
+/// refreshes its position). Stale queue slots — left behind by
+/// [`DigestIndex::remove`] or by re-inserts — are sequence-stamped so
+/// they can never evict a live entry in their place.
+#[derive(Debug)]
+pub struct DigestIndex<V> {
+    /// Live entries, each stamped with the sequence of the insert that
+    /// produced it.
+    map: FastMap<ContentKey, (u64, V)>,
+    /// Insertion-order queue of `(key, seq)` slots; a slot is live iff
+    /// its seq matches the map's current stamp for that key.
+    order: VecDeque<(ContentKey, u64)>,
+    seq: u64,
+    cap: usize,
+}
+
+impl<V> DigestIndex<V> {
+    /// An index holding at most `cap` entries (`cap == 0` disables it:
+    /// every insert is dropped, every lookup misses).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            map: FastMap::default(),
+            order: VecDeque::new(),
+            seq: 0,
+            cap,
+        }
+    }
+
+    /// Number of entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Look up a content key.
+    pub fn get(&self, key: &ContentKey) -> Option<&V> {
+        self.map.get(key).map(|(_, v)| v)
+    }
+
+    /// Whether a queue slot no longer corresponds to a live entry.
+    fn is_stale(map: &FastMap<ContentKey, (u64, V)>, slot: &(ContentKey, u64)) -> bool {
+        map.get(&slot.0).is_none_or(|(cur, _)| *cur != slot.1)
+    }
+
+    /// Insert (or replace) an entry, evicting the oldest live one if the
+    /// index is full.
+    pub fn insert(&mut self, key: ContentKey, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.seq += 1;
+        self.map.insert(key, (self.seq, value));
+        self.order.push_back((key, self.seq));
+        while self.map.len() > self.cap {
+            match self.order.pop_front() {
+                Some(slot) => {
+                    // Stale slots (removed or re-inserted keys) remove
+                    // nothing; keep popping until a live entry leaves.
+                    if !Self::is_stale(&self.map, &slot) {
+                        self.map.remove(&slot.0);
+                    }
+                }
+                None => break,
+            }
+        }
+        // Drain the stale prefix, then compact the whole queue once
+        // stale slots outnumber live entries. The prefix drain alone is
+        // not enough: a live, never-refreshed key parked at the front
+        // (e.g. content committed once, early) would shield an unbounded
+        // tail of stale slots from every future re-insert. Compaction is
+        // O(queue) but runs only after the queue doubles, so inserts
+        // stay amortized O(1) and `order.len() ≤ max(2·len(), 8)`.
+        while self
+            .order
+            .front()
+            .is_some_and(|slot| Self::is_stale(&self.map, slot))
+        {
+            self.order.pop_front();
+        }
+        if self.order.len() > self.map.len().saturating_mul(2).max(8) {
+            self.order.retain(|slot| !Self::is_stale(&self.map, slot));
+        }
+    }
+
+    /// Drop an entry (e.g. after the consumer found it stale). The
+    /// insertion-order queue keeps a stale slot that eviction skips.
+    pub fn remove(&mut self, key: &ContentKey) -> Option<V> {
+        self.map.remove(key).map(|(_, v)| v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +191,101 @@ mod tests {
     #[test]
     fn order_matters() {
         assert_ne!(Digest::of(b"ab"), Digest::of(b"ba"));
+    }
+
+    #[test]
+    fn index_roundtrip_and_fifo_eviction() {
+        let mut idx: DigestIndex<u32> = DigestIndex::new(2);
+        let k = |n: u64| (n, Digest(n));
+        idx.insert(k(1), 10);
+        idx.insert(k(2), 20);
+        assert_eq!(idx.get(&k(1)), Some(&10));
+        // Third insert evicts the oldest (1), not the most recent.
+        idx.insert(k(3), 30);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(&k(1)), None);
+        assert_eq!(idx.get(&k(2)), Some(&20));
+        assert_eq!(idx.get(&k(3)), Some(&30));
+    }
+
+    #[test]
+    fn index_explicit_removal_leaves_queue_consistent() {
+        let mut idx: DigestIndex<u32> = DigestIndex::new(2);
+        let k = |n: u64| (n, Digest(n));
+        idx.insert(k(1), 10);
+        idx.insert(k(2), 20);
+        assert_eq!(idx.remove(&k(1)), Some(10));
+        // The freed slot is really free: inserting 3 must NOT evict the
+        // live 2 (the stale queue slot for 1 does not count against the
+        // capacity).
+        idx.insert(k(3), 30);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(&k(2)), Some(&20));
+        // One more insert overflows for real and evicts the oldest live
+        // entry (2), never losing the newest.
+        idx.insert(k(4), 40);
+        assert!(idx.len() <= 2);
+        assert_eq!(idx.get(&k(2)), None);
+        assert_eq!(idx.get(&k(3)), Some(&30));
+        assert_eq!(idx.get(&k(4)), Some(&40));
+    }
+
+    #[test]
+    fn reinserted_key_survives_its_own_stale_slot() {
+        // remove + re-insert leaves a stale queue slot for the same key;
+        // a later overflow must evict the oldest *live* entry, never the
+        // freshly re-inserted one (the dedup pipeline hits this via
+        // digest_forget followed by digest_record of the same content).
+        let mut idx: DigestIndex<u32> = DigestIndex::new(2);
+        let k = |n: u64| (n, Digest(n));
+        idx.insert(k(1), 10);
+        idx.insert(k(2), 20);
+        idx.remove(&k(1));
+        idx.insert(k(1), 11); // re-insert: queue now holds a stale slot for 1
+        idx.insert(k(3), 30); // overflow: 2 is the oldest live entry
+        assert_eq!(idx.get(&k(1)), Some(&11), "re-insert must survive");
+        assert_eq!(idx.get(&k(2)), None);
+        assert_eq!(idx.get(&k(3)), Some(&30));
+        assert!(idx.len() <= 2);
+    }
+
+    #[test]
+    fn refresh_churn_keeps_queue_bounded() {
+        // The dedup pipeline re-records every unique key on every
+        // commit. A live key parked at the queue front (content
+        // committed once, never again) must not shield the stale slots
+        // that refreshes of *other* keys leave behind — the queue stays
+        // proportional to the live entries, not the commit count.
+        let mut idx: DigestIndex<u32> = DigestIndex::new(1 << 16);
+        let k = |n: u64| (n, Digest(n));
+        idx.insert(k(0), 0); // parked live front slot
+        for round in 0..10_000u32 {
+            idx.insert(k(1), round); // the same checkpoint key, refreshed
+        }
+        assert_eq!(idx.len(), 2);
+        assert!(
+            idx.order.len() <= 8,
+            "queue grew to {} slots for 2 live entries",
+            idx.order.len()
+        );
+        assert_eq!(idx.get(&k(0)), Some(&0));
+        assert_eq!(idx.get(&k(1)), Some(&9_999));
+    }
+
+    #[test]
+    fn zero_capacity_index_is_inert() {
+        let mut idx: DigestIndex<u32> = DigestIndex::new(0);
+        idx.insert((1, Digest(1)), 10);
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(&(1, Digest(1))), None);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growing() {
+        let mut idx: DigestIndex<u32> = DigestIndex::new(4);
+        idx.insert((1, Digest(1)), 10);
+        idx.insert((1, Digest(1)), 11);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(&(1, Digest(1))), Some(&11));
     }
 }

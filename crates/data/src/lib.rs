@@ -23,7 +23,7 @@ pub mod range;
 pub mod rangeset;
 pub mod synth;
 
-pub use digest::Digest;
+pub use digest::{ContentKey, Digest, DigestIndex};
 pub use extent::{ExtentMap, ExtentValue};
 pub use hash::{FastMap, FastSet, U64BuildHasher, U64Hasher};
 pub use payload::Payload;

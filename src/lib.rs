@@ -65,7 +65,9 @@ pub use bff_workloads as workloads;
 
 /// The commonly needed names in one import.
 pub mod prelude {
-    pub use bff_blobseer::{BlobConfig, BlobError, BlobId, Client as BlobClient, Version};
+    pub use bff_blobseer::{
+        BlobConfig, BlobError, BlobId, CacheStats, Client as BlobClient, NodeContext, Version,
+    };
     pub use bff_cloud::backend::ImageBackend;
     pub use bff_cloud::middleware::{Cloud, VmHandle};
     pub use bff_cloud::params::Calibration;

@@ -1,8 +1,9 @@
 //! Failure injection: fail-stop provider losses against the replication
 //! knob (§3.1.3: "chunks can be replicated on different local disks" for
-//! availability and fault tolerance).
+//! availability and fault tolerance) — including losses of *deduped*
+//! chunks whose refcounted replicas are shared by several blobs.
 
-use bff::blobseer::{BlobStore, BlobTopology};
+use bff::blobseer::{BlobStore, BlobTopology, ChunkId};
 use bff::cloud::backend::{BackendError, ImageBackend, MirrorBackend};
 use bff::cloud::params::Calibration;
 use bff::prelude::*;
@@ -91,6 +92,154 @@ fn recovery_restores_service() {
     fabric.recover_node(NodeId(1));
     let got = backend.read(0..IMG).unwrap();
     assert!(got.content_eq(&Payload::synth(0xFA11, 0, IMG)));
+}
+
+/// A deployment with dedup forced on (tests must not depend on the
+/// `BFF_DEDUP` environment default) and replicated chunks.
+fn setup_dedup() -> (Arc<LocalFabric>, BlobClient) {
+    let fabric = LocalFabric::new(7);
+    let compute: Vec<NodeId> = (0..6).map(NodeId).collect();
+    let topo = BlobTopology::colocated(&compute, NodeId(6));
+    let cfg = BlobConfig {
+        chunk_size: 64 << 10,
+        replication: 2,
+        dedup: true,
+        ..Default::default()
+    };
+    let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+    (fabric, BlobClient::new(store, NodeId(0)))
+}
+
+/// Providers currently holding `id`, with their refcounts.
+fn holders(client: &BlobClient, id: ChunkId) -> Vec<(NodeId, u64)> {
+    client
+        .store()
+        .topology()
+        .providers
+        .iter()
+        .filter_map(|&p| client.store().providers().refcount(p, id).map(|r| (p, r)))
+        .collect()
+}
+
+#[test]
+fn deduped_shared_chunk_fails_over_to_surviving_replica() {
+    // Two blobs share one refcounted chunk through the digest index;
+    // a provider holding it dies mid-run. Readers of the *other* blob —
+    // which never pushed the bytes itself — must fail over to the
+    // surviving replica.
+    const CS: u64 = 64 << 10;
+    const IMG2: u64 = 8 * CS;
+    let (fabric, client) = setup_dedup();
+    let (a, va) = client.upload(Payload::synth(0xA11CE, 0, IMG2)).unwrap(); // ids 1..=8
+    let x = Payload::synth(0xDD, 0, CS);
+    let va2 = client.write_chunks(a, va, vec![(0, x.clone())]).unwrap(); // id 9
+
+    // Blob B commits the same content: reuse, no new replicas.
+    let b = client.create_blob(IMG2).unwrap();
+    let vb = client
+        .write_chunks(b, Version(0), vec![(5, x.clone())])
+        .unwrap();
+    let shared = ChunkId(9);
+    let held = holders(&client, shared);
+    assert_eq!(held.len(), 2, "two replicas of the shared chunk: {held:?}");
+    assert!(
+        held.iter().all(|&(_, r)| r == 2),
+        "both replicas carry both blobs' references: {held:?}"
+    );
+
+    // Kill one replica holder mid-run.
+    fabric.fail_node(held[0].0);
+
+    // A reader on a fresh node (cold cache, no dedup knowledge) still
+    // reads both blobs byte-exactly through the survivor.
+    let reader = BlobClient::new(Arc::clone(client.store()), NodeId(3));
+    let got = reader.read(b, vb, 5 * CS..6 * CS).unwrap();
+    assert!(
+        got.content_eq(&x),
+        "blob B must fail over on the shared chunk"
+    );
+    let got = reader.read(a, va2, 0..CS).unwrap();
+    assert!(got.content_eq(&x), "blob A likewise");
+
+    // And with the survivor also gone, the loss is detected, not silent.
+    fabric.fail_node(held[1].0);
+    let fresh = BlobClient::new(Arc::clone(client.store()), NodeId(4));
+    assert!(fresh.read(b, vb, 5 * CS..6 * CS).is_err());
+}
+
+#[test]
+fn dedup_after_replica_loss_reuses_only_survivors() {
+    // A provider dies *between* two deduped commits: the next
+    // commit-by-reference must validate replicas and publish only the
+    // survivor — never a descriptor pointing at the dead copy only.
+    const CS: u64 = 64 << 10;
+    let (fabric, client) = setup_dedup();
+    let (a, va) = client.upload(Payload::synth(0xBEEF, 0, 4 * CS)).unwrap(); // ids 1..=4
+    let x = Payload::synth(0xEE, 0, CS);
+    client.write_chunks(a, va, vec![(0, x.clone())]).unwrap(); // id 5
+    let shared = ChunkId(5);
+    let held = holders(&client, shared);
+    fabric.fail_node(held[0].0);
+
+    let b = client.create_blob(4 * CS).unwrap();
+    let vb = client
+        .write_chunks(b, Version(0), vec![(2, x.clone())])
+        .unwrap();
+    // The reuse retained only on the survivor.
+    let held_after = holders(&client, shared);
+    let survivor = held[1].0;
+    assert!(held_after.contains(&(survivor, 2)), "{held_after:?}");
+    // Readable even though the preferred replica may be the dead one.
+    let reader = BlobClient::new(Arc::clone(client.store()), NodeId(5));
+    let got = reader.read(b, vb, 2 * CS..3 * CS).unwrap();
+    assert!(got.content_eq(&x));
+}
+
+#[test]
+fn refcounts_never_underflow_on_repeated_rollback_and_release() {
+    const CS: u64 = 64 << 10;
+    let (_fabric, client) = setup_dedup();
+    let (a, va) = client.upload(Payload::synth(0xF00D, 0, 4 * CS)).unwrap();
+    let x = Payload::synth(0x77, 0, CS);
+    let va2 = client.write_chunks(a, va, vec![(0, x.clone())]).unwrap(); // id 5
+    let shared = ChunkId(5);
+    let before = holders(&client, shared);
+
+    // Two successive stale-base commits dedup onto the chunk, then lose
+    // the publish race: each rollback releases exactly its own
+    // references — never the published snapshot's.
+    for _ in 0..2 {
+        let err = client
+            .write_chunks(a, va, vec![(1, x.clone())])
+            .unwrap_err();
+        assert!(matches!(err, BlobError::Conflict { .. }));
+        assert_eq!(holders(&client, shared), before, "rollback must be exact");
+    }
+    let got = client.read(a, va2, 0..CS).unwrap();
+    assert!(got.content_eq(&x), "survived double rollback");
+
+    // API-level double-release storm on a scratch chunk: the counters
+    // saturate at removal and every further release is a no-op.
+    let store = client.store();
+    let scratch = ChunkId(9_999);
+    let node = NodeId(1);
+    let stored_before = store.total_stored_bytes();
+    store.providers().put(node, scratch, Payload::zeros(1024));
+    assert!(store.providers().retain(node, scratch));
+    assert!(store.providers().release(node, scratch)); // 2 → 1
+    assert!(store.providers().release(node, scratch)); // 1 → 0, removed
+    for _ in 0..3 {
+        assert!(
+            !store.providers().release(node, scratch),
+            "must not underflow"
+        );
+    }
+    assert_eq!(store.providers().refcount(node, scratch), None);
+    assert_eq!(
+        store.total_stored_bytes(),
+        stored_before,
+        "aggregate byte counter drifted through the release storm"
+    );
 }
 
 #[test]

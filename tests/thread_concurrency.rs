@@ -104,6 +104,133 @@ fn concurrent_snapshots_commute() {
 }
 
 #[test]
+fn co_located_clients_share_one_node_context() {
+    // N OS threads play co-located VMs on ONE node, each with its own
+    // Client, all racing reads and commits through the node's shared
+    // NodeContext. Checks: content correctness under the shared cache,
+    // Arc-identity of the context, the LRU capacity bound, and that the
+    // aggregate hit/miss counters exactly account every chunk lookup
+    // (no lost descriptors, no double counting).
+    const CS: u64 = 64 << 10;
+    const SHARED: u64 = 1 << 20; // 16 chunks
+    const OWN: u64 = 256 << 10; // 4 chunks
+    const WORKERS: usize = 8;
+    let fabric = LocalFabric::new(5);
+    let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let topo = BlobTopology::colocated(&compute, NodeId(4));
+    let cfg = BlobConfig {
+        chunk_size: CS,
+        dedup: false, // counter accounting below assumes no reuse
+        ..Default::default()
+    };
+    let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+    let image = Payload::synth(0xC010, 0, SHARED);
+    // Stage the shared image from the service node so node 0 starts cold.
+    let stage = BlobClient::new(Arc::clone(&store), NodeId(4));
+    let (shared, v) = stage.upload(image.clone()).unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let store = Arc::clone(&store);
+            let image = image.clone();
+            s.spawn(move || {
+                let client = BlobClient::new(store, NodeId(0));
+                // Everyone reads the whole shared snapshot (racing the
+                // first resolver) — 16 chunk lookups each.
+                let got = client.read(shared, v, 0..SHARED).unwrap();
+                assert!(got.content_eq(&image), "worker {t} read torn content");
+                // Everyone publishes its own blob, then reads it back —
+                // 4 chunk lookups each (the commit seeds the cache, so
+                // these should all be hits).
+                let own = Payload::synth(0xD000 + t as u64, 0, OWN);
+                let (blob, ov) = client.upload(own.clone()).unwrap();
+                let got = client.read(blob, ov, 0..OWN).unwrap();
+                assert!(got.content_eq(&own), "worker {t} own blob torn");
+            });
+        }
+    });
+
+    // All clients attached to one context.
+    let ctx = store.node_context(NodeId(0));
+    let other = BlobClient::new(Arc::clone(&store), NodeId(0));
+    assert!(Arc::ptr_eq(&ctx, other.context()), "context not shared");
+
+    // Counter consistency: every chunk lookup is accounted exactly once.
+    let stats = ctx.stats();
+    let expected = WORKERS as u64 * (SHARED / CS + OWN / CS);
+    assert_eq!(
+        stats.desc_hits + stats.desc_misses,
+        expected,
+        "hit/miss counters lost or double-counted lookups: {stats:?}"
+    );
+    // The shared snapshot is resolved at most once per chunk per racer
+    // window; with 8 racers at least some sharing must materialize, and
+    // every self-committed read is a pure hit.
+    assert!(
+        stats.desc_hits >= WORKERS as u64 * (OWN / CS),
+        "committers must hit their own seeded entries: {stats:?}"
+    );
+    assert!(ctx.desc_entries() <= ctx.desc_capacity());
+
+    // No lost descriptors: a fresh co-located client replays every
+    // blob's latest snapshot without touching the metadata plane.
+    let verifier = BlobClient::new(Arc::clone(&store), NodeId(0));
+    verifier.read(shared, v, 0..SHARED).unwrap();
+    assert_eq!(
+        verifier.meta_fetch_calls(),
+        0,
+        "shared snapshot descriptors were lost from the node cache"
+    );
+}
+
+#[test]
+fn lru_bound_holds_under_concurrent_version_churn() {
+    // 8 threads × 24 private snapshots each churn far past a tiny
+    // 8-entry cache: the bound must hold throughout and reads must stay
+    // correct while entries are concurrently evicted and re-resolved.
+    const CS: u64 = 64 << 10;
+    const IMGS: u64 = 128 << 10;
+    let fabric = LocalFabric::new(5);
+    let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let topo = BlobTopology::colocated(&compute, NodeId(4));
+    let cfg = BlobConfig {
+        chunk_size: CS,
+        desc_cache_versions: 8,
+        ..Default::default()
+    };
+    let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let store = Arc::clone(&store);
+            s.spawn(move || {
+                let client = BlobClient::new(store, NodeId(0));
+                let (blob, mut v) = client.upload(Payload::synth(t, 0, IMGS)).unwrap();
+                let mut expect = Payload::synth(t, 0, IMGS);
+                for round in 0..24u64 {
+                    let patch = Payload::synth(t * 1000 + round, 0, CS);
+                    v = client.write(blob, v, 0, patch.clone()).unwrap();
+                    expect = expect.overwrite(0, patch);
+                    let got = client.read(blob, v, 0..IMGS).unwrap();
+                    assert!(got.content_eq(&expect), "thread {t} round {round}");
+                }
+            });
+        }
+    });
+    let ctx = store.node_context(NodeId(0));
+    assert!(
+        ctx.desc_entries() <= ctx.desc_capacity(),
+        "LRU bound violated under churn: {} > {}",
+        ctx.desc_entries(),
+        ctx.desc_capacity()
+    );
+    assert!(
+        ctx.desc_capacity() <= 8,
+        "test must actually churn the bound"
+    );
+}
+
+#[test]
 fn concurrent_commits_to_one_blob_conflict_cleanly() {
     // Optimistic concurrency at the version manager: when threads race to
     // publish onto the SAME blob, exactly the losers see Conflict and no
