@@ -75,6 +75,22 @@ pub fn parent_of(i: usize, arity: usize) -> usize {
     (i - 1) / arity
 }
 
+/// The `(parent, child)` edges of the implicit k-ary broadcast tree
+/// rooted at `source` over `targets`, in index order (parents always
+/// precede their children). Control-plane gossip — e.g. the blobseer
+/// `PatternBoard` disseminating access summaries — walks these edges to
+/// charge one small transfer per hop without running a full
+/// [`TreeBroadcast`].
+pub fn tree_edges(source: NodeId, targets: &[NodeId], arity: usize) -> Vec<(NodeId, NodeId)> {
+    assert!(arity >= 1, "arity must be at least 1");
+    let nodes: Vec<NodeId> = std::iter::once(source)
+        .chain(targets.iter().copied())
+        .collect();
+    (1..nodes.len())
+        .map(|i| (nodes[parent_of(i, arity)], nodes[i]))
+        .collect()
+}
+
 /// Depth of node `i` (root = 0).
 pub fn depth_of(mut i: usize, arity: usize) -> usize {
     let mut d = 0;
@@ -202,6 +218,23 @@ mod tests {
         assert_eq!(depth_of(6, 2), 2);
         // Higher arity is shallower.
         assert!(depth_of(100, 4) < depth_of(100, 2));
+    }
+
+    #[test]
+    fn tree_edges_cover_every_target_once() {
+        let targets: Vec<NodeId> = (1..8).map(NodeId).collect();
+        let edges = tree_edges(NodeId(0), &targets, 2);
+        assert_eq!(edges.len(), targets.len(), "one inbound edge per target");
+        // Every target appears exactly once as a child; parents are
+        // either the source or earlier targets.
+        let mut reached = std::collections::HashSet::from([NodeId(0)]);
+        for (parent, child) in edges {
+            assert!(reached.contains(&parent), "parent {parent} seen first");
+            assert!(reached.insert(child), "child {child} reached twice");
+        }
+        for t in targets {
+            assert!(reached.contains(&t));
+        }
     }
 
     #[test]

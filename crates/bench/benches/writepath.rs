@@ -56,6 +56,11 @@ fn bench_cold_write_sweep(c: &mut Criterion) {
         ("sequential_push", ReplicationMode::Sequential),
         ("fanout_batched", ReplicationMode::Fanout),
         ("chain_batched", ReplicationMode::Chain),
+        // Wall-clock tracking only: pipelining trades messages for
+        // latency, so its *win* is virtual-time commit latency on the
+        // simulated fabric — measured and gated by `prefetch_sweep` /
+        // BENCH_4.json, not here.
+        ("chain_pipelined", ReplicationMode::ChainPipelined),
     ] {
         let client = deploy(cs, 16, 3, mode);
         group.bench_function(name, |b| {

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! bench_regression --results bench-results.jsonl --baseline BENCH_2.json \
-//!     [--dedup-results target/paper/dedup_summary.json --dedup-baseline BENCH_3.json]
+//!     [--dedup-results target/paper/dedup_summary.json --dedup-baseline BENCH_3.json] \
+//!     [--prefetch-results target/paper/prefetch_summary.json --prefetch-baseline BENCH_4.json]
 //! ```
 //!
 //! `--results` is the `BFF_BENCH_JSON` jsonl the criterion shim appends
@@ -21,7 +22,11 @@
 //! The dedup checks work the same way on deterministic byte ratios
 //! (provider-bytes-written reduction, network reduction, cache hit
 //! rate), so they are noise-free: a failure means the dedup or
-//! node-shared-cache pipeline itself regressed.
+//! node-shared-cache pipeline itself regressed. The prefetch checks
+//! gate the `prefetch_sweep` summary against the `BENCH_4.json` floors:
+//! virtual-time boot throughput, read-ahead hit rate, traffic reduction
+//! and the pipelined-chain latency win — all measured on the
+//! deterministic simulator, so they are noise-free too.
 
 use std::process::ExitCode;
 
@@ -103,13 +108,44 @@ const DEDUP_CHECKS: &[(&str, &str, &str)] = &[
     ),
 ];
 
-/// Gate the dedup-sweep summary against the committed floors. Returns
-/// `true` when something failed.
-fn check_dedup(summary: &str, baseline: &str, baseline_path: &str) -> bool {
+/// Measured-value keys checked between a prefetch summary and
+/// `BENCH_4.json`.
+const PREFETCH_CHECKS: &[(&str, &str, &str)] = &[
+    (
+        "prefetch: cold concurrent boot throughput, on ÷ off",
+        "prefetch_boot_speedup",
+        "prefetch_boot_floor",
+    ),
+    (
+        "prefetch: read-ahead hit rate",
+        "prefetch_hit_rate",
+        "prefetch_hit_rate_floor",
+    ),
+    (
+        "prefetch: boot network bytes, off ÷ on",
+        "prefetch_network_reduction",
+        "prefetch_network_floor",
+    ),
+    (
+        "chain: batched ÷ pipelined commit latency",
+        "chain_pipeline_speedup",
+        "chain_pipeline_floor",
+    ),
+];
+
+/// Gate a flat summary against a baseline's recorded values + floors.
+/// Returns `true` when something failed.
+fn check_summary(
+    label: &str,
+    checks: &[(&str, &str, &str)],
+    summary: &str,
+    baseline: &str,
+    baseline_path: &str,
+) -> bool {
     let tolerance = json_number(baseline, "regression_tolerance").unwrap_or(0.25);
     let mut failed = false;
-    println!("dedup-sweep gate vs {baseline_path} (tolerance {tolerance})");
-    for (name, key, floor_key) in DEDUP_CHECKS {
+    println!("{label} gate vs {baseline_path} (tolerance {tolerance})");
+    for (name, key, floor_key) in checks {
         let Some(current) = json_number(summary, key) else {
             println!("FAIL {name}: {key} missing from summary");
             failed = true;
@@ -136,6 +172,8 @@ fn main() -> ExitCode {
     let mut baseline_path = String::from("BENCH_2.json");
     let mut dedup_results: Option<String> = None;
     let mut dedup_baseline = String::from("BENCH_3.json");
+    let mut prefetch_results: Option<String> = None;
+    let mut prefetch_baseline = String::from("BENCH_4.json");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--results" => {
@@ -154,23 +192,52 @@ fn main() -> ExitCode {
             "--dedup-baseline" => {
                 dedup_baseline = args.next().expect("--dedup-baseline needs a path")
             }
+            "--prefetch-results" => {
+                let path = args.next().expect("--prefetch-results needs a path");
+                prefetch_results = Some(
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+                );
+            }
+            "--prefetch-baseline" => {
+                prefetch_baseline = args.next().expect("--prefetch-baseline needs a path")
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     assert!(
-        !results.is_empty() || dedup_results.is_some(),
-        "no --results or --dedup-results provided"
+        !results.is_empty() || dedup_results.is_some() || prefetch_results.is_some(),
+        "no --results, --dedup-results or --prefetch-results provided"
     );
     if let Some(summary) = &dedup_results {
         let baseline = std::fs::read_to_string(&dedup_baseline)
             .unwrap_or_else(|e| panic!("read baseline {dedup_baseline}: {e}"));
-        if check_dedup(summary, &baseline, &dedup_baseline) {
+        if check_summary(
+            "dedup-sweep",
+            DEDUP_CHECKS,
+            summary,
+            &baseline,
+            &dedup_baseline,
+        ) {
             println!("dedup regression detected");
             return ExitCode::FAILURE;
         }
     }
+    if let Some(summary) = &prefetch_results {
+        let baseline = std::fs::read_to_string(&prefetch_baseline)
+            .unwrap_or_else(|e| panic!("read baseline {prefetch_baseline}: {e}"));
+        if check_summary(
+            "prefetch-sweep",
+            PREFETCH_CHECKS,
+            summary,
+            &baseline,
+            &prefetch_baseline,
+        ) {
+            println!("prefetch/chain-pipeline regression detected");
+            return ExitCode::FAILURE;
+        }
+    }
     if results.is_empty() {
-        println!("all dedup-sweep ratios within tolerance");
+        println!("all sweep ratios within tolerance");
         return ExitCode::SUCCESS;
     }
     let baseline = std::fs::read_to_string(&baseline_path)

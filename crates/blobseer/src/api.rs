@@ -98,8 +98,22 @@ pub enum ReplicationMode {
     /// The client pushes each chunk group to its first replica only; each
     /// replica forwards the batch to the next one in the descriptor's
     /// replica order. Client egress is `1×` the payload; the forwarding
-    /// load rides the providers' links.
+    /// load rides the providers' links. The *whole batch* moves hop by
+    /// hop, so on a fabric with non-zero transfer time the chain's
+    /// latency is `hops × batch time`.
     Chain,
+    /// Chain replication with chunk-granular pipelining: each chunk walks
+    /// the replica chain independently, so hop `n+1` starts streaming
+    /// chunk `i` while hop `n` is already receiving chunk `i+1` — on the
+    /// simulated fabric the chain's latency collapses towards
+    /// `batch time + hops × chunk time` (the Frisbee-style overlap the
+    /// broadcast ablations show, applied to replication). Client egress
+    /// is still `1×` the payload; the cost is one message per
+    /// `(chunk, hop)` instead of one per hop, which is what the fabric's
+    /// per-message overhead sees. Failover semantics are identical to
+    /// [`ReplicationMode::Chain`]: a dead hop is skipped per chunk and
+    /// the next hop is fed from the last live holder.
+    ChainPipelined,
     /// The pre-batching reference path: one push per chunk, replicas in
     /// sequence. Kept for equivalence tests and as the perf baseline the
     /// `bench-regression` CI gate measures the batched modes against.
@@ -140,12 +154,39 @@ pub struct BlobConfig {
     /// Entries kept in the node's content-digest index (dedup lookup
     /// window). `0` disables the index even when `dedup` is on.
     pub digest_index_chunks: usize,
+    /// Adaptive cross-VM prefetching (§3.1.3: co-deployed VMs touch
+    /// nearly identical chunk sequences): nodes publish access summaries
+    /// to the cluster `PatternBoard` and issue asynchronous read-ahead
+    /// of the chunks their peers touched, landing them in the
+    /// node-shared chunk cache. Defaults to the `BFF_PREFETCH`
+    /// environment variable (unset → on), which is how CI runs the whole
+    /// suite in both modes.
+    pub prefetch: bool,
+    /// In-flight budget of one asynchronous read-ahead step, in chunks
+    /// ([`crate::Client::prefetch_chunks`] fetches at most this many per
+    /// call).
+    pub prefetch_window: usize,
+    /// Byte bound of the node-shared chunk-data cache that prefetched
+    /// (and, while prefetching is on, demand-fetched) chunks land in.
+    /// LRU-evicted. A bound that cannot hold at least one chunk
+    /// (including `0`) disables the cache — and with it the whole
+    /// prefetch pipeline, even when [`BlobConfig::prefetch`] is on:
+    /// read-ahead without somewhere to land the data would fetch every
+    /// predicted chunk twice.
+    pub chunk_cache_bytes: u64,
+    /// Use the cryptographic (SHA-256) content digest for the dedup
+    /// index instead of 64-bit FNV. A strong-digest index hit is
+    /// collision-resistant, so the commit-by-reference path skips the
+    /// byte-verification round against a stored replica. Off by default:
+    /// FNV + verify is the reference behaviour.
+    pub strong_digest: bool,
 }
 
-/// Whether `BFF_DEDUP` asks for dedup to be disabled (CI toggles the
-/// whole test suite through this).
-fn dedup_env_default() -> bool {
-    match std::env::var("BFF_DEDUP") {
+/// Whether an on-by-default feature toggle (`BFF_DEDUP`,
+/// `BFF_PREFETCH`) asks to be disabled (CI toggles the whole test suite
+/// through these).
+fn env_default_on(var: &str) -> bool {
+    match std::env::var(var) {
         Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
         Err(_) => true,
     }
@@ -161,9 +202,13 @@ impl Default for BlobConfig {
             provider_read_cache: true,
             node_bytes: 96,
             control_bytes: 64,
-            dedup: dedup_env_default(),
+            dedup: env_default_on("BFF_DEDUP"),
             desc_cache_versions: 64,
             digest_index_chunks: 1 << 16,
+            prefetch: env_default_on("BFF_PREFETCH"),
+            prefetch_window: 8,
+            chunk_cache_bytes: 64 << 20,
+            strong_digest: false,
         }
     }
 }

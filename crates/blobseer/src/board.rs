@@ -1,0 +1,265 @@
+//! The cluster-level access-pattern board: the control plane of the
+//! adaptive cross-VM prefetching pipeline (§3.1.3).
+//!
+//! Co-deployed VMs booting the same image touch nearly identical chunk
+//! sequences with a skew of ~100 ms. The [`PatternBoard`] turns that
+//! observation into a service: every node's shared
+//! [`crate::NodeContext`] batches the first-touch chunk order of its
+//! demand reads and publishes compact summaries here; a node deploying
+//! the same `(blob, version)` later (or merely running behind) reads the
+//! merged peer sequence back and asks
+//! [`crate::Client::prefetch_chunks`] to fetch the predicted next window
+//! ahead of its guest.
+//!
+//! Deployment-wise the board is hosted *beside the provider manager*
+//! (one logical instance per service, on `topology().pmanager`): a
+//! publish costs one small control RPC to that node, and the board then
+//! **gossips** the update to the compute nodes along a k-ary
+//! [`bff_bcast::tree`] — one tiny transfer per tree edge — so reads of
+//! the local replica are free. In this model the replica state itself is
+//! shared memory; the gossip charges make the fabric see the
+//! dissemination traffic and latency that a real deployment would pay.
+//!
+//! The board stores the *union* of all publishers' first-touch orders,
+//! deduplicated in arrival order. That is deliberately coarse: the point
+//! is not to replay one peer's exact trace but to know, cheaply, which
+//! chunks the cohort touches and roughly in which order — which is also
+//! why a bounded sequence ([`BOARD_SEQ_CAP`]) suffices.
+
+use crate::api::{BlobId, Version};
+use bff_data::{FastMap, FastSet};
+use bff_net::{Fabric, NodeId, Transfer};
+use std::sync::Arc;
+
+/// Cap on the merged access sequence kept per `(blob, version)`. A boot
+/// touches a few thousand chunks; the cap only guards against
+/// pathological full-image scans flooding the board.
+pub const BOARD_SEQ_CAP: usize = 1 << 14;
+
+/// Cap on `(blob, version)` patterns tracked at once. Inserting beyond
+/// it evicts the least-recently-merged pattern — a cohort that stopped
+/// publishing long ago has either converged (its nodes hold gossiped
+/// replicas and local caches) or dissolved; either way its board slot
+/// is reclaimable. Bounds the board's memory under unbounded snapshot
+/// churn.
+pub const BOARD_PATTERN_CAP: usize = 1024;
+
+/// Gossip fan-out for summary dissemination (taktuk-like small arity).
+pub const GOSSIP_ARITY: usize = 2;
+
+#[derive(Debug, Default)]
+struct BoardEntry {
+    /// Merged first-touch sequence (arrival order across publishers).
+    seq: Arc<Vec<u64>>,
+    /// Membership set of `seq` (dedup across publishers).
+    members: FastSet<u64>,
+    /// Publish batches merged so far.
+    publishes: u64,
+    /// Stamp of the last merge (LRU eviction under
+    /// [`BOARD_PATTERN_CAP`]).
+    last_merge: u64,
+}
+
+/// The board state (one logical instance per deployed service; see
+/// module docs).
+#[derive(Debug, Default)]
+pub struct PatternBoard {
+    entries: FastMap<(BlobId, Version), BoardEntry>,
+    tick: u64,
+}
+
+impl PatternBoard {
+    /// Merge a publisher's first-touch `batch` into the sequence for
+    /// `key`. Returns how many indices were new to the board (0 means
+    /// the cohort already knew everything in the batch).
+    pub fn merge(&mut self, key: (BlobId, Version), batch: &[u64]) -> usize {
+        if self.entries.len() >= BOARD_PATTERN_CAP && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_merge)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.entry(key).or_default();
+        entry.last_merge = tick;
+        entry.publishes += 1;
+        let mut appended = 0;
+        for &idx in batch {
+            if entry.members.len() >= BOARD_SEQ_CAP {
+                break;
+            }
+            if entry.members.insert(idx) {
+                Arc::make_mut(&mut entry.seq).push(idx);
+                appended += 1;
+            }
+        }
+        appended
+    }
+
+    /// The subset of `batch` the board does not know yet. Publishers
+    /// consult their gossiped *local replica* with this before paying
+    /// the publish RPC: a batch the cohort already covers is dropped on
+    /// the publisher's side, which is what keeps the control plane quiet
+    /// once the access pattern has converged (only the deployment's
+    /// frontier publishes).
+    pub fn novel_of(&self, key: (BlobId, Version), batch: &[u64]) -> Vec<u64> {
+        match self.entries.get(&key) {
+            Some(e) => batch
+                .iter()
+                .copied()
+                .filter(|idx| !e.members.contains(idx))
+                .collect(),
+            None => batch.to_vec(),
+        }
+    }
+
+    /// The merged peer sequence for `key`, cheaply shareable (readers
+    /// hold the `Arc` while the prefetcher walks it; a concurrent merge
+    /// copies-on-write).
+    pub fn sequence(&self, key: (BlobId, Version)) -> Option<Arc<Vec<u64>>> {
+        self.entries.get(&key).map(|e| Arc::clone(&e.seq))
+    }
+
+    /// Length of the merged sequence for `key` (0 when absent) — the
+    /// cheap pre-check the prefetcher uses before cloning the sequence.
+    pub fn sequence_len(&self, key: (BlobId, Version)) -> usize {
+        self.entries.get(&key).map_or(0, |e| e.seq.len())
+    }
+
+    /// Publish batches merged for `key` so far (experiment diagnostics).
+    pub fn publishes(&self, key: (BlobId, Version)) -> u64 {
+        self.entries.get(&key).map_or(0, |e| e.publishes)
+    }
+
+    /// `(blob, version)` patterns currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the board tracks no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Charge the fabric for gossiping a `summary_bytes`-sized board update
+/// from `host` (the provider-manager node) to `targets` along the k-ary
+/// broadcast tree. Down or unreachable nodes are skipped — gossip is
+/// best-effort; a node that missed an update simply prefetches a little
+/// later. The publisher itself should be excluded by the caller (it
+/// already holds its own accesses).
+pub fn gossip_charge(
+    fabric: &Arc<dyn Fabric>,
+    host: NodeId,
+    targets: &[NodeId],
+    summary_bytes: u64,
+) {
+    // One small one-way message per tree edge, all in flight at once
+    // (summaries are tiny; relays forward without store-and-forward
+    // delays, so the whole round costs ~one link latency of virtual
+    // time). Edges touching dead nodes are skipped — gossip is
+    // best-effort; a node that missed an update prefetches a little
+    // later.
+    let xfers: Vec<Transfer> = bff_bcast::tree::tree_edges(host, targets, GOSSIP_ARITY)
+        .into_iter()
+        .filter(|&(p, c)| !fabric.is_down(p) && !fabric.is_down(c))
+        .map(|(parent, child)| Transfer {
+            src: parent,
+            dst: child,
+            bytes: summary_bytes,
+        })
+        .collect();
+    let _ = fabric.transfer_all(&xfers);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bff_net::LocalFabric;
+
+    const KEY: (BlobId, Version) = (BlobId(1), Version(1));
+
+    #[test]
+    fn merge_unions_in_arrival_order() {
+        let mut b = PatternBoard::default();
+        assert_eq!(b.merge(KEY, &[3, 1, 2]), 3);
+        // A second publisher with overlap appends only the novel tail.
+        assert_eq!(b.merge(KEY, &[1, 2, 9]), 1);
+        assert_eq!(*b.sequence(KEY).unwrap(), vec![3, 1, 2, 9]);
+        assert_eq!(b.sequence_len(KEY), 4);
+        assert_eq!(b.publishes(KEY), 2);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn absent_key_reads_empty() {
+        let b = PatternBoard::default();
+        assert!(b.sequence(KEY).is_none());
+        assert_eq!(b.sequence_len(KEY), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sequence_is_bounded() {
+        let mut b = PatternBoard::default();
+        let big: Vec<u64> = (0..(BOARD_SEQ_CAP as u64 + 100)).collect();
+        b.merge(KEY, &big);
+        assert_eq!(b.sequence_len(KEY), BOARD_SEQ_CAP);
+        // Further novel indices are dropped, not wrapped.
+        b.merge(KEY, &[u64::MAX]);
+        assert_eq!(b.sequence_len(KEY), BOARD_SEQ_CAP);
+    }
+
+    #[test]
+    fn pattern_count_is_bounded_lru() {
+        let mut b = PatternBoard::default();
+        for v in 1..=(BOARD_PATTERN_CAP as u64 + 50) {
+            b.merge((BlobId(1), Version(v)), &[1, 2, 3]);
+        }
+        assert_eq!(b.len(), BOARD_PATTERN_CAP);
+        // The newest pattern is present, the oldest was evicted.
+        assert!(b
+            .sequence((BlobId(1), Version(BOARD_PATTERN_CAP as u64 + 50)))
+            .is_some());
+        assert!(b.sequence((BlobId(1), Version(1))).is_none());
+    }
+
+    #[test]
+    fn readers_hold_snapshots_across_merges() {
+        let mut b = PatternBoard::default();
+        b.merge(KEY, &[1, 2]);
+        let snap = b.sequence(KEY).unwrap();
+        b.merge(KEY, &[3]);
+        assert_eq!(*snap, vec![1, 2], "held snapshot is immutable");
+        assert_eq!(*b.sequence(KEY).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn gossip_charges_one_message_per_edge() {
+        let fabric = LocalFabric::new(8);
+        let targets: Vec<NodeId> = (1..8).map(NodeId).collect();
+        gossip_charge(
+            &(Arc::clone(&fabric) as Arc<dyn Fabric>),
+            NodeId(0),
+            &targets,
+            100,
+        );
+        // 7 edges x 100 bytes, one-way.
+        assert_eq!(fabric.stats().total_network_bytes(), 700);
+        // A dead relay does not abort the rest of the gossip.
+        fabric.stats().reset();
+        fabric.fail_node(NodeId(1));
+        gossip_charge(
+            &(Arc::clone(&fabric) as Arc<dyn Fabric>),
+            NodeId(0),
+            &targets,
+            100,
+        );
+        assert!(fabric.stats().total_network_bytes() > 0);
+    }
+}

@@ -56,6 +56,27 @@
 //! chunk descriptor rather than failing the write; the write only errors
 //! if a chunk retains no replica at all.
 //!
+//! # Adaptive cross-VM prefetching
+//!
+//! With [`BlobConfig::prefetch`] on (default; `BFF_PREFETCH=0` off),
+//! the read path becomes *anticipatory*. Image layers hint their read
+//! misses ([`Client::hint_access`]); the node context batches the
+//! first-touch chunk order and publishes it to the cluster
+//! [`crate::board::PatternBoard`] (hosted beside the provider manager,
+//! gossiped to the compute nodes via a `bff_bcast` tree). A node running
+//! behind its cohort — a VM that booted later, or was co-deployed with a
+//! skew — computes the predicted next-chunk window off the board and
+//! issues [`Client::prefetch_chunks`]: an asynchronous batched
+//! read-ahead, bounded by [`BlobConfig::prefetch_window`] chunks per
+//! step, that lands fetched chunks in the node-shared chunk cache.
+//! `read_multi` consults that cache *before* touching providers, so a
+//! predicted chunk costs the demand path nothing; the hypervisor model
+//! overlaps prefetch steps with guest compute bursts, hiding the
+//! transfers behind CPU time on the simulated fabric. Prefetch is
+//! strictly best-effort: per-chunk replica failover like the demand
+//! path, failed chunks simply stay on demand, and snapshot content is
+//! byte-identical with prefetch on or off.
+//!
 //! # Content-addressed write dedup
 //!
 //! When [`BlobConfig::dedup`] is on, `write_chunks` content-addresses
@@ -74,7 +95,8 @@ use crate::api::{
     BlobConfig, BlobError, BlobId, BlobResult, ChunkDesc, ChunkId, NodeKey, ReplicationMode,
     TreeNode, Version,
 };
-use crate::context::NodeContext;
+use crate::board;
+use crate::context::{ChunkOrigin, NodeContext};
 use crate::meta::partition_of;
 use crate::segtree::{self, NodeIo};
 use crate::service::BlobStore;
@@ -156,6 +178,18 @@ impl Client {
 
     fn cfg(&self) -> &BlobConfig {
         self.store.config()
+    }
+
+    /// Whether the adaptive prefetch pipeline is active. Requires both
+    /// the feature flag *and* a chunk cache that can hold at least one
+    /// chunk: without somewhere to land read-ahead data (disabled, or
+    /// bounded below the chunk size so every insert self-evicts),
+    /// tracking, publishing and prefetching would be pure overhead — a
+    /// prefetched chunk would be fetched, dropped, and fetched again on
+    /// demand.
+    fn prefetch_enabled(&self) -> bool {
+        let cfg = self.cfg();
+        cfg.prefetch && cfg.chunk_cache_bytes >= cfg.chunk_size
     }
 
     /// Create an empty blob of `size` bytes (chunk size from config).
@@ -274,13 +308,265 @@ impl Client {
         });
 
         // Resolve descriptors: the node-shared cache first, then one
-        // descent for the rest. Chunk-granular hit/miss counts feed the
-        // context's aggregate counters.
+        // descent for the rest.
+        let descs = self.resolve_descs(blob, version, &meta, &cover_runs)?;
+
+        // Serve written chunks from the node-shared chunk cache first
+        // (prefetched or demand-cached by any co-located client), then
+        // batch-fetch the remainder from the providers. Demand fetches
+        // are cached too while prefetching is on, so co-located VMs
+        // share each other's fetched data exactly as they share the
+        // paper's per-node module state.
+        let cache_data = self.prefetch_enabled();
+        let mut fetched: HashMap<u64, Payload> = HashMap::new();
+        let mut fetch: Vec<(u64, ChunkDesc, u64)> = Vec::new();
+        for run in &cover_runs {
+            for idx in run.clone() {
+                if let Some(desc) = descs.get(&idx) {
+                    let cr = chunk_range(idx, meta.chunk_size, meta.size);
+                    let len = cr.end - cr.start;
+                    if let Some(data) = self.ctx.chunk_cache_get(desc.id) {
+                        debug_assert_eq!(data.len(), len, "cached chunk length");
+                        fetched.insert(idx, data);
+                    } else {
+                        fetch.push((idx, desc.clone(), len));
+                    }
+                }
+            }
+        }
+        for (idx, res) in self.fetch_chunks_results(&fetch) {
+            let data = res?;
+            if cache_data {
+                let id = descs.get(&idx).expect("fetched chunks have descs").id;
+                self.ctx
+                    .chunk_cache_insert(id, data.clone(), ChunkOrigin::Demand);
+            }
+            fetched.insert(idx, data);
+        }
+
+        // Assemble each requested range from chunk slices (zero-copy) and
+        // zero fill.
+        let mut out = Vec::with_capacity(ranges.len());
+        for range in ranges {
+            let mut payload = Payload::empty();
+            for idx in chunk_cover(range, meta.chunk_size) {
+                let cr = chunk_range(idx, meta.chunk_size, meta.size);
+                let want = intersect(&cr, range);
+                if want.start >= want.end {
+                    continue;
+                }
+                match fetched.get(&idx) {
+                    Some(p) => {
+                        debug_assert_eq!(p.len(), cr.end - cr.start, "stored chunk length");
+                        payload.append(p.slice(want.start - cr.start, want.end - cr.start));
+                    }
+                    None => payload.append(Payload::zeros(want.end - want.start)),
+                }
+            }
+            debug_assert_eq!(payload.len(), range.end - range.start);
+            out.push(payload);
+        }
+        Ok(out)
+    }
+
+    /// Access hint from the image layer: the guest on this node demanded
+    /// `ranges` of `(blob, version)`. The node's [`NodeContext`] records
+    /// the first-touch chunk order; once [`crate::context::PUBLISH_BATCH`]
+    /// new chunks accumulate, the batch is published to the cluster
+    /// [`PatternBoard`](crate::board::PatternBoard) (one control RPC to
+    /// the provider-manager node, then a gossip round to the compute
+    /// nodes). No-op when prefetching is off.
+    ///
+    /// Hints are *advisory*: they never move data and never fail — a
+    /// publish that cannot reach the board (manager down) is dropped.
+    pub fn hint_access(&self, blob: BlobId, version: Version, ranges: &[ByteRange]) {
+        if !self.prefetch_enabled() {
+            return;
+        }
+        let Ok(meta) = self.version_meta(blob, version) else {
+            return;
+        };
+        let indices = ranges
+            .iter()
+            .filter(|r| r.start < r.end && r.end <= meta.size)
+            .flat_map(|r| chunk_cover(r, meta.chunk_size));
+        if let Some(batch) = self.ctx.note_accesses((blob, version), indices) {
+            self.publish_pattern(blob, version, &batch);
+        }
+    }
+
+    /// Publish a first-touch batch to the cluster board and gossip the
+    /// update to the other compute nodes (see [`crate::board`]). The
+    /// batch is first filtered against the node's gossiped board
+    /// replica: indices the cohort already knows are not re-published,
+    /// so once the access pattern converges the control plane goes
+    /// quiet.
+    fn publish_pattern(&self, blob: BlobId, version: Version, batch: &[u64]) {
+        let batch = self
+            .store
+            .pattern_board
+            .lock()
+            .novel_of((blob, version), batch);
+        if batch.is_empty() {
+            return;
+        }
+        let c = self.cfg().control_bytes;
+        let summary_bytes = c + 8 * batch.len() as u64;
+        let host = self.store.topo.pmanager;
+        if self
+            .store
+            .fabric
+            .rpc(self.node, host, summary_bytes, c)
+            .is_err()
+        {
+            return; // board unreachable: drop the batch, keep booting
+        }
+        self.store
+            .pattern_board
+            .lock()
+            .merge((blob, version), &batch);
+        let targets: Vec<NodeId> = self
+            .store
+            .topo
+            .providers
+            .iter()
+            .copied()
+            .filter(|&n| n != host && n != self.node)
+            .collect();
+        board::gossip_charge(&self.store.fabric, host, &targets, summary_bytes);
+    }
+
+    /// Whether an asynchronous read-ahead step for `(blob, version)`
+    /// could make progress: prefetching is on and the board's peer
+    /// sequence extends past this node's prefetch cursor. Pure local
+    /// state — no fabric charges — so the hypervisor can poll it before
+    /// every guest compute burst.
+    pub fn has_prefetch_work(&self, blob: BlobId, version: Version) -> bool {
+        if !self.prefetch_enabled() {
+            return false;
+        }
+        let len = self
+            .store
+            .pattern_board
+            .lock()
+            .sequence_len((blob, version));
+        len > 0 && self.ctx.prefetch_cursor_behind((blob, version), len)
+    }
+
+    /// Asynchronous batched read-ahead: claim up to `max_chunks` chunks
+    /// the cohort touched but this node has not (the predicted
+    /// next-chunk window off the [`PatternBoard`](crate::board::PatternBoard)
+    /// sequence), resolve their descriptors, fetch them through the
+    /// batched per-provider pipeline and land them in the node-shared
+    /// chunk cache, where [`Client::read_multi`] serves them without
+    /// touching the providers again.
+    ///
+    /// Best-effort semantics: chunks whose every replica is down are
+    /// skipped (per-chunk failover first, like the demand path — a
+    /// provider lost mid-prefetch costs nothing but that chunk), and the
+    /// call returns how many chunks actually landed. Claimed chunks are
+    /// never re-claimed, so a chunk is prefetched at most once per node
+    /// and a later demand read is the only retry path. Returns `Ok(0)`
+    /// immediately when prefetching is off or nothing is predicted.
+    pub fn prefetch_chunks(
+        &self,
+        blob: BlobId,
+        version: Version,
+        max_chunks: usize,
+    ) -> BlobResult<usize> {
+        if !self.prefetch_enabled() || max_chunks == 0 {
+            return Ok(0);
+        }
+        let key = (blob, version);
+        let Some(seq) = self.store.pattern_board.lock().sequence(key) else {
+            return Ok(0);
+        };
+        let candidates = self.ctx.claim_prefetch(key, &seq, max_chunks);
+        if candidates.is_empty() {
+            return Ok(0);
+        }
+        let meta = self.version_meta(blob, version)?;
+        // Coalesce the claimed indices into maximal runs for the single
+        // descent (claims come board-ordered, not index-ordered).
+        let mut idxs: Vec<u64> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| i < meta.span)
+            .collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        if idxs.is_empty() {
+            return Ok(0);
+        }
+        let mut runs: Vec<Range<u64>> = Vec::new();
+        for &i in &idxs {
+            match runs.last_mut() {
+                Some(r) if r.end == i => r.end = i + 1,
+                _ => runs.push(i..i + 1),
+            }
+        }
+        let descs = self.resolve_descs(blob, version, &meta, &runs)?;
+        // Fetch in *peer-access order* (the order the guests will
+        // demand), not index order — read-ahead must stay ahead of the
+        // stream it predicts.
+        let fetch: Vec<(u64, ChunkDesc, u64)> = candidates
+            .iter()
+            .filter_map(|&idx| {
+                let desc = descs.get(&idx)?; // unwritten chunks: nothing to move
+                if self.ctx.chunk_cache_contains(desc.id) {
+                    return None; // a co-located client already landed it
+                }
+                let cr = chunk_range(idx, meta.chunk_size, meta.size);
+                Some((idx, desc.clone(), cr.end - cr.start))
+            })
+            .collect();
+        // Land the window in small batched sub-fetches so early chunks
+        // become servable while later ones are still on the wire — a
+        // wide in-flight budget must not turn the whole window into one
+        // all-or-nothing arrival that demand reads race past. Each
+        // sub-batch is re-filtered against the cache right before its
+        // fetch: a chunk a demand read landed mid-step is not fetched a
+        // second time.
+        const SUB_BATCH: usize = 8;
+        let (mut landed, mut bytes) = (0u64, 0u64);
+        for group in fetch.chunks(SUB_BATCH) {
+            let group: Vec<(u64, ChunkDesc, u64)> = group
+                .iter()
+                .filter(|(_, desc, _)| !self.ctx.chunk_cache_contains(desc.id))
+                .cloned()
+                .collect();
+            for (idx, res) in self.fetch_chunks_results(&group) {
+                if let Ok(data) = res {
+                    bytes += data.len();
+                    landed += 1;
+                    let id = descs.get(&idx).expect("fetched chunks have descs").id;
+                    self.ctx.chunk_cache_insert(id, data, ChunkOrigin::Prefetch);
+                }
+            }
+        }
+        if landed > 0 {
+            self.ctx.note_prefetched(landed, bytes);
+        }
+        Ok(landed as usize)
+    }
+
+    /// Resolve the chunk descriptors covering `cover_runs` (sorted
+    /// disjoint index runs): the node-shared descriptor cache first, then
+    /// a *single* segment-tree descent for the remainder. Chunk-granular
+    /// hit/miss counts feed the context's aggregate counters. Indices
+    /// absent from the returned map are unwritten (read as zeros).
+    fn resolve_descs(
+        &self,
+        blob: BlobId,
+        version: Version,
+        meta: &VersionMeta,
+        cover_runs: &[Range<u64>],
+    ) -> BlobResult<FastMap<u64, ChunkDesc>> {
         let mut descs: FastMap<u64, ChunkDesc> = FastMap::default();
         let mut missing: Vec<Range<u64>> = Vec::new();
         let (hits, misses) = self.ctx.with_entry((blob, version), |entry| {
             let (mut hits, mut misses) = (0u64, 0u64);
-            for run in &cover_runs {
+            for run in cover_runs {
                 // Cached descriptors for the already-resolved parts.
                 for resolved in entry.resolved.runs_within(run) {
                     hits += resolved.end - resolved.start;
@@ -314,54 +600,18 @@ impl Client {
                 }
             });
         }
-
-        // Batched chunk fetch for every written chunk in the cover union.
-        let mut fetch: Vec<(u64, ChunkDesc, u64)> = Vec::new();
-        for run in &cover_runs {
-            for idx in run.clone() {
-                if let Some(desc) = descs.get(&idx) {
-                    let cr = chunk_range(idx, meta.chunk_size, meta.size);
-                    fetch.push((idx, desc.clone(), cr.end - cr.start));
-                }
-            }
-        }
-        let fetched = self.fetch_chunks_batched(&fetch)?;
-
-        // Assemble each requested range from chunk slices (zero-copy) and
-        // zero fill.
-        let mut out = Vec::with_capacity(ranges.len());
-        for range in ranges {
-            let mut payload = Payload::empty();
-            for idx in chunk_cover(range, meta.chunk_size) {
-                let cr = chunk_range(idx, meta.chunk_size, meta.size);
-                let want = intersect(&cr, range);
-                if want.start >= want.end {
-                    continue;
-                }
-                match fetched.get(&idx) {
-                    Some(p) => {
-                        debug_assert_eq!(p.len(), cr.end - cr.start, "stored chunk length");
-                        payload.append(p.slice(want.start - cr.start, want.end - cr.start));
-                    }
-                    None => payload.append(Payload::zeros(want.end - want.start)),
-                }
-            }
-            debug_assert_eq!(payload.len(), range.end - range.start);
-            out.push(payload);
-        }
-        Ok(out)
+        Ok(descs)
     }
 
     /// Fetch `chunks` (index, descriptor, stored length), grouped by
     /// provider: each provider serves its group as one batched disk read +
     /// one batched transfer, providers in parallel. Chunks whose batch
     /// fails fall back to per-chunk [`fetch_chunk`] replica failover.
-    fn fetch_chunks_batched(
-        &self,
-        chunks: &[(u64, ChunkDesc, u64)],
-    ) -> BlobResult<HashMap<u64, Payload>> {
+    /// Returns one result per chunk — the demand path propagates the
+    /// first error, the prefetch path tolerates per-chunk failures.
+    fn fetch_chunks_results(&self, chunks: &[(u64, ChunkDesc, u64)]) -> ChunkResults {
         if chunks.is_empty() {
-            return Ok(HashMap::new());
+            return Vec::new();
         }
         // Preferred replica per chunk, spread like fetch_chunk so batched
         // and per-chunk paths load the same copies.
@@ -393,14 +643,9 @@ impl Client {
             })
             .collect();
         self.store.fabric.par_join(tasks);
-        let results = Arc::try_unwrap(results)
+        Arc::try_unwrap(results)
             .unwrap_or_else(|a| Mutex::new(a.lock().clone()))
-            .into_inner();
-        let mut out = HashMap::with_capacity(results.len());
-        for (idx, res) in results {
-            out.insert(idx, res?);
-        }
-        Ok(out)
+            .into_inner()
     }
 
     /// Write `data` at `offset` on top of `(blob, base)` and publish the
@@ -529,9 +774,10 @@ impl Client {
         let mut uniques: Vec<UniqueChunk> = Vec::with_capacity(updates.len());
         let mut slot_of: Vec<usize> = Vec::with_capacity(updates.len());
         if self.cfg().dedup {
+            let strong = self.cfg().strong_digest;
             let mut by_key: FastMap<ContentKey, usize> = FastMap::default();
             for (slot, (_, data)) in updates.iter().enumerate() {
-                let key = (data.len(), data.digest());
+                let key = (data.len(), data.content_digest(strong));
                 let u = *by_key.entry(key).or_insert_with(|| {
                     uniques.push(UniqueChunk {
                         key: Some(key),
@@ -609,16 +855,29 @@ impl Client {
             // cloned out (rope segments are refcounted — no byte copy)
             // so the O(chunk_size) comparison runs *outside* the shard
             // lock and never stalls concurrent traffic to that provider.
+            //
+            // A collision-resistant (SHA-256) key skips this round
+            // entirely — the whole point of `BlobConfig::strong_digest`:
+            // the hash alone is proof of content equality, so the hit
+            // costs only the refcount bump. Stale entries (chunk gone
+            // everywhere) are still caught below when no replica
+            // retains.
             let payload = &updates[uniques[u].first_slot].1;
-            let mut verdict: Option<bool> = None;
+            let mut verdict: Option<bool> = if key.1.is_collision_resistant() {
+                Some(true)
+            } else {
+                None
+            };
             for &prov in desc.replicas.iter() {
+                if verdict.is_some() {
+                    break;
+                }
                 let stored = match self.store.providers.lock(prov) {
                     Some(shard) => shard.peek(desc.id).cloned(),
                     None => continue,
                 };
                 if let Some(stored) = stored {
                     verdict = Some(stored.content_eq(payload));
-                    break;
                 }
             }
             match verdict {
@@ -837,6 +1096,7 @@ impl Client {
         let outcome = match self.cfg().replication_mode {
             ReplicationMode::Fanout => self.push_fanout(updates, &descs),
             ReplicationMode::Chain => self.push_chain(updates, &descs),
+            ReplicationMode::ChainPipelined => self.push_chain_pipelined(updates, &descs),
             ReplicationMode::Sequential => self.push_sequential(updates, &descs),
         };
         let mut out = Vec::with_capacity(descs.len());
@@ -945,6 +1205,103 @@ impl Client {
         unwrap_shared(outcome)
     }
 
+    /// Pipelined chain: chunks stream down each replica chain in
+    /// *waves* — in wave `w`, chunk `j` moves over hop `w − j`, so hop
+    /// `n+1` forwards chunk `j` while hop `n` is already receiving
+    /// chunk `j+1`. Each link therefore carries one chunk at a time
+    /// (streaming on an established connection), and the chain's
+    /// completion latency collapses from `hops × batch time` (the
+    /// store-and-forward [`Client::push_chain`]) towards
+    /// `batch time + hops × chunk time` — the Frisbee-style pipelining
+    /// the broadcast ablations show, applied to replication. Client
+    /// egress stays `1×` the payload; the price is one message per
+    /// `(chunk, hop)` instead of one per hop.
+    ///
+    /// Failover is chunk-granular with [`Client::push_chain`]'s
+    /// semantics: a dead hop is skipped for that chunk and the next hop
+    /// is fed from the chunk's last live holder.
+    fn push_chain_pipelined(
+        &self,
+        updates: &Arc<Vec<(u64, Payload)>>,
+        descs: &Arc<Vec<ChunkDesc>>,
+    ) -> PushOutcome {
+        let mut by_chain: HashMap<Arc<[NodeId]>, Vec<usize>> = HashMap::new();
+        for (slot, desc) in descs.iter().enumerate() {
+            by_chain
+                .entry(desc.replicas.clone())
+                .or_default()
+                .push(slot);
+        }
+        let mut chains: Vec<Arc<[NodeId]>> = by_chain.keys().cloned().collect();
+        chains.sort_unstable(); // deterministic task order
+        let outcome = Arc::new(Mutex::new(PushOutcome::new(descs.len())));
+        let async_writes = self.cfg().async_writes;
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = chains
+            .into_iter()
+            .map(|chain| {
+                let slots = by_chain.remove(&chain).expect("grouped above");
+                let updates = Arc::clone(updates);
+                let descs = Arc::clone(descs);
+                let store = Arc::clone(&self.store);
+                let outcome = Arc::clone(&outcome);
+                let me = self.node;
+                Box::new(move || {
+                    let (m, k) = (slots.len(), chain.len());
+                    // Last live holder of each chunk (starts at the
+                    // client); advanced as hops acknowledge.
+                    let mut src_of: Vec<NodeId> = vec![me; m];
+                    for wave in 0..m + k - 1 {
+                        // Transfers of one wave ride distinct links
+                        // (chunk j on hop w−j), so they run
+                        // concurrently; the wave barrier is what
+                        // serializes consecutive chunks on each link.
+                        let active: Vec<usize> =
+                            (wave.saturating_sub(k - 1)..=wave.min(m - 1)).collect();
+                        let wave_res: WaveResults =
+                            Arc::new(Mutex::new(Vec::with_capacity(active.len())));
+                        let wave_tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = active
+                            .iter()
+                            .map(|&j| {
+                                let hop = chain[wave - j];
+                                let src = src_of[j];
+                                let slot = slots[j];
+                                let updates = Arc::clone(&updates);
+                                let descs = Arc::clone(&descs);
+                                let store = Arc::clone(&store);
+                                let wave_res = Arc::clone(&wave_res);
+                                Box::new(move || {
+                                    let res = push_slots(
+                                        &store,
+                                        src,
+                                        hop,
+                                        &updates,
+                                        &descs,
+                                        &[slot],
+                                        async_writes,
+                                    );
+                                    wave_res.lock().push((j, hop, res));
+                                })
+                                    as Box<dyn FnOnce() + Send + 'static>
+                            })
+                            .collect();
+                        store.fabric.par_join(wave_tasks);
+                        for (j, hop, res) in wave_res.lock().drain(..) {
+                            match res {
+                                Ok(()) => {
+                                    record_slots(&outcome, hop, &[slots[j]], Ok(()));
+                                    src_of[j] = hop;
+                                }
+                                Err(e) => record_slots(&outcome, hop, &[slots[j]], Err(e)),
+                            }
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.store.fabric.par_join(tasks);
+        unwrap_shared(outcome)
+    }
+
     /// Sequential reference: one push per chunk, replicas in order
     /// (the pre-batching behaviour, with the same failover semantics).
     fn push_sequential(
@@ -993,6 +1350,9 @@ struct UniqueChunk {
 
 /// Per-chunk fetch outcomes keyed by chunk index.
 type ChunkResults = Vec<(u64, BlobResult<Payload>)>;
+
+/// One pipelined-chain wave's outcomes: `(chain slot, hop, result)`.
+type WaveResults = Arc<Mutex<Vec<(usize, NodeId, BlobResult<()>)>>>;
 
 /// Fetch one chunk with replica failover. The preferred replica is spread
 /// by chunk id and reader so concurrent readers don't gang up on one copy.
@@ -1762,7 +2122,7 @@ mod tests {
             (15, Payload::synth(73, 0, 128)),
         ];
         let mut results = Vec::new();
-        for mode in [Sequential, Fanout, Chain] {
+        for mode in [Sequential, Fanout, Chain, ChainPipelined] {
             let (_f, client) = setup_mode(4, 3, mode);
             let (blob, v1) = client.upload(image.clone()).unwrap();
             let v2 = client.write_chunks(blob, v1, patch.clone()).unwrap();
@@ -1889,6 +2249,7 @@ mod tests {
             crate::api::ReplicationMode::Sequential,
             crate::api::ReplicationMode::Fanout,
             crate::api::ReplicationMode::Chain,
+            crate::api::ReplicationMode::ChainPipelined,
         ] {
             let inner = LocalFabric::new(4);
             let fabric: Arc<dyn Fabric> = Arc::new(StaleViewFabric {
@@ -2188,7 +2549,7 @@ mod tests {
             .find(|&p| client.store().providers.refcount(p, ChunkId(5)).is_some())
             .expect("chunk 5 stored somewhere");
         client.context().digest_record(
-            (b.len(), b.digest()),
+            (b.len(), b.content_digest(false)),
             ChunkDesc {
                 id: ChunkId(5),
                 replicas: vec![prov].into(),
@@ -2233,6 +2594,204 @@ mod tests {
             );
             assert_eq!(client.store().total_chunks(), chunks, "dedup={dedup}");
         }
+    }
+
+    #[test]
+    fn chain_pipelined_keeps_client_egress_at_one_x() {
+        use crate::api::ReplicationMode::*;
+        let updates: Vec<(u64, Payload)> = (0..8)
+            .map(|i| (i, Payload::synth(110 + i, 0, 128)))
+            .collect();
+        let egress = |mode| {
+            let (f, client) = setup_mode(4, 2, mode);
+            let client = Client::new(Arc::clone(client.store()), NodeId(4));
+            let blob = client.create_blob(1024).unwrap();
+            f.stats().reset();
+            client
+                .write_chunks(blob, Version(0), updates.clone())
+                .unwrap();
+            (
+                f.stats().node(NodeId(4)).sent,
+                f.stats().total_network_bytes(),
+            )
+        };
+        let (chain_sent, chain_total) = egress(Chain);
+        let (pipe_sent, pipe_total) = egress(ChainPipelined);
+        // Same payload volume end to end, and the pipelined client also
+        // sends each byte exactly once — pipelining reshapes the
+        // transfers (one per (chunk, hop) instead of one per hop), it
+        // does not move more data.
+        assert_eq!(chain_total, pipe_total);
+        assert_eq!(chain_sent, pipe_sent);
+    }
+
+    /// Setup with prefetch explicitly on and a second node's client, so
+    /// the cross-node pattern flow (hint → board → prefetch) is
+    /// observable regardless of the `BFF_PREFETCH` environment.
+    fn setup_prefetch(chunk_size: u64) -> (Arc<LocalFabric>, Client, Client) {
+        let fabric = LocalFabric::new(5);
+        let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(4));
+        let cfg = BlobConfig {
+            chunk_size,
+            prefetch: true,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        let a = Client::new(Arc::clone(&store), NodeId(0));
+        let b = Client::new(store, NodeId(1));
+        (fabric, a, b)
+    }
+
+    #[test]
+    fn hints_publish_peer_pattern_and_prefetch_lands_in_cache() {
+        let (_f, a, b) = setup_prefetch(128);
+        let data = Payload::synth(120, 0, 4096); // 32 chunks
+        let (blob, v) = a.upload(data.clone()).unwrap();
+        // Node 0's VM faults in a boot-like window: the hint publishes
+        // its first-touch order to the board.
+        a.hint_access(blob, v, std::slice::from_ref(&(0..2048)));
+        let seq = a
+            .store()
+            .pattern_board()
+            .lock()
+            .sequence((blob, v))
+            .expect("pattern published");
+        assert_eq!(*seq, (0..16).collect::<Vec<u64>>());
+
+        // Node 1 has touched nothing: a prefetch step pulls the peer
+        // window into ITS node-shared chunk cache.
+        assert!(b.has_prefetch_work(blob, v));
+        let landed = b.prefetch_chunks(blob, v, 8).unwrap();
+        assert_eq!(landed, 8);
+        let stats = b.context().prefetch_stats();
+        assert_eq!(stats.prefetched_chunks, 8);
+        assert_eq!(stats.prefetched_bytes, 8 * 128);
+        assert_eq!(stats.cached_chunks, 8);
+
+        // The demand read of the prefetched window is served from the
+        // cache: zero provider traffic, byte-identical content.
+        let transfers_before = _f.stats().transfer_count();
+        let got = b.read(blob, v, 0..1024).unwrap();
+        assert!(got.content_eq(&data.slice(0, 1024)));
+        assert_eq!(
+            _f.stats().transfer_count(),
+            transfers_before,
+            "prefetched chunks must not be re-fetched from providers"
+        );
+        let stats = b.context().prefetch_stats();
+        assert_eq!(stats.hits, 8, "every prefetched chunk served a read");
+        assert_eq!(stats.wasted_chunks, 0);
+    }
+
+    #[test]
+    fn prefetch_is_incremental_and_never_refetches() {
+        let (_f, a, b) = setup_prefetch(128);
+        let (blob, v) = a.upload(Payload::synth(121, 0, 4096)).unwrap();
+        a.hint_access(blob, v, std::slice::from_ref(&(0..4096)));
+        // Two bounded steps walk the peer sequence incrementally.
+        assert_eq!(b.prefetch_chunks(blob, v, 10).unwrap(), 10);
+        assert_eq!(b.prefetch_chunks(blob, v, 10).unwrap(), 10);
+        // A chunk is claimed at most once per node: replaying the
+        // sequence fetches only the remainder, then nothing.
+        assert_eq!(b.prefetch_chunks(blob, v, 100).unwrap(), 12);
+        assert!(!b.has_prefetch_work(blob, v));
+        assert_eq!(b.prefetch_chunks(blob, v, 100).unwrap(), 0);
+        assert_eq!(b.context().prefetch_stats().prefetched_chunks, 32);
+    }
+
+    #[test]
+    fn prefetch_skips_chunks_this_node_already_read() {
+        let (_f, a, b) = setup_prefetch(128);
+        let (blob, v) = a.upload(Payload::synth(122, 0, 2048)).unwrap();
+        a.hint_access(blob, v, std::slice::from_ref(&(0..2048)));
+        // Node 1 demand-reads half the window first.
+        b.read(blob, v, 0..1024).unwrap();
+        b.hint_access(blob, v, std::slice::from_ref(&(0..1024)));
+        let landed = b.prefetch_chunks(blob, v, 100).unwrap();
+        assert_eq!(landed, 8, "only the unseen half is prefetched");
+    }
+
+    #[test]
+    fn prefetch_disabled_is_inert() {
+        let fabric = LocalFabric::new(5);
+        let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(4));
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            prefetch: false,
+            ..Default::default()
+        };
+        let off_store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+        let off = Client::new(off_store, NodeId(0));
+        let (blob, v) = off.upload(Payload::synth(123, 0, 1024)).unwrap();
+        off.hint_access(blob, v, std::slice::from_ref(&(0..1024)));
+        assert!(off.store().pattern_board().lock().is_empty());
+        assert!(!off.has_prefetch_work(blob, v));
+        assert_eq!(off.prefetch_chunks(blob, v, 8).unwrap(), 0);
+        assert_eq!(off.context().prefetch_stats(), Default::default());
+
+        // A chunk cache that cannot hold one chunk — zero, or bounded
+        // below the chunk size so every insert would self-evict —
+        // disables the pipeline too, even with the flag on: read-ahead
+        // with nowhere to land the data would fetch every predicted
+        // chunk twice.
+        for cache_bytes in [0u64, 64] {
+            let fabric = LocalFabric::new(5);
+            let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+            let topo = BlobTopology::colocated(&compute, NodeId(4));
+            let cfg = BlobConfig {
+                chunk_size: 128,
+                prefetch: true,
+                chunk_cache_bytes: cache_bytes,
+                ..Default::default()
+            };
+            let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+            let capless = Client::new(store, NodeId(0));
+            let (blob, v) = capless.upload(Payload::synth(124, 0, 4096)).unwrap();
+            capless.hint_access(blob, v, std::slice::from_ref(&(0..4096)));
+            assert!(capless.store().pattern_board().lock().is_empty());
+            assert!(!capless.has_prefetch_work(blob, v));
+            let transfers = fabric.stats().transfer_count();
+            assert_eq!(capless.prefetch_chunks(blob, v, 8).unwrap(), 0);
+            assert_eq!(
+                fabric.stats().transfer_count(),
+                transfers,
+                "cache bound {cache_bytes}: capless prefetch must move nothing"
+            );
+            assert_eq!(capless.context().prefetch_stats(), Default::default());
+        }
+    }
+
+    #[test]
+    fn strong_digest_dedups_without_byte_verify() {
+        let fabric = LocalFabric::new(5);
+        let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(4));
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            dedup: true,
+            strong_digest: true,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+        let client = Client::new(store, NodeId(0));
+        let (a, va) = client.upload(Payload::synth(60, 0, 512)).unwrap();
+        let content = Payload::synth(77, 0, 128);
+        client
+            .write_chunks(a, va, vec![(0, content.clone())])
+            .unwrap();
+        let stored = client.store().total_stored_bytes();
+        // Same bytes from another blob: committed by reference off the
+        // SHA-256 index, no storage growth, content correct.
+        let b = client.create_blob(512).unwrap();
+        let vb = client
+            .write_chunks(b, Version(0), vec![(1, content.clone())])
+            .unwrap();
+        assert_eq!(client.store().total_stored_bytes(), stored);
+        let got = client.read(b, vb, 128..256).unwrap();
+        assert!(got.content_eq(&content));
+        assert_eq!(client.context().stats().dedup_hits, 1);
     }
 
     #[test]

@@ -23,13 +23,22 @@
 //!   a provider-side refcount bump) instead of re-replicated, so snapshot
 //!   storage grows with dirty *unique* bytes, not dirty bytes (§3.1.3's
 //!   dedup claim, now exploited on the write side).
+//! * **The access trackers and chunk-data cache** — the node half of the
+//!   adaptive prefetching pipeline. Trackers record each snapshot's
+//!   first-touch chunk order (batched into
+//!   [`crate::board::PatternBoard`] publishes) and the prefetcher's
+//!   claim/cursor state; the chunk cache holds prefetched (and, while
+//!   prefetching is on, demand-fetched) chunk payloads that
+//!   `Client::read_multi` serves without touching providers — which is
+//!   also how co-located VMs share each other's fetched data.
 //!
-//! Aggregate hit/miss and dedup counters are atomics: experiments read
-//! them without stopping the data plane.
+//! Aggregate hit/miss, dedup and prefetch counters are atomics:
+//! experiments read them without stopping the data plane.
 
-use crate::api::{BlobConfig, BlobId, ChunkDesc, Version};
-use bff_data::{ContentKey, DigestIndex, FastMap, RangeSet, U64Hasher};
+use crate::api::{BlobConfig, BlobId, ChunkDesc, ChunkId, Version};
+use bff_data::{ContentKey, DigestIndex, FastMap, FastSet, Payload, RangeSet, U64Hasher};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher as _};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -38,6 +47,137 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// snapshots never contend on one lock; 8 shards cover the per-node VM
 /// counts of the paper's multideployment experiments.
 pub const DESC_SHARDS: usize = 8;
+
+/// First-touch accesses a node accumulates before publishing a summary
+/// batch to the cluster [`crate::board::PatternBoard`]. Batching keeps
+/// the control traffic one small message per several chunk faults
+/// instead of one per fault; keeping the batch small keeps the pattern
+/// *timely* — a peer one batch behind still prefetches most of the
+/// window.
+pub const PUBLISH_BATCH: usize = 8;
+
+/// Cap on the first-touch sequence recorded per `(blob, version)`:
+/// beyond this, accesses still count for dedup/seen purposes but the
+/// *order* stops growing (a boot touches a few thousand chunks; the cap
+/// only guards against pathological full-image scans).
+const ACCESS_ORDER_CAP: usize = 1 << 14;
+
+/// How a chunk payload entered the node-shared chunk cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkOrigin {
+    /// Fetched ahead of need by the prefetch pipeline.
+    Prefetch,
+    /// Fetched by a demand read (cached so co-located VMs share it).
+    Demand,
+}
+
+/// Per-`(blob, version)` access-pattern state: what this node has
+/// touched (and in which first-touch order), how much of that order has
+/// been published to the cluster board, and how far into the board's
+/// peer sequence the node's prefetcher has advanced.
+#[derive(Debug, Default)]
+struct AccessTracker {
+    /// Chunk indices this node has accessed (demand reads).
+    seen: FastSet<u64>,
+    /// First-touch order of `seen` (bounded by [`ACCESS_ORDER_CAP`]).
+    order: Vec<u64>,
+    /// Prefix of `order` already published to the board.
+    published: usize,
+    /// Chunk indices the prefetcher has already claimed (fetched or
+    /// in flight) — never re-claimed, so a chunk is prefetched at most
+    /// once per node.
+    claimed: FastSet<u64>,
+    /// Position in the board's peer sequence up to which candidates have
+    /// been consumed.
+    cursor: usize,
+    /// LRU stamp (trackers are bounded like the descriptor cache).
+    last_used: u64,
+}
+
+/// One cached chunk payload plus its bookkeeping.
+#[derive(Debug)]
+struct CachedChunk {
+    data: Payload,
+    origin: ChunkOrigin,
+    /// Whether a demand read ever consumed this entry.
+    used: bool,
+    last_used: u64,
+}
+
+/// The node-shared chunk-data cache: prefetched (and demand-fetched)
+/// chunk payloads, keyed by [`ChunkId`], bounded by bytes, LRU-evicted.
+/// Chunk ids are never reused and a chunk's bytes are immutable while
+/// any descriptor references it, so entries can never go stale — the
+/// bound only caps memory.
+#[derive(Debug, Default)]
+struct ChunkCache {
+    entries: FastMap<ChunkId, CachedChunk>,
+    bytes: u64,
+    /// LRU queue of `(id, stamp)`; a slot is live iff the stamp matches
+    /// the entry's `last_used` (same lazy-invalidation scheme as
+    /// [`DigestIndex`]).
+    queue: VecDeque<(ChunkId, u64)>,
+}
+
+impl ChunkCache {
+    /// Bound the stale queue slots that hits and refreshes leave
+    /// behind: drain the stale prefix, then compact the whole queue
+    /// once stale slots outnumber live entries (amortized O(1) per
+    /// operation, `queue.len() ≤ max(2·entries, 8)` — same policy as
+    /// [`DigestIndex`]). Without this, every cache *hit* would park a
+    /// slot that only an over-capacity eviction ever pops.
+    fn compact_queue(&mut self) {
+        let is_stale = |entries: &FastMap<ChunkId, CachedChunk>, slot: &(ChunkId, u64)| {
+            entries.get(&slot.0).is_none_or(|e| e.last_used != slot.1)
+        };
+        while self
+            .queue
+            .front()
+            .is_some_and(|slot| is_stale(&self.entries, slot))
+        {
+            self.queue.pop_front();
+        }
+        if self.queue.len() > self.entries.len().saturating_mul(2).max(8) {
+            let entries = &self.entries;
+            self.queue.retain(|slot| !is_stale(entries, slot));
+        }
+    }
+}
+
+/// Snapshot of a context's prefetch counters (see
+/// [`NodeContext::prefetch_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Chunks fetched ahead of need by [`crate::Client::prefetch_chunks`].
+    pub prefetched_chunks: u64,
+    /// Payload bytes those fetches moved.
+    pub prefetched_bytes: u64,
+    /// Demand chunk reads served from a *prefetched* cache entry.
+    pub hits: u64,
+    /// Payload bytes those hits did not re-fetch from providers.
+    pub hit_bytes: u64,
+    /// Prefetched entries evicted (or overwritten) without ever serving
+    /// a demand read — the waste half of the hit/waste trade-off.
+    pub wasted_chunks: u64,
+    /// Demand chunk reads served from the cache regardless of entry
+    /// origin (includes co-located demand sharing).
+    pub cache_hits: u64,
+    /// Chunks resident in the node's chunk cache right now.
+    pub cached_chunks: usize,
+    /// Bytes resident in the node's chunk cache right now.
+    pub cached_bytes: u64,
+}
+
+impl PrefetchStats {
+    /// Fraction of prefetched chunks that served a demand read, in
+    /// `[0, 1]` (0 when nothing was prefetched).
+    pub fn hit_rate(&self) -> f64 {
+        if self.prefetched_chunks == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.prefetched_chunks as f64
+    }
+}
 
 /// The resolved chunk descriptors of one snapshot (the paper's §4.1
 /// metadata cache). An index inside `resolved` but absent from `descs`
@@ -107,6 +247,22 @@ pub struct NodeContext {
     dedup_hits: AtomicU64,
     dedup_reused_bytes: AtomicU64,
     digests: Mutex<DigestIndex<ChunkDesc>>,
+    /// Per-`(blob, version)` access-pattern trackers (prefetch plane).
+    trackers: Mutex<FastMap<(BlobId, Version), AccessTracker>>,
+    /// The node-shared chunk-data cache (prefetch plane).
+    chunks: Mutex<ChunkCache>,
+    /// Byte bound of `chunks`; 0 disables the cache (prefetch off).
+    chunk_cache_bytes: u64,
+    /// Whether a background read-ahead step is currently in flight for
+    /// this node (one at a time: the in-flight budget is one
+    /// `prefetch_window`-sized step).
+    prefetch_inflight: std::sync::atomic::AtomicBool,
+    prefetched_chunks: AtomicU64,
+    prefetched_bytes: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_hit_bytes: AtomicU64,
+    prefetch_wasted: AtomicU64,
+    chunk_cache_hits: AtomicU64,
 }
 
 impl NodeContext {
@@ -127,6 +283,20 @@ impl NodeContext {
             dedup_hits: AtomicU64::new(0),
             dedup_reused_bytes: AtomicU64::new(0),
             digests: Mutex::new(DigestIndex::new(cfg.digest_index_chunks)),
+            trackers: Mutex::new(FastMap::default()),
+            chunks: Mutex::new(ChunkCache::default()),
+            chunk_cache_bytes: if cfg.prefetch {
+                cfg.chunk_cache_bytes
+            } else {
+                0
+            },
+            prefetch_inflight: std::sync::atomic::AtomicBool::new(false),
+            prefetched_chunks: AtomicU64::new(0),
+            prefetched_bytes: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_hit_bytes: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
+            chunk_cache_hits: AtomicU64::new(0),
         }
     }
 
@@ -247,6 +417,222 @@ impl NodeContext {
     /// counter interleave across co-located committers.
     pub fn dedup_reused_bytes(&self) -> u64 {
         self.dedup_reused_bytes.load(Ordering::Relaxed)
+    }
+
+    // --- Access-pattern tracking (the prefetch plane) ---------------
+
+    /// Run `f` over the tracker for `key`, creating it if absent and
+    /// marking it most-recently used. Trackers are per-`(blob, version)`
+    /// state of the same lifecycle class as descriptor-cache entries,
+    /// so they share the `desc_cache_versions` bound: inserting beyond
+    /// it evicts the least-recently-used tracker (an evicted snapshot's
+    /// pattern state simply rebuilds if it is ever deployed again).
+    fn with_tracker<R>(
+        &self,
+        key: (BlobId, Version),
+        f: impl FnOnce(&mut AccessTracker) -> R,
+    ) -> R {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut trackers = self.trackers.lock();
+        if trackers.len() >= self.capacity && !trackers.contains_key(&key) {
+            if let Some(victim) = trackers
+                .iter()
+                .min_by_key(|(_, t)| t.last_used)
+                .map(|(k, _)| *k)
+            {
+                trackers.remove(&victim);
+            }
+        }
+        let t = trackers.entry(key).or_default();
+        t.last_used = tick;
+        f(t)
+    }
+
+    /// Record demand accesses to chunk `indices` of `key`, in access
+    /// order (first touch counts; repeats are free). Returns a batch of
+    /// so-far-unpublished first-touch indices once at least
+    /// [`PUBLISH_BATCH`] have accumulated — the caller ships that batch
+    /// to the cluster [`crate::board::PatternBoard`] and charges the
+    /// fabric for it.
+    pub fn note_accesses(
+        &self,
+        key: (BlobId, Version),
+        indices: impl IntoIterator<Item = u64>,
+    ) -> Option<Vec<u64>> {
+        self.with_tracker(key, |t| {
+            for idx in indices {
+                if t.seen.insert(idx) && t.order.len() < ACCESS_ORDER_CAP {
+                    t.order.push(idx);
+                }
+            }
+            if t.order.len() - t.published >= PUBLISH_BATCH {
+                let batch = t.order[t.published..].to_vec();
+                t.published = t.order.len();
+                Some(batch)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Claim the next up-to-`max` prefetch candidates for `key` out of
+    /// the board's peer access sequence `peer_seq`: chunks this node has
+    /// neither accessed nor already claimed. Claimed chunks are never
+    /// handed out twice, so each chunk is prefetched at most once per
+    /// node; the per-key cursor makes repeated calls walk the peer
+    /// sequence incrementally.
+    pub fn claim_prefetch(&self, key: (BlobId, Version), peer_seq: &[u64], max: usize) -> Vec<u64> {
+        if max == 0 {
+            return Vec::new();
+        }
+        self.with_tracker(key, |t| {
+            let mut out = Vec::new();
+            while t.cursor < peer_seq.len() && out.len() < max {
+                let idx = peer_seq[t.cursor];
+                t.cursor += 1;
+                if !t.seen.contains(&idx) && t.claimed.insert(idx) {
+                    out.push(idx);
+                }
+            }
+            out
+        })
+    }
+
+    /// Whether the peer sequence for `key` extends past this node's
+    /// prefetch cursor (cheap pre-check before spawning an async
+    /// read-ahead step; may be a false positive when the remainder is
+    /// already seen — [`NodeContext::claim_prefetch`] settles that).
+    pub fn prefetch_cursor_behind(&self, key: (BlobId, Version), peer_seq_len: usize) -> bool {
+        self.trackers
+            .lock()
+            .get(&key)
+            .map_or(peer_seq_len > 0, |t| t.cursor < peer_seq_len)
+    }
+
+    // --- The node-shared chunk-data cache ---------------------------
+
+    /// Look up a chunk payload in the node-shared chunk cache. A hit
+    /// marks the entry used (a prefetched entry's first use counts
+    /// toward the prefetch hit statistics) and refreshes its LRU stamp.
+    pub fn chunk_cache_get(&self, id: ChunkId) -> Option<Payload> {
+        if self.chunk_cache_bytes == 0 {
+            return None;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut cache = self.chunks.lock();
+        let data = {
+            let entry = cache.entries.get_mut(&id)?;
+            if entry.origin == ChunkOrigin::Prefetch && !entry.used {
+                self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                self.prefetch_hit_bytes
+                    .fetch_add(entry.data.len(), Ordering::Relaxed);
+            }
+            entry.used = true;
+            entry.last_used = tick;
+            entry.data.clone()
+        };
+        cache.queue.push_back((id, tick));
+        cache.compact_queue();
+        self.chunk_cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(data)
+    }
+
+    /// Whether a chunk is resident in the node-shared chunk cache,
+    /// without touching hit statistics or LRU order (prefetch-side
+    /// dedup check, not a demand read).
+    pub fn chunk_cache_contains(&self, id: ChunkId) -> bool {
+        self.chunk_cache_bytes != 0 && self.chunks.lock().entries.contains_key(&id)
+    }
+
+    /// Insert a fetched chunk into the node-shared cache, evicting LRU
+    /// entries past the byte bound. An already-present id is only
+    /// refreshed (chunk ids are immutable content — re-inserting the
+    /// same bytes is a no-op).
+    pub fn chunk_cache_insert(&self, id: ChunkId, data: Payload, origin: ChunkOrigin) {
+        if self.chunk_cache_bytes == 0 {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut cache = self.chunks.lock();
+        if let Some(entry) = cache.entries.get_mut(&id) {
+            entry.last_used = tick;
+            cache.queue.push_back((id, tick));
+            cache.compact_queue();
+            return;
+        }
+        cache.bytes += data.len();
+        cache.entries.insert(
+            id,
+            CachedChunk {
+                data,
+                origin,
+                used: false,
+                last_used: tick,
+            },
+        );
+        cache.queue.push_back((id, tick));
+        while cache.bytes > self.chunk_cache_bytes {
+            let Some((victim, stamp)) = cache.queue.pop_front() else {
+                break;
+            };
+            // Stale slots (refreshed entries) evict nothing.
+            let live = cache
+                .entries
+                .get(&victim)
+                .is_some_and(|e| e.last_used == stamp);
+            if !live {
+                continue;
+            }
+            let e = cache.entries.remove(&victim).expect("live entry");
+            cache.bytes -= e.data.len();
+            if e.origin == ChunkOrigin::Prefetch && !e.used {
+                self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        cache.compact_queue();
+    }
+
+    /// Try to claim the node's single background read-ahead slot.
+    /// Returns `false` while a step is already in flight — the caller
+    /// skips this idle burst rather than queueing (the in-flight budget
+    /// is one bounded step per node).
+    pub fn try_begin_prefetch(&self) -> bool {
+        !self
+            .prefetch_inflight
+            .swap(true, std::sync::atomic::Ordering::AcqRel)
+    }
+
+    /// Release the read-ahead slot (paired with
+    /// [`NodeContext::try_begin_prefetch`]).
+    pub fn end_prefetch(&self) {
+        self.prefetch_inflight
+            .store(false, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Record that the prefetcher landed `chunks` chunks / `bytes` bytes
+    /// in the cache.
+    pub(crate) fn note_prefetched(&self, chunks: u64, bytes: u64) {
+        self.prefetched_chunks.fetch_add(chunks, Ordering::Relaxed);
+        self.prefetched_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Prefetch/chunk-cache counters (one lock for the residency pair,
+    /// atomics otherwise).
+    pub fn prefetch_stats(&self) -> PrefetchStats {
+        let (cached_chunks, cached_bytes) = {
+            let cache = self.chunks.lock();
+            (cache.entries.len(), cache.bytes)
+        };
+        PrefetchStats {
+            prefetched_chunks: self.prefetched_chunks.load(Ordering::Relaxed),
+            prefetched_bytes: self.prefetched_bytes.load(Ordering::Relaxed),
+            hits: self.prefetch_hits.load(Ordering::Relaxed),
+            hit_bytes: self.prefetch_hit_bytes.load(Ordering::Relaxed),
+            wasted_chunks: self.prefetch_wasted.load(Ordering::Relaxed),
+            cache_hits: self.chunk_cache_hits.load(Ordering::Relaxed),
+            cached_chunks,
+            cached_bytes,
+        }
     }
 
     /// Aggregate counters, read lock-free except for the entry count.
@@ -370,9 +756,162 @@ mod tests {
     }
 
     #[test]
+    fn access_tracking_batches_publishes() {
+        let half = PUBLISH_BATCH as u64 / 2;
+        let c = ctx(8);
+        let key = (BlobId(1), Version(1));
+        // Below the batch threshold: nothing to publish yet.
+        assert!(c.note_accesses(key, 0..half).is_none());
+        // Crossing it returns every unpublished first-touch index, in
+        // order, with repeats deduplicated.
+        let second: Vec<u64> = (0..half) // repeats: already seen
+            .chain(half..2 * PUBLISH_BATCH as u64)
+            .collect();
+        let batch = c.note_accesses(key, second).expect("threshold crossed");
+        assert_eq!(batch, (0..2 * PUBLISH_BATCH as u64).collect::<Vec<u64>>());
+        // Re-touching published chunks never re-publishes them.
+        assert!(c.note_accesses(key, 0..2 * PUBLISH_BATCH as u64).is_none());
+    }
+
+    #[test]
+    fn claim_prefetch_walks_peer_sequence_once() {
+        let c = ctx(8);
+        let key = (BlobId(2), Version(1));
+        c.note_accesses(key, [3u64, 4]);
+        let seq: Vec<u64> = (0..10).collect();
+        assert!(c.prefetch_cursor_behind(key, seq.len()));
+        // Seen chunks (3, 4) are skipped; claims are bounded.
+        assert_eq!(c.claim_prefetch(key, &seq, 4), vec![0, 1, 2, 5]);
+        assert_eq!(c.claim_prefetch(key, &seq, 100), vec![6, 7, 8, 9]);
+        assert!(!c.prefetch_cursor_behind(key, seq.len()));
+        // Nothing is ever claimed twice.
+        assert!(c.claim_prefetch(key, &seq, 100).is_empty());
+    }
+
+    fn chunk_ctx(cache_bytes: u64) -> NodeContext {
+        NodeContext::new(&BlobConfig {
+            prefetch: true,
+            chunk_cache_bytes: cache_bytes,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn chunk_cache_roundtrip_counts_hits() {
+        let c = chunk_ctx(1 << 20);
+        let p = bff_data::Payload::synth(9, 0, 100);
+        assert!(c.chunk_cache_get(ChunkId(1)).is_none());
+        c.chunk_cache_insert(ChunkId(1), p.clone(), ChunkOrigin::Prefetch);
+        assert!(c.chunk_cache_contains(ChunkId(1)));
+        let got = c.chunk_cache_get(ChunkId(1)).expect("cached");
+        assert!(got.content_eq(&p));
+        let s = c.prefetch_stats();
+        // First use of a prefetched entry counts as a prefetch hit ...
+        assert_eq!((s.hits, s.hit_bytes), (1, 100));
+        // ... later uses only as plain cache hits.
+        c.chunk_cache_get(ChunkId(1)).expect("still cached");
+        let s = c.prefetch_stats();
+        assert_eq!((s.hits, s.cache_hits), (1, 2));
+        assert_eq!((s.cached_chunks, s.cached_bytes), (1, 100));
+    }
+
+    #[test]
+    fn chunk_cache_bounded_lru_counts_waste() {
+        let c = chunk_ctx(300);
+        for i in 1..=3u64 {
+            c.chunk_cache_insert(
+                ChunkId(i),
+                bff_data::Payload::zeros(100),
+                ChunkOrigin::Prefetch,
+            );
+        }
+        // Touch 1 so 2 is the LRU victim when 4 arrives.
+        c.chunk_cache_get(ChunkId(1)).unwrap();
+        c.chunk_cache_insert(
+            ChunkId(4),
+            bff_data::Payload::zeros(100),
+            ChunkOrigin::Demand,
+        );
+        assert!(!c.chunk_cache_contains(ChunkId(2)), "LRU victim evicted");
+        assert!(c.chunk_cache_contains(ChunkId(1)));
+        let s = c.prefetch_stats();
+        assert_eq!(s.cached_bytes, 300, "byte bound holds");
+        assert_eq!(
+            s.wasted_chunks, 1,
+            "an unused prefetched entry evicted counts as waste"
+        );
+    }
+
+    #[test]
+    fn chunk_cache_queue_stays_bounded_under_hit_churn() {
+        // Every hit refreshes the LRU stamp and parks a queue slot;
+        // with a working set under the byte bound, eviction never runs,
+        // so the queue must self-compact instead of growing per hit.
+        let c = chunk_ctx(1 << 20);
+        for i in 1..=4u64 {
+            c.chunk_cache_insert(
+                ChunkId(i),
+                bff_data::Payload::zeros(64),
+                ChunkOrigin::Demand,
+            );
+        }
+        for round in 0..10_000u64 {
+            c.chunk_cache_get(ChunkId(1 + round % 4)).expect("resident");
+        }
+        let q = c.chunks.lock().queue.len();
+        assert!(q <= 8, "queue grew to {q} slots for 4 live entries");
+    }
+
+    #[test]
+    fn trackers_bounded_by_desc_cache_versions() {
+        let c = NodeContext::new(&BlobConfig {
+            prefetch: true,
+            desc_cache_versions: 8,
+            ..Default::default()
+        });
+        for v in 1..=100u64 {
+            c.note_accesses((BlobId(1), Version(v)), 0..3);
+        }
+        let held = c.trackers.lock().len();
+        assert!(held <= 8, "trackers grew to {held} for bound 8");
+        // The most recent tracker survived with its state.
+        assert!(!c.prefetch_cursor_behind((BlobId(1), Version(100)), 0));
+        let seq: Vec<u64> = (0..6).collect();
+        assert_eq!(
+            c.claim_prefetch((BlobId(1), Version(100)), &seq, 10),
+            vec![3, 4, 5],
+            "recent tracker kept its seen set through churn"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_chunk_cache_is_inert() {
+        let c = chunk_ctx(0);
+        c.chunk_cache_insert(
+            ChunkId(1),
+            bff_data::Payload::zeros(10),
+            ChunkOrigin::Demand,
+        );
+        assert!(!c.chunk_cache_contains(ChunkId(1)));
+        assert!(c.chunk_cache_get(ChunkId(1)).is_none());
+        // Prefetch off disables the cache regardless of the byte bound.
+        let off = NodeContext::new(&BlobConfig {
+            prefetch: false,
+            chunk_cache_bytes: 1 << 20,
+            ..Default::default()
+        });
+        off.chunk_cache_insert(
+            ChunkId(1),
+            bff_data::Payload::zeros(10),
+            ChunkOrigin::Demand,
+        );
+        assert!(!off.chunk_cache_contains(ChunkId(1)));
+    }
+
+    #[test]
     fn digest_index_roundtrip() {
         let c = ctx(8);
-        let key = (128u64, bff_data::Digest(42));
+        let key = (128u64, bff_data::ContentDigest::Weak(bff_data::Digest(42)));
         assert!(c.digest_lookup(&key).is_none());
         c.digest_record(key, desc(9));
         assert_eq!(c.digest_lookup(&key), Some(desc(9)));

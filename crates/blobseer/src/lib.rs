@@ -24,6 +24,7 @@
 //! runs in-process (real bytes) and on the simulator (virtual time).
 
 pub mod api;
+pub mod board;
 pub mod client;
 pub mod context;
 pub mod meta;
@@ -37,8 +38,9 @@ pub use api::{
     BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey,
     ReplicationMode, TreeNode, Version,
 };
+pub use board::PatternBoard;
 pub use client::Client;
-pub use context::{CacheStats, NodeContext};
+pub use context::{CacheStats, NodeContext, PrefetchStats};
 pub use pmanager::Placement;
 pub use provider::ProviderStore;
 pub use service::BlobStore;

@@ -9,6 +9,7 @@
 //! concurrency (coroutine processes).
 
 use crate::api::{BlobConfig, BlobTopology};
+use crate::board::PatternBoard;
 use crate::context::NodeContext;
 use crate::meta::MetaPartition;
 use crate::pmanager::{PManager, Placement};
@@ -34,6 +35,10 @@ pub struct BlobStore {
     /// client on a node attaches to the same shared cache module (the
     /// paper's per-node FUSE process, §4.1).
     contexts: Mutex<FastMap<NodeId, Arc<NodeContext>>>,
+    /// The cluster access-pattern board, hosted beside the provider
+    /// manager (publishes pay an RPC to `topo.pmanager`; updates are
+    /// gossiped to the compute nodes — see [`crate::board`]).
+    pub(crate) pattern_board: Mutex<PatternBoard>,
 }
 
 impl BlobStore {
@@ -69,6 +74,7 @@ impl BlobStore {
             topo,
             fabric,
             contexts: Mutex::new(FastMap::default()),
+            pattern_board: Mutex::new(PatternBoard::default()),
         })
     }
 
@@ -82,6 +88,12 @@ impl BlobStore {
                 .entry(node)
                 .or_insert_with(|| Arc::new(NodeContext::new(&self.cfg))),
         )
+    }
+
+    /// The cluster access-pattern board (diagnostics; the data plane
+    /// goes through [`crate::Client`]).
+    pub fn pattern_board(&self) -> &Mutex<PatternBoard> {
+        &self.pattern_board
     }
 
     /// Service configuration.

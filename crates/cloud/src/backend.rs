@@ -85,6 +85,15 @@ pub trait ImageBackend: Send {
     fn read_multi(&mut self, ranges: &[ByteRange]) -> Result<Vec<Payload>, BackendError> {
         ranges.iter().map(|r| self.read(r.clone())).collect()
     }
+    /// Notification that the guest is entering a compute burst of `us`
+    /// microseconds. A backend with background work (the mirror's
+    /// adaptive prefetcher) uses it to kick *detached* read-ahead whose
+    /// transfers then hide behind the burst; the hypervisor always
+    /// charges the compute itself afterwards, so a backend must never
+    /// block here. The default does nothing.
+    fn idle(&mut self, _us: u64) -> Result<(), BackendError> {
+        Ok(())
+    }
     /// Write into the image.
     fn write(&mut self, offset: u64, data: Payload) -> Result<(), BackendError>;
     /// Persist the VM's local modifications; returns the bytes moved to
@@ -123,13 +132,29 @@ impl MirrorBackend {
             read_bw: cal.page_read_bw,
             ..MirrorConfig::default()
         };
-        let img = MirroredImage::open(client, blob, version, Box::new(MemStore::new(size)), cfg)?;
+        let mut img =
+            MirroredImage::open(client, blob, version, Box::new(MemStore::new(size)), cfg)?;
+        // Deploy-time read-ahead: the middleware attaches images before
+        // the hypervisors launch (§3.2), so the module starts pulling
+        // the cohort's predicted window the moment the image exists —
+        // the guest's first faults then hit a warming cache instead of
+        // a cold one. No-op without a published pattern or with
+        // prefetching off.
+        img.poke_prefetch();
         Ok(Self { img, cloned: false })
     }
 
     /// Access the underlying mirror (stats, chunk map).
     pub fn image(&self) -> &MirroredImage {
         &self.img
+    }
+
+    /// Kick one background read-ahead step (see
+    /// [`MirroredImage::poke_prefetch`]); returns whether a step was
+    /// started. Test/bench pumps loop this on cost-free fabrics, where
+    /// detached steps run inline.
+    pub fn poke_prefetch(&mut self) -> bool {
+        self.img.poke_prefetch()
     }
 
     /// The blob currently backing the VM.
@@ -154,6 +179,15 @@ impl ImageBackend for MirrorBackend {
 
     fn read_multi(&mut self, ranges: &[ByteRange]) -> Result<Vec<Payload>, BackendError> {
         Ok(self.img.read_multi(ranges)?)
+    }
+
+    fn idle(&mut self, _us: u64) -> Result<(), BackendError> {
+        // Kick one background read-ahead step (the §3.1.3
+        // adaptive-prefetch overlap): the step runs detached, so the
+        // compute burst is still charged by the hypervisor — prefetch
+        // transfers hide behind it instead of extending it.
+        self.img.poke_prefetch();
+        Ok(())
     }
 
     fn write(&mut self, offset: u64, data: Payload) -> Result<(), BackendError> {

@@ -105,6 +105,31 @@ impl Cloud {
         total
     }
 
+    /// Prefetch hit/waste counters of one compute node's shared context
+    /// (per-node attribution: hits and waste are properties of a node's
+    /// chunk cache, not of the cluster).
+    pub fn node_prefetch_stats(&self, node: NodeId) -> bff_blobseer::PrefetchStats {
+        self.store.node_context(node).prefetch_stats()
+    }
+
+    /// Prefetch counters aggregated over all compute nodes (plus the
+    /// service node, for symmetry with [`Cloud::cache_stats`]).
+    pub fn prefetch_stats(&self) -> bff_blobseer::PrefetchStats {
+        let mut total = bff_blobseer::PrefetchStats::default();
+        for &node in self.compute.iter().chain([&self.service]) {
+            let s = self.store.node_context(node).prefetch_stats();
+            total.prefetched_chunks += s.prefetched_chunks;
+            total.prefetched_bytes += s.prefetched_bytes;
+            total.hits += s.hits;
+            total.hit_bytes += s.hit_bytes;
+            total.wasted_chunks += s.wasted_chunks;
+            total.cache_hits += s.cache_hits;
+            total.cached_chunks += s.cached_chunks;
+            total.cached_bytes += s.cached_bytes;
+        }
+        total
+    }
+
     /// Client-side image upload (Fig. 1 "put image"); the image is
     /// automatically striped.
     pub fn upload_image(&self, data: Payload) -> Result<(BlobId, Version), BackendError> {

@@ -38,7 +38,15 @@ pub fn run_vm_trace(
 ) -> Result<(), BackendError> {
     for batch in coalesce_reads(ops, READ_QUEUE_DEPTH) {
         match batch {
-            VmBatch::Op(VmOp::Cpu { us }) => fabric.compute(node, us),
+            // Compute bursts are announced to the backend first: one
+            // with background work (the mirror's adaptive prefetcher)
+            // kicks detached read-ahead whose transfers hide behind the
+            // burst. The burst itself is always charged here, exactly
+            // as before.
+            VmBatch::Op(VmOp::Cpu { us }) => {
+                backend.idle(us)?;
+                fabric.compute(node, us);
+            }
             VmBatch::Op(VmOp::Write { offset, len }) => {
                 backend.write(offset, vm_write_payload(seed, offset, len))?;
             }

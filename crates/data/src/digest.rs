@@ -61,10 +61,37 @@ impl Digest {
     }
 }
 
+/// The digest half of a [`ContentKey`]: which hash identified the
+/// content, and its value.
+///
+/// The two variants correspond to the dedup pipeline's two trust levels.
+/// A [`ContentDigest::Weak`] (64-bit FNV-1a) hit is *advisory*: the
+/// consumer must byte-verify the stored replica before reusing it,
+/// because 64 bits are not collision-proof. A [`ContentDigest::Strong`]
+/// (SHA-256) hit is collision-resistant, so the verification round can
+/// be skipped — the trade a real deployment makes when the digest cost
+/// is cheaper than the verify round trip. The variants never compare
+/// equal, so a deployment switching modes mid-life simply re-indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContentDigest {
+    /// 64-bit FNV-1a: cheap, advisory, requires byte verification.
+    Weak(Digest),
+    /// SHA-256: collision-resistant, trusted without verification.
+    Strong(crate::sha256::Sha256Digest),
+}
+
+impl ContentDigest {
+    /// Whether a hit on this digest can be trusted without a byte
+    /// comparison against a stored replica.
+    pub fn is_collision_resistant(&self) -> bool {
+        matches!(self, ContentDigest::Strong(_))
+    }
+}
+
 /// Content key of a payload for dedup purposes: `(length, digest)`.
 /// Keying by length as well as digest confines hash collisions to
 /// equal-sized payloads.
-pub type ContentKey = (u64, Digest);
+pub type ContentKey = (u64, ContentDigest);
 
 /// A bounded content-addressed index: maps [`ContentKey`]s to arbitrary
 /// values (e.g. chunk descriptors), evicting the oldest *live* entry
@@ -196,7 +223,7 @@ mod tests {
     #[test]
     fn index_roundtrip_and_fifo_eviction() {
         let mut idx: DigestIndex<u32> = DigestIndex::new(2);
-        let k = |n: u64| (n, Digest(n));
+        let k = |n: u64| (n, ContentDigest::Weak(Digest(n)));
         idx.insert(k(1), 10);
         idx.insert(k(2), 20);
         assert_eq!(idx.get(&k(1)), Some(&10));
@@ -211,7 +238,7 @@ mod tests {
     #[test]
     fn index_explicit_removal_leaves_queue_consistent() {
         let mut idx: DigestIndex<u32> = DigestIndex::new(2);
-        let k = |n: u64| (n, Digest(n));
+        let k = |n: u64| (n, ContentDigest::Weak(Digest(n)));
         idx.insert(k(1), 10);
         idx.insert(k(2), 20);
         assert_eq!(idx.remove(&k(1)), Some(10));
@@ -237,7 +264,7 @@ mod tests {
         // freshly re-inserted one (the dedup pipeline hits this via
         // digest_forget followed by digest_record of the same content).
         let mut idx: DigestIndex<u32> = DigestIndex::new(2);
-        let k = |n: u64| (n, Digest(n));
+        let k = |n: u64| (n, ContentDigest::Weak(Digest(n)));
         idx.insert(k(1), 10);
         idx.insert(k(2), 20);
         idx.remove(&k(1));
@@ -257,7 +284,7 @@ mod tests {
         // that refreshes of *other* keys leave behind — the queue stays
         // proportional to the live entries, not the commit count.
         let mut idx: DigestIndex<u32> = DigestIndex::new(1 << 16);
-        let k = |n: u64| (n, Digest(n));
+        let k = |n: u64| (n, ContentDigest::Weak(Digest(n)));
         idx.insert(k(0), 0); // parked live front slot
         for round in 0..10_000u32 {
             idx.insert(k(1), round); // the same checkpoint key, refreshed
@@ -275,17 +302,17 @@ mod tests {
     #[test]
     fn zero_capacity_index_is_inert() {
         let mut idx: DigestIndex<u32> = DigestIndex::new(0);
-        idx.insert((1, Digest(1)), 10);
+        idx.insert((1, ContentDigest::Weak(Digest(1))), 10);
         assert!(idx.is_empty());
-        assert_eq!(idx.get(&(1, Digest(1))), None);
+        assert_eq!(idx.get(&(1, ContentDigest::Weak(Digest(1)))), None);
     }
 
     #[test]
     fn reinsert_updates_value_without_growing() {
         let mut idx: DigestIndex<u32> = DigestIndex::new(4);
-        idx.insert((1, Digest(1)), 10);
-        idx.insert((1, Digest(1)), 11);
+        idx.insert((1, ContentDigest::Weak(Digest(1))), 10);
+        idx.insert((1, ContentDigest::Weak(Digest(1))), 11);
         assert_eq!(idx.len(), 1);
-        assert_eq!(idx.get(&(1, Digest(1))), Some(&11));
+        assert_eq!(idx.get(&(1, ContentDigest::Weak(Digest(1)))), Some(&11));
     }
 }

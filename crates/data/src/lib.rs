@@ -21,12 +21,14 @@ pub mod hash;
 pub mod payload;
 pub mod range;
 pub mod rangeset;
+pub mod sha256;
 pub mod synth;
 
-pub use digest::{ContentKey, Digest, DigestIndex};
+pub use digest::{ContentDigest, ContentKey, Digest, DigestIndex};
 pub use extent::{ExtentMap, ExtentValue};
 pub use hash::{FastMap, FastSet, U64BuildHasher, U64Hasher};
 pub use payload::Payload;
 pub use range::{chunk_cover, chunk_range, intersect, ranges_overlap, ByteRange};
 pub use rangeset::RangeSet;
+pub use sha256::{Sha256, Sha256Digest};
 pub use synth::{synth_byte, SynthSource};

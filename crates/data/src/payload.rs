@@ -286,6 +286,41 @@ impl Payload {
         h.finish()
     }
 
+    /// SHA-256 content digest, streamed like [`Payload::digest`] so
+    /// synthetic segments never materialize whole.
+    pub fn digest_sha256(&self) -> crate::sha256::Sha256Digest {
+        let mut h = crate::sha256::Sha256::new();
+        let mut buf = [0u8; 4096];
+        for seg in &self.segs {
+            match seg {
+                Seg::Bytes(b) => h.update(b),
+                _ => {
+                    let mut remaining = seg.len();
+                    let mut at = 0u64;
+                    while remaining > 0 {
+                        let n = remaining.min(buf.len() as u64) as usize;
+                        seg.slice(at, at + n as u64).write_into(&mut buf[..n]);
+                        h.update(&buf[..n]);
+                        at += n as u64;
+                        remaining -= n as u64;
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// The digest half of this payload's dedup [`crate::ContentKey`]:
+    /// weak (FNV-64, consumer must byte-verify hits) or strong (SHA-256,
+    /// hits trusted outright).
+    pub fn content_digest(&self, strong: bool) -> crate::ContentDigest {
+        if strong {
+            crate::ContentDigest::Strong(self.digest_sha256())
+        } else {
+            crate::ContentDigest::Weak(self.digest())
+        }
+    }
+
     /// Whether the contents equal `other` byte-for-byte. Fast paths on
     /// structural equality of synthetic descriptors.
     pub fn content_eq(&self, other: &Payload) -> bool {

@@ -141,6 +141,18 @@ pub trait Fabric: Send + Sync {
         }
     }
 
+    /// Start `task` as *background* work: the caller continues
+    /// immediately and does not observe the task's completion — the
+    /// primitive behind asynchronous read-ahead, where transfers must
+    /// overlap the initiator's own timeline instead of extending it. On
+    /// a simulator this spawns a concurrent process whose costs contend
+    /// normally on the modelled resources; the simulation still runs it
+    /// to completion. The default (used by cost-free fabrics, where
+    /// "overlap" moves no clock) runs the task inline.
+    fn spawn_detached(&self, task: Box<dyn FnOnce() + Send + 'static>) {
+        task();
+    }
+
     /// Whether a node is marked failed (fail-stop model).
     fn is_down(&self, _node: NodeId) -> bool {
         false

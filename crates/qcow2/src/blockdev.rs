@@ -35,6 +35,15 @@ pub trait Backing: Send {
     fn read_multi(&self, ranges: &[Range<u64>]) -> Vec<Payload> {
         ranges.iter().map(|r| self.read_at(r.clone())).collect()
     }
+    /// Access hint: the guest is touching `ranges` of the virtual disk
+    /// (pre-CoW-translation, so the backing sees the full access
+    /// pattern, including regions it will not be asked to serve because
+    /// they are locally allocated). Purely advisory — a prefetching
+    /// backing (one bound to the adaptive-prefetch repository) forwards
+    /// it to its pattern tracker; the PVFS baseline deliberately ignores
+    /// it, since exact-range, hint-free reads are its defining
+    /// behavioural difference from the mirror (§5.2).
+    fn hint_access(&self, _ranges: &[Range<u64>]) {}
 }
 
 /// In-memory sparse block device.

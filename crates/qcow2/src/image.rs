@@ -232,6 +232,12 @@ impl<D: BlockDev> Qcow2Image<D> {
                 });
             }
         }
+        // The guest's access pattern, pre-translation: a prefetching
+        // backing learns what the cohort touches (see
+        // [`Backing::hint_access`]); the PVFS baseline ignores it.
+        if let Some(b) = &self.backing {
+            b.hint_access(ranges);
+        }
         let cs = self.header.cluster_size();
         // Walk the plan once, emitting local segments eagerly and backing
         // segments as placeholders resolved by one vectored request.
@@ -547,6 +553,51 @@ mod tests {
         assert!(got.content_eq(&expect));
         // 15 unallocated clusters, one backing request.
         assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn backing_receives_guest_access_hints() {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        struct HintingBacking {
+            data: Payload,
+            hints: Arc<Mutex<Vec<Range<u64>>>>,
+        }
+        impl Backing for HintingBacking {
+            fn len(&self) -> u64 {
+                self.data.len()
+            }
+            fn read_at(&self, range: Range<u64>) -> Payload {
+                self.data.slice(range.start, range.end)
+            }
+            fn hint_access(&self, ranges: &[Range<u64>]) {
+                self.hints.lock().extend(ranges.iter().cloned());
+            }
+        }
+
+        let hints = Arc::new(Mutex::new(Vec::new()));
+        let mut img = Qcow2Image::create(
+            MemBlockDev::new(),
+            VSIZE,
+            CBITS,
+            Some(Box::new(HintingBacking {
+                data: base_image(),
+                hints: Arc::clone(&hints),
+            })),
+        )
+        .unwrap();
+        // A locally-allocated cluster: its reads never reach the backing
+        // as data requests, but the hint still carries them — the full
+        // guest pattern, pre-CoW-translation.
+        img.write(8192, Payload::from(vec![5u8; 4096])).unwrap();
+        img.read(8192..8292).unwrap();
+        img.read_multi(&[100..200, 40_000..40_100]).unwrap();
+        assert_eq!(
+            *hints.lock(),
+            vec![8192..8292, 100..200, 40_000..40_100],
+            "every guest read range is hinted, local or not"
+        );
     }
 
     #[test]

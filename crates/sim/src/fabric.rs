@@ -350,6 +350,17 @@ impl Fabric for SimFabric {
         env.join_all(&pids);
     }
 
+    fn spawn_detached(&self, task: Box<dyn FnOnce() + Send + 'static>) {
+        let Some(env) = self.charging() else {
+            task();
+            return;
+        };
+        // A real concurrent process: its transfers and disk accesses
+        // contend on the modelled resources while the spawner's own
+        // timeline continues. The simulation drains it before finishing.
+        env.spawn("detached", move |_e| task());
+    }
+
     fn is_down(&self, node: NodeId) -> bool {
         self.down.read().get(node.index()).copied().unwrap_or(false)
     }

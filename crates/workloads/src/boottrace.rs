@@ -34,6 +34,15 @@ pub struct BootProfile {
     pub write_size: (u64, u64),
     /// Total CPU time of the boot, spread between I/O ops, us.
     pub cpu_total_us: u64,
+    /// Fraction of the boot's file reads drawn from the *image's* fixed
+    /// file layout, identical across instances. Instances booting the
+    /// same image read the same kernel, init scripts and shared
+    /// libraries — §3.1.3's "access the same initial data set ...
+    /// highly correlated" observation, which both the provider page
+    /// caches and the adaptive prefetcher exploit. The remainder models
+    /// per-instance divergence (host-specific config, timing-dependent
+    /// services).
+    pub shared_fraction: f64,
 }
 
 impl BootProfile {
@@ -49,6 +58,7 @@ impl BootProfile {
             write_bytes: 2 << 20,
             write_size: (1 << 10, 16 << 10),
             cpu_total_us: 9_500_000,
+            shared_fraction: 0.9,
         }
     }
 
@@ -68,6 +78,7 @@ impl BootProfile {
             write_bytes: scale(full.write_bytes),
             write_size: (256, 1024),
             cpu_total_us: 50_000,
+            shared_fraction: full.shared_fraction,
         }
     }
 
@@ -110,32 +121,43 @@ impl BootProfile {
 
         // Services, libraries, config files: each is a contiguous run of
         // small sequential reads (the guest reads whole files), with the
-        // *files* placed randomly inside a hot subset of the image. Small
+        // *files* placed inside a hot subset of the image. Small
         // requests therefore correlate strongly within chunks — exactly
         // the pattern §3.3 strategy 1 exploits, and what keeps the
         // fetched volume close to the touched volume (Fig. 4d: ~13 GB
         // fetched vs ~12 GB touched across 110 instances).
-        let hot_len = ((self.image_len as f64 * self.hot_fraction) as u64).max(1);
+        //
+        // Most files come from the image's *fixed layout* — every
+        // instance boots the same kernel, init scripts and libraries, in
+        // the same order (§3.1.3's access correlation); the rest are
+        // per-instance (host config, timing-dependent services), drawn
+        // from the VM's own stream.
+        let layout = self.shared_files();
+        let mut layout_next = 0usize;
         let mut read_left = self.random_read_bytes;
         let mut write_left = self.write_bytes;
         let est_files = (self.random_read_bytes / (256 << 10)).max(1);
         let write_every = (est_files / est_write_ops.max(1)).max(1);
         let mut file_no = 0u64;
         while read_left > 0 {
-            // File sizes: mostly small, occasionally large (shared libs).
-            let file_len = match rng.gen_range(0..10u32) {
-                0..=5 => rng.gen_range(4u64 << 10..64 << 10),
-                6..=8 => rng.gen_range(64u64 << 10..256 << 10),
-                _ => rng.gen_range(256u64 << 10..1 << 20),
-            }
-            .min(read_left);
-            // File placement: inside a band of the hot set, so different
-            // chunks (and providers) serve different files.
-            let band = rng.gen_range(0..8u64);
-            let band_base = band * (self.image_len / 8);
-            let within = rng.gen_range(0..(hot_len / 8).max(1));
-            let mut offset = (band_base + within).min(self.image_len.saturating_sub(file_len));
-            // Sequential requests through the file.
+            let shared =
+                rng.gen_range(0.0..1.0) < self.shared_fraction && layout_next < layout.len();
+            let (mut offset, file_len) = if shared {
+                let f = layout[layout_next];
+                layout_next += 1;
+                f
+            } else {
+                // Per-instance divergence is *small* files — host
+                // config, machine ids, early logs. The big files (the
+                // kernel, shared libraries) are by definition shared:
+                // every instance of the image has the same ones.
+                let (offset, _) = self.place_file(&mut rng);
+                let cap = (64u64 << 10).min(self.random_read_bytes / 4).max(2048);
+                (offset, rng.gen_range(cap / 16..=cap))
+            };
+            let file_len = file_len.min(read_left);
+            // Sequential requests through the file (request sizes are
+            // the instance's own: same data, instance-specific I/O).
             let mut remaining = file_len;
             while remaining > 0 {
                 let len = rng
@@ -161,6 +183,41 @@ impl BootProfile {
             }
         }
         ops
+    }
+
+    /// One boot file: placed inside a band of the hot set (different
+    /// chunks — and providers — serve different files), sized mostly
+    /// small with occasional large shared libraries.
+    fn place_file(&self, rng: &mut SmallRng) -> (u64, u64) {
+        let hot_len = ((self.image_len as f64 * self.hot_fraction) as u64).max(1);
+        let file_len = match rng.gen_range(0..10u32) {
+            0..=5 => rng.gen_range(4u64 << 10..64 << 10),
+            6..=8 => rng.gen_range(64u64 << 10..256 << 10),
+            _ => rng.gen_range(256u64 << 10..1 << 20),
+        };
+        let band = rng.gen_range(0..8u64);
+        let band_base = band * (self.image_len / 8);
+        let within = rng.gen_range(0..(hot_len / 8).max(1));
+        let offset = (band_base + within).min(self.image_len.saturating_sub(file_len));
+        (offset, file_len)
+    }
+
+    /// The image's fixed boot-file layout: the ordered list of files
+    /// every instance of this image reads. Deterministic in the profile
+    /// alone (never the instance seed) — instances share it the way
+    /// they share the image bytes. Sized generously past
+    /// `random_read_bytes` so instances that skip per-VM files still
+    /// find shared ones.
+    fn shared_files(&self) -> Vec<(u64, u64)> {
+        let mut rng = SmallRng::seed_from_u64(0x1AA_0117 ^ self.image_len);
+        let mut files = Vec::new();
+        let mut total = 0u64;
+        while total < self.random_read_bytes.saturating_mul(2) {
+            let f = self.place_file(&mut rng);
+            total += f.1;
+            files.push(f);
+        }
+        files
     }
 }
 

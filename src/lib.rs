@@ -66,7 +66,8 @@ pub use bff_workloads as workloads;
 /// The commonly needed names in one import.
 pub mod prelude {
     pub use bff_blobseer::{
-        BlobConfig, BlobError, BlobId, CacheStats, Client as BlobClient, NodeContext, Version,
+        BlobConfig, BlobError, BlobId, CacheStats, Client as BlobClient, NodeContext,
+        PrefetchStats, Version,
     };
     pub use bff_cloud::backend::ImageBackend;
     pub use bff_cloud::middleware::{Cloud, VmHandle};

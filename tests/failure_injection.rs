@@ -242,6 +242,134 @@ fn refcounts_never_underflow_on_repeated_rollback_and_release() {
     );
 }
 
+/// A deployment with prefetch forced on (tests must not depend on the
+/// `BFF_PREFETCH` environment default). Metadata and managers live on
+/// the service node so that failing a provider kills only its chunk
+/// store — these tests isolate the *data-plane* failover of the
+/// prefetch pipeline.
+fn setup_prefetch(
+    replication: usize,
+) -> (Arc<LocalFabric>, Arc<BlobStore>, BlobId, Version, Payload) {
+    let fabric = LocalFabric::new(7);
+    let compute: Vec<NodeId> = (0..6).map(NodeId).collect();
+    let topo = BlobTopology {
+        vmanager: NodeId(6),
+        pmanager: NodeId(6),
+        metadata: vec![NodeId(6)],
+        providers: compute,
+    };
+    let cfg = BlobConfig {
+        chunk_size: 64 << 10,
+        replication,
+        prefetch: true,
+        ..Default::default()
+    };
+    let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+    let image = Payload::synth(0xFE7C, 0, IMG);
+    let client = BlobClient::new(Arc::clone(&store), NodeId(0));
+    let (blob, v) = client.upload(image.clone()).unwrap();
+    // The leader VM on node 0 boots the image and publishes its access
+    // pattern to the board.
+    let mut leader = MirrorBackend::open(client, blob, v, &Calibration::default()).unwrap();
+    leader.read(0..IMG).unwrap();
+    (fabric, store, blob, v, image)
+}
+
+#[test]
+fn prefetch_fails_over_when_provider_dies_before_read_ahead() {
+    // A provider dies while the follower's read-ahead is in flight
+    // (fail-stop before the prefetch step): the prefetcher must fail
+    // over per chunk like the demand path, land everything off the
+    // surviving replicas, and account nothing twice.
+    let (fabric, store, blob, v, image) = setup_prefetch(2);
+    let follower = NodeId(1);
+    let mut backend = MirrorBackend::open(
+        BlobClient::new(Arc::clone(&store), follower),
+        blob,
+        v,
+        &Calibration::default(),
+    )
+    .unwrap();
+    fabric.fail_node(NodeId(3));
+    while backend.poke_prefetch() {}
+    let stats = store.node_context(follower).prefetch_stats();
+    let total_chunks = IMG / (64 << 10);
+    assert_eq!(
+        stats.prefetched_chunks, total_chunks,
+        "every chunk must land via failover"
+    );
+    // The demand replay is served entirely from the cache — correct
+    // bytes, no double fetch, exact accounting.
+    let transfers = fabric.stats().transfer_count();
+    let got = backend.read(0..IMG).unwrap();
+    assert!(got.content_eq(&image));
+    assert_eq!(fabric.stats().transfer_count(), transfers);
+    let stats = store.node_context(follower).prefetch_stats();
+    assert_eq!(stats.hits, total_chunks);
+    assert_eq!(stats.prefetched_chunks, total_chunks, "no double count");
+    assert_eq!(stats.wasted_chunks, 0);
+}
+
+#[test]
+fn unreplicated_prefetch_skips_lost_chunks_and_demand_still_errors() {
+    // Replication 1 and a dead provider: the prefetcher must skip that
+    // provider's chunks (best-effort, no error, no phantom cache
+    // entries), and the demand read must surface the same loss it would
+    // have surfaced without prefetching — never wrong bytes.
+    let (fabric, store, blob, v, _image) = setup_prefetch(1);
+    let follower = NodeId(1);
+    let mut backend = MirrorBackend::open(
+        BlobClient::new(Arc::clone(&store), follower),
+        blob,
+        v,
+        &Calibration::default(),
+    )
+    .unwrap();
+    fabric.fail_node(NodeId(2));
+    while backend.poke_prefetch() {}
+    let stats = store.node_context(follower).prefetch_stats();
+    let total_chunks = IMG / (64 << 10);
+    assert!(
+        stats.prefetched_chunks < total_chunks,
+        "the dead provider's chunks cannot land"
+    );
+    assert!(stats.prefetched_chunks > 0, "the rest still lands");
+    let result = backend.read(0..IMG);
+    assert!(result.is_err(), "the loss must not be masked");
+    // Recovery: the skipped chunks arrive on demand, byte-correct, and
+    // the prefetcher never re-fetches what already landed.
+    fabric.recover_node(NodeId(2));
+    let got = backend.read(0..IMG).unwrap();
+    assert!(got.content_eq(&Payload::synth(0xFE7C, 0, IMG)));
+    let after = store.node_context(follower).prefetch_stats();
+    assert_eq!(
+        after.prefetched_chunks, stats.prefetched_chunks,
+        "demand recovery must not be billed as prefetch"
+    );
+}
+
+#[test]
+fn prefetched_cache_serves_reads_through_total_provider_loss() {
+    // Once the read-ahead landed, the node-shared cache is local state:
+    // even losing every provider holding a chunk cannot un-serve it —
+    // the same availability a mirror's local store gives demand reads.
+    let (fabric, store, blob, v, image) = setup_prefetch(2);
+    let follower = NodeId(1);
+    let mut backend = MirrorBackend::open(
+        BlobClient::new(Arc::clone(&store), follower),
+        blob,
+        v,
+        &Calibration::default(),
+    )
+    .unwrap();
+    while backend.poke_prefetch() {}
+    for victim in [2u32, 3, 4, 5] {
+        fabric.fail_node(NodeId(victim));
+    }
+    let got = backend.read(0..IMG).unwrap();
+    assert!(got.content_eq(&image));
+}
+
 #[test]
 fn commit_fails_cleanly_when_target_provider_down() {
     let (fabric, client, blob, v) = setup(1);
