@@ -7,8 +7,14 @@
 //! ```text
 //! bench_regression --results bench-results.jsonl --baseline BENCH_2.json \
 //!     [--dedup-results target/paper/dedup_summary.json --dedup-baseline BENCH_3.json] \
-//!     [--prefetch-results target/paper/prefetch_summary.json --prefetch-baseline BENCH_4.json]
+//!     [--prefetch-results target/paper/prefetch_summary.json --prefetch-baseline BENCH_4.json] \
+//!     [--cluster-results target/paper/cluster_summary.json --cluster-baseline BENCH_5.json]
 //! ```
+//!
+//! On failure the gate ends with a `FAILED METRICS` block naming, for
+//! every tripped check, the exact metric key, the measured value, the
+//! recorded baseline, and the floor/threshold that tripped — so a red
+//! CI run reads off what regressed without grepping the JSON by hand.
 //!
 //! `--results` is the `BFF_BENCH_JSON` jsonl the criterion shim appends
 //! (pass it several times to merge files). The gate checks *speedup
@@ -108,6 +114,34 @@ const DEDUP_CHECKS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Measured-value keys checked between the cluster-dedup summary and
+/// `BENCH_5.json`.
+const CLUSTER_CHECKS: &[(&str, &str, &str)] = &[
+    (
+        "cluster dedup: provider bytes, node-local ÷ cluster index",
+        "cluster_stored_reduction",
+        "cluster_stored_floor",
+    ),
+    (
+        "cluster dedup: network bytes, node-local ÷ cluster index",
+        "cluster_network_reduction",
+        "cluster_network_floor",
+    ),
+    (
+        "snapshot GC: fraction of deleted-unique bytes reclaimed",
+        "gc_reclaimed_fraction",
+        "gc_reclaimed_floor",
+    ),
+];
+
+/// Confidence-filter keys checked between the *prefetch* summary and
+/// `BENCH_5.json` (the filter shipped with the cluster-dedup PR).
+const CONFIDENCE_CHECKS: &[(&str, &str, &str)] = &[(
+    "prefetch confidence: unused read-aheads saved vs unfiltered",
+    "confidence_waste_saved",
+    "confidence_waste_saved_floor",
+)];
+
 /// Measured-value keys checked between a prefetch summary and
 /// `BENCH_4.json`.
 const PREFETCH_CHECKS: &[(&str, &str, &str)] = &[
@@ -133,37 +167,95 @@ const PREFETCH_CHECKS: &[(&str, &str, &str)] = &[
     ),
 ];
 
-/// Gate a flat summary against a baseline's recorded values + floors.
-/// Returns `true` when something failed.
+/// One tripped check, carrying everything the failure report needs.
+struct Failure {
+    /// The summary's metric key (what you would grep for).
+    metric: String,
+    /// Measured value, `None` when the key was missing entirely.
+    current: Option<f64>,
+    recorded: f64,
+    floor: f64,
+    threshold: f64,
+    baseline_path: String,
+}
+
+impl Failure {
+    fn describe(&self) -> String {
+        match self.current {
+            Some(v) => format!(
+                "metric {} = {v:.3} tripped threshold {:.3} \
+                 (floor {:.3}, recorded {:.3} in {})",
+                self.metric, self.threshold, self.floor, self.recorded, self.baseline_path
+            ),
+            None => format!(
+                "metric {} missing from results (baseline {})",
+                self.metric, self.baseline_path
+            ),
+        }
+    }
+}
+
+/// Gate a flat summary against a baseline's recorded values + floors,
+/// returning every tripped check.
 fn check_summary(
     label: &str,
     checks: &[(&str, &str, &str)],
     summary: &str,
     baseline: &str,
     baseline_path: &str,
-) -> bool {
+) -> Vec<Failure> {
     let tolerance = json_number(baseline, "regression_tolerance").unwrap_or(0.25);
-    let mut failed = false;
+    let mut failures = Vec::new();
     println!("{label} gate vs {baseline_path} (tolerance {tolerance})");
     for (name, key, floor_key) in checks {
-        let Some(current) = json_number(summary, key) else {
-            println!("FAIL {name}: {key} missing from summary");
-            failed = true;
-            continue;
-        };
         let recorded =
             json_number(baseline, key).unwrap_or_else(|| panic!("baseline missing {key}"));
         let floor = json_number(baseline, floor_key)
             .unwrap_or_else(|| panic!("baseline missing {floor_key}"));
         let threshold = (recorded * (1.0 - tolerance)).max(floor);
+        let Some(current) = json_number(summary, key) else {
+            println!("FAIL {name}: {key} missing from summary");
+            failures.push(Failure {
+                metric: key.to_string(),
+                current: None,
+                recorded,
+                floor,
+                threshold,
+                baseline_path: baseline_path.to_string(),
+            });
+            continue;
+        };
         let ok = current >= threshold;
         println!(
             "{} {name}: {current:.2} (baseline {recorded:.2}, threshold {threshold:.2}, floor {floor:.2})",
             if ok { "ok  " } else { "FAIL" },
         );
-        failed |= !ok;
+        if !ok {
+            failures.push(Failure {
+                metric: key.to_string(),
+                current: Some(current),
+                recorded,
+                floor,
+                threshold,
+                baseline_path: baseline_path.to_string(),
+            });
+        }
     }
-    failed
+    failures
+}
+
+/// Print the final failure report: one line per tripped metric naming
+/// the key, measured value, and the floor/threshold that tripped.
+fn report_failures(failures: &[Failure]) -> ExitCode {
+    if failures.is_empty() {
+        println!("all gated metrics within tolerance");
+        return ExitCode::SUCCESS;
+    }
+    println!("\nFAILED METRICS ({}):", failures.len());
+    for f in failures {
+        println!("  {}", f.describe());
+    }
+    ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
@@ -174,6 +266,8 @@ fn main() -> ExitCode {
     let mut dedup_baseline = String::from("BENCH_3.json");
     let mut prefetch_results: Option<String> = None;
     let mut prefetch_baseline = String::from("BENCH_4.json");
+    let mut cluster_results: Option<String> = None;
+    let mut cluster_baseline = String::from("BENCH_5.json");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--results" => {
@@ -201,80 +295,116 @@ fn main() -> ExitCode {
             "--prefetch-baseline" => {
                 prefetch_baseline = args.next().expect("--prefetch-baseline needs a path")
             }
+            "--cluster-results" => {
+                let path = args.next().expect("--cluster-results needs a path");
+                cluster_results = Some(
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+                );
+            }
+            "--cluster-baseline" => {
+                cluster_baseline = args.next().expect("--cluster-baseline needs a path")
+            }
             other => panic!("unknown argument {other}"),
         }
     }
     assert!(
-        !results.is_empty() || dedup_results.is_some() || prefetch_results.is_some(),
-        "no --results, --dedup-results or --prefetch-results provided"
+        !results.is_empty()
+            || dedup_results.is_some()
+            || prefetch_results.is_some()
+            || cluster_results.is_some(),
+        "no --results, --dedup-results, --prefetch-results or --cluster-results provided"
     );
+    let mut failures: Vec<Failure> = Vec::new();
     if let Some(summary) = &dedup_results {
         let baseline = std::fs::read_to_string(&dedup_baseline)
             .unwrap_or_else(|e| panic!("read baseline {dedup_baseline}: {e}"));
-        if check_summary(
+        failures.extend(check_summary(
             "dedup-sweep",
             DEDUP_CHECKS,
             summary,
             &baseline,
             &dedup_baseline,
-        ) {
-            println!("dedup regression detected");
-            return ExitCode::FAILURE;
-        }
+        ));
     }
     if let Some(summary) = &prefetch_results {
         let baseline = std::fs::read_to_string(&prefetch_baseline)
             .unwrap_or_else(|e| panic!("read baseline {prefetch_baseline}: {e}"));
-        if check_summary(
+        failures.extend(check_summary(
             "prefetch-sweep",
             PREFETCH_CHECKS,
             summary,
             &baseline,
             &prefetch_baseline,
-        ) {
-            println!("prefetch/chain-pipeline regression detected");
-            return ExitCode::FAILURE;
+        ));
+    }
+    if let Some(summary) = &cluster_results {
+        let baseline = std::fs::read_to_string(&cluster_baseline)
+            .unwrap_or_else(|e| panic!("read baseline {cluster_baseline}: {e}"));
+        failures.extend(check_summary(
+            "cluster-dedup",
+            CLUSTER_CHECKS,
+            summary,
+            &baseline,
+            &cluster_baseline,
+        ));
+        // The confidence-filter metrics live in the prefetch summary
+        // but are gated by the same BENCH_5 baseline as the rest of
+        // this PR's floors.
+        if let Some(prefetch) = &prefetch_results {
+            failures.extend(check_summary(
+                "prefetch-confidence",
+                CONFIDENCE_CHECKS,
+                prefetch,
+                &baseline,
+                &cluster_baseline,
+            ));
         }
     }
-    if results.is_empty() {
-        println!("all sweep ratios within tolerance");
-        return ExitCode::SUCCESS;
+    if !results.is_empty() {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let tolerance = json_number(&baseline, "regression_tolerance").unwrap_or(0.25);
+        println!("perf-regression gate vs {baseline_path} (tolerance {tolerance})");
+        for check in CHECKS {
+            let recorded = json_number(&baseline, check.baseline_key)
+                .unwrap_or_else(|| panic!("baseline missing {}", check.baseline_key));
+            let floor = json_number(&baseline, check.floor_key)
+                .unwrap_or_else(|| panic!("baseline missing {}", check.floor_key));
+            let threshold = (recorded * (1.0 - tolerance)).max(floor);
+            let (Some(refr), Some(pipe)) = (
+                min_ns(&results, check.reference),
+                min_ns(&results, check.pipeline),
+            ) else {
+                println!("FAIL {}: benches missing from results", check.name);
+                failures.push(Failure {
+                    metric: check.baseline_key.to_string(),
+                    current: None,
+                    recorded,
+                    floor,
+                    threshold,
+                    baseline_path: baseline_path.clone(),
+                });
+                continue;
+            };
+            let current = refr / pipe;
+            let ok = current >= threshold;
+            println!(
+                "{} {}: {:.2}x (baseline {recorded:.2}x, threshold {threshold:.2}x, floor {floor:.2}x)",
+                if ok { "ok  " } else { "FAIL" },
+                check.name,
+                current,
+            );
+            if !ok {
+                failures.push(Failure {
+                    metric: check.baseline_key.to_string(),
+                    current: Some(current),
+                    recorded,
+                    floor,
+                    threshold,
+                    baseline_path: baseline_path.clone(),
+                });
+            }
+        }
     }
-    let baseline = std::fs::read_to_string(&baseline_path)
-        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-    let tolerance = json_number(&baseline, "regression_tolerance").unwrap_or(0.25);
-
-    let mut failed = false;
-    println!("perf-regression gate vs {baseline_path} (tolerance {tolerance})");
-    for check in CHECKS {
-        let (Some(refr), Some(pipe)) = (
-            min_ns(&results, check.reference),
-            min_ns(&results, check.pipeline),
-        ) else {
-            println!("FAIL {}: benches missing from results", check.name);
-            failed = true;
-            continue;
-        };
-        let current = refr / pipe;
-        let recorded = json_number(&baseline, check.baseline_key)
-            .unwrap_or_else(|| panic!("baseline missing {}", check.baseline_key));
-        let floor = json_number(&baseline, check.floor_key)
-            .unwrap_or_else(|| panic!("baseline missing {}", check.floor_key));
-        let threshold = (recorded * (1.0 - tolerance)).max(floor);
-        let ok = current >= threshold;
-        println!(
-            "{} {}: {:.2}x (baseline {recorded:.2}x, threshold {threshold:.2}x, floor {floor:.2}x)",
-            if ok { "ok  " } else { "FAIL" },
-            check.name,
-            current,
-        );
-        failed |= !ok;
-    }
-    if failed {
-        println!("perf regression detected: batched pipelines regressed >{tolerance} vs baseline");
-        ExitCode::FAILURE
-    } else {
-        println!("all pipeline speedups within tolerance");
-        ExitCode::SUCCESS
-    }
+    report_failures(&failures)
 }

@@ -107,7 +107,7 @@ struct BootOutcome {
     prefetched: u64,
 }
 
-fn run_boot(prefetch: bool) -> BootOutcome {
+fn run_boot(prefetch: bool, min_publishers: usize) -> BootOutcome {
     let cal = Calibration::default();
     let n = NODES as usize;
     let cluster = SimCluster::new(cal.cluster(n));
@@ -121,6 +121,9 @@ fn run_boot(prefetch: bool) -> BootOutcome {
         // predicted pattern as per-provider batches, outrunning the
         // guest's demand stream instead of racing it chunk for chunk.
         prefetch_window: 32,
+        // The confidence filter under test: chunks reported by fewer
+        // distinct publishers are not read ahead (1 = filter off).
+        prefetch_min_publishers: min_publishers,
         ..Default::default()
     };
     let topo = BlobTopology::colocated(&compute, service);
@@ -254,8 +257,12 @@ fn chain_commit_latency_s(mode: ReplicationMode) -> f64 {
 }
 
 fn main() {
-    let off = run_boot(false);
-    let on = run_boot(true);
+    let off = run_boot(false, 1);
+    // The shipping default: cohort-confirmed chunks only (min 2
+    // publishers once ≥2 exist). The unfiltered run isolates what the
+    // confidence filter saves in wasted read-ahead.
+    let on = run_boot(true, 2);
+    let on_unfiltered = run_boot(true, 1);
 
     let mut t = Table::new(
         "prefetch_sweep",
@@ -270,7 +277,7 @@ fn main() {
             "wasted",
         ],
     );
-    for (label, m) in [("off", off), ("on", on)] {
+    for (label, m) in [("off", off), ("on", on), ("on_unfiltered", on_unfiltered)] {
         t.row(&[
             &label,
             &f3(m.wave_s),
@@ -308,9 +315,18 @@ fn main() {
     }
     t.emit();
 
+    // Waste = read-ahead transfers no demand read ever consumed
+    // (`prefetched − hits`; the evicted-unused counter alone misses
+    // unused chunks still parked in the cache). The confidence filter's
+    // value is the drop in that number between the unfiltered and the
+    // default (cohort-confirmed) run.
+    let unused = |m: &BootOutcome| m.prefetched.saturating_sub(m.hits);
+    let waste_saved = unused(&on_unfiltered).saturating_sub(unused(&on));
     println!(
         "\ncold concurrent boot wave: {:.2}s -> {:.2}s ({boot_speedup:.2}x throughput); \
          prefetch hit rate {:.0}% ({} hits / {} wasted of {} prefetched); \
+         confidence filter saved {waste_saved} unused read-aheads \
+         ({} unfiltered -> {}); \
          chain commit latency {:.3}s -> {:.3}s pipelined ({chain_speedup:.2}x)",
         off.wave_s,
         on.wave_s,
@@ -318,6 +334,8 @@ fn main() {
         on.hits,
         on.wasted,
         on.prefetched,
+        unused(&on_unfiltered),
+        unused(&on),
         chain_s,
         pipe_s,
     );
@@ -333,6 +351,17 @@ fn main() {
     );
     let _ = writeln!(summary, "  \"chain_pipeline_speedup\": {chain_speedup:.3},");
     let _ = writeln!(summary, "  \"prefetch_network_mb\": {:.3},", on.network_mb);
+    let _ = writeln!(summary, "  \"confidence_waste_saved\": {waste_saved}.0,");
+    let _ = writeln!(
+        summary,
+        "  \"confidence_unused_filtered\": {}.0,",
+        unused(&on)
+    );
+    let _ = writeln!(
+        summary,
+        "  \"confidence_unused_unfiltered\": {}.0,",
+        unused(&on_unfiltered)
+    );
     let _ = writeln!(summary, "  \"prefetch_boot_wave_s\": {:.3}", on.wave_s);
     summary.push('}');
     summary.push('\n');

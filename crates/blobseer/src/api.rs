@@ -147,6 +147,20 @@ pub struct BlobConfig {
     /// `BFF_DEDUP` environment variable (unset → on), which is how CI
     /// runs the whole suite in both modes.
     pub dedup: bool,
+    /// Cluster-wide content-addressed dedup (the second-level filter
+    /// behind [`BlobConfig::dedup`], which must also be on): commits
+    /// whose payloads miss the node's digest index additionally probe
+    /// the cluster [`crate::cluster::ClusterIndex`] hosted beside the
+    /// provider manager, so identical content committed from *different*
+    /// nodes is published by reference instead of re-replicated. Probes
+    /// resolve against the node's gossiped replica (no RPC); each commit
+    /// pays at most one control round to publish its novel index
+    /// entries. Defaults to the `BFF_CLUSTER_DEDUP` environment variable
+    /// (unset → on), which is how CI runs the whole suite in both modes.
+    pub cluster_dedup: bool,
+    /// Entries kept in the cluster-wide dedup index. `0` disables the
+    /// cluster index even when [`BlobConfig::cluster_dedup`] is on.
+    pub cluster_index_chunks: usize,
     /// Versions kept in the node-shared chunk-descriptor cache before
     /// LRU eviction (entries are per `(blob, version)`; snapshots are
     /// immutable so the bound only caps memory, never freshness).
@@ -166,6 +180,14 @@ pub struct BlobConfig {
     /// ([`crate::Client::prefetch_chunks`] fetches at most this many per
     /// call).
     pub prefetch_window: usize,
+    /// Prefetch confidence filter: only read ahead chunks that at least
+    /// this many *distinct* publishers reported to the cluster
+    /// [`crate::board::PatternBoard`]. Applies once the board has seen
+    /// that many publishers for the snapshot — a lone seed VM's pattern
+    /// is still prefetched in full; as soon as a cohort exists,
+    /// single-publisher chunks (one VM's private divergence) are skipped,
+    /// cutting read-ahead waste. `0` and `1` disable the filter.
+    pub prefetch_min_publishers: usize,
     /// Byte bound of the node-shared chunk-data cache that prefetched
     /// (and, while prefetching is on, demand-fetched) chunks land in.
     /// LRU-evicted. A bound that cannot hold at least one chunk
@@ -203,10 +225,13 @@ impl Default for BlobConfig {
             node_bytes: 96,
             control_bytes: 64,
             dedup: env_default_on("BFF_DEDUP"),
+            cluster_dedup: env_default_on("BFF_CLUSTER_DEDUP"),
+            cluster_index_chunks: 1 << 18,
             desc_cache_versions: 64,
             digest_index_chunks: 1 << 16,
             prefetch: env_default_on("BFF_PREFETCH"),
             prefetch_window: 8,
+            prefetch_min_publishers: 2,
             chunk_cache_bytes: 64 << 20,
             strong_digest: false,
         }

@@ -53,12 +53,25 @@ struct BoardEntry {
     seq: Arc<Vec<u64>>,
     /// Membership set of `seq` (dedup across publishers).
     members: FastSet<u64>,
+    /// Distinct nodes that have published for this snapshot.
+    publishers: FastSet<NodeId>,
+    /// Distinct publishers per chunk index (saturating). Each node
+    /// publishes each index at most once (its tracker's `published`
+    /// prefix guarantees it), so counting batches counts publishers —
+    /// the confidence signal behind
+    /// [`PatternBoard::sequence_with_confidence`].
+    confirms: FastMap<u64, u32>,
     /// Publish batches merged so far.
     publishes: u64,
     /// Stamp of the last merge (LRU eviction under
     /// [`BOARD_PATTERN_CAP`]).
     last_merge: u64,
 }
+
+/// A peer access sequence with its cohort-confirmation mask (`None` =
+/// the confidence filter is inactive), as returned by
+/// [`PatternBoard::sequence_with_confidence`].
+pub type ConfidentSequence = (Arc<Vec<u64>>, Option<Vec<bool>>);
 
 /// The board state (one logical instance per deployed service; see
 /// module docs).
@@ -69,10 +82,12 @@ pub struct PatternBoard {
 }
 
 impl PatternBoard {
-    /// Merge a publisher's first-touch `batch` into the sequence for
+    /// Merge `publisher`'s first-touch `batch` into the sequence for
     /// `key`. Returns how many indices were new to the board (0 means
-    /// the cohort already knew everything in the batch).
-    pub fn merge(&mut self, key: (BlobId, Version), batch: &[u64]) -> usize {
+    /// the cohort already knew everything in the batch). Every batch
+    /// index also confirms the chunk for `publisher` — the per-chunk
+    /// distinct-publisher counts behind the prefetch confidence filter.
+    pub fn merge(&mut self, key: (BlobId, Version), publisher: NodeId, batch: &[u64]) -> usize {
         if self.entries.len() >= BOARD_PATTERN_CAP && !self.entries.contains_key(&key) {
             if let Some(victim) = self
                 .entries
@@ -88,31 +103,44 @@ impl PatternBoard {
         let entry = self.entries.entry(key).or_default();
         entry.last_merge = tick;
         entry.publishes += 1;
+        entry.publishers.insert(publisher);
         let mut appended = 0;
         for &idx in batch {
-            if entry.members.len() >= BOARD_SEQ_CAP {
-                break;
+            if entry.members.len() >= BOARD_SEQ_CAP && !entry.members.contains(&idx) {
+                continue; // the sequence is full; known chunks still confirm
             }
             if entry.members.insert(idx) {
                 Arc::make_mut(&mut entry.seq).push(idx);
                 appended += 1;
             }
+            let c = entry.confirms.entry(idx).or_insert(0);
+            *c = c.saturating_add(1);
         }
         appended
     }
 
-    /// The subset of `batch` the board does not know yet. Publishers
-    /// consult their gossiped *local replica* with this before paying
-    /// the publish RPC: a batch the cohort already covers is dropped on
-    /// the publisher's side, which is what keeps the control plane quiet
-    /// once the access pattern has converged (only the deployment's
-    /// frontier publishes).
-    pub fn novel_of(&self, key: (BlobId, Version), batch: &[u64]) -> Vec<u64> {
+    /// The subset of `batch` still worth publishing to the board: the
+    /// indices the board does not know, plus known indices whose
+    /// distinct-publisher count has not yet reached `min_publishers`
+    /// (an extra confirmation strengthens the confidence signal).
+    /// Publishers consult their gossiped *local replica* with this
+    /// before paying the publish RPC, so once the pattern has both
+    /// converged *and* been cohort-confirmed the control plane goes
+    /// quiet. `min_publishers ≤ 1` reduces to pure novelty filtering.
+    pub fn novel_of(
+        &self,
+        key: (BlobId, Version),
+        batch: &[u64],
+        min_publishers: usize,
+    ) -> Vec<u64> {
         match self.entries.get(&key) {
             Some(e) => batch
                 .iter()
                 .copied()
-                .filter(|idx| !e.members.contains(idx))
+                .filter(|idx| {
+                    !e.members.contains(idx)
+                        || (e.confirms.get(idx).copied().unwrap_or(0) as usize) < min_publishers
+                })
                 .collect(),
             None => batch.to_vec(),
         }
@@ -123,6 +151,43 @@ impl PatternBoard {
     /// copies-on-write).
     pub fn sequence(&self, key: (BlobId, Version)) -> Option<Arc<Vec<u64>>> {
         self.entries.get(&key).map(|e| Arc::clone(&e.seq))
+    }
+
+    /// The merged peer sequence plus its confidence mask: `mask[i]` is
+    /// whether `seq[i]` was reported by at least `min_publishers`
+    /// distinct nodes. The mask is `None` — no filtering — while the
+    /// filter is off (`min_publishers ≤ 1`) or the board has seen fewer
+    /// than `min_publishers` publishers for this snapshot: a lone seed
+    /// VM's pattern is better than nothing, but the moment a cohort
+    /// exists, chunks only one member touched (private divergence) are
+    /// not worth read-ahead.
+    pub fn sequence_with_confidence(
+        &self,
+        key: (BlobId, Version),
+        min_publishers: usize,
+    ) -> Option<ConfidentSequence> {
+        let e = self.entries.get(&key)?;
+        let seq = Arc::clone(&e.seq);
+        if min_publishers <= 1 || e.publishers.len() < min_publishers {
+            return Some((seq, None));
+        }
+        let mask: Vec<bool> = seq
+            .iter()
+            .map(|idx| e.confirms.get(idx).copied().unwrap_or(0) as usize >= min_publishers)
+            .collect();
+        Some((seq, Some(mask)))
+    }
+
+    /// Distinct nodes that have published for `key` so far.
+    pub fn publisher_count(&self, key: (BlobId, Version)) -> usize {
+        self.entries.get(&key).map_or(0, |e| e.publishers.len())
+    }
+
+    /// Drop the pattern for `key` (snapshot-delete eviction: a deleted
+    /// snapshot can never be deployed again, so its board slot and
+    /// gossiped replicas are garbage).
+    pub fn drop_pattern(&mut self, key: (BlobId, Version)) {
+        self.entries.remove(&key);
     }
 
     /// Length of the merged sequence for `key` (0 when absent) — the
@@ -187,13 +252,55 @@ mod tests {
     #[test]
     fn merge_unions_in_arrival_order() {
         let mut b = PatternBoard::default();
-        assert_eq!(b.merge(KEY, &[3, 1, 2]), 3);
+        assert_eq!(b.merge(KEY, NodeId(0), &[3, 1, 2]), 3);
         // A second publisher with overlap appends only the novel tail.
-        assert_eq!(b.merge(KEY, &[1, 2, 9]), 1);
+        assert_eq!(b.merge(KEY, NodeId(1), &[1, 2, 9]), 1);
         assert_eq!(*b.sequence(KEY).unwrap(), vec![3, 1, 2, 9]);
         assert_eq!(b.sequence_len(KEY), 4);
         assert_eq!(b.publishes(KEY), 2);
+        assert_eq!(b.publisher_count(KEY), 2);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn confidence_mask_confirms_cohort_chunks_only() {
+        let mut b = PatternBoard::default();
+        b.merge(KEY, NodeId(0), &[1, 2, 3]);
+        // One publisher so far: the filter stays off (mask is None).
+        let (seq, mask) = b.sequence_with_confidence(KEY, 2).unwrap();
+        assert_eq!(*seq, vec![1, 2, 3]);
+        assert!(mask.is_none(), "a lone seed's pattern is unfiltered");
+        // A second publisher confirms 2 and 3 and adds a private 4.
+        b.merge(KEY, NodeId(1), &[2, 3, 4]);
+        let (seq, mask) = b.sequence_with_confidence(KEY, 2).unwrap();
+        assert_eq!(*seq, vec![1, 2, 3, 4]);
+        assert_eq!(mask.unwrap(), vec![false, true, true, false]);
+        // min_publishers 1 disables the filter outright.
+        let (_, mask) = b.sequence_with_confidence(KEY, 1).unwrap();
+        assert!(mask.is_none());
+    }
+
+    #[test]
+    fn novelty_filter_admits_confirmations_up_to_threshold() {
+        let mut b = PatternBoard::default();
+        b.merge(KEY, NodeId(0), &[1, 2]);
+        // With the confidence filter on, a second publisher's overlap is
+        // still worth publishing (it confirms), a third's is not.
+        assert_eq!(b.novel_of(KEY, &[1, 2, 5], 2), vec![1, 2, 5]);
+        b.merge(KEY, NodeId(1), &[1, 2, 5]);
+        assert_eq!(b.novel_of(KEY, &[1, 2], 2), Vec::<u64>::new());
+        // Pure novelty mode drops known indices after one publisher.
+        assert_eq!(b.novel_of(KEY, &[1, 2, 7], 1), vec![7]);
+    }
+
+    #[test]
+    fn drop_pattern_forgets_the_snapshot() {
+        let mut b = PatternBoard::default();
+        b.merge(KEY, NodeId(0), &[1, 2]);
+        b.drop_pattern(KEY);
+        assert!(b.sequence(KEY).is_none());
+        assert_eq!(b.publisher_count(KEY), 0);
+        assert!(b.is_empty());
     }
 
     #[test]
@@ -208,10 +315,10 @@ mod tests {
     fn sequence_is_bounded() {
         let mut b = PatternBoard::default();
         let big: Vec<u64> = (0..(BOARD_SEQ_CAP as u64 + 100)).collect();
-        b.merge(KEY, &big);
+        b.merge(KEY, NodeId(0), &big);
         assert_eq!(b.sequence_len(KEY), BOARD_SEQ_CAP);
         // Further novel indices are dropped, not wrapped.
-        b.merge(KEY, &[u64::MAX]);
+        b.merge(KEY, NodeId(0), &[u64::MAX]);
         assert_eq!(b.sequence_len(KEY), BOARD_SEQ_CAP);
     }
 
@@ -219,7 +326,7 @@ mod tests {
     fn pattern_count_is_bounded_lru() {
         let mut b = PatternBoard::default();
         for v in 1..=(BOARD_PATTERN_CAP as u64 + 50) {
-            b.merge((BlobId(1), Version(v)), &[1, 2, 3]);
+            b.merge((BlobId(1), Version(v)), NodeId(0), &[1, 2, 3]);
         }
         assert_eq!(b.len(), BOARD_PATTERN_CAP);
         // The newest pattern is present, the oldest was evicted.
@@ -232,9 +339,9 @@ mod tests {
     #[test]
     fn readers_hold_snapshots_across_merges() {
         let mut b = PatternBoard::default();
-        b.merge(KEY, &[1, 2]);
+        b.merge(KEY, NodeId(0), &[1, 2]);
         let snap = b.sequence(KEY).unwrap();
-        b.merge(KEY, &[3]);
+        b.merge(KEY, NodeId(1), &[3]);
         assert_eq!(*snap, vec![1, 2], "held snapshot is immutable");
         assert_eq!(*b.sequence(KEY).unwrap(), vec![1, 2, 3]);
     }

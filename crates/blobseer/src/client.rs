@@ -224,6 +224,15 @@ impl Client {
         Ok(self.store.vmanager.lock().meta(blob)?.size)
     }
 
+    /// The still-live (published, undeleted) snapshot versions of a
+    /// blob, ascending — the set a "drop this whole lineage" caller
+    /// passes to [`Client::delete_snapshots`], which rejects versions
+    /// already deleted.
+    pub fn live_snapshots(&self, blob: BlobId) -> BlobResult<Vec<Version>> {
+        self.control_rpc(self.store.topo.vmanager)?;
+        self.store.vmanager.lock().live_snapshots(blob)
+    }
+
     fn control_rpc(&self, to: NodeId) -> Result<(), NetError> {
         let c = self.cfg().control_bytes;
         self.store.fabric.rpc(self.node, to, c, c)
@@ -398,33 +407,50 @@ impl Client {
     /// Publish a first-touch batch to the cluster board and gossip the
     /// update to the other compute nodes (see [`crate::board`]). The
     /// batch is first filtered against the node's gossiped board
-    /// replica: indices the cohort already knows are not re-published,
-    /// so once the access pattern converges the control plane goes
-    /// quiet.
+    /// replica: indices the cohort already knows *and* has confirmed to
+    /// [`BlobConfig::prefetch_min_publishers`] distinct publishers are
+    /// not re-published, so once the access pattern converges and is
+    /// cohort-confirmed the control plane goes quiet.
     fn publish_pattern(&self, blob: BlobId, version: Version, batch: &[u64]) {
+        let min_pub = self.cfg().prefetch_min_publishers;
         let batch = self
             .store
             .pattern_board
             .lock()
-            .novel_of((blob, version), batch);
+            .novel_of((blob, version), batch, min_pub);
         if batch.is_empty() {
             return;
         }
-        let c = self.cfg().control_bytes;
-        let summary_bytes = c + 8 * batch.len() as u64;
-        let host = self.store.topo.pmanager;
-        if self
-            .store
-            .fabric
-            .rpc(self.node, host, summary_bytes, c)
-            .is_err()
-        {
+        let summary_bytes = self.cfg().control_bytes + 8 * batch.len() as u64;
+        if !self.charge_host_publish(summary_bytes) {
             return; // board unreachable: drop the batch, keep booting
         }
         self.store
             .pattern_board
             .lock()
-            .merge((blob, version), &batch);
+            .merge((blob, version), self.node, &batch);
+    }
+
+    /// Pay the control round that carries a `summary_bytes`-sized
+    /// update to the cluster service host beside the provider manager
+    /// and — when the host is reachable — charge the gossip fan-out
+    /// that disseminates it to the other compute nodes along the
+    /// `bff_bcast` tree. This is the shared transport of the pattern
+    /// board, the cluster dedup index and the GC eviction round.
+    /// Returns whether the host took the update; callers drop their
+    /// batch otherwise (every publish is best-effort).
+    fn charge_host_publish(&self, summary_bytes: u64) -> bool {
+        let host = self.store.topo.pmanager;
+        let c = self.cfg().control_bytes;
+        if self.store.fabric.is_down(host)
+            || self
+                .store
+                .fabric
+                .rpc(self.node, host, summary_bytes, c)
+                .is_err()
+        {
+            return false;
+        }
         let targets: Vec<NodeId> = self
             .store
             .topo
@@ -434,6 +460,7 @@ impl Client {
             .filter(|&n| n != host && n != self.node)
             .collect();
         board::gossip_charge(&self.store.fabric, host, &targets, summary_bytes);
+        true
     }
 
     /// Whether an asynchronous read-ahead step for `(blob, version)`
@@ -478,10 +505,21 @@ impl Client {
             return Ok(0);
         }
         let key = (blob, version);
-        let Some(seq) = self.store.pattern_board.lock().sequence(key) else {
+        // The cohort-confirmation mask implements the confidence filter:
+        // chunks only one cohort member reported (private divergence)
+        // are walked past instead of prefetched, once a cohort exists.
+        let min_pub = self.cfg().prefetch_min_publishers;
+        let Some((seq, mask)) = self
+            .store
+            .pattern_board
+            .lock()
+            .sequence_with_confidence(key, min_pub)
+        else {
             return Ok(0);
         };
-        let candidates = self.ctx.claim_prefetch(key, &seq, max_chunks);
+        let candidates = self
+            .ctx
+            .claim_prefetch(key, &seq, mask.as_deref(), max_chunks);
         if candidates.is_empty() {
             return Ok(0);
         }
@@ -804,7 +842,9 @@ impl Client {
         (uniques, slot_of)
     }
 
-    /// Probe the node's digest index for each unique payload and
+    /// Probe the node's digest index — then, on a miss, the node's
+    /// gossiped replica of the cluster-wide
+    /// [`crate::cluster::ClusterIndex`] — for each unique payload and
     /// validate hits against the providers: one control RPC per distinct
     /// reachable provider (the batched refcount bump + verification
     /// round), a **byte comparison** of the candidate payload against a
@@ -814,20 +854,28 @@ impl Client {
     /// bump), then a `retain` per replica that still holds the chunk.
     /// Replicas that are down, unreachable or no longer hold the chunk
     /// drop out — exactly the push pipeline's per-replica failover
-    /// semantics. A hit whose chunk is gone everywhere is forgotten; a
-    /// content mismatch (digest collision) keeps the index entry — it is
-    /// still correct for the *other* payload — and pushes fresh.
+    /// semantics. A hit whose chunk is gone everywhere is forgotten in
+    /// both indexes; a content mismatch (digest collision) keeps the
+    /// index entry — it is still correct for the *other* payload — and
+    /// pushes fresh. Cluster hits ride the identical validation and
+    /// rollback path as node-local ones: probing the replica costs no
+    /// RPC, only the retains do.
     fn dedup_probe(
         &self,
         updates: &[(u64, Payload)],
         uniques: &mut [UniqueChunk],
         retained: &mut Vec<(NodeId, ChunkId)>,
     ) {
+        let cluster_on = self.cfg().cluster_dedup;
         let mut candidates: Vec<(usize, ContentKey, ChunkDesc)> = Vec::new();
         for (u, unique) in uniques.iter().enumerate() {
             let key = unique.key.expect("dedup plan carries keys");
             if let Some(desc) = self.ctx.digest_lookup(&key) {
                 candidates.push((u, key, desc));
+            } else if cluster_on {
+                if let Some(desc) = self.store.cluster_index.lock().get(&key) {
+                    candidates.push((u, key, desc));
+                }
             }
         }
         if candidates.is_empty() {
@@ -884,7 +932,7 @@ impl Client {
                 Some(true) => {}
                 Some(false) => continue,
                 None => {
-                    self.ctx.digest_forget(&key);
+                    self.forget_stale_hit(&key);
                     continue;
                 }
             }
@@ -896,13 +944,24 @@ impl Client {
                 }
             }
             if survivors.is_empty() {
-                self.ctx.digest_forget(&key);
+                self.forget_stale_hit(&key);
             } else {
                 uniques[u].reused = Some(ChunkDesc {
                     id: desc.id,
                     replicas: survivors.into(),
                 });
             }
+        }
+    }
+
+    /// A validated dedup hit turned out to point at content that no
+    /// longer exists anywhere (e.g. snapshot GC reclaimed it): drop the
+    /// entry from both the node index and the cluster replica, wherever
+    /// it lives — a stale key is stale in either.
+    fn forget_stale_hit(&self, key: &ContentKey) {
+        self.ctx.digest_forget(key);
+        if self.cfg().cluster_dedup {
+            self.store.cluster_index.lock().forget(key);
         }
     }
 
@@ -1036,6 +1095,7 @@ impl Client {
                 self.ctx.note_dedup(dedup_chunks, dedup_bytes);
             }
             *reused_out = dedup_bytes;
+            self.publish_cluster_entries(uniques, &unique_descs);
         }
         // Seed the new snapshot's descriptor cache: everything resolved
         // for the base still holds (unmodified subtrees are shared), plus
@@ -1070,12 +1130,186 @@ impl Client {
         Ok(v)
     }
 
+    /// Push a durable commit's novel content keys to the cluster-wide
+    /// dedup index: the batch is filtered against the node's gossiped
+    /// replica first (content the cluster already indexes — the common
+    /// converged boot path — costs nothing), then one control RPC
+    /// carries the survivors to the index host beside the provider
+    /// manager, and the update gossips to the other compute nodes along
+    /// the broadcast tree. Best-effort like every index update: an
+    /// unreachable host just drops the batch.
+    fn publish_cluster_entries(&self, uniques: &[UniqueChunk], unique_descs: &[Option<ChunkDesc>]) {
+        if !self.cfg().cluster_dedup {
+            return;
+        }
+        let entries: Vec<(ContentKey, ChunkDesc)> = uniques
+            .iter()
+            .enumerate()
+            .filter_map(|(u, unique)| {
+                let key = unique.key?;
+                Some((key, unique_descs[u].clone().expect("filled above")))
+            })
+            .collect();
+        let novel: FastSet<ContentKey> = {
+            let index = self.store.cluster_index.lock();
+            index
+                .novel_of(entries.iter().map(|(k, _)| k))
+                .into_iter()
+                .collect()
+        };
+        if novel.is_empty() {
+            return;
+        }
+        // One control round per commit: key + descriptor summaries are
+        // ~48 bytes each (length, digest, chunk id, replica set).
+        let summary_bytes = self.cfg().control_bytes + 48 * novel.len() as u64;
+        if !self.charge_host_publish(summary_bytes) {
+            return; // index host unreachable: skip, the content stays node-local
+        }
+        let mut index = self.store.cluster_index.lock();
+        for (key, desc) in entries {
+            if novel.contains(&key) {
+                index.record(key, desc);
+            }
+        }
+    }
+
     /// Convenience: create a blob and publish `data` as `Version(1)` — the
     /// "upload image to the repository" client operation from Fig. 1.
     pub fn upload(&self, data: Payload) -> BlobResult<(BlobId, Version)> {
         let blob = self.create_blob(data.len())?;
         let v = self.write(blob, Version(0), 0, data)?;
         Ok((blob, v))
+    }
+
+    /// Delete one snapshot and reclaim the chunk storage nothing else
+    /// references (see [`Client::delete_snapshots`]).
+    pub fn delete_snapshot(&self, blob: BlobId, version: Version) -> BlobResult<GcReport> {
+        self.delete_snapshots(blob, std::slice::from_ref(&version))
+    }
+
+    /// Delete a batch of snapshots of `blob` and garbage-collect the
+    /// chunk storage that only they referenced.
+    ///
+    /// The version manager marks the versions dead (one control RPC,
+    /// all-or-nothing) and hands back every live root of the blob's
+    /// *clone family* — the only trees that can share metadata leaf
+    /// nodes with the deleted ones. The collector then walks the dead
+    /// trees and the live trees ([`segtree::collect_leaf_keys`],
+    /// served through the client's metadata node cache) and diffs them
+    /// by **leaf node key**: a leaf reachable only from dead roots holds
+    /// exactly one provider-side reference per acked replica in its
+    /// descriptor — the write path's refcount invariant — so releasing
+    /// those references (batched per provider, one control RPC each,
+    /// down providers skipped) frees precisely the chunks no surviving
+    /// snapshot can reach, and never a shared one. Zero-ref chunks are
+    /// removed by the providers with the aggregate storage counters
+    /// maintained exactly.
+    ///
+    /// Freed chunks are evicted from the cluster dedup index, every
+    /// node's digest index and chunk cache, and the deleted versions'
+    /// descriptor-cache entries and board patterns are dropped (one
+    /// control RPC to the index host plus a gossip round charge; the
+    /// eviction is a cache/index hygiene matter — a stale entry that
+    /// survives, e.g. across a partition, self-heals at its next
+    /// validated use).
+    ///
+    /// Errors after the marking RPC leave the versions deleted with
+    /// their references unreleased — a bounded leak, never a wrong
+    /// free; re-deleting is not possible (the versions no longer
+    /// resolve), so the leak is the crash-consistency cost of not
+    /// running a write-ahead log.
+    pub fn delete_snapshots(&self, blob: BlobId, versions: &[Version]) -> BlobResult<GcReport> {
+        if versions.is_empty() {
+            return Ok(GcReport::default());
+        }
+        // 1. Serialize the delete at the version manager and snapshot
+        //    the family's live-root frontier under the same lock.
+        self.control_rpc(self.store.topo.vmanager)?;
+        let (dead_roots, live_roots, span) = {
+            let mut vm = self.store.vmanager.lock();
+            let dead = vm.delete_snapshots(blob, versions)?;
+            let live = vm.family_live_roots(blob)?;
+            let span = vm.meta(blob)?.span;
+            (dead, live, span)
+        };
+        for &v in versions {
+            self.version_cache.lock().remove(&(blob, v));
+        }
+
+        // 2. Reachability diff by leaf node key: dead = reachable from a
+        //    deleted root and from no live one.
+        let mut dead: FastMap<NodeKey, ChunkDesc> = FastMap::default();
+        {
+            let mut io = ClientNodeIo { client: self };
+            for &root in &dead_roots {
+                for (_, key, desc) in segtree::collect_leaf_keys(&mut io, root, span)? {
+                    dead.insert(key, desc);
+                }
+            }
+            let live_roots: FastSet<NodeKey> = live_roots.into_iter().collect();
+            for &root in &live_roots {
+                if dead.is_empty() {
+                    break;
+                }
+                for (_, key, _) in segtree::collect_leaf_keys(&mut io, root, span)? {
+                    dead.remove(&key);
+                }
+            }
+        }
+        let mut report = GcReport {
+            deleted_versions: versions.len(),
+            dead_leaves: dead.len() as u64,
+            ..GcReport::default()
+        };
+
+        // 3. Release the dead leaves' references on every acked replica,
+        //    batched per provider. A down or unreachable provider is
+        //    skipped — its copy is gone with it (or will resurface as an
+        //    orphan a future stale-hit validation cleans up); the storm
+        //    must not fail because one node died mid-release.
+        let mut by_prov: HashMap<NodeId, Vec<ChunkId>> = HashMap::new();
+        for desc in dead.values() {
+            for &prov in desc.replicas.iter() {
+                by_prov.entry(prov).or_default().push(desc.id);
+            }
+        }
+        let mut providers: Vec<NodeId> = by_prov.keys().copied().collect();
+        providers.sort_unstable(); // deterministic RPC order
+        let c = self.cfg().control_bytes;
+        let mut freed_ids: FastSet<ChunkId> = FastSet::default();
+        for prov in providers {
+            let ids = &by_prov[&prov];
+            if self.store.fabric.is_down(prov) {
+                continue;
+            }
+            let req = c + 8 * ids.len() as u64;
+            if self.store.fabric.rpc(self.node, prov, req, c).is_err() {
+                continue;
+            }
+            for &id in ids {
+                let (bytes, removed, dropped) = self.store.providers.release_counted(prov, id, 1);
+                report.released_refs += dropped as u64;
+                if removed {
+                    report.freed_chunks += 1;
+                    report.freed_bytes += bytes;
+                    freed_ids.insert(id);
+                }
+            }
+        }
+
+        // 4. Evict the freed entries cluster-wide: board patterns and
+        //    descriptor caches of the dead versions, digest/chunk-cache
+        //    entries of the freed chunks, on the index host and every
+        //    node replica. Charged as one control RPC plus a gossip
+        //    round when the host is reachable; the eviction itself is
+        //    applied regardless (replicas converge eventually — stale
+        //    survivors self-heal at validation).
+        let keys: Vec<(BlobId, Version)> = versions.iter().map(|&v| (blob, v)).collect();
+        let summary_bytes = c + 8 * (keys.len() + freed_ids.len()) as u64;
+        self.charge_host_publish(summary_bytes);
+        self.store.purge_deleted(&keys, &freed_ids);
+        Ok(report)
     }
 
     /// Push the update set through the configured replication pipeline
@@ -1332,6 +1566,24 @@ impl Client {
         self.store.fabric.par_join(tasks);
         unwrap_shared(outcome)
     }
+}
+
+/// What a snapshot delete reclaimed (see [`Client::delete_snapshots`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Versions marked dead at the version manager.
+    pub deleted_versions: usize,
+    /// Metadata leaf nodes reachable only from the deleted versions.
+    pub dead_leaves: u64,
+    /// Provider-side chunk references released (one per dead leaf per
+    /// reachable acked replica).
+    pub released_refs: u64,
+    /// Chunk *replica instances* whose refcount reached zero and were
+    /// removed from their provider.
+    pub freed_chunks: u64,
+    /// Provider storage bytes those removals reclaimed (replicas
+    /// counted separately, matching `total_stored_bytes`).
+    pub freed_bytes: u64,
 }
 
 /// One distinct payload content within a commit's update set.
@@ -2078,6 +2330,9 @@ mod tests {
             chunk_size: 128,
             replication,
             replication_mode: mode,
+            // These tests count data-plane transfers and messages; the
+            // cluster index's publish gossip would shift the counts.
+            cluster_dedup: false,
             ..Default::default()
         };
         let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
@@ -2635,6 +2890,9 @@ mod tests {
         let cfg = BlobConfig {
             chunk_size,
             prefetch: true,
+            // These tests pin the unfiltered read-ahead mechanics; the
+            // confidence filter has its own tests below.
+            prefetch_min_publishers: 1,
             ..Default::default()
         };
         let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
@@ -2806,5 +3064,306 @@ mod tests {
         let added = client.store().total_metadata_nodes() - nodes_v1;
         // span 8 -> depth 4 path (leaf + 2 inners + root).
         assert_eq!(added, 4, "path copy only: {added} nodes added");
+    }
+
+    /// Setup with explicit dedup *and* cluster-dedup settings plus two
+    /// clients on distinct nodes (tests must not depend on the
+    /// `BFF_DEDUP`/`BFF_CLUSTER_DEDUP` environment defaults — CI flips
+    /// them).
+    fn setup_cluster(cluster: bool) -> (Arc<LocalFabric>, Client, Client) {
+        let fabric = LocalFabric::new(5);
+        let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(4));
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            dedup: true,
+            cluster_dedup: cluster,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+        let a = Client::new(Arc::clone(&store), NodeId(0));
+        let b = Client::new(store, NodeId(1));
+        (fabric, a, b)
+    }
+
+    #[test]
+    fn cluster_dedup_commits_cross_node_content_by_reference() {
+        let (_f, a, b) = setup_cluster(true);
+        let content = Payload::synth(200, 0, 128);
+        let (blob_a, va) = a.upload(Payload::synth(201, 0, 512)).unwrap();
+        let _v2 = a
+            .write_chunks(blob_a, va, vec![(0, content.clone())])
+            .unwrap(); // id 5
+        let stored = a.store().total_stored_bytes();
+        assert_eq!(refcounts(&a, 5), vec![1]);
+
+        // A *different node* commits the same bytes: its node index has
+        // never seen them, but the cluster replica has — the commit
+        // references chunk 5 instead of pushing a sixth chunk.
+        let blob_b = b.create_blob(512).unwrap();
+        let vb = b
+            .write_chunks(blob_b, Version(0), vec![(3, content.clone())])
+            .unwrap();
+        assert_eq!(
+            b.store().total_stored_bytes(),
+            stored,
+            "cross-node identical content must not grow provider storage"
+        );
+        assert_eq!(refcounts(&b, 5), vec![2]);
+        assert_eq!(b.context().stats().dedup_hits, 1, "hit counted on node 1");
+        let got = b.read(blob_b, vb, 3 * 128..4 * 128).unwrap();
+        assert!(got.content_eq(&content));
+
+        // Node-local-only dedup stores the second copy.
+        let (_f2, a2, b2) = setup_cluster(false);
+        let (blob_a2, va2) = a2.upload(Payload::synth(201, 0, 512)).unwrap();
+        a2.write_chunks(blob_a2, va2, vec![(0, content.clone())])
+            .unwrap();
+        let stored_off = a2.store().total_stored_bytes();
+        let blob_b2 = b2.create_blob(512).unwrap();
+        b2.write_chunks(blob_b2, Version(0), vec![(3, content.clone())])
+            .unwrap();
+        assert_eq!(b2.store().total_stored_bytes(), stored_off + 128);
+    }
+
+    #[test]
+    fn cluster_publishes_are_novelty_filtered() {
+        let (f, a, b) = setup_cluster(true);
+        let content = Payload::synth(210, 0, 128);
+        let blob_a = a.create_blob(128).unwrap();
+        a.write_chunks(blob_a, Version(0), vec![(0, content.clone())])
+            .unwrap();
+        let indexed = a.store().cluster_index().lock().len();
+        assert_eq!(indexed, 1, "the commit published its content key");
+        // A second node committing the same content publishes nothing
+        // new: same index size, and the only control traffic beyond the
+        // commit itself is the validation/retain round.
+        let msgs_before = f.stats().transfer_count();
+        let blob_b = b.create_blob(128).unwrap();
+        b.write_chunks(blob_b, Version(0), vec![(0, content.clone())])
+            .unwrap();
+        let _ = msgs_before;
+        assert_eq!(
+            b.store().cluster_index().lock().len(),
+            indexed,
+            "an already-indexed key is not re-published"
+        );
+    }
+
+    #[test]
+    fn gc_reclaims_unique_chunks_and_preserves_survivors() {
+        let (_f, a, _b) = setup_cluster(true);
+        let image = Payload::synth(220, 0, 1024); // 8 chunks
+        let (blob, v1) = a.upload(image.clone()).unwrap();
+        let stored_v1 = a.store().total_stored_bytes();
+        // v2 rewrites chunks 2 and 3 with fresh content.
+        let v2 = a
+            .write_chunks(
+                blob,
+                v1,
+                vec![
+                    (2, Payload::synth(221, 0, 128)),
+                    (3, Payload::synth(222, 0, 128)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(a.store().total_stored_bytes(), stored_v1 + 256);
+
+        let report = a.delete_snapshot(blob, v2).unwrap();
+        assert_eq!(report.deleted_versions, 1);
+        assert_eq!(report.dead_leaves, 2, "only v2's shadowed leaves die");
+        assert_eq!(report.freed_chunks, 2);
+        assert_eq!(report.freed_bytes, 256);
+        assert_eq!(
+            a.store().total_stored_bytes(),
+            stored_v1,
+            "v2's unique bytes reclaimed exactly"
+        );
+        // The surviving snapshot is byte-identical; the deleted one is
+        // gone for good.
+        let got = a.read(blob, v1, 0..1024).unwrap();
+        assert!(got.content_eq(&image));
+        assert!(matches!(
+            a.read(blob, v2, 0..1024),
+            Err(BlobError::NoSuchVersion(_, _))
+        ));
+        assert!(matches!(
+            a.delete_snapshot(blob, v2),
+            Err(BlobError::NoSuchVersion(_, _))
+        ));
+        assert!(matches!(
+            a.delete_snapshot(blob, Version(0)),
+            Err(BlobError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn gc_middle_of_chain_keeps_neighbors_byte_identical() {
+        let (_f, a, _b) = setup_cluster(true);
+        let (blob, v1) = a.upload(Payload::synth(230, 0, 512)).unwrap();
+        let v2 = a
+            .write_chunks(blob, v1, vec![(1, Payload::synth(231, 0, 128))])
+            .unwrap();
+        let v3 = a
+            .write_chunks(blob, v2, vec![(1, Payload::synth(232, 0, 128))])
+            .unwrap();
+        let before_v1 = a.read(blob, v1, 0..512).unwrap();
+        let before_v3 = a.read(blob, v3, 0..512).unwrap();
+        let stored = a.store().total_stored_bytes();
+        let report = a.delete_snapshot(blob, v2).unwrap();
+        assert_eq!(report.freed_bytes, 128, "v2's private chunk only");
+        assert_eq!(a.store().total_stored_bytes(), stored - 128);
+        assert!(a.read(blob, v1, 0..512).unwrap().content_eq(&before_v1));
+        assert!(a.read(blob, v3, 0..512).unwrap().content_eq(&before_v3));
+    }
+
+    #[test]
+    fn gc_never_frees_chunks_shared_by_dedup_reference() {
+        let (_f, a, b) = setup_cluster(true);
+        let content = Payload::synth(240, 0, 128);
+        let blob_a = a.create_blob(128).unwrap();
+        let va = a
+            .write_chunks(blob_a, Version(0), vec![(0, content.clone())])
+            .unwrap();
+        // Node 1 commits the same bytes by cluster reference (refcount 2).
+        let blob_b = b.create_blob(128).unwrap();
+        let vb = b
+            .write_chunks(blob_b, Version(0), vec![(0, content.clone())])
+            .unwrap();
+        assert_eq!(refcounts(&a, 1), vec![2]);
+        // Deleting one snapshot releases one reference; the bytes stay.
+        let report = a.delete_snapshot(blob_a, va).unwrap();
+        assert_eq!(report.released_refs, 1);
+        assert_eq!(report.freed_chunks, 0, "the other lineage still refs it");
+        assert_eq!(refcounts(&a, 1), vec![1]);
+        assert!(b.read(blob_b, vb, 0..128).unwrap().content_eq(&content));
+        // Deleting the second snapshot frees the chunk for real.
+        let report = b.delete_snapshot(blob_b, vb).unwrap();
+        assert_eq!((report.freed_chunks, report.freed_bytes), (1, 128));
+        assert_eq!(refcounts(&a, 1), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn gc_respects_clone_aliases_across_blobs() {
+        let (_f, a, _b) = setup_cluster(true);
+        let image = Payload::synth(250, 0, 512);
+        let (blob, v1) = a.upload(image.clone()).unwrap();
+        let clone = a.clone_blob(blob, v1).unwrap();
+        let stored = a.store().total_stored_bytes();
+        // The clone's Version(1) *is* the source tree: deleting the
+        // source version must free nothing while the alias lives.
+        let report = a.delete_snapshot(blob, v1).unwrap();
+        assert_eq!(report.dead_leaves, 0, "alias root keeps every leaf live");
+        assert_eq!(a.store().total_stored_bytes(), stored);
+        let got = a.read(clone, Version(1), 0..512).unwrap();
+        assert!(got.content_eq(&image));
+        // Once the alias goes too, the tree is unreachable and frees.
+        let report = a.delete_snapshot(clone, Version(1)).unwrap();
+        assert_eq!(report.freed_bytes, 512);
+        assert_eq!(a.store().total_stored_bytes(), 0);
+    }
+
+    #[test]
+    fn gc_delete_then_rewrite_identical_content_roundtrips() {
+        // The delete→rewrite path: indexes may still carry entries for
+        // reclaimed chunks; validation must catch them (retain fails),
+        // push fresh bytes, and read back the identical content.
+        for strong in [false, true] {
+            let fabric = LocalFabric::new(5);
+            let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+            let topo = BlobTopology::colocated(&compute, NodeId(4));
+            let cfg = BlobConfig {
+                chunk_size: 128,
+                dedup: true,
+                cluster_dedup: true,
+                strong_digest: strong,
+                ..Default::default()
+            };
+            let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+            let a = Client::new(Arc::clone(&store), NodeId(0));
+            let b = Client::new(store, NodeId(1));
+            let content = Payload::synth(260, 0, 128);
+            let blob = a.create_blob(128).unwrap();
+            let v = a
+                .write_chunks(blob, Version(0), vec![(0, content.clone())])
+                .unwrap();
+            a.delete_snapshot(blob, v).unwrap();
+            assert_eq!(a.store().total_stored_bytes(), 0);
+            // Rewrite the same bytes from the *other* node (its caches
+            // never saw the delete's origin): must store fresh and read
+            // back byte-identical.
+            let blob2 = b.create_blob(128).unwrap();
+            let v2 = b
+                .write_chunks(blob2, Version(0), vec![(0, content.clone())])
+                .unwrap();
+            assert_eq!(
+                b.store().total_stored_bytes(),
+                128,
+                "strong={strong}: rewrite stores fresh bytes"
+            );
+            let got = b.read(blob2, v2, 0..128).unwrap();
+            assert!(got.content_eq(&content), "strong={strong}");
+        }
+    }
+
+    #[test]
+    fn gc_evicts_freed_chunks_from_indexes_and_caches() {
+        let (_f, a, b) = setup_cluster(true);
+        let content = Payload::synth(270, 0, 128);
+        let blob = a.create_blob(128).unwrap();
+        let v = a
+            .write_chunks(blob, Version(0), vec![(0, content.clone())])
+            .unwrap();
+        assert_eq!(a.store().cluster_index().lock().len(), 1);
+        assert!(a.context().digest_entries() > 0);
+        let report = a.delete_snapshot(blob, v).unwrap();
+        assert_eq!(report.freed_chunks, 1);
+        assert_eq!(
+            a.store().cluster_index().lock().len(),
+            0,
+            "freed chunk evicted from the cluster index"
+        );
+        assert_eq!(
+            a.context().digest_entries(),
+            0,
+            "freed chunk evicted from the node digest index"
+        );
+        let _ = b;
+    }
+
+    #[test]
+    fn prefetch_confidence_skips_single_publisher_chunks() {
+        let fabric = LocalFabric::new(5);
+        let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&compute, NodeId(4));
+        let cfg = BlobConfig {
+            chunk_size: 128,
+            prefetch: true,
+            prefetch_min_publishers: 2, // explicit: tests must not drift
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric as Arc<dyn Fabric>);
+        let a = Client::new(Arc::clone(&store), NodeId(0));
+        let c = Client::new(Arc::clone(&store), NodeId(2));
+        let (blob, v) = a.upload(Payload::synth(280, 0, 4096)).unwrap(); // 32 chunks
+        let key = (blob, v);
+        // One publisher so far: everything it reports is prefetchable.
+        store
+            .pattern_board
+            .lock()
+            .merge(key, NodeId(0), &(0..16).collect::<Vec<u64>>());
+        // A second cohort member confirms only the first half; the tail
+        // 8..16 stays single-publisher (private divergence).
+        store
+            .pattern_board
+            .lock()
+            .merge(key, NodeId(1), &(0..8).collect::<Vec<u64>>());
+        let landed = c.prefetch_chunks(blob, v, 100).unwrap();
+        assert_eq!(landed, 8, "only cohort-confirmed chunks are prefetched");
+        let stats = c.context().prefetch_stats();
+        assert_eq!(stats.prefetched_chunks, 8);
+        // The unconfirmed tail was consumed, not deferred: nothing more
+        // to do until new pattern data arrives.
+        assert_eq!(c.prefetch_chunks(blob, v, 100).unwrap(), 0);
     }
 }

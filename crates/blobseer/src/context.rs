@@ -410,6 +410,38 @@ impl NodeContext {
         self.digests.lock().len()
     }
 
+    /// Snapshot-delete eviction, version-keyed state: drop the deleted
+    /// `(blob, version)`'s descriptor-cache entry and access tracker.
+    /// Stale entries would not corrupt anything (snapshots are
+    /// immutable and chunk ids are never reused), but they would pin
+    /// memory for a snapshot that can never be read again.
+    pub fn purge_version(&self, key: (BlobId, Version)) {
+        self.take_entry(key);
+        self.trackers.lock().remove(&key);
+    }
+
+    /// Snapshot-delete eviction, chunk-keyed state: drop freed chunk
+    /// ids from the digest index (a later identical commit must push
+    /// fresh, not reference a reclaimed chunk) and from the chunk-data
+    /// cache (the payload has no live referents left). Prefetched
+    /// entries evicted this way count as waste — the read-ahead moved
+    /// bytes no demand read ever consumed.
+    pub fn purge_chunks(&self, freed: &FastSet<ChunkId>) {
+        self.digests
+            .lock()
+            .remove_matching(|_, desc| freed.contains(&desc.id));
+        let mut cache = self.chunks.lock();
+        for &id in freed {
+            if let Some(e) = cache.entries.remove(&id) {
+                cache.bytes -= e.data.len();
+                if e.origin == ChunkOrigin::Prefetch && !e.used {
+                    self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        cache.compact_queue();
+    }
+
     /// Payload bytes committed by reference so far, node-wide across
     /// every attached client — one Relaxed atomic load, no locks. For
     /// per-commit attribution use
@@ -481,16 +513,32 @@ impl NodeContext {
     /// handed out twice, so each chunk is prefetched at most once per
     /// node; the per-key cursor makes repeated calls walk the peer
     /// sequence incrementally.
-    pub fn claim_prefetch(&self, key: (BlobId, Version), peer_seq: &[u64], max: usize) -> Vec<u64> {
+    ///
+    /// `confident` is the board's cohort-confirmation mask (aligned
+    /// with `peer_seq`; `None` = no filtering): positions it marks
+    /// `false` — chunks only one cohort member reported — are walked
+    /// past *without* claiming. They stay on demand; skipping them is
+    /// the waste the confidence filter trades for. A chunk confirmed
+    /// only after the cursor passed it is simply never prefetched —
+    /// best-effort, like every other prefetch miss.
+    pub fn claim_prefetch(
+        &self,
+        key: (BlobId, Version),
+        peer_seq: &[u64],
+        confident: Option<&[bool]>,
+        max: usize,
+    ) -> Vec<u64> {
         if max == 0 {
             return Vec::new();
         }
+        debug_assert!(confident.is_none_or(|m| m.len() == peer_seq.len()));
         self.with_tracker(key, |t| {
             let mut out = Vec::new();
             while t.cursor < peer_seq.len() && out.len() < max {
                 let idx = peer_seq[t.cursor];
+                let ok = confident.is_none_or(|m| m[t.cursor]);
                 t.cursor += 1;
-                if !t.seen.contains(&idx) && t.claimed.insert(idx) {
+                if ok && !t.seen.contains(&idx) && t.claimed.insert(idx) {
                     out.push(idx);
                 }
             }
@@ -781,11 +829,24 @@ mod tests {
         let seq: Vec<u64> = (0..10).collect();
         assert!(c.prefetch_cursor_behind(key, seq.len()));
         // Seen chunks (3, 4) are skipped; claims are bounded.
-        assert_eq!(c.claim_prefetch(key, &seq, 4), vec![0, 1, 2, 5]);
-        assert_eq!(c.claim_prefetch(key, &seq, 100), vec![6, 7, 8, 9]);
+        assert_eq!(c.claim_prefetch(key, &seq, None, 4), vec![0, 1, 2, 5]);
+        assert_eq!(c.claim_prefetch(key, &seq, None, 100), vec![6, 7, 8, 9]);
         assert!(!c.prefetch_cursor_behind(key, seq.len()));
         // Nothing is ever claimed twice.
-        assert!(c.claim_prefetch(key, &seq, 100).is_empty());
+        assert!(c.claim_prefetch(key, &seq, None, 100).is_empty());
+    }
+
+    #[test]
+    fn claim_prefetch_skips_unconfident_chunks_without_claiming() {
+        let c = ctx(8);
+        let key = (BlobId(3), Version(1));
+        let seq: Vec<u64> = vec![10, 11, 12, 13];
+        let mask = vec![true, false, true, false];
+        assert_eq!(c.claim_prefetch(key, &seq, Some(&mask), 10), vec![10, 12]);
+        // The cursor consumed the whole sequence: unconfident chunks are
+        // walked past, not queued for later.
+        assert!(!c.prefetch_cursor_behind(key, seq.len()));
+        assert!(c.claim_prefetch(key, &seq, None, 10).is_empty());
     }
 
     fn chunk_ctx(cache_bytes: u64) -> NodeContext {
@@ -878,7 +939,7 @@ mod tests {
         assert!(!c.prefetch_cursor_behind((BlobId(1), Version(100)), 0));
         let seq: Vec<u64> = (0..6).collect();
         assert_eq!(
-            c.claim_prefetch((BlobId(1), Version(100)), &seq, 10),
+            c.claim_prefetch((BlobId(1), Version(100)), &seq, None, 10),
             vec![3, 4, 5],
             "recent tracker kept its seen set through churn"
         );

@@ -26,6 +26,7 @@
 pub mod api;
 pub mod board;
 pub mod client;
+pub mod cluster;
 pub mod context;
 pub mod meta;
 pub mod pmanager;
@@ -39,7 +40,8 @@ pub use api::{
     ReplicationMode, TreeNode, Version,
 };
 pub use board::PatternBoard;
-pub use client::Client;
+pub use client::{Client, GcReport};
+pub use cluster::ClusterIndex;
 pub use context::{CacheStats, NodeContext, PrefetchStats};
 pub use pmanager::Placement;
 pub use provider::ProviderStore;

@@ -269,12 +269,20 @@ impl ProviderStore {
     /// Drop up to `n` dedup references under one shard acquisition (see
     /// [`Provider::release_n`]), maintaining the aggregate counters.
     pub fn release_n(&self, node: NodeId, id: ChunkId, n: u64) -> bool {
+        self.release_counted(node, id, n).2
+    }
+
+    /// [`ProviderStore::release_n`] with the garbage collector's view:
+    /// `(bytes freed, chunk removed, reference dropped)`. The aggregate
+    /// counters stay exact — a release that removes the chunk
+    /// decrements them in the same call.
+    pub fn release_counted(&self, node: NodeId, id: ChunkId, n: u64) -> (u64, bool, bool) {
         let Some(&slot) = self.slot_of.get(&node) else {
-            return false;
+            return (0, false, false);
         };
         let (freed, removed, dropped) = self.shards[slot].lock().release_n(id, n);
         self.apply_delta(-(freed as i64), -(removed as i64));
-        dropped
+        (freed, removed, dropped)
     }
 
     /// Dedup reference count of `id` at `node` (`None` if either is

@@ -119,6 +119,55 @@ pub fn collect_leaves_multi(
     Ok(out)
 }
 
+/// Walk the whole tree of `root` and collect every leaf with its
+/// metadata **node key**: `(chunk index, leaf key, descriptor)`, in
+/// index order, one metadata round per level like
+/// [`collect_leaves_multi`].
+///
+/// This is the garbage collector's view of a snapshot. Chunk-level
+/// identity cannot drive deletion — two snapshots can reference one
+/// chunk either through a *shared* leaf node (shadowing/CLONE: one
+/// provider-side reference between them) or through *distinct* leaves
+/// (dedup by reference: one reference each) — but leaf-node identity
+/// can: every leaf node holds exactly one reference per replica in its
+/// descriptor, so a leaf reachable only from deleted roots releases
+/// exactly its own references and never a survivor's.
+pub fn collect_leaf_keys(
+    io: &mut dyn NodeIo,
+    root: NodeKey,
+    span: u64,
+) -> BlobResult<Vec<(u64, NodeKey, ChunkDesc)>> {
+    let mut out = Vec::new();
+    if root.is_null() {
+        return Ok(out);
+    }
+    let mut frontier: Vec<(NodeKey, Range<u64>)> = vec![(root, 0..span)];
+    while !frontier.is_empty() {
+        let keys: Vec<NodeKey> = frontier.iter().map(|(k, _)| *k).collect();
+        let nodes = io.fetch(&keys)?;
+        let mut next = Vec::new();
+        for ((key, range), node) in frontier.into_iter().zip(nodes) {
+            match node {
+                TreeNode::Leaf { chunk } => {
+                    debug_assert_eq!(range.end - range.start, 1, "leaf must cover one chunk");
+                    out.push((range.start, key, chunk));
+                }
+                TreeNode::Inner { left, right } => {
+                    let mid = range.start + (range.end - range.start) / 2;
+                    if !left.is_null() {
+                        next.push((left, range.start..mid));
+                    }
+                    if !right.is_null() {
+                        next.push((right, mid..range.end));
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(out)
+}
+
 /// Build the tree for a new snapshot that applies `updates` (chunk index →
 /// descriptor) on top of the tree rooted at `old_root`. Returns the new
 /// root. Only nodes on paths to updated leaves are created; all other
@@ -465,6 +514,35 @@ mod tests {
         let leaves = collect_leaves(&mut io, root, 1024, &(0..1024)).unwrap();
         let idx: Vec<u64> = leaves.iter().map(|(i, _)| *i).collect();
         assert_eq!(idx, sparse, "leaves must arrive sorted and complete");
+    }
+
+    #[test]
+    fn leaf_keys_expose_sharing_between_snapshots() {
+        // Two snapshots sharing all but one leaf: the walks agree on the
+        // shared leaves' node keys and differ exactly at the updated
+        // index — the property the snapshot GC's reachability diff
+        // relies on.
+        let mut io = MemIo::new();
+        let v1 = build_new_tree(&mut io, NodeKey::NULL, 8, &updates(&[0, 3, 7])).unwrap();
+        let v2 = build_new_tree(&mut io, v1, 8, &updates(&[3])).unwrap();
+        let l1 = collect_leaf_keys(&mut io, v1, 8).unwrap();
+        let l2 = collect_leaf_keys(&mut io, v2, 8).unwrap();
+        assert_eq!(l1.len(), 3);
+        assert_eq!(l2.len(), 3);
+        let key_at = |ls: &[(u64, NodeKey, ChunkDesc)], i: u64| {
+            ls.iter().find(|(idx, _, _)| *idx == i).unwrap().1
+        };
+        assert_eq!(key_at(&l1, 0), key_at(&l2, 0), "untouched leaf shared");
+        assert_eq!(key_at(&l1, 7), key_at(&l2, 7), "untouched leaf shared");
+        assert_ne!(key_at(&l1, 3), key_at(&l2, 3), "updated leaf shadowed");
+        // Index order and descriptors match the plain leaf walk.
+        let plain = collect_leaves(&mut io, v2, 8, &(0..8)).unwrap();
+        let flat: Vec<(u64, ChunkDesc)> = l2.into_iter().map(|(i, _, d)| (i, d)).collect();
+        assert_eq!(flat, plain);
+        // A NULL tree has no leaves.
+        assert!(collect_leaf_keys(&mut io, NodeKey::NULL, 8)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

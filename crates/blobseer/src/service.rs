@@ -8,14 +8,16 @@
 //! real thread concurrency (in-process mode) and under simulated
 //! concurrency (coroutine processes).
 
-use crate::api::{BlobConfig, BlobTopology};
+use crate::api::{BlobConfig, BlobId, BlobTopology, ChunkId, Version};
 use crate::board::PatternBoard;
+use crate::cluster::ClusterIndex;
 use crate::context::NodeContext;
 use crate::meta::MetaPartition;
 use crate::pmanager::{PManager, Placement};
 use crate::provider::ProviderStore;
 use crate::vmanager::VManager;
 use bff_data::FastMap;
+use bff_data::FastSet;
 use bff_net::{Fabric, NodeId};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -39,6 +41,10 @@ pub struct BlobStore {
     /// manager (publishes pay an RPC to `topo.pmanager`; updates are
     /// gossiped to the compute nodes — see [`crate::board`]).
     pub(crate) pattern_board: Mutex<PatternBoard>,
+    /// The cluster-wide content-addressed dedup index, hosted beside the
+    /// provider manager on the same publish/gossip transport as the
+    /// board (see [`crate::cluster`]).
+    pub(crate) cluster_index: Mutex<ClusterIndex>,
 }
 
 impl BlobStore {
@@ -60,6 +66,11 @@ impl BlobStore {
             "need at least one metadata server"
         );
         let providers = ProviderStore::new(&topo.providers);
+        let cluster_cap = if cfg.cluster_dedup && cfg.dedup {
+            cfg.cluster_index_chunks
+        } else {
+            0
+        };
         let meta = topo
             .metadata
             .iter()
@@ -75,6 +86,7 @@ impl BlobStore {
             fabric,
             contexts: Mutex::new(FastMap::default()),
             pattern_board: Mutex::new(PatternBoard::default()),
+            cluster_index: Mutex::new(ClusterIndex::new(cluster_cap)),
         })
     }
 
@@ -94,6 +106,39 @@ impl BlobStore {
     /// goes through [`crate::Client`]).
     pub fn pattern_board(&self) -> &Mutex<PatternBoard> {
         &self.pattern_board
+    }
+
+    /// The cluster-wide dedup index (diagnostics; the data plane goes
+    /// through [`crate::Client::write_chunks`]).
+    pub fn cluster_index(&self) -> &Mutex<ClusterIndex> {
+        &self.cluster_index
+    }
+
+    /// Cluster-wide eviction after a snapshot delete: drop the deleted
+    /// versions' pattern/descriptor state and every cached trace of the
+    /// freed chunks from the cluster index and all node contexts. The
+    /// caller (the deleting client) charges the gossip that carries
+    /// these evictions; the state change itself is the replicas
+    /// converging.
+    pub(crate) fn purge_deleted(&self, versions: &[(BlobId, Version)], freed: &FastSet<ChunkId>) {
+        {
+            let mut board = self.pattern_board.lock();
+            for &key in versions {
+                board.drop_pattern(key);
+            }
+        }
+        if !freed.is_empty() {
+            self.cluster_index.lock().evict_chunks(freed);
+        }
+        let contexts: Vec<Arc<NodeContext>> = self.contexts.lock().values().cloned().collect();
+        for ctx in contexts {
+            for &key in versions {
+                ctx.purge_version(key);
+            }
+            if !freed.is_empty() {
+                ctx.purge_chunks(freed);
+            }
+        }
     }
 
     /// Service configuration.

@@ -6,9 +6,19 @@
 //! blob is decided in one place so that snapshots are totally ordered
 //! (§4.2). Cloning (the paper's extension, Fig. 3b) is O(1): the new
 //! blob's first version simply references the source tree's root.
+//!
+//! The version manager is also the serialization point for **snapshot
+//! deletion** ([`VManager::delete_snapshots`]): it marks versions dead
+//! (version numbers are never reused; a deleted version simply stops
+//! resolving) and hands the garbage collector the set of roots that can
+//! still reach shared metadata — every live root of the blob's *clone
+//! family* ([`VManager::family_live_roots`]). Trees only ever share
+//! leaf nodes through shadowing within a blob or through CLONE across
+//! blobs, so the clone-connected component bounds exactly which trees
+//! the collector must treat as live.
 
 use crate::api::{BlobError, BlobId, BlobResult, NodeKey, Version};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 
 /// Per-blob metadata kept by the version manager.
@@ -23,16 +33,28 @@ pub struct BlobMeta {
     /// Root per version: `roots[v]` is the tree of `Version(v)`.
     /// `roots[0]` is always `NodeKey::NULL` (the empty blob).
     pub roots: Vec<NodeKey>,
+    /// Versions dropped by [`VManager::delete_snapshots`]. Numbers are
+    /// never reused: a deleted version's slot stays occupied but no
+    /// longer resolves.
+    pub deleted: HashSet<u64>,
+    /// Clone-family id: blobs connected through CLONE edges share it
+    /// (a clone inherits its source's family). Only family members can
+    /// share metadata tree nodes.
+    pub family: u64,
 }
 
 impl BlobMeta {
-    /// Latest published version.
+    /// Latest published version (deleted or not — version numbers are
+    /// never reused, so the publication sequence is unaffected by GC).
     pub fn latest(&self) -> Version {
         Version(self.roots.len() as u64 - 1)
     }
 
-    /// Root of a version, if it exists.
+    /// Root of a version, if it exists and has not been deleted.
     pub fn root(&self, v: Version) -> Option<NodeKey> {
+        if self.deleted.contains(&v.0) {
+            return None;
+        }
         self.roots.get(v.0 as usize).copied()
     }
 }
@@ -55,6 +77,69 @@ impl VManager {
         }
     }
 
+    /// Mark `versions` of `blob` deleted, returning their roots for the
+    /// collector to sweep. All-or-nothing: every version must exist,
+    /// be undeleted and non-zero (`Version(0)` is the shared empty
+    /// version, not a snapshot), or nothing is marked.
+    pub fn delete_snapshots(
+        &mut self,
+        blob: BlobId,
+        versions: &[Version],
+    ) -> BlobResult<Vec<NodeKey>> {
+        let meta = self
+            .blobs
+            .get_mut(&blob)
+            .ok_or(BlobError::NoSuchBlob(blob))?;
+        let mut roots = Vec::with_capacity(versions.len());
+        let mut marking: HashSet<u64> = HashSet::with_capacity(versions.len());
+        for &v in versions {
+            if v.0 == 0 {
+                return Err(BlobError::BadInput("cannot delete Version(0)"));
+            }
+            if marking.contains(&v.0) {
+                return Err(BlobError::BadInput("duplicate version in delete set"));
+            }
+            let root = meta.root(v).ok_or(BlobError::NoSuchVersion(blob, v))?;
+            marking.insert(v.0);
+            roots.push(root);
+        }
+        meta.deleted.extend(marking);
+        Ok(roots)
+    }
+
+    /// The still-live (published, undeleted) snapshot versions of
+    /// `blob`, ascending — what a terminate-style "delete everything"
+    /// sweep must pass to [`VManager::delete_snapshots`], which is
+    /// all-or-nothing and rejects already-deleted versions.
+    pub fn live_snapshots(&self, blob: BlobId) -> BlobResult<Vec<Version>> {
+        let meta = self.meta(blob)?;
+        Ok((1..meta.roots.len() as u64)
+            .filter(|v| !meta.deleted.contains(v))
+            .map(Version)
+            .collect())
+    }
+
+    /// Every live (undeleted, non-NULL) root in `blob`'s clone family —
+    /// the reachability frontier a snapshot delete must treat as alive.
+    /// Trees outside the family cannot share metadata nodes with the
+    /// deleted ones (dedup shares *chunks* via separate refcounted
+    /// leaves, never leaf nodes), so the collector need not walk them.
+    pub fn family_live_roots(&self, blob: BlobId) -> BlobResult<Vec<NodeKey>> {
+        let family = self.meta(blob)?.family;
+        let mut out = Vec::new();
+        for meta in self.blobs.values() {
+            if meta.family != family {
+                continue;
+            }
+            for (v, &root) in meta.roots.iter().enumerate() {
+                if !root.is_null() && !meta.deleted.contains(&(v as u64)) {
+                    out.push(root);
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Create an empty blob of `size` bytes striped into `chunk_size`
     /// chunks. Its `Version(0)` reads as all zeros.
     pub fn create_blob(&mut self, size: u64, chunk_size: u64) -> BlobResult<BlobId> {
@@ -71,6 +156,10 @@ impl VManager {
                 chunk_size,
                 span: crate::segtree::span_for(chunks),
                 roots: vec![NodeKey::NULL],
+                deleted: HashSet::new(),
+                // A fresh blob founds its own clone family (the blob id
+                // is unique, so it doubles as the family id).
+                family: id.0,
             },
         );
         Ok(id)
@@ -102,6 +191,14 @@ impl VManager {
         if base != latest {
             return Err(BlobError::Conflict { blob, base, latest });
         }
+        // A deleted base cannot anchor new snapshots: its tree may
+        // reference chunks GC already reclaimed, so a commit shadowing
+        // it would publish dangling leaves. Rejecting here (the
+        // serialization point) closes that hole even for writers whose
+        // client-side caches predate the delete.
+        if meta.deleted.contains(&base.0) {
+            return Err(BlobError::NoSuchVersion(blob, base));
+        }
         meta.roots.push(root);
         Ok(Version(meta.roots.len() as u64 - 1))
     }
@@ -111,12 +208,12 @@ impl VManager {
     /// is one registry entry (§4.2: "minimal overhead, both in space and
     /// in time").
     pub fn clone_blob(&mut self, src: BlobId, version: Version) -> BlobResult<BlobId> {
-        let (size, chunk_size, span, root) = {
+        let (size, chunk_size, span, root, family) = {
             let meta = self.meta(src)?;
             let root = meta
                 .root(version)
                 .ok_or(BlobError::NoSuchVersion(src, version))?;
-            (meta.size, meta.chunk_size, meta.span, root)
+            (meta.size, meta.chunk_size, meta.span, root, meta.family)
         };
         let id = BlobId(self.next_blob);
         self.next_blob += 1;
@@ -127,6 +224,11 @@ impl VManager {
                 chunk_size,
                 span,
                 roots: vec![NodeKey::NULL, root],
+                deleted: HashSet::new(),
+                // The clone shares the source tree, so it joins the
+                // source's clone family: deletes on either side must
+                // see the other's live roots.
+                family,
             },
         );
         Ok(id)
@@ -210,6 +312,77 @@ mod tests {
             vm.clone_blob(a, Version(3)),
             Err(BlobError::NoSuchVersion(_, Version(3)))
         ));
+    }
+
+    #[test]
+    fn delete_marks_versions_and_stops_resolution() {
+        let mut vm = VManager::new();
+        let b = vm.create_blob(1000, 100).unwrap();
+        vm.publish(b, Version(0), NodeKey(10)).unwrap();
+        vm.publish(b, Version(1), NodeKey(20)).unwrap();
+        let roots = vm.delete_snapshots(b, &[Version(1)]).unwrap();
+        assert_eq!(roots, vec![NodeKey(10)]);
+        assert!(
+            vm.root_of(b, Version(1)).is_err(),
+            "deleted stops resolving"
+        );
+        assert_eq!(vm.root_of(b, Version(2)).unwrap(), NodeKey(20));
+        // Version numbering is unaffected: the next publish is v3.
+        assert_eq!(vm.meta(b).unwrap().latest(), Version(2));
+        let v3 = vm.publish(b, Version(2), NodeKey(30)).unwrap();
+        assert_eq!(v3, Version(3));
+        // Double delete and Version(0) are rejected; the batch is
+        // all-or-nothing.
+        assert!(vm.delete_snapshots(b, &[Version(1)]).is_err());
+        assert!(vm.delete_snapshots(b, &[Version(0)]).is_err());
+        assert!(vm.delete_snapshots(b, &[Version(2), Version(2)]).is_err());
+        assert!(vm.delete_snapshots(b, &[Version(2), Version(9)]).is_err());
+        assert_eq!(vm.root_of(b, Version(2)).unwrap(), NodeKey(20), "atomic");
+        assert_eq!(vm.live_snapshots(b).unwrap(), vec![Version(2), Version(3)]);
+        // A deleted *latest* cannot anchor new snapshots, even for a
+        // writer that raced the delete with the right base number.
+        vm.delete_snapshots(b, &[Version(3)]).unwrap();
+        assert!(matches!(
+            vm.publish(b, Version(3), NodeKey(40)),
+            Err(BlobError::NoSuchVersion(_, Version(3)))
+        ));
+    }
+
+    #[test]
+    fn clone_of_deleted_version_fails() {
+        let mut vm = VManager::new();
+        let a = vm.create_blob(1000, 100).unwrap();
+        vm.publish(a, Version(0), NodeKey(10)).unwrap();
+        vm.delete_snapshots(a, &[Version(1)]).unwrap();
+        assert!(matches!(
+            vm.clone_blob(a, Version(1)),
+            Err(BlobError::NoSuchVersion(_, Version(1)))
+        ));
+    }
+
+    #[test]
+    fn family_live_roots_span_clones_and_skip_deleted() {
+        let mut vm = VManager::new();
+        let a = vm.create_blob(1000, 100).unwrap();
+        vm.publish(a, Version(0), NodeKey(10)).unwrap();
+        let b = vm.clone_blob(a, Version(1)).unwrap();
+        vm.publish(b, Version(1), NodeKey(20)).unwrap();
+        let unrelated = vm.create_blob(1000, 100).unwrap();
+        vm.publish(unrelated, Version(0), NodeKey(99)).unwrap();
+        // The family sees a's root (also b's v1 alias) and b's v2 — not
+        // the unrelated blob's tree.
+        let mut roots = vm.family_live_roots(a).unwrap();
+        roots.sort();
+        assert_eq!(roots, vec![NodeKey(10), NodeKey(10), NodeKey(20)]);
+        assert_eq!(
+            vm.family_live_roots(a).unwrap(),
+            vm.family_live_roots(b).unwrap()
+        );
+        // Deleting a's version leaves the clone's alias root live.
+        vm.delete_snapshots(a, &[Version(1)]).unwrap();
+        let mut roots = vm.family_live_roots(a).unwrap();
+        roots.sort();
+        assert_eq!(roots, vec![NodeKey(10), NodeKey(20)]);
     }
 
     #[test]

@@ -162,6 +162,14 @@ impl MirrorBackend {
         self.img.blob()
     }
 
+    /// Whether this instance has diverged into its own snapshot lineage
+    /// (CLONE happened: [`MirrorBackend::blob`] is a clone private to
+    /// this VM, not the deployed image). The middleware uses this at
+    /// termination: a diverged instance's snapshots die with it.
+    pub fn diverged(&self) -> bool {
+        self.cloned
+    }
+
     /// The snapshot version the mirror is based on.
     pub fn version(&self) -> Version {
         self.img.base_version()

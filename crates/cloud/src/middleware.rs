@@ -183,6 +183,48 @@ impl Cloud {
         vms.iter_mut().map(|vm| vm.snapshot()).collect()
     }
 
+    /// Terminate an instance and drop its divergent snapshots (§3.2's
+    /// "removing compute nodes from that set", completed by garbage
+    /// collection): a VM that snapshotted at least once owns a private
+    /// clone lineage nobody else can deploy from once the instance is
+    /// gone, so every version of that clone is deleted and the chunk
+    /// storage only those snapshots referenced is reclaimed
+    /// ([`bff_blobseer::Client::delete_snapshots`]). Content shared
+    /// with the base image — or deduplicated into other lineages —
+    /// survives untouched; the refcounts guarantee it. A never-
+    /// snapshotted instance just drops its local mirror state.
+    ///
+    /// To keep some of the instance's snapshots (e.g. a final archived
+    /// checkpoint), delete the others explicitly with
+    /// [`Cloud::delete_snapshot`] and drop the handle instead.
+    pub fn terminate_instance(&self, vm: VmHandle) -> Result<bff_blobseer::GcReport, BackendError> {
+        let VmHandle { node, backend } = vm;
+        if !backend.diverged() {
+            return Ok(bff_blobseer::GcReport::default());
+        }
+        let blob = backend.blob();
+        let client = self.client(node);
+        // Only the still-live versions: snapshots pruned earlier (e.g.
+        // via `Cloud::delete_snapshot`) must not fail the terminate —
+        // the batch delete is all-or-nothing.
+        let versions = client.live_snapshots(blob)?;
+        drop(backend); // the instance is gone; only the snapshots remain
+        if versions.is_empty() {
+            return Ok(bff_blobseer::GcReport::default());
+        }
+        Ok(client.delete_snapshots(blob, &versions)?)
+    }
+
+    /// Delete one published snapshot and reclaim the storage unique to
+    /// it (see [`bff_blobseer::Client::delete_snapshot`]).
+    pub fn delete_snapshot(
+        &self,
+        blob: BlobId,
+        version: Version,
+    ) -> Result<bff_blobseer::GcReport, BackendError> {
+        Ok(self.client(self.service).delete_snapshot(blob, version)?)
+    }
+
     /// Resume snapshots on a fresh set of nodes (off-line migration: the
     /// new nodes may run any hypervisor — snapshots are raw images).
     pub fn resume(
@@ -343,6 +385,65 @@ mod tests {
         let mut vm3 = cloud.add_instance(blob, v, NodeId(1)).unwrap();
         vm3.backend.read(0..4096).unwrap();
         assert!(cloud.node_context(NodeId(1)).stats().desc_misses > 0);
+    }
+
+    #[test]
+    fn terminate_reclaims_divergent_snapshots_only() {
+        let cloud = cloud();
+        let image = Payload::synth(11, 0, IMG);
+        let (blob, v) = cloud.upload_image(image.clone()).unwrap();
+        let base_stored = cloud.store().total_stored_bytes();
+        // Two instances; both snapshot twice with private dirty data.
+        let mut vms = cloud.deploy(blob, v, &[NodeId(0), NodeId(1)]).unwrap();
+        for (i, vm) in vms.iter_mut().enumerate() {
+            for round in 0..2u64 {
+                vm.backend
+                    .write(
+                        round * (64 << 10),
+                        vm_write_payload(7 * (i as u64 + 1) + round, 0, 64 << 10),
+                    )
+                    .unwrap();
+                vm.snapshot().unwrap();
+            }
+        }
+        let survivor_snap = {
+            let vm = &vms[1];
+            (vm.backend.blob(), vm.backend.version())
+        };
+        let stored_all = cloud.store().total_stored_bytes();
+        assert!(stored_all > base_stored);
+        // Terminating VM 0 reclaims exactly its divergent bytes; the
+        // base image and VM 1's snapshots are untouched. One of its
+        // checkpoints was already pruned — terminate must skip it, not
+        // fail the whole (all-or-nothing) batch.
+        let vm0 = vms.remove(0);
+        cloud
+            .delete_snapshot(vm0.backend.blob(), Version(2))
+            .unwrap();
+        let report = cloud.terminate_instance(vm0).unwrap();
+        // Two of the three versions (CLONE alias + two commits) were
+        // still live.
+        assert_eq!(report.deleted_versions, 2);
+        assert!(report.freed_bytes > 0, "divergent chunks reclaimed");
+        let stored_after = cloud.store().total_stored_bytes();
+        assert!(stored_after < stored_all);
+        assert!(stored_after >= base_stored);
+        let got = cloud
+            .download_image(survivor_snap.0, survivor_snap.1)
+            .unwrap();
+        let expect = image
+            .clone()
+            .overwrite(0, vm_write_payload(14, 0, 64 << 10))
+            .overwrite(64 << 10, vm_write_payload(15, 0, 64 << 10));
+        assert!(got.content_eq(&expect), "survivor snapshot byte-identical");
+        assert!(cloud.download_image(blob, v).unwrap().content_eq(&image));
+        // A never-snapshotted instance terminates without touching the
+        // repository.
+        let fresh = cloud.add_instance(blob, v, NodeId(2)).unwrap();
+        let stored = cloud.store().total_stored_bytes();
+        let report = cloud.terminate_instance(fresh).unwrap();
+        assert_eq!(report, bff_blobseer::GcReport::default());
+        assert_eq!(cloud.store().total_stored_bytes(), stored);
     }
 
     #[test]

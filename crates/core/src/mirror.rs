@@ -813,6 +813,10 @@ mod tests {
         let cfg = BlobConfig {
             chunk_size: CS,
             prefetch: true,
+            // This test pins exact transfer counts of the raw
+            // read-ahead overlap; the confidence filter's confirmation
+            // publishes would shift them (it has its own tests).
+            prefetch_min_publishers: 1,
             ..Default::default()
         };
         let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);

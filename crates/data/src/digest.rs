@@ -193,6 +193,24 @@ impl<V> DigestIndex<V> {
     pub fn remove(&mut self, key: &ContentKey) -> Option<V> {
         self.map.remove(key).map(|(_, v)| v)
     }
+
+    /// Drop every entry matching `pred`, returning how many left. This
+    /// is the garbage-collection hook: when stored content is reclaimed
+    /// (its chunk freed), the index entries that point at it must go —
+    /// by *value* predicate, because the collector knows what it freed
+    /// (a chunk id), not the content keys that mapped to it. O(len);
+    /// collectors batch their evictions so the scan runs once per GC
+    /// pass, not once per freed chunk.
+    pub fn remove_matching(&mut self, mut pred: impl FnMut(&ContentKey, &V) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, (_, v)| !pred(k, v));
+        before - self.map.len()
+    }
+
+    /// Iterate the live entries (GC reverse-lookup and diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (&ContentKey, &V)> {
+        self.map.iter().map(|(k, (_, v))| (k, v))
+    }
 }
 
 #[cfg(test)]

@@ -262,6 +262,10 @@ fn setup_prefetch(
         chunk_size: 64 << 10,
         replication,
         prefetch: true,
+        // These tests pin exact transfer counts of the read-ahead
+        // mechanics; the confidence filter's confirmation publishes
+        // would shift them (it has its own tests).
+        prefetch_min_publishers: 1,
         ..Default::default()
     };
     let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
@@ -390,4 +394,99 @@ fn commit_fails_cleanly_when_target_provider_down() {
         got.content_eq(&Payload::from(vec![1u8; 100])),
         "local state intact"
     );
+}
+
+/// A replicated deployment with dedup + the cluster index forced on and
+/// a fleet of snapshot lineages to collect (tests must not depend on
+/// the `BFF_*` environment defaults).
+fn setup_gc() -> (
+    Arc<LocalFabric>,
+    BlobClient,
+    BlobId,
+    Version,
+    Vec<(BlobId, Version)>,
+) {
+    let fabric = LocalFabric::new(7);
+    let compute: Vec<NodeId> = (0..6).map(NodeId).collect();
+    let topo = BlobTopology::colocated(&compute, NodeId(6));
+    let cfg = BlobConfig {
+        chunk_size: 64 << 10,
+        replication: 2,
+        dedup: true,
+        cluster_dedup: true,
+        ..Default::default()
+    };
+    let store = BlobStore::new(cfg, topo, fabric.clone() as Arc<dyn Fabric>);
+    let client = BlobClient::new(store, NodeId(0));
+    let (blob, v) = client.upload(Payload::synth(0x6C01, 0, IMG)).unwrap();
+    // Eight divergent lineages, each with two private snapshots.
+    let mut snaps = Vec::new();
+    for vm in 0..8u64 {
+        let clone = client.clone_blob(blob, v).unwrap();
+        let v2 = client
+            .write_chunks(
+                clone,
+                Version(1),
+                vec![(vm, Payload::synth(0xD00 + vm, 0, 64 << 10))],
+            )
+            .unwrap();
+        let v3 = client
+            .write_chunks(
+                clone,
+                v2,
+                vec![(vm, Payload::synth(0xE00 + vm, 0, 64 << 10))],
+            )
+            .unwrap();
+        snaps.push((clone, v2));
+        snaps.push((clone, v3));
+    }
+    (fabric, client, blob, v, snaps)
+}
+
+#[test]
+fn gc_release_storm_survives_provider_loss() {
+    // A provider dies in the middle of a snapshot-delete storm: the
+    // storm must keep going (down replicas are skipped, their refs die
+    // with the node), survivors must stay byte-identical, counters must
+    // never underflow, and rewriting reclaimed content must still
+    // round-trip.
+    let (fabric, client, blob, v, snaps) = setup_gc();
+    let image = Payload::synth(0x6C01, 0, IMG);
+    let stored_before = client.store().total_stored_bytes();
+    // First half of the storm with all providers up.
+    for &(b, ver) in &snaps[..8] {
+        client.delete_snapshot(b, ver).expect("pre-loss delete");
+    }
+    // Fail-stop one provider mid-storm; releases aimed at it are
+    // skipped, everything else proceeds.
+    fabric.fail_node(NodeId(3));
+    for &(b, ver) in &snaps[8..] {
+        client.delete_snapshot(b, ver).expect("mid-loss delete");
+    }
+    assert!(
+        client.store().total_stored_bytes() < stored_before,
+        "the storm reclaimed storage despite the loss"
+    );
+    // The base image survives the storm and the loss (replication 2).
+    let got = client.read(blob, v, 0..IMG).unwrap();
+    assert!(got.content_eq(&image));
+    // Deleted snapshots are gone, not half-alive.
+    for &(b, ver) in &snaps {
+        assert!(client.read(b, ver, 0..IMG).is_err(), "{b:?}/{ver:?}");
+    }
+    // Rewriting content identical to reclaimed chunks self-heals any
+    // stale index entry (including ones pointing at the dead node).
+    let clone = client.clone_blob(blob, v).unwrap();
+    let rewrite = Payload::synth(0xD00, 0, 64 << 10);
+    let vr = client
+        .write_chunks(clone, Version(1), vec![(0, rewrite.clone())])
+        .unwrap();
+    let got = client.read(clone, vr, 0..(64 << 10)).unwrap();
+    assert!(got.content_eq(&rewrite));
+    // Double-delete storms on the recovered node never underflow.
+    fabric.recover_node(NodeId(3));
+    let report = client.delete_snapshot(clone, vr).unwrap();
+    assert!(report.released_refs > 0);
+    let got = client.read(blob, v, 0..IMG).unwrap();
+    assert!(got.content_eq(&image), "base intact after every storm");
 }

@@ -46,6 +46,11 @@ fn stack(seed: u64, mode: ReplicationMode, prefetch: bool) -> Stack {
         replication: 2,
         replication_mode: mode,
         prefetch,
+        // The received-bytes bound below pins the raw read-ahead
+        // mechanics; the confidence filter's confirmation publishes
+        // would add control traffic to the follower (it has its own
+        // unit and sweep coverage).
+        prefetch_min_publishers: 1,
         ..Default::default()
     };
     let store = BlobStore::new(bcfg, topo, fabric.clone() as Arc<dyn Fabric>);
