@@ -8,7 +8,8 @@
 //! bench_regression --results bench-results.jsonl --baseline BENCH_2.json \
 //!     [--dedup-results target/paper/dedup_summary.json --dedup-baseline BENCH_3.json] \
 //!     [--prefetch-results target/paper/prefetch_summary.json --prefetch-baseline BENCH_4.json] \
-//!     [--cluster-results target/paper/cluster_summary.json --cluster-baseline BENCH_5.json]
+//!     [--cluster-results target/paper/cluster_summary.json --cluster-baseline BENCH_5.json] \
+//!     [--loadgen-results target/paper/load_summary.json --loadgen-baseline BENCH_6.json]
 //! ```
 //!
 //! On failure the gate ends with a `FAILED METRICS` block naming, for
@@ -142,6 +143,31 @@ const CONFIDENCE_CHECKS: &[(&str, &str, &str)] = &[(
     "confidence_waste_saved_floor",
 )];
 
+/// Measured-value keys checked between the `load_sweep` summary and
+/// `BENCH_6.json`. These are *wall-clock* numbers from real OS threads,
+/// so every gate is a throughput ratio between locking disciplines
+/// replaying the identical workload (never an absolute time) and the
+/// baseline carries a wide tolerance — the gate survives slow or noisy
+/// runners, but still trips if a contention fix stops paying for
+/// itself.
+const LOADGEN_CHECKS: &[(&str, &str, &str)] = &[
+    (
+        "loadgen: wall-clock boot throughput, all-fixes ÷ naive fabric",
+        "loadgen_boot_speedup",
+        "loadgen_boot_speedup_floor",
+    ),
+    (
+        "loadgen: wall-clock boot throughput, lane fix alone ÷ naive fabric",
+        "loadgen_lane_fix_speedup",
+        "loadgen_lane_fix_speedup_floor",
+    ),
+    (
+        "loadgen: p99 boot latency, naive ÷ all-fixes",
+        "loadgen_p99_speedup",
+        "loadgen_p99_speedup_floor",
+    ),
+];
+
 /// Measured-value keys checked between a prefetch summary and
 /// `BENCH_4.json`.
 const PREFETCH_CHECKS: &[(&str, &str, &str)] = &[
@@ -268,6 +294,8 @@ fn main() -> ExitCode {
     let mut prefetch_baseline = String::from("BENCH_4.json");
     let mut cluster_results: Option<String> = None;
     let mut cluster_baseline = String::from("BENCH_5.json");
+    let mut loadgen_results: Option<String> = None;
+    let mut loadgen_baseline = String::from("BENCH_6.json");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--results" => {
@@ -304,6 +332,15 @@ fn main() -> ExitCode {
             "--cluster-baseline" => {
                 cluster_baseline = args.next().expect("--cluster-baseline needs a path")
             }
+            "--loadgen-results" => {
+                let path = args.next().expect("--loadgen-results needs a path");
+                loadgen_results = Some(
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+                );
+            }
+            "--loadgen-baseline" => {
+                loadgen_baseline = args.next().expect("--loadgen-baseline needs a path")
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -311,8 +348,10 @@ fn main() -> ExitCode {
         !results.is_empty()
             || dedup_results.is_some()
             || prefetch_results.is_some()
-            || cluster_results.is_some(),
-        "no --results, --dedup-results, --prefetch-results or --cluster-results provided"
+            || cluster_results.is_some()
+            || loadgen_results.is_some(),
+        "no --results, --dedup-results, --prefetch-results, --cluster-results or \
+         --loadgen-results provided"
     );
     let mut failures: Vec<Failure> = Vec::new();
     if let Some(summary) = &dedup_results {
@@ -359,6 +398,17 @@ fn main() -> ExitCode {
                 &cluster_baseline,
             ));
         }
+    }
+    if let Some(summary) = &loadgen_results {
+        let baseline = std::fs::read_to_string(&loadgen_baseline)
+            .unwrap_or_else(|e| panic!("read baseline {loadgen_baseline}: {e}"));
+        failures.extend(check_summary(
+            "load-sweep",
+            LOADGEN_CHECKS,
+            summary,
+            &baseline,
+            &loadgen_baseline,
+        ));
     }
     if !results.is_empty() {
         let baseline = std::fs::read_to_string(&baseline_path)

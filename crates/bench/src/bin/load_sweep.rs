@@ -1,0 +1,477 @@
+//! Wall-clock serving-mode load generator: hundreds of concurrent
+//! boot/snapshot/GC clients hammering one repository deployment on a
+//! [`bff_net::ThreadFabric`] — real OS threads, real locks, modelled
+//! network/disk costs compressed 20× (`ThreadParams::serving`).
+//!
+//! The sweep replays the same workload under five configurations,
+//! cumulatively enabling this PR's contention fixes, worst first:
+//!
+//! | run | fabric lanes | pattern board | chunk-cache consult | cluster probe |
+//! |---|---|---|---|---|
+//! | `naive-fabric` | one global lock held *across* every modelled delay | one exclusive mutex | one lock per chunk | write lock per key |
+//! | `lane-fix`     | per-node lanes, waits outside the locks | one exclusive mutex | one lock per chunk | write lock per key |
+//! | `board-fix`    | per-node lanes | 16 rwlock shards | one lock per chunk | write lock per key |
+//! | `+cache-fix`   | per-node lanes | 16 rwlock shards | one lock per read | write lock per key |
+//! | `all-fixes`    | per-node lanes | 16 rwlock shards | one lock per read | one read lock per batch |
+//!
+//! Every configuration is logically identical — the coarse modes are
+//! the pre-fix code paths kept behind `ThreadParams::coarse_lanes` and
+//! the `BlobConfig::coarse_*` toggles — so throughput differences are
+//! pure locking discipline. The dominant fix by far is the fabric
+//! lane fix (don't hold the lane lock across the modelled delay: the
+//! fabric-layer twin of the store's "locks are never held across
+//! fabric calls" invariant). The store-lock fixes contribute lower
+//! lock-handoff latency; on many-core runners they also add wall-clock
+//! throughput, while on a single-core runner they show up in the
+//! contention counters and p50 boot latency instead.
+//!
+//! The workload is rotating-snapshot serving (the paper's
+//! multideployment + multisnapshotting storm, §5): every client boots
+//! the *latest published snapshots*, not just the base image, so fresh
+//! versions keep arriving — metadata fetches, pattern publishes and
+//! dirty-chunk transfers never go quiet. On a fixed schedule clients
+//! commit a partly-shared payload (cluster-dedup probes from different
+//! nodes), publish the snapshot for others to boot, or terminate their
+//! instance so snapshot GC interleaves with the boot storm.
+//! Inter-arrival gaps are heavy-tailed (Pareto), so bursts and lulls
+//! both occur.
+//!
+//! Reported per run: wall-clock boot throughput, p50/p99 boot latency,
+//! and the per-lock contention counters ([`bff_blobseer::lockstat`]).
+//! Emits `target/paper/load_sweep.{csv,json}` and
+//! `target/paper/load_summary.json`, gated against the `BENCH_6.json`
+//! floors by `bench_regression --loadgen-results`.
+//!
+//! `--mini` shrinks the client count for CI smoke runs;
+//! `BFF_LOADGEN_THREADS` pins the client count explicitly (CI uses it
+//! so runner core counts don't change the workload).
+
+use bff_bench::{f1, f3, output_dir, RunScale, Table};
+use bff_blobseer::{BlobId, LockContention, Version};
+use bff_cloud::backend::ImageBackend;
+use bff_cloud::middleware::Cloud;
+use bff_cloud::params::Calibration;
+use bff_cloud::vm::vm_write_payload;
+use bff_data::Payload;
+use bff_net::{Fabric, NodeId, ThreadFabric, ThreadParams};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NODES: u32 = 8;
+const IMG: u64 = 2 << 20;
+const CHUNK: u64 = 64 << 10;
+/// Boot reads issue one `read_multi` per this many bytes (4 chunks) —
+/// guest-sized requests, so each boot crosses the board/cache locks
+/// many times, like the real FUSE read path would.
+const BOOT_STRIDE: u64 = 256 << 10;
+/// Offset of the contextualization write.
+const STATE_OFFSET: u64 = 1 << 20;
+/// The shared part of each commit — identical bytes from every client
+/// at the same round, so the cluster dedup index gets probed from
+/// different nodes concurrently.
+const SHARED_BYTES: u64 = 128 << 10;
+/// The private part — unique per client, so GC has bytes to reclaim.
+const PRIV_BYTES: u64 = 64 << 10;
+
+/// Boots per client thread.
+const BOOTS: usize = 6;
+
+/// How many recently published snapshots stay bootable.
+const ROTATION: usize = 32;
+
+/// Heavy-tailed inter-arrival gaps: Pareto(alpha) scaled to `BASE_US`,
+/// capped so one unlucky draw cannot stall a worker for the whole run.
+const ARRIVAL_BASE_US: u64 = 40;
+const ARRIVAL_CAP_US: u64 = 4_000;
+const PARETO_ALPHA: f64 = 1.5;
+
+/// Deterministic xorshift64* — no rand dependency, same arrival pattern
+/// every run so the five configurations replay identical schedules.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in (0, 1].
+    fn unit(&mut self) -> f64 {
+        ((self.next() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    fn pareto_us(&mut self) -> u64 {
+        let draw = ARRIVAL_BASE_US as f64 * self.unit().powf(-1.0 / PARETO_ALPHA);
+        (draw as u64).min(ARRIVAL_CAP_US)
+    }
+}
+
+fn client_threads(scale: RunScale) -> usize {
+    if let Ok(v) = std::env::var("BFF_LOADGEN_THREADS") {
+        return v.parse().expect("BFF_LOADGEN_THREADS must be an integer");
+    }
+    match scale {
+        RunScale::Paper => 192,
+        RunScale::Mini => 64,
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Discipline {
+    label: &'static str,
+    coarse_lanes: bool,
+    coarse_board: bool,
+    coarse_cache: bool,
+    coarse_cluster: bool,
+}
+
+const DISCIPLINES: &[Discipline] = &[
+    Discipline {
+        label: "naive-fabric",
+        coarse_lanes: true,
+        coarse_board: true,
+        coarse_cache: true,
+        coarse_cluster: true,
+    },
+    Discipline {
+        label: "lane-fix",
+        coarse_lanes: false,
+        coarse_board: true,
+        coarse_cache: true,
+        coarse_cluster: true,
+    },
+    Discipline {
+        label: "board-fix",
+        coarse_lanes: false,
+        coarse_board: false,
+        coarse_cache: true,
+        coarse_cluster: true,
+    },
+    Discipline {
+        label: "+cache-fix",
+        coarse_lanes: false,
+        coarse_board: false,
+        coarse_cache: false,
+        coarse_cluster: true,
+    },
+    Discipline {
+        label: "all-fixes",
+        coarse_lanes: false,
+        coarse_board: false,
+        coarse_cache: false,
+        coarse_cluster: false,
+    },
+];
+
+struct RunOutcome {
+    boots: usize,
+    wall_s: f64,
+    boots_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    board: LockContention,
+    cluster: LockContention,
+    cache: LockContention,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    assert!(!sorted_us.is_empty());
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx] as f64 / 1e3
+}
+
+/// The latest published snapshots, bootable by any client. Never holds
+/// a GC-doomed lineage: clients that will terminate their instance do
+/// not publish it here, so a rotation entry is never deleted.
+struct Rotation {
+    recent: Mutex<Vec<(BlobId, Version)>>,
+}
+
+impl Rotation {
+    fn new(base: (BlobId, Version)) -> Self {
+        Self {
+            recent: Mutex::new(vec![base]),
+        }
+    }
+
+    fn pick(&self, rng: &mut Rng) -> (BlobId, Version) {
+        let recent = self.recent.lock();
+        recent[(rng.next() % recent.len() as u64) as usize]
+    }
+
+    fn publish(&self, snap: (BlobId, Version)) {
+        let mut recent = self.recent.lock();
+        if recent.len() == ROTATION {
+            recent.remove(1); // keep the base at slot 0 forever
+        }
+        recent.push(snap);
+    }
+}
+
+/// One client's life: `BOOTS` deploy→boot-read cycles against rotating
+/// snapshots, with heavy-tailed gaps; every third boot commits a
+/// partly-shared payload and snapshots, then either publishes the
+/// snapshot for other clients to boot or terminates the instance so
+/// snapshot GC interleaves with the boot storm. Returns per-boot wall
+/// latencies (deploy + full image read).
+fn run_client(cloud: &Cloud, rotation: &Rotation, worker: usize) -> Vec<u64> {
+    let node = NodeId((worker % NODES as usize) as u32);
+    let mut rng = Rng::new(0x9E37_79B9_7F4A_7C15 ^ worker as u64);
+    let mut latencies = Vec::with_capacity(BOOTS);
+    for boot in 0..BOOTS {
+        std::thread::sleep(std::time::Duration::from_micros(rng.pareto_us()));
+        let (blob, version) = rotation.pick(&mut rng);
+        let started = Instant::now();
+        let mut handle = cloud.add_instance(blob, version, node).expect("deploy");
+        let mut off = 0;
+        while off < IMG {
+            handle
+                .backend
+                .read(off..(off + BOOT_STRIDE).min(IMG))
+                .expect("boot read");
+            off += BOOT_STRIDE;
+        }
+        latencies.push(started.elapsed().as_micros() as u64);
+        if boot % 3 == 1 {
+            // Identical bytes from every client this round (cluster
+            // dedup probes from different nodes) plus a private chunk
+            // (bytes GC can actually reclaim).
+            let shared = vm_write_payload(1_000 + boot as u64, 0, SHARED_BYTES);
+            handle.backend.write(STATE_OFFSET, shared).expect("ctx");
+            let private = vm_write_payload(7_919 * worker as u64 + boot as u64, 0, PRIV_BYTES);
+            handle
+                .backend
+                .write(STATE_OFFSET + SHARED_BYTES, private)
+                .expect("private write");
+            let snap = handle.snapshot().expect("snapshot");
+            if boot % 6 == 1 {
+                // A doomed lineage: never published to the rotation.
+                cloud.terminate_instance(handle).expect("terminate");
+            } else {
+                rotation.publish(snap);
+            }
+        }
+    }
+    latencies
+}
+
+fn run_discipline(d: Discipline, workers: usize) -> RunOutcome {
+    let mut params = ThreadParams::serving(NODES as usize + 1);
+    params.coarse_lanes = d.coarse_lanes;
+    let fabric = ThreadFabric::new(params);
+    let compute: Vec<NodeId> = (0..NODES).map(NodeId).collect();
+    let cloud = Cloud::new(
+        fabric.clone() as Arc<dyn Fabric>,
+        compute.clone(),
+        NodeId(NODES),
+        bff_blobseer::BlobConfig {
+            chunk_size: CHUNK,
+            // Pinned, not inherited from the BFF_* environment: the
+            // BENCH_6 numbers record the full pipeline (dedup + cluster
+            // index + prefetch) under every locking discipline.
+            dedup: true,
+            cluster_dedup: true,
+            prefetch: true,
+            coarse_board_lock: d.coarse_board,
+            coarse_cache_locks: d.coarse_cache,
+            coarse_cluster_probe: d.coarse_cluster,
+            ..Default::default()
+        },
+        Calibration::default(),
+    );
+    let base = cloud
+        .upload_image(Payload::synth(0x5EED, 0, IMG))
+        .expect("upload");
+    let rotation = Rotation::new(base);
+
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(workers * BOOTS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let cloud = &cloud;
+                let rotation = &rotation;
+                scope.spawn(move || run_client(cloud, rotation, worker))
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    // Detached prefetch work may still be in flight: drain it before
+    // stopping the clock or snapshotting any counters.
+    fabric.quiesce();
+    let wall_s = started.elapsed().as_secs_f64();
+
+    latencies.sort_unstable();
+    let cache = compute
+        .iter()
+        .map(|&n| cloud.node_context(n).chunk_cache_contention())
+        .fold(LockContention::default(), |acc, c| LockContention {
+            acquires: acc.acquires + c.acquires,
+            contended: acc.contended + c.contended,
+        });
+    RunOutcome {
+        boots: latencies.len(),
+        wall_s,
+        boots_per_s: latencies.len() as f64 / wall_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        board: cloud.store().pattern_board().contention(),
+        cluster: cloud.store().cluster_contention(),
+        cache,
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let workers = client_threads(scale);
+    println!(
+        "load_sweep: {workers} client threads x {BOOTS} boots over {NODES} nodes \
+         (ThreadFabric serving profile, 20x time compression)"
+    );
+
+    let mut outcomes = Vec::with_capacity(DISCIPLINES.len());
+    for &d in DISCIPLINES {
+        let out = run_discipline(d, workers);
+        println!(
+            "  {:<12} {:>4} boots in {:.2}s -> {:.1} boots/s \
+             (p50 {:.2} ms, p99 {:.2} ms; contended board {}/{} cache {}/{} cluster {}/{})",
+            d.label,
+            out.boots,
+            out.wall_s,
+            out.boots_per_s,
+            out.p50_ms,
+            out.p99_ms,
+            out.board.contended,
+            out.board.acquires,
+            out.cache.contended,
+            out.cache.acquires,
+            out.cluster.contended,
+            out.cluster.acquires,
+        );
+        outcomes.push((d, out));
+    }
+
+    let mut t = Table::new(
+        "load_sweep",
+        &[
+            "locking",
+            "boots",
+            "wall_s",
+            "boots_per_s",
+            "p50_ms",
+            "p99_ms",
+            "board_contended",
+            "board_frac",
+            "cluster_contended",
+            "cluster_frac",
+            "cache_contended",
+            "cache_frac",
+        ],
+    );
+    for (d, out) in &outcomes {
+        t.row(&[
+            &d.label,
+            &out.boots,
+            &f3(out.wall_s),
+            &f1(out.boots_per_s),
+            &f3(out.p50_ms),
+            &f3(out.p99_ms),
+            &out.board.contended,
+            &f3(out.board.contended_frac()),
+            &out.cluster.contended,
+            &f3(out.cluster.contended_frac()),
+            &out.cache.contended,
+            &f3(out.cache.contended_frac()),
+        ]);
+    }
+    t.emit();
+
+    let naive = &outcomes[0].1;
+    let lane = &outcomes[1].1;
+    let board = &outcomes[2].1;
+    let cache = &outcomes[3].1;
+    let tuned = &outcomes[4].1;
+    let boot_speedup = tuned.boots_per_s / naive.boots_per_s.max(1e-9);
+    let p99_speedup = naive.p99_ms / tuned.p99_ms.max(1e-9);
+    println!(
+        "\ncontention fixes: {:.1} -> {:.1} boots/s ({boot_speedup:.2}x wall-clock \
+         throughput); p99 boot latency {:.2} -> {:.2} ms ({p99_speedup:.2}x); \
+         board {:.1}% -> {:.1}% contended, cache {:.1}% -> {:.1}%, cluster {:.1}% -> {:.1}%",
+        naive.boots_per_s,
+        tuned.boots_per_s,
+        naive.p99_ms,
+        tuned.p99_ms,
+        100.0 * naive.board.contended_frac(),
+        100.0 * tuned.board.contended_frac(),
+        100.0 * naive.cache.contended_frac(),
+        100.0 * tuned.cache.contended_frac(),
+        100.0 * naive.cluster.contended_frac(),
+        100.0 * tuned.cluster.contended_frac(),
+    );
+
+    // Flat summary for the CI perf gate (compared against BENCH_6.json).
+    let mut summary = String::from("{\n");
+    let _ = writeln!(summary, "  \"loadgen_boot_speedup\": {boot_speedup:.3},");
+    let _ = writeln!(summary, "  \"loadgen_p99_speedup\": {p99_speedup:.3},");
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_lane_fix_speedup\": {:.3},",
+        lane.boots_per_s / naive.boots_per_s.max(1e-9)
+    );
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_board_fix_speedup\": {:.3},",
+        board.boots_per_s / lane.boots_per_s.max(1e-9)
+    );
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_cache_fix_speedup\": {:.3},",
+        cache.boots_per_s / board.boots_per_s.max(1e-9)
+    );
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_cluster_fix_speedup\": {:.3},",
+        tuned.boots_per_s / cache.boots_per_s.max(1e-9)
+    );
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_boots_per_s\": {:.3},",
+        tuned.boots_per_s
+    );
+    let _ = writeln!(summary, "  \"loadgen_p50_ms\": {:.3},", tuned.p50_ms);
+    let _ = writeln!(summary, "  \"loadgen_p99_ms\": {:.3},", tuned.p99_ms);
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_board_contended_frac\": {:.4},",
+        tuned.board.contended_frac()
+    );
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_cache_contended_frac\": {:.4},",
+        tuned.cache.contended_frac()
+    );
+    let _ = writeln!(
+        summary,
+        "  \"loadgen_cluster_contended_frac\": {:.4},",
+        tuned.cluster.contended_frac()
+    );
+    let _ = writeln!(summary, "  \"loadgen_threads\": {workers},");
+    let _ = writeln!(summary, "  \"loadgen_boots\": {}", tuned.boots);
+    summary.push('}');
+    summary.push('\n');
+    let path = output_dir().join("load_summary.json");
+    std::fs::write(&path, summary).expect("write load summary");
+    println!("[written {}]", path.display());
+}

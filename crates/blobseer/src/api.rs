@@ -202,6 +202,22 @@ pub struct BlobConfig {
     /// byte-verification round against a stored replica. Off by default:
     /// FNV + verify is the reference behaviour.
     pub strong_digest: bool,
+    /// Emulate the pre-wall-clock global pattern-board mutex: every
+    /// board access — including the per-compute-burst prefetch poll —
+    /// takes one exclusive lock instead of a sharded read lock. Identical
+    /// logical behaviour, pure lock-granularity ablation; `load_sweep`
+    /// runs this as its contention baseline. Off by default.
+    pub coarse_board_lock: bool,
+    /// Emulate per-chunk acquisition of the node-shared chunk-cache lock
+    /// in batched reads (one lock round trip per chunk instead of one
+    /// per read plan). Identical logical behaviour; `load_sweep`
+    /// baseline ablation. Off by default.
+    pub coarse_cache_locks: bool,
+    /// Emulate per-key exclusive locking of the cluster dedup index
+    /// during commit probes (one exclusive acquisition per missed chunk
+    /// instead of one shared acquisition per commit). Identical logical
+    /// behaviour; `load_sweep` baseline ablation. Off by default.
+    pub coarse_cluster_probe: bool,
 }
 
 /// Whether an on-by-default feature toggle (`BFF_DEDUP`,
@@ -234,6 +250,9 @@ impl Default for BlobConfig {
             prefetch_min_publishers: 2,
             chunk_cache_bytes: 64 << 20,
             strong_digest: false,
+            coarse_board_lock: false,
+            coarse_cache_locks: false,
+            coarse_cluster_probe: false,
         }
     }
 }

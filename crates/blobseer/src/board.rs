@@ -27,8 +27,10 @@
 //! why a bounded sequence ([`BOARD_SEQ_CAP`]) suffices.
 
 use crate::api::{BlobId, Version};
+use crate::lockstat::{probed_read, probed_write, LockContention, LockProbe};
 use bff_data::{FastMap, FastSet};
 use bff_net::{Fabric, NodeId, Transfer};
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Cap on the merged access sequence kept per `(blob, version)`. A boot
@@ -212,6 +214,140 @@ impl PatternBoard {
     }
 }
 
+/// Shards in a [`BoardService`]. Keys hash across shards, so publishes
+/// and polls for distinct snapshots never touch the same lock.
+pub const BOARD_SHARDS: usize = 16;
+
+/// The board behind its own locking: sharded `RwLock`s over
+/// [`PatternBoard`] state.
+///
+/// The board replica is the hottest shared structure in the serving
+/// path: every VM polls [`BoardService::sequence_len`] before every
+/// guest compute burst ([`crate::Client::has_prefetch_work`]), and every
+/// node publishes batches concurrently. Behind a single `Mutex` (the
+/// pre-wall-clock design) those polls serialize the whole cohort. Here
+/// reads (`sequence_len`, `novel_of`, `sequence_with_confidence`) take a
+/// shard read lock and run concurrently; writes (`merge`,
+/// `drop_pattern`) exclude only their own shard. Sequence payloads are
+/// `Arc` copy-on-write, so read guards are held only for the map lookup,
+/// never while a caller walks the sequence.
+///
+/// With `coarse` set the service emulates the old design — every key on
+/// shard 0, every access exclusive — which is how `load_sweep` measures
+/// what the sharding is worth. All acquisitions are counted through a
+/// [`LockProbe`].
+#[derive(Debug)]
+pub struct BoardService {
+    shards: Vec<RwLock<PatternBoard>>,
+    coarse: bool,
+    probe: LockProbe,
+}
+
+impl BoardService {
+    /// A fresh board; `coarse` emulates the single-mutex design.
+    pub fn new(coarse: bool) -> Self {
+        Self {
+            shards: (0..BOARD_SHARDS).map(|_| RwLock::default()).collect(),
+            coarse,
+            probe: LockProbe::default(),
+        }
+    }
+
+    fn shard_of(&self, key: (BlobId, Version)) -> usize {
+        if self.coarse {
+            return 0;
+        }
+        let h = (key.0 .0 ^ key.1 .0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.shards.len()
+    }
+
+    fn with_read<R>(&self, key: (BlobId, Version), f: impl FnOnce(&PatternBoard) -> R) -> R {
+        let shard = &self.shards[self.shard_of(key)];
+        if self.coarse {
+            // The old Mutex was exclusive even for reads.
+            f(&probed_write(&self.probe, shard))
+        } else {
+            f(&probed_read(&self.probe, shard))
+        }
+    }
+
+    fn with_write<R>(&self, key: (BlobId, Version), f: impl FnOnce(&mut PatternBoard) -> R) -> R {
+        f(&mut probed_write(
+            &self.probe,
+            &self.shards[self.shard_of(key)],
+        ))
+    }
+
+    /// See [`PatternBoard::merge`].
+    pub fn merge(&self, key: (BlobId, Version), publisher: NodeId, batch: &[u64]) -> usize {
+        self.with_write(key, |b| b.merge(key, publisher, batch))
+    }
+
+    /// See [`PatternBoard::novel_of`].
+    pub fn novel_of(
+        &self,
+        key: (BlobId, Version),
+        batch: &[u64],
+        min_publishers: usize,
+    ) -> Vec<u64> {
+        self.with_read(key, |b| b.novel_of(key, batch, min_publishers))
+    }
+
+    /// See [`PatternBoard::sequence`].
+    pub fn sequence(&self, key: (BlobId, Version)) -> Option<Arc<Vec<u64>>> {
+        self.with_read(key, |b| b.sequence(key))
+    }
+
+    /// See [`PatternBoard::sequence_with_confidence`].
+    pub fn sequence_with_confidence(
+        &self,
+        key: (BlobId, Version),
+        min_publishers: usize,
+    ) -> Option<ConfidentSequence> {
+        self.with_read(key, |b| b.sequence_with_confidence(key, min_publishers))
+    }
+
+    /// See [`PatternBoard::sequence_len`].
+    pub fn sequence_len(&self, key: (BlobId, Version)) -> usize {
+        self.with_read(key, |b| b.sequence_len(key))
+    }
+
+    /// See [`PatternBoard::publisher_count`].
+    pub fn publisher_count(&self, key: (BlobId, Version)) -> usize {
+        self.with_read(key, |b| b.publisher_count(key))
+    }
+
+    /// See [`PatternBoard::publishes`].
+    pub fn publishes(&self, key: (BlobId, Version)) -> u64 {
+        self.with_read(key, |b| b.publishes(key))
+    }
+
+    /// See [`PatternBoard::drop_pattern`].
+    pub fn drop_pattern(&self, key: (BlobId, Version)) {
+        self.with_write(key, |b| b.drop_pattern(key));
+    }
+
+    /// Patterns tracked across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| probed_read(&self.probe, s).len())
+            .sum()
+    }
+
+    /// Whether no shard tracks any pattern.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| probed_read(&self.probe, s).is_empty())
+    }
+
+    /// Contention counters of the board locks.
+    pub fn contention(&self) -> LockContention {
+        self.probe.snapshot()
+    }
+}
+
 /// Charge the fabric for gossiping a `summary_bytes`-sized board update
 /// from `host` (the provider-manager node) to `targets` along the k-ary
 /// broadcast tree. Down or unreachable nodes are skipped — gossip is
@@ -344,6 +480,54 @@ mod tests {
         b.merge(KEY, NodeId(1), &[3]);
         assert_eq!(*snap, vec![1, 2], "held snapshot is immutable");
         assert_eq!(*b.sequence(KEY).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn board_service_mirrors_the_plain_board() {
+        for coarse in [false, true] {
+            let s = BoardService::new(coarse);
+            assert!(s.is_empty(), "coarse={coarse}");
+            assert_eq!(s.merge(KEY, NodeId(0), &[3, 1, 2]), 3);
+            assert_eq!(s.merge(KEY, NodeId(1), &[1, 2, 9]), 1);
+            assert_eq!(*s.sequence(KEY).unwrap(), vec![3, 1, 2, 9]);
+            assert_eq!(s.sequence_len(KEY), 4);
+            assert_eq!(s.publishes(KEY), 2);
+            assert_eq!(s.publisher_count(KEY), 2);
+            assert_eq!(s.novel_of(KEY, &[1, 2, 7], 1), vec![7]);
+            let (seq, mask) = s.sequence_with_confidence(KEY, 2).unwrap();
+            assert_eq!(seq.len(), 4);
+            assert_eq!(mask.unwrap(), vec![false, true, true, false]);
+            assert_eq!(s.len(), 1);
+            s.drop_pattern(KEY);
+            assert!(s.is_empty(), "coarse={coarse}");
+            let c = s.contention();
+            assert!(c.acquires > 0, "every access is counted");
+        }
+    }
+
+    #[test]
+    fn board_service_spreads_keys_over_shards() {
+        let sharded = BoardService::new(false);
+        let coarse = BoardService::new(true);
+        for v in 1..=64u64 {
+            let key = (BlobId(7), Version(v));
+            sharded.merge(key, NodeId(0), &[v]);
+            coarse.merge(key, NodeId(0), &[v]);
+        }
+        assert_eq!(sharded.len(), 64);
+        assert_eq!(coarse.len(), 64);
+        let spread = sharded
+            .shards
+            .iter()
+            .filter(|s| !s.read().is_empty())
+            .count();
+        assert!(spread > 1, "64 keys must land on more than one shard");
+        let packed = coarse
+            .shards
+            .iter()
+            .filter(|s| !s.read().is_empty())
+            .count();
+        assert_eq!(packed, 1, "coarse mode pins everything to shard 0");
     }
 
     #[test]

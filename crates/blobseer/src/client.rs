@@ -329,18 +329,35 @@ impl Client {
         let cache_data = self.prefetch_enabled();
         let mut fetched: HashMap<u64, Payload> = HashMap::new();
         let mut fetch: Vec<(u64, ChunkDesc, u64)> = Vec::new();
+        // Build the lookup plan first, then consult the cache in ONE
+        // batched acquisition: per-chunk lock round trips on this path
+        // are the cache's main contention cost under real concurrency
+        // (`coarse_cache_locks` re-enables them for the load-sweep
+        // ablation — hit/miss results are identical either way).
+        let mut plan: Vec<(u64, ChunkDesc, u64)> = Vec::new();
         for run in &cover_runs {
             for idx in run.clone() {
                 if let Some(desc) = descs.get(&idx) {
                     let cr = chunk_range(idx, meta.chunk_size, meta.size);
-                    let len = cr.end - cr.start;
-                    if let Some(data) = self.ctx.chunk_cache_get(desc.id) {
-                        debug_assert_eq!(data.len(), len, "cached chunk length");
-                        fetched.insert(idx, data);
-                    } else {
-                        fetch.push((idx, desc.clone(), len));
-                    }
+                    plan.push((idx, desc.clone(), cr.end - cr.start));
                 }
+            }
+        }
+        let cached: Vec<Option<Payload>> = if self.cfg().coarse_cache_locks {
+            plan.iter()
+                .map(|(_, desc, _)| self.ctx.chunk_cache_get(desc.id))
+                .collect()
+        } else {
+            let ids: Vec<ChunkId> = plan.iter().map(|(_, desc, _)| desc.id).collect();
+            self.ctx.chunk_cache_get_batch(&ids)
+        };
+        for ((idx, desc, len), data) in plan.into_iter().zip(cached) {
+            match data {
+                Some(data) => {
+                    debug_assert_eq!(data.len(), len, "cached chunk length");
+                    fetched.insert(idx, data);
+                }
+                None => fetch.push((idx, desc, len)),
             }
         }
         for (idx, res) in self.fetch_chunks_results(&fetch) {
@@ -416,7 +433,6 @@ impl Client {
         let batch = self
             .store
             .pattern_board
-            .lock()
             .novel_of((blob, version), batch, min_pub);
         if batch.is_empty() {
             return;
@@ -427,7 +443,6 @@ impl Client {
         }
         self.store
             .pattern_board
-            .lock()
             .merge((blob, version), self.node, &batch);
     }
 
@@ -472,11 +487,7 @@ impl Client {
         if !self.prefetch_enabled() {
             return false;
         }
-        let len = self
-            .store
-            .pattern_board
-            .lock()
-            .sequence_len((blob, version));
+        let len = self.store.pattern_board.sequence_len((blob, version));
         len > 0 && self.ctx.prefetch_cursor_behind((blob, version), len)
     }
 
@@ -512,7 +523,6 @@ impl Client {
         let Some((seq, mask)) = self
             .store
             .pattern_board
-            .lock()
             .sequence_with_confidence(key, min_pub)
         else {
             return Ok(0);
@@ -868,12 +878,30 @@ impl Client {
     ) {
         let cluster_on = self.cfg().cluster_dedup;
         let mut candidates: Vec<(usize, ContentKey, ChunkDesc)> = Vec::new();
+        let mut cluster_misses: Vec<(usize, ContentKey)> = Vec::new();
         for (u, unique) in uniques.iter().enumerate() {
             let key = unique.key.expect("dedup plan carries keys");
             if let Some(desc) = self.ctx.digest_lookup(&key) {
                 candidates.push((u, key, desc));
             } else if cluster_on {
-                if let Some(desc) = self.store.cluster_index.lock().get(&key) {
+                if self.cfg().coarse_cluster_probe {
+                    // Ablation: the pre-wall-clock per-key exclusive probe.
+                    if let Some(desc) = self.store.cluster_write().get(&key) {
+                        candidates.push((u, key, desc));
+                    }
+                } else {
+                    cluster_misses.push((u, key));
+                }
+            }
+        }
+        // Probe every node-index miss under ONE shared acquisition of the
+        // cluster index: commits probing concurrently share the lock, and
+        // a commit never pays more than one acquisition however many
+        // chunks it carries.
+        if !cluster_misses.is_empty() {
+            let index = self.store.cluster_read();
+            for (u, key) in cluster_misses {
+                if let Some(desc) = index.get(&key) {
                     candidates.push((u, key, desc));
                 }
             }
@@ -961,7 +989,7 @@ impl Client {
     fn forget_stale_hit(&self, key: &ContentKey) {
         self.ctx.digest_forget(key);
         if self.cfg().cluster_dedup {
-            self.store.cluster_index.lock().forget(key);
+            self.store.cluster_write().forget(key);
         }
     }
 
@@ -1151,7 +1179,7 @@ impl Client {
             })
             .collect();
         let novel: FastSet<ContentKey> = {
-            let index = self.store.cluster_index.lock();
+            let index = self.store.cluster_read();
             index
                 .novel_of(entries.iter().map(|(k, _)| k))
                 .into_iter()
@@ -1166,7 +1194,7 @@ impl Client {
         if !self.charge_host_publish(summary_bytes) {
             return; // index host unreachable: skip, the content stays node-local
         }
-        let mut index = self.store.cluster_index.lock();
+        let mut index = self.store.cluster_write();
         for (key, desc) in entries {
             if novel.contains(&key) {
                 index.record(key, desc);
@@ -2912,7 +2940,6 @@ mod tests {
         let seq = a
             .store()
             .pattern_board()
-            .lock()
             .sequence((blob, v))
             .expect("pattern published");
         assert_eq!(*seq, (0..16).collect::<Vec<u64>>());
@@ -2984,7 +3011,7 @@ mod tests {
         let off = Client::new(off_store, NodeId(0));
         let (blob, v) = off.upload(Payload::synth(123, 0, 1024)).unwrap();
         off.hint_access(blob, v, std::slice::from_ref(&(0..1024)));
-        assert!(off.store().pattern_board().lock().is_empty());
+        assert!(off.store().pattern_board().is_empty());
         assert!(!off.has_prefetch_work(blob, v));
         assert_eq!(off.prefetch_chunks(blob, v, 8).unwrap(), 0);
         assert_eq!(off.context().prefetch_stats(), Default::default());
@@ -3008,7 +3035,7 @@ mod tests {
             let capless = Client::new(store, NodeId(0));
             let (blob, v) = capless.upload(Payload::synth(124, 0, 4096)).unwrap();
             capless.hint_access(blob, v, std::slice::from_ref(&(0..4096)));
-            assert!(capless.store().pattern_board().lock().is_empty());
+            assert!(capless.store().pattern_board().is_empty());
             assert!(!capless.has_prefetch_work(blob, v));
             let transfers = fabric.stats().transfer_count();
             assert_eq!(capless.prefetch_chunks(blob, v, 8).unwrap(), 0);
@@ -3133,7 +3160,7 @@ mod tests {
         let blob_a = a.create_blob(128).unwrap();
         a.write_chunks(blob_a, Version(0), vec![(0, content.clone())])
             .unwrap();
-        let indexed = a.store().cluster_index().lock().len();
+        let indexed = a.store().cluster_index().read().len();
         assert_eq!(indexed, 1, "the commit published its content key");
         // A second node committing the same content publishes nothing
         // new: same index size, and the only control traffic beyond the
@@ -3144,7 +3171,7 @@ mod tests {
             .unwrap();
         let _ = msgs_before;
         assert_eq!(
-            b.store().cluster_index().lock().len(),
+            b.store().cluster_index().read().len(),
             indexed,
             "an already-indexed key is not re-published"
         );
@@ -3314,12 +3341,12 @@ mod tests {
         let v = a
             .write_chunks(blob, Version(0), vec![(0, content.clone())])
             .unwrap();
-        assert_eq!(a.store().cluster_index().lock().len(), 1);
+        assert_eq!(a.store().cluster_index().read().len(), 1);
         assert!(a.context().digest_entries() > 0);
         let report = a.delete_snapshot(blob, v).unwrap();
         assert_eq!(report.freed_chunks, 1);
         assert_eq!(
-            a.store().cluster_index().lock().len(),
+            a.store().cluster_index().read().len(),
             0,
             "freed chunk evicted from the cluster index"
         );
@@ -3350,13 +3377,11 @@ mod tests {
         // One publisher so far: everything it reports is prefetchable.
         store
             .pattern_board
-            .lock()
             .merge(key, NodeId(0), &(0..16).collect::<Vec<u64>>());
         // A second cohort member confirms only the first half; the tail
         // 8..16 stays single-publisher (private divergence).
         store
             .pattern_board
-            .lock()
             .merge(key, NodeId(1), &(0..8).collect::<Vec<u64>>());
         let landed = c.prefetch_chunks(blob, v, 100).unwrap();
         assert_eq!(landed, 8, "only cohort-confirmed chunks are prefetched");

@@ -36,6 +36,7 @@
 //! experiments read them without stopping the data plane.
 
 use crate::api::{BlobConfig, BlobId, ChunkDesc, ChunkId, Version};
+use crate::lockstat::{probed_lock, LockContention, LockProbe};
 use bff_data::{ContentKey, DigestIndex, FastMap, FastSet, Payload, RangeSet, U64Hasher};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -263,6 +264,8 @@ pub struct NodeContext {
     prefetch_hit_bytes: AtomicU64,
     prefetch_wasted: AtomicU64,
     chunk_cache_hits: AtomicU64,
+    /// Contention counters of the `chunks` lock (serving diagnostics).
+    chunks_probe: LockProbe,
 }
 
 impl NodeContext {
@@ -297,6 +300,7 @@ impl NodeContext {
             prefetch_hit_bytes: AtomicU64::new(0),
             prefetch_wasted: AtomicU64::new(0),
             chunk_cache_hits: AtomicU64::new(0),
+            chunks_probe: LockProbe::default(),
         }
     }
 
@@ -559,15 +563,12 @@ impl NodeContext {
 
     // --- The node-shared chunk-data cache ---------------------------
 
-    /// Look up a chunk payload in the node-shared chunk cache. A hit
-    /// marks the entry used (a prefetched entry's first use counts
-    /// toward the prefetch hit statistics) and refreshes its LRU stamp.
-    pub fn chunk_cache_get(&self, id: ChunkId) -> Option<Payload> {
-        if self.chunk_cache_bytes == 0 {
-            return None;
-        }
+    /// One cache lookup under an already-held lock: the common body of
+    /// [`NodeContext::chunk_cache_get`] and
+    /// [`NodeContext::chunk_cache_get_batch`], so the two are
+    /// hit-for-hit and stat-for-stat identical.
+    fn chunk_cache_get_locked(&self, cache: &mut ChunkCache, id: ChunkId) -> Option<Payload> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut cache = self.chunks.lock();
         let data = {
             let entry = cache.entries.get_mut(&id)?;
             if entry.origin == ChunkOrigin::Prefetch && !entry.used {
@@ -585,11 +586,42 @@ impl NodeContext {
         Some(data)
     }
 
+    /// Look up a chunk payload in the node-shared chunk cache. A hit
+    /// marks the entry used (a prefetched entry's first use counts
+    /// toward the prefetch hit statistics) and refreshes its LRU stamp.
+    pub fn chunk_cache_get(&self, id: ChunkId) -> Option<Payload> {
+        if self.chunk_cache_bytes == 0 {
+            return None;
+        }
+        let mut cache = probed_lock(&self.chunks_probe, &self.chunks);
+        self.chunk_cache_get_locked(&mut cache, id)
+    }
+
+    /// Batched [`NodeContext::chunk_cache_get`]: one lock acquisition
+    /// covers the whole lookup plan of a read, instead of one round trip
+    /// per chunk. Exactly equivalent per id — same hit marking, same LRU
+    /// stamps, same statistics — this is purely a lock-traffic fix: on
+    /// the wall-clock serving path the per-chunk acquisitions of a
+    /// 100-chunk read are ~100 contended futex round trips that the
+    /// batch turns into one.
+    pub fn chunk_cache_get_batch(&self, ids: &[ChunkId]) -> Vec<Option<Payload>> {
+        if self.chunk_cache_bytes == 0 || ids.is_empty() {
+            return vec![None; ids.len()];
+        }
+        let mut cache = probed_lock(&self.chunks_probe, &self.chunks);
+        ids.iter()
+            .map(|&id| self.chunk_cache_get_locked(&mut cache, id))
+            .collect()
+    }
+
     /// Whether a chunk is resident in the node-shared chunk cache,
     /// without touching hit statistics or LRU order (prefetch-side
     /// dedup check, not a demand read).
     pub fn chunk_cache_contains(&self, id: ChunkId) -> bool {
-        self.chunk_cache_bytes != 0 && self.chunks.lock().entries.contains_key(&id)
+        self.chunk_cache_bytes != 0
+            && probed_lock(&self.chunks_probe, &self.chunks)
+                .entries
+                .contains_key(&id)
     }
 
     /// Insert a fetched chunk into the node-shared cache, evicting LRU
@@ -601,7 +633,7 @@ impl NodeContext {
             return;
         }
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut cache = self.chunks.lock();
+        let mut cache = probed_lock(&self.chunks_probe, &self.chunks);
         if let Some(entry) = cache.entries.get_mut(&id) {
             entry.last_used = tick;
             cache.queue.push_back((id, tick));
@@ -692,6 +724,12 @@ impl NodeContext {
             dedup_reused_bytes: self.dedup_reused_bytes.load(Ordering::Relaxed),
             desc_entries: self.desc_entries(),
         }
+    }
+
+    /// Contention counters of the node-shared chunk-cache lock (serving
+    /// diagnostics; see [`crate::lockstat`]).
+    pub fn chunk_cache_contention(&self) -> LockContention {
+        self.chunks_probe.snapshot()
     }
 }
 

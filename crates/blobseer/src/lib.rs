@@ -28,6 +28,7 @@ pub mod board;
 pub mod client;
 pub mod cluster;
 pub mod context;
+pub mod lockstat;
 pub mod meta;
 pub mod pmanager;
 pub mod provider;
@@ -39,10 +40,11 @@ pub use api::{
     BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey,
     ReplicationMode, TreeNode, Version,
 };
-pub use board::PatternBoard;
+pub use board::{BoardService, PatternBoard};
 pub use client::{Client, GcReport};
 pub use cluster::ClusterIndex;
 pub use context::{CacheStats, NodeContext, PrefetchStats};
+pub use lockstat::LockContention;
 pub use pmanager::Placement;
 pub use provider::ProviderStore;
 pub use service::BlobStore;

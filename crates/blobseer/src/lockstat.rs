@@ -1,0 +1,147 @@
+//! Lock-contention instrumentation for the serving hot paths.
+//!
+//! The wall-clock load generator (`load_sweep`) needs to *attribute*
+//! throughput loss to specific locks, not just observe it. Each
+//! instrumented lock site owns a [`LockProbe`]; acquisitions go through
+//! the `probed_*` helpers, which try the lock without blocking first and
+//! count an acquisition as *contended* when that attempt fails. The
+//! counters are relaxed atomics — a handful of nanoseconds per
+//! acquisition, cheap enough to leave on permanently.
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters of one instrumented lock site.
+#[derive(Debug, Default)]
+pub struct LockProbe {
+    acquires: AtomicU64,
+    contended: AtomicU64,
+}
+
+/// Snapshot of a [`LockProbe`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockContention {
+    /// Total acquisitions through this probe.
+    pub acquires: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+}
+
+impl LockContention {
+    /// Contended fraction in `[0, 1]` (0 when never acquired).
+    pub fn contended_frac(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquires as f64
+        }
+    }
+}
+
+impl LockProbe {
+    /// Record one acquisition; `contended` when the non-blocking attempt
+    /// failed.
+    #[inline]
+    pub fn note(&self, contended: bool) {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn snapshot(&self) -> LockContention {
+        LockContention {
+            acquires: self.acquires.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Lock a mutex, counting contention on `probe`.
+#[inline]
+pub fn probed_lock<'a, T>(probe: &LockProbe, lock: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    match lock.try_lock() {
+        Some(g) => {
+            probe.note(false);
+            g
+        }
+        None => {
+            probe.note(true);
+            lock.lock()
+        }
+    }
+}
+
+/// Acquire shared read access, counting contention on `probe`.
+#[inline]
+pub fn probed_read<'a, T>(probe: &LockProbe, lock: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
+    match lock.try_read() {
+        Some(g) => {
+            probe.note(false);
+            g
+        }
+        None => {
+            probe.note(true);
+            lock.read()
+        }
+    }
+}
+
+/// Acquire exclusive write access, counting contention on `probe`.
+#[inline]
+pub fn probed_write<'a, T>(probe: &LockProbe, lock: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
+    match lock.try_write() {
+        Some(g) => {
+            probe.note(false);
+            g
+        }
+        None => {
+            probe.note(true);
+            lock.write()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_acquisitions_count_clean() {
+        let probe = LockProbe::default();
+        let m = Mutex::new(0);
+        for _ in 0..5 {
+            *probed_lock(&probe, &m) += 1;
+        }
+        let s = probe.snapshot();
+        assert_eq!(s.acquires, 5);
+        assert_eq!(s.contended, 0);
+        assert_eq!(s.contended_frac(), 0.0);
+    }
+
+    #[test]
+    fn blocked_acquisition_counts_contended() {
+        let probe = LockProbe::default();
+        let l = RwLock::new(0);
+        // A reader arriving while a writer holds the lock takes the
+        // contended branch; run it from another thread so the blocking
+        // read can actually complete once the writer drops.
+        let w = l.write();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                let _r = probed_read(&probe, &l);
+            });
+            while probe.snapshot().acquires == 0 {
+                std::thread::yield_now();
+            }
+            drop(w);
+            h.join().unwrap();
+        });
+        let _r2 = probed_read(&probe, &l);
+        let s = probe.snapshot();
+        assert_eq!(s.acquires, 2);
+        assert_eq!(s.contended, 1);
+        assert!(s.contended_frac() > 0.0);
+    }
+}

@@ -9,9 +9,10 @@
 //! concurrency (coroutine processes).
 
 use crate::api::{BlobConfig, BlobId, BlobTopology, ChunkId, Version};
-use crate::board::PatternBoard;
+use crate::board::BoardService;
 use crate::cluster::ClusterIndex;
 use crate::context::NodeContext;
+use crate::lockstat::{probed_read, probed_write, LockContention, LockProbe};
 use crate::meta::MetaPartition;
 use crate::pmanager::{PManager, Placement};
 use crate::provider::ProviderStore;
@@ -19,7 +20,7 @@ use crate::vmanager::VManager;
 use bff_data::FastMap;
 use bff_data::FastSet;
 use bff_net::{Fabric, NodeId};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::sync::Arc;
 
 /// A deployed BlobSeer-like service.
@@ -39,12 +40,18 @@ pub struct BlobStore {
     contexts: Mutex<FastMap<NodeId, Arc<NodeContext>>>,
     /// The cluster access-pattern board, hosted beside the provider
     /// manager (publishes pay an RPC to `topo.pmanager`; updates are
-    /// gossiped to the compute nodes — see [`crate::board`]).
-    pub(crate) pattern_board: Mutex<PatternBoard>,
+    /// gossiped to the compute nodes — see [`crate::board`]). The
+    /// service does its own sharded read/write locking.
+    pub(crate) pattern_board: BoardService,
     /// The cluster-wide content-addressed dedup index, hosted beside the
     /// provider manager on the same publish/gossip transport as the
-    /// board (see [`crate::cluster`]).
-    pub(crate) cluster_index: Mutex<ClusterIndex>,
+    /// board (see [`crate::cluster`]). Read-mostly after deployment
+    /// convergence (probes vastly outnumber novel-entry publishes), so a
+    /// read/write lock; acquisitions on the client hot paths go through
+    /// [`BlobStore::cluster_read`]/[`BlobStore::cluster_write`] and are
+    /// contention-counted.
+    pub(crate) cluster_index: RwLock<ClusterIndex>,
+    cluster_probe: LockProbe,
 }
 
 impl BlobStore {
@@ -85,8 +92,9 @@ impl BlobStore {
             topo,
             fabric,
             contexts: Mutex::new(FastMap::default()),
-            pattern_board: Mutex::new(PatternBoard::default()),
-            cluster_index: Mutex::new(ClusterIndex::new(cluster_cap)),
+            pattern_board: BoardService::new(cfg.coarse_board_lock),
+            cluster_index: RwLock::new(ClusterIndex::new(cluster_cap)),
+            cluster_probe: LockProbe::default(),
         })
     }
 
@@ -104,14 +112,30 @@ impl BlobStore {
 
     /// The cluster access-pattern board (diagnostics; the data plane
     /// goes through [`crate::Client`]).
-    pub fn pattern_board(&self) -> &Mutex<PatternBoard> {
+    pub fn pattern_board(&self) -> &BoardService {
         &self.pattern_board
     }
 
     /// The cluster-wide dedup index (diagnostics; the data plane goes
     /// through [`crate::Client::write_chunks`]).
-    pub fn cluster_index(&self) -> &Mutex<ClusterIndex> {
+    pub fn cluster_index(&self) -> &RwLock<ClusterIndex> {
         &self.cluster_index
+    }
+
+    /// Shared read access to the cluster dedup index, contention-counted
+    /// (the commit-probe hot path).
+    pub(crate) fn cluster_read(&self) -> RwLockReadGuard<'_, ClusterIndex> {
+        probed_read(&self.cluster_probe, &self.cluster_index)
+    }
+
+    /// Exclusive access to the cluster dedup index, contention-counted.
+    pub(crate) fn cluster_write(&self) -> RwLockWriteGuard<'_, ClusterIndex> {
+        probed_write(&self.cluster_probe, &self.cluster_index)
+    }
+
+    /// Contention counters of the cluster-index lock.
+    pub fn cluster_contention(&self) -> LockContention {
+        self.cluster_probe.snapshot()
     }
 
     /// Cluster-wide eviction after a snapshot delete: drop the deleted
@@ -121,14 +145,11 @@ impl BlobStore {
     /// these evictions; the state change itself is the replicas
     /// converging.
     pub(crate) fn purge_deleted(&self, versions: &[(BlobId, Version)], freed: &FastSet<ChunkId>) {
-        {
-            let mut board = self.pattern_board.lock();
-            for &key in versions {
-                board.drop_pattern(key);
-            }
+        for &key in versions {
+            self.pattern_board.drop_pattern(key);
         }
         if !freed.is_empty() {
-            self.cluster_index.lock().evict_chunks(freed);
+            self.cluster_write().evict_chunks(freed);
         }
         let contexts: Vec<Arc<NodeContext>> = self.contexts.lock().values().cloned().collect();
         for ctx in contexts {

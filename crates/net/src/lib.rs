@@ -20,8 +20,10 @@
 //! snapshot — no experiment-specific instrumentation is needed.
 
 pub mod stats;
+pub mod thread_fabric;
 
 pub use stats::{NodeTraffic, TrafficStats};
+pub use thread_fabric::{ThreadDiskParams, ThreadFabric, ThreadParams};
 
 use std::fmt;
 use std::sync::Arc;
@@ -152,6 +154,13 @@ pub trait Fabric: Send + Sync {
     fn spawn_detached(&self, task: Box<dyn FnOnce() + Send + 'static>) {
         task();
     }
+
+    /// Block until all work started with [`Fabric::spawn_detached`] has
+    /// finished. Sweeps call this before snapshotting [`TrafficStats`] so
+    /// detached read-ahead cannot mutate counters mid-read. Fabrics whose
+    /// `spawn_detached` runs inline (or inside a simulation that is driven
+    /// to completion anyway) have nothing to drain: the default is a no-op.
+    fn quiesce(&self) {}
 
     /// Whether a node is marked failed (fail-stop model).
     fn is_down(&self, _node: NodeId) -> bool {

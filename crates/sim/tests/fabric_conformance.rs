@@ -1,0 +1,134 @@
+//! Cross-fabric conformance: every [`Fabric`] implementation — the
+//! cost-free [`LocalFabric`], the virtual-time `SimFabric` and the
+//! wall-clock [`ThreadFabric`] — must account the *same* op sequence
+//! identically in [`TrafficStats`]. The three fabrics may disagree on
+//! when an operation completes, never on what moved. This is the
+//! invariant that lets the sweeps compare logical traffic across
+//! execution modes, and lets `load_sweep` trust that its locking
+//! disciplines differ only in wall-clock behaviour.
+
+use bff_net::{Fabric, LocalFabric, NodeId, NodeTraffic, ThreadFabric, ThreadParams, Transfer};
+use bff_sim::{ClusterParams, SimCluster};
+use std::sync::Arc;
+
+const NODES: usize = 4;
+
+/// One fixed op sequence exercising every accounting-relevant fabric
+/// verb, including self-transfers (free), fan-in bulk transfers,
+/// write-back disk writes, and work launched through `par_join` /
+/// `spawn_detached`.
+fn drive(fabric: &Arc<dyn Fabric>) {
+    fabric.transfer(NodeId(0), NodeId(1), 100_000).unwrap();
+    fabric.transfer(NodeId(2), NodeId(2), 5_000).unwrap(); // self: free
+    fabric
+        .transfer_all(&[
+            Transfer {
+                src: NodeId(0),
+                dst: NodeId(2),
+                bytes: 50_000,
+            },
+            Transfer {
+                src: NodeId(1),
+                dst: NodeId(2),
+                bytes: 30_000,
+            },
+            Transfer {
+                src: NodeId(3),
+                dst: NodeId(0),
+                bytes: 10_000,
+            },
+        ])
+        .unwrap();
+    fabric.rpc(NodeId(1), NodeId(3), 200, 400).unwrap();
+    fabric.rpc(NodeId(2), NodeId(2), 100, 100).unwrap(); // self: free
+    fabric.disk_read(NodeId(0), 64 << 10).unwrap();
+    fabric.disk_write(NodeId(1), 32 << 10).unwrap();
+    fabric.disk_write_cached(NodeId(2), 128 << 10).unwrap();
+    fabric.disk_sync(NodeId(2)).unwrap();
+    fabric.compute(NodeId(3), 50);
+    let (a, b) = (Arc::clone(fabric), Arc::clone(fabric));
+    fabric.par_join(vec![
+        Box::new(move || a.transfer(NodeId(1), NodeId(0), 7_000).unwrap()),
+        Box::new(move || b.rpc(NodeId(0), NodeId(2), 64, 128).unwrap()),
+    ]);
+    let c = Arc::clone(fabric);
+    fabric.spawn_detached(Box::new(move || {
+        c.transfer(NodeId(2), NodeId(3), 9_000).unwrap();
+    }));
+    fabric.quiesce();
+}
+
+/// Everything [`TrafficStats`] records, in comparable form.
+fn snapshot(fabric: &Arc<dyn Fabric>) -> (u64, u64, u64, Vec<NodeTraffic>) {
+    let s = fabric.stats();
+    (
+        s.total_network_bytes(),
+        s.transfer_count(),
+        s.rpc_count(),
+        (0..NODES as u32).map(|n| s.node(NodeId(n))).collect(),
+    )
+}
+
+#[test]
+fn all_fabrics_account_the_same_sequence_identically() {
+    // Cost-free in-process fabric.
+    let local: Arc<dyn Fabric> = LocalFabric::new(NODES);
+    drive(&local);
+    let local_snap = snapshot(&local);
+    assert!(
+        local_snap.0 > 0 && local_snap.1 > 0 && local_snap.2 > 0,
+        "the sequence must exercise transfers and rpcs: {local_snap:?}"
+    );
+
+    // Virtual-time simulator: the same sequence as a simulated process,
+    // driven to completion (detached work included) by the engine.
+    let cluster = SimCluster::new(ClusterParams::grid5000(NODES));
+    let sim_fabric: Arc<dyn Fabric> = cluster.fabric();
+    let driver = Arc::clone(&sim_fabric);
+    cluster.sim().spawn("driver", move |_env| drive(&driver));
+    let end_us = cluster.run();
+    assert!(end_us > 0, "the modelled costs must consume virtual time");
+    let sim_snap = snapshot(&sim_fabric);
+
+    // Wall-clock fabric: real threads, real sleeps (fast profile so the
+    // test stays quick), drained by quiesce inside drive().
+    let threads: Arc<dyn Fabric> = ThreadFabric::new(ThreadParams::fast(NODES));
+    drive(&threads);
+    let thread_snap = snapshot(&threads);
+
+    assert_eq!(
+        local_snap, sim_snap,
+        "SimFabric accounting diverged from LocalFabric"
+    );
+    assert_eq!(
+        local_snap, thread_snap,
+        "ThreadFabric accounting diverged from LocalFabric"
+    );
+}
+
+#[test]
+fn quiesce_is_a_barrier_for_detached_work_on_every_fabric() {
+    // After quiesce, detached transfers must be visible in the stats —
+    // on the thread fabric that means the pool actually drained; on the
+    // others spawn_detached is inline or engine-driven.
+    for (label, fabric) in [
+        ("local", LocalFabric::new(NODES) as Arc<dyn Fabric>),
+        (
+            "threads",
+            ThreadFabric::new(ThreadParams::fast(NODES)) as Arc<dyn Fabric>,
+        ),
+    ] {
+        for i in 0..8u64 {
+            let f = Arc::clone(&fabric);
+            fabric.spawn_detached(Box::new(move || {
+                f.transfer(NodeId(0), NodeId(1), 1_000 + i).unwrap();
+            }));
+        }
+        fabric.quiesce();
+        assert_eq!(
+            fabric.stats().transfer_count(),
+            8,
+            "{label}: quiesce returned before detached work finished"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 use bff::cloud::backend::{ImageBackend, MirrorBackend, QcowPvfsBackend, RawLocalBackend};
 use bff::cloud::params::Calibration;
 use bff::cloud::vm::{expected_image, run_vm_trace};
+use bff::net::{ThreadFabric, ThreadParams};
 use bff::prelude::*;
 use bff::pvfs::{Pvfs, PvfsClient, PvfsConfig};
 use bff::sim::{ClusterParams, SimCluster};
@@ -113,6 +114,106 @@ fn simulated_and_local_execution_agree_byte_for_byte() {
         local_digest,
         "virtual time changes timing, never contents"
     );
+}
+
+/// Everything the cloud workload below is *logically* responsible for:
+/// the bytes each instance observed, what moved over the fabric, and
+/// what the dedup pipeline reused. Timing is deliberately absent.
+#[derive(Debug, PartialEq)]
+struct LogicalOutcome {
+    image_digests: Vec<bff::data::Digest>,
+    network_bytes: u64,
+    transfers: u64,
+    rpcs: u64,
+    dedup_hits: u64,
+    dedup_reused_bytes: u64,
+    desc_lookups: u64,
+}
+
+/// A deterministic multideployment/multisnapshotting run on the full
+/// cloud middleware: 4 instances boot the same image from 4 nodes,
+/// contextualize with a shared + a private payload, snapshot, and one
+/// terminates (snapshot GC). Prefetch stays off so no detached
+/// read-ahead races the op sequence — every fabric must then execute
+/// the byte-identical schedule.
+fn cloud_workload(fabric: Arc<dyn Fabric>) -> LogicalOutcome {
+    const IMG: u64 = 1 << 20;
+    let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let cloud = Cloud::new(
+        Arc::clone(&fabric),
+        compute.clone(),
+        NodeId(4),
+        BlobConfig {
+            chunk_size: 64 << 10,
+            dedup: true,
+            cluster_dedup: true,
+            prefetch: false,
+            ..Default::default()
+        },
+        Calibration::default(),
+    );
+    let (blob, v) = cloud.upload_image(Payload::synth(0xFAB, 0, IMG)).unwrap();
+    let mut image_digests = Vec::new();
+    let mut doomed = None;
+    for (i, &node) in compute.iter().enumerate() {
+        let mut vm = cloud.add_instance(blob, v, node).unwrap();
+        image_digests.push(vm.backend.read(0..IMG).unwrap().digest());
+        // Shared bytes (identical from every node: cluster-dedup food)
+        // plus a private mark, then a snapshot.
+        vm.backend
+            .write(0, Payload::synth(0x5AFE, 0, 128 << 10))
+            .unwrap();
+        vm.backend
+            .write(IMG / 2, Payload::synth(0xB00 + i as u64, 0, 32 << 10))
+            .unwrap();
+        let (sb, sv) = vm.snapshot().unwrap();
+        let verifier = BlobClient::new(Arc::clone(cloud.store()), node);
+        image_digests.push(verifier.read(sb, sv, 0..IMG).unwrap().digest());
+        if i == 3 {
+            doomed = Some(vm);
+        }
+    }
+    cloud.terminate_instance(doomed.unwrap()).unwrap();
+    fabric.quiesce();
+    let stats = fabric.stats();
+    let cache = cloud.cache_stats();
+    LogicalOutcome {
+        image_digests,
+        network_bytes: stats.total_network_bytes(),
+        transfers: stats.transfer_count(),
+        rpcs: stats.rpc_count(),
+        dedup_hits: cache.dedup_hits,
+        dedup_reused_bytes: cache.dedup_reused_bytes,
+        desc_lookups: cache.desc_hits + cache.desc_misses,
+    }
+}
+
+#[test]
+fn sim_and_thread_fabrics_agree_on_all_logical_outcomes() {
+    // The virtual-time simulator runs the workload as a simulated
+    // process; the wall-clock thread fabric runs it natively. Blob
+    // contents AND every logical counter — bytes moved, transfer/rpc
+    // counts, dedup hits — must match exactly; only timing may differ.
+    let cluster = SimCluster::new(ClusterParams::grid5000(5));
+    let sim_fabric: Arc<dyn Fabric> = cluster.fabric();
+    let sim_outcome: Arc<Mutex<Option<LogicalOutcome>>> = Arc::new(Mutex::new(None));
+    let out = Arc::clone(&sim_outcome);
+    let f = Arc::clone(&sim_fabric);
+    cluster.sim().spawn("cloud", move |_env| {
+        *out.lock() = Some(cloud_workload(f));
+    });
+    assert!(cluster.run() > 0, "the simulated run consumed virtual time");
+    let sim_outcome = sim_outcome.lock().take().expect("sim ran");
+
+    let thread_outcome =
+        cloud_workload(ThreadFabric::new(ThreadParams::fast(5)) as Arc<dyn Fabric>);
+
+    assert_eq!(
+        sim_outcome, thread_outcome,
+        "fabrics may differ in timing, never in logical outcomes"
+    );
+    // And the workload was non-trivial on both sides.
+    assert!(thread_outcome.network_bytes > 0 && thread_outcome.dedup_hits > 0);
 }
 
 #[test]

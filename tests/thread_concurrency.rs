@@ -7,6 +7,7 @@
 use bff::blobseer::{BlobStore, BlobTopology};
 use bff::cloud::backend::{ImageBackend, MirrorBackend};
 use bff::cloud::params::Calibration;
+use bff::net::{ThreadFabric, ThreadParams};
 use bff::prelude::*;
 use std::sync::Arc;
 
@@ -181,6 +182,73 @@ fn co_located_clients_share_one_node_context() {
         0,
         "shared snapshot descriptors were lost from the node cache"
     );
+}
+
+#[test]
+fn thread_fabric_stress_keeps_exact_accounting_under_real_races() {
+    // The wall-clock fabric under load: many OS threads play co-located
+    // VMs on ONE node's shared NodeContext while every operation pays a
+    // real (fast-profile) modelled delay on the thread fabric — so the
+    // interleavings differ run to run, unlike the cost-free LocalFabric
+    // where most operations complete before the next thread is
+    // scheduled. Content must stay torn-free and the hit/miss counters
+    // must account every chunk lookup exactly once, races or not.
+    const CS: u64 = 64 << 10;
+    const SHARED: u64 = 1 << 20; // 16 chunks
+    const OWN: u64 = 256 << 10; // 4 chunks
+    const WORKERS: usize = 16;
+    let fabric = ThreadFabric::new(ThreadParams::fast(5));
+    let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let topo = BlobTopology::colocated(&compute, NodeId(4));
+    let cfg = BlobConfig {
+        chunk_size: CS,
+        dedup: false, // counter accounting below assumes no reuse
+        ..Default::default()
+    };
+    let store = BlobStore::new(cfg, topo, Arc::clone(&fabric) as Arc<dyn Fabric>);
+    let image = Payload::synth(0xFAB2, 0, SHARED);
+    // Stage from the service node so node 0 starts cold.
+    let stage = BlobClient::new(Arc::clone(&store), NodeId(4));
+    let (shared, v) = stage.upload(image.clone()).unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..WORKERS {
+            let store = Arc::clone(&store);
+            let image = image.clone();
+            s.spawn(move || {
+                let client = BlobClient::new(store, NodeId(0));
+                // Race the whole cohort through the shared snapshot —
+                // 16 chunk lookups each, all contending on the node's
+                // descriptor cache and the fabric's NIC lanes at once.
+                let got = client.read(shared, v, 0..SHARED).unwrap();
+                assert!(got.content_eq(&image), "worker {t} read torn content");
+                // Publish a private blob and read it back — 4 lookups
+                // each, hits via the commit-seeded cache.
+                let own = Payload::synth(0xE000 + t as u64, 0, OWN);
+                let (blob, ov) = client.upload(own.clone()).unwrap();
+                let got = client.read(blob, ov, 0..OWN).unwrap();
+                assert!(got.content_eq(&own), "worker {t} own blob torn");
+            });
+        }
+    });
+    // Drain detached fabric work before trusting any counter.
+    fabric.quiesce();
+
+    let ctx = store.node_context(NodeId(0));
+    let stats = ctx.stats();
+    let expected = WORKERS as u64 * (SHARED / CS + OWN / CS);
+    assert_eq!(
+        stats.desc_hits + stats.desc_misses,
+        expected,
+        "hit/miss counters lost or double-counted lookups: {stats:?}"
+    );
+    assert!(
+        stats.desc_hits >= WORKERS as u64 * (OWN / CS),
+        "committers must hit their own seeded entries: {stats:?}"
+    );
+    assert!(ctx.desc_entries() <= ctx.desc_capacity());
+    // The modelled clock advanced: these threads really paid delays.
+    assert!(fabric.now_us() > 0, "wall-clock fabric must advance time");
 }
 
 #[test]

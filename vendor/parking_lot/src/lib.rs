@@ -81,6 +81,24 @@ impl<T: ?Sized> RwLock<T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Try to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Try to acquire exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(|e| e.into_inner())
@@ -110,5 +128,22 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let l = RwLock::new(1);
+        {
+            let _r = l.read();
+            assert!(l.try_read().is_some(), "readers share");
+            assert!(l.try_write().is_none(), "writer excluded by reader");
+        }
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none(), "reader excluded by writer");
+            assert!(l.try_write().is_none(), "writers exclusive");
+        }
+        *l.try_write().expect("uncontended") += 1;
+        assert_eq!(*l.try_read().expect("uncontended"), 2);
     }
 }
