@@ -9,7 +9,8 @@
 //!     [--dedup-results target/paper/dedup_summary.json --dedup-baseline BENCH_3.json] \
 //!     [--prefetch-results target/paper/prefetch_summary.json --prefetch-baseline BENCH_4.json] \
 //!     [--cluster-results target/paper/cluster_summary.json --cluster-baseline BENCH_5.json] \
-//!     [--loadgen-results target/paper/load_summary.json --loadgen-baseline BENCH_6.json]
+//!     [--loadgen-results target/paper/load_summary.json --loadgen-baseline BENCH_6.json] \
+//!     [--transport-results target/paper/transport_summary.json --transport-baseline BENCH_7.json]
 //! ```
 //!
 //! On failure the gate ends with a `FAILED METRICS` block naming, for
@@ -168,6 +169,19 @@ const LOADGEN_CHECKS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Measured-value keys checked between a transport summary
+/// (`load_sweep --transport all`) and `BENCH_7.json`. Only the
+/// codec÷direct throughput ratio is gated — both transports run
+/// in-process over the identical workload, so the ratio isolates the
+/// wire codec + dispatch overhead from runner speed. Socket absolutes
+/// are recorded in the summary but not gated: they measure kernel
+/// round-trips and vary wildly with runner hardware.
+const TRANSPORT_CHECKS: &[(&str, &str, &str)] = &[(
+    "transport: codec boots/s retention vs direct",
+    "transport_codec_retention",
+    "transport_codec_retention_floor",
+)];
+
 /// Measured-value keys checked between a prefetch summary and
 /// `BENCH_4.json`.
 const PREFETCH_CHECKS: &[(&str, &str, &str)] = &[
@@ -296,6 +310,8 @@ fn main() -> ExitCode {
     let mut cluster_baseline = String::from("BENCH_5.json");
     let mut loadgen_results: Option<String> = None;
     let mut loadgen_baseline = String::from("BENCH_6.json");
+    let mut transport_results: Option<String> = None;
+    let mut transport_baseline = String::from("BENCH_7.json");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--results" => {
@@ -341,6 +357,15 @@ fn main() -> ExitCode {
             "--loadgen-baseline" => {
                 loadgen_baseline = args.next().expect("--loadgen-baseline needs a path")
             }
+            "--transport-results" => {
+                let path = args.next().expect("--transport-results needs a path");
+                transport_results = Some(
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+                );
+            }
+            "--transport-baseline" => {
+                transport_baseline = args.next().expect("--transport-baseline needs a path")
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -349,9 +374,10 @@ fn main() -> ExitCode {
             || dedup_results.is_some()
             || prefetch_results.is_some()
             || cluster_results.is_some()
-            || loadgen_results.is_some(),
-        "no --results, --dedup-results, --prefetch-results, --cluster-results or \
-         --loadgen-results provided"
+            || loadgen_results.is_some()
+            || transport_results.is_some(),
+        "no --results, --dedup-results, --prefetch-results, --cluster-results, \
+         --loadgen-results or --transport-results provided"
     );
     let mut failures: Vec<Failure> = Vec::new();
     if let Some(summary) = &dedup_results {
@@ -408,6 +434,17 @@ fn main() -> ExitCode {
             summary,
             &baseline,
             &loadgen_baseline,
+        ));
+    }
+    if let Some(summary) = &transport_results {
+        let baseline = std::fs::read_to_string(&transport_baseline)
+            .unwrap_or_else(|e| panic!("read baseline {transport_baseline}: {e}"));
+        failures.extend(check_summary(
+            "transport-sweep",
+            TRANSPORT_CHECKS,
+            summary,
+            &baseline,
+            &transport_baseline,
         ));
     }
     if !results.is_empty() {

@@ -1,0 +1,129 @@
+//! Standalone server-role host: runs a group of BlobSeer server roles
+//! (version manager, provider manager, metadata shards, chunk
+//! providers, pattern board, cluster dedup index) as a real OS process
+//! serving the typed wire protocol over framed TCP on loopback.
+//!
+//! One process can host any subset of roles (`--roles vm,pm,...`); a
+//! multi-process cluster is several `blob_server`s over the same
+//! topology, each serving its slice. The board and cluster roles must
+//! be colocated in one process — a board purge evicts freed chunks from
+//! the cluster index atomically with dropping the patterns.
+//!
+//! Protocol with the parent (`load_sweep --transport socket`):
+//!
+//! 1. bind one listener per role, print `<role> <addr>` per line;
+//! 2. print `READY` and flush;
+//! 3. serve until stdin reaches EOF (the parent dropping the pipe is
+//!    the shutdown signal — no orphaned servers if the parent dies).
+//!
+//! The server roles are passive state machines: every modelled cost is
+//! charged client-side by the parent's fabric, so this process needs no
+//! fabric at all — it just holds state and answers frames.
+
+use bff_blobseer::{BlobConfig, BlobTopology, Placement, ServerState};
+use bff_net::transport::{FrameHandler, FrameServer, Role, RouteKey};
+use bff_net::NodeId;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+struct Args {
+    roles: Vec<Role>,
+    nodes: u32,
+    service: u32,
+    chunk_size: u64,
+    dedup: bool,
+    cluster_dedup: bool,
+    prefetch: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        roles: Vec::new(),
+        nodes: 8,
+        service: 8,
+        chunk_size: 64 << 10,
+        dedup: false,
+        cluster_dedup: false,
+        prefetch: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--roles" => {
+                let list = it.next().expect("--roles needs a comma-separated list");
+                args.roles = list
+                    .split(',')
+                    .map(|s| Role::parse(s).unwrap_or_else(|| panic!("unknown role {s}")))
+                    .collect();
+            }
+            "--nodes" => args.nodes = it.next().expect("--nodes N").parse().expect("node count"),
+            "--service" => args.service = it.next().expect("--service N").parse().expect("node id"),
+            "--chunk-size" => {
+                args.chunk_size = it
+                    .next()
+                    .expect("--chunk-size BYTES")
+                    .parse()
+                    .expect("chunk size")
+            }
+            "--dedup" => args.dedup = true,
+            "--cluster-dedup" => args.cluster_dedup = true,
+            "--prefetch" => args.prefetch = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(!args.roles.is_empty(), "--roles is required");
+    let hosts_board = args.roles.contains(&Role::Board);
+    let hosts_cluster = args.roles.contains(&Role::Cluster);
+    assert_eq!(
+        hosts_board, hosts_cluster,
+        "board and cluster must be colocated (a purge touches both)"
+    );
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let compute: Vec<NodeId> = (0..args.nodes).map(NodeId).collect();
+    let topo = BlobTopology::colocated(&compute, NodeId(args.service));
+    let cfg = BlobConfig::builder()
+        .chunk_size(args.chunk_size)
+        .dedup(args.dedup)
+        .cluster_dedup(args.cluster_dedup)
+        .prefetch(args.prefetch)
+        .build();
+    let state = Arc::new(ServerState::new(&cfg, &topo, Placement::RoundRobin));
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut servers = Vec::with_capacity(args.roles.len());
+    for &role in &args.roles {
+        let route = match role {
+            Role::Vm => RouteKey::Vm,
+            Role::Pm => RouteKey::Pm,
+            Role::Board => RouteKey::Board,
+            Role::Cluster => RouteKey::Cluster,
+            Role::Meta => RouteKey::Meta(0),
+            Role::Provider => RouteKey::Provider(topo.providers[0]),
+        };
+        let state = Arc::clone(&state);
+        let handler: FrameHandler = Arc::new(move |route, frame| state.handle_frame(route, frame));
+        let server = FrameServer::start(route, handler).expect("bind loopback listener");
+        writeln!(out, "{} {}", role.name(), server.addr()).expect("announce role");
+        servers.push(server);
+    }
+    writeln!(out, "READY").expect("announce ready");
+    out.flush().expect("flush announcements");
+    drop(out);
+
+    // Serve until the parent closes our stdin (EOF) — the listener
+    // threads do the work; this thread just waits for the signal.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}

@@ -129,7 +129,7 @@ fn run_mode(dedup: bool) -> ModeOutcome {
         }
     }
 
-    let stats = cloud.cache_stats();
+    let stats = cloud.metrics().cache;
     ModeOutcome {
         stored_mb: (cloud.store().total_stored_bytes() - stored_base) as f64 / 1e6,
         committed_mb: committed as f64 / 1e6,

@@ -47,15 +47,19 @@
 //! so runner core counts don't change the workload).
 
 use bff_bench::{f1, f3, output_dir, RunScale, Table};
-use bff_blobseer::{BlobId, LockContention, Version};
+use bff_blobseer::{BlobId, BlobStore, BlobTopology, LockContention, TransportMode, Version};
 use bff_cloud::backend::ImageBackend;
 use bff_cloud::middleware::Cloud;
 use bff_cloud::params::Calibration;
 use bff_cloud::vm::vm_write_payload;
 use bff_data::Payload;
+use bff_net::transport::{Role, RouteTable, SocketTransport, WireStats};
 use bff_net::{Fabric, NodeId, ThreadFabric, ThreadParams};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -314,6 +318,7 @@ fn run_discipline(d: Discipline, workers: usize) -> RunOutcome {
     let wall_s = started.elapsed().as_secs_f64();
 
     latencies.sort_unstable();
+    let metrics = cloud.metrics();
     let cache = compute
         .iter()
         .map(|&n| cloud.node_context(n).chunk_cache_contention())
@@ -327,15 +332,323 @@ fn run_discipline(d: Discipline, workers: usize) -> RunOutcome {
         boots_per_s: latencies.len() as f64 / wall_s,
         p50_ms: percentile(&latencies, 50.0),
         p99_ms: percentile(&latencies, 99.0),
-        board: cloud.store().pattern_board().contention(),
-        cluster: cloud.store().cluster_contention(),
+        board: metrics.board_contention,
+        cluster: metrics.cluster_contention,
         cache,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Transport sweep (`--transport direct|codec|socket|all`)
+// ---------------------------------------------------------------------------
+
+/// One `blob_server` child process hosting a slice of the server roles.
+/// Dropping it closes the child's stdin — the server's shutdown signal —
+/// and reaps the process.
+struct ServerProc {
+    child: std::process::Child,
+}
+
+impl ServerProc {
+    /// Spawn `blob_server --roles <roles>` from next to the current
+    /// binary and collect its `<role> <addr>` announcements up to the
+    /// `READY` line.
+    fn spawn(roles: &str) -> (ServerProc, HashMap<Role, SocketAddr>) {
+        let bin = std::env::current_exe()
+            .expect("current exe")
+            .parent()
+            .expect("exe dir")
+            .join("blob_server");
+        let mut child = std::process::Command::new(&bin)
+            .args(["--roles", roles])
+            .args(["--nodes", &NODES.to_string()])
+            .args(["--service", &NODES.to_string()])
+            .args(["--chunk-size", &CHUNK.to_string()])
+            .args(["--dedup", "--cluster-dedup", "--prefetch"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {}: {e} (build the blob_server bin)", bin.display()));
+        let mut lines = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut addrs = HashMap::new();
+        loop {
+            let mut line = String::new();
+            let n = lines.read_line(&mut line).expect("read announcement");
+            assert!(n > 0, "blob_server exited before READY");
+            let line = line.trim();
+            if line == "READY" {
+                break;
+            }
+            let (role, addr) = line.split_once(' ').expect("`<role> <addr>` line");
+            addrs.insert(
+                Role::parse(role).expect("known role"),
+                addr.parse().expect("socket address"),
+            );
+        }
+        (ServerProc { child }, addrs)
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        drop(self.child.stdin.take()); // EOF tells the server to exit
+        let _ = self.child.wait();
+    }
+}
+
+struct TransportOutcome {
+    mode: TransportMode,
+    boots: usize,
+    wall_s: f64,
+    boots_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wire: WireStats,
+}
+
+impl TransportOutcome {
+    fn wire_mb(&self) -> f64 {
+        (self.wire.bytes_sent + self.wire.bytes_received) as f64 / 1e6
+    }
+}
+
+/// The all-fixes workload of [`run_discipline`] under one transport.
+/// Socket mode runs the server roles as two real child processes (one
+/// hosting the managers, board and metadata, one the providers) and
+/// attaches over loopback TCP; the server-side contention counters live
+/// in those processes, so only wall-clock numbers and wire traffic are
+/// reported for transports.
+fn run_transport(mode: TransportMode, workers: usize) -> TransportOutcome {
+    let mut params = ThreadParams::serving(NODES as usize + 1);
+    params.coarse_lanes = false;
+    let fabric = ThreadFabric::new(params);
+    let compute: Vec<NodeId> = (0..NODES).map(NodeId).collect();
+    let cfg = bff_blobseer::BlobConfig {
+        chunk_size: CHUNK,
+        dedup: true,
+        cluster_dedup: true,
+        prefetch: true,
+        transport: mode,
+        ..Default::default()
+    };
+    let mut servers = Vec::new();
+    let cloud = if mode == TransportMode::Socket {
+        let (managers, mut addrs) = ServerProc::spawn("vm,pm,board,cluster,meta");
+        let (providers, prov_addrs) = ServerProc::spawn("provider");
+        addrs.extend(prov_addrs);
+        servers.push(managers);
+        servers.push(providers);
+        let table = RouteTable::from_roles(&addrs).expect("every role announced");
+        let topo = BlobTopology::colocated(&compute, NodeId(NODES));
+        let store = BlobStore::remote(
+            cfg,
+            topo,
+            fabric.clone() as Arc<dyn Fabric>,
+            Arc::new(SocketTransport::new(table)),
+        );
+        Cloud::with_store(
+            store,
+            fabric.clone() as Arc<dyn Fabric>,
+            compute,
+            NodeId(NODES),
+            Calibration::default(),
+        )
+    } else {
+        Cloud::new(
+            fabric.clone() as Arc<dyn Fabric>,
+            compute,
+            NodeId(NODES),
+            cfg,
+            Calibration::default(),
+        )
+    };
+
+    let base = cloud
+        .upload_image(Payload::synth(0x5EED, 0, IMG))
+        .expect("upload");
+    let rotation = Rotation::new(base);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(workers * BOOTS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let cloud = &cloud;
+                let rotation = &rotation;
+                scope.spawn(move || run_client(cloud, rotation, worker))
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    fabric.quiesce();
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let wire = cloud.store().wire_stats();
+    drop(cloud);
+    drop(servers); // EOF on stdin, then reap
+    TransportOutcome {
+        mode,
+        boots: latencies.len(),
+        wall_s,
+        boots_per_s: latencies.len() as f64 / wall_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        wire,
+    }
+}
+
+/// `--transport <mode>` runs the rotating-snapshot workload under one
+/// transport (CI smoke); `--transport all` compares the three and emits
+/// `transport_summary.json` for the `BENCH_7.json` gate.
+fn run_transport_sweep(which: &str, workers: usize) {
+    let modes: Vec<TransportMode> = if which == "all" {
+        vec![
+            TransportMode::Direct,
+            TransportMode::Codec,
+            TransportMode::Socket,
+        ]
+    } else {
+        vec![TransportMode::parse(which)
+            .unwrap_or_else(|| panic!("--transport takes direct|codec|socket|all, got {which:?}"))]
+    };
+    println!(
+        "load_sweep transports ({which}): {workers} client threads x {BOOTS} boots \
+         over {NODES} nodes, all-fixes locking"
+    );
+    let mut outcomes = Vec::with_capacity(modes.len());
+    for mode in modes {
+        let out = run_transport(mode, workers);
+        println!(
+            "  {:<7} {:>4} boots in {:.2}s -> {:.1} boots/s \
+             (p50 {:.2} ms, p99 {:.2} ms; wire {} calls, {:.3} MB)",
+            mode.name(),
+            out.boots,
+            out.wall_s,
+            out.boots_per_s,
+            out.p50_ms,
+            out.p99_ms,
+            out.wire.calls,
+            out.wire_mb(),
+        );
+        outcomes.push(out);
+    }
+    if which != "all" {
+        return;
+    }
+
+    let mut t = Table::new(
+        "transport_sweep",
+        &[
+            "transport",
+            "boots",
+            "wall_s",
+            "boots_per_s",
+            "p50_ms",
+            "p99_ms",
+            "wire_calls",
+            "wire_mb",
+        ],
+    );
+    for out in &outcomes {
+        t.row(&[
+            &out.mode.name(),
+            &out.boots,
+            &f3(out.wall_s),
+            &f1(out.boots_per_s),
+            &f3(out.p50_ms),
+            &f3(out.p99_ms),
+            &out.wire.calls,
+            &f3(out.wire_mb()),
+        ]);
+    }
+    t.emit();
+
+    let direct = &outcomes[0];
+    let codec = &outcomes[1];
+    let socket = &outcomes[2];
+    let retention = codec.boots_per_s / direct.boots_per_s.max(1e-9);
+    println!(
+        "\ncodec keeps {:.0}% of direct throughput ({:.1} vs {:.1} boots/s); \
+         the 2-process socket cluster serves {:.1} boots/s (p99 {:.2} ms) \
+         over {:.3} MB on the wire",
+        100.0 * retention,
+        codec.boots_per_s,
+        direct.boots_per_s,
+        socket.boots_per_s,
+        socket.p99_ms,
+        socket.wire_mb(),
+    );
+
+    // Flat summary for the CI perf gate (compared against BENCH_7.json).
+    // Only the codec/direct ratio is gated: both run in-process, so the
+    // ratio isolates pure encode/decode overhead from runner speed. The
+    // socket numbers ride along as absolutes for the artifact trail.
+    let mut summary = String::from("{\n");
+    let _ = writeln!(summary, "  \"transport_codec_retention\": {retention:.3},");
+    let _ = writeln!(
+        summary,
+        "  \"transport_direct_boots_per_s\": {:.3},",
+        direct.boots_per_s
+    );
+    let _ = writeln!(
+        summary,
+        "  \"transport_codec_boots_per_s\": {:.3},",
+        codec.boots_per_s
+    );
+    let _ = writeln!(
+        summary,
+        "  \"transport_socket_boots_per_s\": {:.3},",
+        socket.boots_per_s
+    );
+    let _ = writeln!(
+        summary,
+        "  \"transport_socket_p50_ms\": {:.3},",
+        socket.p50_ms
+    );
+    let _ = writeln!(
+        summary,
+        "  \"transport_socket_p99_ms\": {:.3},",
+        socket.p99_ms
+    );
+    let _ = writeln!(
+        summary,
+        "  \"transport_socket_wire_calls\": {},",
+        socket.wire.calls
+    );
+    let _ = writeln!(
+        summary,
+        "  \"transport_socket_wire_mb\": {:.3},",
+        socket.wire_mb()
+    );
+    let _ = writeln!(summary, "  \"transport_threads\": {workers}");
+    summary.push('}');
+    summary.push('\n');
+    let path = output_dir().join("transport_summary.json");
+    std::fs::write(&path, summary).expect("write transport summary");
+    println!("[written {}]", path.display());
+}
+
+fn transport_arg() -> Option<String> {
+    let mut it = std::env::args();
+    while let Some(a) = it.next() {
+        if a == "--transport" {
+            return Some(
+                it.next()
+                    .expect("--transport needs a mode (direct|codec|socket|all)"),
+            );
+        }
+    }
+    None
 }
 
 fn main() {
     let scale = RunScale::from_args();
     let workers = client_threads(scale);
+    if let Some(which) = transport_arg() {
+        run_transport_sweep(&which, workers);
+        return;
+    }
     println!(
         "load_sweep: {workers} client threads x {BOOTS} boots over {NODES} nodes \
          (ThreadFabric serving profile, 20x time compression)"

@@ -1,88 +1,16 @@
-//! Public identifiers, configuration and errors of the BlobSeer-like
-//! versioning storage service.
+//! Public configuration and placement of the BlobSeer-like versioning
+//! storage service.
+//!
+//! The service's identifier, descriptor and error types live in
+//! [`bff_wire::types`] — they *are* the wire protocol's vocabulary — and
+//! are re-exported here unchanged, so `bff_blobseer::api::BlobId` (and
+//! every other historical path) keeps working.
 
-use bff_net::{NetError, NodeId};
-use std::fmt;
-use std::sync::Arc;
+use bff_net::NodeId;
 
-/// Identifier of a BLOB (one VM image lineage).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct BlobId(pub u64);
-
-/// Snapshot version of a BLOB. `Version(0)` is the empty blob created by
-/// `create_blob`; every successful write publishes the next version.
-/// Versions form a totally ordered sequence per blob (§4.2: "consecutive
-/// COMMIT calls ... generate a totally ordered set of snapshots").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Version(pub u64);
-
-/// Identifier of a stored chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ChunkId(pub u64);
-
-/// Identifier of a metadata tree node. `NodeKey::NULL` denotes an entirely
-/// unwritten (all-zero) subtree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeKey(pub u64);
-
-impl NodeKey {
-    /// The null key: an absent subtree (reads as zeros).
-    pub const NULL: NodeKey = NodeKey(0);
-
-    /// Whether this key is the null subtree.
-    #[inline]
-    pub fn is_null(self) -> bool {
-        self.0 == 0
-    }
-}
-
-impl fmt::Display for BlobId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "blob{}", self.0)
-    }
-}
-
-impl fmt::Display for Version {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "v{}", self.0)
-    }
-}
-
-/// Where a chunk's replicas live.
-///
-/// Replica sets are shared (`Arc`) rather than owned: a descriptor is
-/// cloned many times per commit (tree leaf, metadata shard, descriptor
-/// caches), and sharing the set makes each clone a refcount bump instead
-/// of a heap allocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ChunkDesc {
-    /// The stored chunk.
-    pub id: ChunkId,
-    /// Provider nodes holding a replica, in allocation order.
-    pub replicas: Arc<[NodeId]>,
-}
-
-/// A metadata segment-tree node (Fig. 3 of the paper).
-///
-/// Geometry is implicit: the root covers chunk indices `0..span` and each
-/// inner node splits its range in half, so nodes store only child links.
-/// Children may belong to trees of *other* snapshots or other blobs —
-/// that is exactly the sharing that shadowing and cloning exploit.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TreeNode {
-    /// Interior node with two children (either may be NULL).
-    Inner {
-        /// Left child: first half of the covered chunk range.
-        left: NodeKey,
-        /// Right child: second half.
-        right: NodeKey,
-    },
-    /// Leaf covering exactly one chunk.
-    Leaf {
-        /// The chunk written at this index.
-        chunk: ChunkDesc,
-    },
-}
+pub use bff_wire::types::{
+    BlobError, BlobId, BlobResult, ChunkDesc, ChunkId, NodeKey, TreeNode, Version,
+};
 
 /// How chunk replicas are pushed to their providers on write.
 ///
@@ -118,6 +46,58 @@ pub enum ReplicationMode {
     /// sequence. Kept for equivalence tests and as the perf baseline the
     /// `bench-regression` CI gate measures the batched modes against.
     Sequential,
+}
+
+/// How typed requests reach the server roles (see `bff_net::Transport`
+/// and the `bff-wire` crate docs).
+///
+/// All three modes produce **identical logical outcomes** — every
+/// modelled cost is charged to the fabric by the client before the
+/// message moves, so the carrying mechanism is orthogonal to the
+/// simulated economics. They differ only in mechanism (and real CPU
+/// cost):
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// In-process zero-copy dispatch against locally held server state —
+    /// the historical behaviour and the equivalence baseline.
+    Direct,
+    /// In-process, but every request/response round-trips through the
+    /// full `bff-wire` binary codec. Anything that could not cross a
+    /// process boundary fails loudly here.
+    Codec,
+    /// Real framed TCP over loopback: one listener thread per server
+    /// role, spawned inside this process. (A genuinely multi-process
+    /// cluster instead connects a `SocketTransport` to external
+    /// `blob_server` processes via [`crate::BlobStore::remote`].)
+    Socket,
+}
+
+impl TransportMode {
+    /// Stable textual name (CLI flags, `BFF_TRANSPORT`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportMode::Direct => "direct",
+            TransportMode::Codec => "codec",
+            TransportMode::Socket => "socket",
+        }
+    }
+
+    /// Parse [`TransportMode::name`] back.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "direct" => Some(TransportMode::Direct),
+            "codec" => Some(TransportMode::Codec),
+            "socket" => Some(TransportMode::Socket),
+            _ => None,
+        }
+    }
+
+    fn from_env() -> Self {
+        match std::env::var("BFF_TRANSPORT") {
+            Ok(v) => Self::parse(&v).unwrap_or(TransportMode::Direct),
+            Err(_) => TransportMode::Direct,
+        }
+    }
 }
 
 /// Service configuration.
@@ -218,6 +198,11 @@ pub struct BlobConfig {
     /// instead of one shared acquisition per commit). Identical logical
     /// behaviour; `load_sweep` baseline ablation. Off by default.
     pub coarse_cluster_probe: bool,
+    /// How typed requests reach the server roles (see [`TransportMode`]).
+    /// Defaults to the `BFF_TRANSPORT` environment variable (unset or
+    /// unrecognized → [`TransportMode::Direct`]), which is how CI runs
+    /// the whole test suite over the codec transport.
+    pub transport: TransportMode,
 }
 
 /// Whether an on-by-default feature toggle (`BFF_DEDUP`,
@@ -253,7 +238,108 @@ impl Default for BlobConfig {
             coarse_board_lock: false,
             coarse_cache_locks: false,
             coarse_cluster_probe: false,
+            transport: TransportMode::from_env(),
         }
+    }
+}
+
+impl BlobConfig {
+    /// The default configuration with every `BFF_*` feature toggle read
+    /// from the environment. This is the **single** place the service
+    /// consults the environment; all other code receives a `BlobConfig`.
+    ///
+    /// | Variable | Effect | Default |
+    /// |---|---|---|
+    /// | `BFF_DEDUP` | node-level content dedup ([`BlobConfig::dedup`]); `0`/`false`/`off`/`no` disables | on |
+    /// | `BFF_CLUSTER_DEDUP` | cluster-wide dedup index ([`BlobConfig::cluster_dedup`]); same disable spellings | on |
+    /// | `BFF_PREFETCH` | adaptive cross-VM prefetching ([`BlobConfig::prefetch`]); same disable spellings | on |
+    /// | `BFF_TRANSPORT` | request transport ([`BlobConfig::transport`]): `direct`, `codec` or `socket` | `direct` |
+    ///
+    /// The benchmark harness reads three more variables that are *not*
+    /// part of the service configuration: `BFF_LOADGEN_THREADS` (wall
+    /// clock load-generator thread count), `BFF_BENCH_FAST` (shrink
+    /// sweep sizes for CI smoke runs) and `BFF_BENCH_JSON` (emit
+    /// machine-readable results) — see the `bff-bench` crate.
+    pub fn from_env() -> Self {
+        Self::default()
+    }
+
+    /// Start a builder from the environment-derived defaults:
+    /// `BlobConfig::builder().dedup(false).prefetch_window(32).build()`.
+    pub fn builder() -> BlobConfigBuilder {
+        BlobConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Fluent construction of a [`BlobConfig`] (see [`BlobConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct BlobConfigBuilder {
+    cfg: BlobConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, v: $ty) -> Self {
+                self.cfg.$field = v;
+                self
+            }
+        )*
+    };
+}
+
+impl BlobConfigBuilder {
+    builder_setters! {
+        /// See [`BlobConfig::chunk_size`].
+        chunk_size: u64,
+        /// See [`BlobConfig::replication`].
+        replication: usize,
+        /// See [`BlobConfig::replication_mode`].
+        replication_mode: ReplicationMode,
+        /// See [`BlobConfig::async_writes`].
+        async_writes: bool,
+        /// See [`BlobConfig::provider_read_cache`].
+        provider_read_cache: bool,
+        /// See [`BlobConfig::node_bytes`].
+        node_bytes: u64,
+        /// See [`BlobConfig::control_bytes`].
+        control_bytes: u64,
+        /// See [`BlobConfig::dedup`].
+        dedup: bool,
+        /// See [`BlobConfig::cluster_dedup`].
+        cluster_dedup: bool,
+        /// See [`BlobConfig::cluster_index_chunks`].
+        cluster_index_chunks: usize,
+        /// See [`BlobConfig::desc_cache_versions`].
+        desc_cache_versions: usize,
+        /// See [`BlobConfig::digest_index_chunks`].
+        digest_index_chunks: usize,
+        /// See [`BlobConfig::prefetch`].
+        prefetch: bool,
+        /// See [`BlobConfig::prefetch_window`].
+        prefetch_window: usize,
+        /// See [`BlobConfig::prefetch_min_publishers`].
+        prefetch_min_publishers: usize,
+        /// See [`BlobConfig::chunk_cache_bytes`].
+        chunk_cache_bytes: u64,
+        /// See [`BlobConfig::strong_digest`].
+        strong_digest: bool,
+        /// See [`BlobConfig::coarse_board_lock`].
+        coarse_board_lock: bool,
+        /// See [`BlobConfig::coarse_cache_locks`].
+        coarse_cache_locks: bool,
+        /// See [`BlobConfig::coarse_cluster_probe`].
+        coarse_cluster_probe: bool,
+        /// See [`BlobConfig::transport`].
+        transport: TransportMode,
+    }
+
+    /// Finish: the accumulated configuration.
+    pub fn build(self) -> BlobConfig {
+        self.cfg
     }
 }
 
@@ -288,85 +374,9 @@ impl BlobTopology {
     }
 }
 
-/// Errors returned by the storage service.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BlobError {
-    /// Unknown blob.
-    NoSuchBlob(BlobId),
-    /// Unknown version for a known blob.
-    NoSuchVersion(BlobId, Version),
-    /// Optimistic-concurrency conflict: the base version was no longer
-    /// the latest when publishing.
-    Conflict {
-        /// Blob being written.
-        blob: BlobId,
-        /// The version the writer based its update on.
-        base: Version,
-        /// The latest version at publish time.
-        latest: Version,
-    },
-    /// Access beyond the blob size.
-    OutOfBounds {
-        /// Requested range start.
-        offset: u64,
-        /// Requested length.
-        len: u64,
-        /// Blob size.
-        size: u64,
-    },
-    /// A chunk could not be served by any replica.
-    ChunkUnavailable(ChunkId),
-    /// Metadata inconsistency (missing tree node) — indicates a bug or a
-    /// failed metadata server.
-    MetadataMissing(NodeKey),
-    /// Transport-level failure.
-    Net(NetError),
-    /// Invalid argument.
-    BadInput(&'static str),
-}
-
-impl From<NetError> for BlobError {
-    fn from(e: NetError) -> Self {
-        BlobError::Net(e)
-    }
-}
-
-impl fmt::Display for BlobError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            BlobError::NoSuchBlob(b) => write!(f, "{b} does not exist"),
-            BlobError::NoSuchVersion(b, v) => write!(f, "{b} has no snapshot {v}"),
-            BlobError::Conflict { blob, base, latest } => {
-                write!(
-                    f,
-                    "write to {blob} based on {base} conflicts with latest {latest}"
-                )
-            }
-            BlobError::OutOfBounds { offset, len, size } => {
-                write!(f, "access {offset}+{len} beyond blob size {size}")
-            }
-            BlobError::ChunkUnavailable(c) => write!(f, "chunk {c:?} unavailable on all replicas"),
-            BlobError::MetadataMissing(k) => write!(f, "metadata node {k:?} missing"),
-            BlobError::Net(e) => write!(f, "network: {e}"),
-            BlobError::BadInput(m) => write!(f, "bad input: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for BlobError {}
-
-/// Result alias for service operations.
-pub type BlobResult<T> = Result<T, BlobError>;
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn null_key_identity() {
-        assert!(NodeKey::NULL.is_null());
-        assert!(!NodeKey(1).is_null());
-    }
 
     #[test]
     fn colocated_topology() {
@@ -378,12 +388,28 @@ mod tests {
     }
 
     #[test]
-    fn errors_display() {
-        let e = BlobError::Conflict {
-            blob: BlobId(1),
-            base: Version(2),
-            latest: Version(3),
-        };
-        assert!(e.to_string().contains("conflicts"));
+    fn builder_overrides_defaults() {
+        let cfg = BlobConfig::builder()
+            .dedup(false)
+            .prefetch_window(32)
+            .transport(TransportMode::Codec)
+            .build();
+        assert!(!cfg.dedup);
+        assert_eq!(cfg.prefetch_window, 32);
+        assert_eq!(cfg.transport, TransportMode::Codec);
+        // Untouched fields keep their defaults.
+        assert_eq!(cfg.chunk_size, BlobConfig::default().chunk_size);
+    }
+
+    #[test]
+    fn transport_mode_names_roundtrip() {
+        for mode in [
+            TransportMode::Direct,
+            TransportMode::Codec,
+            TransportMode::Socket,
+        ] {
+            assert_eq!(TransportMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(TransportMode::parse("carrier-pigeon"), None);
     }
 }

@@ -109,14 +109,9 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Cached per-(blob, version) metadata.
-#[derive(Debug, Clone, Copy)]
-struct VersionMeta {
-    root: NodeKey,
-    size: u64,
-    chunk_size: u64,
-    span: u64,
-}
+/// Cached per-(blob, version) metadata (the version manager's wire
+/// answer, cached verbatim).
+use bff_wire::msg::VersionInfo as VersionMeta;
 
 /// A client handle bound to one cluster node. All clients on a node
 /// share that node's [`NodeContext`] (descriptor cache + digest index),
@@ -195,15 +190,15 @@ impl Client {
     /// Create an empty blob of `size` bytes (chunk size from config).
     pub fn create_blob(&self, size: u64) -> BlobResult<BlobId> {
         let cs = self.cfg().chunk_size;
-        self.control_rpc(self.store.topo.vmanager)?;
-        self.store.vmanager.lock().create_blob(size, cs)
+        self.control_rpc(self.store.topology().vmanager)?;
+        self.store.vm_create_blob(size, cs)
     }
 
     /// CLONE: a new first-class blob sharing all content with
     /// `(src, version)` (§3.1.4).
     pub fn clone_blob(&self, src: BlobId, version: Version) -> BlobResult<BlobId> {
-        self.control_rpc(self.store.topo.vmanager)?;
-        let id = self.store.vmanager.lock().clone_blob(src, version)?;
+        self.control_rpc(self.store.topology().vmanager)?;
+        let id = self.store.vm_clone_blob(src, version)?;
         // The clone's Version(1) *is* the source tree, so the descriptor
         // cache carries over verbatim.
         if let Some(entry) = self.ctx.entry_snapshot((src, version)) {
@@ -214,14 +209,14 @@ impl Client {
 
     /// Latest published version of a blob.
     pub fn latest_version(&self, blob: BlobId) -> BlobResult<Version> {
-        self.control_rpc(self.store.topo.vmanager)?;
-        Ok(self.store.vmanager.lock().meta(blob)?.latest())
+        self.control_rpc(self.store.topology().vmanager)?;
+        self.store.vm_latest(blob)
     }
 
     /// Blob logical size.
     pub fn blob_size(&self, blob: BlobId) -> BlobResult<u64> {
-        self.control_rpc(self.store.topo.vmanager)?;
-        Ok(self.store.vmanager.lock().meta(blob)?.size)
+        self.control_rpc(self.store.topology().vmanager)?;
+        self.store.vm_size(blob)
     }
 
     /// The still-live (published, undeleted) snapshot versions of a
@@ -229,8 +224,8 @@ impl Client {
     /// passes to [`Client::delete_snapshots`], which rejects versions
     /// already deleted.
     pub fn live_snapshots(&self, blob: BlobId) -> BlobResult<Vec<Version>> {
-        self.control_rpc(self.store.topo.vmanager)?;
-        self.store.vmanager.lock().live_snapshots(blob)
+        self.control_rpc(self.store.topology().vmanager)?;
+        self.store.vm_live_snapshots(blob)
     }
 
     fn control_rpc(&self, to: NodeId) -> Result<(), NetError> {
@@ -242,20 +237,8 @@ impl Client {
         if let Some(m) = self.version_cache.lock().get(&(blob, version)) {
             return Ok(*m);
         }
-        self.control_rpc(self.store.topo.vmanager)?;
-        let m = {
-            let vm = self.store.vmanager.lock();
-            let meta = vm.meta(blob)?;
-            let root = meta
-                .root(version)
-                .ok_or(BlobError::NoSuchVersion(blob, version))?;
-            VersionMeta {
-                root,
-                size: meta.size,
-                chunk_size: meta.chunk_size,
-                span: meta.span,
-            }
-        };
+        self.control_rpc(self.store.topology().vmanager)?;
+        let m = self.store.vm_version_meta(blob, version)?;
         self.version_cache.lock().insert((blob, version), m);
         Ok(m)
     }
@@ -430,10 +413,7 @@ impl Client {
     /// cohort-confirmed the control plane goes quiet.
     fn publish_pattern(&self, blob: BlobId, version: Version, batch: &[u64]) {
         let min_pub = self.cfg().prefetch_min_publishers;
-        let batch = self
-            .store
-            .pattern_board
-            .novel_of((blob, version), batch, min_pub);
+        let batch = self.store.board_novel_of((blob, version), batch, min_pub);
         if batch.is_empty() {
             return;
         }
@@ -441,9 +421,7 @@ impl Client {
         if !self.charge_host_publish(summary_bytes) {
             return; // board unreachable: drop the batch, keep booting
         }
-        self.store
-            .pattern_board
-            .merge((blob, version), self.node, &batch);
+        self.store.board_merge((blob, version), self.node, &batch);
     }
 
     /// Pay the control round that carries a `summary_bytes`-sized
@@ -487,7 +465,7 @@ impl Client {
         if !self.prefetch_enabled() {
             return false;
         }
-        let len = self.store.pattern_board.sequence_len((blob, version));
+        let len = self.store.board_sequence_len((blob, version));
         len > 0 && self.ctx.prefetch_cursor_behind((blob, version), len)
     }
 
@@ -520,11 +498,7 @@ impl Client {
         // chunks only one cohort member reported (private divergence)
         // are walked past instead of prefetched, once a cohort exists.
         let min_pub = self.cfg().prefetch_min_publishers;
-        let Some((seq, mask)) = self
-            .store
-            .pattern_board
-            .sequence_with_confidence(key, min_pub)
-        else {
+        let Some((seq, mask)) = self.store.board_sequence(key, min_pub) else {
             return Ok(0);
         };
         let candidates = self
@@ -810,7 +784,7 @@ impl Client {
             // never underflows, so a partial rollback racing other
             // commits stays safe.
             for (prov, id) in retained.drain(..) {
-                self.store.providers.release(prov, id);
+                self.store.provider_release(prov, id);
             }
         }
         result.map(|v| (v, reused_bytes))
@@ -886,7 +860,7 @@ impl Client {
             } else if cluster_on {
                 if self.cfg().coarse_cluster_probe {
                     // Ablation: the pre-wall-clock per-key exclusive probe.
-                    if let Some(desc) = self.store.cluster_write().get(&key) {
+                    if let Some(desc) = self.store.cluster_get_exclusive(&key) {
                         candidates.push((u, key, desc));
                     }
                 } else {
@@ -899,9 +873,10 @@ impl Client {
         // a commit never pays more than one acquisition however many
         // chunks it carries.
         if !cluster_misses.is_empty() {
-            let index = self.store.cluster_read();
-            for (u, key) in cluster_misses {
-                if let Some(desc) = index.get(&key) {
+            let keys: Vec<ContentKey> = cluster_misses.iter().map(|&(_, key)| key).collect();
+            let hits = self.store.cluster_get(&keys);
+            for ((u, key), hit) in cluster_misses.into_iter().zip(hits) {
+                if let Some(desc) = hit {
                     candidates.push((u, key, desc));
                 }
             }
@@ -948,11 +923,7 @@ impl Client {
                 if verdict.is_some() {
                     break;
                 }
-                let stored = match self.store.providers.lock(prov) {
-                    Some(shard) => shard.peek(desc.id).cloned(),
-                    None => continue,
-                };
-                if let Some(stored) = stored {
+                if let Some(stored) = self.store.provider_peek(prov, desc.id) {
                     verdict = Some(stored.content_eq(payload));
                 }
             }
@@ -966,7 +937,7 @@ impl Client {
             }
             let mut survivors: Vec<NodeId> = Vec::with_capacity(desc.replicas.len());
             for &prov in desc.replicas.iter() {
-                if reachable.contains(&prov) && self.store.providers.retain(prov, desc.id) {
+                if reachable.contains(&prov) && self.store.provider_retain(prov, desc.id) {
                     survivors.push(prov);
                     retained.push((prov, desc.id));
                 }
@@ -989,7 +960,7 @@ impl Client {
     fn forget_stale_hit(&self, key: &ContentKey) {
         self.ctx.digest_forget(key);
         if self.cfg().cluster_dedup {
-            self.store.cluster_write().forget(key);
+            self.store.cluster_forget(key);
         }
     }
 
@@ -1019,20 +990,22 @@ impl Client {
         if !fresh.is_empty() {
             let n = fresh.len();
             let c = self.cfg().control_bytes;
-            self.store
-                .fabric
-                .rpc(self.node, self.store.topo.pmanager, c, c + 24 * n as u64)?;
+            self.store.fabric.rpc(
+                self.node,
+                self.store.topology().pmanager,
+                c,
+                c + 24 * n as u64,
+            )?;
             let down: Vec<bool> = self
                 .store
-                .topo
+                .topology()
                 .providers
                 .iter()
                 .map(|&p| self.store.fabric.is_down(p))
                 .collect();
-            let descs = {
-                let mut pm = self.store.pmanager.lock();
-                pm.allocate_avoiding(n, meta.chunk_size, self.cfg().replication, &down)?
-            };
+            let descs = self
+                .store
+                .pm_allocate(n, meta.chunk_size, self.cfg().replication, down)?;
             // A fresh put stores each replica at refcount 1 — record that
             // implicit reference *before* pushing, so a failed push or
             // publish releases (and thereby frees) whatever actually got
@@ -1069,7 +1042,7 @@ impl Client {
             let desc = unique_descs[u].as_ref().expect("filled above");
             for _ in 1..unique.uses {
                 for &prov in desc.replicas.iter() {
-                    if self.store.providers.retain(prov, desc.id) {
+                    if self.store.provider_retain(prov, desc.id) {
                         retained.push((prov, desc.id));
                     }
                 }
@@ -1101,8 +1074,8 @@ impl Client {
         };
 
         // 5. Publish at the version manager (the total-order point).
-        self.control_rpc(self.store.topo.vmanager)?;
-        let v = self.store.vmanager.lock().publish(blob, base, new_root)?;
+        self.control_rpc(self.store.topology().vmanager)?;
+        let v = self.store.vm_publish(blob, base, new_root)?;
         self.version_cache.lock().insert(
             (blob, v),
             VersionMeta {
@@ -1178,13 +1151,8 @@ impl Client {
                 Some((key, unique_descs[u].clone().expect("filled above")))
             })
             .collect();
-        let novel: FastSet<ContentKey> = {
-            let index = self.store.cluster_read();
-            index
-                .novel_of(entries.iter().map(|(k, _)| k))
-                .into_iter()
-                .collect()
-        };
+        let keys: Vec<ContentKey> = entries.iter().map(|&(k, _)| k).collect();
+        let novel: FastSet<ContentKey> = self.store.cluster_novel_of(&keys).into_iter().collect();
         if novel.is_empty() {
             return;
         }
@@ -1194,12 +1162,11 @@ impl Client {
         if !self.charge_host_publish(summary_bytes) {
             return; // index host unreachable: skip, the content stays node-local
         }
-        let mut index = self.store.cluster_write();
-        for (key, desc) in entries {
-            if novel.contains(&key) {
-                index.record(key, desc);
-            }
-        }
+        let records: Vec<(ContentKey, ChunkDesc)> = entries
+            .into_iter()
+            .filter(|(key, _)| novel.contains(key))
+            .collect();
+        self.store.cluster_record(records);
     }
 
     /// Convenience: create a blob and publish `data` as `Version(1)` — the
@@ -1253,14 +1220,9 @@ impl Client {
         }
         // 1. Serialize the delete at the version manager and snapshot
         //    the family's live-root frontier under the same lock.
-        self.control_rpc(self.store.topo.vmanager)?;
-        let (dead_roots, live_roots, span) = {
-            let mut vm = self.store.vmanager.lock();
-            let dead = vm.delete_snapshots(blob, versions)?;
-            let live = vm.family_live_roots(blob)?;
-            let span = vm.meta(blob)?.span;
-            (dead, live, span)
-        };
+        self.control_rpc(self.store.topology().vmanager)?;
+        let outcome = self.store.vm_delete_snapshots(blob, versions)?;
+        let (dead_roots, live_roots, span) = (outcome.dead_roots, outcome.live_roots, outcome.span);
         for &v in versions {
             self.version_cache.lock().remove(&(blob, v));
         }
@@ -1316,7 +1278,7 @@ impl Client {
                 continue;
             }
             for &id in ids {
-                let (bytes, removed, dropped) = self.store.providers.release_counted(prov, id, 1);
+                let (bytes, removed, dropped) = self.store.provider_release_counted(prov, id, 1);
                 report.released_refs += dropped as u64;
                 if removed {
                     report.freed_chunks += 1;
@@ -1652,12 +1614,14 @@ fn fetch_chunk(
             last = BlobError::Net(NetError::NodeDown(prov));
             continue;
         }
-        let got = {
-            let Some(mut provider) = store.providers.lock(prov) else {
-                last = BlobError::ChunkUnavailable(desc.id);
+        let got = match store.provider_fetch(prov, vec![desc.id]) {
+            Ok(mut served) => served.pop().flatten(),
+            Err(e) => {
+                // Transport failure: this replica is unreachable, try
+                // the next one — same failover as a down node.
+                last = e;
                 continue;
-            };
-            provider.get(desc.id)
+            }
         };
         let Some((data, hot)) = got else {
             last = BlobError::ChunkUnavailable(desc.id);
@@ -1695,23 +1659,30 @@ fn fetch_chunk_batch(
     let mut got: Vec<(u64, ChunkDesc, u64, Payload)> = Vec::with_capacity(group.len());
     let mut fallback: Vec<(u64, ChunkDesc, u64)> = Vec::new();
     let (mut total, mut cold) = (0u64, 0u64);
-    if store.fabric.is_down(prov) || !store.providers.contains(prov) {
+    if store.fabric.is_down(prov) || !store.is_provider(prov) {
         fallback = group;
     } else {
         let read_cache = store.config().provider_read_cache;
-        let mut p = store.providers.lock(prov).expect("contains checked");
-        for (idx, desc, len) in group {
-            match p.get(desc.id) {
-                Some((data, hot)) => {
-                    debug_assert_eq!(data.len(), len);
-                    total += len;
-                    if !hot || !read_cache {
-                        cold += len;
+        let ids: Vec<ChunkId> = group.iter().map(|(_, desc, _)| desc.id).collect();
+        match store.provider_fetch(prov, ids) {
+            Ok(served) => {
+                for ((idx, desc, len), res) in group.into_iter().zip(served) {
+                    match res {
+                        Some((data, hot)) => {
+                            debug_assert_eq!(data.len(), len);
+                            total += len;
+                            if !hot || !read_cache {
+                                cold += len;
+                            }
+                            got.push((idx, desc, len, data));
+                        }
+                        None => fallback.push((idx, desc, len)),
                     }
-                    got.push((idx, desc, len, data));
                 }
-                None => fallback.push((idx, desc, len)),
             }
+            // Transport failure: the whole batch retries through the
+            // per-chunk failover path (it skips unreachable nodes).
+            Err(_) => fallback = group,
         }
     }
     let mut out: ChunkResults = Vec::with_capacity(got.len() + fallback.len());
@@ -1768,15 +1739,18 @@ fn push_slots(
     slots: &[usize],
     async_writes: bool,
 ) -> BlobResult<()> {
-    if !store.providers.contains(prov) {
+    if !store.is_provider(prov) {
         return Err(BlobError::ChunkUnavailable(descs[slots[0]].id));
     }
     let total: u64 = slots.iter().map(|&s| updates[s].1.len()).sum();
     store.fabric.transfer(src, prov, total)?;
-    store.providers.put_batch(
+    store.provider_put(
         prov,
-        slots.iter().map(|&s| (descs[s].id, updates[s].1.clone())),
-    );
+        slots
+            .iter()
+            .map(|&s| (descs[s].id, updates[s].1.clone()))
+            .collect(),
+    )?;
     if async_writes {
         store.fabric.disk_write_cached(prov, total)?;
     } else {
@@ -1816,7 +1790,7 @@ struct ClientNodeIo<'a> {
 
 impl ClientNodeIo<'_> {
     fn shard_count(&self) -> usize {
-        self.client.store.meta.len()
+        self.client.store.meta_shards()
     }
 }
 
@@ -1855,9 +1829,9 @@ impl NodeIo for ClientNodeIo<'_> {
                 cfg.control_bytes + 8 * group.len() as u64,
                 cfg.node_bytes * group.len() as u64,
             )?;
-            let part = store.meta[shard].lock();
-            for (i, k) in group {
-                let node = part.get(k)?;
+            let keys: Vec<NodeKey> = group.iter().map(|&(_, k)| k).collect();
+            let nodes = store.meta_read_nodes(shard, keys)?;
+            for ((i, _), node) in group.into_iter().zip(nodes) {
                 out[i] = Some(node);
             }
         }
@@ -1879,7 +1853,7 @@ impl NodeIo for ClientNodeIo<'_> {
         store
             .fabric
             .rpc(self.client.node, store.topo.vmanager, c, c)?;
-        Ok(store.vmanager.lock().reserve_keys(n))
+        store.vm_reserve_keys(n)
     }
 
     fn store(&mut self, nodes: Vec<(NodeKey, TreeNode)>) -> BlobResult<()> {
@@ -1910,7 +1884,7 @@ impl NodeIo for ClientNodeIo<'_> {
                 cfg.node_bytes * group.len() as u64,
                 cfg.control_bytes,
             )?;
-            store.meta[shard].lock().put(group);
+            store.meta_write_nodes(shard, group)?;
         }
         Ok(())
     }
@@ -2380,7 +2354,7 @@ mod tests {
                 .iter()
                 .filter(|&&p| {
                     store
-                        .providers
+                        .providers()
                         .lock(p)
                         .unwrap()
                         .has(crate::api::ChunkId(id))
@@ -2608,7 +2582,7 @@ mod tests {
             .filter_map(|&p| {
                 client
                     .store()
-                    .providers
+                    .providers()
                     .refcount(p, crate::api::ChunkId(id))
             })
             .collect()
@@ -2771,7 +2745,7 @@ mod tests {
         // Releasing a chunk that was never stored is a clean no-op.
         assert!(!client
             .store()
-            .providers
+            .providers()
             .release(NodeId(0), crate::api::ChunkId(999)));
     }
 
@@ -2829,7 +2803,7 @@ mod tests {
             .providers
             .iter()
             .copied()
-            .find(|&p| client.store().providers.refcount(p, ChunkId(5)).is_some())
+            .find(|&p| client.store().providers().refcount(p, ChunkId(5)).is_some())
             .expect("chunk 5 stored somewhere");
         client.context().digest_record(
             (b.len(), b.content_digest(false)),
@@ -3376,12 +3350,12 @@ mod tests {
         let key = (blob, v);
         // One publisher so far: everything it reports is prefetchable.
         store
-            .pattern_board
+            .pattern_board()
             .merge(key, NodeId(0), &(0..16).collect::<Vec<u64>>());
         // A second cohort member confirms only the first half; the tail
         // 8..16 stays single-publisher (private divergence).
         store
-            .pattern_board
+            .pattern_board()
             .merge(key, NodeId(1), &(0..8).collect::<Vec<u64>>());
         let landed = c.prefetch_chunks(blob, v, 100).unwrap();
         assert_eq!(landed, 8, "only cohort-confirmed chunks are prefetched");

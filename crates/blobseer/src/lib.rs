@@ -17,11 +17,17 @@
 //!   absorbs the data (§5.3), with the write-back pressure modelled by
 //!   the fabric.
 //!
-//! Architecture: a [`service::BlobStore`] holds passive server state
+//! Architecture: a [`server::ServerState`] owns the passive server state
 //! machines (version manager, provider manager, metadata shards, chunk
-//! providers); [`client::Client`] executes the protocol and charges every
-//! message/disk access to a [`bff_net::Fabric`], so the identical code
-//! runs in-process (real bytes) and on the simulator (virtual time).
+//! providers, pattern board, cluster index) behind a typed message
+//! boundary ([`bff_wire`]); a [`service::BlobStore`] is the client-side
+//! handle that reaches them through a [`bff_net::transport::Transport`]
+//! — direct (zero-copy, in-process), codec (every message round-trips
+//! encode/decode), or socket (framed TCP, optionally to other
+//! processes). [`client::Client`] executes the protocol and charges
+//! every message/disk access to a [`bff_net::Fabric`], so the identical
+//! code runs in-process (real bytes) and on the simulator (virtual
+//! time), and logical outcomes are transport-invariant.
 
 pub mod api;
 pub mod board;
@@ -33,12 +39,13 @@ pub mod meta;
 pub mod pmanager;
 pub mod provider;
 pub mod segtree;
+pub mod server;
 pub mod service;
 pub mod vmanager;
 
 pub use api::{
-    BlobConfig, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId, NodeKey,
-    ReplicationMode, TreeNode, Version,
+    BlobConfig, BlobConfigBuilder, BlobError, BlobId, BlobResult, BlobTopology, ChunkDesc, ChunkId,
+    NodeKey, ReplicationMode, TransportMode, TreeNode, Version,
 };
 pub use board::{BoardService, PatternBoard};
 pub use client::{Client, GcReport};
@@ -47,4 +54,5 @@ pub use context::{CacheStats, NodeContext, PrefetchStats};
 pub use lockstat::LockContention;
 pub use pmanager::Placement;
 pub use provider::ProviderStore;
+pub use server::ServerState;
 pub use service::BlobStore;

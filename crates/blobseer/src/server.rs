@@ -1,0 +1,395 @@
+//! Server-side dispatch: the passive state machines behind the typed
+//! message boundary.
+//!
+//! A [`ServerState`] owns everything that lives on the *server* side of
+//! the protocol — version manager, provider manager, metadata shards,
+//! chunk providers, the pattern board and the cluster dedup index — and
+//! answers [`bff_wire::Req`] values with [`bff_wire::Resp`] values.
+//! Every request maps to exactly the lock-acquisition pattern the direct
+//! in-process path uses: a batch request takes its state machine's lock
+//! once for the whole batch, a per-item request once per message. That
+//! keeps the `coarse_*` contention ablations meaningful regardless of
+//! which transport carried the frame.
+//!
+//! [`ServerState::handle_frame`] is the `bff_net::FrameHandler` entry
+//! point: decode → dispatch → encode, never panicking on input. Both the
+//! in-process transports and the standalone `blob_server` processes (see
+//! the `bff-bench` crate) serve frames through it.
+
+use crate::api::{BlobConfig, BlobTopology};
+use crate::board::BoardService;
+use crate::cluster::ClusterIndex;
+use crate::lockstat::{probed_read, probed_write, LockContention, LockProbe};
+use crate::meta::MetaPartition;
+use crate::pmanager::{PManager, Placement};
+use crate::provider::ProviderStore;
+use crate::vmanager::VManager;
+use bff_data::FastSet;
+use bff_net::transport::{RouteKey, WireError};
+use bff_wire::msg::{
+    BoardReq, BoardResp, ClusterReq, ClusterResp, DeleteOutcome, MetaReq, MetaResp, PmReq, PmResp,
+    ProviderReq, ProviderResp, Req, Resp, VersionInfo, VmReq, VmResp,
+};
+use bff_wire::types::BlobError;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The server half of a deployment: every passive state machine, guarded
+/// exactly as in the historical in-process layout.
+pub struct ServerState {
+    pub(crate) vmanager: Mutex<VManager>,
+    pub(crate) pmanager: Mutex<PManager>,
+    pub(crate) meta: Vec<Mutex<MetaPartition>>,
+    /// Sharded one lock per provider: data-plane requests on distinct
+    /// providers never contend (see [`ProviderStore`]).
+    pub(crate) providers: ProviderStore,
+    /// The cluster access-pattern board (see [`crate::board`]). The
+    /// service does its own sharded read/write locking.
+    pub(crate) pattern_board: BoardService,
+    /// The cluster-wide content-addressed dedup index. Read-mostly after
+    /// deployment convergence, so a read/write lock; hot-path
+    /// acquisitions go through [`ServerState::cluster_read`] /
+    /// [`ServerState::cluster_write`] and are contention-counted.
+    pub(crate) cluster_index: RwLock<ClusterIndex>,
+    cluster_probe: LockProbe,
+}
+
+impl ServerState {
+    /// Build the server state for a deployment.
+    pub fn new(cfg: &BlobConfig, topo: &BlobTopology, placement: Placement) -> Self {
+        assert!(!topo.providers.is_empty(), "need at least one provider");
+        assert!(
+            !topo.metadata.is_empty(),
+            "need at least one metadata server"
+        );
+        let cluster_cap = if cfg.cluster_dedup && cfg.dedup {
+            cfg.cluster_index_chunks
+        } else {
+            0
+        };
+        Self {
+            vmanager: Mutex::new(VManager::new()),
+            pmanager: Mutex::new(PManager::new(topo.providers.clone(), placement)),
+            meta: topo
+                .metadata
+                .iter()
+                .map(|_| Mutex::new(MetaPartition::new()))
+                .collect(),
+            providers: ProviderStore::new(&topo.providers),
+            pattern_board: BoardService::new(cfg.coarse_board_lock),
+            cluster_index: RwLock::new(ClusterIndex::new(cluster_cap)),
+            cluster_probe: LockProbe::default(),
+        }
+    }
+
+    /// Shared read access to the cluster dedup index, contention-counted
+    /// (the commit-probe hot path).
+    pub(crate) fn cluster_read(&self) -> RwLockReadGuard<'_, ClusterIndex> {
+        probed_read(&self.cluster_probe, &self.cluster_index)
+    }
+
+    /// Exclusive access to the cluster dedup index, contention-counted.
+    pub(crate) fn cluster_write(&self) -> RwLockWriteGuard<'_, ClusterIndex> {
+        probed_write(&self.cluster_probe, &self.cluster_index)
+    }
+
+    /// Contention counters of the cluster-index lock.
+    pub fn cluster_contention(&self) -> LockContention {
+        self.cluster_probe.snapshot()
+    }
+
+    /// The `bff_net::FrameHandler` entry point: decode one request
+    /// frame, dispatch it, encode the reply. `route` is the listener the
+    /// frame arrived on; a frame whose payload addresses a different
+    /// role class is rejected as corrupt (misrouted) rather than served.
+    pub fn handle_frame(&self, route: RouteKey, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        let req: Req = bff_wire::decode(frame)?;
+        if req.route().role() != route.role() {
+            return Err(WireError::BadFrame);
+        }
+        let resp = self.dispatch(req)?;
+        Ok(bff_wire::encode(&resp))
+    }
+
+    /// Serve one typed request against the passive state machines.
+    ///
+    /// Addressing errors that the direct path cannot express (a shard
+    /// index beyond the deployment) are wire errors; a request for an
+    /// *unknown provider node* answers exactly like the direct path's
+    /// `ProviderStore` (absent chunk / rejected op), so per-chunk
+    /// failover semantics survive the transport unchanged.
+    pub fn dispatch(&self, req: Req) -> Result<Resp, WireError> {
+        Ok(match req {
+            Req::Vm(q) => Resp::Vm(self.dispatch_vm(q)),
+            Req::Pm(q) => Resp::Pm(self.dispatch_pm(q)),
+            Req::Meta { shard, req } => {
+                let shard = shard as usize;
+                if shard >= self.meta.len() {
+                    return Err(WireError::BadFrame);
+                }
+                Resp::Meta(self.dispatch_meta(shard, req))
+            }
+            Req::Provider { node, req } => Resp::Provider(self.dispatch_provider(node, req)),
+            Req::Board(q) => Resp::Board(self.dispatch_board(q)),
+            Req::Cluster(q) => Resp::Cluster(self.dispatch_cluster(q)),
+        })
+    }
+
+    fn dispatch_vm(&self, q: VmReq) -> VmResp {
+        match q {
+            VmReq::CreateBlob { size, chunk_size } => {
+                VmResp::Created(self.vmanager.lock().create_blob(size, chunk_size))
+            }
+            VmReq::CloneBlob { src, version } => {
+                VmResp::Cloned(self.vmanager.lock().clone_blob(src, version))
+            }
+            VmReq::Latest(blob) => {
+                VmResp::Latest(self.vmanager.lock().meta(blob).map(|m| m.latest()))
+            }
+            VmReq::Size(blob) => VmResp::Size(self.vmanager.lock().meta(blob).map(|m| m.size)),
+            VmReq::LiveSnapshots(blob) => {
+                VmResp::LiveSnapshots(self.vmanager.lock().live_snapshots(blob))
+            }
+            VmReq::VersionMeta(blob, version) => {
+                let vm = self.vmanager.lock();
+                VmResp::VersionMeta(vm.meta(blob).and_then(|meta| {
+                    let root = meta
+                        .root(version)
+                        .ok_or(BlobError::NoSuchVersion(blob, version))?;
+                    Ok(VersionInfo {
+                        root,
+                        size: meta.size,
+                        chunk_size: meta.chunk_size,
+                        span: meta.span,
+                    })
+                }))
+            }
+            VmReq::Publish { blob, base, root } => {
+                VmResp::Published(self.vmanager.lock().publish(blob, base, root))
+            }
+            VmReq::DeleteSnapshots { blob, versions } => {
+                // Compound under ONE lock: the delete and the live-root
+                // frontier snapshot must be atomic, exactly as in the
+                // direct path's critical section.
+                let mut vm = self.vmanager.lock();
+                VmResp::Deleted((|| {
+                    let dead_roots = vm.delete_snapshots(blob, &versions)?;
+                    let live_roots = vm.family_live_roots(blob)?;
+                    let span = vm.meta(blob)?.span;
+                    Ok(DeleteOutcome {
+                        dead_roots,
+                        live_roots,
+                        span,
+                    })
+                })())
+            }
+            VmReq::ReserveKeys(n) => VmResp::Reserved(self.vmanager.lock().reserve_keys(n)),
+        }
+    }
+
+    fn dispatch_pm(&self, q: PmReq) -> PmResp {
+        match q {
+            PmReq::Allocate {
+                n,
+                chunk_bytes,
+                replication,
+                down,
+            } => PmResp::Allocated(self.pmanager.lock().allocate_avoiding(
+                n,
+                chunk_bytes,
+                replication,
+                &down,
+            )),
+        }
+    }
+
+    fn dispatch_meta(&self, shard: usize, q: MetaReq) -> MetaResp {
+        match q {
+            MetaReq::ReadNodes(keys) => {
+                // One shard lock across the whole batch (the "one
+                // metadata round per level" acquisition pattern).
+                let part = self.meta[shard].lock();
+                MetaResp::Nodes(keys.into_iter().map(|k| part.get(k)).collect())
+            }
+            MetaReq::WriteNodes(nodes) => {
+                self.meta[shard].lock().put(nodes);
+                MetaResp::Written
+            }
+        }
+    }
+
+    fn dispatch_provider(&self, node: bff_net::NodeId, q: ProviderReq) -> ProviderResp {
+        match q {
+            ProviderReq::Put(items) => ProviderResp::Put(self.providers.put_batch(node, items)),
+            ProviderReq::Fetch(ids) => {
+                // One provider-shard acquisition for the whole batch;
+                // an unknown node serves every chunk as absent, which is
+                // what the client's failover path expects.
+                let fetched = match self.providers.lock(node) {
+                    Some(mut p) => ids.into_iter().map(|id| p.get(id)).collect(),
+                    None => vec![None; ids.len()],
+                };
+                ProviderResp::Fetched(fetched)
+            }
+            ProviderReq::Peek(id) => {
+                ProviderResp::Peeked(self.providers.lock(node).and_then(|p| p.peek(id).cloned()))
+            }
+            ProviderReq::Retain(id) => ProviderResp::Retained(self.providers.retain(node, id)),
+            ProviderReq::Release(id) => ProviderResp::Released(self.providers.release(node, id)),
+            ProviderReq::ReleaseCounted(id, n) => {
+                ProviderResp::ReleaseCounted(self.providers.release_counted(node, id, n))
+            }
+        }
+    }
+
+    fn dispatch_board(&self, q: BoardReq) -> BoardResp {
+        match q {
+            BoardReq::NovelOf {
+                key,
+                batch,
+                min_publishers,
+            } => BoardResp::Novel(self.pattern_board.novel_of(key, &batch, min_publishers)),
+            BoardReq::Merge {
+                key,
+                publisher,
+                batch,
+            } => BoardResp::Merged(self.pattern_board.merge(key, publisher, &batch)),
+            BoardReq::SequenceLen(key) => {
+                BoardResp::SequenceLen(self.pattern_board.sequence_len(key))
+            }
+            BoardReq::Sequence {
+                key,
+                min_publishers,
+            } => BoardResp::Sequence(
+                self.pattern_board
+                    .sequence_with_confidence(key, min_publishers)
+                    .map(|(seq, conf)| ((*seq).clone(), conf)),
+            ),
+            BoardReq::Purge { keys, freed } => {
+                // Snapshot-GC hygiene for both services hosted beside the
+                // provider manager, in one message: board patterns and
+                // cluster-index entries of the freed chunks.
+                for &key in &keys {
+                    self.pattern_board.drop_pattern(key);
+                }
+                let evicted = if freed.is_empty() {
+                    0
+                } else {
+                    let freed: FastSet<_> = freed.into_iter().collect();
+                    self.cluster_write().evict_chunks(&freed)
+                };
+                BoardResp::Purged(evicted)
+            }
+        }
+    }
+
+    fn dispatch_cluster(&self, q: ClusterReq) -> ClusterResp {
+        match q {
+            ClusterReq::Get(keys) => {
+                // One shared acquisition for the whole probe batch.
+                let index = self.cluster_read();
+                ClusterResp::Got(keys.iter().map(|k| index.get(k)).collect())
+            }
+            ClusterReq::GetExclusive(key) => {
+                // The coarse-probe ablation: one exclusive acquisition
+                // per key, exactly as the direct path models it.
+                ClusterResp::GotOne(self.cluster_write().get(&key))
+            }
+            ClusterReq::NovelOf(keys) => {
+                ClusterResp::Novel(self.cluster_read().novel_of(keys.iter()))
+            }
+            ClusterReq::Record(entries) => {
+                // One exclusive acquisition for the whole commit batch.
+                let mut index = self.cluster_write();
+                for (key, desc) in entries {
+                    index.record(key, desc);
+                }
+                ClusterResp::Recorded
+            }
+            ClusterReq::Forget(key) => {
+                self.cluster_write().forget(&key);
+                ClusterResp::Forgotten
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bff_net::NodeId;
+    use bff_wire::types::{BlobId, ChunkId, NodeKey};
+
+    fn state() -> ServerState {
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&nodes, NodeId(4));
+        ServerState::new(&BlobConfig::default(), &topo, Placement::RoundRobin)
+    }
+
+    #[test]
+    fn vm_roundtrip_through_dispatch() {
+        let s = state();
+        let resp = s
+            .dispatch(Req::Vm(VmReq::CreateBlob {
+                size: 1024,
+                chunk_size: 256,
+            }))
+            .unwrap();
+        let Resp::Vm(VmResp::Created(Ok(blob))) = resp else {
+            panic!("unexpected response: {resp:?}");
+        };
+        let resp = s.dispatch(Req::Vm(VmReq::Latest(blob))).unwrap();
+        assert_eq!(resp, Resp::Vm(VmResp::Latest(Ok(crate::api::Version(0)))));
+    }
+
+    #[test]
+    fn unknown_provider_degrades_gracefully() {
+        let s = state();
+        let stranger = NodeId(99);
+        let resp = s
+            .dispatch(Req::Provider {
+                node: stranger,
+                req: ProviderReq::Fetch(vec![ChunkId(1), ChunkId(2)]),
+            })
+            .unwrap();
+        assert_eq!(
+            resp,
+            Resp::Provider(ProviderResp::Fetched(vec![None, None]))
+        );
+        let resp = s
+            .dispatch(Req::Provider {
+                node: stranger,
+                req: ProviderReq::Retain(ChunkId(1)),
+            })
+            .unwrap();
+        assert_eq!(resp, Resp::Provider(ProviderResp::Retained(false)));
+    }
+
+    #[test]
+    fn out_of_range_shard_is_wire_error() {
+        let s = state();
+        let err = s
+            .dispatch(Req::Meta {
+                shard: 99,
+                req: MetaReq::ReadNodes(vec![NodeKey(1)]),
+            })
+            .unwrap_err();
+        assert_eq!(err, WireError::BadFrame);
+    }
+
+    #[test]
+    fn misrouted_frame_rejected() {
+        let s = state();
+        let frame = bff_wire::encode(&Req::Vm(VmReq::Latest(BlobId(1))));
+        assert_eq!(
+            s.handle_frame(RouteKey::Pm, &frame).unwrap_err(),
+            WireError::BadFrame
+        );
+        // Correctly routed frames decode, dispatch and encode.
+        let reply = s.handle_frame(RouteKey::Vm, &frame).unwrap();
+        let resp: Resp = bff_wire::decode(&reply).unwrap();
+        assert_eq!(
+            resp,
+            Resp::Vm(VmResp::Latest(Err(BlobError::NoSuchBlob(BlobId(1)))))
+        );
+    }
+}

@@ -1,61 +1,81 @@
-//! The assembled storage service: managers, metadata shards and providers
-//! bound to cluster nodes and to a [`Fabric`].
+//! The assembled storage service: the client-side handle that binds a
+//! deployment's configuration, topology and [`Fabric`] to the server
+//! roles behind a message [`Transport`].
 //!
-//! All server components are passive state machines guarded by mutexes;
-//! *clients* execute the protocol logic and charge the fabric for every
-//! message and disk access around those state transitions. Locks are
-//! never held across fabric calls, so the same `BlobStore` works under
-//! real thread concurrency (in-process mode) and under simulated
-//! concurrency (coroutine processes).
+//! All server components are passive state machines guarded by mutexes
+//! (see [`crate::server::ServerState`]); *clients* execute the protocol
+//! logic and charge the fabric for every message and disk access around
+//! those state transitions. Locks are never held across fabric calls, so
+//! the same `BlobStore` works under real thread concurrency (in-process
+//! mode) and under simulated concurrency (coroutine processes).
+//!
+//! The typed accessor methods here (`vm_*`, `pm_*`, `meta_*`,
+//! `provider_*`, `board_*`, `cluster_*`) are the *entire* client→server
+//! surface. Each has two paths:
+//!
+//! * **direct** — the transport is [`DirectTransport`] and the server
+//!   state lives in this process: the method runs today's exact
+//!   zero-copy code against the state machines (no message exists);
+//! * **wire** — the request is encoded as a [`bff_wire::Req`] frame,
+//!   carried by the transport (in-process codec round-trip or real TCP),
+//!   dispatched by [`ServerState::dispatch`] on the serving side, and
+//!   the decoded [`bff_wire::Resp`] is unpacked.
+//!
+//! Both paths acquire server-side locks with identical granularity, and
+//! every *modelled* cost was already charged to the fabric by the caller
+//! — so logical outcomes are transport-invariant (the
+//! `cross_stack_equivalence` suite pins this).
 
-use crate::api::{BlobConfig, BlobId, BlobTopology, ChunkId, Version};
-use crate::board::BoardService;
+use crate::api::{BlobConfig, BlobId, BlobTopology, ChunkDesc, ChunkId, TransportMode, Version};
+use crate::api::{BlobResult, NodeKey, TreeNode};
+use crate::board::{BoardService, ConfidentSequence};
 use crate::cluster::ClusterIndex;
 use crate::context::NodeContext;
-use crate::lockstat::{probed_read, probed_write, LockContention, LockProbe};
-use crate::meta::MetaPartition;
-use crate::pmanager::{PManager, Placement};
+use crate::lockstat::LockContention;
+use crate::pmanager::Placement;
 use crate::provider::ProviderStore;
-use crate::vmanager::VManager;
-use bff_data::FastMap;
-use bff_data::FastSet;
+use crate::server::ServerState;
+use bff_data::{ContentKey, FastMap, FastSet, Payload};
+use bff_net::transport::{
+    CodecTransport, DirectTransport, FrameHandler, FrameServer, RouteKey, RouteTable,
+    SocketTransport, Transport, WireStats,
+};
 use bff_net::{Fabric, NodeId};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use bff_wire::msg::{
+    unexpected_resp, BoardReq, BoardResp, ClusterReq, ClusterResp, DeleteOutcome, MetaReq,
+    MetaResp, PmReq, PmResp, ProviderReq, ProviderResp, Req, Resp, VersionInfo, VmReq, VmResp,
+};
+use parking_lot::{Mutex, RwLock};
+use std::ops::Range;
 use std::sync::Arc;
 
-/// A deployed BlobSeer-like service.
+/// A deployed BlobSeer-like service, seen from the client side.
 pub struct BlobStore {
     pub(crate) cfg: BlobConfig,
     pub(crate) topo: BlobTopology,
     pub(crate) fabric: Arc<dyn Fabric>,
-    pub(crate) vmanager: Mutex<VManager>,
-    pub(crate) pmanager: Mutex<PManager>,
-    pub(crate) meta: Vec<Mutex<MetaPartition>>,
-    /// Sharded one lock per provider: data-plane tasks on distinct
-    /// providers never contend (see [`ProviderStore`]).
-    pub(crate) providers: ProviderStore,
     /// One [`NodeContext`] per compute node, created lazily: every
     /// client on a node attaches to the same shared cache module (the
-    /// paper's per-node FUSE process, §4.1).
+    /// paper's per-node FUSE process, §4.1). Contexts are client-side
+    /// state — they exist in every deployment mode, including remote.
     contexts: Mutex<FastMap<NodeId, Arc<NodeContext>>>,
-    /// The cluster access-pattern board, hosted beside the provider
-    /// manager (publishes pay an RPC to `topo.pmanager`; updates are
-    /// gossiped to the compute nodes — see [`crate::board`]). The
-    /// service does its own sharded read/write locking.
-    pub(crate) pattern_board: BoardService,
-    /// The cluster-wide content-addressed dedup index, hosted beside the
-    /// provider manager on the same publish/gossip transport as the
-    /// board (see [`crate::cluster`]). Read-mostly after deployment
-    /// convergence (probes vastly outnumber novel-entry publishes), so a
-    /// read/write lock; acquisitions on the client hot paths go through
-    /// [`BlobStore::cluster_read`]/[`BlobStore::cluster_write`] and are
-    /// contention-counted.
-    pub(crate) cluster_index: RwLock<ClusterIndex>,
-    cluster_probe: LockProbe,
+    /// Client-side topology knowledge: which nodes are providers
+    /// (membership checks must not require a server round trip).
+    provider_set: FastSet<NodeId>,
+    /// The server half, when it lives in this process (`None` for a
+    /// [`BlobStore::remote`] handle talking to external processes).
+    srv: Option<Arc<ServerState>>,
+    /// How typed requests reach the server roles.
+    transport: Arc<dyn Transport>,
+    /// In-process socket mode: the listener threads serving `srv`
+    /// (dropping the store stops them).
+    _listeners: Vec<FrameServer>,
 }
 
 impl BlobStore {
     /// Deploy the service with the given configuration and placement.
+    /// `cfg.transport` selects how requests reach the server roles (all
+    /// three modes host the server state in this process).
     pub fn new(cfg: BlobConfig, topo: BlobTopology, fabric: Arc<dyn Fabric>) -> Arc<Self> {
         Self::with_placement(cfg, topo, fabric, Placement::RoundRobin)
     }
@@ -67,36 +87,611 @@ impl BlobStore {
         fabric: Arc<dyn Fabric>,
         placement: Placement,
     ) -> Arc<Self> {
-        assert!(!topo.providers.is_empty(), "need at least one provider");
-        assert!(
-            !topo.metadata.is_empty(),
-            "need at least one metadata server"
-        );
-        let providers = ProviderStore::new(&topo.providers);
-        let cluster_cap = if cfg.cluster_dedup && cfg.dedup {
-            cfg.cluster_index_chunks
-        } else {
-            0
+        let srv = Arc::new(ServerState::new(&cfg, &topo, placement));
+        let (transport, listeners): (Arc<dyn Transport>, Vec<FrameServer>) = match cfg.transport {
+            TransportMode::Direct => (Arc::new(DirectTransport), Vec::new()),
+            TransportMode::Codec => {
+                let state = Arc::clone(&srv);
+                let handler: FrameHandler =
+                    Arc::new(move |route, frame| state.handle_frame(route, frame));
+                (Arc::new(CodecTransport::new(handler)), Vec::new())
+            }
+            TransportMode::Socket => {
+                // One loopback listener per role, all serving the same
+                // in-process state — the full framed-TCP path without
+                // separate processes. (Multi-process deployments run
+                // `blob_server` binaries and connect via
+                // [`BlobStore::remote`].)
+                let routes = [
+                    RouteKey::Vm,
+                    RouteKey::Pm,
+                    RouteKey::Board,
+                    RouteKey::Cluster,
+                    RouteKey::Meta(0),
+                    RouteKey::Provider(topo.providers[0]),
+                ];
+                let listeners: Vec<FrameServer> = routes
+                    .into_iter()
+                    .map(|route| {
+                        let state = Arc::clone(&srv);
+                        let handler: FrameHandler =
+                            Arc::new(move |route, frame| state.handle_frame(route, frame));
+                        FrameServer::start(route, handler).expect("bind loopback listener")
+                    })
+                    .collect();
+                let table = RouteTable {
+                    vm: listeners[0].addr(),
+                    pm: listeners[1].addr(),
+                    board: listeners[2].addr(),
+                    cluster: listeners[3].addr(),
+                    meta: listeners[4].addr(),
+                    provider: listeners[5].addr(),
+                };
+                (Arc::new(SocketTransport::new(table)), listeners)
+            }
         };
-        let meta = topo
-            .metadata
-            .iter()
-            .map(|_| Mutex::new(MetaPartition::new()))
-            .collect();
         Arc::new(Self {
-            pmanager: Mutex::new(PManager::new(topo.providers.clone(), placement)),
-            vmanager: Mutex::new(VManager::new()),
-            providers,
-            meta,
+            provider_set: topo.providers.iter().copied().collect(),
+            contexts: Mutex::new(FastMap::default()),
+            srv: Some(srv),
+            transport,
+            _listeners: listeners,
             cfg,
             topo,
             fabric,
-            contexts: Mutex::new(FastMap::default()),
-            pattern_board: BoardService::new(cfg.coarse_board_lock),
-            cluster_index: RwLock::new(ClusterIndex::new(cluster_cap)),
-            cluster_probe: LockProbe::default(),
         })
     }
+
+    /// Attach to a cluster whose server roles run in *other* processes,
+    /// reached through `transport` (normally a
+    /// [`SocketTransport`] built from the `READY` lines the
+    /// `blob_server` processes print). The handle holds no server state;
+    /// local-diagnostic accessors ([`BlobStore::providers`],
+    /// [`BlobStore::pattern_board`], …) panic on it.
+    pub fn remote(
+        cfg: BlobConfig,
+        topo: BlobTopology,
+        fabric: Arc<dyn Fabric>,
+        transport: Arc<dyn Transport>,
+    ) -> Arc<Self> {
+        assert!(
+            !transport.is_direct(),
+            "a direct transport needs in-process server state; use BlobStore::new"
+        );
+        Arc::new(Self {
+            provider_set: topo.providers.iter().copied().collect(),
+            contexts: Mutex::new(FastMap::default()),
+            srv: None,
+            transport,
+            _listeners: Vec::new(),
+            cfg,
+            topo,
+            fabric,
+        })
+    }
+
+    /// The in-process server state when the transport dispatches typed
+    /// values directly — the zero-copy fast path every accessor below
+    /// takes first.
+    #[inline]
+    fn direct(&self) -> Option<&ServerState> {
+        if self.transport.is_direct() {
+            self.srv.as_deref()
+        } else {
+            None
+        }
+    }
+
+    /// The in-process server state regardless of transport (codec and
+    /// in-process socket modes still host it here). `None` only for
+    /// [`BlobStore::remote`] handles.
+    fn local(&self) -> &ServerState {
+        self.srv
+            .as_deref()
+            .expect("server state lives in another process (remote BlobStore handle)")
+    }
+
+    /// One encoded round trip over the transport.
+    fn call(&self, req: Req) -> BlobResult<Resp> {
+        let frame = bff_wire::encode(&req);
+        let reply = self.transport.call(req.route(), &frame)?;
+        Ok(bff_wire::decode::<Resp>(&reply)?)
+    }
+
+    /// Real serialized bytes the transport has moved (all zeros under
+    /// the direct transport — no frame ever exists).
+    pub fn wire_stats(&self) -> WireStats {
+        self.transport.wire_stats()
+    }
+
+    /// Whether `node` hosts a chunk provider in this deployment.
+    #[inline]
+    pub(crate) fn is_provider(&self, node: NodeId) -> bool {
+        self.provider_set.contains(&node)
+    }
+
+    /// Number of metadata shards (hash-partition count).
+    #[inline]
+    pub(crate) fn meta_shards(&self) -> usize {
+        self.topo.metadata.len()
+    }
+
+    // -----------------------------------------------------------------
+    // Version manager.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn vm_create_blob(&self, size: u64, chunk_size: u64) -> BlobResult<BlobId> {
+        if let Some(srv) = self.direct() {
+            return srv.vmanager.lock().create_blob(size, chunk_size);
+        }
+        match self.call(Req::Vm(VmReq::CreateBlob { size, chunk_size }))? {
+            Resp::Vm(VmResp::Created(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_clone_blob(&self, src: BlobId, version: Version) -> BlobResult<BlobId> {
+        if let Some(srv) = self.direct() {
+            return srv.vmanager.lock().clone_blob(src, version);
+        }
+        match self.call(Req::Vm(VmReq::CloneBlob { src, version }))? {
+            Resp::Vm(VmResp::Cloned(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_latest(&self, blob: BlobId) -> BlobResult<Version> {
+        if let Some(srv) = self.direct() {
+            return Ok(srv.vmanager.lock().meta(blob)?.latest());
+        }
+        match self.call(Req::Vm(VmReq::Latest(blob)))? {
+            Resp::Vm(VmResp::Latest(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_size(&self, blob: BlobId) -> BlobResult<u64> {
+        if let Some(srv) = self.direct() {
+            return Ok(srv.vmanager.lock().meta(blob)?.size);
+        }
+        match self.call(Req::Vm(VmReq::Size(blob)))? {
+            Resp::Vm(VmResp::Size(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_live_snapshots(&self, blob: BlobId) -> BlobResult<Vec<Version>> {
+        if let Some(srv) = self.direct() {
+            return srv.vmanager.lock().live_snapshots(blob);
+        }
+        match self.call(Req::Vm(VmReq::LiveSnapshots(blob)))? {
+            Resp::Vm(VmResp::LiveSnapshots(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_version_meta(
+        &self,
+        blob: BlobId,
+        version: Version,
+    ) -> BlobResult<VersionInfo> {
+        if let Some(srv) = self.direct() {
+            let vm = srv.vmanager.lock();
+            let meta = vm.meta(blob)?;
+            let root = meta
+                .root(version)
+                .ok_or(crate::api::BlobError::NoSuchVersion(blob, version))?;
+            return Ok(VersionInfo {
+                root,
+                size: meta.size,
+                chunk_size: meta.chunk_size,
+                span: meta.span,
+            });
+        }
+        match self.call(Req::Vm(VmReq::VersionMeta(blob, version)))? {
+            Resp::Vm(VmResp::VersionMeta(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_publish(
+        &self,
+        blob: BlobId,
+        base: Version,
+        root: NodeKey,
+    ) -> BlobResult<Version> {
+        if let Some(srv) = self.direct() {
+            return srv.vmanager.lock().publish(blob, base, root);
+        }
+        match self.call(Req::Vm(VmReq::Publish { blob, base, root }))? {
+            Resp::Vm(VmResp::Published(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_delete_snapshots(
+        &self,
+        blob: BlobId,
+        versions: &[Version],
+    ) -> BlobResult<DeleteOutcome> {
+        if let Some(srv) = self.direct() {
+            // Compound under ONE lock: the delete and the live-root
+            // frontier snapshot are one atomic critical section.
+            let mut vm = srv.vmanager.lock();
+            let dead_roots = vm.delete_snapshots(blob, versions)?;
+            let live_roots = vm.family_live_roots(blob)?;
+            let span = vm.meta(blob)?.span;
+            return Ok(DeleteOutcome {
+                dead_roots,
+                live_roots,
+                span,
+            });
+        }
+        match self.call(Req::Vm(VmReq::DeleteSnapshots {
+            blob,
+            versions: versions.to_vec(),
+        }))? {
+            Resp::Vm(VmResp::Deleted(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn vm_reserve_keys(&self, n: u64) -> BlobResult<Range<u64>> {
+        if let Some(srv) = self.direct() {
+            return Ok(srv.vmanager.lock().reserve_keys(n));
+        }
+        match self.call(Req::Vm(VmReq::ReserveKeys(n)))? {
+            Resp::Vm(VmResp::Reserved(r)) => Ok(r),
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Provider manager.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn pm_allocate(
+        &self,
+        n: usize,
+        chunk_bytes: u64,
+        replication: usize,
+        down: Vec<bool>,
+    ) -> BlobResult<Vec<ChunkDesc>> {
+        if let Some(srv) = self.direct() {
+            return srv
+                .pmanager
+                .lock()
+                .allocate_avoiding(n, chunk_bytes, replication, &down);
+        }
+        match self.call(Req::Pm(PmReq::Allocate {
+            n,
+            chunk_bytes,
+            replication,
+            down,
+        }))? {
+            Resp::Pm(PmResp::Allocated(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Metadata shards. One message = one shard-lock acquisition for the
+    // whole batch (the "one metadata round per level" pattern).
+    // -----------------------------------------------------------------
+
+    pub(crate) fn meta_read_nodes(
+        &self,
+        shard: usize,
+        keys: Vec<NodeKey>,
+    ) -> BlobResult<Vec<TreeNode>> {
+        if let Some(srv) = self.direct() {
+            let part = srv.meta[shard].lock();
+            return keys.into_iter().map(|k| part.get(k)).collect();
+        }
+        match self.call(Req::Meta {
+            shard: shard as u32,
+            req: MetaReq::ReadNodes(keys),
+        })? {
+            Resp::Meta(MetaResp::Nodes(r)) => r,
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn meta_write_nodes(
+        &self,
+        shard: usize,
+        nodes: Vec<(NodeKey, TreeNode)>,
+    ) -> BlobResult<()> {
+        if let Some(srv) = self.direct() {
+            srv.meta[shard].lock().put(nodes);
+            return Ok(());
+        }
+        match self.call(Req::Meta {
+            shard: shard as u32,
+            req: MetaReq::WriteNodes(nodes),
+        })? {
+            Resp::Meta(MetaResp::Written) => Ok(()),
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Chunk providers. Batched messages hold the provider's shard lock
+    // once; per-item messages once per message.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn provider_put(
+        &self,
+        prov: NodeId,
+        items: Vec<(ChunkId, Payload)>,
+    ) -> BlobResult<bool> {
+        if let Some(srv) = self.direct() {
+            return Ok(srv.providers.put_batch(prov, items));
+        }
+        match self.call(Req::Provider {
+            node: prov,
+            req: ProviderReq::Put(items),
+        })? {
+            Resp::Provider(ProviderResp::Put(ok)) => Ok(ok),
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    pub(crate) fn provider_fetch(
+        &self,
+        prov: NodeId,
+        ids: Vec<ChunkId>,
+    ) -> BlobResult<Vec<Option<(Payload, bool)>>> {
+        if let Some(srv) = self.direct() {
+            return Ok(match srv.providers.lock(prov) {
+                Some(mut p) => ids.into_iter().map(|id| p.get(id)).collect(),
+                None => vec![None; ids.len()],
+            });
+        }
+        match self.call(Req::Provider {
+            node: prov,
+            req: ProviderReq::Fetch(ids),
+        })? {
+            Resp::Provider(ProviderResp::Fetched(r)) => Ok(r),
+            _ => Err(unexpected_resp()),
+        }
+    }
+
+    /// Inspect a chunk without touching read-cache state. A transport
+    /// failure reads as "absent", which the dedup validation path treats
+    /// as a stale hit — conservative and safe.
+    pub(crate) fn provider_peek(&self, prov: NodeId, id: ChunkId) -> Option<Payload> {
+        if let Some(srv) = self.direct() {
+            return srv.providers.lock(prov).and_then(|p| p.peek(id).cloned());
+        }
+        match self.call(Req::Provider {
+            node: prov,
+            req: ProviderReq::Peek(id),
+        }) {
+            Ok(Resp::Provider(ProviderResp::Peeked(r))) => r,
+            _ => None,
+        }
+    }
+
+    /// Bump a chunk's refcount. A transport failure reads as "not
+    /// retained" — the commit then pushes fresh bytes instead of
+    /// committing by reference, which is always safe.
+    pub(crate) fn provider_retain(&self, prov: NodeId, id: ChunkId) -> bool {
+        if let Some(srv) = self.direct() {
+            return srv.providers.retain(prov, id);
+        }
+        matches!(
+            self.call(Req::Provider {
+                node: prov,
+                req: ProviderReq::Retain(id),
+            }),
+            Ok(Resp::Provider(ProviderResp::Retained(true)))
+        )
+    }
+
+    /// Drop one reference (rollback path). A transport failure is a
+    /// bounded leak — identical to skipping a down provider.
+    pub(crate) fn provider_release(&self, prov: NodeId, id: ChunkId) -> bool {
+        if let Some(srv) = self.direct() {
+            return srv.providers.release(prov, id);
+        }
+        matches!(
+            self.call(Req::Provider {
+                node: prov,
+                req: ProviderReq::Release(id),
+            }),
+            Ok(Resp::Provider(ProviderResp::Released(true)))
+        )
+    }
+
+    /// Drop `n` references and report `(bytes_freed, removed, dropped)`
+    /// (snapshot GC). Transport failure → `(0, false, false)`, the same
+    /// bounded-leak semantics as an unreachable provider.
+    pub(crate) fn provider_release_counted(
+        &self,
+        prov: NodeId,
+        id: ChunkId,
+        n: u64,
+    ) -> (u64, bool, bool) {
+        if let Some(srv) = self.direct() {
+            return srv.providers.release_counted(prov, id, n);
+        }
+        match self.call(Req::Provider {
+            node: prov,
+            req: ProviderReq::ReleaseCounted(id, n),
+        }) {
+            Ok(Resp::Provider(ProviderResp::ReleaseCounted(r))) => r,
+            _ => (0, false, false),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Pattern board. All best-effort: a transport failure reads as "the
+    // board knows nothing", which only costs prefetch opportunity.
+    // -----------------------------------------------------------------
+
+    pub(crate) fn board_novel_of(
+        &self,
+        key: (BlobId, Version),
+        batch: &[u64],
+        min_publishers: usize,
+    ) -> Vec<u64> {
+        if let Some(srv) = self.direct() {
+            return srv.pattern_board.novel_of(key, batch, min_publishers);
+        }
+        match self.call(Req::Board(BoardReq::NovelOf {
+            key,
+            batch: batch.to_vec(),
+            min_publishers,
+        })) {
+            Ok(Resp::Board(BoardResp::Novel(r))) => r,
+            _ => Vec::new(),
+        }
+    }
+
+    pub(crate) fn board_merge(
+        &self,
+        key: (BlobId, Version),
+        publisher: NodeId,
+        batch: &[u64],
+    ) -> usize {
+        if let Some(srv) = self.direct() {
+            return srv.pattern_board.merge(key, publisher, batch);
+        }
+        match self.call(Req::Board(BoardReq::Merge {
+            key,
+            publisher,
+            batch: batch.to_vec(),
+        })) {
+            Ok(Resp::Board(BoardResp::Merged(n))) => n,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn board_sequence_len(&self, key: (BlobId, Version)) -> usize {
+        if let Some(srv) = self.direct() {
+            return srv.pattern_board.sequence_len(key);
+        }
+        match self.call(Req::Board(BoardReq::SequenceLen(key))) {
+            Ok(Resp::Board(BoardResp::SequenceLen(n))) => n,
+            _ => 0,
+        }
+    }
+
+    pub(crate) fn board_sequence(
+        &self,
+        key: (BlobId, Version),
+        min_publishers: usize,
+    ) -> Option<ConfidentSequence> {
+        if let Some(srv) = self.direct() {
+            // Zero-copy: the merged sequence stays shared by refcount.
+            return srv
+                .pattern_board
+                .sequence_with_confidence(key, min_publishers);
+        }
+        match self.call(Req::Board(BoardReq::Sequence {
+            key,
+            min_publishers,
+        })) {
+            Ok(Resp::Board(BoardResp::Sequence(Some((seq, conf))))) => Some((Arc::new(seq), conf)),
+            _ => None,
+        }
+    }
+
+    /// Snapshot-GC hygiene on the board/cluster host: drop the deleted
+    /// versions' patterns and evict freed chunks from the cluster index.
+    /// Returns evicted cluster-index entries (0 on transport failure —
+    /// stale entries self-heal at their next validated use).
+    pub(crate) fn board_purge(
+        &self,
+        versions: &[(BlobId, Version)],
+        freed: &FastSet<ChunkId>,
+    ) -> usize {
+        if let Some(srv) = self.direct() {
+            for &key in versions {
+                srv.pattern_board.drop_pattern(key);
+            }
+            if freed.is_empty() {
+                return 0;
+            }
+            return srv.cluster_write().evict_chunks(freed);
+        }
+        let mut freed: Vec<ChunkId> = freed.iter().copied().collect();
+        freed.sort_unstable(); // deterministic frame bytes
+        match self.call(Req::Board(BoardReq::Purge {
+            keys: versions.to_vec(),
+            freed,
+        })) {
+            Ok(Resp::Board(BoardResp::Purged(n))) => n,
+            _ => 0,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Cluster dedup index. Best-effort like every index update: a
+    // transport failure reads as a miss / skipped publish.
+    // -----------------------------------------------------------------
+
+    /// Batch probe: one shared-lock acquisition for all keys. Transport
+    /// failure → all misses.
+    pub(crate) fn cluster_get(&self, keys: &[ContentKey]) -> Vec<Option<ChunkDesc>> {
+        if let Some(srv) = self.direct() {
+            let index = srv.cluster_read();
+            return keys.iter().map(|k| index.get(k)).collect();
+        }
+        match self.call(Req::Cluster(ClusterReq::Get(keys.to_vec()))) {
+            Ok(Resp::Cluster(ClusterResp::Got(r))) if r.len() == keys.len() => r,
+            _ => vec![None; keys.len()],
+        }
+    }
+
+    /// Coarse-ablation probe: one *exclusive* acquisition for one key.
+    pub(crate) fn cluster_get_exclusive(&self, key: &ContentKey) -> Option<ChunkDesc> {
+        if let Some(srv) = self.direct() {
+            return srv.cluster_write().get(key);
+        }
+        match self.call(Req::Cluster(ClusterReq::GetExclusive(*key))) {
+            Ok(Resp::Cluster(ClusterResp::GotOne(r))) => r,
+            _ => None,
+        }
+    }
+
+    /// Which keys the index does not yet hold. Transport failure → no
+    /// keys are novel (the publish is skipped, content stays node-local).
+    pub(crate) fn cluster_novel_of(&self, keys: &[ContentKey]) -> Vec<ContentKey> {
+        if let Some(srv) = self.direct() {
+            return srv.cluster_read().novel_of(keys.iter());
+        }
+        match self.call(Req::Cluster(ClusterReq::NovelOf(keys.to_vec()))) {
+            Ok(Resp::Cluster(ClusterResp::Novel(r))) => r,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Record novel entries: one exclusive acquisition for the batch.
+    pub(crate) fn cluster_record(&self, entries: Vec<(ContentKey, ChunkDesc)>) {
+        if let Some(srv) = self.direct() {
+            let mut index = srv.cluster_write();
+            for (key, desc) in entries {
+                index.record(key, desc);
+            }
+            return;
+        }
+        let _ = self.call(Req::Cluster(ClusterReq::Record(entries)));
+    }
+
+    /// Drop a stale entry wherever it lives.
+    pub(crate) fn cluster_forget(&self, key: &ContentKey) {
+        if let Some(srv) = self.direct() {
+            srv.cluster_write().forget(key);
+            return;
+        }
+        let _ = self.call(Req::Cluster(ClusterReq::Forget(*key)));
+    }
+
+    // -----------------------------------------------------------------
+    // Client-side shared state and diagnostics.
+    // -----------------------------------------------------------------
 
     /// The shared cache module of `node` (created on first use). All
     /// clients co-located on a node attach to the same context, sharing
@@ -111,31 +706,21 @@ impl BlobStore {
     }
 
     /// The cluster access-pattern board (diagnostics; the data plane
-    /// goes through [`crate::Client`]).
+    /// goes through [`crate::Client`]). Requires in-process server state.
     pub fn pattern_board(&self) -> &BoardService {
-        &self.pattern_board
+        &self.local().pattern_board
     }
 
     /// The cluster-wide dedup index (diagnostics; the data plane goes
-    /// through [`crate::Client::write_chunks`]).
+    /// through [`crate::Client::write_chunks`]). Requires in-process
+    /// server state.
     pub fn cluster_index(&self) -> &RwLock<ClusterIndex> {
-        &self.cluster_index
-    }
-
-    /// Shared read access to the cluster dedup index, contention-counted
-    /// (the commit-probe hot path).
-    pub(crate) fn cluster_read(&self) -> RwLockReadGuard<'_, ClusterIndex> {
-        probed_read(&self.cluster_probe, &self.cluster_index)
-    }
-
-    /// Exclusive access to the cluster dedup index, contention-counted.
-    pub(crate) fn cluster_write(&self) -> RwLockWriteGuard<'_, ClusterIndex> {
-        probed_write(&self.cluster_probe, &self.cluster_index)
+        &self.local().cluster_index
     }
 
     /// Contention counters of the cluster-index lock.
     pub fn cluster_contention(&self) -> LockContention {
-        self.cluster_probe.snapshot()
+        self.local().cluster_contention()
     }
 
     /// Cluster-wide eviction after a snapshot delete: drop the deleted
@@ -145,12 +730,9 @@ impl BlobStore {
     /// these evictions; the state change itself is the replicas
     /// converging.
     pub(crate) fn purge_deleted(&self, versions: &[(BlobId, Version)], freed: &FastSet<ChunkId>) {
-        for &key in versions {
-            self.pattern_board.drop_pattern(key);
-        }
-        if !freed.is_empty() {
-            self.cluster_write().evict_chunks(freed);
-        }
+        // Server side (board host): patterns + cluster-index entries.
+        self.board_purge(versions, freed);
+        // Client side: every local node context drops its cached traces.
         let contexts: Vec<Arc<NodeContext>> = self.contexts.lock().values().cloned().collect();
         for ctx in contexts {
             for &key in versions {
@@ -178,8 +760,9 @@ impl BlobStore {
     }
 
     /// The deployed provider set (chunk stores, refcounts, loads).
+    /// Requires in-process server state.
     pub fn providers(&self) -> &ProviderStore {
-        &self.providers
+        &self.local().providers
     }
 
     /// Total chunk payload bytes stored across all providers. Shared
@@ -187,28 +770,32 @@ impl BlobStore {
     /// metric: snapshots that share content do not multiply it.
     /// Lock-free: maintained by the sharded store's atomic counters.
     pub fn total_stored_bytes(&self) -> u64 {
-        self.providers.total_stored_bytes()
+        self.local().providers.total_stored_bytes()
     }
 
     /// Total chunks stored across all providers (lock-free).
     pub fn total_chunks(&self) -> usize {
-        self.providers.total_chunks()
+        self.local().providers.total_chunks()
     }
 
     /// Total metadata tree nodes stored.
     pub fn total_metadata_nodes(&self) -> usize {
-        self.meta.iter().map(|m| m.lock().node_count()).sum()
+        self.local()
+            .meta
+            .iter()
+            .map(|m| m.lock().node_count())
+            .sum()
     }
 
     /// Per-provider stored bytes, in `topology().providers` order
     /// (balance diagnostics).
     pub fn provider_loads(&self) -> Vec<u64> {
-        self.providers.loads()
+        self.local().providers.loads()
     }
 
     /// Drop all simulated page caches (ablations).
     pub fn drop_provider_caches(&self) {
-        self.providers.drop_caches();
+        self.local().providers.drop_caches();
     }
 }
 
@@ -223,8 +810,8 @@ mod tests {
         let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
         let topo = BlobTopology::colocated(&nodes, NodeId(5));
         let store = BlobStore::new(BlobConfig::default(), topo, fabric);
-        assert_eq!(store.providers.len(), 4);
-        assert_eq!(store.meta.len(), 4);
+        assert_eq!(store.providers().len(), 4);
+        assert_eq!(store.meta_shards(), 4);
         assert_eq!(store.total_stored_bytes(), 0);
         assert_eq!(store.total_metadata_nodes(), 0);
     }
@@ -253,5 +840,37 @@ mod tests {
             providers: vec![],
         };
         BlobStore::new(BlobConfig::default(), topo, fabric);
+    }
+
+    #[test]
+    fn codec_transport_round_trips_requests() {
+        let fabric = LocalFabric::new(3);
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&nodes, NodeId(2));
+        let cfg = BlobConfig {
+            transport: crate::api::TransportMode::Codec,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric);
+        let blob = store.vm_create_blob(1024, 256).unwrap();
+        assert_eq!(store.vm_latest(blob).unwrap(), Version(0));
+        let stats = store.wire_stats();
+        assert_eq!(stats.calls, 2);
+        assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn socket_transport_round_trips_requests() {
+        let fabric = LocalFabric::new(3);
+        let nodes: Vec<NodeId> = (0..2).map(NodeId).collect();
+        let topo = BlobTopology::colocated(&nodes, NodeId(2));
+        let cfg = BlobConfig {
+            transport: crate::api::TransportMode::Socket,
+            ..Default::default()
+        };
+        let store = BlobStore::new(cfg, topo, fabric);
+        let blob = store.vm_create_blob(4096, 512).unwrap();
+        assert_eq!(store.vm_size(blob).unwrap(), 4096);
+        assert!(store.wire_stats().calls == 2);
     }
 }

@@ -25,6 +25,6 @@ pub mod simsignals;
 pub mod vm;
 
 pub use backend::{BackendError, ImageBackend, MirrorBackend, QcowPvfsBackend, RawLocalBackend};
-pub use middleware::Cloud;
+pub use middleware::{Cloud, ClusterMetrics};
 pub use params::Calibration;
 pub use vm::run_vm_trace;

@@ -62,6 +62,27 @@ impl Cloud {
         }
     }
 
+    /// Wrap an existing repository handle instead of deploying one —
+    /// e.g. a [`BlobStore::remote`] attached over sockets to
+    /// `blob_server` processes hosting the server roles. Note that on a
+    /// remote handle the local-diagnostic parts of [`Cloud::metrics`]
+    /// (contention, storage totals) are unavailable.
+    pub fn with_store(
+        store: Arc<BlobStore>,
+        fabric: Arc<dyn Fabric>,
+        compute: Vec<NodeId>,
+        service: NodeId,
+        cal: Calibration,
+    ) -> Self {
+        Self {
+            store,
+            fabric,
+            compute,
+            service,
+            cal,
+        }
+    }
+
     /// The repository.
     pub fn store(&self) -> &Arc<BlobStore> {
         &self.store
@@ -90,44 +111,68 @@ impl Cloud {
         self.store.node_context(node)
     }
 
+    /// One coherent snapshot of every cluster-level counter: cache/dedup
+    /// totals, prefetch effectiveness (aggregate and per compute node),
+    /// lock contention of the shared services, storage totals and the
+    /// transport's real bytes-on-wire. Supersedes the old accessor
+    /// sprawl (`cache_stats`, `prefetch_stats`, `node_prefetch_stats`,
+    /// per-lock getters) — one call, one struct, diffable before/after
+    /// a workload.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let mut cache = bff_blobseer::CacheStats::default();
+        let mut prefetch = bff_blobseer::PrefetchStats::default();
+        let mut per_node_prefetch = Vec::with_capacity(self.compute.len() + 1);
+        for &node in self.compute.iter().chain([&self.service]) {
+            let ctx = self.store.node_context(node);
+            let s = ctx.stats();
+            cache.desc_hits += s.desc_hits;
+            cache.desc_misses += s.desc_misses;
+            cache.dedup_hits += s.dedup_hits;
+            cache.dedup_reused_bytes += s.dedup_reused_bytes;
+            cache.desc_entries += s.desc_entries;
+            let p = ctx.prefetch_stats();
+            prefetch.prefetched_chunks += p.prefetched_chunks;
+            prefetch.prefetched_bytes += p.prefetched_bytes;
+            prefetch.hits += p.hits;
+            prefetch.hit_bytes += p.hit_bytes;
+            prefetch.wasted_chunks += p.wasted_chunks;
+            prefetch.cache_hits += p.cache_hits;
+            prefetch.cached_chunks += p.cached_chunks;
+            prefetch.cached_bytes += p.cached_bytes;
+            per_node_prefetch.push((node, p));
+        }
+        ClusterMetrics {
+            cache,
+            prefetch,
+            per_node_prefetch,
+            board_contention: self.store.pattern_board().contention(),
+            cluster_contention: self.store.cluster_contention(),
+            stored_bytes: self.store.total_stored_bytes(),
+            stored_chunks: self.store.total_chunks(),
+            wire: self.store.wire_stats(),
+        }
+    }
+
     /// Cache/dedup counters aggregated over all compute nodes (plus the
     /// service node, whose client stages uploads).
+    #[deprecated(since = "0.1.0", note = "use Cloud::metrics().cache")]
     pub fn cache_stats(&self) -> bff_blobseer::CacheStats {
-        let mut total = bff_blobseer::CacheStats::default();
-        for &node in self.compute.iter().chain([&self.service]) {
-            let s = self.store.node_context(node).stats();
-            total.desc_hits += s.desc_hits;
-            total.desc_misses += s.desc_misses;
-            total.dedup_hits += s.dedup_hits;
-            total.dedup_reused_bytes += s.dedup_reused_bytes;
-            total.desc_entries += s.desc_entries;
-        }
-        total
+        self.metrics().cache
     }
 
     /// Prefetch hit/waste counters of one compute node's shared context
     /// (per-node attribution: hits and waste are properties of a node's
     /// chunk cache, not of the cluster).
+    #[deprecated(since = "0.1.0", note = "use Cloud::metrics().per_node_prefetch")]
     pub fn node_prefetch_stats(&self, node: NodeId) -> bff_blobseer::PrefetchStats {
         self.store.node_context(node).prefetch_stats()
     }
 
     /// Prefetch counters aggregated over all compute nodes (plus the
-    /// service node, for symmetry with [`Cloud::cache_stats`]).
+    /// service node, for symmetry with the cache totals).
+    #[deprecated(since = "0.1.0", note = "use Cloud::metrics().prefetch")]
     pub fn prefetch_stats(&self) -> bff_blobseer::PrefetchStats {
-        let mut total = bff_blobseer::PrefetchStats::default();
-        for &node in self.compute.iter().chain([&self.service]) {
-            let s = self.store.node_context(node).prefetch_stats();
-            total.prefetched_chunks += s.prefetched_chunks;
-            total.prefetched_bytes += s.prefetched_bytes;
-            total.hits += s.hits;
-            total.hit_bytes += s.hit_bytes;
-            total.wasted_chunks += s.wasted_chunks;
-            total.cache_hits += s.cache_hits;
-            total.cached_chunks += s.cached_chunks;
-            total.cached_bytes += s.cached_bytes;
-        }
-        total
+        self.metrics().prefetch
     }
 
     /// Client-side image upload (Fig. 1 "put image"); the image is
@@ -262,6 +307,32 @@ impl Cloud {
             naive_full_copy_bytes: naive,
         }
     }
+}
+
+/// One coherent snapshot of the cluster's counters — see
+/// [`Cloud::metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct ClusterMetrics {
+    /// Descriptor-cache and dedup counters, summed over every node
+    /// context (compute nodes plus the service node).
+    pub cache: bff_blobseer::CacheStats,
+    /// Prefetch effectiveness, summed over every node context.
+    pub prefetch: bff_blobseer::PrefetchStats,
+    /// Per-node prefetch attribution (hits and waste are properties of
+    /// a node's chunk cache, not of the cluster), in `compute` order
+    /// with the service node last.
+    pub per_node_prefetch: Vec<(NodeId, bff_blobseer::PrefetchStats)>,
+    /// Contention counters of the pattern-board lock.
+    pub board_contention: bff_blobseer::LockContention,
+    /// Contention counters of the cluster dedup-index lock.
+    pub cluster_contention: bff_blobseer::LockContention,
+    /// Bytes stored across all providers (shared content counted once).
+    pub stored_bytes: u64,
+    /// Chunk replica instances stored across all providers.
+    pub stored_chunks: usize,
+    /// Serialized request/response bytes the transport moved (all zero
+    /// under the direct transport — no frame ever exists).
+    pub wire: bff_net::transport::WireStats,
 }
 
 /// Output of [`Cloud::storage_report`].

@@ -27,7 +27,7 @@ pub mod synth;
 pub use digest::{ContentDigest, ContentKey, Digest, DigestIndex};
 pub use extent::{ExtentMap, ExtentValue};
 pub use hash::{FastMap, FastSet, U64BuildHasher, U64Hasher};
-pub use payload::Payload;
+pub use payload::{Payload, SegView};
 pub use range::{chunk_cover, chunk_range, intersect, ranges_overlap, ByteRange};
 pub use rangeset::RangeSet;
 pub use sha256::{Sha256, Sha256Digest};

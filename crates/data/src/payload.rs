@@ -98,6 +98,32 @@ impl Seg {
     }
 }
 
+/// A borrowed view of one rope segment, exposing the payload's *structure*
+/// without materializing it. Serializers use this so a synthetic 2 GB
+/// extent costs a dozen bytes on the wire instead of 2 GB — the receiving
+/// side rebuilds an equivalent rope and every content operation (digest,
+/// equality, `materialize`) agrees because they are representation-
+/// independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegView<'a> {
+    /// Literal bytes.
+    Bytes(&'a [u8]),
+    /// `len` bytes of synthetic stream `seed` from stream position `start`.
+    Synth {
+        /// Stream seed.
+        seed: u64,
+        /// Stream position of the first byte.
+        start: u64,
+        /// Extent length.
+        len: u64,
+    },
+    /// `len` zero bytes.
+    Zero {
+        /// Extent length.
+        len: u64,
+    },
+}
+
 /// A cheaply sliceable and concatenable byte sequence.
 ///
 /// Cloning is O(number of segments); slicing shares underlying literal
@@ -165,6 +191,19 @@ impl Payload {
     /// Number of rope segments (diagnostic; tests assert coalescing works).
     pub fn segment_count(&self) -> usize {
         self.segs.len()
+    }
+
+    /// Iterate the rope structure as borrowed [`SegView`]s, in order.
+    pub fn segments(&self) -> impl Iterator<Item = SegView<'_>> {
+        self.segs.iter().map(|seg| match seg {
+            Seg::Bytes(b) => SegView::Bytes(b),
+            Seg::Synth { seed, start, len } => SegView::Synth {
+                seed: *seed,
+                start: *start,
+                len: *len,
+            },
+            Seg::Zero { len } => SegView::Zero { len: *len },
+        })
     }
 
     /// Append another payload, coalescing adjacent compatible segments.

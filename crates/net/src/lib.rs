@@ -21,9 +21,14 @@
 
 pub mod stats;
 pub mod thread_fabric;
+pub mod transport;
 
 pub use stats::{NodeTraffic, TrafficStats};
 pub use thread_fabric::{ThreadDiskParams, ThreadFabric, ThreadParams};
+pub use transport::{
+    CodecTransport, DirectTransport, FrameHandler, FrameServer, Role, RouteKey, RouteTable,
+    SocketTransport, Transport, WireError, WireStats,
+};
 
 use std::fmt;
 use std::sync::Arc;
@@ -65,6 +70,10 @@ pub enum NetError {
     NodeDown(NodeId),
     /// The simulation was torn down while the operation was in flight.
     Cancelled,
+    /// A transport-level failure (encoding, framing, or socket I/O).
+    /// Carried inside `NetError` so broken connections flow down the same
+    /// per-chunk failover paths as fail-stop node failures.
+    Wire(transport::WireError),
 }
 
 impl fmt::Display for NetError {
@@ -72,7 +81,14 @@ impl fmt::Display for NetError {
         match self {
             NetError::NodeDown(n) => write!(f, "{n} is down"),
             NetError::Cancelled => write!(f, "operation cancelled"),
+            NetError::Wire(e) => write!(f, "wire failure: {e}"),
         }
+    }
+}
+
+impl From<transport::WireError> for NetError {
+    fn from(e: transport::WireError) -> Self {
+        NetError::Wire(e)
     }
 }
 

@@ -91,7 +91,7 @@ fn colocated_demo() {
     for vm in vms.iter_mut() {
         vm.backend.read(0..IMG).expect("boot read");
     }
-    let stats = cloud.cache_stats();
+    let stats = cloud.metrics().cache;
     println!(
         "\nco-located deployment ({nodes} nodes x {vms_per_node} VMs): \
          shared desc-cache hit rate {:.0}% ({} hits / {} misses)",
@@ -109,7 +109,7 @@ fn colocated_demo() {
         vm.backend.write(1 << 20, ctx_state).expect("write");
         vm.snapshot().expect("snapshot");
     }
-    let stats = cloud.cache_stats();
+    let stats = cloud.metrics().cache;
     println!(
         "snapshots: +{:.1} MB stored for {} VMs ({:.1} MB committed by \
          reference via dedup)",

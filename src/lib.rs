@@ -61,6 +61,7 @@ pub use bff_net as net;
 pub use bff_pvfs as pvfs;
 pub use bff_qcow2 as qcow2;
 pub use bff_sim as sim;
+pub use bff_wire as wire;
 pub use bff_workloads as workloads;
 
 /// The commonly needed names in one import.

@@ -134,9 +134,20 @@ struct LogicalOutcome {
 /// cloud middleware: 4 instances boot the same image from 4 nodes,
 /// contextualize with a shared + a private payload, snapshot, and one
 /// terminates (snapshot GC). Prefetch stays off so no detached
-/// read-ahead races the op sequence — every fabric must then execute
-/// the byte-identical schedule.
+/// read-ahead races the op sequence — every fabric (and every request
+/// transport) must then execute the byte-identical schedule.
 fn cloud_workload(fabric: Arc<dyn Fabric>) -> LogicalOutcome {
+    // Transport from the environment (`BFF_TRANSPORT`), so the CI codec
+    // matrix exercises this workload through the wire codec too.
+    cloud_workload_via(fabric, BlobConfig::default().transport).0
+}
+
+/// [`cloud_workload`] under an explicit request transport; also returns
+/// the transport's real serialized-byte counters.
+fn cloud_workload_via(
+    fabric: Arc<dyn Fabric>,
+    transport: bff::blobseer::TransportMode,
+) -> (LogicalOutcome, bff::net::transport::WireStats) {
     const IMG: u64 = 1 << 20;
     let compute: Vec<NodeId> = (0..4).map(NodeId).collect();
     let cloud = Cloud::new(
@@ -148,6 +159,7 @@ fn cloud_workload(fabric: Arc<dyn Fabric>) -> LogicalOutcome {
             dedup: true,
             cluster_dedup: true,
             prefetch: false,
+            transport,
             ..Default::default()
         },
         Calibration::default(),
@@ -176,16 +188,20 @@ fn cloud_workload(fabric: Arc<dyn Fabric>) -> LogicalOutcome {
     cloud.terminate_instance(doomed.unwrap()).unwrap();
     fabric.quiesce();
     let stats = fabric.stats();
-    let cache = cloud.cache_stats();
-    LogicalOutcome {
-        image_digests,
-        network_bytes: stats.total_network_bytes(),
-        transfers: stats.transfer_count(),
-        rpcs: stats.rpc_count(),
-        dedup_hits: cache.dedup_hits,
-        dedup_reused_bytes: cache.dedup_reused_bytes,
-        desc_lookups: cache.desc_hits + cache.desc_misses,
-    }
+    let cache = cloud.metrics().cache;
+    let wire = cloud.store().wire_stats();
+    (
+        LogicalOutcome {
+            image_digests,
+            network_bytes: stats.total_network_bytes(),
+            transfers: stats.transfer_count(),
+            rpcs: stats.rpc_count(),
+            dedup_hits: cache.dedup_hits,
+            dedup_reused_bytes: cache.dedup_reused_bytes,
+            desc_lookups: cache.desc_hits + cache.desc_misses,
+        },
+        wire,
+    )
 }
 
 #[test]
@@ -214,6 +230,48 @@ fn sim_and_thread_fabrics_agree_on_all_logical_outcomes() {
     );
     // And the workload was non-trivial on both sides.
     assert!(thread_outcome.network_bytes > 0 && thread_outcome.dedup_hits > 0);
+}
+
+#[test]
+fn direct_codec_and_socket_transports_agree_on_all_logical_outcomes() {
+    // The same cloud workload, carried three ways: typed values
+    // dispatched in-process (direct), every message round-tripped
+    // through the bff-wire binary codec (codec), and real framed TCP
+    // over loopback listeners (socket). The transport carries requests
+    // only — every modelled cost is charged to the fabric client-side —
+    // so blob contents AND every logical counter (digests, bytes moved,
+    // transfer/rpc counts, dedup hits) must match exactly.
+    use bff::blobseer::TransportMode;
+
+    let run = |mode| {
+        cloud_workload_via(
+            ThreadFabric::new(ThreadParams::fast(5)) as Arc<dyn Fabric>,
+            mode,
+        )
+    };
+    let (direct, direct_wire) = run(TransportMode::Direct);
+    let (codec, codec_wire) = run(TransportMode::Codec);
+    let (socket, socket_wire) = run(TransportMode::Socket);
+
+    assert_eq!(
+        direct, codec,
+        "the codec round trip may cost CPU, never logical outcomes"
+    );
+    assert_eq!(
+        direct, socket,
+        "a real socket boundary may cost time, never logical outcomes"
+    );
+
+    // The direct path never serializes; both framed transports really
+    // moved every request over the wire — and because the codec is
+    // deterministic and the workload schedule is identical, the two
+    // framed transports serialized byte-for-byte the same traffic.
+    assert_eq!(direct_wire.calls, 0, "direct transports never frame");
+    assert!(codec_wire.calls > 0, "codec transport frames every request");
+    assert_eq!(
+        codec_wire, socket_wire,
+        "same schedule, same codec -> same wire traffic"
+    );
 }
 
 #[test]
