@@ -10,7 +10,8 @@
 //!     [--prefetch-results target/paper/prefetch_summary.json --prefetch-baseline BENCH_4.json] \
 //!     [--cluster-results target/paper/cluster_summary.json --cluster-baseline BENCH_5.json] \
 //!     [--loadgen-results target/paper/load_summary.json --loadgen-baseline BENCH_6.json] \
-//!     [--transport-results target/paper/transport_summary.json --transport-baseline BENCH_7.json]
+//!     [--transport-results target/paper/transport_summary.json --transport-baseline BENCH_7.json] \
+//!     [--recovery-results target/paper/recovery_summary.json --recovery-baseline BENCH_8.json]
 //! ```
 //!
 //! On failure the gate ends with a `FAILED METRICS` block naming, for
@@ -182,6 +183,26 @@ const TRANSPORT_CHECKS: &[(&str, &str, &str)] = &[(
     "transport_codec_retention_floor",
 )];
 
+/// Measured-value keys checked between the `recovery_sweep` summary and
+/// `BENCH_8.json`. Survivor identity is a correctness property — its
+/// floor is exactly 1.0 and the baseline records 1.0, so any lost or
+/// corrupted snapshot trips the gate. The margin (bound ÷ slowest
+/// recovery) is a wall-clock absolute, so the baseline clamps its
+/// recorded value to the floor: the gate only requires recoveries to
+/// finish inside the bound, never to match a fast runner's timing.
+const RECOVERY_CHECKS: &[(&str, &str, &str)] = &[
+    (
+        "recovery: acknowledged snapshots byte-identical after kill -9",
+        "recovery_survivor_identity",
+        "recovery_survivor_identity_floor",
+    ),
+    (
+        "recovery: restart-time margin under the bound",
+        "recovery_margin",
+        "recovery_margin_floor",
+    ),
+];
+
 /// Measured-value keys checked between a prefetch summary and
 /// `BENCH_4.json`.
 const PREFETCH_CHECKS: &[(&str, &str, &str)] = &[
@@ -312,6 +333,8 @@ fn main() -> ExitCode {
     let mut loadgen_baseline = String::from("BENCH_6.json");
     let mut transport_results: Option<String> = None;
     let mut transport_baseline = String::from("BENCH_7.json");
+    let mut recovery_results: Option<String> = None;
+    let mut recovery_baseline = String::from("BENCH_8.json");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--results" => {
@@ -366,6 +389,15 @@ fn main() -> ExitCode {
             "--transport-baseline" => {
                 transport_baseline = args.next().expect("--transport-baseline needs a path")
             }
+            "--recovery-results" => {
+                let path = args.next().expect("--recovery-results needs a path");
+                recovery_results = Some(
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+                );
+            }
+            "--recovery-baseline" => {
+                recovery_baseline = args.next().expect("--recovery-baseline needs a path")
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -375,9 +407,10 @@ fn main() -> ExitCode {
             || prefetch_results.is_some()
             || cluster_results.is_some()
             || loadgen_results.is_some()
-            || transport_results.is_some(),
+            || transport_results.is_some()
+            || recovery_results.is_some(),
         "no --results, --dedup-results, --prefetch-results, --cluster-results, \
-         --loadgen-results or --transport-results provided"
+         --loadgen-results, --transport-results or --recovery-results provided"
     );
     let mut failures: Vec<Failure> = Vec::new();
     if let Some(summary) = &dedup_results {
@@ -445,6 +478,17 @@ fn main() -> ExitCode {
             summary,
             &baseline,
             &transport_baseline,
+        ));
+    }
+    if let Some(summary) = &recovery_results {
+        let baseline = std::fs::read_to_string(&recovery_baseline)
+            .unwrap_or_else(|e| panic!("read baseline {recovery_baseline}: {e}"));
+        failures.extend(check_summary(
+            "recovery-sweep",
+            RECOVERY_CHECKS,
+            summary,
+            &baseline,
+            &recovery_baseline,
         ));
     }
     if !results.is_empty() {

@@ -9,12 +9,26 @@
 //! be colocated in one process — a board purge evicts freed chunks from
 //! the cluster index atomically with dropping the patterns.
 //!
+//! With `--data-dir DIR` (or `BFF_DATA_DIR`) the process is **durable**:
+//! providers store chunks in log-structured segment files and every
+//! manager mutation goes through a journal, both fsynced on the acks
+//! that promise durability. On start the process replays whatever the
+//! directory holds — an empty directory is a cold start, a populated
+//! one is crash recovery — and reports what it restored on stderr
+//! *before* announcing `READY`, so the parent's recovery-time clock
+//! includes the replay. Each process must own its directory
+//! exclusively; two writers would truncate each other's live appends.
+//!
 //! Protocol with the parent (`load_sweep --transport socket`):
 //!
 //! 1. bind one listener per role, print `<role> <addr>` per line;
 //! 2. print `READY` and flush;
 //! 3. serve until stdin reaches EOF (the parent dropping the pipe is
 //!    the shutdown signal — no orphaned servers if the parent dies).
+//!
+//! A parent that closes stdout early (crashed or killed mid-handshake)
+//! makes the announce writes fail; that is an orderly shutdown signal,
+//! not a bug, so the process exits nonzero without unwinding.
 //!
 //! The server roles are passive state machines: every modelled cost is
 //! charged client-side by the parent's fabric, so this process needs no
@@ -24,6 +38,7 @@ use bff_blobseer::{BlobConfig, BlobTopology, Placement, ServerState};
 use bff_net::transport::{FrameHandler, FrameServer, Role, RouteKey};
 use bff_net::NodeId;
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 struct Args {
@@ -34,6 +49,7 @@ struct Args {
     dedup: bool,
     cluster_dedup: bool,
     prefetch: bool,
+    data_dir: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +61,7 @@ fn parse_args() -> Args {
         dedup: false,
         cluster_dedup: false,
         prefetch: false,
+        data_dir: std::env::var_os("BFF_DATA_DIR").map(PathBuf::from),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -65,6 +82,7 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("chunk size")
             }
+            "--data-dir" => args.data_dir = Some(PathBuf::from(it.next().expect("--data-dir DIR"))),
             "--dedup" => args.dedup = true,
             "--cluster-dedup" => args.cluster_dedup = true,
             "--prefetch" => args.prefetch = true,
@@ -81,6 +99,15 @@ fn parse_args() -> Args {
     args
 }
 
+/// Exit nonzero without unwinding: the parent closed the announcement
+/// pipe (it crashed or killed us mid-handshake), so there is nobody to
+/// serve — a panic here would just produce a scary backtrace for an
+/// orderly condition.
+fn announce_failed(what: &str) -> ! {
+    eprintln!("blob_server: parent closed stdout before {what}; exiting");
+    std::process::exit(1);
+}
+
 fn main() {
     let args = parse_args();
     let compute: Vec<NodeId> = (0..args.nodes).map(NodeId).collect();
@@ -91,7 +118,37 @@ fn main() {
         .cluster_dedup(args.cluster_dedup)
         .prefetch(args.prefetch)
         .build();
-    let state = Arc::new(ServerState::new(&cfg, &topo, Placement::RoundRobin));
+    let state = match &args.data_dir {
+        None => ServerState::new(&cfg, &topo, Placement::RoundRobin),
+        Some(dir) => {
+            let (state, report) = ServerState::recover(&cfg, &topo, Placement::RoundRobin, dir)
+                .unwrap_or_else(|e| {
+                    eprintln!("blob_server: cannot recover {}: {e}", dir.display());
+                    std::process::exit(1);
+                });
+            // Stderr, never stdout: the parent parses stdout as exactly
+            // `<role> <addr>` lines followed by `READY`.
+            eprintln!(
+                "blob_server: recovered {} ({} journal records{}, {} chunks / {} bytes{})",
+                dir.display(),
+                report.journal_records,
+                if report.journal_torn {
+                    ", torn tail"
+                } else {
+                    ""
+                },
+                report.chunks,
+                report.chunk_bytes,
+                if report.torn_files > 0 {
+                    ", torn segment files"
+                } else {
+                    ""
+                },
+            );
+            state
+        }
+    };
+    let state = Arc::new(state);
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -108,11 +165,14 @@ fn main() {
         let state = Arc::clone(&state);
         let handler: FrameHandler = Arc::new(move |route, frame| state.handle_frame(route, frame));
         let server = FrameServer::start(route, handler).expect("bind loopback listener");
-        writeln!(out, "{} {}", role.name(), server.addr()).expect("announce role");
+        if writeln!(out, "{} {}", role.name(), server.addr()).is_err() {
+            announce_failed("role announcement");
+        }
         servers.push(server);
     }
-    writeln!(out, "READY").expect("announce ready");
-    out.flush().expect("flush announcements");
+    if writeln!(out, "READY").is_err() || out.flush().is_err() {
+        announce_failed("READY");
+    }
     drop(out);
 
     // Serve until the parent closes our stdin (EOF) — the listener

@@ -46,6 +46,7 @@
 //! `BFF_LOADGEN_THREADS` pins the client count explicitly (CI uses it
 //! so runner core counts don't change the workload).
 
+use bff_bench::procs::ServerSpec;
 use bff_bench::{f1, f3, output_dir, RunScale, Table};
 use bff_blobseer::{BlobId, BlobStore, BlobTopology, LockContention, TransportMode, Version};
 use bff_cloud::backend::ImageBackend;
@@ -53,13 +54,10 @@ use bff_cloud::middleware::Cloud;
 use bff_cloud::params::Calibration;
 use bff_cloud::vm::vm_write_payload;
 use bff_data::Payload;
-use bff_net::transport::{Role, RouteTable, SocketTransport, WireStats};
+use bff_net::transport::{RouteTable, SocketTransport, WireStats};
 use bff_net::{Fabric, NodeId, ThreadFabric, ThreadParams};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io::{BufRead, BufReader};
-use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -342,58 +340,15 @@ fn run_discipline(d: Discipline, workers: usize) -> RunOutcome {
 // Transport sweep (`--transport direct|codec|socket|all`)
 // ---------------------------------------------------------------------------
 
-/// One `blob_server` child process hosting a slice of the server roles.
-/// Dropping it closes the child's stdin — the server's shutdown signal —
-/// and reaps the process.
-struct ServerProc {
-    child: std::process::Child,
-}
-
-impl ServerProc {
-    /// Spawn `blob_server --roles <roles>` from next to the current
-    /// binary and collect its `<role> <addr>` announcements up to the
-    /// `READY` line.
-    fn spawn(roles: &str) -> (ServerProc, HashMap<Role, SocketAddr>) {
-        let bin = std::env::current_exe()
-            .expect("current exe")
-            .parent()
-            .expect("exe dir")
-            .join("blob_server");
-        let mut child = std::process::Command::new(&bin)
-            .args(["--roles", roles])
-            .args(["--nodes", &NODES.to_string()])
-            .args(["--service", &NODES.to_string()])
-            .args(["--chunk-size", &CHUNK.to_string()])
-            .args(["--dedup", "--cluster-dedup", "--prefetch"])
-            .stdin(std::process::Stdio::piped())
-            .stdout(std::process::Stdio::piped())
-            .spawn()
-            .unwrap_or_else(|e| panic!("spawn {}: {e} (build the blob_server bin)", bin.display()));
-        let mut lines = BufReader::new(child.stdout.take().expect("child stdout"));
-        let mut addrs = HashMap::new();
-        loop {
-            let mut line = String::new();
-            let n = lines.read_line(&mut line).expect("read announcement");
-            assert!(n > 0, "blob_server exited before READY");
-            let line = line.trim();
-            if line == "READY" {
-                break;
-            }
-            let (role, addr) = line.split_once(' ').expect("`<role> <addr>` line");
-            addrs.insert(
-                Role::parse(role).expect("known role"),
-                addr.parse().expect("socket address"),
-            );
-        }
-        (ServerProc { child }, addrs)
-    }
-}
-
-impl Drop for ServerProc {
-    fn drop(&mut self) {
-        drop(self.child.stdin.take()); // EOF tells the server to exit
-        let _ = self.child.wait();
-    }
+/// Spec for one `blob_server` child of this sweep's cluster: all the
+/// feature toggles on, no data directory (transport numbers measure the
+/// wire, not the disk).
+fn server_spec(roles: &str) -> ServerSpec {
+    let mut spec = ServerSpec::new(roles, NODES, CHUNK);
+    spec.dedup = true;
+    spec.cluster_dedup = true;
+    spec.prefetch = true;
+    spec
 }
 
 struct TransportOutcome {
@@ -433,8 +388,8 @@ fn run_transport(mode: TransportMode, workers: usize) -> TransportOutcome {
     };
     let mut servers = Vec::new();
     let cloud = if mode == TransportMode::Socket {
-        let (managers, mut addrs) = ServerProc::spawn("vm,pm,board,cluster,meta");
-        let (providers, prov_addrs) = ServerProc::spawn("provider");
+        let (managers, mut addrs) = server_spec("vm,pm,board,cluster,meta").spawn();
+        let (providers, prov_addrs) = server_spec("provider").spawn();
         addrs.extend(prov_addrs);
         servers.push(managers);
         servers.push(providers);

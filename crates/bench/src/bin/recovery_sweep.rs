@@ -1,0 +1,476 @@
+//! Crash-recovery scenario (BENCH_8): kill -9 and restart real server
+//! processes mid-workload, then hard-assert that everything the cluster
+//! acknowledged before each crash is still there, byte for byte.
+//!
+//! The cluster is two durable `blob_server` processes over loopback TCP
+//! — one hosting the managers, board and metadata (`vm,pm,board,
+//! cluster,meta`), one the chunk providers — each owning a `--data-dir`
+//! under `target/paper/recovery_data/`. Client threads run the
+//! rotating-snapshot storm (boot latest snapshot, write, snapshot,
+//! publish or terminate-for-GC) the whole time; whenever a call dies
+//! with the cluster, the client sleeps briefly and retries the round.
+//! While the storm runs, the orchestrator:
+//!
+//! 1. SIGKILLs the provider process, waits out a dead window, respawns
+//!    it on the *same* data directory, and times spawn→`READY` — the
+//!    child replays its segment files and ref log before announcing, so
+//!    that interval is the full recovery time;
+//! 2. swaps the new ephemeral addresses into the shared
+//!    [`SocketTransport`] via `set_routes` (the pool of dead
+//!    connections is dropped with the old table);
+//! 3. repeats both steps for the manager process, whose journal replay
+//!    rebuilds the version trees, snapshot refcounts and id allocators.
+//!
+//! Every snapshot whose publish *and* readback were acknowledged is
+//! recorded as `(blob, version, sha256)` in a survivor registry. After
+//! the storm, a **fresh** client stack (empty caches, new connections)
+//! re-downloads every survivor and compares digests; one mismatch or
+//! unreadable snapshot fails the run. A final upload/download proves
+//! the cluster still accepts writes after both restarts.
+//!
+//! Durability features are pinned to the paths under test (local dedup
+//! on, speculative prefetch and the soft-state cluster index off — they
+//! are caches, not durable state, and their background traffic would
+//! only add noise to the dead windows).
+//!
+//! Emits `target/paper/recovery_summary.json`; gated against
+//! `BENCH_8.json` by `bench_regression --recovery-results`. The gated
+//! metrics are survivor identity (floor 1.0 — recovery is correctness,
+//! not a ratio to tune) and the recovery-time margin against
+//! [`BOUND_S`]. `--mini` shrinks the storm for CI smoke runs;
+//! `BFF_RECOVERY_THREADS` pins the client count.
+
+use bff_bench::procs::ServerSpec;
+use bff_bench::{output_dir, RunScale};
+use bff_blobseer::{BlobConfig, BlobId, BlobStore, BlobTopology, TransportMode, Version};
+use bff_cloud::backend::{BackendError, ImageBackend};
+use bff_cloud::middleware::Cloud;
+use bff_cloud::params::Calibration;
+use bff_cloud::vm::vm_write_payload;
+use bff_data::{Payload, Sha256Digest};
+use bff_net::transport::{RouteTable, SocketTransport, Transport};
+use bff_net::{Fabric, NodeId, ThreadFabric, ThreadParams};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: u32 = 4;
+const IMG: u64 = 1 << 20;
+const CHUNK: u64 = 64 << 10;
+const BOOT_STRIDE: u64 = 256 << 10;
+const STATE_OFFSET: u64 = 512 << 10;
+const SHARED_BYTES: u64 = 32 << 10;
+const PRIV_BYTES: u64 = 32 << 10;
+
+/// How many recently published snapshots stay bootable.
+const ROTATION: usize = 16;
+
+/// Hard recovery-time bound, seconds: spawn→READY of a respawned
+/// process, including its full replay. Generous on purpose — the gate
+/// is "recovery is bounded", not a latency benchmark.
+const BOUND_S: f64 = 20.0;
+
+/// Client back-off between retries while the cluster is (partly) dead.
+const RETRY_SLEEP: Duration = Duration::from_millis(25);
+
+/// A client failing for this long means the cluster never came back.
+const FAIL_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Deterministic xorshift64* (same generator as `load_sweep`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Storm pacing per scale.
+struct Phases {
+    /// Storm time before the first kill (also bounded by the
+    /// wait-for-published-snapshots loop).
+    warmup: Duration,
+    /// How long a killed process stays dead (clients fail into retries).
+    dead: Duration,
+    /// Storm time between the provider and manager restarts.
+    mid: Duration,
+    /// Storm time after the last restart before the storm stops.
+    settle: Duration,
+}
+
+fn phases(scale: RunScale) -> Phases {
+    match scale {
+        RunScale::Paper => Phases {
+            warmup: Duration::from_millis(2000),
+            dead: Duration::from_millis(400),
+            mid: Duration::from_millis(2000),
+            settle: Duration::from_millis(1000),
+        },
+        RunScale::Mini => Phases {
+            warmup: Duration::from_millis(800),
+            dead: Duration::from_millis(250),
+            mid: Duration::from_millis(800),
+            settle: Duration::from_millis(600),
+        },
+    }
+}
+
+fn client_threads(scale: RunScale) -> usize {
+    if let Ok(v) = std::env::var("BFF_RECOVERY_THREADS") {
+        return v.parse().expect("BFF_RECOVERY_THREADS must be an integer");
+    }
+    match scale {
+        RunScale::Paper => 12,
+        RunScale::Mini => 6,
+    }
+}
+
+/// The latest published snapshots, bootable by any client. Doomed
+/// (to-be-terminated) lineages are never published here, so a rotation
+/// entry is never deleted.
+struct Rotation {
+    recent: Mutex<Vec<(BlobId, Version)>>,
+}
+
+impl Rotation {
+    fn new(base: (BlobId, Version)) -> Self {
+        Self {
+            recent: Mutex::new(vec![base]),
+        }
+    }
+
+    fn pick(&self, rng: &mut Rng) -> (BlobId, Version) {
+        let recent = self.recent.lock();
+        recent[(rng.next() % recent.len() as u64) as usize]
+    }
+
+    fn publish(&self, snap: (BlobId, Version)) {
+        let mut recent = self.recent.lock();
+        if recent.len() == ROTATION {
+            recent.remove(1); // keep the base at slot 0 forever
+        }
+        recent.push(snap);
+    }
+}
+
+/// Acknowledged snapshots the cluster must still serve byte-identically
+/// after every crash: `(blob, version, sha256 at publish time)`.
+type Registry = Mutex<Vec<(BlobId, Version, Sha256Digest)>>;
+
+#[derive(Default)]
+struct Tally {
+    boots: usize,
+    published: usize,
+    terminated: usize,
+    retries: usize,
+}
+
+/// One storm round: boot a rotation snapshot, read the full image in
+/// guest-sized strides, commit a partly-shared payload, snapshot, then
+/// publish (recording the survivor digest) or terminate for GC. Any
+/// error aborts the round; the caller retries a fresh one.
+fn run_round(
+    cloud: &Cloud,
+    rotation: &Rotation,
+    registry: &Registry,
+    node: NodeId,
+    rng: &mut Rng,
+    worker: usize,
+    round: usize,
+) -> Result<(bool, bool), BackendError> {
+    let (blob, version) = rotation.pick(rng);
+    let mut handle = cloud.add_instance(blob, version, node)?;
+    let mut off = 0;
+    while off < IMG {
+        handle.backend.read(off..(off + BOOT_STRIDE).min(IMG))?;
+        off += BOOT_STRIDE;
+    }
+    let shared = vm_write_payload(1_000 + round as u64, 0, SHARED_BYTES);
+    handle.backend.write(STATE_OFFSET, shared)?;
+    let private = vm_write_payload(7_919 * worker as u64 + round as u64, 0, PRIV_BYTES);
+    handle.backend.write(STATE_OFFSET + SHARED_BYTES, private)?;
+    let snap = handle.snapshot()?;
+    if round % 4 == 3 {
+        // A doomed lineage: snapshot GC interleaves with the storm and
+        // the recoveries. Never published, never registered.
+        cloud.terminate_instance(handle)?;
+        return Ok((false, true));
+    }
+    // Record the survivor digest *before* exposing the snapshot to other
+    // clients: the round only counts as published once its bytes have
+    // been read back and fingerprinted.
+    let img = cloud.download_image(snap.0, snap.1)?;
+    registry.lock().push((snap.0, snap.1, img.digest_sha256()));
+    rotation.publish(snap);
+    Ok((true, false))
+}
+
+/// One client's storm loop: rounds until `stop`, retrying after any
+/// error (a dead window looks like a burst of retries).
+fn run_client(
+    cloud: &Cloud,
+    rotation: &Rotation,
+    registry: &Registry,
+    stop: &AtomicBool,
+    worker: usize,
+) -> Tally {
+    let node = NodeId(worker as u32 % NODES);
+    let mut rng = Rng::new(0x9E37_79B9_7F4A_7C15 ^ worker as u64);
+    let mut tally = Tally::default();
+    let mut failing_since: Option<Instant> = None;
+    let mut round = 0;
+    while !stop.load(Ordering::Relaxed) {
+        match run_round(cloud, rotation, registry, node, &mut rng, worker, round) {
+            Ok((published, terminated)) => {
+                failing_since = None;
+                round += 1;
+                tally.boots += 1;
+                tally.published += published as usize;
+                tally.terminated += terminated as usize;
+            }
+            Err(e) => {
+                let since = *failing_since.get_or_insert_with(Instant::now);
+                assert!(
+                    since.elapsed() < FAIL_DEADLINE,
+                    "client {worker} failing for {:?}: cluster never recovered ({e:?})",
+                    since.elapsed(),
+                );
+                tally.retries += 1;
+                std::thread::sleep(RETRY_SLEEP);
+            }
+        }
+    }
+    tally
+}
+
+fn blob_cfg() -> BlobConfig {
+    BlobConfig {
+        chunk_size: CHUNK,
+        dedup: true,
+        transport: TransportMode::Socket,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_args();
+    let workers = client_threads(scale);
+    let ph = phases(scale);
+    let data_root = output_dir().join("recovery_data");
+    let _ = std::fs::remove_dir_all(&data_root);
+    std::fs::create_dir_all(&data_root).expect("create recovery data root");
+
+    // Each process owns its directory exclusively; a respawn reuses it.
+    let mut mgr_spec = ServerSpec::new("vm,pm,board,cluster,meta", NODES, CHUNK);
+    mgr_spec.dedup = true;
+    mgr_spec.data_dir = Some(data_root.join("managers"));
+    let mut prov_spec = ServerSpec::new("provider", NODES, CHUNK);
+    prov_spec.dedup = true;
+    prov_spec.data_dir = Some(data_root.join("provider"));
+
+    println!(
+        "recovery_sweep: {workers} client threads over {NODES} nodes; \
+         kill -9 + restart of the provider and manager processes mid-storm \
+         (bound {BOUND_S}s per recovery)"
+    );
+    let (mgr, mut addrs) = mgr_spec.spawn();
+    let (prov, prov_addrs) = prov_spec.spawn();
+    addrs.extend(prov_addrs);
+    let mut mgr_proc = Some(mgr);
+    let mut prov_proc = Some(prov);
+
+    let mut params = ThreadParams::serving(NODES as usize + 1);
+    params.coarse_lanes = false;
+    let fabric = ThreadFabric::new(params);
+    let compute: Vec<NodeId> = (0..NODES).map(NodeId).collect();
+    let transport = Arc::new(SocketTransport::new(
+        RouteTable::from_roles(&addrs).expect("every role announced"),
+    ));
+    let store = BlobStore::remote(
+        blob_cfg(),
+        BlobTopology::colocated(&compute, NodeId(NODES)),
+        fabric.clone() as Arc<dyn Fabric>,
+        Arc::clone(&transport) as Arc<dyn Transport>,
+    );
+    let cloud = Cloud::with_store(
+        store,
+        fabric.clone() as Arc<dyn Fabric>,
+        compute.clone(),
+        NodeId(NODES),
+        Calibration::default(),
+    );
+
+    let base_image = Payload::synth(0x5EED, 0, IMG);
+    let base = cloud.upload_image(base_image.clone()).expect("upload base");
+    let registry: Registry = Mutex::new(vec![(base.0, base.1, base_image.digest_sha256())]);
+    let rotation = Rotation::new(base);
+    let stop = AtomicBool::new(false);
+
+    let mut provider_recovery_s = 0.0f64;
+    let mut manager_recovery_s = 0.0f64;
+    let mut tally = Tally::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let (cloud, rotation, registry, stop) = (&cloud, &rotation, &registry, &stop);
+                scope.spawn(move || run_client(cloud, rotation, registry, stop, worker))
+            })
+            .collect();
+
+        // Let the storm build a population of published snapshots before
+        // the first crash — otherwise there is nothing to survive.
+        std::thread::sleep(ph.warmup);
+        let waiting = Instant::now();
+        while registry.lock().len() < 4 {
+            assert!(
+                waiting.elapsed() < Duration::from_secs(60),
+                "storm published no snapshots in 60s"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let survivors_at_kill = registry.lock().len();
+        println!("  kill -9 provider process ({survivors_at_kill} snapshots published)");
+        prov_proc.take().expect("provider alive").kill9();
+        std::thread::sleep(ph.dead);
+        let clock = Instant::now();
+        let (proc_, new_addrs) = prov_spec.spawn();
+        provider_recovery_s = clock.elapsed().as_secs_f64();
+        prov_proc = Some(proc_);
+        addrs.extend(new_addrs);
+        transport.set_routes(RouteTable::from_roles(&addrs).expect("provider re-announced"));
+        println!("  provider recovered in {provider_recovery_s:.3}s");
+
+        std::thread::sleep(ph.mid);
+
+        let survivors_at_kill = registry.lock().len();
+        println!("  kill -9 manager process ({survivors_at_kill} snapshots published)");
+        mgr_proc.take().expect("managers alive").kill9();
+        std::thread::sleep(ph.dead);
+        let clock = Instant::now();
+        let (proc_, new_addrs) = mgr_spec.spawn();
+        manager_recovery_s = clock.elapsed().as_secs_f64();
+        mgr_proc = Some(proc_);
+        addrs.extend(new_addrs);
+        transport.set_routes(RouteTable::from_roles(&addrs).expect("managers re-announced"));
+        println!("  managers recovered in {manager_recovery_s:.3}s");
+
+        std::thread::sleep(ph.settle);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let t = h.join().expect("client thread");
+            tally.boots += t.boots;
+            tally.published += t.published;
+            tally.terminated += t.terminated;
+            tally.retries += t.retries;
+        }
+    });
+    fabric.quiesce();
+
+    // Post-restart write liveness: the recovered cluster must still
+    // accept and serve brand-new data.
+    let live_image = Payload::synth(0xA11CE, 0, IMG);
+    let live = cloud
+        .upload_image(live_image.clone())
+        .expect("post-recovery upload");
+    registry
+        .lock()
+        .push((live.0, live.1, live_image.digest_sha256()));
+
+    // Survivor verification through a *fresh* client stack: new
+    // connections, empty descriptor/chunk caches — every byte comes off
+    // the recovered processes, not from anything this process cached.
+    let verify_store = BlobStore::remote(
+        blob_cfg(),
+        BlobTopology::colocated(&compute, NodeId(NODES)),
+        fabric.clone() as Arc<dyn Fabric>,
+        Arc::new(SocketTransport::new(
+            RouteTable::from_roles(&addrs).expect("final route table"),
+        )) as Arc<dyn Transport>,
+    );
+    let verify_cloud = Cloud::with_store(
+        verify_store,
+        fabric.clone() as Arc<dyn Fabric>,
+        compute.clone(),
+        NodeId(NODES),
+        Calibration::default(),
+    );
+    let snapshots = registry.into_inner();
+    let mut matched = 0usize;
+    for &(blob, version, want) in &snapshots {
+        let img = verify_cloud
+            .download_image(blob, version)
+            .unwrap_or_else(|e| {
+                panic!("survivor {blob:?} v{version:?} unreadable after recovery: {e:?}")
+            });
+        if img.digest_sha256() == want {
+            matched += 1;
+        } else {
+            eprintln!("survivor {blob:?} v{version:?} content diverged after recovery");
+        }
+    }
+    let identity = matched as f64 / snapshots.len() as f64;
+    let slowest = provider_recovery_s.max(manager_recovery_s);
+    let margin = BOUND_S / slowest.max(1e-9);
+    println!(
+        "\n{} boots ({} published, {} terminated, {} retried rounds); \
+         {}/{} survivors byte-identical; recovery provider {:.3}s / managers {:.3}s \
+         (bound {BOUND_S}s, margin {:.1}x)",
+        tally.boots,
+        tally.published,
+        tally.terminated,
+        tally.retries,
+        matched,
+        snapshots.len(),
+        provider_recovery_s,
+        manager_recovery_s,
+        margin,
+    );
+
+    // Flat summary for the CI gate (compared against BENCH_8.json).
+    let mut summary = String::from("{\n");
+    let _ = writeln!(summary, "  \"recovery_survivor_identity\": {identity:.4},");
+    let _ = writeln!(summary, "  \"recovery_snapshots\": {},", snapshots.len());
+    let _ = writeln!(
+        summary,
+        "  \"recovery_provider_s\": {provider_recovery_s:.3},"
+    );
+    let _ = writeln!(
+        summary,
+        "  \"recovery_manager_s\": {manager_recovery_s:.3},"
+    );
+    let _ = writeln!(summary, "  \"recovery_margin\": {margin:.3},");
+    let _ = writeln!(summary, "  \"recovery_bound_s\": {BOUND_S},");
+    let _ = writeln!(summary, "  \"recovery_boots\": {},", tally.boots);
+    let _ = writeln!(summary, "  \"recovery_retries\": {},", tally.retries);
+    let _ = writeln!(summary, "  \"recovery_threads\": {workers}");
+    summary.push('}');
+    summary.push('\n');
+    let path = output_dir().join("recovery_summary.json");
+    std::fs::write(&path, summary).expect("write recovery summary");
+    println!("[written {}]", path.display());
+
+    // Hard asserts: recovery is a correctness property, not a trend.
+    assert_eq!(
+        matched,
+        snapshots.len(),
+        "every acknowledged snapshot must survive byte-identically"
+    );
+    assert!(
+        slowest <= BOUND_S,
+        "recovery took {slowest:.3}s, bound is {BOUND_S}s"
+    );
+    drop(prov_proc);
+    drop(mgr_proc);
+}

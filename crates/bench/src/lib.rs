@@ -19,6 +19,8 @@
 //! segment-tree shadowing, range sets, payload ropes, the max-min flow
 //! network, chunk maps and the qcow2 mapping path.
 
+pub mod procs;
+
 use std::fmt::Display;
 use std::fs;
 use std::io::Write as _;

@@ -1,0 +1,127 @@
+//! Child-process management for multi-process benchmark clusters:
+//! spawning `blob_server` role hosts, collecting their `<role> <addr>`
+//! announcements, and — for the recovery scenarios — killing them with
+//! SIGKILL and respawning them on the same data directory.
+
+use bff_net::transport::Role;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// Everything needed to (re)spawn one `blob_server` child. Kept as a
+/// value so a recovery scenario can kill a process and later spawn an
+/// identical replacement pointed at the same data directory.
+#[derive(Clone)]
+pub struct ServerSpec {
+    /// Comma-separated role list (`--roles`).
+    pub roles: String,
+    /// Compute-node count (`--nodes`).
+    pub nodes: u32,
+    /// Service node id (`--service`).
+    pub service: u32,
+    /// Chunk size in bytes (`--chunk-size`).
+    pub chunk_size: u64,
+    /// Enable local write dedup (`--dedup`).
+    pub dedup: bool,
+    /// Enable the cluster dedup index (`--cluster-dedup`).
+    pub cluster_dedup: bool,
+    /// Enable pattern-driven prefetch (`--prefetch`).
+    pub prefetch: bool,
+    /// Durable data directory (`--data-dir`); `None` keeps the child
+    /// purely in-memory. Each child must own its directory exclusively —
+    /// two writers would truncate each other's live appends.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl ServerSpec {
+    /// Spec hosting `roles` with all feature toggles off and the service
+    /// node colocated after the compute nodes (id `nodes`).
+    pub fn new(roles: &str, nodes: u32, chunk_size: u64) -> Self {
+        Self {
+            roles: roles.to_string(),
+            nodes,
+            service: nodes,
+            chunk_size,
+            dedup: false,
+            cluster_dedup: false,
+            prefetch: false,
+            data_dir: None,
+        }
+    }
+
+    /// Spawn `blob_server` from next to the current binary and collect
+    /// its `<role> <addr>` announcements up to the `READY` line. The
+    /// ports are ephemeral, so a respawned process announces *new*
+    /// addresses — feed them to `SocketTransport::set_routes`.
+    pub fn spawn(&self) -> (ServerProc, HashMap<Role, SocketAddr>) {
+        let bin = std::env::current_exe()
+            .expect("current exe")
+            .parent()
+            .expect("exe dir")
+            .join("blob_server");
+        let mut cmd = std::process::Command::new(&bin);
+        cmd.args(["--roles", &self.roles])
+            .args(["--nodes", &self.nodes.to_string()])
+            .args(["--service", &self.service.to_string()])
+            .args(["--chunk-size", &self.chunk_size.to_string()]);
+        if self.dedup {
+            cmd.arg("--dedup");
+        }
+        if self.cluster_dedup {
+            cmd.arg("--cluster-dedup");
+        }
+        if self.prefetch {
+            cmd.arg("--prefetch");
+        }
+        if let Some(dir) = &self.data_dir {
+            cmd.arg("--data-dir").arg(dir);
+        }
+        let mut child = cmd
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {}: {e} (build the blob_server bin)", bin.display()));
+        let mut lines = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut addrs = HashMap::new();
+        loop {
+            let mut line = String::new();
+            let n = lines.read_line(&mut line).expect("read announcement");
+            assert!(n > 0, "blob_server exited before READY");
+            let line = line.trim();
+            if line == "READY" {
+                break;
+            }
+            let (role, addr) = line.split_once(' ').expect("`<role> <addr>` line");
+            addrs.insert(
+                Role::parse(role).expect("known role"),
+                addr.parse().expect("socket address"),
+            );
+        }
+        (ServerProc { child }, addrs)
+    }
+}
+
+/// One `blob_server` child process hosting a slice of the server roles.
+/// Dropping it closes the child's stdin — the server's shutdown signal —
+/// and reaps the process.
+pub struct ServerProc {
+    child: std::process::Child,
+}
+
+impl ServerProc {
+    /// SIGKILL the child and reap it — the crash half of a recovery
+    /// scenario. No shutdown handshake runs: whatever the process had
+    /// not fsynced is gone, which is exactly the point.
+    pub fn kill9(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        drop(self.child.stdin.take()); // EOF tells the server to exit
+        let _ = self.child.wait();
+    }
+}

@@ -254,12 +254,15 @@ impl BlobConfig {
     /// | `BFF_CLUSTER_DEDUP` | cluster-wide dedup index ([`BlobConfig::cluster_dedup`]); same disable spellings | on |
     /// | `BFF_PREFETCH` | adaptive cross-VM prefetching ([`BlobConfig::prefetch`]); same disable spellings | on |
     /// | `BFF_TRANSPORT` | request transport ([`BlobConfig::transport`]): `direct`, `codec` or `socket` | `direct` |
+    /// | `BFF_DATA_DIR` | durable state directory for `blob_server` processes (same as `--data-dir`): segment files + ref log for providers, mutation journal for managers, replayed on restart | off (volatile) |
     ///
-    /// The benchmark harness reads three more variables that are *not*
+    /// The benchmark harness reads four more variables that are *not*
     /// part of the service configuration: `BFF_LOADGEN_THREADS` (wall
-    /// clock load-generator thread count), `BFF_BENCH_FAST` (shrink
-    /// sweep sizes for CI smoke runs) and `BFF_BENCH_JSON` (emit
-    /// machine-readable results) — see the `bff-bench` crate.
+    /// clock load-generator thread count), `BFF_RECOVERY_THREADS`
+    /// (client count for the `recovery_sweep` crash-recovery storm),
+    /// `BFF_BENCH_FAST` (shrink sweep sizes for CI smoke runs) and
+    /// `BFF_BENCH_JSON` (emit machine-readable results) — see the
+    /// `bff-bench` crate.
     pub fn from_env() -> Self {
         Self::default()
     }

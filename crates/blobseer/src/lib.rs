@@ -34,6 +34,7 @@ pub mod board;
 pub mod client;
 pub mod cluster;
 pub mod context;
+pub mod durable;
 pub mod lockstat;
 pub mod meta;
 pub mod pmanager;
@@ -51,6 +52,7 @@ pub use board::{BoardService, PatternBoard};
 pub use client::{Client, GcReport};
 pub use cluster::ClusterIndex;
 pub use context::{CacheStats, NodeContext, PrefetchStats};
+pub use durable::RecoveryReport;
 pub use lockstat::LockContention;
 pub use pmanager::Placement;
 pub use provider::ProviderStore;

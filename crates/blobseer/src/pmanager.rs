@@ -43,6 +43,20 @@ impl PManager {
         }
     }
 
+    /// Next id [`PManager::allocate`] would hand out.
+    pub fn next_chunk(&self) -> u64 {
+        self.next_chunk
+    }
+
+    /// Raise the chunk-id allocator to at least `floor` (recovery:
+    /// replay skips to the journaled high-water mark so ids acked
+    /// before a crash are never reissued for different data). The
+    /// placement cursor and load counters restart from zero — they are
+    /// placement preferences, not correctness state.
+    pub fn ensure_chunk_floor(&mut self, floor: u64) {
+        self.next_chunk = self.next_chunk.max(floor);
+    }
+
     /// Allocate `n` chunks of `chunk_bytes` each with `replication`
     /// replicas. Returns one descriptor per chunk, in order.
     pub fn allocate(

@@ -16,16 +16,38 @@
 //! data plane to aggregate.
 
 use crate::api::ChunkId;
+use crate::durable::{SegmentRecovery, SegmentStore, DEFAULT_SEGMENT_BYTES};
 use bff_data::{FastMap, FastSet, Payload};
 use bff_net::NodeId;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Where a provider keeps chunk bytes: the historical in-memory map, or
+/// the log-structured segment files of `crate::durable`.
+///
+/// The disk backend is fail-stop on *live* I/O errors (an append or
+/// fsync failure panics — the durability contract can no longer be
+/// honored), while recovery and reads never panic: corrupt records are
+/// discarded or served as absent, and the client fails over to another
+/// replica.
+#[derive(Debug)]
+enum ChunkStore {
+    Mem(FastMap<ChunkId, Payload>),
+    Disk(Box<SegmentStore>),
+}
+
+impl Default for ChunkStore {
+    fn default() -> Self {
+        ChunkStore::Mem(FastMap::default())
+    }
+}
 
 /// One provider's chunk store.
 #[derive(Debug, Default)]
 pub struct Provider {
-    chunks: FastMap<ChunkId, Payload>,
+    chunks: ChunkStore,
     hot: FastSet<ChunkId>,
     stored_bytes: u64,
     /// Dedup reference counts: how many published leaf descriptors point
@@ -38,9 +60,26 @@ pub struct Provider {
 }
 
 impl Provider {
-    /// Empty provider.
+    /// Empty in-memory provider.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Open (or create) a disk-backed provider under `dir`, replaying
+    /// its segment files and refcount log. The page-cache model starts
+    /// cold: a restarted host serves its first read of each chunk from
+    /// disk.
+    pub fn recover(dir: &Path, segment_bytes: u64) -> std::io::Result<(Self, SegmentRecovery)> {
+        let (store, refs, stats) = SegmentStore::open(dir, segment_bytes)?;
+        Ok((
+            Provider {
+                chunks: ChunkStore::Disk(Box::new(store)),
+                hot: FastSet::default(),
+                stored_bytes: stats.chunk_bytes,
+                refs,
+            },
+            stats,
+        ))
     }
 
     /// Store a chunk, returning `(byte delta, newly stored)`. Chunk ids
@@ -49,18 +88,27 @@ impl Provider {
     /// The delta is signed so counters stay truthful even if a future
     /// caller breaks the never-different-data assumption.
     pub fn put(&mut self, id: ChunkId, data: Payload) -> (i64, bool) {
-        let new_len = data.len() as i64;
-        let (prev_len, is_new) = match self.chunks.insert(id, data) {
-            Some(prev) => (prev.len() as i64, false),
-            None => (0, true),
+        let (delta, is_new) = match &mut self.chunks {
+            ChunkStore::Mem(chunks) => {
+                let new_len = data.len() as i64;
+                let (prev_len, is_new) = match chunks.insert(id, data) {
+                    Some(prev) => (prev.len() as i64, false),
+                    None => (0, true),
+                };
+                (new_len - prev_len, is_new)
+            }
+            ChunkStore::Disk(store) => {
+                let is_new = store.put(id, &data).expect("provider segment append");
+                (if is_new { data.len() as i64 } else { 0 }, is_new)
+            }
         };
         if is_new {
             self.refs.insert(id, 1);
         }
-        self.stored_bytes = (self.stored_bytes as i64 + new_len - prev_len) as u64;
+        self.stored_bytes = (self.stored_bytes as i64 + delta) as u64;
         // Freshly written data sits in the page cache.
         self.hot.insert(id);
-        (new_len - prev_len, is_new)
+        (delta, is_new)
     }
 
     /// Add one dedup reference to a stored chunk. Returns `false` (and
@@ -75,10 +123,16 @@ impl Provider {
     /// once by N−1 per replica instead of N−1 times).
     pub fn retain_n(&mut self, id: ChunkId, n: u64) -> bool {
         debug_assert!(n > 0, "retaining zero references is meaningless");
-        if !self.chunks.contains_key(&id) {
+        if !self.has(id) {
             return false;
         }
         *self.refs.entry(id).or_insert(0) += n;
+        if let ChunkStore::Disk(store) = &mut self.chunks {
+            store.log_retain(id, n).expect("provider refs append");
+            store
+                .maybe_rewrite_refs(&self.refs)
+                .expect("provider refs rewrite");
+        }
         true
     }
 
@@ -102,12 +156,37 @@ impl Provider {
         };
         debug_assert!(*count >= 1, "refs entry exists ⇒ count ≥ 1");
         *count = count.saturating_sub(n);
-        if *count > 0 {
+        let emptied = *count == 0;
+        if emptied {
+            self.refs.remove(&id);
+            self.hot.remove(&id);
+        }
+        let freed = match &mut self.chunks {
+            ChunkStore::Mem(chunks) => {
+                if emptied {
+                    chunks.remove(&id).map_or(0, |p| p.len())
+                } else {
+                    0
+                }
+            }
+            ChunkStore::Disk(store) => {
+                store.log_release(id, n).expect("provider refs append");
+                let freed = if emptied {
+                    let len = store.data_len(id).unwrap_or(0);
+                    store.free(id).expect("provider free append");
+                    len
+                } else {
+                    0
+                };
+                store
+                    .maybe_rewrite_refs(&self.refs)
+                    .expect("provider refs rewrite");
+                freed
+            }
+        };
+        if !emptied {
             return (0, false, true);
         }
-        self.refs.remove(&id);
-        self.hot.remove(&id);
-        let freed = self.chunks.remove(&id).map_or(0, |p| p.len());
         self.stored_bytes -= freed;
         (freed, true, true)
     }
@@ -120,21 +199,43 @@ impl Provider {
     /// Fetch a chunk, reporting whether it was already cached in memory
     /// (`true`) or needs a disk read charged (`false`).
     pub fn get(&mut self, id: ChunkId) -> Option<(Payload, bool)> {
-        let data = self.chunks.get(&id)?.clone();
+        let data = match &self.chunks {
+            ChunkStore::Mem(chunks) => chunks.get(&id)?.clone(),
+            // A record that fails checksum verification reads as
+            // absent: corrupt bytes are never served, the client fails
+            // over to another replica.
+            ChunkStore::Disk(store) => store.read(id)?,
+        };
         let was_hot = !self.hot.insert(id);
         Some((data, was_hot))
     }
 
     /// Whether the chunk is present.
     pub fn has(&self, id: ChunkId) -> bool {
-        self.chunks.contains_key(&id)
+        match &self.chunks {
+            ChunkStore::Mem(chunks) => chunks.contains_key(&id),
+            ChunkStore::Disk(store) => store.contains(id),
+        }
     }
 
-    /// Borrow a stored chunk without touching the page-cache model — a
+    /// Read a stored chunk without touching the page-cache model — a
     /// metadata-side integrity check (dedup hit verification), not a
     /// data-plane read, so it must not warm the `hot` set.
-    pub fn peek(&self, id: ChunkId) -> Option<&Payload> {
-        self.chunks.get(&id)
+    pub fn peek(&self, id: ChunkId) -> Option<Payload> {
+        match &self.chunks {
+            ChunkStore::Mem(chunks) => chunks.get(&id).cloned(),
+            ChunkStore::Disk(store) => store.read(id),
+        }
+    }
+
+    /// Flush appended segment and refcount records to stable storage —
+    /// the barrier every commit ack crosses. No-op for the in-memory
+    /// backend. Fail-stop on I/O errors: a provider that cannot fsync
+    /// cannot honor the acks it already implies.
+    pub fn sync(&mut self) {
+        if let ChunkStore::Disk(store) = &mut self.chunks {
+            store.sync().expect("provider log sync");
+        }
     }
 
     /// Total payload bytes stored (the storage-consumption metric behind
@@ -146,7 +247,10 @@ impl Provider {
 
     /// Number of chunks stored.
     pub fn chunk_count(&self) -> usize {
-        self.chunks.len()
+        match &self.chunks {
+            ChunkStore::Mem(chunks) => chunks.len(),
+            ChunkStore::Disk(store) => store.chunk_count(),
+        }
     }
 
     /// Drop the page-cache model state (e.g. to simulate memory pressure
@@ -184,6 +288,32 @@ impl ProviderStore {
             stored_bytes: AtomicU64::new(0),
             chunks: AtomicU64::new(0),
         }
+    }
+
+    /// Deploy disk-backed providers, one per node, each replaying its
+    /// own directory `<base_dir>/provider-<node>/`. The aggregate
+    /// counters start from the recovered per-shard truth.
+    pub fn recover(nodes: &[NodeId], base_dir: &Path) -> std::io::Result<(Self, SegmentRecovery)> {
+        let mut shards = Vec::with_capacity(nodes.len());
+        let mut total = SegmentRecovery::default();
+        for node in nodes {
+            let dir = base_dir.join(format!("provider-{}", node.0));
+            let (p, stats) = Provider::recover(&dir, DEFAULT_SEGMENT_BYTES)?;
+            total.chunks += stats.chunks;
+            total.chunk_bytes += stats.chunk_bytes;
+            total.torn_files += stats.torn_files;
+            shards.push(Mutex::new(p));
+        }
+        Ok((
+            Self {
+                nodes: nodes.to_vec(),
+                slot_of: nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
+                shards,
+                stored_bytes: AtomicU64::new(total.chunk_bytes),
+                chunks: AtomicU64::new(total.chunks as u64),
+            },
+            total,
+        ))
     }
 
     /// Number of providers.
@@ -233,12 +363,18 @@ impl ProviderStore {
     }
 
     /// Store a chunk at `node`, maintaining the aggregate counters.
-    /// Returns `false` if `node` hosts no provider.
+    /// Durable before return on disk-backed providers (the ack
+    /// barrier). Returns `false` if `node` hosts no provider.
     pub fn put(&self, node: NodeId, id: ChunkId, data: Payload) -> bool {
         let Some(&slot) = self.slot_of.get(&node) else {
             return false;
         };
-        let (bytes, is_new) = self.shards[slot].lock().put(id, data);
+        let (bytes, is_new) = {
+            let mut shard = self.shards[slot].lock();
+            let out = shard.put(id, data);
+            shard.sync();
+            out
+        };
         self.apply_delta(bytes, is_new as i64);
         true
     }
@@ -251,10 +387,19 @@ impl ProviderStore {
     }
 
     /// Add `n` dedup references under one shard acquisition (see
-    /// [`Provider::retain_n`]).
+    /// [`Provider::retain_n`]). Durable before return on disk-backed
+    /// providers: a commit-by-reference ack is a durability promise for
+    /// the reference, exactly like a put's for the bytes.
     pub fn retain_n(&self, node: NodeId, id: ChunkId, n: u64) -> bool {
         match self.slot_of.get(&node) {
-            Some(&slot) => self.shards[slot].lock().retain_n(id, n),
+            Some(&slot) => {
+                let mut shard = self.shards[slot].lock();
+                let ok = shard.retain_n(id, n);
+                if ok {
+                    shard.sync();
+                }
+                ok
+            }
             None => false,
         }
     }
@@ -310,6 +455,8 @@ impl ProviderStore {
                 bytes += delta;
                 new_chunks += is_new as i64;
             }
+            // One fsync for the whole batch: the ack barrier.
+            shard.sync();
         }
         self.apply_delta(bytes, new_chunks);
         true

@@ -19,6 +19,7 @@
 use crate::api::{BlobConfig, BlobTopology};
 use crate::board::BoardService;
 use crate::cluster::ClusterIndex;
+use crate::durable::{Journal, JournalRecord, RecoveryReport};
 use crate::lockstat::{probed_read, probed_write, LockContention, LockProbe};
 use crate::meta::MetaPartition;
 use crate::pmanager::{PManager, Placement};
@@ -32,6 +33,7 @@ use bff_wire::msg::{
 };
 use bff_wire::types::BlobError;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::path::Path;
 
 /// The server half of a deployment: every passive state machine, guarded
 /// exactly as in the historical in-process layout.
@@ -51,11 +53,33 @@ pub struct ServerState {
     /// [`ServerState::cluster_write`] and are contention-counted.
     pub(crate) cluster_index: RwLock<ClusterIndex>,
     cluster_probe: LockProbe,
+    /// The mutation journal, present only on durable deployments (see
+    /// [`ServerState::recover`]). A leaf lock: always acquired *while
+    /// holding* the state-machine lock whose mutation is being
+    /// journaled, so journal order equals serialization order.
+    journal: Option<Mutex<Journal>>,
 }
 
 impl ServerState {
-    /// Build the server state for a deployment.
+    /// Build the server state for a deployment (in-memory, the
+    /// historical default).
     pub fn new(cfg: &BlobConfig, topo: &BlobTopology, placement: Placement) -> Self {
+        Self::assemble(
+            cfg,
+            topo,
+            placement,
+            ProviderStore::new(&topo.providers),
+            None,
+        )
+    }
+
+    fn assemble(
+        cfg: &BlobConfig,
+        topo: &BlobTopology,
+        placement: Placement,
+        providers: ProviderStore,
+        journal: Option<Mutex<Journal>>,
+    ) -> Self {
         assert!(!topo.providers.is_empty(), "need at least one provider");
         assert!(
             !topo.metadata.is_empty(),
@@ -74,10 +98,83 @@ impl ServerState {
                 .iter()
                 .map(|_| Mutex::new(MetaPartition::new()))
                 .collect(),
-            providers: ProviderStore::new(&topo.providers),
+            providers,
             pattern_board: BoardService::new(cfg.coarse_board_lock),
             cluster_index: RwLock::new(ClusterIndex::new(cluster_cap)),
             cluster_probe: LockProbe::default(),
+            journal,
+        }
+    }
+
+    /// Build a durable server state rooted at `data_dir`: disk-backed
+    /// providers (one directory per provider node) plus the mutation
+    /// journal, both replayed before the state is handed out.
+    ///
+    /// Soft state — the pattern board and the cluster dedup index — is
+    /// deliberately *not* journaled: both are self-healing caches
+    /// (stale entries are re-learned or verified against providers),
+    /// and an empty board after restart only costs warmup, never
+    /// correctness. Each process must own `data_dir` exclusively; two
+    /// writers would corrupt each other's live appends.
+    pub fn recover(
+        cfg: &BlobConfig,
+        topo: &BlobTopology,
+        placement: Placement,
+        data_dir: &Path,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        let (providers, seg) = ProviderStore::recover(&topo.providers, data_dir)?;
+        let (records, journal, journal_torn) = Journal::open(&data_dir.join("journal.log"))?;
+        let state = Self::assemble(cfg, topo, placement, providers, Some(Mutex::new(journal)));
+        let report = RecoveryReport {
+            journal_records: records.len(),
+            journal_torn,
+            chunks: seg.chunks,
+            chunk_bytes: seg.chunk_bytes,
+            torn_files: seg.torn_files,
+        };
+        let mut vm = state.vmanager.lock();
+        let mut pm = state.pmanager.lock();
+        for rec in records {
+            match rec {
+                // Replay applies the op directly: it was journaled only
+                // after succeeding, so errors here mean the record is
+                // obsolete (e.g. delete of an already-deleted version
+                // whose first delete was also replayed) — never fatal.
+                JournalRecord::VmOp(op) => match op {
+                    VmReq::CreateBlob { size, chunk_size } => {
+                        let _ = vm.create_blob(size, chunk_size);
+                    }
+                    VmReq::CloneBlob { src, version } => {
+                        let _ = vm.clone_blob(src, version);
+                    }
+                    VmReq::Publish { blob, base, root } => {
+                        let _ = vm.publish(blob, base, root);
+                    }
+                    VmReq::DeleteSnapshots { blob, versions } => {
+                        let _ = vm.delete_snapshots(blob, &versions);
+                    }
+                    _ => {}
+                },
+                JournalRecord::MetaNodes { shard, nodes } => {
+                    if let Some(part) = state.meta.get(shard as usize) {
+                        part.lock().put(nodes);
+                    }
+                }
+                JournalRecord::KeyMark(k) => vm.ensure_key_floor(k),
+                JournalRecord::ChunkMark(c) => pm.ensure_chunk_floor(c),
+            }
+        }
+        drop(vm);
+        drop(pm);
+        Ok((state, report))
+    }
+
+    /// Journal a successful version-manager mutation. Call sites hold
+    /// the vmanager lock, so append order equals serialization order.
+    /// Fail-stop: an unjournalable mutation must not be acked.
+    fn journal_vm(&self, op: &VmReq) {
+        if let Some(j) = &self.journal {
+            j.lock().append_vm(op).expect("journal vm append");
         }
     }
 
@@ -137,10 +234,20 @@ impl ServerState {
     fn dispatch_vm(&self, q: VmReq) -> VmResp {
         match q {
             VmReq::CreateBlob { size, chunk_size } => {
-                VmResp::Created(self.vmanager.lock().create_blob(size, chunk_size))
+                let mut vm = self.vmanager.lock();
+                let res = vm.create_blob(size, chunk_size);
+                if res.is_ok() {
+                    self.journal_vm(&VmReq::CreateBlob { size, chunk_size });
+                }
+                VmResp::Created(res)
             }
             VmReq::CloneBlob { src, version } => {
-                VmResp::Cloned(self.vmanager.lock().clone_blob(src, version))
+                let mut vm = self.vmanager.lock();
+                let res = vm.clone_blob(src, version);
+                if res.is_ok() {
+                    self.journal_vm(&VmReq::CloneBlob { src, version });
+                }
+                VmResp::Cloned(res)
             }
             VmReq::Latest(blob) => {
                 VmResp::Latest(self.vmanager.lock().meta(blob).map(|m| m.latest()))
@@ -164,7 +271,12 @@ impl ServerState {
                 }))
             }
             VmReq::Publish { blob, base, root } => {
-                VmResp::Published(self.vmanager.lock().publish(blob, base, root))
+                let mut vm = self.vmanager.lock();
+                let res = vm.publish(blob, base, root);
+                if res.is_ok() {
+                    self.journal_vm(&VmReq::Publish { blob, base, root });
+                }
+                VmResp::Published(res)
             }
             VmReq::DeleteSnapshots { blob, versions } => {
                 // Compound under ONE lock: the delete and the live-root
@@ -173,6 +285,10 @@ impl ServerState {
                 let mut vm = self.vmanager.lock();
                 VmResp::Deleted((|| {
                     let dead_roots = vm.delete_snapshots(blob, &versions)?;
+                    self.journal_vm(&VmReq::DeleteSnapshots {
+                        blob,
+                        versions: versions.clone(),
+                    });
                     let live_roots = vm.family_live_roots(blob)?;
                     let span = vm.meta(blob)?.span;
                     Ok(DeleteOutcome {
@@ -182,7 +298,17 @@ impl ServerState {
                     })
                 })())
             }
-            VmReq::ReserveKeys(n) => VmResp::Reserved(self.vmanager.lock().reserve_keys(n)),
+            VmReq::ReserveKeys(n) => {
+                let mut vm = self.vmanager.lock();
+                let range = vm.reserve_keys(n);
+                // Durable via high-water mark, not per-reservation
+                // records: the fsync fires only when the allocator
+                // crosses the last persisted mark.
+                if let Some(j) = &self.journal {
+                    j.lock().note_key(vm.next_key()).expect("journal key mark");
+                }
+                VmResp::Reserved(range)
+            }
         }
     }
 
@@ -193,12 +319,18 @@ impl ServerState {
                 chunk_bytes,
                 replication,
                 down,
-            } => PmResp::Allocated(self.pmanager.lock().allocate_avoiding(
-                n,
-                chunk_bytes,
-                replication,
-                &down,
-            )),
+            } => {
+                let mut pm = self.pmanager.lock();
+                let res = pm.allocate_avoiding(n, chunk_bytes, replication, &down);
+                if res.is_ok() {
+                    if let Some(j) = &self.journal {
+                        j.lock()
+                            .note_chunk(pm.next_chunk())
+                            .expect("journal chunk mark");
+                    }
+                }
+                PmResp::Allocated(res)
+            }
         }
     }
 
@@ -211,6 +343,16 @@ impl ServerState {
                 MetaResp::Nodes(keys.into_iter().map(|k| part.get(k)).collect())
             }
             MetaReq::WriteNodes(nodes) => {
+                // Journaled without an fsync: nodes are unreachable
+                // until the publish that references them, and the
+                // publish's own fsync covers every record appended
+                // before it. Ordering with the shard lock is immaterial
+                // — node keys are write-once with identical content.
+                if let Some(j) = &self.journal {
+                    j.lock()
+                        .append_meta(shard as u32, &nodes)
+                        .expect("journal meta append");
+                }
                 self.meta[shard].lock().put(nodes);
                 MetaResp::Written
             }
@@ -231,7 +373,7 @@ impl ServerState {
                 ProviderResp::Fetched(fetched)
             }
             ProviderReq::Peek(id) => {
-                ProviderResp::Peeked(self.providers.lock(node).and_then(|p| p.peek(id).cloned()))
+                ProviderResp::Peeked(self.providers.lock(node).and_then(|p| p.peek(id)))
             }
             ProviderReq::Retain(id) => ProviderResp::Retained(self.providers.retain(node, id)),
             ProviderReq::Release(id) => ProviderResp::Released(self.providers.release(node, id)),

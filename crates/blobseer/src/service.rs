@@ -462,7 +462,7 @@ impl BlobStore {
     /// as a stale hit — conservative and safe.
     pub(crate) fn provider_peek(&self, prov: NodeId, id: ChunkId) -> Option<Payload> {
         if let Some(srv) = self.direct() {
-            return srv.providers.lock(prov).and_then(|p| p.peek(id).cloned());
+            return srv.providers.lock(prov).and_then(|p| p.peek(id));
         }
         match self.call(Req::Provider {
             node: prov,

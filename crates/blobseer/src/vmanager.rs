@@ -241,6 +241,19 @@ impl VManager {
         start..self.next_node_key
     }
 
+    /// Next key [`VManager::reserve_keys`] would hand out.
+    pub fn next_key(&self) -> u64 {
+        self.next_node_key
+    }
+
+    /// Raise the key allocator to at least `floor` (recovery: a crash
+    /// may have acked reservations whose exact extent was not recorded,
+    /// so replay skips to the journaled high-water mark — keys are
+    /// skipped, never reused).
+    pub fn ensure_key_floor(&mut self, floor: u64) {
+        self.next_node_key = self.next_node_key.max(floor);
+    }
+
     /// Number of registered blobs.
     pub fn blob_count(&self) -> usize {
         self.blobs.len()

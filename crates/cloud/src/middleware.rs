@@ -153,28 +153,6 @@ impl Cloud {
         }
     }
 
-    /// Cache/dedup counters aggregated over all compute nodes (plus the
-    /// service node, whose client stages uploads).
-    #[deprecated(since = "0.1.0", note = "use Cloud::metrics().cache")]
-    pub fn cache_stats(&self) -> bff_blobseer::CacheStats {
-        self.metrics().cache
-    }
-
-    /// Prefetch hit/waste counters of one compute node's shared context
-    /// (per-node attribution: hits and waste are properties of a node's
-    /// chunk cache, not of the cluster).
-    #[deprecated(since = "0.1.0", note = "use Cloud::metrics().per_node_prefetch")]
-    pub fn node_prefetch_stats(&self, node: NodeId) -> bff_blobseer::PrefetchStats {
-        self.store.node_context(node).prefetch_stats()
-    }
-
-    /// Prefetch counters aggregated over all compute nodes (plus the
-    /// service node, for symmetry with the cache totals).
-    #[deprecated(since = "0.1.0", note = "use Cloud::metrics().prefetch")]
-    pub fn prefetch_stats(&self) -> bff_blobseer::PrefetchStats {
-        self.metrics().prefetch
-    }
-
     /// Client-side image upload (Fig. 1 "put image"); the image is
     /// automatically striped.
     pub fn upload_image(&self, data: Payload) -> Result<(BlobId, Version), BackendError> {

@@ -18,6 +18,7 @@
 pub mod digest;
 pub mod extent;
 pub mod hash;
+pub mod log;
 pub mod payload;
 pub mod range;
 pub mod rangeset;
@@ -27,6 +28,7 @@ pub mod synth;
 pub use digest::{ContentDigest, ContentKey, Digest, DigestIndex};
 pub use extent::{ExtentMap, ExtentValue};
 pub use hash::{FastMap, FastSet, U64BuildHasher, U64Hasher};
+pub use log::RecordLog;
 pub use payload::{Payload, SegView};
 pub use range::{chunk_cover, chunk_range, intersect, ranges_overlap, ByteRange};
 pub use rangeset::RangeSet;

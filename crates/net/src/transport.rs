@@ -26,7 +26,7 @@
 //! moves opaque frames and counts the bytes it moves.
 
 use crate::NodeId;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{Read, Write};
@@ -203,6 +203,10 @@ impl WireCounters {
 /// dispatcher against the passive state machines, and encodes the reply.
 pub type FrameHandler = Arc<dyn Fn(RouteKey, &[u8]) -> Result<Vec<u8>, WireError> + Send + Sync>;
 
+/// The connection registry of a [`FrameServer`]: each live connection's
+/// shutdown handle paired with its serving thread.
+type ConnRegistry = Arc<Mutex<Vec<(TcpStream, std::thread::JoinHandle<()>)>>>;
+
 /// How request messages reach the server roles. See the module docs for
 /// the three implementations.
 pub trait Transport: Send + Sync {
@@ -317,7 +321,7 @@ impl RouteTable {
 /// Real framed TCP: blocking I/O, per-address connection pool, one
 /// request/response exchange per [`Transport::call`].
 pub struct SocketTransport {
-    routes: RouteTable,
+    routes: RwLock<RouteTable>,
     pool: Mutex<HashMap<SocketAddr, Vec<TcpStream>>>,
     counters: WireCounters,
 }
@@ -326,16 +330,28 @@ impl SocketTransport {
     /// Connect lazily to the listeners in `routes`.
     pub fn new(routes: RouteTable) -> Self {
         Self {
-            routes,
+            routes: RwLock::new(routes),
             pool: Mutex::new(HashMap::new()),
             counters: WireCounters::default(),
         }
+    }
+
+    /// Swap the route table (a restarted server process announces new
+    /// ephemeral addresses). The connection pool is cleared: every
+    /// pooled stream targets an address that may no longer answer.
+    pub fn set_routes(&self, routes: RouteTable) {
+        *self.routes.write() = routes;
+        self.pool.lock().clear();
     }
 
     fn checkout(&self, addr: SocketAddr) -> Result<TcpStream, WireError> {
         if let Some(conn) = self.pool.lock().get_mut(&addr).and_then(Vec::pop) {
             return Ok(conn);
         }
+        self.connect(addr)
+    }
+
+    fn connect(&self, addr: SocketAddr) -> Result<TcpStream, WireError> {
         let conn = TcpStream::connect(addr)?;
         conn.set_nodelay(true).ok();
         Ok(conn)
@@ -344,24 +360,39 @@ impl SocketTransport {
     fn checkin(&self, addr: SocketAddr, conn: TcpStream) {
         self.pool.lock().entry(addr).or_default().push(conn);
     }
+
+    fn exchange(conn: &mut TcpStream, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        write_frame(conn, frame)?;
+        read_frame(conn)
+    }
 }
 
 impl Transport for SocketTransport {
     fn call(&self, route: RouteKey, frame: &[u8]) -> Result<Vec<u8>, WireError> {
-        let addr = self.routes.addr_of(route);
+        let addr = self.routes.read().addr_of(route);
         let mut conn = self.checkout(addr)?;
-        let exchange = (|| -> Result<Vec<u8>, WireError> {
-            write_frame(&mut conn, frame)?;
-            read_frame(&mut conn)
-        })();
-        match exchange {
+        match Self::exchange(&mut conn, frame) {
             Ok(reply) => {
                 self.counters.note(frame.len(), reply.len());
                 self.checkin(addr, conn);
                 Ok(reply)
             }
-            // The connection is in an unknown state: drop it, surface the
-            // error to the caller's failover path.
+            // A dead connection — typically one pooled across a server
+            // restart — is indistinguishable from a dead server until a
+            // fresh connect is tried: evict everything pooled for this
+            // address and retry the exchange once on a new connection.
+            // Codec-level errors (Truncated/BadTag/BadFrame) are NOT
+            // retried: the bytes arrived fine and the reply was garbage,
+            // so resending the same frame cannot help.
+            Err(WireError::Closed) | Err(WireError::Io(_)) => {
+                drop(conn);
+                self.pool.lock().remove(&addr);
+                let mut conn = self.connect(addr)?;
+                let reply = Self::exchange(&mut conn, frame)?;
+                self.counters.note(frame.len(), reply.len());
+                self.checkin(addr, conn);
+                Ok(reply)
+            }
             Err(e) => Err(e),
         }
     }
@@ -398,12 +429,18 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
 /// One listening server role: an accept loop that feeds every incoming
 /// frame to a [`FrameHandler`] and writes the reply back. Connections are
 /// served on their own threads until the peer closes them. Dropping the
-/// server stops the accept loop (a wake-up connection unblocks it);
-/// in-flight connection threads exit at peer close.
+/// server stops the accept loop (a wake-up connection unblocks it),
+/// shuts every live connection down, and **joins** every connection
+/// thread — no handler can still be running against server state after
+/// the drop returns.
 pub struct FrameServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<std::thread::JoinHandle<()>>,
+    /// Live connection threads with a shutdown handle to each stream.
+    /// Finished entries are reaped by the accept loop as it admits new
+    /// connections, so the registry tracks concurrency, not history.
+    conns: ConnRegistry,
 }
 
 impl FrameServer {
@@ -413,6 +450,8 @@ impl FrameServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
+        let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
+        let conns2 = Arc::clone(&conns);
         let accept = std::thread::Builder::new()
             .name(format!("bff-{}-listener", route.role().name()))
             .spawn(move || {
@@ -423,13 +462,23 @@ impl FrameServer {
                     let Ok(conn) = conn else { continue };
                     conn.set_nodelay(true).ok();
                     let handler = Arc::clone(&handler);
-                    std::thread::spawn(move || serve_connection(conn, route, handler));
+                    // A try_clone failure leaves no shutdown handle for
+                    // Drop; refuse the connection rather than leak an
+                    // unstoppable thread.
+                    let Ok(shutdown_handle) = conn.try_clone() else {
+                        continue;
+                    };
+                    let thread = std::thread::spawn(move || serve_connection(conn, route, handler));
+                    let mut live = conns2.lock();
+                    live.retain(|(_, t)| !t.is_finished());
+                    live.push((shutdown_handle, thread));
                 }
             })?;
         Ok(Self {
             addr,
             stop,
             accept: Some(accept),
+            conns,
         })
     }
 
@@ -442,10 +491,20 @@ impl FrameServer {
 impl Drop for FrameServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept loop so it observes the stop flag.
+        // Unblock the accept loop so it observes the stop flag. (The
+        // wake-up connection is never registered: the loop re-checks
+        // the flag before spawning a connection thread.)
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
+        }
+        // The accept thread is gone, so the registry is final: shut
+        // every live stream down (unblocking its read) and join the
+        // thread, so no handler outlives the server.
+        let drained = std::mem::take(&mut *self.conns.lock());
+        for (stream, thread) in drained {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            let _ = thread.join();
         }
     }
 }

@@ -359,6 +359,9 @@ const BAD_TAG_CONTEXTS: &[&str] = &[
     "cluster response",
     "request",
     "response",
+    "chunk record",
+    "ref record",
+    "journal record",
 ];
 
 /// Every `&'static str` a [`BlobError::BadInput`] may carry. Slot 0 is

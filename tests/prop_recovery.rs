@@ -1,0 +1,241 @@
+//! Property suite for crash recovery of the durable layer: for random
+//! op sequences, killing the writer at an arbitrary byte offset (a torn
+//! write — the file loses its tail, or a byte is damaged in place) must
+//! leave a state that replay either fully restores or cleanly truncates
+//! to a prefix of what was appended. Recovery never panics, never
+//! errors, and never serves chunk bytes that differ from what was
+//! originally put — a torn or flipped tail may *lose* trailing records
+//! (that is what the fsync-on-ack barrier is for), but it can never
+//! *corrupt* surviving ones.
+//!
+//! Three layers are attacked independently: the raw [`RecordLog`]
+//! framing, the provider's log-structured [`SegmentStore`] (including
+//! rotation and compaction, via a tiny segment size), and the manager
+//! [`Journal`].
+
+use bff::blobseer::durable::{Journal, SegmentStore};
+use bff::blobseer::ChunkId;
+use bff::data::{Payload, RecordLog};
+use bff::wire::msg::VmReq;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-case scratch directory (no tempfile crate in the workspace).
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bff-prop-recovery-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Truncate `path` to `len` bytes (the torn-write crash model: an
+/// append was cut mid-frame and everything after the cut never hit the
+/// disk).
+fn cut_file(path: &PathBuf, len: u64) {
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .expect("open for truncation");
+    f.set_len(len).expect("truncate");
+}
+
+/// Flip one byte of `path` in place (the damaged-sector crash model).
+fn flip_byte(path: &PathBuf, at: usize) {
+    let mut bytes = std::fs::read(path).expect("read file");
+    if bytes.is_empty() {
+        return;
+    }
+    let at = at % bytes.len();
+    bytes[at] ^= 0x5A;
+    std::fs::write(path, bytes).expect("write file");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cutting a record log at any byte offset recovers an exact prefix
+    /// of the appended payloads; a cut at or past the end restores all
+    /// of them.
+    #[test]
+    fn record_log_cut_recovers_prefix(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..24),
+        cut_pct in 0u64..120,
+    ) {
+        let dir = scratch("log-cut");
+        let path = dir.join("log");
+        let (_, mut log, torn) = RecordLog::open(&path).unwrap();
+        prop_assert!(!torn);
+        for p in &payloads {
+            log.append(p).unwrap();
+        }
+        drop(log);
+
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = (len * cut_pct / 100).min(len);
+        cut_file(&path, cut);
+
+        let (records, mut log, _) = RecordLog::open(&path).unwrap();
+        prop_assert!(records.len() <= payloads.len());
+        for (got, want) in records.iter().zip(&payloads) {
+            prop_assert_eq!(&got.1, want, "recovered record diverged");
+        }
+        if cut >= len {
+            prop_assert_eq!(records.len(), payloads.len(), "nothing was cut");
+        }
+        // The truncated log must accept appends again and keep them.
+        log.append(b"after-recovery").unwrap();
+        let survivors = records.len();
+        drop(log);
+        let (records, _, torn) = RecordLog::open(&path).unwrap();
+        prop_assert!(!torn, "re-opened log is clean");
+        prop_assert_eq!(records.len(), survivors + 1);
+        prop_assert_eq!(records.last().unwrap().1.clone(), b"after-recovery".to_vec());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping any single byte recovers an exact prefix: the checksum
+    /// catches the damage and replay stops cleanly at the first bad
+    /// record instead of panicking or returning garbage.
+    #[test]
+    fn record_log_flip_recovers_prefix(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..300), 1..24),
+        at in 0usize..1_000_000,
+    ) {
+        let dir = scratch("log-flip");
+        let path = dir.join("log");
+        let (_, mut log, _) = RecordLog::open(&path).unwrap();
+        for p in &payloads {
+            log.append(p).unwrap();
+        }
+        drop(log);
+
+        flip_byte(&path, at);
+        let (records, _, _) = RecordLog::open(&path).unwrap();
+        prop_assert!(records.len() < payloads.len(), "damage always loses the hit record");
+        for (got, want) in records.iter().zip(&payloads) {
+            prop_assert_eq!(&got.1, want, "recovered record diverged");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Random put/free traffic through the segment store (tiny segments,
+    /// so rotation and compaction both run), then a torn tail at an
+    /// arbitrary offset of an arbitrary segment file: reopening must
+    /// succeed, and every chunk it still serves must be byte-identical
+    /// to what was put under that id. A cut that removes nothing must
+    /// restore the exact live set.
+    #[test]
+    fn segment_store_torn_tail_never_serves_corrupt_bytes(
+        ops in prop::collection::vec((0u8..10, 0u64..24, 0usize..2000), 1..60),
+        pick_seg in any::<u64>(),
+        cut_pct in 0u64..120,
+    ) {
+        let dir = scratch("segstore");
+        let (mut store, _, _) = SegmentStore::open(&dir, 4096).unwrap();
+        // Content per id is immutable (chunk ids never carry different
+        // data); a free may be followed by a re-put of the same bytes.
+        let mut content: HashMap<ChunkId, Vec<u8>> = HashMap::new();
+        let mut live: Vec<ChunkId> = Vec::new();
+        // One guaranteed put so the directory always holds a file to cut.
+        let anchor = ChunkId(999);
+        content.insert(anchor, vec![0xAB; 64]);
+        store.put(anchor, &Payload::from_bytes(vec![0xAB; 64])).unwrap();
+        live.push(anchor);
+        for &(kind, id, len) in &ops {
+            let id = ChunkId(id + 1);
+            if kind < 7 {
+                let data = content
+                    .entry(id)
+                    .or_insert_with(|| vec![(id.0 as u8).wrapping_mul(37); len])
+                    .clone();
+                store.put(id, &Payload::from_bytes(data)).unwrap();
+                if !live.contains(&id) {
+                    live.push(id);
+                }
+            } else if let Some(pos) = live.iter().position(|&l| l == id) {
+                store.free(id).unwrap();
+                live.remove(pos);
+            }
+        }
+        store.sync().unwrap();
+        drop(store);
+
+        // Tear the tail off one of the on-disk files.
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let victim = &files[(pick_seg % files.len() as u64) as usize];
+        let len = std::fs::metadata(victim).unwrap().len();
+        let cut = (len * cut_pct / 100).min(len);
+        cut_file(victim, cut);
+
+        let (store, refs, _) = SegmentStore::open(&dir, 4096).unwrap();
+        for &id in refs.keys() {
+            if let Some(got) = store.read(id) {
+                prop_assert_eq!(
+                    got.materialize(),
+                    content[&id].clone(),
+                    "chunk {:?} served different bytes after recovery", id
+                );
+            }
+        }
+        if cut >= len {
+            // Nothing was torn: the live set must survive exactly.
+            for &id in &live {
+                let got = store.read(id);
+                prop_assert!(got.is_some(), "live chunk {:?} lost without damage", id);
+                prop_assert_eq!(got.unwrap().materialize(), content[&id].clone());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Journal appends cut at an arbitrary byte offset recover an exact
+    /// prefix of the journaled ops — a half-written publish is dropped,
+    /// never misread as a different mutation.
+    #[test]
+    fn journal_cut_recovers_prefix(
+        sizes in prop::collection::vec(1u64..1_000_000, 1..20),
+        cut_pct in 0u64..120,
+    ) {
+        let dir = scratch("journal");
+        let path = dir.join("journal.log");
+        let (_, mut journal, torn) = Journal::open(&path).unwrap();
+        prop_assert!(!torn);
+        let ops: Vec<VmReq> = sizes
+            .iter()
+            .map(|&s| VmReq::CreateBlob { size: s, chunk_size: 4096 })
+            .collect();
+        for op in &ops {
+            journal.append_vm(op).unwrap();
+        }
+        drop(journal);
+
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = (len * cut_pct / 100).min(len);
+        cut_file(&path, cut);
+
+        let (records, _, _) = Journal::open(&path).unwrap();
+        prop_assert!(records.len() <= ops.len());
+        for (got, want) in records.iter().zip(&ops) {
+            // Compare through the wire encoding: the record enums do not
+            // implement PartialEq, the codec is canonical.
+            let got = bff::wire::encode(got);
+            let want =
+                bff::wire::encode(&bff::blobseer::durable::JournalRecord::VmOp(want.clone()));
+            prop_assert_eq!(got, want, "journal record diverged");
+        }
+        if cut >= len {
+            prop_assert_eq!(records.len(), ops.len(), "nothing was cut");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
