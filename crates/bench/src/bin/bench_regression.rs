@@ -11,7 +11,8 @@
 //!     [--cluster-results target/paper/cluster_summary.json --cluster-baseline BENCH_5.json] \
 //!     [--loadgen-results target/paper/load_summary.json --loadgen-baseline BENCH_6.json] \
 //!     [--transport-results target/paper/transport_summary.json --transport-baseline BENCH_7.json] \
-//!     [--recovery-results target/paper/recovery_summary.json --recovery-baseline BENCH_8.json]
+//!     [--recovery-results target/paper/recovery_summary.json --recovery-baseline BENCH_8.json] \
+//!     [--durable-results target/paper/durable_summary.json --durable-baseline BENCH_9.json]
 //! ```
 //!
 //! On failure the gate ends with a `FAILED METRICS` block naming, for
@@ -203,6 +204,27 @@ const RECOVERY_CHECKS: &[(&str, &str, &str)] = &[
     ),
 ];
 
+/// Measured-value keys checked between the `load_sweep --durable all`
+/// summary and `BENCH_9.json`. Both gated metrics are ratios over the
+/// identical in-process-socket workload, so runner speed cancels:
+/// `durable_retention` (group-commit durable boots/s ÷ non-durable
+/// boots/s — how much throughput surviving kill -9 costs) and
+/// `acks_per_fsync` (the batching claim itself: under concurrent load
+/// one leader fsync must cover more than one acked mutation; the
+/// per-ack baseline measures exactly 1.0).
+const DURABLE_CHECKS: &[(&str, &str, &str)] = &[
+    (
+        "durable: group-commit boots/s retention vs non-durable socket",
+        "durable_retention",
+        "durable_retention_floor",
+    ),
+    (
+        "durable: acked mutations per fsync under concurrency",
+        "acks_per_fsync",
+        "acks_per_fsync_floor",
+    ),
+];
+
 /// Measured-value keys checked between a prefetch summary and
 /// `BENCH_4.json`.
 const PREFETCH_CHECKS: &[(&str, &str, &str)] = &[
@@ -335,6 +357,8 @@ fn main() -> ExitCode {
     let mut transport_baseline = String::from("BENCH_7.json");
     let mut recovery_results: Option<String> = None;
     let mut recovery_baseline = String::from("BENCH_8.json");
+    let mut durable_results: Option<String> = None;
+    let mut durable_baseline = String::from("BENCH_9.json");
     while let Some(a) = args.next() {
         match a.as_str() {
             "--results" => {
@@ -398,6 +422,15 @@ fn main() -> ExitCode {
             "--recovery-baseline" => {
                 recovery_baseline = args.next().expect("--recovery-baseline needs a path")
             }
+            "--durable-results" => {
+                let path = args.next().expect("--durable-results needs a path");
+                durable_results = Some(
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+                );
+            }
+            "--durable-baseline" => {
+                durable_baseline = args.next().expect("--durable-baseline needs a path")
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -408,9 +441,11 @@ fn main() -> ExitCode {
             || cluster_results.is_some()
             || loadgen_results.is_some()
             || transport_results.is_some()
-            || recovery_results.is_some(),
+            || recovery_results.is_some()
+            || durable_results.is_some(),
         "no --results, --dedup-results, --prefetch-results, --cluster-results, \
-         --loadgen-results, --transport-results or --recovery-results provided"
+         --loadgen-results, --transport-results, --recovery-results or \
+         --durable-results provided"
     );
     let mut failures: Vec<Failure> = Vec::new();
     if let Some(summary) = &dedup_results {
@@ -489,6 +524,17 @@ fn main() -> ExitCode {
             summary,
             &baseline,
             &recovery_baseline,
+        ));
+    }
+    if let Some(summary) = &durable_results {
+        let baseline = std::fs::read_to_string(&durable_baseline)
+            .unwrap_or_else(|e| panic!("read baseline {durable_baseline}: {e}"));
+        failures.extend(check_summary(
+            "durable-sweep",
+            DURABLE_CHECKS,
+            summary,
+            &baseline,
+            &durable_baseline,
         ));
     }
     if !results.is_empty() {

@@ -42,6 +42,13 @@
 //! `target/paper/load_summary.json`, gated against the `BENCH_6.json`
 //! floors by `bench_regression --loadgen-results`.
 //!
+//! `--transport direct|codec|socket|all` runs the transport axis
+//! (`transport_summary.json`, gated against `BENCH_7.json`) and
+//! `--durable mem|sync|group|all` the durability axis: the same storm
+//! over the in-process socket transport with in-memory providers,
+//! fsync-per-ack durable providers, and group-commit durable providers
+//! (`durable_summary.json`, gated against `BENCH_9.json`).
+//!
 //! `--mini` shrinks the client count for CI smoke runs;
 //! `BFF_LOADGEN_THREADS` pins the client count explicitly (CI uses it
 //! so runner core counts don't change the workload).
@@ -584,6 +591,308 @@ fn run_transport_sweep(which: &str, workers: usize) {
     println!("[written {}]", path.display());
 }
 
+// ---------------------------------------------------------------------------
+// Durable sweep (`--durable mem|sync|group|all`)
+// ---------------------------------------------------------------------------
+
+/// One durability configuration of the durable-socket axis. All three
+/// run the same rotating-snapshot storm over the in-process socket
+/// transport (six loopback listeners, framed TCP), so the only variable
+/// is what happens between an append and its ack.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DurableMode {
+    /// In-memory providers, no journal: the ceiling the durable runs
+    /// are measured against.
+    Mem,
+    /// Durable, fsync-per-ack: every acked mutation pays its own
+    /// `fdatasync` under the shard/journal lock (the pre-group-commit
+    /// discipline, kept measurable as the baseline).
+    Sync,
+    /// Durable, group commit: concurrent committers share one leader's
+    /// `fdatasync` (`BFF_GROUP_COMMIT` semantics, forced on here).
+    Group,
+}
+
+impl DurableMode {
+    const ALL: [DurableMode; 3] = [DurableMode::Mem, DurableMode::Sync, DurableMode::Group];
+
+    fn name(self) -> &'static str {
+        match self {
+            DurableMode::Mem => "mem-socket",
+            DurableMode::Sync => "per-ack",
+            DurableMode::Group => "group",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mem" => Some(DurableMode::Mem),
+            "sync" => Some(DurableMode::Sync),
+            "group" => Some(DurableMode::Group),
+            _ => None,
+        }
+    }
+}
+
+struct DurableOutcome {
+    mode: DurableMode,
+    boots: usize,
+    wall_s: f64,
+    boots_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    durability: bff_blobseer::DurabilityCounters,
+}
+
+/// The rotating-snapshot storm under one durability configuration,
+/// in-process socket transport throughout. Durable runs recover from
+/// (and journal into) a scratch directory that is wiped before and
+/// after, so every run starts cold.
+fn run_durable(mode: DurableMode, workers: usize) -> DurableOutcome {
+    let mut params = ThreadParams::serving(NODES as usize + 1);
+    params.coarse_lanes = false;
+    let fabric = ThreadFabric::new(params);
+    let compute: Vec<NodeId> = (0..NODES).map(NodeId).collect();
+    let cfg = bff_blobseer::BlobConfig {
+        chunk_size: CHUNK,
+        dedup: true,
+        cluster_dedup: true,
+        prefetch: true,
+        transport: TransportMode::Socket,
+        group_commit: mode == DurableMode::Group,
+        ..Default::default()
+    };
+    let topo = BlobTopology::colocated(&compute, NodeId(NODES));
+    let scratch = std::env::temp_dir().join(format!(
+        "bff-load-durable-{}-{}",
+        std::process::id(),
+        mode.name()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let cloud = if mode == DurableMode::Mem {
+        Cloud::new(
+            fabric.clone() as Arc<dyn Fabric>,
+            compute,
+            NodeId(NODES),
+            cfg,
+            Calibration::default(),
+        )
+    } else {
+        std::fs::create_dir_all(&scratch).expect("durable scratch dir");
+        let (store, _report) = BlobStore::durable(
+            cfg,
+            topo,
+            fabric.clone() as Arc<dyn Fabric>,
+            bff_blobseer::Placement::RoundRobin,
+            &scratch,
+        )
+        .expect("durable deployment");
+        Cloud::with_store(
+            store,
+            fabric.clone() as Arc<dyn Fabric>,
+            compute,
+            NodeId(NODES),
+            Calibration::default(),
+        )
+    };
+
+    let base = cloud
+        .upload_image(Payload::synth(0x5EED, 0, IMG))
+        .expect("upload");
+    let rotation = Rotation::new(base);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(workers * BOOTS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let cloud = &cloud;
+                let rotation = &rotation;
+                scope.spawn(move || run_client(cloud, rotation, worker))
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("client thread"));
+        }
+    });
+    fabric.quiesce();
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let durability = cloud.store().durability();
+    drop(cloud);
+    let _ = std::fs::remove_dir_all(&scratch);
+    DurableOutcome {
+        mode,
+        boots: latencies.len(),
+        wall_s,
+        boots_per_s: latencies.len() as f64 / wall_s,
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        durability,
+    }
+}
+
+/// `--durable <mode>` runs the storm under one durability configuration
+/// (CI smoke); `--durable all` compares the three and emits
+/// `durable_summary.json` for the `BENCH_9.json` gate.
+fn run_durable_sweep(which: &str, workers: usize) {
+    let modes: Vec<DurableMode> = if which == "all" {
+        DurableMode::ALL.to_vec()
+    } else {
+        vec![DurableMode::parse(which)
+            .unwrap_or_else(|| panic!("--durable takes mem|sync|group|all, got {which:?}"))]
+    };
+    println!(
+        "load_sweep durable ({which}): {workers} client threads x {BOOTS} boots \
+         over {NODES} nodes, in-process socket transport"
+    );
+    let mut outcomes = Vec::with_capacity(modes.len());
+    for mode in modes {
+        let out = run_durable(mode, workers);
+        println!(
+            "  {:<10} {:>4} boots in {:.2}s -> {:.1} boots/s \
+             (p50 {:.2} ms, p99 {:.2} ms; {} fsyncs / {} acks = {:.2} acks/fsync, \
+             max wait {} us)",
+            out.mode.name(),
+            out.boots,
+            out.wall_s,
+            out.boots_per_s,
+            out.p50_ms,
+            out.p99_ms,
+            out.durability.fsyncs,
+            out.durability.acks,
+            out.durability.acks_per_fsync,
+            out.durability.max_wait_us,
+        );
+        outcomes.push(out);
+    }
+    if which != "all" {
+        return;
+    }
+
+    let mut t = Table::new(
+        "durable_sweep",
+        &[
+            "mode",
+            "boots",
+            "wall_s",
+            "boots_per_s",
+            "p50_ms",
+            "p99_ms",
+            "fsyncs",
+            "acks",
+            "acks_per_fsync",
+            "max_wait_us",
+        ],
+    );
+    for out in &outcomes {
+        t.row(&[
+            &out.mode.name(),
+            &out.boots,
+            &f3(out.wall_s),
+            &f1(out.boots_per_s),
+            &f3(out.p50_ms),
+            &f3(out.p99_ms),
+            &out.durability.fsyncs,
+            &out.durability.acks,
+            &f3(out.durability.acks_per_fsync),
+            &out.durability.max_wait_us,
+        ]);
+    }
+    t.emit();
+
+    let mem = &outcomes[0];
+    let sync = &outcomes[1];
+    let group = &outcomes[2];
+    let retention = group.boots_per_s / mem.boots_per_s.max(1e-9);
+    let vs_sync = group.boots_per_s / sync.boots_per_s.max(1e-9);
+    println!(
+        "\ngroup commit keeps {:.0}% of the non-durable socket throughput \
+         ({:.1} vs {:.1} boots/s) and is {:.2}x the per-ack baseline \
+         ({:.1} boots/s); {:.2} acks per fsync vs {:.2} per-ack",
+        100.0 * retention,
+        group.boots_per_s,
+        mem.boots_per_s,
+        vs_sync,
+        sync.boots_per_s,
+        group.durability.acks_per_fsync,
+        sync.durability.acks_per_fsync,
+    );
+
+    // Flat summary for the CI perf gate (compared against BENCH_9.json).
+    // Gated: durable_retention (group-commit durable socket vs
+    // non-durable socket — both in-process, so the ratio isolates the
+    // durability cost from runner speed) and acks_per_fsync (> 1.0 is
+    // the batching claim itself). The rest rides along for the artifact
+    // trail.
+    let mut summary = String::from("{\n");
+    let _ = writeln!(summary, "  \"durable_retention\": {retention:.3},");
+    let _ = writeln!(
+        summary,
+        "  \"acks_per_fsync\": {:.3},",
+        group.durability.acks_per_fsync
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_group_boots_per_s\": {:.3},",
+        group.boots_per_s
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_sync_boots_per_s\": {:.3},",
+        sync.boots_per_s
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_mem_boots_per_s\": {:.3},",
+        mem.boots_per_s
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_group_speedup_vs_sync\": {vs_sync:.3},"
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_group_fsyncs\": {},",
+        group.durability.fsyncs
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_group_acks\": {},",
+        group.durability.acks
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_group_max_wait_us\": {},",
+        group.durability.max_wait_us
+    );
+    let _ = writeln!(
+        summary,
+        "  \"durable_sync_acks_per_fsync\": {:.3},",
+        sync.durability.acks_per_fsync
+    );
+    let _ = writeln!(summary, "  \"durable_group_p50_ms\": {:.3},", group.p50_ms);
+    let _ = writeln!(summary, "  \"durable_group_p99_ms\": {:.3},", group.p99_ms);
+    let _ = writeln!(summary, "  \"durable_threads\": {workers}");
+    summary.push('}');
+    summary.push('\n');
+    let path = output_dir().join("durable_summary.json");
+    std::fs::write(&path, summary).expect("write durable summary");
+    println!("[written {}]", path.display());
+}
+
+fn durable_arg() -> Option<String> {
+    let mut it = std::env::args();
+    while let Some(a) = it.next() {
+        if a == "--durable" {
+            return Some(
+                it.next()
+                    .expect("--durable needs a mode (mem|sync|group|all)"),
+            );
+        }
+    }
+    None
+}
+
 fn transport_arg() -> Option<String> {
     let mut it = std::env::args();
     while let Some(a) = it.next() {
@@ -602,6 +911,10 @@ fn main() {
     let workers = client_threads(scale);
     if let Some(which) = transport_arg() {
         run_transport_sweep(&which, workers);
+        return;
+    }
+    if let Some(which) = durable_arg() {
+        run_durable_sweep(&which, workers);
         return;
     }
     println!(

@@ -203,6 +203,22 @@ pub struct BlobConfig {
     /// unrecognized → [`TransportMode::Direct`]), which is how CI runs
     /// the whole test suite over the codec transport.
     pub transport: TransportMode,
+    /// Group-commit durability on disk-backed deployments: concurrent
+    /// acked puts/retains/publishes append under the log lock, then
+    /// park on a sync ticket; one leader issues a single `sync_data`
+    /// covering every append at-or-before its high-water mark, so N
+    /// concurrent acks cost ~1 fsync instead of N. Fsync-before-ack is
+    /// preserved — a ticket only acks after a sync covering its append
+    /// *completed*. Off restores the measurable per-ack baseline (one
+    /// fsync per acknowledged op). Defaults to the `BFF_GROUP_COMMIT`
+    /// environment variable (unset → on), which is how CI runs the
+    /// recovery smoke in both disciplines.
+    pub group_commit: bool,
+    /// Upper bound, in microseconds, on how long a group-commit
+    /// follower parks for a leader's sync before re-checking (and, with
+    /// the leader gone, taking over) — a lone writer's ack is never
+    /// delayed past this window by a vanished cohort.
+    pub flush_interval_us: u64,
 }
 
 /// Whether an on-by-default feature toggle (`BFF_DEDUP`,
@@ -239,6 +255,8 @@ impl Default for BlobConfig {
             coarse_cache_locks: false,
             coarse_cluster_probe: false,
             transport: TransportMode::from_env(),
+            group_commit: env_default_on("BFF_GROUP_COMMIT"),
+            flush_interval_us: 500,
         }
     }
 }
@@ -255,6 +273,7 @@ impl BlobConfig {
     /// | `BFF_PREFETCH` | adaptive cross-VM prefetching ([`BlobConfig::prefetch`]); same disable spellings | on |
     /// | `BFF_TRANSPORT` | request transport ([`BlobConfig::transport`]): `direct`, `codec` or `socket` | `direct` |
     /// | `BFF_DATA_DIR` | durable state directory for `blob_server` processes (same as `--data-dir`): segment files + ref log for providers, mutation journal for managers, replayed on restart | off (volatile) |
+    /// | `BFF_GROUP_COMMIT` | group-commit durability ([`BlobConfig::group_commit`]): batch concurrent acks behind one fsync; `0`/`false`/`off`/`no` restores the per-ack fsync baseline | on |
     ///
     /// The benchmark harness reads four more variables that are *not*
     /// part of the service configuration: `BFF_LOADGEN_THREADS` (wall
@@ -338,6 +357,10 @@ impl BlobConfigBuilder {
         coarse_cluster_probe: bool,
         /// See [`BlobConfig::transport`].
         transport: TransportMode,
+        /// See [`BlobConfig::group_commit`].
+        group_commit: bool,
+        /// See [`BlobConfig::flush_interval_us`].
+        flush_interval_us: u64,
     }
 
     /// Finish: the accumulated configuration.

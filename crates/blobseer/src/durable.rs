@@ -47,14 +47,21 @@
 //! Two processes must never share a data directory: each one truncates
 //! and appends its logs as the exclusive writer.
 
-use crate::api::{ChunkId, NodeKey, TreeNode};
+use crate::api::{BlobConfig, ChunkId, NodeKey, TreeNode};
 use bff_data::{FastMap, Payload, RecordLog};
 use bff_wire::codec::{put_varint, Reader, Wire};
 use bff_wire::msg::VmReq;
 use bff_wire::WireError;
+// The vendored `parking_lot` shim has no Condvar; the coordinator's
+// park/wake state uses `std::sync` directly (by-value guard API).
 use std::collections::BTreeMap;
+use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex as SyncMutex};
+use std::time::{Duration, Instant};
 
 /// Ids reserved ahead of each durable allocator mark: one fsync buys
 /// this many `ReserveKeys`/`Allocate` acks.
@@ -206,6 +213,195 @@ impl Wire for JournalRecord {
             2 => Ok(JournalRecord::KeyMark(r.varint()?)),
             3 => Ok(JournalRecord::ChunkMark(r.varint()?)),
             t => Err(WireError::BadTag("journal record", t)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group commit.
+// ---------------------------------------------------------------------
+
+/// Durability counters shared by every commit coordinator of one
+/// deployment: how many fsync barriers were issued, how many acks they
+/// covered, and the worst ticket wait. Lock-free to read — the
+/// observability behind the BENCH_9 `acks_per_fsync` gate.
+#[derive(Debug, Default)]
+pub struct DurabilityStats {
+    fsyncs: AtomicU64,
+    acks: AtomicU64,
+    max_wait_ns: AtomicU64,
+}
+
+impl DurabilityStats {
+    /// Record one completed fsync barrier (one `sync_data` round, however
+    /// many files it covered).
+    pub fn note_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one acknowledged operation whose durability barrier took
+    /// `waited` from barrier entry to ack.
+    pub fn note_ack(&self, waited: Duration) {
+        self.acks.fetch_add(1, Ordering::Relaxed);
+        self.max_wait_ns
+            .fetch_max(waited.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> DurabilityCounters {
+        let fsyncs = self.fsyncs.load(Ordering::Relaxed);
+        let acks = self.acks.load(Ordering::Relaxed);
+        DurabilityCounters {
+            fsyncs,
+            acks,
+            acks_per_fsync: acks as f64 / fsyncs.max(1) as f64,
+            max_wait_us: self.max_wait_ns.load(Ordering::Relaxed) / 1_000,
+        }
+    }
+}
+
+/// A [`DurabilityStats`] snapshot (plain values, for metrics surfaces).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct DurabilityCounters {
+    /// Fsync barriers issued (one per `sync_data` round, not per file).
+    pub fsyncs: u64,
+    /// Acknowledged operations those barriers covered.
+    pub acks: u64,
+    /// `acks / fsyncs` — above 1.0 means group commit is amortizing.
+    pub acks_per_fsync: f64,
+    /// Longest wall-clock wait from barrier entry to ack, microseconds.
+    pub max_wait_us: u64,
+}
+
+/// How a durable log's commit-ack barrier is crossed: the group-commit
+/// window plus the shared counters. One policy per deployment; its
+/// `stats` arc is shared by every coordinator built from it.
+#[derive(Debug, Clone)]
+pub struct CommitPolicy {
+    /// Batch concurrent acks behind one fsync (leader/follower) instead
+    /// of one fsync per ack.
+    pub group_commit: bool,
+    /// Upper bound on a follower's wait for a leader's sync; a lone
+    /// writer never waits longer than this before taking over.
+    pub flush_interval: Duration,
+    /// Deployment-wide durability counters.
+    pub stats: Arc<DurabilityStats>,
+}
+
+impl CommitPolicy {
+    /// The policy a [`BlobConfig`] asks for
+    /// (`group_commit`/`flush_interval_us` knobs).
+    pub fn from_config(cfg: &BlobConfig) -> Self {
+        CommitPolicy {
+            group_commit: cfg.group_commit,
+            flush_interval: Duration::from_micros(cfg.flush_interval_us.max(1)),
+            stats: Arc::new(DurabilityStats::default()),
+        }
+    }
+
+    /// A coordinator for one durable log under this policy, or `None`
+    /// when the per-ack baseline discipline is configured.
+    pub fn coordinator(&self) -> Option<Arc<GroupCommit>> {
+        self.group_commit.then(|| {
+            Arc::new(GroupCommit::new(
+                self.flush_interval,
+                Arc::clone(&self.stats),
+            ))
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct GcState {
+    /// Tickets issued (monotonic append high-water mark).
+    appended: u64,
+    /// Highest ticket covered by a *completed* sync.
+    synced: u64,
+    /// Whether a leader's sync is in flight.
+    leader: bool,
+}
+
+/// The group-commit coordinator of one durable log (leader/follower
+/// fsync batching).
+///
+/// Appenders take a [`GroupCommit::ticket`] *after* their append is in
+/// the log (typically still under the log's lock), release the lock,
+/// then park in [`GroupCommit::commit`]. The first committer to find no
+/// leader becomes one: it captures the ticket high-water mark, runs the
+/// caller's sync closure (which fsyncs every append at-or-before that
+/// mark) *outside* the coordinator lock, then wakes the whole cohort.
+/// Followers whose ticket the mark covers ack without ever touching the
+/// disk — N concurrent acks cost ~1 fsync. Natural batching: appends
+/// that arrive during a leader's fsync pile up behind the next barrier.
+/// A follower waits at most `window` before re-checking (and, with the
+/// leader gone, taking over), so a lone writer's ack is never delayed
+/// past the window by a vanished cohort.
+#[derive(Debug)]
+pub struct GroupCommit {
+    state: SyncMutex<GcState>,
+    cv: Condvar,
+    window: Duration,
+    stats: Arc<DurabilityStats>,
+}
+
+impl GroupCommit {
+    /// A coordinator with the given lone-writer wait bound.
+    pub fn new(window: Duration, stats: Arc<DurabilityStats>) -> Self {
+        GroupCommit {
+            state: SyncMutex::new(GcState::default()),
+            cv: Condvar::new(),
+            window,
+            stats,
+        }
+    }
+
+    /// Issue a sync ticket. Must be called *after* the append it covers
+    /// is in the log (the log's own lock serializes append-then-ticket
+    /// against a leader capturing the high-water mark).
+    pub fn ticket(&self) -> u64 {
+        let mut st = self.state.lock().expect("group-commit state");
+        st.appended += 1;
+        st.appended
+    }
+
+    /// Park until a sync covering `ticket` has completed, becoming the
+    /// leader that issues it if nobody else is. `sync` must make every
+    /// append at-or-before the current ticket high-water mark durable;
+    /// it runs with no coordinator lock held, so appenders keep
+    /// interleaving while the disk works. Fsync-before-ack: this returns
+    /// only after such a sync *completed*.
+    pub fn commit(&self, ticket: u64, mut sync: impl FnMut() -> io::Result<()>) -> io::Result<()> {
+        let started = Instant::now();
+        let mut st = self.state.lock().expect("group-commit state");
+        loop {
+            if st.synced >= ticket {
+                drop(st);
+                self.stats.note_ack(started.elapsed());
+                return Ok(());
+            }
+            if !st.leader {
+                st.leader = true;
+                let target = st.appended;
+                drop(st);
+                let res = sync();
+                st = self.state.lock().expect("group-commit state");
+                st.leader = false;
+                if res.is_ok() {
+                    // target ≥ ticket: our ticket predates the capture.
+                    st.synced = st.synced.max(target);
+                    self.stats.note_fsync();
+                }
+                self.cv.notify_all();
+                res?;
+            } else {
+                // Bounded park: on timeout, loop around and (with the
+                // leader gone) take over rather than waiting forever.
+                st = self
+                    .cv
+                    .wait_timeout(st, self.window)
+                    .expect("group-commit state")
+                    .0;
+            }
         }
     }
 }
@@ -457,7 +653,10 @@ impl SegmentStore {
             return Ok(());
         }
         // Seal by fsyncing the outgoing segment, then start the next.
-        self.active_seg().log.sync()?;
+        // Forced, not dirty-gated: a group-commit leader may hold an
+        // unflushed claim on this segment, and "sealed ⇒ durable" is
+        // what lets a group sync cover only the active segment.
+        self.active_seg().log.sync_force()?;
         let next = self.active + 1;
         let (_, log, _) = RecordLog::open(&seg_path(&self.dir, next))?;
         self.segments.insert(
@@ -637,17 +836,42 @@ impl SegmentStore {
                 Err(_) => {}
             }
         }
-        self.active_seg().log.sync()?;
+        // Forced for the same reason as rotation's seal: the moved
+        // copies must be durable before the source file disappears,
+        // regardless of in-flight group-commit claims.
+        self.active_seg().log.sync_force()?;
         self.segments.remove(&seg_no);
         std::fs::remove_file(&path)?;
         Ok(())
     }
 
     /// Fsync the active segment and the refcount log — the commit-ack
-    /// barrier.
-    pub fn sync(&mut self) -> io::Result<()> {
-        self.active_seg().log.sync()?;
-        self.refs_log.sync()
+    /// barrier. Returns whether any fdatasync was actually issued.
+    /// Sealed segments need no fsync here: rotation and compaction force
+    /// one before sealing, so every append at-or-before the current
+    /// high-water mark is covered by these two files alone.
+    pub fn sync(&mut self) -> io::Result<bool> {
+        let handles = self.sync_handles()?;
+        for f in &handles {
+            f.sync_data()?;
+        }
+        Ok(!handles.is_empty())
+    }
+
+    /// Claim the pending appends for an out-of-lock fsync: handles for
+    /// the active segment and the refcount log (empty when clean). The
+    /// group-commit leader grabs these under the store's owning lock,
+    /// drops it, then `sync_data`s the handles while appenders keep
+    /// going — see [`RecordLog::sync_handle`] for the claim semantics.
+    pub fn sync_handles(&mut self) -> io::Result<Vec<File>> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(f) = self.active_seg().log.sync_handle()? {
+            out.push(f);
+        }
+        if let Some(f) = self.refs_log.sync_handle()? {
+            out.push(f);
+        }
+        Ok(out)
     }
 
     /// Total framed bytes across all segment files (compaction
@@ -700,13 +924,15 @@ impl Journal {
         ))
     }
 
-    /// Journal a successful version-manager mutation, fsynced before
-    /// the caller acks (vm control ops are rare; one fsync each is
-    /// cheap and makes the ack durable).
+    /// Journal a successful version-manager mutation. Append-only: the
+    /// fsync-before-ack barrier is crossed by the caller *after* the
+    /// state-machine lock is released (via [`Journal::sync`] or a
+    /// [`GroupCommit`] ticket), so concurrent mutations interleave
+    /// their appends and share one `sync_data`.
     pub fn append_vm(&mut self, op: &VmReq) -> io::Result<()> {
         self.log
             .append(&bff_wire::encode(&JournalRecord::VmOp(op.clone())))?;
-        self.log.sync()
+        Ok(())
     }
 
     /// Journal a metadata-node write. Not fsynced here: metadata nodes
@@ -722,29 +948,45 @@ impl Journal {
     }
 
     /// Make the node-key allocator durable up to at least `next`:
-    /// appends + fsyncs a new mark only when `next` crosses the last
-    /// persisted one (one fsync per [`MARK_STRIDE`] ids).
-    pub fn note_key(&mut self, next: u64) -> io::Result<()> {
+    /// appends a new mark only when `next` crosses the last persisted
+    /// one (one barrier per [`MARK_STRIDE`] ids). Returns whether a
+    /// mark was appended — `true` means the caller must cross the sync
+    /// barrier before acking the reservation.
+    pub fn note_key(&mut self, next: u64) -> io::Result<bool> {
         if next <= self.key_mark {
-            return Ok(());
+            return Ok(false);
         }
         self.key_mark = next + MARK_STRIDE;
         self.log
             .append(&bff_wire::encode(&JournalRecord::KeyMark(self.key_mark)))?;
-        self.log.sync()
+        Ok(true)
     }
 
     /// [`Journal::note_key`] for the chunk-id allocator.
-    pub fn note_chunk(&mut self, next: u64) -> io::Result<()> {
+    pub fn note_chunk(&mut self, next: u64) -> io::Result<bool> {
         if next <= self.chunk_mark {
-            return Ok(());
+            return Ok(false);
         }
         self.chunk_mark = next + MARK_STRIDE;
         self.log
             .append(&bff_wire::encode(&JournalRecord::ChunkMark(
                 self.chunk_mark,
             )))?;
+        Ok(true)
+    }
+
+    /// Fsync the journal — the per-ack barrier (holds the log across
+    /// the `sync_data`, so a no-op return means a completed sync
+    /// already covered everything appended). Returns whether an
+    /// fdatasync was actually issued.
+    pub fn sync(&mut self) -> io::Result<bool> {
         self.log.sync()
+    }
+
+    /// Claim the pending appends for an out-of-lock fsync (the
+    /// group-commit leader path) — see [`RecordLog::sync_handle`].
+    pub fn sync_handle(&mut self) -> io::Result<Option<File>> {
+        self.log.sync_handle()
     }
 }
 
@@ -767,6 +1009,7 @@ pub struct RecoveryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
 
     fn scratch(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("bff-durable-{}-{name}", std::process::id()));
@@ -873,6 +1116,67 @@ mod tests {
         let (_, refs, _) = SegmentStore::open(&dir, 1 << 20).unwrap();
         assert_eq!(refs.get(&ChunkId(1)), Some(&5));
         assert_eq!(refs.get(&ChunkId(2)), Some(&1));
+    }
+
+    #[test]
+    fn group_commit_acks_every_ticket_and_batches_fsyncs() {
+        let dir = scratch("gc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, log, _) = RecordLog::open(&dir.join("gc.log")).unwrap();
+        let log = Arc::new(Mutex::new(log));
+        let stats = Arc::new(DurabilityStats::default());
+        let gc = Arc::new(GroupCommit::new(
+            Duration::from_micros(500),
+            Arc::clone(&stats),
+        ));
+        const WRITERS: usize = 8;
+        const APPENDS: usize = 16;
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let (log, gc) = (Arc::clone(&log), Arc::clone(&gc));
+                scope.spawn(move || {
+                    for i in 0..APPENDS {
+                        let ticket = {
+                            let mut log = log.lock();
+                            log.append(format!("{w}:{i}").as_bytes()).unwrap();
+                            gc.ticket()
+                        };
+                        gc.commit(ticket, || {
+                            let handle = log.lock().sync_handle()?;
+                            if let Some(f) = handle {
+                                f.sync_data()?;
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.acks, (WRITERS * APPENDS) as u64, "every commit acked");
+        assert!(snap.fsyncs >= 1 && snap.fsyncs <= snap.acks);
+        // Every acked append survives a reopen (the barrier is real).
+        drop(log);
+        let (recs, _, torn) = RecordLog::open(&dir.join("gc.log")).unwrap();
+        assert!(!torn);
+        assert_eq!(recs.len(), WRITERS * APPENDS);
+    }
+
+    #[test]
+    fn group_commit_lone_writer_is_bounded_by_window() {
+        // A single committer with no cohort must become leader and
+        // return promptly (no eternal park waiting for followers).
+        let stats = Arc::new(DurabilityStats::default());
+        let gc = GroupCommit::new(Duration::from_millis(50), Arc::clone(&stats));
+        let ticket = gc.ticket();
+        let started = Instant::now();
+        gc.commit(ticket, || Ok(())).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "lone writer led immediately instead of parking"
+        );
+        assert_eq!(stats.snapshot().acks, 1);
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use board::{BoardService, PatternBoard};
 pub use client::{Client, GcReport};
 pub use cluster::ClusterIndex;
 pub use context::{CacheStats, NodeContext, PrefetchStats};
-pub use durable::RecoveryReport;
+pub use durable::{CommitPolicy, DurabilityCounters, DurabilityStats, GroupCommit, RecoveryReport};
 pub use lockstat::LockContention;
 pub use pmanager::Placement;
 pub use provider::ProviderStore;

@@ -16,13 +16,19 @@
 //! data plane to aggregate.
 
 use crate::api::ChunkId;
-use crate::durable::{SegmentRecovery, SegmentStore, DEFAULT_SEGMENT_BYTES};
+use crate::durable::{
+    CommitPolicy, DurabilityStats, GroupCommit, SegmentRecovery, SegmentStore,
+    DEFAULT_SEGMENT_BYTES,
+};
 use bff_data::{FastMap, FastSet, Payload};
 use bff_net::NodeId;
 use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
+use std::fs::File;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Where a provider keeps chunk bytes: the historical in-memory map, or
 /// the log-structured segment files of `crate::durable`.
@@ -230,11 +236,23 @@ impl Provider {
 
     /// Flush appended segment and refcount records to stable storage —
     /// the barrier every commit ack crosses. No-op for the in-memory
-    /// backend. Fail-stop on I/O errors: a provider that cannot fsync
-    /// cannot honor the acks it already implies.
-    pub fn sync(&mut self) {
-        if let ChunkStore::Disk(store) = &mut self.chunks {
-            store.sync().expect("provider log sync");
+    /// backend; returns whether an fdatasync was actually issued.
+    /// Fail-stop on I/O errors: a provider that cannot fsync cannot
+    /// honor the acks it already implies.
+    pub fn sync(&mut self) -> bool {
+        match &mut self.chunks {
+            ChunkStore::Disk(store) => store.sync().expect("provider log sync"),
+            ChunkStore::Mem(_) => false,
+        }
+    }
+
+    /// Claim the pending appends for an out-of-lock fsync (the
+    /// group-commit leader path; empty for the in-memory backend) —
+    /// see [`SegmentStore::sync_handles`].
+    pub fn sync_handles(&mut self) -> Vec<File> {
+        match &mut self.chunks {
+            ChunkStore::Disk(store) => store.sync_handles().expect("provider sync handles"),
+            ChunkStore::Mem(_) => Vec::new(),
         }
     }
 
@@ -274,6 +292,14 @@ pub struct ProviderStore {
     nodes: Vec<NodeId>,
     slot_of: HashMap<NodeId, usize>,
     shards: Vec<Mutex<Provider>>,
+    /// One commit coordinator per shard (separate files, separate
+    /// barriers), present only for durable deployments running group
+    /// commit. `None` means per-ack fsync under the shard lock — the
+    /// measurable baseline discipline.
+    commit: Option<Vec<Arc<GroupCommit>>>,
+    /// Deployment-wide durability counters (shared with the journal's
+    /// coordinator; all-zero for in-memory deployments).
+    stats: Arc<DurabilityStats>,
     stored_bytes: AtomicU64,
     chunks: AtomicU64,
 }
@@ -285,15 +311,22 @@ impl ProviderStore {
             nodes: nodes.to_vec(),
             slot_of: nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
             shards: nodes.iter().map(|_| Mutex::new(Provider::new())).collect(),
+            commit: None,
+            stats: Arc::new(DurabilityStats::default()),
             stored_bytes: AtomicU64::new(0),
             chunks: AtomicU64::new(0),
         }
     }
 
     /// Deploy disk-backed providers, one per node, each replaying its
-    /// own directory `<base_dir>/provider-<node>/`. The aggregate
-    /// counters start from the recovered per-shard truth.
-    pub fn recover(nodes: &[NodeId], base_dir: &Path) -> std::io::Result<(Self, SegmentRecovery)> {
+    /// own directory `<base_dir>/provider-<node>/`, with the commit-ack
+    /// discipline `policy` asks for. The aggregate counters start from
+    /// the recovered per-shard truth.
+    pub fn recover(
+        nodes: &[NodeId],
+        base_dir: &Path,
+        policy: &CommitPolicy,
+    ) -> std::io::Result<(Self, SegmentRecovery)> {
         let mut shards = Vec::with_capacity(nodes.len());
         let mut total = SegmentRecovery::default();
         for node in nodes {
@@ -304,11 +337,19 @@ impl ProviderStore {
             total.torn_files += stats.torn_files;
             shards.push(Mutex::new(p));
         }
+        let commit = policy.group_commit.then(|| {
+            nodes
+                .iter()
+                .map(|_| policy.coordinator().unwrap())
+                .collect()
+        });
         Ok((
             Self {
                 nodes: nodes.to_vec(),
                 slot_of: nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect(),
                 shards,
+                commit,
+                stats: Arc::clone(&policy.stats),
                 stored_bytes: AtomicU64::new(total.chunk_bytes),
                 chunks: AtomicU64::new(total.chunks as u64),
             },
@@ -362,6 +403,54 @@ impl ProviderStore {
         }
     }
 
+    /// Run `op` on `slot`'s provider under its shard lock, then cross
+    /// the commit-ack durability barrier before returning. `op` returns
+    /// `(out, barrier)`; with `barrier == false` (failed op, nothing
+    /// appended) the barrier is skipped.
+    ///
+    /// Group commit: the sync ticket is taken under the shard lock (so
+    /// append-then-ticket is ordered against the leader's high-water
+    /// capture), the lock drops, and the committer parks — appends on
+    /// this shard keep interleaving while one leader fsyncs for the
+    /// whole cohort. The leader re-takes the shard lock only long
+    /// enough to claim file handles; the `sync_data` itself runs
+    /// lock-free. Per-ack baseline: fsync under the shard lock, exactly
+    /// the pre-group-commit discipline.
+    fn committed<T>(&self, slot: usize, op: impl FnOnce(&mut Provider) -> (T, bool)) -> T {
+        match &self.commit {
+            Some(coordinators) => {
+                let gc = &coordinators[slot];
+                let (out, ticket) = {
+                    let mut shard = self.shards[slot].lock();
+                    let (out, barrier) = op(&mut shard);
+                    (out, barrier.then(|| gc.ticket()))
+                };
+                if let Some(ticket) = ticket {
+                    gc.commit(ticket, || {
+                        let handles = self.shards[slot].lock().sync_handles();
+                        for f in &handles {
+                            f.sync_data()?;
+                        }
+                        Ok(())
+                    })
+                    .expect("provider group sync");
+                }
+                out
+            }
+            None => {
+                let started = Instant::now();
+                let mut shard = self.shards[slot].lock();
+                let (out, barrier) = op(&mut shard);
+                if barrier && shard.sync() {
+                    drop(shard);
+                    self.stats.note_fsync();
+                    self.stats.note_ack(started.elapsed());
+                }
+                out
+            }
+        }
+    }
+
     /// Store a chunk at `node`, maintaining the aggregate counters.
     /// Durable before return on disk-backed providers (the ack
     /// barrier). Returns `false` if `node` hosts no provider.
@@ -369,12 +458,7 @@ impl ProviderStore {
         let Some(&slot) = self.slot_of.get(&node) else {
             return false;
         };
-        let (bytes, is_new) = {
-            let mut shard = self.shards[slot].lock();
-            let out = shard.put(id, data);
-            shard.sync();
-            out
-        };
+        let (bytes, is_new) = self.committed(slot, |shard| (shard.put(id, data), true));
         self.apply_delta(bytes, is_new as i64);
         true
     }
@@ -392,14 +476,12 @@ impl ProviderStore {
     /// the reference, exactly like a put's for the bytes.
     pub fn retain_n(&self, node: NodeId, id: ChunkId, n: u64) -> bool {
         match self.slot_of.get(&node) {
-            Some(&slot) => {
-                let mut shard = self.shards[slot].lock();
+            // A rejected retain (stale digest hit) appends nothing and
+            // promises nothing: no barrier.
+            Some(&slot) => self.committed(slot, |shard| {
                 let ok = shard.retain_n(id, n);
-                if ok {
-                    shard.sync();
-                }
-                ok
-            }
+                (ok, ok)
+            }),
             None => false,
         }
     }
@@ -447,17 +529,17 @@ impl ProviderStore {
         let Some(&slot) = self.slot_of.get(&node) else {
             return false;
         };
-        let (mut bytes, mut new_chunks) = (0i64, 0i64);
-        {
-            let mut shard = self.shards[slot].lock();
+        // One barrier for the whole batch — and under group commit, one
+        // shared with every other shard-mate batch in flight.
+        let (bytes, new_chunks) = self.committed(slot, |shard| {
+            let (mut bytes, mut new_chunks) = (0i64, 0i64);
             for (id, data) in items {
                 let (delta, is_new) = shard.put(id, data);
                 bytes += delta;
                 new_chunks += is_new as i64;
             }
-            // One fsync for the whole batch: the ack barrier.
-            shard.sync();
-        }
+            ((bytes, new_chunks), true)
+        });
         self.apply_delta(bytes, new_chunks);
         true
     }

@@ -19,7 +19,10 @@
 use crate::api::{BlobConfig, BlobTopology};
 use crate::board::BoardService;
 use crate::cluster::ClusterIndex;
-use crate::durable::{Journal, JournalRecord, RecoveryReport};
+use crate::durable::{
+    CommitPolicy, DurabilityCounters, DurabilityStats, GroupCommit, Journal, JournalRecord,
+    RecoveryReport,
+};
 use crate::lockstat::{probed_read, probed_write, LockContention, LockProbe};
 use crate::meta::MetaPartition;
 use crate::pmanager::{PManager, Placement};
@@ -34,6 +37,53 @@ use bff_wire::msg::{
 use bff_wire::types::BlobError;
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The manager journal plus its commit-ack discipline: appends happen
+/// under the state-machine lock (journal order = serialization order),
+/// the fsync barrier is crossed *after* that lock is released, so
+/// concurrent mutations interleave appends and — under group commit —
+/// share one `sync_data`.
+struct JournalHandle {
+    journal: Mutex<Journal>,
+    /// Leader/follower fsync batching; `None` runs the per-ack
+    /// baseline (one fsync per barrier, under the journal lock only).
+    gc: Option<Arc<GroupCommit>>,
+    stats: Arc<DurabilityStats>,
+}
+
+impl JournalHandle {
+    /// Issue the sync ticket for a record just appended (call while
+    /// still holding the state-machine lock that ordered the append).
+    fn ticket(&self) -> u64 {
+        self.gc.as_ref().map_or(0, |gc| gc.ticket())
+    }
+
+    /// Cross the fsync-before-ack barrier for `ticket`. Call with no
+    /// state-machine lock held.
+    fn commit(&self, ticket: u64) {
+        match &self.gc {
+            Some(gc) => gc
+                .commit(ticket, || {
+                    // Claim under the journal lock, sync_data outside it.
+                    let handle = self.journal.lock().sync_handle()?;
+                    if let Some(f) = handle {
+                        f.sync_data()?;
+                    }
+                    Ok(())
+                })
+                .expect("journal group sync"),
+            None => {
+                let started = Instant::now();
+                if self.journal.lock().sync().expect("journal sync") {
+                    self.stats.note_fsync();
+                    self.stats.note_ack(started.elapsed());
+                }
+            }
+        }
+    }
+}
 
 /// The server half of a deployment: every passive state machine, guarded
 /// exactly as in the historical in-process layout.
@@ -56,8 +106,12 @@ pub struct ServerState {
     /// The mutation journal, present only on durable deployments (see
     /// [`ServerState::recover`]). A leaf lock: always acquired *while
     /// holding* the state-machine lock whose mutation is being
-    /// journaled, so journal order equals serialization order.
-    journal: Option<Mutex<Journal>>,
+    /// journaled, so journal order equals serialization order. The sync
+    /// barrier, by contrast, is crossed after that lock drops.
+    journal: Option<JournalHandle>,
+    /// Deployment-wide durability counters (journal + provider
+    /// coordinators share one instance; all-zero when volatile).
+    durability: Arc<DurabilityStats>,
 }
 
 impl ServerState {
@@ -70,6 +124,7 @@ impl ServerState {
             placement,
             ProviderStore::new(&topo.providers),
             None,
+            Arc::new(DurabilityStats::default()),
         )
     }
 
@@ -78,7 +133,8 @@ impl ServerState {
         topo: &BlobTopology,
         placement: Placement,
         providers: ProviderStore,
-        journal: Option<Mutex<Journal>>,
+        journal: Option<JournalHandle>,
+        durability: Arc<DurabilityStats>,
     ) -> Self {
         assert!(!topo.providers.is_empty(), "need at least one provider");
         assert!(
@@ -103,6 +159,7 @@ impl ServerState {
             cluster_index: RwLock::new(ClusterIndex::new(cluster_cap)),
             cluster_probe: LockProbe::default(),
             journal,
+            durability,
         }
     }
 
@@ -122,9 +179,15 @@ impl ServerState {
         placement: Placement,
         data_dir: &Path,
     ) -> std::io::Result<(Self, RecoveryReport)> {
-        let (providers, seg) = ProviderStore::recover(&topo.providers, data_dir)?;
+        let policy = CommitPolicy::from_config(cfg);
+        let (providers, seg) = ProviderStore::recover(&topo.providers, data_dir, &policy)?;
         let (records, journal, journal_torn) = Journal::open(&data_dir.join("journal.log"))?;
-        let state = Self::assemble(cfg, topo, placement, providers, Some(Mutex::new(journal)));
+        let handle = JournalHandle {
+            journal: Mutex::new(journal),
+            gc: policy.coordinator(),
+            stats: Arc::clone(&policy.stats),
+        };
+        let state = Self::assemble(cfg, topo, placement, providers, Some(handle), policy.stats);
         let report = RecoveryReport {
             journal_records: records.len(),
             journal_torn,
@@ -171,11 +234,50 @@ impl ServerState {
 
     /// Journal a successful version-manager mutation. Call sites hold
     /// the vmanager lock, so append order equals serialization order.
-    /// Fail-stop: an unjournalable mutation must not be acked.
-    fn journal_vm(&self, op: &VmReq) {
-        if let Some(j) = &self.journal {
-            j.lock().append_vm(op).expect("journal vm append");
+    /// Fail-stop: an unjournalable mutation must not be acked. Returns
+    /// the sync ticket to pass to [`ServerState::journal_commit`]
+    /// *after* the vmanager lock is released — the ack is not durable
+    /// until that barrier is crossed.
+    fn journal_append_vm(&self, op: &VmReq) -> Option<u64> {
+        let j = self.journal.as_ref()?;
+        j.journal.lock().append_vm(op).expect("journal vm append");
+        Some(j.ticket())
+    }
+
+    /// Cross the fsync-before-ack barrier for an appended journal
+    /// record. Call with no state-machine lock held; `None` (volatile
+    /// deployment, or nothing appended) is a no-op.
+    fn journal_commit(&self, ticket: Option<u64>) {
+        if let (Some(j), Some(ticket)) = (self.journal.as_ref(), ticket) {
+            j.commit(ticket);
         }
+    }
+
+    /// Advance the durable node-key allocator mark (call under the
+    /// vmanager lock); `Some` carries the barrier ticket when a new
+    /// mark was appended.
+    fn journal_note_key(&self, next: u64) -> Option<u64> {
+        let j = self.journal.as_ref()?;
+        let appended = j.journal.lock().note_key(next).expect("journal key mark");
+        appended.then(|| j.ticket())
+    }
+
+    /// [`ServerState::journal_note_key`] for the chunk-id allocator
+    /// (call under the pmanager lock).
+    fn journal_note_chunk(&self, next: u64) -> Option<u64> {
+        let j = self.journal.as_ref()?;
+        let appended = j
+            .journal
+            .lock()
+            .note_chunk(next)
+            .expect("journal chunk mark");
+        appended.then(|| j.ticket())
+    }
+
+    /// Point-in-time durability counters (fsync barriers, acks covered,
+    /// worst ticket wait) across the journal and every provider shard.
+    pub fn durability(&self) -> DurabilityCounters {
+        self.durability.snapshot()
     }
 
     /// Shared read access to the cluster dedup index, contention-counted
@@ -234,19 +336,29 @@ impl ServerState {
     fn dispatch_vm(&self, q: VmReq) -> VmResp {
         match q {
             VmReq::CreateBlob { size, chunk_size } => {
-                let mut vm = self.vmanager.lock();
-                let res = vm.create_blob(size, chunk_size);
-                if res.is_ok() {
-                    self.journal_vm(&VmReq::CreateBlob { size, chunk_size });
-                }
+                let (res, ticket) = {
+                    let mut vm = self.vmanager.lock();
+                    let res = vm.create_blob(size, chunk_size);
+                    let ticket = res
+                        .is_ok()
+                        .then(|| self.journal_append_vm(&VmReq::CreateBlob { size, chunk_size }))
+                        .flatten();
+                    (res, ticket)
+                };
+                self.journal_commit(ticket);
                 VmResp::Created(res)
             }
             VmReq::CloneBlob { src, version } => {
-                let mut vm = self.vmanager.lock();
-                let res = vm.clone_blob(src, version);
-                if res.is_ok() {
-                    self.journal_vm(&VmReq::CloneBlob { src, version });
-                }
+                let (res, ticket) = {
+                    let mut vm = self.vmanager.lock();
+                    let res = vm.clone_blob(src, version);
+                    let ticket = res
+                        .is_ok()
+                        .then(|| self.journal_append_vm(&VmReq::CloneBlob { src, version }))
+                        .flatten();
+                    (res, ticket)
+                };
+                self.journal_commit(ticket);
                 VmResp::Cloned(res)
             }
             VmReq::Latest(blob) => {
@@ -271,42 +383,60 @@ impl ServerState {
                 }))
             }
             VmReq::Publish { blob, base, root } => {
-                let mut vm = self.vmanager.lock();
-                let res = vm.publish(blob, base, root);
-                if res.is_ok() {
-                    self.journal_vm(&VmReq::Publish { blob, base, root });
-                }
+                // The paper's hot mutation: append under the vmanager
+                // lock, park on the sync ticket after dropping it —
+                // concurrent publishes share one fsync under group
+                // commit instead of serializing N barriers behind the
+                // state machine.
+                let (res, ticket) = {
+                    let mut vm = self.vmanager.lock();
+                    let res = vm.publish(blob, base, root);
+                    let ticket = res
+                        .is_ok()
+                        .then(|| self.journal_append_vm(&VmReq::Publish { blob, base, root }))
+                        .flatten();
+                    (res, ticket)
+                };
+                self.journal_commit(ticket);
                 VmResp::Published(res)
             }
             VmReq::DeleteSnapshots { blob, versions } => {
                 // Compound under ONE lock: the delete and the live-root
                 // frontier snapshot must be atomic, exactly as in the
-                // direct path's critical section.
-                let mut vm = self.vmanager.lock();
-                VmResp::Deleted((|| {
-                    let dead_roots = vm.delete_snapshots(blob, &versions)?;
-                    self.journal_vm(&VmReq::DeleteSnapshots {
-                        blob,
-                        versions: versions.clone(),
-                    });
-                    let live_roots = vm.family_live_roots(blob)?;
-                    let span = vm.meta(blob)?.span;
-                    Ok(DeleteOutcome {
-                        dead_roots,
-                        live_roots,
-                        span,
-                    })
-                })())
+                // direct path's critical section. Only the sync barrier
+                // moves outside it.
+                let mut ticket = None;
+                let res = {
+                    let mut vm = self.vmanager.lock();
+                    (|| {
+                        let dead_roots = vm.delete_snapshots(blob, &versions)?;
+                        ticket = self.journal_append_vm(&VmReq::DeleteSnapshots {
+                            blob,
+                            versions: versions.clone(),
+                        });
+                        let live_roots = vm.family_live_roots(blob)?;
+                        let span = vm.meta(blob)?.span;
+                        Ok(DeleteOutcome {
+                            dead_roots,
+                            live_roots,
+                            span,
+                        })
+                    })()
+                };
+                self.journal_commit(ticket);
+                VmResp::Deleted(res)
             }
             VmReq::ReserveKeys(n) => {
-                let mut vm = self.vmanager.lock();
-                let range = vm.reserve_keys(n);
-                // Durable via high-water mark, not per-reservation
-                // records: the fsync fires only when the allocator
-                // crosses the last persisted mark.
-                if let Some(j) = &self.journal {
-                    j.lock().note_key(vm.next_key()).expect("journal key mark");
-                }
+                let (range, ticket) = {
+                    let mut vm = self.vmanager.lock();
+                    let range = vm.reserve_keys(n);
+                    // Durable via high-water mark, not per-reservation
+                    // records: the barrier fires only when the allocator
+                    // crosses the last persisted mark.
+                    let ticket = self.journal_note_key(vm.next_key());
+                    (range, ticket)
+                };
+                self.journal_commit(ticket);
                 VmResp::Reserved(range)
             }
         }
@@ -320,15 +450,17 @@ impl ServerState {
                 replication,
                 down,
             } => {
-                let mut pm = self.pmanager.lock();
-                let res = pm.allocate_avoiding(n, chunk_bytes, replication, &down);
-                if res.is_ok() {
-                    if let Some(j) = &self.journal {
-                        j.lock()
-                            .note_chunk(pm.next_chunk())
-                            .expect("journal chunk mark");
-                    }
-                }
+                let (res, ticket) = {
+                    let mut pm = self.pmanager.lock();
+                    let res = pm.allocate_avoiding(n, chunk_bytes, replication, &down);
+                    let ticket = if res.is_ok() {
+                        self.journal_note_chunk(pm.next_chunk())
+                    } else {
+                        None
+                    };
+                    (res, ticket)
+                };
+                self.journal_commit(ticket);
                 PmResp::Allocated(res)
             }
         }
@@ -349,7 +481,8 @@ impl ServerState {
                 // before it. Ordering with the shard lock is immaterial
                 // — node keys are write-once with identical content.
                 if let Some(j) = &self.journal {
-                    j.lock()
+                    j.journal
+                        .lock()
                         .append_meta(shard as u32, &nodes)
                         .expect("journal meta append");
                 }

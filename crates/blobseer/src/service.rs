@@ -88,6 +88,43 @@ impl BlobStore {
         placement: Placement,
     ) -> Arc<Self> {
         let srv = Arc::new(ServerState::new(&cfg, &topo, placement));
+        Self::attach(cfg, topo, fabric, srv)
+    }
+
+    /// Deploy a **durable** service rooted at `data_dir`: disk-backed
+    /// providers (one directory per provider node) plus the mutation
+    /// journal, both replayed before the handle is returned — the
+    /// in-process twin of attaching to `blob_server --data-dir`
+    /// processes via [`BlobStore::remote`].
+    ///
+    /// Requires a message transport ([`TransportMode::Codec`] or
+    /// [`TransportMode::Socket`]): journaling lives in
+    /// [`ServerState::dispatch`], which the direct zero-copy accessors
+    /// bypass — a direct-transport durable deployment would ack
+    /// mutations without ever journaling them.
+    pub fn durable(
+        cfg: BlobConfig,
+        topo: BlobTopology,
+        fabric: Arc<dyn Fabric>,
+        placement: Placement,
+        data_dir: &std::path::Path,
+    ) -> std::io::Result<(Arc<Self>, crate::durable::RecoveryReport)> {
+        assert!(
+            cfg.transport != TransportMode::Direct,
+            "durable deployments need a message transport (codec/socket): \
+             the direct accessors bypass dispatch and would skip the journal"
+        );
+        let (srv, report) = ServerState::recover(&cfg, &topo, placement, data_dir)?;
+        Ok((Self::attach(cfg, topo, fabric, Arc::new(srv)), report))
+    }
+
+    /// Bind an in-process server state behind the configured transport.
+    fn attach(
+        cfg: BlobConfig,
+        topo: BlobTopology,
+        fabric: Arc<dyn Fabric>,
+        srv: Arc<ServerState>,
+    ) -> Arc<Self> {
         let (transport, listeners): (Arc<dyn Transport>, Vec<FrameServer>) = match cfg.transport {
             TransportMode::Direct => (Arc::new(DirectTransport), Vec::new()),
             TransportMode::Codec => {
@@ -763,6 +800,14 @@ impl BlobStore {
     /// Requires in-process server state.
     pub fn providers(&self) -> &ProviderStore {
         &self.local().providers
+    }
+
+    /// Durability counters for this deployment: fsyncs issued, acks
+    /// covered, the acks-per-fsync batching ratio, and the worst
+    /// group-commit ticket wait. All-zero for non-durable deployments.
+    /// Requires in-process server state.
+    pub fn durability(&self) -> crate::durable::DurabilityCounters {
+        self.local().durability()
     }
 
     /// Total chunk payload bytes stored across all providers. Shared

@@ -150,6 +150,7 @@ impl Cloud {
             stored_bytes: self.store.total_stored_bytes(),
             stored_chunks: self.store.total_chunks(),
             wire: self.store.wire_stats(),
+            durability: self.store.durability(),
         }
     }
 
@@ -311,6 +312,10 @@ pub struct ClusterMetrics {
     /// Serialized request/response bytes the transport moved (all zero
     /// under the direct transport — no frame ever exists).
     pub wire: bff_net::transport::WireStats,
+    /// Durability counters: fsyncs issued, acks covered by them, the
+    /// acks-per-fsync batching ratio and the worst group-commit ticket
+    /// wait. All zero for non-durable (in-memory) deployments.
+    pub durability: bff_blobseer::DurabilityCounters,
 }
 
 /// Output of [`Cloud::storage_report`].

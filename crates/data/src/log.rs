@@ -213,12 +213,55 @@ impl RecordLog {
         Ok(Some(payload))
     }
 
-    /// Flush appended records to stable storage (`fdatasync`). No-op if
-    /// nothing was appended since the last sync.
-    pub fn sync(&mut self) -> io::Result<()> {
+    /// Flush appended records to stable storage (`fdatasync`), holding
+    /// on until the kernel confirms. No-op if nothing was appended since
+    /// the last sync (or [`RecordLog::sync_handle`] claim). Returns
+    /// whether an fdatasync was actually issued.
+    pub fn sync(&mut self) -> io::Result<bool> {
         if !self.dirty {
-            return Ok(());
+            return Ok(false);
         }
+        if let Some(f) = self.file.as_mut() {
+            f.sync_data()?;
+        }
+        self.dirty = false;
+        Ok(true)
+    }
+
+    /// Claim the pending appends for an *out-of-lock* fsync: returns an
+    /// independently-owned handle (`try_clone`) to the underlying file
+    /// and clears the dirty flag, or `None` when nothing was appended
+    /// since the last sync. The caller must `sync_data` the handle
+    /// before acking anything appended before this call — this is how a
+    /// group-commit leader fsyncs the log while appenders keep the
+    /// owning lock busy.
+    ///
+    /// Two caveats, both on the claimer:
+    /// - the dirty flag is cleared *before* the fsync completes, so a
+    ///   concurrent per-ack [`RecordLog::sync`] may no-op against an
+    ///   in-flight claim — the two disciplines must not be mixed on one
+    ///   log (a group-commit leader is exclusive by construction);
+    /// - an fsync failure after the claim loses the flag; callers are
+    ///   fail-stop on live sync errors, matching the module policy.
+    pub fn sync_handle(&mut self) -> io::Result<Option<File>> {
+        if !self.dirty {
+            return Ok(None);
+        }
+        let f = self
+            .file
+            .as_ref()
+            .expect("dirty log has an open file")
+            .try_clone()?;
+        self.dirty = false;
+        Ok(Some(f))
+    }
+
+    /// `fdatasync` unconditionally, even when the dirty flag was claimed
+    /// by an in-flight [`RecordLog::sync_handle`] holder. The seal
+    /// barriers (segment rotation and compaction) use this so "sealed ⇒
+    /// durable" holds regardless of what a concurrent group-commit
+    /// leader has claimed but not yet flushed.
+    pub fn sync_force(&mut self) -> io::Result<()> {
         if let Some(f) = self.file.as_mut() {
             f.sync_data()?;
         }

@@ -318,11 +318,24 @@ impl RouteTable {
     }
 }
 
+/// A pooled client connection: the stream plus its frame-staging
+/// scratch buffer, so repeated exchanges on one connection write each
+/// frame as a single syscall without re-allocating the staging space.
+struct PooledConn {
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
 /// Real framed TCP: blocking I/O, per-address connection pool, one
 /// request/response exchange per [`Transport::call`].
+///
+/// Every connection — pool miss, post-[`SocketTransport::set_routes`]
+/// reconnect, and the dead-connection retry — goes through
+/// [`SocketTransport::connect`], which sets `TCP_NODELAY`; no path
+/// hands out a Nagle-enabled stream.
 pub struct SocketTransport {
     routes: RwLock<RouteTable>,
-    pool: Mutex<HashMap<SocketAddr, Vec<TcpStream>>>,
+    pool: Mutex<HashMap<SocketAddr, Vec<PooledConn>>>,
     counters: WireCounters,
 }
 
@@ -344,26 +357,29 @@ impl SocketTransport {
         self.pool.lock().clear();
     }
 
-    fn checkout(&self, addr: SocketAddr) -> Result<TcpStream, WireError> {
+    fn checkout(&self, addr: SocketAddr) -> Result<PooledConn, WireError> {
         if let Some(conn) = self.pool.lock().get_mut(&addr).and_then(Vec::pop) {
             return Ok(conn);
         }
         self.connect(addr)
     }
 
-    fn connect(&self, addr: SocketAddr) -> Result<TcpStream, WireError> {
-        let conn = TcpStream::connect(addr)?;
-        conn.set_nodelay(true).ok();
-        Ok(conn)
+    fn connect(&self, addr: SocketAddr) -> Result<PooledConn, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(PooledConn {
+            stream,
+            scratch: Vec::new(),
+        })
     }
 
-    fn checkin(&self, addr: SocketAddr, conn: TcpStream) {
+    fn checkin(&self, addr: SocketAddr, conn: PooledConn) {
         self.pool.lock().entry(addr).or_default().push(conn);
     }
 
-    fn exchange(conn: &mut TcpStream, frame: &[u8]) -> Result<Vec<u8>, WireError> {
-        write_frame(conn, frame)?;
-        read_frame(conn)
+    fn exchange(conn: &mut PooledConn, frame: &[u8]) -> Result<Vec<u8>, WireError> {
+        write_frame_with(&mut conn.stream, frame, &mut conn.scratch)?;
+        read_frame(&mut conn.stream)
     }
 }
 
@@ -403,27 +419,61 @@ impl Transport for SocketTransport {
 }
 
 /// Write one `u32`-LE length-prefixed frame.
+///
+/// Convenience wrapper over [`write_frame_with`] that allocates a fresh
+/// staging buffer; hot paths (the connection pool, [`FrameServer`]
+/// connection threads) keep a reusable one instead.
 pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), WireError> {
+    write_frame_with(w, frame, &mut Vec::new())
+}
+
+/// Write one `u32`-LE length-prefixed frame as a **single** write.
+///
+/// The prefix and payload are staged contiguously in `scratch` and
+/// issued as one `write_all` — on an unbuffered `TcpStream` the naive
+/// prefix-then-payload sequence is two syscalls, and with Nagle off the
+/// 4-byte prefix would go out as its own packet. `scratch` is cleared
+/// and reused; callers that write many frames on one connection keep it
+/// across calls to amortize the allocation.
+pub fn write_frame_with(
+    w: &mut impl Write,
+    frame: &[u8],
+    scratch: &mut Vec<u8>,
+) -> Result<(), WireError> {
     if frame.len() > MAX_FRAME as usize {
         return Err(WireError::BadFrame);
     }
-    w.write_all(&(frame.len() as u32).to_le_bytes())?;
-    w.write_all(frame)?;
+    scratch.clear();
+    scratch.reserve(4 + frame.len());
+    scratch.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    scratch.extend_from_slice(frame);
+    w.write_all(scratch)?;
     w.flush()?;
     Ok(())
 }
 
 /// Read one `u32`-LE length-prefixed frame.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut frame = Vec::new();
+    read_frame_into(r, &mut frame)?;
+    Ok(frame)
+}
+
+/// Read one `u32`-LE length-prefixed frame into `buf`, reusing its
+/// capacity. `buf` is truncated/grown to exactly the frame length;
+/// connection loops that process many requests keep one buffer across
+/// frames instead of allocating per frame.
+pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<(), WireError> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
     let len = u32::from_le_bytes(len);
     if len > MAX_FRAME {
         return Err(WireError::BadFrame);
     }
-    let mut frame = vec![0u8; len as usize];
-    r.read_exact(&mut frame)?;
-    Ok(frame)
+    buf.clear();
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)?;
+    Ok(())
 }
 
 /// One listening server role: an accept loop that feeds every incoming
@@ -510,16 +560,20 @@ impl Drop for FrameServer {
 }
 
 fn serve_connection(mut conn: TcpStream, route: RouteKey, handler: FrameHandler) {
+    // Per-connection scratch: the request buffer and the reply staging
+    // buffer are reused across frames, and each reply goes out as one
+    // write (prefix + payload staged contiguously).
+    let mut frame = Vec::new();
+    let mut scratch = Vec::new();
     loop {
-        let frame = match read_frame(&mut conn) {
-            Ok(f) => f,
-            Err(_) => return, // peer closed (or corrupt stream): stop serving it
-        };
+        if read_frame_into(&mut conn, &mut frame).is_err() {
+            return; // peer closed (or corrupt stream): stop serving it
+        }
         let reply = match handler(route, &frame) {
             Ok(r) => r,
             Err(_) => return, // undecodable request: drop the connection
         };
-        if write_frame(&mut conn, &reply).is_err() {
+        if write_frame_with(&mut conn, &reply, &mut scratch).is_err() {
             return;
         }
     }
@@ -535,6 +589,41 @@ mod tests {
         write_frame(&mut buf, b"hello").unwrap();
         let mut r = &buf[..];
         assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn framed_write_is_a_single_write_call() {
+        /// Counts `write` calls; fails the test if a frame arrives split.
+        struct CountingSink {
+            writes: usize,
+            bytes: Vec<u8>,
+        }
+        impl Write for CountingSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.writes += 1;
+                self.bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = CountingSink {
+            writes: 0,
+            bytes: Vec::new(),
+        };
+        let mut scratch = Vec::new();
+        write_frame_with(&mut sink, b"hello", &mut scratch).unwrap();
+        assert_eq!(sink.writes, 1, "prefix and payload must go out together");
+        write_frame_with(&mut sink, b"worlds!", &mut scratch).unwrap();
+        assert_eq!(sink.writes, 2);
+        // Both frames decode back, reusing one read buffer.
+        let mut r = &sink.bytes[..];
+        let mut buf = Vec::new();
+        read_frame_into(&mut r, &mut buf).unwrap();
+        assert_eq!(buf, b"hello");
+        read_frame_into(&mut r, &mut buf).unwrap();
+        assert_eq!(buf, b"worlds!");
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! [`Journal`].
 
 use bff::blobseer::durable::{Journal, SegmentStore};
-use bff::blobseer::ChunkId;
+use bff::blobseer::{ChunkId, DurabilityStats, GroupCommit};
 use bff::data::{Payload, RecordLog};
 use bff::wire::msg::VmReq;
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Per-case scratch directory (no tempfile crate in the workspace).
 fn scratch(tag: &str) -> PathBuf {
@@ -195,6 +197,86 @@ proptest! {
                 prop_assert_eq!(got.unwrap().materialize(), content[&id].clone());
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Group commit preserves the fsync-before-ack contract at every
+    /// crash point: appends go through the real [`GroupCommit`]
+    /// coordinator (ticket under the log lock, leader fsync through
+    /// [`RecordLog::sync_handle`]), only *some* of them commit — so the
+    /// log alternates between fsynced prefixes and unsynced tails,
+    /// exactly what interleaved committers leave between batched syncs.
+    /// The crash then cuts the file anywhere *at or past* the last
+    /// completed fsync (bytes a real crash could still tear). Replay
+    /// must restore every acked record byte-identically (acked ⊆
+    /// replayed), whatever survives must be an exact prefix of what was
+    /// appended, and the truncated log must accept appends again.
+    #[test]
+    fn group_commit_crash_never_loses_acked_records(
+        ops in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 1..200), any::<bool>()),
+            1..30,
+        ),
+        cut_back in 0u64..1_000_000,
+    ) {
+        let dir = scratch("group-commit");
+        let path = dir.join("log");
+        let (_, log, torn) = RecordLog::open(&path).unwrap();
+        prop_assert!(!torn);
+        let log = Arc::new(Mutex::new(log));
+        let gc = GroupCommit::new(
+            Duration::from_millis(50),
+            Arc::new(DurabilityStats::default()),
+        );
+        let mut appended = 0usize;
+        let mut acked = 0usize;     // records covered by a completed fsync
+        let mut durable_len = 0u64; // on-disk bytes covered by it
+        for (payload, do_commit) in &ops {
+            let ticket = {
+                let mut l = log.lock().unwrap();
+                l.append(payload).unwrap();
+                gc.ticket()
+            };
+            appended += 1;
+            if *do_commit {
+                gc.commit(ticket, || {
+                    let handle = log.lock().unwrap().sync_handle()?;
+                    if let Some(f) = handle {
+                        f.sync_data()?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+                // The leader's high-water capture covers every append
+                // at-or-before the ticket — here, all of them so far.
+                acked = appended;
+                durable_len = std::fs::metadata(&path).unwrap().len();
+            }
+        }
+        drop(log);
+
+        // Crash: anything past the last completed fsync may be torn,
+        // anything before it may not (fdatasync completed).
+        let len = std::fs::metadata(&path).unwrap().len();
+        let cut = durable_len + cut_back % (len - durable_len + 1);
+        cut_file(&path, cut);
+
+        let (records, mut log, _) = RecordLog::open(&path).unwrap();
+        prop_assert!(
+            records.len() >= acked,
+            "lost acked records: {} acked, {} replayed", acked, records.len()
+        );
+        prop_assert!(records.len() <= appended);
+        for (got, (want, _)) in records.iter().zip(&ops) {
+            prop_assert_eq!(&got.1, want, "replayed record diverged");
+        }
+        // The truncated log accepts appends and keeps them.
+        log.append(b"after-crash").unwrap();
+        let survivors = records.len();
+        drop(log);
+        let (records, _, torn) = RecordLog::open(&path).unwrap();
+        prop_assert!(!torn, "re-opened log is clean");
+        prop_assert_eq!(records.len(), survivors + 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
